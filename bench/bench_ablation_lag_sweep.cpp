@@ -1,0 +1,86 @@
+// Ablation: sensor lag sweep.
+//
+// Sweeps the I2C/BMC transport delay from 0 to 40 s and measures the
+// closed-loop quality of the adaptive PID fan controller under the square
+// workload.  The checked-in gains were tuned WITH the 10 s lag in the
+// loop; the sweep shows how much margin that buys and where the loop
+// finally degrades - quantifying the paper's central concern.
+#include <cmath>
+#include <iomanip>
+#include <iostream>
+#include <memory>
+
+#include "core/adaptive_pid_fan.hpp"
+#include "core/fan_only_policy.hpp"
+#include "core/solutions.hpp"
+#include "sim/simulation.hpp"
+#include "workload/trace.hpp"
+
+namespace {
+
+using namespace fsc;
+
+struct Row {
+  double temp_rms = 0.0;
+  double max_tj = 0.0;
+  double over_80_percent = 0.0;
+};
+
+Row run_lag(double lag_s) {
+  Rng rng(31);
+  ServerParams sp;
+  sp.sensor.lag_s = lag_s;
+  Server server(sp, 3000.0, rng);
+  AdaptivePidFanParams fp;
+  auto fan = std::make_unique<AdaptivePidFanController>(
+      SolutionConfig::default_gain_schedule(), fp, 3000.0);
+  FanOnlyPolicy policy(std::move(fan), 75.0);
+  SquareWaveWorkload workload(0.1, 0.7, 400.0);
+  SimulationParams sim;
+  sim.duration_s = 3200.0;
+  sim.initial_utilization = 0.1;
+  const auto r = run_simulation(server, policy, workload, sim);
+
+  Row row;
+  const auto temps = r.column(&TraceRecord::junction_celsius);
+  // RMS around the mean over steady tails of each phase.
+  double acc = 0.0;
+  std::size_t n = 0;
+  const long half = 200;
+  for (long p = 0; p + half <= static_cast<long>(temps.size()); p += half) {
+    double mean = 0.0;
+    for (long i = p + 120; i < p + half; ++i) mean += temps[static_cast<std::size_t>(i)];
+    mean /= 80.0;
+    for (long i = p + 120; i < p + half; ++i) {
+      const double d = temps[static_cast<std::size_t>(i)] - mean;
+      acc += d * d;
+      ++n;
+    }
+  }
+  row.temp_rms = std::sqrt(acc / static_cast<double>(n));
+  row.max_tj = r.junction_stats.max();
+  row.over_80_percent = 100.0 * r.thermal_violation_fraction;
+  return row;
+}
+
+}  // namespace
+
+int main() {
+  std::cout << "=== Ablation: sensor lag sweep (gains tuned at 10 s lag) ===\n";
+  std::cout << "square workload 0.1 <-> 0.7, adaptive PID, 1 degC ADC active\n\n";
+  std::cout << std::left << std::setw(12) << "lag (s)" << std::setw(14)
+            << "tailRMS(C)" << std::setw(12) << "maxTj(C)" << ">80C time(%)\n"
+            << std::string(50, '-') << "\n";
+  for (double lag : {0.0, 5.0, 10.0, 15.0, 20.0, 30.0, 40.0}) {
+    const Row r = run_lag(lag);
+    std::cout << std::left << std::fixed << std::setprecision(0) << std::setw(12)
+              << lag << std::setprecision(2) << std::setw(14) << r.temp_rms
+              << std::setw(12) << r.max_tj << r.over_80_percent << "\n";
+    std::cout.unsetf(std::ios::fixed);
+  }
+  std::cout << "\nexpected: regulation quality degrades smoothly up to ~2x the\n"
+               "design lag, then transition overshoots start breaching 80 degC -\n"
+               "newer platforms with more sensors on the I2C bus (longer lag)\n"
+               "need retuned or slower controllers, as the paper warns.\n";
+  return 0;
+}

@@ -1,0 +1,115 @@
+// Ablation: the quantization-error elimination scheme (Eqn. 10).
+//
+// Runs the adaptive PID fan controller with the guard enabled and disabled
+// under a fixed workload with the full non-ideal measurement chain, and
+// reports the fan actuation activity, total fan-speed travel (a proxy for
+// actuator wear), fan energy, and junction regulation quality.
+#include <cmath>
+#include <iomanip>
+#include <iostream>
+#include <memory>
+
+#include "core/adaptive_pid_fan.hpp"
+#include "core/fan_only_policy.hpp"
+#include "core/solutions.hpp"
+#include "sim/simulation.hpp"
+#include "workload/trace.hpp"
+
+namespace {
+
+using namespace fsc;
+
+struct Row {
+  double activity = 0.0;
+  double travel_rpm = 0.0;
+  double fan_energy_j = 0.0;
+  double temp_rms = 0.0;
+  double max_tj = 0.0;
+};
+
+enum class GuardConfig { kOff, kFreeze, kZeroError };
+
+Row run_once(GuardConfig cfg, double sensor_noise, double reference) {
+  Rng rng(21);
+  ServerParams sp;
+  sp.sensor.noise_stddev = sensor_noise;
+  Server server(sp, 4500.0, rng);
+  AdaptivePidFanParams fp;
+  fp.enable_quantization_guard = cfg != GuardConfig::kOff;
+  fp.guard_mode = cfg == GuardConfig::kFreeze ? QuantizationGuardMode::kFreezeOutput
+                                              : QuantizationGuardMode::kZeroError;
+  auto fan = std::make_unique<AdaptivePidFanController>(
+      SolutionConfig::default_gain_schedule(), fp, 4500.0);
+  FanOnlyPolicy policy(std::move(fan), reference);
+  ConstantWorkload workload(0.55);
+  SimulationParams sim;
+  sim.duration_s = 3600.0;
+  sim.initial_utilization = 0.55;
+  const auto r = run_simulation(server, policy, workload, sim);
+
+  Row row;
+  const auto speeds = r.column(&TraceRecord::fan_cmd_rpm);
+  const auto temps = r.column(&TraceRecord::junction_celsius);
+  int changes = 0, decisions = 0;
+  for (std::size_t i = 30; i < speeds.size(); i += 30) {
+    if (std::fabs(speeds[i] - speeds[i - 30]) > 1.0) {
+      ++changes;
+      row.travel_rpm += std::fabs(speeds[i] - speeds[i - 30]);
+    }
+    ++decisions;
+  }
+  row.activity = decisions ? 100.0 * changes / decisions : 0.0;
+  row.fan_energy_j = r.fan_energy_joules;
+  double mean = 0.0;
+  for (double t : temps) mean += t;
+  mean /= static_cast<double>(temps.size());
+  double acc = 0.0;
+  for (double t : temps) acc += (t - mean) * (t - mean);
+  row.temp_rms = std::sqrt(acc / static_cast<double>(temps.size()));
+  row.max_tj = r.junction_stats.max();
+  return row;
+}
+
+void print(const std::string& name, const Row& r) {
+  std::cout << std::left << std::setw(34) << name << std::fixed
+            << std::setprecision(1) << std::setw(12) << r.activity
+            << std::setprecision(0) << std::setw(14) << r.travel_rpm
+            << std::setprecision(1) << std::setw(14) << r.fan_energy_j / 1000.0
+            << std::setprecision(2) << std::setw(12) << r.temp_rms
+            << r.max_tj << "\n";
+  std::cout.unsetf(std::ios::fixed);
+}
+
+}  // namespace
+
+int main() {
+  std::cout << "=== Ablation: quantization guard (Eqn. 10) on/off ===\n";
+  std::cout << "fixed workload u = 0.55, 1 h, full non-ideal sensing\n\n";
+  std::cout << std::left << std::setw(34) << "configuration" << std::setw(12)
+            << "activity%" << std::setw(14) << "travel(rpm)" << std::setw(14)
+            << "fanE(kJ)" << std::setw(12) << "TjRMS(C)" << "maxTj(C)\n"
+            << std::string(96, '-') << "\n";
+
+  // With an integer reference and integer ADC readings, |e| < 1 collapses
+  // to e == 0, so the zero-error guard is vacuous there; the interesting
+  // case is a fractional reference (which the §V-B set-point adapter
+  // produces almost always).
+  for (double ref : {75.0, 74.6}) {
+    for (double noise : {0.0, 0.4}) {
+      std::cout << "-- T_ref = " << std::setprecision(4) << ref << " degC, sensor jitter sigma = "
+                << noise << " degC --\n";
+      print("guard OFF", run_once(GuardConfig::kOff, noise, ref));
+      print("guard freeze-output (paper literal)",
+            run_once(GuardConfig::kFreeze, noise, ref));
+      print("guard zero-error (library default)",
+            run_once(GuardConfig::kZeroError, noise, ref));
+    }
+  }
+
+  std::cout << "\nfindings: the literal output freeze blocks the PID's P/D\n"
+               "retraction after each reading flip and can sustain the very\n"
+               "limit cycle Eqn. 10 targets; dead-banding the error instead\n"
+               "keeps the loop quiet inside the quantization cell while still\n"
+               "retracting cleanly after flips.\n";
+  return 0;
+}

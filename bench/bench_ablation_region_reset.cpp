@@ -1,0 +1,95 @@
+// Ablation: §IV-B's "s_ref_fan is updated and the integral sum is set to
+// zero" on region change - documented engineering deviation.
+//
+// The paper resets the PID's integral and re-bases its output offset
+// whenever the operating region changes.  On our calibrated plant the
+// square workload crosses a region boundary every phase; each reset
+// discards the integral state mid-transient and measurably worsens
+// regulation.  Continuous gain interpolation (Eqns. 8-9) plus switching
+// hysteresis makes the reset unnecessary, so the library defaults to
+// reset OFF.  This bench documents the evidence.
+#include <cmath>
+#include <iomanip>
+#include <iostream>
+#include <memory>
+
+#include "core/adaptive_pid_fan.hpp"
+#include "core/fan_only_policy.hpp"
+#include "core/solutions.hpp"
+#include "sim/simulation.hpp"
+#include "workload/trace.hpp"
+
+namespace {
+
+using namespace fsc;
+
+struct Row {
+  double temp_rms = 0.0;
+  double max_tj = 0.0;
+  double fan_travel = 0.0;
+};
+
+Row run_once(bool reset_on_change, double hysteresis) {
+  Rng rng(99);
+  Server server(ServerParams{}, 3000.0, rng);
+  AdaptivePidFanParams fp;
+  fp.reset_on_region_change = reset_on_change;
+  fp.region_switch_hysteresis = hysteresis;
+  auto fan = std::make_unique<AdaptivePidFanController>(
+      SolutionConfig::default_gain_schedule(), fp, 3000.0);
+  FanOnlyPolicy policy(std::move(fan), 75.0);
+  SquareWaveWorkload workload(0.1, 0.7, 800.0);
+  SimulationParams sim;
+  sim.duration_s = 3200.0;
+  sim.initial_utilization = 0.1;
+  const auto r = run_simulation(server, policy, workload, sim);
+
+  Row row;
+  const auto temps = r.column(&TraceRecord::junction_celsius);
+  const auto speeds = r.column(&TraceRecord::fan_cmd_rpm);
+  double acc = 0.0;
+  std::size_t n = 0;
+  for (long p = 0; p + 400 <= static_cast<long>(temps.size()); p += 400) {
+    double mean = 0.0;
+    for (long i = p + 240; i < p + 400; ++i) mean += temps[static_cast<std::size_t>(i)];
+    mean /= 160.0;
+    for (long i = p + 240; i < p + 400; ++i) {
+      const double d = temps[static_cast<std::size_t>(i)] - mean;
+      acc += d * d;
+      ++n;
+    }
+  }
+  row.temp_rms = std::sqrt(acc / static_cast<double>(n));
+  row.max_tj = r.junction_stats.max();
+  for (std::size_t i = 30; i < speeds.size(); i += 30) {
+    row.fan_travel += std::fabs(speeds[i] - speeds[i - 30]);
+  }
+  return row;
+}
+
+void print(const std::string& name, const Row& r) {
+  std::cout << std::left << std::setw(42) << name << std::fixed
+            << std::setprecision(2) << std::setw(14) << r.temp_rms
+            << std::setw(12) << r.max_tj << std::setprecision(0) << r.fan_travel
+            << "\n";
+  std::cout.unsetf(std::ios::fixed);
+}
+
+}  // namespace
+
+int main() {
+  std::cout << "=== Ablation: integral reset on region change (§IV-B) ===\n";
+  std::cout << "square workload 0.1 <-> 0.7 crossing the region boundary each "
+               "phase\n\n";
+  std::cout << std::left << std::setw(42) << "configuration" << std::setw(14)
+            << "tailRMS(C)" << std::setw(12) << "maxTj(C)" << "travel(rpm)\n"
+            << std::string(84, '-') << "\n";
+  print("reset ON, no hysteresis (paper literal)", run_once(true, 0.0));
+  print("reset ON + switching hysteresis", run_once(true, 0.1));
+  print("reset OFF + hysteresis (library default)", run_once(false, 0.1));
+
+  std::cout << "\nconclusion: with continuous gain interpolation the reset only\n"
+               "destroys useful integral state; the library defaults to OFF and\n"
+               "documents this as a deviation from the paper's letter.\n";
+  return 0;
+}

@@ -1,0 +1,98 @@
+// Ablation: sensor population vs. control quality (the paper's §I
+// prediction, quantified).
+//
+// "Due to the increased number of temperature sensors in each new server
+//  platform, the time lag from bandwidth contention becomes even worse in
+//  newer generation servers."
+//
+// Each population N maps to an end-to-end lag through the I2C contention
+// model (calibrated: 100 sensors -> 10 s); the adaptive PID (tuned at the
+// 100-sensor lag) then runs the square workload through a sensing chain
+// with that lag.  The sweep shows how platform growth alone erodes the
+// thermal margin of an unchanged controller.
+#include <cmath>
+#include <iomanip>
+#include <iostream>
+#include <memory>
+
+#include "core/adaptive_pid_fan.hpp"
+#include "core/fan_only_policy.hpp"
+#include "core/solutions.hpp"
+#include "sensor/i2c_bus.hpp"
+#include "sim/simulation.hpp"
+#include "workload/trace.hpp"
+
+namespace {
+
+using namespace fsc;
+
+struct Row {
+  double lag_s = 0.0;
+  double temp_rms = 0.0;
+  double max_tj = 0.0;
+  double over_80 = 0.0;
+};
+
+Row run_population(std::size_t sensors) {
+  const I2cBusModel bus = I2cBusModel::table1_defaults();
+  Row row;
+  row.lag_s = bus.lag(sensors);
+
+  Rng rng(61);
+  ServerParams sp;
+  sp.sensor.lag_s = row.lag_s;
+  Server server(sp, 3000.0, rng);
+  AdaptivePidFanParams fp;
+  auto fan = std::make_unique<AdaptivePidFanController>(
+      SolutionConfig::default_gain_schedule(), fp, 3000.0);
+  FanOnlyPolicy policy(std::move(fan), 75.0);
+  SquareWaveWorkload workload(0.1, 0.7, 400.0);
+  SimulationParams sim;
+  sim.duration_s = 3200.0;
+  sim.initial_utilization = 0.1;
+  const auto r = run_simulation(server, policy, workload, sim);
+
+  const auto temps = r.column(&TraceRecord::junction_celsius);
+  double acc = 0.0;
+  std::size_t n = 0;
+  for (long p = 0; p + 200 <= static_cast<long>(temps.size()); p += 200) {
+    double mean = 0.0;
+    for (long i = p + 120; i < p + 200; ++i) mean += temps[static_cast<std::size_t>(i)];
+    mean /= 80.0;
+    for (long i = p + 120; i < p + 200; ++i) {
+      const double d = temps[static_cast<std::size_t>(i)] - mean;
+      acc += d * d;
+      ++n;
+    }
+  }
+  row.temp_rms = std::sqrt(acc / static_cast<double>(n));
+  row.max_tj = r.junction_stats.max();
+  row.over_80 = 100.0 * r.thermal_violation_fraction;
+  return row;
+}
+
+}  // namespace
+
+int main() {
+  std::cout << "=== Ablation: sensor population -> I2C lag -> control quality "
+               "===\n";
+  std::cout << "controller tuned for the 100-sensor platform (10 s lag);\n"
+               "square workload 0.1 <-> 0.7, reference 75 degC\n\n";
+  std::cout << std::left << std::setw(12) << "sensors" << std::setw(12)
+            << "lag (s)" << std::setw(14) << "tailRMS(C)" << std::setw(12)
+            << "maxTj(C)" << ">80C time(%)\n"
+            << std::string(62, '-') << "\n";
+  for (std::size_t n : {25u, 50u, 100u, 150u, 200u, 300u, 400u}) {
+    const Row r = run_population(n);
+    std::cout << std::left << std::setw(12) << n << std::fixed
+              << std::setprecision(1) << std::setw(12) << r.lag_s
+              << std::setprecision(2) << std::setw(14) << r.temp_rms
+              << std::setw(12) << r.max_tj << r.over_80 << "\n";
+    std::cout.unsetf(std::ios::fixed);
+  }
+  std::cout << "\nexpected: the 100-sensor row is the design point; doubling\n"
+               "the population pushes transition overshoots past 80 degC with\n"
+               "no controller change - the paper's motivation for treating\n"
+               "the lag as a first-class design input.\n";
+  return 0;
+}

@@ -1,0 +1,152 @@
+// Fig. 3 reproduction: traces of fan speed and temperature under a square
+// CPU load (0.1 <-> 0.7) for three fan controllers:
+//
+//   (a) conventional PID with the gains tuned at 2000 rpm only
+//       - paper: stable but very slow convergence (~210 s);
+//   (b) conventional PID with the gains tuned at 6000 rpm only
+//       - paper: fast but UNSTABLE at the low fan-speed range;
+//   (c) the adaptive (gain-scheduled) PID of §IV-B
+//       - paper: stable everywhere with fast convergence.
+//
+// The paper's 75 degC reference drives the fan across ~1300-4200 rpm on
+// the calibrated plant (DESIGN.md §5), exercising the tuned regions.
+#include <cmath>
+#include <iomanip>
+#include <iostream>
+#include <memory>
+#include <string>
+
+#include "core/adaptive_pid_fan.hpp"
+#include "core/fan_only_policy.hpp"
+#include "core/solutions.hpp"
+#include "metrics/oscillation.hpp"
+#include "metrics/settling.hpp"
+#include "sim/simulation.hpp"
+#include "workload/trace.hpp"
+
+namespace {
+
+using namespace fsc;
+
+constexpr double kReference = 75.0;
+constexpr double kPeriod = 800.0;  // long half-periods expose settling times
+
+struct Variant {
+  std::string name;
+  GainSchedule schedule;
+  bool gain_schedule_enabled;
+};
+
+SimulationResult run_variant(const Variant& v) {
+  Rng rng(99);
+  // Widen the fan envelope to 500 rpm for this controller study: the
+  // production floor of 1500 rpm saturates (and thereby masks) the
+  // low-speed excursions that distinguish the mis-tuned controller.
+  ServerParams server_params;
+  server_params.fan.min_rpm = 500.0;
+  Server server(server_params, 3000.0, rng);
+
+  AdaptivePidFanParams fp;
+  fp.enable_gain_schedule = v.gain_schedule_enabled;
+  fp.min_speed_rpm = 500.0;
+  auto fan = std::make_unique<AdaptivePidFanController>(v.schedule, fp, 3000.0);
+  FanOnlyPolicy policy(std::move(fan), kReference);
+
+  const SquareWaveWorkload workload(0.1, 0.7, kPeriod);
+  SimulationParams sp;
+  sp.duration_s = 4.0 * kPeriod;
+  sp.initial_utilization = 0.1;
+  return run_simulation(server, policy, workload, sp);
+}
+
+/// RMS of the junction temperature around its mean over the steady tail
+/// (last 40 %) of each half-period phase; returns the worst low-load-phase
+/// and high-load-phase values separately.  Low-load phases are where the
+/// paper's @6000-tuned controller falls apart.
+struct TailRms {
+  double low = 0.0;
+  double high = 0.0;
+};
+
+TailRms tail_rms(const std::vector<double>& temps) {
+  const long half = static_cast<long>(0.5 * kPeriod);
+  TailRms out;
+  long phase = 0;
+  for (long p = 0; p + half <= static_cast<long>(temps.size()); p += half, ++phase) {
+    const long w0 = p + static_cast<long>(0.6 * half);
+    const long w1 = p + half;
+    double mean = 0.0;
+    for (long i = w0; i < w1; ++i) mean += temps[static_cast<std::size_t>(i)];
+    mean /= static_cast<double>(w1 - w0);
+    double acc = 0.0;
+    for (long i = w0; i < w1; ++i) {
+      const double d = temps[static_cast<std::size_t>(i)] - mean;
+      acc += d * d;
+    }
+    const double rms = std::sqrt(acc / static_cast<double>(w1 - w0));
+    if (phase % 2 == 0) {
+      out.low = std::max(out.low, rms);
+    } else {
+      out.high = std::max(out.high, rms);
+    }
+  }
+  return out;
+}
+
+void report(const std::string& name, const SimulationResult& r) {
+  const auto temps = r.column(&TraceRecord::junction_celsius);
+  const TailRms rms = tail_rms(temps);
+
+  // Convergence: settling of the junction temperature after the first
+  // low->high load transition (tolerance 2 degC around the reference).
+  const long half = static_cast<long>(0.5 * kPeriod);
+  std::vector<double> high_phase(temps.begin() + half, temps.begin() + 2 * half);
+  const auto step = analyse_step_response(high_phase, kReference, 2.0);
+
+  // "Stable" = the steady-tail temperature stays within ~1.5 quantization
+  // steps RMS of its mean; sustained larger swings are the limit cycles of
+  // Fig. 3's unstable trace.
+  const double worst = std::max(rms.low, rms.high);
+  const char* verdict = worst <= 1.5 ? "stable" : "UNSTABLE/limit cycle";
+
+  std::cout << std::left << std::setw(26) << name << std::setw(22) << verdict;
+  if (step.settling_index) {
+    std::cout << std::fixed << std::setprecision(0) << std::setw(14)
+              << settling_time_seconds(step, 1.0);
+  } else {
+    std::cout << std::setw(14) << "never";
+  }
+  std::cout << std::fixed << std::setprecision(2) << std::setw(14) << rms.low
+            << std::setw(14) << rms.high << std::setw(12)
+            << r.junction_stats.max() << "\n";
+  std::cout.unsetf(std::ios::fixed);
+}
+
+}  // namespace
+
+int main() {
+  // The default schedule holds the paper's two tuned regions {2000, 6000}.
+  const auto defaults = SolutionConfig::default_gain_schedule();
+  const GainRegion low = defaults.region(0);   // 2000 rpm tuning
+  const GainRegion high = defaults.region(1);  // 6000 rpm tuning
+
+  std::cout << "=== Fig. 3: conventional vs adaptive PID under square load "
+               "(0.1 <-> 0.7) ===\n";
+  std::cout << "reference " << kReference << " degC; fan range exercised ~1500-6000 "
+               "rpm; 10 s lag + 1 degC ADC active\n\n";
+  std::cout << std::left << std::setw(26) << "controller" << std::setw(22)
+            << "stability" << std::setw(14) << "settle(s)" << std::setw(14)
+            << "lowRMS(C)" << std::setw(14) << "highRMS(C)" << std::setw(12)
+            << "maxTj(C)" << "\n"
+            << std::string(100, '-') << "\n";
+
+  report("PID tuned @2000 only",
+         run_variant(Variant{"2000", GainSchedule({low}), false}));
+  report("PID tuned @6000 only",
+         run_variant(Variant{"6000", GainSchedule({high}), false}));
+  report("adaptive PID (paper)", run_variant(Variant{"adaptive", defaults, true}));
+
+  std::cout << "\npaper's qualitative result: @2000 stable/slow, @6000 unstable at\n"
+               "low speeds, adaptive stable and fast.\n";
+  return 0;
+}

@@ -1,0 +1,74 @@
+// Fig. 5 reproduction: "Traces of fan speed with the dynamic CPU load and
+// noise (standard deviation is set to 0.04)" - the proposed global control
+// scheme (fan PID + CPU capper + rule coordination) remains stable under a
+// time-varying, noisy workload.
+//
+// We run the full proposed solution under the paper's square + noise
+// workload, print the CPU-load / fan-speed traces side by side, and verify
+// stability: bounded fan excursions, junction within the safe region, and
+// no growing oscillation.
+#include <iomanip>
+#include <iostream>
+#include <vector>
+
+#include "core/solutions.hpp"
+#include "metrics/oscillation.hpp"
+#include "sim/simulation.hpp"
+#include "workload/synthetic.hpp"
+
+int main() {
+  using namespace fsc;
+
+  std::cout << "=== Fig. 5: global scheme under dynamic CPU load + noise "
+               "(sigma = 0.04) ===\n\n";
+
+  Rng rng(2014);
+  SquareNoiseParams wl;  // 0.1 <-> 0.7, sigma 0.04 (paper §VI-A)
+  wl.period_s = 400.0;
+  wl.duration_s = 3600.0;
+  const auto workload = make_square_noise_workload(wl, rng);
+
+  SolutionConfig cfg;
+  const auto policy = make_solution(SolutionKind::kRuleFixed, cfg);
+  Server server(ServerParams{}, cfg.initial_fan_rpm, rng);
+
+  SimulationParams sim;
+  sim.duration_s = wl.duration_s;
+  sim.initial_utilization = wl.low;
+  const SimulationResult r = run_simulation(server, *policy, *workload, sim);
+
+  std::cout << "time(s)  cpu-load  fan(rpm)  Tj(degC)  cap\n";
+  for (std::size_t i = 0; i < r.trace.size(); i += 60) {
+    const auto& rec = r.trace[i];
+    std::cout << std::fixed << std::setprecision(0) << std::setw(6) << rec.time_s
+              << std::setprecision(2) << std::setw(9) << rec.demand
+              << std::setprecision(0) << std::setw(10) << rec.fan_cmd_rpm
+              << std::setprecision(1) << std::setw(9) << rec.junction_celsius
+              << std::setprecision(2) << std::setw(6) << rec.cap << "\n";
+  }
+
+  // Stability verdicts.
+  const auto speeds = r.column(&TraceRecord::fan_cmd_rpm);
+  std::vector<double> tail(speeds.begin() + speeds.size() / 2, speeds.end());
+  OscillationParams op;
+  op.hysteresis = 500.0;
+  op.growth_ratio = 1.5;
+  const auto osc = analyse_oscillation(tail, op);
+
+  std::cout << "\n--- stability summary ---\n";
+  std::cout << "fan oscillation verdict : "
+            << (osc.verdict == OscillationVerdict::kGrowing ? "GROWING (unstable)"
+                                                            : "bounded (stable)")
+            << "\n";
+  std::cout << "fan speed range         : " << r.fan_speed_stats.min() << " - "
+            << r.fan_speed_stats.max() << " rpm\n";
+  std::cout << "junction max            : " << r.junction_stats.max()
+            << " degC (limit 80)\n";
+  std::cout << "time above limit        : " << 100.0 * r.thermal_violation_fraction
+            << " %\n";
+  std::cout << "deadline violations     : " << r.deadline.violation_percent()
+            << " %\n";
+  std::cout << "\npaper's result: stable fan control despite time-varying load,\n"
+               "noise, 10 s lag and 1 degC quantization.\n";
+  return osc.verdict == OscillationVerdict::kGrowing ? 1 : 0;
+}

@@ -1,0 +1,115 @@
+// Micro-benchmarks (google-benchmark): per-call cost of the control and
+// simulation kernels.  These bound the firmware-side cost of the paper's
+// scheme (a BMC runs the whole DTM stack once per second) and the
+// simulator's throughput (how much faster than real time the experiment
+// harness runs).
+#include <benchmark/benchmark.h>
+
+#include <memory>
+
+#include "core/adaptive_pid_fan.hpp"
+#include "core/pid.hpp"
+#include "core/rule_table.hpp"
+#include "core/solutions.hpp"
+#include "sim/experiment.hpp"
+#include "sim/simulation.hpp"
+#include "workload/synthetic.hpp"
+
+namespace {
+
+using namespace fsc;
+
+void BM_PidStep(benchmark::State& state) {
+  PidController pid(PidGains{275.8, 137.9, 137.9}, 3000.0, 1500.0, 8500.0);
+  double err = 1.0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(pid.step(err));
+    err = -err;
+  }
+}
+BENCHMARK(BM_PidStep);
+
+void BM_GainScheduleLookup(benchmark::State& state) {
+  const auto schedule = SolutionConfig::default_gain_schedule();
+  double rpm = 1500.0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(schedule.lookup(rpm));
+    rpm = rpm >= 8000.0 ? 1500.0 : rpm + 37.0;
+  }
+}
+BENCHMARK(BM_GainScheduleLookup);
+
+void BM_FanControllerDecide(benchmark::State& state) {
+  AdaptivePidFanController fan(SolutionConfig::default_gain_schedule(),
+                               AdaptivePidFanParams{}, 3000.0);
+  FanControlInput in;
+  in.measured_temp = 77.0;
+  in.reference_temp = 75.0;
+  in.current_speed = 3000.0;
+  in.quantization_step = 1.0;
+  for (auto _ : state) {
+    in.current_speed = fan.decide(in);
+    benchmark::DoNotOptimize(in.current_speed);
+  }
+}
+BENCHMARK(BM_FanControllerDecide);
+
+void BM_RuleTable(benchmark::State& state) {
+  double fp = 3100.0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(coordinate_and_apply(3000.0, fp, 0.7, 0.75));
+    fp = fp > 3000.0 ? 2900.0 : 3100.0;
+  }
+}
+BENCHMARK(BM_RuleTable);
+
+void BM_ServerPhysicsStep(benchmark::State& state) {
+  Rng rng(1);
+  Server server = Server::table1_defaults(rng);
+  for (auto _ : state) {
+    server.step(0.5, 0.05);
+    benchmark::DoNotOptimize(server.true_junction());
+  }
+}
+BENCHMARK(BM_ServerPhysicsStep);
+
+void BM_FullDtmPolicyStep(benchmark::State& state) {
+  SolutionConfig cfg;
+  const auto policy = make_solution(SolutionKind::kRuleAdaptiveTrefSingleStep, cfg);
+  DtmInputs in;
+  in.measured_temp = 76.0;
+  in.fan_speed_cmd = 3000.0;
+  in.fan_speed_actual = 3000.0;
+  in.cpu_cap = 1.0;
+  in.demand = 0.6;
+  in.executed = 0.6;
+  for (auto _ : state) {
+    const auto out = policy->step(in);
+    in.fan_speed_cmd = out.fan_speed_cmd;
+    in.cpu_cap = out.cpu_cap;
+    benchmark::DoNotOptimize(out);
+  }
+}
+BENCHMARK(BM_FullDtmPolicyStep);
+
+void BM_SimulatedHour(benchmark::State& state) {
+  for (auto _ : state) {
+    Rng rng(5);
+    Server server = Server::table1_defaults(rng);
+    SolutionConfig cfg;
+    const auto policy = make_solution(SolutionKind::kRuleFixed, cfg);
+    SquareNoiseParams wl;
+    wl.duration_s = 3600.0;
+    const auto workload = make_square_noise_workload(wl, rng);
+    SimulationParams sim;
+    sim.duration_s = 3600.0;
+    sim.record_trace = false;
+    benchmark::DoNotOptimize(run_simulation(server, *policy, *workload, sim));
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()) * 72000);
+}
+BENCHMARK(BM_SimulatedHour)->Unit(benchmark::kMillisecond);
+
+}  // namespace
+
+BENCHMARK_MAIN();

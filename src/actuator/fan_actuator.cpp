@@ -1,0 +1,40 @@
+#include "actuator/fan_actuator.hpp"
+
+#include <cmath>
+
+#include "util/units.hpp"
+
+namespace fsc {
+
+FanActuator::FanActuator(FanParams params, double initial_rpm) : params_(params) {
+  require(params.min_rpm >= 0.0, "FanActuator: min rpm must be >= 0");
+  require(params.max_rpm > params.min_rpm, "FanActuator: max rpm must exceed min");
+  require(params.slew_rpm_per_s > 0.0, "FanActuator: slew must be > 0");
+  actual_rpm_ = clamp(initial_rpm, params.min_rpm, params.max_rpm);
+  commanded_rpm_ = actual_rpm_;
+}
+
+void FanActuator::command(double rpm) noexcept {
+  commanded_rpm_ = clamp(rpm, params_.min_rpm, params_.max_rpm);
+}
+
+void FanActuator::step(double dt) {
+  require(dt >= 0.0, "FanActuator: dt must be >= 0");
+  const double max_delta = params_.slew_rpm_per_s * dt;
+  const double delta = commanded_rpm_ - actual_rpm_;
+  if (std::fabs(delta) <= max_delta) {
+    actual_rpm_ = commanded_rpm_;
+  } else {
+    actual_rpm_ += delta > 0.0 ? max_delta : -max_delta;
+  }
+}
+
+bool FanActuator::settled() const noexcept {
+  return std::fabs(commanded_rpm_ - actual_rpm_) < 0.5;
+}
+
+double FanActuator::transition_time() const noexcept {
+  return std::fabs(commanded_rpm_ - actual_rpm_) / params_.slew_rpm_per_s;
+}
+
+}  // namespace fsc

@@ -1,0 +1,60 @@
+// Fan actuator with slew-rate-limited transitions.
+//
+// Real fans cannot jump between speeds: the paper's single-step scheme
+// exists precisely because reaching a new speed takes
+// N_fan_trans * t_fan_interval (§V-C).  The actuator tracks a commanded
+// speed with a bounded rate of change and enforces the [min, max] envelope.
+#pragma once
+
+namespace fsc {
+
+/// Physical fan speed limits and dynamics.
+struct FanParams {
+  /// Server fans cannot run below ~18 % duty while the machine is on; at
+  /// 1500 rpm the idle (96 W) junction settles at ~77 degC, so the floor
+  /// itself is thermally survivable (500 rpm would mean 105 degC at idle).
+  double min_rpm = 1500.0;
+  double max_rpm = 8500.0;   ///< Table I
+  /// Full-range ramp in ~7 s, typical of server fan PWM control.  The long
+  /// transients §V-C worries about come from the 30 s decision period and
+  /// the 10 s telemetry lag, not the rotor inertia.
+  double slew_rpm_per_s = 1000.0;
+};
+
+/// Rate-limited first-order actuator: actual speed moves toward the command
+/// at most `slew` rpm per second.
+class FanActuator {
+ public:
+  /// Start at `initial_rpm` (clamped into [min, max]).
+  /// Throws std::invalid_argument when params are inconsistent
+  /// (min < 0, max <= min, slew <= 0).
+  FanActuator(FanParams params, double initial_rpm);
+
+  /// Set the commanded speed (clamped into [min, max]).
+  void command(double rpm) noexcept;
+
+  /// Advance the actuator by dt seconds.  Throws std::invalid_argument when
+  /// dt < 0.
+  void step(double dt);
+
+  /// The speed the blades are actually spinning at.
+  double speed() const noexcept { return actual_rpm_; }
+
+  /// The most recent commanded speed.
+  double commanded() const noexcept { return commanded_rpm_; }
+
+  /// True when the actual speed has reached the command (within 0.5 rpm).
+  bool settled() const noexcept;
+
+  /// Seconds needed to move from the current actual speed to the command.
+  double transition_time() const noexcept;
+
+  const FanParams& params() const noexcept { return params_; }
+
+ private:
+  FanParams params_;
+  double commanded_rpm_;
+  double actual_rpm_;
+};
+
+}  // namespace fsc

@@ -1,0 +1,83 @@
+#include "core/adaptive_pid_fan.hpp"
+
+#include <cmath>
+
+#include "util/units.hpp"
+
+namespace fsc {
+
+AdaptivePidFanController::AdaptivePidFanController(GainSchedule schedule,
+                                                   AdaptivePidFanParams params,
+                                                   double initial_speed_rpm)
+    : schedule_(std::move(schedule)),
+      params_(params),
+      pid_(schedule_.lookup(initial_speed_rpm).gains,
+           clamp(initial_speed_rpm, params.min_speed_rpm, params.max_speed_rpm),
+           params.min_speed_rpm, params.max_speed_rpm),
+      initial_speed_(clamp(initial_speed_rpm, params.min_speed_rpm, params.max_speed_rpm)) {
+  require(params.max_speed_rpm > params.min_speed_rpm,
+          "AdaptivePidFanController: max speed must exceed min");
+}
+
+double AdaptivePidFanController::decide(const FanControlInput& in) {
+  // Quantization-error elimination (Eqn. 10): within one ADC step of the
+  // reference, the measurement carries no usable error signal.
+  double error = in.measured_temp - in.reference_temp;
+  last_held_ = false;
+  if (params_.enable_quantization_guard &&
+      std::fabs(error) < in.quantization_step) {
+    last_held_ = true;
+    if (params_.guard_mode == QuantizationGuardMode::kFreezeOutput) {
+      // The paper's literal hold.  The error is still noted so the
+      // derivative term sees a continuous history when control resumes.
+      pid_.note_error(error);
+      return clamp(in.current_speed, params_.min_speed_rpm, params_.max_speed_rpm);
+    }
+    error = 0.0;  // kZeroError: run the PID on a dead-banded error
+  }
+
+  if (params_.enable_gain_schedule) {
+    const ScheduledGains sched = schedule_.lookup(in.current_speed);
+    std::size_t next_region = sched.region_index;
+    if (region_initialised_ && next_region != active_region_) {
+      // Hysteresis: only accept the switch once the speed is clearly past
+      // the boundary between the two regions, so an operating point near a
+      // boundary does not flap (each flap would reset the integral).
+      const std::size_t a = active_region_ < next_region ? active_region_ : next_region;
+      const std::size_t b = active_region_ < next_region ? next_region : active_region_;
+      if (b == a + 1) {
+        const double lo_ref = schedule_.region(a).ref_speed_rpm;
+        const double hi_ref = schedule_.region(b).ref_speed_rpm;
+        const double boundary = 0.5 * (lo_ref + hi_ref);
+        const double margin = params_.region_switch_hysteresis * (hi_ref - lo_ref);
+        if (std::fabs(in.current_speed - boundary) < margin) {
+          next_region = active_region_;  // inside the hysteresis band: hold
+        }
+      }
+    }
+    if (region_initialised_ && next_region != active_region_ &&
+        params_.reset_on_region_change) {
+      // Region change (§IV-B): zero the integral and re-linearise the
+      // output offset at the current operating point (bumpless transfer).
+      pid_.reset();
+      pid_.set_offset(clamp(in.current_speed, params_.min_speed_rpm,
+                            params_.max_speed_rpm));
+    }
+    pid_.set_gains(sched.gains);
+    active_region_ = next_region;
+    region_initialised_ = true;
+  }
+
+  return pid_.step(error);
+}
+
+void AdaptivePidFanController::reset() {
+  pid_.reset();
+  pid_.set_offset(initial_speed_);
+  pid_.set_gains(schedule_.lookup(initial_speed_).gains);
+  active_region_ = 0;
+  region_initialised_ = false;
+  last_held_ = false;
+}
+
+}  // namespace fsc

@@ -1,0 +1,96 @@
+// Controller interfaces shared by the local controllers (fan speed, CPU
+// cap) and the global coordination policies (paper Fig. 2).
+//
+// All controllers are *discrete*: they are invoked at their control period
+// with the firmware-visible (lagged, quantized) measurement and return the
+// next actuator command.  They never see the true junction temperature.
+#pragma once
+
+namespace fsc {
+
+/// Everything a fan-speed controller may consult at a fan decision instant.
+struct FanControlInput {
+  double time_s = 0.0;            ///< absolute simulation time
+  double measured_temp = 0.0;     ///< T_meas: lagged + quantized junction temp
+  double reference_temp = 75.0;   ///< T_ref_fan (possibly adapted per §V-B)
+  double current_speed = 0.0;     ///< s_fan(k): currently commanded speed
+  double quantization_step = 1.0; ///< |T_Q| of the sensor ADC (Eqn. 10)
+};
+
+/// A local fan-speed controller: measurement in, next speed command out.
+class FanController {
+ public:
+  virtual ~FanController() = default;
+
+  /// Decide s_fan(k+1).  Implementations clamp into their configured
+  /// [min, max] speed envelope.
+  virtual double decide(const FanControlInput& in) = 0;
+
+  /// Discard dynamic state (integrators, previous errors).
+  virtual void reset() = 0;
+};
+
+/// Everything the CPU-cap controller may consult at a CPU decision instant.
+struct CapControlInput {
+  double time_s = 0.0;
+  double measured_temp = 0.0;  ///< T_meas (same non-ideal pipeline)
+  double current_cap = 1.0;    ///< u_hat_cpu(k)
+};
+
+/// A local CPU utilization capper.
+class CpuCapController {
+ public:
+  virtual ~CpuCapController() = default;
+
+  /// Decide u_hat_cpu(k+1) in [0, 1].
+  virtual double decide(const CapControlInput& in) = 0;
+
+  /// Discard dynamic state.
+  virtual void reset() = 0;
+
+  /// Optionally retarget the comfort zone at runtime.  The global
+  /// controller couples the zone floor to the fan reference when the
+  /// adaptive set point is active (a throttled cap must be able to recover
+  /// while the fan parks the temperature at T_ref).  Default: no-op for
+  /// cappers without a zone.
+  virtual void set_comfort_zone(double /*t_low*/, double /*t_high*/) {}
+};
+
+/// Inputs delivered to a DTM policy every CPU control period (1 s).
+struct DtmInputs {
+  double time_s = 0.0;
+  double measured_temp = 0.0;      ///< lagged + quantized junction temperature
+  double quantization_step = 1.0;  ///< ADC step of the measurement pipeline
+  double fan_speed_cmd = 0.0;      ///< currently commanded fan speed
+  double fan_speed_actual = 0.0;   ///< speed the blades have actually reached
+  double cpu_cap = 1.0;            ///< current cap
+  double demand = 0.0;             ///< utilization the workload asked for
+  double executed = 0.0;           ///< min(demand, cap): what actually ran
+  double last_degradation = 0.0;   ///< max(0, demand - cap) last period (§V-C)
+};
+
+/// Outputs of a DTM policy: the two control variables of Fig. 2.
+struct DtmOutputs {
+  double fan_speed_cmd = 0.0;
+  double cpu_cap = 1.0;
+};
+
+/// A complete dynamic-thermal-management policy: the composition of local
+/// controllers plus (optionally) global coordination.  step() is called
+/// once per CPU control period; implementations internally divide down to
+/// the 30 s fan control period.
+class DtmPolicy {
+ public:
+  virtual ~DtmPolicy() = default;
+
+  virtual DtmOutputs step(const DtmInputs& in) = 0;
+
+  /// Discard all dynamic state.
+  virtual void reset() = 0;
+
+  /// The fan reference temperature currently in force (for tracing; the
+  /// adaptive set-point scheme of §V-B changes it at runtime).
+  virtual double reference_temp() const = 0;
+};
+
+}  // namespace fsc

@@ -1,0 +1,33 @@
+#include "core/cpu_capper.hpp"
+
+#include "util/units.hpp"
+
+namespace fsc {
+
+DeadzoneCpuCapper::DeadzoneCpuCapper(CpuCapperParams params) : params_(params) {
+  require(params.t_high_celsius > params.t_low_celsius,
+          "DeadzoneCpuCapper: t_high must exceed t_low");
+  require(params.step > 0.0, "DeadzoneCpuCapper: step must be > 0");
+  require(params.min_cap >= 0.0 && params.max_cap <= 1.0,
+          "DeadzoneCpuCapper: caps must lie in [0, 1]");
+  require(params.max_cap > params.min_cap,
+          "DeadzoneCpuCapper: max cap must exceed min cap");
+}
+
+void DeadzoneCpuCapper::set_comfort_zone(double t_low, double t_high) {
+  require(t_high > t_low, "DeadzoneCpuCapper: t_high must exceed t_low");
+  params_.t_low_celsius = t_low;
+  params_.t_high_celsius = t_high;
+}
+
+double DeadzoneCpuCapper::decide(const CapControlInput& in) {
+  double next = in.current_cap;
+  if (in.measured_temp > params_.t_high_celsius) {
+    next -= params_.step;
+  } else if (in.measured_temp < params_.t_low_celsius) {
+    next += params_.step;
+  }
+  return clamp(next, params_.min_cap, params_.max_cap);
+}
+
+}  // namespace fsc

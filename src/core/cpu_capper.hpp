@@ -1,0 +1,52 @@
+// Deadzone-like CPU cap controller (paper §III-A).
+//
+// Two thresholds T_low and T_high delimit the comfort zone.  Above T_high
+// the cap is stepped down (throttle to shed heat); below T_low it is
+// stepped up (give performance back); inside the zone it is held.
+//
+// NOTE (paper erratum): §III-A literally reads "u_cpu is only increased
+// when the measured temperature is higher than T_high" - inverted with
+// respect to the controller's purpose everywhere else in the paper
+// (thermal capping).  We implement the physically meaningful polarity; see
+// DESIGN.md §2.
+#pragma once
+
+#include "core/controller.hpp"
+
+namespace fsc {
+
+/// Configuration of the deadzone capper.  The comfort zone (t_low, t_high)
+/// sits just under the 80 degC junction limit; t_low must stay above the
+/// fan reference temperature in use, or a throttled cap can freeze inside
+/// the zone forever while the fan holds the temperature there.  (The
+/// global controller re-couples t_low to the adapted reference via
+/// set_comfort_zone when §V-B is active.)
+struct CpuCapperParams {
+  double t_low_celsius = 76.0;   ///< below: raise the cap
+  double t_high_celsius = 80.0;  ///< above: lower the cap (thermal limit)
+  double step = 0.05;            ///< cap change per decision
+  double min_cap = 0.1;          ///< never throttle below this
+  double max_cap = 1.0;
+};
+
+/// Deadzone CPU utilization capper.
+class DeadzoneCpuCapper final : public CpuCapController {
+ public:
+  /// Throws std::invalid_argument on inconsistent parameters (t_high <=
+  /// t_low, step <= 0, max_cap <= min_cap, caps outside [0, 1]).
+  explicit DeadzoneCpuCapper(CpuCapperParams params);
+
+  double decide(const CapControlInput& in) override;
+  void reset() override {}
+
+  /// Retarget the comfort zone.  Throws std::invalid_argument when
+  /// t_high <= t_low.
+  void set_comfort_zone(double t_low, double t_high) override;
+
+  const CpuCapperParams& params() const noexcept { return params_; }
+
+ private:
+  CpuCapperParams params_;
+};
+
+}  // namespace fsc

@@ -1,0 +1,94 @@
+// E-coord baseline: energy-aware coordination in the style of Ayoub et
+// al., "JETC: joint energy thermal and cooling management" (HPCA 2011) -
+// the comparison point of the paper's Table III.
+//
+// Per the paper's experimental setup ("For fair comparison, we use the
+// proposed fan speed control scheme in all solutions"), E-coord runs the
+// SAME local controllers as the rule-based scheme - the §IV adaptive PID
+// fan controller and the deadzone capper - and differs only in how
+// conflicting local proposals are arbitrated: by *cooling efficiency*
+// (temperature reduction per joule of additional energy) instead of by
+// the performance-first rules of Table II.
+//
+//   * fan-up vs cap-down (thermal emergency): throttling the CPU cools
+//     while SAVING energy, so it always dominates spinning the fan harder
+//     - exactly the behaviour the paper criticises ("it can lead to huge
+//     performance degradation as it does not take into account the impact
+//     to the performance degradation").
+//   * fan-down vs cap-up (recovery): shedding fan power (cubic) beats
+//     restoring the cap (which costs linear CPU power), so performance
+//     recovery is deferred until the fan has finished harvesting energy.
+//
+// The efficiency ranking needs plant models (JETC is model-based, unlike
+// the paper's model-free PID), so the policy owns copies of them.
+#pragma once
+
+#include <memory>
+
+#include "core/controller.hpp"
+#include "power/cpu_power.hpp"
+#include "power/fan_power.hpp"
+#include "thermal/server_thermal_model.hpp"
+
+namespace fsc {
+
+/// E-coord configuration.
+struct ECoordParams {
+  double cpu_period_s = 1.0;
+  double fan_period_s = 30.0;            ///< fan actuation granularity
+  double reference_celsius = 75.0;       ///< fan controller set point
+  double emergency_celsius = 80.0;       ///< junction limit
+  double fan_step_rpm = 500.0;           ///< efficiency-probe fan increment
+  double cap_step = 0.05;                ///< efficiency-probe cap decrement
+  double min_cap = 0.1;
+  double max_cap = 1.0;
+  double min_speed_rpm = 1500.0;
+  double max_speed_rpm = 8500.0;
+};
+
+/// Energy-greedy coordinated DTM policy (Table III's "E-coord [6]").
+class ECoordPolicy final : public DtmPolicy {
+ public:
+  /// `fan` and `capper` are the same local controllers the other solutions
+  /// use.  Throws std::invalid_argument when either is null or the timing
+  /// parameters are inconsistent.
+  ECoordPolicy(ECoordParams params, std::unique_ptr<FanController> fan,
+               std::unique_ptr<CpuCapController> capper, CpuPowerModel cpu_power,
+               FanPowerModel fan_power, ServerThermalModel thermal);
+
+  DtmOutputs step(const DtmInputs& in) override;
+  void reset() override;
+  double reference_temp() const override { return params_.reference_celsius; }
+
+  /// Cooling efficiency of "fan up one step" at operating point (s, u):
+  /// steady-state junction reduction divided by the fan power increase.
+  double fan_up_efficiency(double fan_rpm, double utilization) const;
+
+  /// Cooling efficiency of "cap down one step": junction reduction divided
+  /// by the power *increase* (negative: throttling saves power, so the
+  /// efficiency is conventionally +infinity; returned as a large sentinel).
+  double cap_down_efficiency(double fan_rpm, double cap) const;
+
+  /// Energy saved per second by "fan down one step" at speed `fan_rpm`.
+  double fan_down_saving(double fan_rpm) const;
+
+  /// Energy cost per second of "cap up one step" (the restored utilization
+  /// is assumed to be used).
+  double cap_up_cost(double cap) const;
+
+  const ECoordParams& params() const noexcept { return params_; }
+
+ private:
+  bool fan_instant() const noexcept { return step_count_ % fan_divider_ == 0; }
+
+  ECoordParams params_;
+  std::unique_ptr<FanController> fan_;
+  std::unique_ptr<CpuCapController> capper_;
+  CpuPowerModel cpu_power_;
+  FanPowerModel fan_power_;
+  ServerThermalModel thermal_;
+  long step_count_ = 0;
+  long fan_divider_ = 30;
+};
+
+}  // namespace fsc

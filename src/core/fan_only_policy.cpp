@@ -1,0 +1,43 @@
+#include "core/fan_only_policy.hpp"
+
+#include <cmath>
+
+#include "util/units.hpp"
+
+namespace fsc {
+
+FanOnlyPolicy::FanOnlyPolicy(std::unique_ptr<FanController> fan,
+                             double reference_celsius, double cpu_period_s,
+                             double fan_period_s, double fixed_cap)
+    : fan_(std::move(fan)),
+      reference_(reference_celsius),
+      fixed_cap_(clamp_utilization(fixed_cap)) {
+  require(static_cast<bool>(fan_), "FanOnlyPolicy: fan controller required");
+  require(cpu_period_s > 0.0, "FanOnlyPolicy: cpu period must be > 0");
+  require(fan_period_s >= cpu_period_s,
+          "FanOnlyPolicy: fan period must be >= cpu period");
+  fan_divider_ = std::lround(fan_period_s / cpu_period_s);
+  if (fan_divider_ < 1) fan_divider_ = 1;
+}
+
+DtmOutputs FanOnlyPolicy::step(const DtmInputs& in) {
+  double fan_cmd = in.fan_speed_cmd;
+  if (step_count_ % fan_divider_ == 0) {
+    FanControlInput fin;
+    fin.time_s = in.time_s;
+    fin.measured_temp = in.measured_temp;
+    fin.reference_temp = reference_;
+    fin.current_speed = in.fan_speed_cmd;
+    fin.quantization_step = in.quantization_step;
+    fan_cmd = fan_->decide(fin);
+  }
+  ++step_count_;
+  return DtmOutputs{fan_cmd, fixed_cap_};
+}
+
+void FanOnlyPolicy::reset() {
+  fan_->reset();
+  step_count_ = 0;
+}
+
+}  // namespace fsc

@@ -1,0 +1,38 @@
+// A DTM policy that runs only a fan-speed controller, holding the CPU cap
+// at a fixed value.  Used by the Fig. 3/4 experiments, which study the fan
+// loop in isolation before any coordination enters the picture.
+#pragma once
+
+#include <memory>
+
+#include "core/controller.hpp"
+
+namespace fsc {
+
+/// Fan-controller-only policy: the cap never changes.
+class FanOnlyPolicy final : public DtmPolicy {
+ public:
+  /// `fan_period_s` must be a positive multiple of the CPU period at which
+  /// step() is invoked; the fan controller runs every
+  /// round(fan_period / cpu_period) invocations.
+  /// Throws std::invalid_argument on null controller or bad periods.
+  FanOnlyPolicy(std::unique_ptr<FanController> fan, double reference_celsius,
+                double cpu_period_s = 1.0, double fan_period_s = 30.0,
+                double fixed_cap = 1.0);
+
+  DtmOutputs step(const DtmInputs& in) override;
+  void reset() override;
+  double reference_temp() const override { return reference_; }
+
+  /// Change the reference at runtime (used by sweep benches).
+  void set_reference(double celsius) noexcept { reference_ = celsius; }
+
+ private:
+  std::unique_ptr<FanController> fan_;
+  double reference_;
+  double fixed_cap_;
+  long fan_divider_;
+  long step_count_ = 0;
+};
+
+}  // namespace fsc

@@ -1,0 +1,62 @@
+#include "core/gain_schedule.hpp"
+
+#include <algorithm>
+
+#include "util/units.hpp"
+
+namespace fsc {
+
+GainSchedule::GainSchedule(std::vector<GainRegion> regions)
+    : regions_(std::move(regions)) {
+  require(!regions_.empty(), "GainSchedule: at least one region required");
+  std::sort(regions_.begin(), regions_.end(),
+            [](const GainRegion& a, const GainRegion& b) {
+              return a.ref_speed_rpm < b.ref_speed_rpm;
+            });
+  for (std::size_t i = 1; i < regions_.size(); ++i) {
+    require(regions_[i].ref_speed_rpm > regions_[i - 1].ref_speed_rpm,
+            "GainSchedule: duplicate region reference speed");
+  }
+}
+
+std::size_t GainSchedule::nearest_region(double rpm) const noexcept {
+  // Boundaries sit at the midpoints between adjacent reference speeds.
+  std::size_t i = 0;
+  while (i + 1 < regions_.size() &&
+         rpm >= 0.5 * (regions_[i].ref_speed_rpm + regions_[i + 1].ref_speed_rpm)) {
+    ++i;
+  }
+  return i;
+}
+
+ScheduledGains GainSchedule::lookup(double rpm) const {
+  ScheduledGains out;
+  out.region_index = nearest_region(rpm);
+  if (regions_.size() == 1 || rpm <= regions_.front().ref_speed_rpm) {
+    out.gains = regions_.front().gains;
+    out.bracket_index = 0;
+    out.alpha = 0.0;
+    return out;
+  }
+  if (rpm >= regions_.back().ref_speed_rpm) {
+    out.gains = regions_.back().gains;
+    out.bracket_index = regions_.size() - 2;
+    out.alpha = 1.0;
+    return out;
+  }
+  // Find the bracketing pair s_ref(i) <= rpm < s_ref(i+1).
+  std::size_t i = 0;
+  while (i + 1 < regions_.size() && regions_[i + 1].ref_speed_rpm <= rpm) ++i;
+  const GainRegion& lo = regions_[i];
+  const GainRegion& hi = regions_[i + 1];
+  const double alpha =
+      (rpm - lo.ref_speed_rpm) / (hi.ref_speed_rpm - lo.ref_speed_rpm);  // Eqn. 9
+  out.gains.kp = lerp(lo.gains.kp, hi.gains.kp, alpha);                  // Eqn. 8
+  out.gains.ki = lerp(lo.gains.ki, hi.gains.ki, alpha);
+  out.gains.kd = lerp(lo.gains.kd, hi.gains.kd, alpha);
+  out.bracket_index = i;
+  out.alpha = alpha;
+  return out;
+}
+
+}  // namespace fsc

@@ -1,0 +1,66 @@
+// Gain scheduling over fan-speed regions (paper §IV-B, Eqns. 8-9).
+//
+// A set of PID gains tuned at one fan speed is only valid near that speed
+// because Rhs(v) - and with it the loop gain - varies nonlinearly.  The
+// schedule stores per-region tunings at reference speeds s_ref(i) (sorted
+// ascending) and interpolates linearly between the two regions bracketing
+// the current operating speed:
+//
+//   K(k)  = (1 - a(k)) K(i) + a(k) K(i+1)
+//   a(k)  = (s_fan(k) - s_ref(i)) / (s_ref(i+1) - s_ref(i))
+//
+// Below the first region or above the last, the nearest region's gains are
+// used unscaled.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "core/pid.hpp"
+
+namespace fsc {
+
+/// One tuned operating region.
+struct GainRegion {
+  double ref_speed_rpm = 0.0;  ///< s_ref(i): speed the tuning was done at
+  PidGains gains;
+};
+
+/// Result of a schedule lookup: the blended gains plus region identity.
+///
+/// `region_index` is the *nearest* tuned region (boundaries at the
+/// midpoints between reference speeds); the §IV-B integral reset fires when
+/// this changes.  `bracket_index`/`alpha` describe the interpolation pair
+/// of Eqns. 8-9.
+struct ScheduledGains {
+  PidGains gains;
+  std::size_t region_index = 0;   ///< nearest tuned region (reset detection)
+  std::size_t bracket_index = 0;  ///< index i of the lower bracketing region
+  double alpha = 0.0;             ///< interpolation weight a(k) in [0, 1]
+};
+
+/// Piecewise-linear gain schedule.
+class GainSchedule {
+ public:
+  /// Build from regions; they are sorted by reference speed internally.
+  /// Throws std::invalid_argument when `regions` is empty or two regions
+  /// share a reference speed.
+  explicit GainSchedule(std::vector<GainRegion> regions);
+
+  /// Gains for operating speed `rpm` per Eqns. 8-9.
+  ScheduledGains lookup(double rpm) const;
+
+  /// Index of the tuned region nearest to `rpm` (midpoint boundaries).
+  std::size_t nearest_region(double rpm) const noexcept;
+
+  /// Number of regions.
+  std::size_t size() const noexcept { return regions_.size(); }
+
+  /// Region access (ascending reference speed).
+  const GainRegion& region(std::size_t i) const { return regions_.at(i); }
+
+ private:
+  std::vector<GainRegion> regions_;
+};
+
+}  // namespace fsc

@@ -1,0 +1,140 @@
+#include "core/global_controller.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/units.hpp"
+
+namespace fsc {
+
+GlobalController::GlobalController(GlobalControllerParams params,
+                                   std::unique_ptr<FanController> fan,
+                                   std::unique_ptr<CpuCapController> capper,
+                                   std::optional<SetpointAdapter> setpoint,
+                                   std::optional<SingleStepScaler> scaler)
+    : params_(params),
+      fan_(std::move(fan)),
+      capper_(std::move(capper)),
+      setpoint_(std::move(setpoint)),
+      scaler_(std::move(scaler)) {
+  require(static_cast<bool>(fan_), "GlobalController: fan controller required");
+  require(static_cast<bool>(capper_), "GlobalController: cap controller required");
+  require(params.cpu_period_s > 0.0, "GlobalController: cpu period must be > 0");
+  require(params.fan_period_s >= params.cpu_period_s,
+          "GlobalController: fan period must be >= cpu period");
+  require(!params.adaptive_setpoint || setpoint_.has_value(),
+          "GlobalController: adaptive setpoint enabled but no adapter supplied");
+  require(!params.single_step || scaler_.has_value(),
+          "GlobalController: single-step enabled but no scaler supplied");
+  fan_divider_ = std::lround(params.fan_period_s / params.cpu_period_s);
+  if (fan_divider_ < 1) fan_divider_ = 1;
+}
+
+bool GlobalController::fan_instant() const noexcept {
+  return step_count_ % fan_divider_ == 0;
+}
+
+double GlobalController::reference_temp() const {
+  if (params_.adaptive_setpoint && setpoint_) return setpoint_->reference_temp();
+  return params_.fixed_reference_celsius;
+}
+
+DtmOutputs GlobalController::step(const DtmInputs& in) {
+  // Feed the predictor with the *demanded* utilization (run-queue demand),
+  // not the executed one: predicting from the throttled value would close
+  // a positive-feedback loop through the capper (throttle -> low
+  // prediction -> low T_ref -> max fan -> ...), which destabilises the
+  // set-point adaptation.
+  if (setpoint_) setpoint_->observe(in.demand);
+
+  // With the adaptive set point active, couple the capper's comfort-zone
+  // floor to the reference so a throttled cap can always recover while the
+  // fan parks the junction at T_ref (one quantization step above it, and
+  // never on top of the 80 degC emergency threshold).
+  if (params_.adaptive_setpoint && setpoint_) {
+    const double floor = std::min(reference_temp() + 1.0, 79.0);
+    capper_->set_comfort_zone(floor, 80.0);
+  }
+
+  // Local proposal 1: CPU cap (every CPU period).
+  const double cap_proposed = capper_->decide(
+      CapControlInput{in.time_s, in.measured_temp, in.cpu_cap});
+
+  // Local proposal 2: fan speed.  The PID runs at fan instants; the
+  // single-step scaler is consulted every period so a spike is answered
+  // within one CPU period, not one fan period (§V-C).
+  double fan_proposed = in.fan_speed_cmd;
+  const double t_ref = reference_temp();
+  bool overridden = false;
+  if (params_.single_step && scaler_) {
+    const double u_pred =
+        setpoint_ ? setpoint_->predicted_utilization() : in.executed;
+    // The release decision is evaluated only at fan instants so the
+    // emergency exit happens on the controller's own clock; engagement is
+    // immediate.
+    if (scaler_->active() || in.last_degradation > scaler_->params().degradation_threshold) {
+      if (scaler_->active() && !fan_instant()) {
+        fan_proposed = scaler_->params().max_speed_rpm;
+        overridden = true;
+      } else {
+        const auto cmd = scaler_->step(in.last_degradation, in.measured_temp, t_ref,
+                                       u_pred);
+        if (cmd) {
+          fan_proposed = *cmd;
+          overridden = true;
+        }
+      }
+    }
+  }
+  if (!overridden && fan_instant()) {
+    FanControlInput fin;
+    fin.time_s = in.time_s;
+    fin.measured_temp = in.measured_temp;
+    fin.reference_temp = t_ref;
+    fin.current_speed = in.fan_speed_cmd;
+    fin.quantization_step = in.quantization_step;
+    fan_proposed = fan_->decide(fin);
+  }
+
+  ++step_count_;
+
+  if (!params_.coordinate) {
+    // "w/o coordination": both local decisions applied simultaneously.
+    last_action_ = CoordinationAction::kNone;
+    return DtmOutputs{fan_proposed, cap_proposed};
+  }
+
+  // Coordinate against the *actual* fan speed, not the commanded one: a
+  // fan-speed change is in progress for the whole N_trans transient, and
+  // §V-A's rationale ("the adjustment of the fan speed happens
+  // infrequently, which leads to greater performance degradation ... once
+  // the fan speed sets too low") applies throughout it.  While the blades
+  // are still ramping up, the fan-up action owns the step and the cap is
+  // left alone.
+  const CoordinatedDecision d = coordinate_and_apply(
+      in.fan_speed_actual, fan_proposed, in.cpu_cap, cap_proposed,
+      /*tolerance_rpm=*/1.0);
+  last_action_ = d.action;
+  // When the fan action wins, apply the proposal; otherwise keep the
+  // previous command (the actuator keeps slewing toward it - dropping back
+  // to the actual speed would cancel the in-flight transition the rule
+  // just prioritised).
+  const bool fan_wins = d.action == CoordinationAction::kFanUp ||
+                        d.action == CoordinationAction::kFanDown;
+  return DtmOutputs{fan_wins ? d.fan_speed : in.fan_speed_cmd, d.cpu_cap};
+}
+
+void GlobalController::reset() {
+  fan_->reset();
+  capper_->reset();
+  if (setpoint_) setpoint_->reset();
+  if (scaler_) scaler_->reset();
+  step_count_ = 0;
+  last_action_ = CoordinationAction::kNone;
+}
+
+bool GlobalController::single_step_active() const noexcept {
+  return scaler_ && scaler_->active();
+}
+
+}  // namespace fsc

@@ -1,0 +1,75 @@
+// The global DTM controller (paper Fig. 2 + §V).
+//
+// Composes the two local controllers - the §IV fan controller at the 30 s
+// fan period and the deadzone CPU capper at the 1 s CPU period - and
+// optionally layers the three §V mechanisms on top:
+//
+//   * rule-based coordination (Table II): one variable changes per step;
+//   * predictive set-point adaptation of T_ref_fan (§V-B);
+//   * single-step fan speed scaling on measured degradation (§V-C).
+//
+// With coordination disabled the same class is the paper's "w/o
+// coordination" baseline (both local decisions applied independently).
+#pragma once
+
+#include <memory>
+#include <optional>
+
+#include "core/controller.hpp"
+#include "core/rule_table.hpp"
+#include "core/setpoint_adapter.hpp"
+#include "core/single_step.hpp"
+
+namespace fsc {
+
+/// Composition switches and timing.
+struct GlobalControllerParams {
+  double cpu_period_s = 1.0;    ///< capper decision interval (§VI-A)
+  double fan_period_s = 30.0;   ///< fan decision interval (§VI-A)
+  double fixed_reference_celsius = 75.0;  ///< T_ref_fan when not adaptive
+  bool coordinate = true;             ///< §V-A rule table on/off
+  bool adaptive_setpoint = false;     ///< §V-B on/off
+  bool single_step = false;           ///< §V-C on/off
+};
+
+/// The composed DTM policy.
+class GlobalController final : public DtmPolicy {
+ public:
+  /// `fan` and `capper` are required.  `setpoint` must be provided when
+  /// params.adaptive_setpoint, `scaler` when params.single_step; a
+  /// std::invalid_argument is thrown otherwise.
+  GlobalController(GlobalControllerParams params, std::unique_ptr<FanController> fan,
+                   std::unique_ptr<CpuCapController> capper,
+                   std::optional<SetpointAdapter> setpoint,
+                   std::optional<SingleStepScaler> scaler);
+
+  DtmOutputs step(const DtmInputs& in) override;
+  void reset() override;
+
+  /// The fan reference temperature in force for the next fan decision.
+  double reference_temp() const override;
+
+  /// The coordination action applied at the most recent step (kNone when
+  /// coordination is disabled).
+  CoordinationAction last_action() const noexcept { return last_action_; }
+
+  /// True while the single-step scaler holds the fan at maximum.
+  bool single_step_active() const noexcept;
+
+  const GlobalControllerParams& params() const noexcept { return params_; }
+
+ private:
+  /// True when this CPU-period step is also a fan decision instant.
+  bool fan_instant() const noexcept;
+
+  GlobalControllerParams params_;
+  std::unique_ptr<FanController> fan_;
+  std::unique_ptr<CpuCapController> capper_;
+  std::optional<SetpointAdapter> setpoint_;
+  std::optional<SingleStepScaler> scaler_;
+  long step_count_ = 0;
+  long fan_divider_ = 30;
+  CoordinationAction last_action_ = CoordinationAction::kNone;
+};
+
+}  // namespace fsc

@@ -1,0 +1,46 @@
+#include "core/pid.hpp"
+
+#include "util/units.hpp"
+
+namespace fsc {
+
+PidController::PidController(PidGains gains, double output_offset, double output_min,
+                             double output_max)
+    : gains_(gains), offset_(output_offset), out_min_(output_min), out_max_(output_max) {
+  require(output_max > output_min, "PidController: output_max must exceed output_min");
+}
+
+double PidController::step(double error) {
+  const double derivative = have_prev_ ? error - prev_error_ : 0.0;
+  prev_error_ = error;
+  have_prev_ = true;
+
+  // Conditional-integration anti-windup: accept the new integral only when
+  // the resulting command is unsaturated, or when the error pulls the
+  // command back toward the admissible range.  A long saturation episode
+  // (e.g. a load step that pegs the fan) therefore leaves no windup tail.
+  const double tentative_integral = integral_ + error;
+  const double raw = offset_ + gains_.kp * error + gains_.ki * tentative_integral +
+                     gains_.kd * derivative;
+  const bool saturating_high = raw > out_max_ && error > 0.0;
+  const bool saturating_low = raw < out_min_ && error < 0.0;
+  if (!(saturating_high || saturating_low)) {
+    integral_ = tentative_integral;
+  }
+  const double out = offset_ + gains_.kp * error + gains_.ki * integral_ +
+                     gains_.kd * derivative;
+  return clamp(out, out_min_, out_max_);
+}
+
+void PidController::note_error(double error) noexcept {
+  prev_error_ = error;
+  have_prev_ = true;
+}
+
+void PidController::reset() {
+  integral_ = 0.0;
+  prev_error_ = 0.0;
+  have_prev_ = false;
+}
+
+}  // namespace fsc

@@ -1,0 +1,67 @@
+// Discrete PID controller (paper Eqn. 4).
+//
+//   s_fan(k+1) = s_ref + KP*dT(k) + KI*sum_i dT(i) + KD*(dT(k) - dT(k-1))
+//
+// where dT(k) = T_meas(k) - T_ref.  The output offset s_ref linearises the
+// loop around an operating point; the adaptive scheme re-bases it on region
+// changes (§IV-B).
+#pragma once
+
+namespace fsc {
+
+/// Proportional / integral / derivative gains.
+struct PidGains {
+  double kp = 0.0;
+  double ki = 0.0;
+  double kd = 0.0;
+};
+
+/// Positional-form PID with an explicit output offset and anti-windup
+/// clamping of the integral accumulator.
+class PidController {
+ public:
+  /// `output_min`/`output_max` bound the command; the integral term is
+  /// clamped so that KI*sum alone cannot exceed the output span
+  /// (anti-windup).  Throws std::invalid_argument when output_max <=
+  /// output_min.
+  PidController(PidGains gains, double output_offset, double output_min,
+                double output_max);
+
+  /// One control step with error `error` (= measured - reference).
+  /// Returns the clamped command.
+  double step(double error);
+
+  /// Record an error observation without producing a command: the
+  /// derivative memory is updated, the integral and output are untouched.
+  /// The quantization guard (Eqn. 10) uses this while holding the fan so
+  /// the derivative term does not see a stale multi-period jump when
+  /// control resumes.
+  void note_error(double error) noexcept;
+
+  /// Replace the gains (gain scheduling).  Dynamic state is preserved.
+  void set_gains(PidGains gains) noexcept { gains_ = gains; }
+
+  /// Replace the output offset (re-linearisation).
+  void set_offset(double offset) noexcept { offset_ = offset; }
+
+  /// Zero the integral accumulator and the previous-error memory.  The
+  /// adaptive scheme calls this when the operating region changes.
+  void reset();
+
+  PidGains gains() const noexcept { return gains_; }
+  double offset() const noexcept { return offset_; }
+  double integral() const noexcept { return integral_; }
+  double output_min() const noexcept { return out_min_; }
+  double output_max() const noexcept { return out_max_; }
+
+ private:
+  PidGains gains_;
+  double offset_;
+  double out_min_;
+  double out_max_;
+  double integral_ = 0.0;
+  double prev_error_ = 0.0;
+  bool have_prev_ = false;
+};
+
+}  // namespace fsc

@@ -1,0 +1,66 @@
+#include "core/rule_table.hpp"
+
+#include <cmath>
+
+namespace fsc {
+
+CoordinationAction coordinate(double fan_current, double fan_proposed,
+                              double cap_current, double cap_proposed,
+                              double tolerance_rpm, double tolerance_cap) {
+  const double dfan = fan_proposed - fan_current;
+  const double dcap = cap_proposed - cap_current;
+  const bool fan_up = dfan > tolerance_rpm;
+  const bool fan_down = dfan < -tolerance_rpm;
+  const bool cap_up = dcap > tolerance_cap;
+  const bool cap_down = dcap < -tolerance_cap;
+
+  // Column 3 of Table II: a fan increase always wins.
+  if (fan_up) return CoordinationAction::kFanUp;
+
+  if (fan_down) {
+    // Column 1: fan decrease yields only to a cap increase.
+    if (cap_up) return CoordinationAction::kCapUp;
+    return CoordinationAction::kFanDown;
+  }
+
+  // Column 2: fan unchanged - take whatever the capper wants.
+  if (cap_up) return CoordinationAction::kCapUp;
+  if (cap_down) return CoordinationAction::kCapDown;
+  return CoordinationAction::kNone;
+}
+
+CoordinatedDecision coordinate_and_apply(double fan_current, double fan_proposed,
+                                         double cap_current, double cap_proposed,
+                                         double tolerance_rpm, double tolerance_cap) {
+  CoordinatedDecision d;
+  d.action = coordinate(fan_current, fan_proposed, cap_current, cap_proposed,
+                        tolerance_rpm, tolerance_cap);
+  d.fan_speed = fan_current;
+  d.cpu_cap = cap_current;
+  switch (d.action) {
+    case CoordinationAction::kFanUp:
+    case CoordinationAction::kFanDown:
+      d.fan_speed = fan_proposed;
+      break;
+    case CoordinationAction::kCapUp:
+    case CoordinationAction::kCapDown:
+      d.cpu_cap = cap_proposed;
+      break;
+    case CoordinationAction::kNone:
+      break;
+  }
+  return d;
+}
+
+const char* to_string(CoordinationAction action) {
+  switch (action) {
+    case CoordinationAction::kNone: return "none";
+    case CoordinationAction::kFanDown: return "fan-down";
+    case CoordinationAction::kFanUp: return "fan-up";
+    case CoordinationAction::kCapDown: return "cap-down";
+    case CoordinationAction::kCapUp: return "cap-up";
+  }
+  return "unknown";
+}
+
+}  // namespace fsc

@@ -1,0 +1,53 @@
+// Rule-based global coordination (paper Table II, §V-A).
+//
+// Only one control variable may change per global step so that the
+// stability proven for each local controller carries over to the composed
+// system.  The table is biased toward performance:
+//
+//                         fan(k+1)<fan(k)   fan(k+1)=fan(k)   fan(k+1)>fan(k)
+//   cap(k+1) < cap(k)        fan down          cap down          fan up
+//   cap(k+1) = cap(k)        fan down             -              fan up
+//   cap(k+1) > cap(k)        cap up            cap up            fan up
+//
+// i.e. a fan-up request always wins (starving the fan hurts performance
+// for a whole 30 s fan period), and a fan-down request yields to a cap-up
+// request (give performance back before shedding cooling).
+#pragma once
+
+namespace fsc {
+
+/// The single action the global controller applies this step.
+enum class CoordinationAction {
+  kNone,      ///< neither variable changes
+  kFanDown,   ///< apply the fan controller's decrease
+  kFanUp,     ///< apply the fan controller's increase
+  kCapDown,   ///< apply the capper's decrease
+  kCapUp,     ///< apply the capper's increase
+};
+
+/// Decide which local proposal to apply (Table II).  `tolerance_*` define
+/// what counts as "equal" for each variable (fan speeds are rpm, caps are
+/// fractions, so they need different scales).
+CoordinationAction coordinate(double fan_current, double fan_proposed,
+                              double cap_current, double cap_proposed,
+                              double tolerance_rpm = 1e-6,
+                              double tolerance_cap = 1e-9);
+
+/// Apply `action` to the (fan, cap) pair, returning the post-coordination
+/// values: exactly one of the two proposals is taken (or neither).
+struct CoordinatedDecision {
+  double fan_speed = 0.0;
+  double cpu_cap = 0.0;
+  CoordinationAction action = CoordinationAction::kNone;
+};
+
+/// Full coordination step: classify and apply.
+CoordinatedDecision coordinate_and_apply(double fan_current, double fan_proposed,
+                                         double cap_current, double cap_proposed,
+                                         double tolerance_rpm = 1e-6,
+                                         double tolerance_cap = 1e-9);
+
+/// Human-readable action name (for traces and test diagnostics).
+const char* to_string(CoordinationAction action);
+
+}  // namespace fsc

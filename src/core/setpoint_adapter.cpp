@@ -1,0 +1,32 @@
+#include "core/setpoint_adapter.hpp"
+
+#include "util/units.hpp"
+
+namespace fsc {
+
+SetpointAdapter::SetpointAdapter(SetpointAdapterParams params)
+    : SetpointAdapter(params, std::make_unique<MovingAveragePredictor>(
+                                  params.predictor_window, params.initial_utilization)) {}
+
+SetpointAdapter::SetpointAdapter(SetpointAdapterParams params,
+                                 std::unique_ptr<UtilizationPredictor> predictor)
+    : params_(params), predictor_(std::move(predictor)) {
+  require(params.t_ref_max_celsius > params.t_ref_min_celsius,
+          "SetpointAdapter: t_ref_max must exceed t_ref_min");
+  require(static_cast<bool>(predictor_), "SetpointAdapter: predictor must be non-null");
+}
+
+void SetpointAdapter::observe(double utilization) { predictor_->observe(utilization); }
+
+double SetpointAdapter::reference_temp() const {
+  const double u = clamp_utilization(predictor_->predict());
+  return lerp(params_.t_ref_min_celsius, params_.t_ref_max_celsius, u);
+}
+
+double SetpointAdapter::predicted_utilization() const {
+  return clamp_utilization(predictor_->predict());
+}
+
+void SetpointAdapter::reset() { predictor_->reset(); }
+
+}  // namespace fsc

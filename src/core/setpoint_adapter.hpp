@@ -1,0 +1,67 @@
+// Predictive set-point adjustment (paper §V-B).
+//
+// The fan reference temperature T_ref_fan is scaled linearly with the
+// *predicted* CPU utilization:
+//   - low predicted load  -> low T_ref (spin the fan a little harder so an
+//     unexpected load spike has thermal headroom);
+//   - high predicted load -> high T_ref (the CPU is already near its cap;
+//     save fan energy).
+// The prediction is a moving average of recent utilization (noise filter).
+#pragma once
+
+#include <memory>
+
+#include "workload/predictor.hpp"
+
+namespace fsc {
+
+/// Configuration of the adaptive set point (the paper's 70-80 degC band).
+///
+/// Note the interplay with the capper's comfort zone (78, 80): at the
+/// workload's sustained peak (u = 0.7) the mapping yields T_ref = 77 degC,
+/// still below t_low = 78, so a throttled cap can always recover.  T_ref
+/// only approaches 80 during transient 100 %-load spikes, which the
+/// emergency path (capper + single-step scaling) owns anyway.
+struct SetpointAdapterParams {
+  double t_ref_min_celsius = 70.0;  ///< T_ref at predicted u = 0 (§VI-A)
+  double t_ref_max_celsius = 80.0;  ///< T_ref at predicted u = 1 (§VI-A)
+  /// Moving-average length in CPU periods.  Long enough that a transient
+  /// 100 %-load spike does not drag T_ref to the top of the band (the
+  /// emergency path owns spikes), short enough to track the workload's
+  /// sustained phases.
+  std::size_t predictor_window = 60;
+  double initial_utilization = 0.4; ///< prediction before any observation
+};
+
+/// Maps predicted utilization to a fan reference temperature.
+class SetpointAdapter {
+ public:
+  /// Throws std::invalid_argument when t_ref_max <= t_ref_min or the
+  /// predictor parameters are invalid.
+  explicit SetpointAdapter(SetpointAdapterParams params);
+
+  /// As above but with a caller-supplied predictor (ablations use EWMA).
+  SetpointAdapter(SetpointAdapterParams params,
+                  std::unique_ptr<UtilizationPredictor> predictor);
+
+  /// Record the utilization observed in the period that just ended.
+  void observe(double utilization);
+
+  /// The reference temperature for the next fan decision:
+  ///   T_ref = T_min + (T_max - T_min) * u_predicted.
+  double reference_temp() const;
+
+  /// The current one-step-ahead utilization prediction.
+  double predicted_utilization() const;
+
+  /// Forget all history.
+  void reset();
+
+  const SetpointAdapterParams& params() const noexcept { return params_; }
+
+ private:
+  SetpointAdapterParams params_;
+  std::unique_ptr<UtilizationPredictor> predictor_;
+};
+
+}  // namespace fsc

@@ -1,0 +1,39 @@
+#include "core/single_step.hpp"
+
+#include "util/units.hpp"
+
+namespace fsc {
+
+SingleStepScaler::SingleStepScaler(SingleStepParams params, MinSafeSpeedFn min_safe_speed)
+    : params_(params), min_safe_speed_(std::move(min_safe_speed)) {
+  require(params.degradation_threshold >= 0.0,
+          "SingleStepScaler: threshold must be >= 0");
+  require(params.max_speed_rpm > 0.0, "SingleStepScaler: max speed must be > 0");
+  require(static_cast<bool>(min_safe_speed_),
+          "SingleStepScaler: min_safe_speed must be non-empty");
+}
+
+std::optional<double> SingleStepScaler::step(double last_degradation,
+                                             double measured_temp,
+                                             double reference_temp,
+                                             double predicted_utilization) {
+  if (!active_) {
+    if (last_degradation > params_.degradation_threshold) {
+      active_ = true;
+      return params_.max_speed_rpm;  // the single step to maximum
+    }
+    return std::nullopt;
+  }
+  // Engaged: hold max speed until the degradation is gone and the measured
+  // temperature has genuinely recovered below the reference.
+  const bool recovered =
+      last_degradation <= 0.0 &&
+      measured_temp <= reference_temp - params_.release_margin_celsius;
+  if (!recovered) return params_.max_speed_rpm;
+  active_ = false;
+  // Release step: drop to the lowest speed that can sustain the predicted
+  // load without a temperature violation; the PID resumes from there.
+  return min_safe_speed_(clamp_utilization(predicted_utilization));
+}
+
+}  // namespace fsc

@@ -1,0 +1,65 @@
+// Single-step fan speed scaling (paper §V-C).
+//
+// Server workload spikes are much faster than the fan control settling
+// time (N_fan_trans * t_fan_interval).  When the *measured* performance
+// degradation exceeds a threshold, the fan is driven straight to maximum
+// speed in one step - bounding the degradation accumulated during the
+// transient - and, once the emergency clears, it is released to "the lowest
+// possible fan speed which enables [the server] to run the required CPU
+// utilization without any temperature violation".
+//
+// That release speed is a model query (steady-state junction temperature
+// vs fan speed); the scaler takes it as an injected function so the core
+// stays decoupled from any particular plant.
+#pragma once
+
+#include <functional>
+#include <optional>
+
+namespace fsc {
+
+/// Configuration of the single-step scaler.
+struct SingleStepParams {
+  /// Trigger: last period's degradation (demanded - capped utilization)
+  /// above which the fan jumps to max.
+  double degradation_threshold = 0.05;
+  double max_speed_rpm = 8500.0;
+  /// Release requires the measured temperature to be at or below the
+  /// reference minus this margin (so the PID resumes inside its comfort
+  /// zone, not on the edge of another emergency).
+  double release_margin_celsius = 1.0;
+};
+
+/// Computes the lowest fan speed whose steady-state junction temperature
+/// stays within the thermal limit at the given utilization.
+using MinSafeSpeedFn = std::function<double(double utilization)>;
+
+/// Stateful emergency override for the fan command.
+class SingleStepScaler {
+ public:
+  /// Throws std::invalid_argument when the threshold is negative, the max
+  /// speed is non-positive, or `min_safe_speed` is empty.
+  SingleStepScaler(SingleStepParams params, MinSafeSpeedFn min_safe_speed);
+
+  /// Consult the scaler at a fan decision instant.  Returns the overriding
+  /// fan command while engaged (max speed during the emergency, then the
+  /// computed floor speed on the release step), or nullopt when the normal
+  /// fan controller should act.
+  std::optional<double> step(double last_degradation, double measured_temp,
+                             double reference_temp, double predicted_utilization);
+
+  /// True while the override is engaged.
+  bool active() const noexcept { return active_; }
+
+  /// Forget the engagement state.
+  void reset() noexcept { active_ = false; }
+
+  const SingleStepParams& params() const noexcept { return params_; }
+
+ private:
+  SingleStepParams params_;
+  MinSafeSpeedFn min_safe_speed_;
+  bool active_ = false;
+};
+
+}  // namespace fsc

@@ -1,0 +1,112 @@
+#include "core/solutions.hpp"
+
+#include <stdexcept>
+
+namespace fsc {
+
+std::string to_string(SolutionKind kind) {
+  switch (kind) {
+    case SolutionKind::kUncoordinated: return "w/o coordination (baseline)";
+    case SolutionKind::kECoord: return "E-coord [6]";
+    case SolutionKind::kRuleFixed: return "R-coord (@ Tref = 75C)";
+    case SolutionKind::kRuleAdaptiveTref: return "R-coord + A-Tref";
+    case SolutionKind::kRuleAdaptiveTrefSingleStep: return "R-coord + A-Tref + SSfan";
+  }
+  throw std::invalid_argument("to_string: unknown SolutionKind");
+}
+
+std::vector<SolutionKind> all_solutions() {
+  return {SolutionKind::kUncoordinated, SolutionKind::kECoord,
+          SolutionKind::kRuleFixed, SolutionKind::kRuleAdaptiveTref,
+          SolutionKind::kRuleAdaptiveTrefSingleStep};
+}
+
+GainSchedule SolutionConfig::default_gain_schedule() {
+  // Ziegler-Nichols tunings produced by the tuning harness (the tuning_lab
+  // example regenerates them) against the Table I plant with the 10 s
+  // sensor lag in the loop, discretized at the 30 s fan period:
+  // (first-step response normalized to 0.45 Ku; see tune_pid):
+  //   2000 rpm: Ku = 1225.6, Pu = 120 s -> KP 275.8,  KI 137.9, KD 137.9
+  //   6000 rpm: Ku = 4937.0, Pu = 120 s -> KP 1110.8, KI 555.4, KD 555.4
+  // These are the paper's own two regions: on the calibrated plant the
+  // whole 70-80 degC operating window maps into 1870-6000 rpm and the
+  // two-region schedule keeps the linearization error within the paper's
+  // 5 % budget (§IV-B).
+  std::vector<GainRegion> regions;
+  regions.push_back(GainRegion{2000.0, PidGains{275.8, 137.9, 137.9}});
+  regions.push_back(GainRegion{6000.0, PidGains{1110.8, 555.4, 555.4}});
+  return GainSchedule(std::move(regions));
+}
+
+std::unique_ptr<AdaptivePidFanController> make_fan_controller(const SolutionConfig& cfg) {
+  return std::make_unique<AdaptivePidFanController>(cfg.gain_schedule, cfg.fan_params,
+                                                    cfg.initial_fan_rpm);
+}
+
+namespace {
+
+std::unique_ptr<DtmPolicy> make_global(const SolutionConfig& cfg, bool coordinate,
+                                       bool adaptive_tref, bool single_step) {
+  GlobalControllerParams gp;
+  gp.cpu_period_s = cfg.cpu_period_s;
+  gp.fan_period_s = cfg.fan_period_s;
+  gp.fixed_reference_celsius = cfg.fixed_reference_celsius;
+  gp.coordinate = coordinate;
+  gp.adaptive_setpoint = adaptive_tref;
+  gp.single_step = single_step;
+
+  std::optional<SetpointAdapter> setpoint;
+  if (adaptive_tref) setpoint.emplace(cfg.setpoint_params);
+
+  std::optional<SingleStepScaler> scaler;
+  if (single_step) {
+    // The release speed keeps the steady-state junction 1 degC inside the
+    // thermal limit at the predicted utilization.
+    const CpuPowerModel cpu_power = cfg.cpu_power;
+    const ServerThermalModel thermal = cfg.thermal;
+    const double limit = cfg.thermal_limit_celsius - 1.0;
+    SingleStepParams sp = cfg.single_step_params;
+    sp.max_speed_rpm = cfg.fan_params.max_speed_rpm;
+    scaler.emplace(sp, [cpu_power, thermal, limit](double u) {
+      return thermal.min_speed_for_junction_limit(cpu_power.power(u), limit);
+    });
+  }
+
+  return std::make_unique<GlobalController>(
+      gp, make_fan_controller(cfg),
+      std::make_unique<DeadzoneCpuCapper>(cfg.capper_params), std::move(setpoint),
+      std::move(scaler));
+}
+
+}  // namespace
+
+std::unique_ptr<DtmPolicy> make_solution(SolutionKind kind, const SolutionConfig& cfg) {
+  switch (kind) {
+    case SolutionKind::kUncoordinated:
+      return make_global(cfg, /*coordinate=*/false, /*adaptive_tref=*/false,
+                         /*single_step=*/false);
+    case SolutionKind::kECoord: {
+      ECoordParams ep = cfg.ecoord_params;
+      ep.cpu_period_s = cfg.cpu_period_s;
+      ep.fan_period_s = cfg.fan_period_s;
+      ep.reference_celsius = cfg.fixed_reference_celsius;
+      ep.min_speed_rpm = cfg.fan_params.min_speed_rpm;
+      ep.max_speed_rpm = cfg.fan_params.max_speed_rpm;
+      ep.min_cap = cfg.capper_params.min_cap;
+      ep.max_cap = cfg.capper_params.max_cap;
+      return std::make_unique<ECoordPolicy>(
+          ep, make_fan_controller(cfg),
+          std::make_unique<DeadzoneCpuCapper>(cfg.capper_params), cfg.cpu_power,
+          cfg.fan_power, cfg.thermal);
+    }
+    case SolutionKind::kRuleFixed:
+      return make_global(cfg, true, false, false);
+    case SolutionKind::kRuleAdaptiveTref:
+      return make_global(cfg, true, true, false);
+    case SolutionKind::kRuleAdaptiveTrefSingleStep:
+      return make_global(cfg, true, true, true);
+  }
+  throw std::invalid_argument("make_solution: unknown SolutionKind");
+}
+
+}  // namespace fsc

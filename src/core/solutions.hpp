@@ -1,0 +1,76 @@
+// Factory for the five DTM solutions compared in the paper's Table III.
+//
+//   w/o coordination            fan PID + capper, applied independently
+//   E-coord [6]                 energy-greedy coordination (JETC-style)
+//   R-coord @ T_ref = 75 C      Table II rules, fixed set point
+//   R-coord + A-T_ref           + predictive set-point adaptation (§V-B)
+//   R-coord + A-T_ref + SS_fan  + single-step fan scaling (§V-C)
+//
+// All five share the same §IV fan controller ("For fair comparison, we use
+// the proposed fan speed control scheme in all solutions") and the same
+// deadzone capper; they differ only in the coordination layer.
+#pragma once
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "core/adaptive_pid_fan.hpp"
+#include "core/controller.hpp"
+#include "core/cpu_capper.hpp"
+#include "core/ecoord.hpp"
+#include "core/gain_schedule.hpp"
+#include "core/global_controller.hpp"
+#include "core/setpoint_adapter.hpp"
+#include "core/single_step.hpp"
+#include "power/cpu_power.hpp"
+#include "power/fan_power.hpp"
+#include "thermal/server_thermal_model.hpp"
+
+namespace fsc {
+
+/// The five rows of Table III.
+enum class SolutionKind {
+  kUncoordinated,            ///< baseline
+  kECoord,                   ///< energy-aware coordination [6]
+  kRuleFixed,                ///< R-coord @ T_ref = 75 C
+  kRuleAdaptiveTref,         ///< R-coord + A-T_ref
+  kRuleAdaptiveTrefSingleStep,  ///< R-coord + A-T_ref + SS_fan
+};
+
+/// Display name matching the paper's Table III row labels.
+std::string to_string(SolutionKind kind);
+
+/// All five kinds in Table III row order.
+std::vector<SolutionKind> all_solutions();
+
+/// Shared configuration for building solutions.
+struct SolutionConfig {
+  GainSchedule gain_schedule = default_gain_schedule();
+  AdaptivePidFanParams fan_params;
+  CpuCapperParams capper_params;
+  SetpointAdapterParams setpoint_params;
+  SingleStepParams single_step_params;
+  ECoordParams ecoord_params;
+  double cpu_period_s = 1.0;
+  double fan_period_s = 30.0;
+  double fixed_reference_celsius = 75.0;
+  double thermal_limit_celsius = 80.0;  ///< junction limit for min-safe-speed
+  double initial_fan_rpm = 2000.0;
+  CpuPowerModel cpu_power = CpuPowerModel::table1_defaults();
+  FanPowerModel fan_power = FanPowerModel::table1_defaults();
+  ServerThermalModel thermal = ServerThermalModel::table1_defaults();
+
+  /// The checked-in Ziegler-Nichols tunings at 2000 and 6000 rpm for the
+  /// Table I plant with the full non-ideal sensing chain.  The tuning_lab
+  /// example and the ZN tests regenerate these from scratch.
+  static GainSchedule default_gain_schedule();
+};
+
+/// Build the fan controller used by every solution (§IV design).
+std::unique_ptr<AdaptivePidFanController> make_fan_controller(const SolutionConfig& cfg);
+
+/// Build one Table III solution.
+std::unique_ptr<DtmPolicy> make_solution(SolutionKind kind, const SolutionConfig& cfg);
+
+}  // namespace fsc

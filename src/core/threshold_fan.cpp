@@ -1,0 +1,44 @@
+#include "core/threshold_fan.hpp"
+
+#include "util/units.hpp"
+
+namespace fsc {
+
+SingleThresholdFanController::SingleThresholdFanController(double threshold_celsius,
+                                                           double min_speed_rpm,
+                                                           double max_speed_rpm)
+    : threshold_(threshold_celsius), min_speed_(min_speed_rpm), max_speed_(max_speed_rpm) {
+  require(max_speed_rpm > min_speed_rpm,
+          "SingleThresholdFanController: max speed must exceed min");
+}
+
+double SingleThresholdFanController::decide(const FanControlInput& in) {
+  return in.measured_temp > threshold_ ? max_speed_ : min_speed_;
+}
+
+DeadzoneFanController::DeadzoneFanController(double t_low_celsius, double t_high_celsius,
+                                             double step_rpm, double min_speed_rpm,
+                                             double max_speed_rpm)
+    : t_low_(t_low_celsius),
+      t_high_(t_high_celsius),
+      step_rpm_(step_rpm),
+      min_speed_(min_speed_rpm),
+      max_speed_(max_speed_rpm) {
+  require(t_high_celsius > t_low_celsius,
+          "DeadzoneFanController: t_high must exceed t_low");
+  require(step_rpm > 0.0, "DeadzoneFanController: step must be > 0");
+  require(max_speed_rpm > min_speed_rpm,
+          "DeadzoneFanController: max speed must exceed min");
+}
+
+double DeadzoneFanController::decide(const FanControlInput& in) {
+  double next = in.current_speed;
+  if (in.measured_temp > t_high_) {
+    next += step_rpm_;
+  } else if (in.measured_temp < t_low_) {
+    next -= step_rpm_;
+  }
+  return clamp(next, min_speed_, max_speed_);
+}
+
+}  // namespace fsc

@@ -1,0 +1,54 @@
+// Baseline fan controllers the paper argues against (§I, §IV footnote 2):
+// the single-threshold (bang-bang) controller and the deadzone controller.
+// Both are what "presently shipping commercial enterprise servers"
+// conservatively deploy, and both oscillate under sensor lag + quantization
+// (reproduced as Fig. 4).
+#pragma once
+
+#include "core/controller.hpp"
+
+namespace fsc {
+
+/// Bang-bang: max speed above the threshold, min speed below it.
+class SingleThresholdFanController final : public FanController {
+ public:
+  /// Throws std::invalid_argument when max <= min speed.
+  SingleThresholdFanController(double threshold_celsius, double min_speed_rpm,
+                               double max_speed_rpm);
+
+  double decide(const FanControlInput& in) override;
+  void reset() override {}
+
+  double threshold() const noexcept { return threshold_; }
+
+ private:
+  double threshold_;
+  double min_speed_;
+  double max_speed_;
+};
+
+/// Deadzone (hysteresis) controller: step the speed up above T_high, step
+/// it down below T_low, hold in between.
+class DeadzoneFanController final : public FanController {
+ public:
+  /// Throws std::invalid_argument when t_high <= t_low, step <= 0, or
+  /// max <= min speed.
+  DeadzoneFanController(double t_low_celsius, double t_high_celsius,
+                        double step_rpm, double min_speed_rpm, double max_speed_rpm);
+
+  double decide(const FanControlInput& in) override;
+  void reset() override {}
+
+  double t_low() const noexcept { return t_low_; }
+  double t_high() const noexcept { return t_high_; }
+  double step_size() const noexcept { return step_rpm_; }
+
+ private:
+  double t_low_;
+  double t_high_;
+  double step_rpm_;
+  double min_speed_;
+  double max_speed_;
+};
+
+}  // namespace fsc

@@ -1,0 +1,124 @@
+#include "core/ziegler_nichols.hpp"
+
+#include <cmath>
+
+#include "metrics/oscillation.hpp"
+#include "util/units.hpp"
+
+namespace fsc {
+
+PidGains ziegler_nichols_gains(const UltimateGain& ug) {
+  require(ug.ku > 0.0, "ziegler_nichols_gains: Ku must be > 0");
+  require(ug.pu_seconds > 0.0, "ziegler_nichols_gains: Pu must be > 0");
+  PidGains g;
+  g.kp = 0.6 * ug.ku;                 // Eqn. 5
+  g.ki = g.kp * (2.0 / ug.pu_seconds); // Eqn. 6
+  g.kd = g.kp * (ug.pu_seconds / 8.0); // Eqn. 7
+  return g;
+}
+
+namespace {
+
+/// Classify one experiment run; also reports the measured cycle period.
+struct RunVerdict {
+  bool oscillatory = false;   ///< sustained or growing
+  double period_samples = 0.0;
+};
+
+RunVerdict classify(const ClosedLoopExperiment& experiment, double kp,
+                    const ZnSearchParams& params) {
+  const std::vector<double> series = experiment(kp);
+  OscillationParams op;
+  op.hysteresis = params.oscillation_hysteresis;
+  op.min_cycles = params.min_cycles;
+  const OscillationReport report = analyse_oscillation(series, op);
+  return RunVerdict{is_oscillatory(report), report.period_samples};
+}
+
+}  // namespace
+
+std::optional<UltimateGain> find_ultimate_gain(const ClosedLoopExperiment& experiment,
+                                               const ZnSearchParams& params) {
+  require(params.kp_initial > 0.0, "find_ultimate_gain: kp_initial must be > 0");
+  require(params.growth_factor > 1.0, "find_ultimate_gain: growth_factor must be > 1");
+  require(params.sample_period_s > 0.0,
+          "find_ultimate_gain: sample period must be > 0");
+
+  // Phase 1: geometric sweep until the loop stops converging.
+  double kp_stable = 0.0;
+  double kp = params.kp_initial;
+  RunVerdict at_boundary;
+  bool found = false;
+  while (kp <= params.kp_max) {
+    const RunVerdict v = classify(experiment, kp, params);
+    if (v.oscillatory) {
+      at_boundary = v;
+      found = true;
+      break;
+    }
+    kp_stable = kp;
+    kp *= params.growth_factor;
+  }
+  if (!found) return std::nullopt;
+
+  // Phase 2: bisect [kp_stable, kp] down to the stability boundary.  When
+  // the sweep tripped on its very first probe there is no stable bracket
+  // below; fall back to the probe itself.
+  double lo = kp_stable > 0.0 ? kp_stable : kp / params.growth_factor;
+  double hi = kp;
+  for (int i = 0; i < params.refine_iterations; ++i) {
+    const double mid = 0.5 * (lo + hi);
+    const RunVerdict v = classify(experiment, mid, params);
+    if (v.oscillatory) {
+      hi = mid;
+      at_boundary = v;
+    } else {
+      lo = mid;
+    }
+  }
+
+  UltimateGain ug;
+  ug.ku = hi;
+  ug.pu_seconds = at_boundary.period_samples * params.sample_period_s;
+  if (ug.pu_seconds <= 0.0) {
+    // Degenerate oscillation (period not measurable): assume two controller
+    // periods, the fastest cycle a sampled loop can express.
+    ug.pu_seconds = 2.0 * params.sample_period_s;
+  }
+  return ug;
+}
+
+PidGains discretize_gains(const PidGains& continuous, double period_s) {
+  require(period_s > 0.0, "discretize_gains: period must be > 0");
+  PidGains g;
+  g.kp = continuous.kp;
+  g.ki = continuous.ki * period_s;
+  g.kd = continuous.kd / period_s;
+  return g;
+}
+
+PidGains normalize_first_step(const PidGains& discrete, double target_first_step) {
+  require(target_first_step > 0.0, "normalize_first_step: target must be > 0");
+  const double first_step = discrete.kp + discrete.ki + discrete.kd;
+  require(first_step > 0.0, "normalize_first_step: gain sum must be > 0");
+  const double scale = target_first_step / first_step;
+  return PidGains{discrete.kp * scale, discrete.ki * scale, discrete.kd * scale};
+}
+
+std::optional<PidGains> tune_pid(const ClosedLoopExperiment& experiment,
+                                 const ZnSearchParams& params) {
+  const auto ug = find_ultimate_gain(experiment, params);
+  if (!ug) return std::nullopt;
+  const PidGains discrete =
+      discretize_gains(ziegler_nichols_gains(*ug), params.sample_period_s);
+  // 0.45 Ku first-step response: the measured per-step loop gain at the
+  // ultimate point is ~2.2 on this class of plant, so 0.45 Ku corrects a
+  // one-quantum temperature error by almost exactly one quantum per fan
+  // period - the deadbeat target for a loop whose measurement resolution
+  // is the 1 degC ADC step.  (0.6 Ku, the continuous-time classic, leaves
+  // the loop at ~60 % of ultimate where quantization dither sustains a
+  // visible limit cycle; see the tuning-target ablation bench.)
+  return normalize_first_step(discrete, 0.45 * ug->ku);
+}
+
+}  // namespace fsc

@@ -1,0 +1,89 @@
+// Ziegler-Nichols closed-loop tuning (paper §IV-A, Eqns. 5-7).
+//
+// The classic recipe: with integral and derivative action off, raise the
+// proportional gain until the loop oscillates indefinitely; the gain at
+// that point is the ultimate gain Ku and the oscillation period is Pu.
+// Then
+//
+//   KP = 0.6 Ku,   KI = KP * (2 / Pu),   KD = KP * (Pu / 8).
+//
+// The tuner drives an abstract closed-loop experiment (supplied as a
+// callable) so it can run against the full non-ideal plant - sensor lag and
+// quantization included - exactly as the authors tuned on their server.
+#pragma once
+
+#include <functional>
+#include <optional>
+#include <vector>
+
+#include "core/pid.hpp"
+
+namespace fsc {
+
+/// Result of one ultimate-gain search.
+struct UltimateGain {
+  double ku = 0.0;         ///< proportional gain at sustained oscillation
+  double pu_seconds = 0.0; ///< full oscillation period at Ku
+};
+
+/// Convert (Ku, Pu) to *continuous-time* PID gains per Eqns. 5-7:
+/// KI in 1/s, KD in s.  Throws std::invalid_argument when ku <= 0 or
+/// pu <= 0.
+PidGains ziegler_nichols_gains(const UltimateGain& ug);
+
+/// Convert continuous-time gains to the discrete positional form of the
+/// paper's Eqn. 4, where the integral is a plain sum over controller steps
+/// and the derivative a plain difference:
+///   KI_d = KI_c * T,   KD_d = KD_c / T   (T = controller period).
+/// Skipping this step and feeding Eqns. 5-7 straight into Eqn. 4 inflates
+/// the derivative action by T (30x at the paper's fan period) and slams
+/// the fan between its rails on every 1 degC quantization step.
+/// Throws std::invalid_argument when period_s <= 0.
+PidGains discretize_gains(const PidGains& continuous, double period_s);
+
+/// Rescale discrete gains so the controller's first-step response to a
+/// unit error step — KP + KI + KD, since the integral and derivative both
+/// contribute their full first-sample share — equals `target_first_step`.
+///
+/// Classic Ziegler-Nichols targets a loop transient of 0.6 Ku, which the
+/// continuous controller realises because KI*T and KD/T vanish as T -> 0.
+/// At the paper's operating point (T = 30 s against Pu = 120 s) the
+/// discrete sum is 2 KP = 1.2 Ku: double the target, and the difference
+/// between the stable and the rail-slamming traces of Fig. 3.  Tuning
+/// therefore finishes with normalize_first_step(gains, 0.6 * Ku).
+/// Throws std::invalid_argument when the target or the gain sum is <= 0.
+PidGains normalize_first_step(const PidGains& discrete, double target_first_step);
+
+/// A closed-loop experiment: run the loop with proportional-only gain `kp`
+/// and return the controlled variable sampled at the controller period.
+/// (The sim module provides factories producing these closures around the
+/// full server model.)
+using ClosedLoopExperiment = std::function<std::vector<double>(double kp)>;
+
+/// Search configuration.
+struct ZnSearchParams {
+  double kp_initial = 1.0;       ///< starting proportional gain
+  double kp_max = 1e6;           ///< abort bound for the growth phase
+  double growth_factor = 1.6;    ///< multiplicative sweep step
+  int refine_iterations = 12;    ///< bisection steps once bracketed
+  double sample_period_s = 30.0; ///< controller period (converts Pu to sec)
+  double oscillation_hysteresis = 0.25;  ///< extremum rejection threshold
+  std::size_t min_cycles = 3;    ///< cycles needed to call it sustained
+};
+
+/// Find the ultimate gain by geometric sweep + bisection refinement.
+///
+/// The sweep multiplies kp by `growth_factor` until the experiment's
+/// response stops converging; bisection then narrows the stability boundary.
+/// Returns nullopt when no oscillation is reachable below kp_max (the loop
+/// is unconditionally stable for this experiment).
+std::optional<UltimateGain> find_ultimate_gain(const ClosedLoopExperiment& experiment,
+                                               const ZnSearchParams& params);
+
+/// Convenience: full tuning = ultimate-gain search + Eqns. 5-7 +
+/// discretization at params.sample_period_s.  The result is ready to use
+/// in the discrete Eqn. 4 controller.
+std::optional<PidGains> tune_pid(const ClosedLoopExperiment& experiment,
+                                 const ZnSearchParams& params);
+
+}  // namespace fsc

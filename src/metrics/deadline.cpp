@@ -1,0 +1,39 @@
+#include "metrics/deadline.hpp"
+
+#include "util/units.hpp"
+
+namespace fsc {
+
+DeadlineTracker::DeadlineTracker(double epsilon) : epsilon_(epsilon) {
+  require(epsilon >= 0.0, "DeadlineTracker: epsilon must be >= 0");
+}
+
+void DeadlineTracker::record(double demanded, double capped) {
+  const double d = clamp_utilization(demanded);
+  const double c = clamp_utilization(capped);
+  ++periods_;
+  const double shortfall = d - c;
+  last_degradation_ = shortfall > 0.0 ? shortfall : 0.0;
+  if (shortfall > epsilon_) {
+    ++violations_;
+    lost_ += shortfall;
+  }
+}
+
+double DeadlineTracker::violation_fraction() const noexcept {
+  return periods_ ? static_cast<double>(violations_) / static_cast<double>(periods_)
+                  : 0.0;
+}
+
+double DeadlineTracker::mean_degradation() const noexcept {
+  return periods_ ? lost_ / static_cast<double>(periods_) : 0.0;
+}
+
+void DeadlineTracker::reset() noexcept {
+  periods_ = 0;
+  violations_ = 0;
+  lost_ = 0.0;
+  last_degradation_ = 0.0;
+}
+
+}  // namespace fsc

@@ -1,0 +1,59 @@
+// Performance accounting (paper Table III, "Deadline violation (%)").
+//
+// Work arrives each CPU control period demanding utilization u_req; the
+// capper allows min(u_req, u_cap).  A period whose demand exceeds the cap
+// misses its deadline.  The tracker also integrates *lost* utilization so
+// the magnitude of degradation (not just its frequency) is visible.
+#pragma once
+
+#include <cstddef>
+
+namespace fsc {
+
+/// Per-period deadline/degradation accounting.
+class DeadlineTracker {
+ public:
+  /// Demand-vs-cap comparison tolerance: demands within `epsilon` of the
+  /// cap are not counted as violations (guards against float noise).
+  explicit DeadlineTracker(double epsilon = 1e-9);
+
+  /// Record one CPU control period: demanded and permitted utilization.
+  /// Values are clamped into [0, 1].
+  void record(double demanded, double capped);
+
+  /// Number of periods recorded.
+  std::size_t periods() const noexcept { return periods_; }
+
+  /// Number of periods where demand exceeded the cap.
+  std::size_t violations() const noexcept { return violations_; }
+
+  /// Violations as a fraction of periods, in [0, 1]; 0 when no periods.
+  double violation_fraction() const noexcept;
+
+  /// Violation percentage (Table III units).
+  double violation_percent() const noexcept { return 100.0 * violation_fraction(); }
+
+  /// Total utilization-seconds of work denied (sum of max(0, demand-cap)),
+  /// assuming 1 s periods; divide by periods() for the mean depth.
+  double lost_utilization() const noexcept { return lost_; }
+
+  /// Mean lost utilization per period; 0 when no periods.
+  double mean_degradation() const noexcept;
+
+  /// Instantaneous degradation of the most recent period (max(0, demand -
+  /// cap)); this is what single-step scaling thresholds on ("measured
+  /// performance degradation", §V-C).
+  double last_degradation() const noexcept { return last_degradation_; }
+
+  /// Reset all counters.
+  void reset() noexcept;
+
+ private:
+  double epsilon_;
+  std::size_t periods_ = 0;
+  std::size_t violations_ = 0;
+  double lost_ = 0.0;
+  double last_degradation_ = 0.0;
+};
+
+}  // namespace fsc

@@ -1,0 +1,65 @@
+#include "metrics/energy_report.hpp"
+
+#include <iomanip>
+#include <sstream>
+#include <stdexcept>
+
+namespace fsc {
+
+void ComparisonReport::add(SolutionResult result) { rows_.push_back(std::move(result)); }
+
+void ComparisonReport::set_baseline(const std::string& name) {
+  for (std::size_t i = 0; i < rows_.size(); ++i) {
+    if (rows_[i].name == name) {
+      baseline_ = i;
+      return;
+    }
+  }
+  throw std::out_of_range("ComparisonReport: no row named " + name);
+}
+
+double ComparisonReport::normalized_fan_energy(std::size_t row) const {
+  if (row >= rows_.size()) throw std::out_of_range("ComparisonReport: bad row index");
+  if (baseline_ >= rows_.size()) throw std::out_of_range("ComparisonReport: bad baseline");
+  const double base = rows_[baseline_].fan_energy_joules;
+  if (base <= 0.0) throw std::logic_error("ComparisonReport: baseline fan energy is zero");
+  return rows_[row].fan_energy_joules / base;
+}
+
+std::string ComparisonReport::to_table() const {
+  std::ostringstream out;
+  out << std::left << std::setw(34) << "Solution" << std::right << std::setw(16)
+      << "Deadline" << std::setw(16) << "Norm. fan" << std::setw(12) << "Max Tj"
+      << std::setw(14) << "Thermal" << '\n';
+  out << std::left << std::setw(34) << "" << std::right << std::setw(16)
+      << "violation (%)" << std::setw(16) << "energy" << std::setw(12) << "(degC)"
+      << std::setw(14) << "viol. (%)" << '\n';
+  out << std::string(92, '-') << '\n';
+  for (std::size_t i = 0; i < rows_.size(); ++i) {
+    const auto& r = rows_[i];
+    out << std::left << std::setw(34) << r.name << std::right << std::fixed
+        << std::setprecision(2) << std::setw(16) << r.deadline_violation_percent
+        << std::setprecision(3) << std::setw(16) << normalized_fan_energy(i)
+        << std::setprecision(1) << std::setw(12) << r.max_junction_celsius
+        << std::setprecision(2) << std::setw(14) << r.thermal_violation_percent
+        << '\n';
+  }
+  return out.str();
+}
+
+std::string ComparisonReport::to_csv() const {
+  std::ostringstream out;
+  out << "solution,violation_pct,norm_fan_energy,fan_energy_j,total_energy_j,"
+         "max_tj,thermal_violation_pct\n";
+  out << std::setprecision(9);
+  for (std::size_t i = 0; i < rows_.size(); ++i) {
+    const auto& r = rows_[i];
+    out << r.name << ',' << r.deadline_violation_percent << ','
+        << normalized_fan_energy(i) << ',' << r.fan_energy_joules << ','
+        << r.total_energy_joules << ',' << r.max_junction_celsius << ','
+        << r.thermal_violation_percent << '\n';
+  }
+  return out.str();
+}
+
+}  // namespace fsc

@@ -1,0 +1,58 @@
+// Comparative energy/performance reporting (Table III's layout).
+//
+// Collects one row per evaluated solution and renders the paper's columns:
+// deadline violation % and fan energy normalised to a designated baseline.
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+namespace fsc {
+
+/// One solution's measured results.
+struct SolutionResult {
+  std::string name;
+  double deadline_violation_percent = 0.0;
+  double fan_energy_joules = 0.0;
+  double cpu_energy_joules = 0.0;
+  double total_energy_joules = 0.0;
+  double mean_junction_celsius = 0.0;
+  double max_junction_celsius = 0.0;
+  double thermal_violation_percent = 0.0;  ///< time above the junction limit
+};
+
+/// Accumulates rows and renders a normalised comparison table.
+class ComparisonReport {
+ public:
+  /// Append a solution's results.  The first row added is the default
+  /// normalisation baseline.
+  void add(SolutionResult result);
+
+  /// Choose the baseline row by name; throws std::out_of_range when absent.
+  void set_baseline(const std::string& name);
+
+  /// Number of rows.
+  std::size_t size() const noexcept { return rows_.size(); }
+
+  /// Access rows in insertion order.
+  const std::vector<SolutionResult>& rows() const noexcept { return rows_; }
+
+  /// Fan energy of `row` divided by the baseline's fan energy.
+  /// Throws std::out_of_range on a bad index, std::logic_error when the
+  /// baseline fan energy is zero.
+  double normalized_fan_energy(std::size_t row) const;
+
+  /// Render the Table III layout as fixed-width text.
+  std::string to_table() const;
+
+  /// Render as CSV (columns: solution, violation_pct, norm_fan_energy,
+  /// fan_energy_j, total_energy_j, max_tj, thermal_violation_pct).
+  std::string to_csv() const;
+
+ private:
+  std::vector<SolutionResult> rows_;
+  std::size_t baseline_ = 0;
+};
+
+}  // namespace fsc

@@ -1,0 +1,132 @@
+#include "metrics/oscillation.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/units.hpp"
+
+namespace fsc {
+
+std::vector<Extremum> find_extrema(const std::vector<double>& series, double h) {
+  require(h >= 0.0, "find_extrema: hysteresis must be >= 0");
+  std::vector<Extremum> out;
+  if (series.size() < 2) return out;
+
+  // Zigzag extraction: follow the series, committing an extremum whenever
+  // the excursion from the running candidate exceeds the hysteresis.
+  enum class Dir { kUnknown, kUp, kDown };
+  Dir dir = Dir::kUnknown;
+  std::size_t cand_idx = 0;
+  double cand_val = series[0];
+
+  for (std::size_t i = 1; i < series.size(); ++i) {
+    const double v = series[i];
+    switch (dir) {
+      case Dir::kUnknown:
+        if (v >= cand_val + h) {
+          dir = Dir::kUp;
+          cand_idx = i;
+          cand_val = v;
+        } else if (v <= cand_val - h) {
+          dir = Dir::kDown;
+          cand_idx = i;
+          cand_val = v;
+        } else if ((v > cand_val && v < cand_val + h) ||
+                   (v < cand_val && v > cand_val - h)) {
+          // drifting but not yet decisive: keep the more extreme candidate
+          // in the drift direction so the first swing is measured fully.
+        }
+        break;
+      case Dir::kUp:
+        if (v > cand_val) {
+          cand_idx = i;
+          cand_val = v;
+        } else if (v <= cand_val - h) {
+          out.push_back(Extremum{cand_idx, cand_val, true});
+          dir = Dir::kDown;
+          cand_idx = i;
+          cand_val = v;
+        }
+        break;
+      case Dir::kDown:
+        if (v < cand_val) {
+          cand_idx = i;
+          cand_val = v;
+        } else if (v >= cand_val + h) {
+          out.push_back(Extremum{cand_idx, cand_val, false});
+          dir = Dir::kUp;
+          cand_idx = i;
+          cand_val = v;
+        }
+        break;
+    }
+  }
+  return out;
+}
+
+OscillationReport analyse_oscillation(const std::vector<double>& series,
+                                      const OscillationParams& params) {
+  OscillationReport report;
+  const auto extrema = find_extrema(series, params.hysteresis);
+  if (extrema.size() < 2) {
+    report.verdict = OscillationVerdict::kConverged;
+    return report;
+  }
+
+  // Swings between consecutive alternating extrema.
+  std::vector<double> swings;
+  swings.reserve(extrema.size() - 1);
+  for (std::size_t i = 1; i < extrema.size(); ++i) {
+    swings.push_back(std::fabs(extrema[i].value - extrema[i - 1].value));
+  }
+  report.cycles = swings.size() / 2;
+  double sum = 0.0;
+  for (double s : swings) sum += s;
+  report.mean_amplitude = sum / static_cast<double>(swings.size());
+  report.last_amplitude = swings.back();
+
+  // Mean full-cycle period: spacing between same-polarity extrema.
+  std::vector<std::size_t> peak_indices;
+  for (const auto& e : extrema) {
+    if (e.is_peak) peak_indices.push_back(e.index);
+  }
+  if (peak_indices.size() >= 2) {
+    double acc = 0.0;
+    for (std::size_t i = 1; i < peak_indices.size(); ++i) {
+      acc += static_cast<double>(peak_indices[i] - peak_indices[i - 1]);
+    }
+    report.period_samples = acc / static_cast<double>(peak_indices.size() - 1);
+  }
+
+  // Trend: compare the mean of the trailing half of swings to the leading
+  // half; single swings are too noisy for a verdict.
+  if (report.cycles < params.min_cycles) {
+    // Too few cycles: decide on the trailing amplitude alone.
+    report.verdict = report.last_amplitude > params.hysteresis && swings.size() >= 2 &&
+                             report.last_amplitude > params.growth_ratio * swings.front()
+                         ? OscillationVerdict::kGrowing
+                         : OscillationVerdict::kConverged;
+    return report;
+  }
+  const std::size_t half = swings.size() / 2;
+  double head = 0.0, tail = 0.0;
+  for (std::size_t i = 0; i < half; ++i) head += swings[i];
+  for (std::size_t i = swings.size() - half; i < swings.size(); ++i) tail += swings[i];
+  head /= static_cast<double>(half);
+  tail /= static_cast<double>(half);
+
+  if (tail >= params.growth_ratio * head) {
+    report.verdict = OscillationVerdict::kGrowing;
+  } else if (tail <= head / params.growth_ratio) {
+    report.verdict = OscillationVerdict::kConverged;
+  } else {
+    report.verdict = OscillationVerdict::kSustained;
+  }
+  return report;
+}
+
+bool is_oscillatory(const OscillationReport& report) {
+  return report.verdict != OscillationVerdict::kConverged;
+}
+
+}  // namespace fsc

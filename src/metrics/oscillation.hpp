@@ -1,0 +1,66 @@
+// Oscillation analysis.
+//
+// Two consumers:
+//  1. The Ziegler-Nichols tuner needs to recognise *sustained* oscillation
+//     (amplitude neither growing nor decaying) and measure its period Pu.
+//  2. Stability verdicts for Figs. 3-5 need to distinguish converged,
+//     limit-cycling, and diverging fan-speed traces.
+//
+// The analyser works on uniformly sampled series: it extracts alternating
+// local extrema (with a hysteresis threshold to reject quantization-scale
+// ripple) and summarises amplitude trend and period.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+namespace fsc {
+
+/// One detected extremum of the series.
+struct Extremum {
+  std::size_t index = 0;   ///< sample index
+  double value = 0.0;      ///< series value at the extremum
+  bool is_peak = false;    ///< true = local max, false = local min
+};
+
+/// Summary verdict over an analysed window.
+enum class OscillationVerdict {
+  kConverged,   ///< amplitude decays toward zero / no alternation
+  kSustained,   ///< stable limit cycle: amplitude roughly constant
+  kGrowing,     ///< amplitude increases: unstable
+};
+
+/// Analysis result.
+struct OscillationReport {
+  OscillationVerdict verdict = OscillationVerdict::kConverged;
+  double mean_amplitude = 0.0;    ///< mean peak-to-trough over detected cycles
+  double last_amplitude = 0.0;    ///< most recent peak-to-trough swing
+  double period_samples = 0.0;    ///< mean full-cycle period, in samples
+  std::size_t cycles = 0;         ///< number of full cycles detected
+};
+
+/// Detector parameters.
+struct OscillationParams {
+  /// Minimum swing (in series units) for an extremum to count; rejects
+  /// quantization-level ripple when analysing temperatures, and numeric
+  /// dust when analysing fan speeds.
+  double hysteresis = 1.0;
+  /// Amplitude-ratio (last/first detected swings) above which the series is
+  /// declared growing, and below whose inverse it is declared converged.
+  double growth_ratio = 1.5;
+  /// Minimum number of full cycles before "sustained" can be declared.
+  std::size_t min_cycles = 3;
+};
+
+/// Extract alternating extrema from `series` using hysteresis `h`.
+std::vector<Extremum> find_extrema(const std::vector<double>& series, double h);
+
+/// Analyse a uniformly sampled series.
+OscillationReport analyse_oscillation(const std::vector<double>& series,
+                                      const OscillationParams& params);
+
+/// Convenience: true when the verdict is kSustained or kGrowing (i.e. the
+/// loop did not converge).
+bool is_oscillatory(const OscillationReport& report);
+
+}  // namespace fsc

@@ -1,0 +1,62 @@
+#include "metrics/settling.hpp"
+
+#include <cmath>
+#include <limits>
+
+#include "util/units.hpp"
+
+namespace fsc {
+
+StepResponse analyse_step_response(const std::vector<double>& series, double target,
+                                   double tolerance) {
+  require(!series.empty(), "analyse_step_response: series must be non-empty");
+  require(tolerance > 0.0, "analyse_step_response: tolerance must be > 0");
+
+  StepResponse r;
+  const double start = series.front();
+  const double direction = target - start;  // sign of approach
+
+  // Settling: last index OUTSIDE the band, +1.
+  std::optional<std::size_t> last_outside;
+  for (std::size_t i = 0; i < series.size(); ++i) {
+    if (std::fabs(series[i] - target) > tolerance) last_outside = i;
+  }
+  if (!last_outside) {
+    r.settling_index = 0;  // never left the band
+  } else if (*last_outside + 1 < series.size()) {
+    r.settling_index = *last_outside + 1;
+  }  // else: still outside at the end -> never settled
+
+  // Rise: first crossing of the target in the direction of travel.
+  for (std::size_t i = 0; i < series.size(); ++i) {
+    const bool crossed = direction >= 0.0 ? series[i] >= target : series[i] <= target;
+    if (crossed) {
+      r.rise_index = i;
+      break;
+    }
+  }
+
+  // Overshoot: worst excursion past the target in the travel direction.
+  for (double v : series) {
+    const double past = direction >= 0.0 ? v - target : target - v;
+    if (past > r.overshoot) r.overshoot = past;
+  }
+
+  // Steady-state error over the trailing 10 %.
+  const std::size_t tail_start = series.size() - std::max<std::size_t>(1, series.size() / 10);
+  double acc = 0.0;
+  std::size_t n = 0;
+  for (std::size_t i = tail_start; i < series.size(); ++i) {
+    acc += std::fabs(series[i] - target);
+    ++n;
+  }
+  r.steady_state_error = acc / static_cast<double>(n);
+  return r;
+}
+
+double settling_time_seconds(const StepResponse& r, double sample_period_s) {
+  if (!r.settling_index) return std::numeric_limits<double>::infinity();
+  return static_cast<double>(*r.settling_index) * sample_period_s;
+}
+
+}  // namespace fsc

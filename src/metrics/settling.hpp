@@ -1,0 +1,40 @@
+// Step-response analysis: settling time, overshoot, rise time.
+//
+// Used to quantify the Fig. 3 comparison ("convergence time is very slow,
+// i.e., 210 sec") and as acceptance criteria in controller tests (the
+// SASO figures of merit from the paper's §IV-A).
+#pragma once
+
+#include <cstddef>
+#include <optional>
+#include <vector>
+
+namespace fsc {
+
+/// Step-response metrics for a uniformly sampled series converging toward
+/// `target`.
+struct StepResponse {
+  /// First sample index after which the series stays within the band
+  /// [target - tol, target + tol]; nullopt when it never settles.
+  std::optional<std::size_t> settling_index;
+  /// Peak overshoot beyond the target in the direction of travel, as an
+  /// absolute value (0 when none).
+  double overshoot = 0.0;
+  /// First index at which the series crosses the target; nullopt when the
+  /// target is never reached.
+  std::optional<std::size_t> rise_index;
+  /// Mean absolute error over the trailing 10 % of the series.
+  double steady_state_error = 0.0;
+};
+
+/// Analyse a series assumed to start away from `target` and (ideally)
+/// converge to it.  `tolerance` is the settling band half-width.
+/// Throws std::invalid_argument when tolerance <= 0 or series empty.
+StepResponse analyse_step_response(const std::vector<double>& series, double target,
+                                   double tolerance);
+
+/// Convenience: settling time in seconds given the sample period; +inf
+/// when the series never settles.
+double settling_time_seconds(const StepResponse& r, double sample_period_s);
+
+}  // namespace fsc

@@ -1,0 +1,24 @@
+#include "power/cpu_power.hpp"
+
+#include "util/units.hpp"
+
+namespace fsc {
+
+CpuPowerModel::CpuPowerModel(double static_watts, double dynamic_watts)
+    : static_watts_(static_watts), dynamic_watts_(dynamic_watts) {
+  require(static_watts >= 0.0, "CpuPowerModel: static power must be >= 0");
+  require(dynamic_watts >= 0.0, "CpuPowerModel: dynamic power must be >= 0");
+}
+
+CpuPowerModel CpuPowerModel::table1_defaults() { return CpuPowerModel(96.0, 64.0); }
+
+double CpuPowerModel::power(double u) const noexcept {
+  return static_watts_ + dynamic_watts_ * clamp_utilization(u);
+}
+
+double CpuPowerModel::utilization_for_power(double watts) const noexcept {
+  if (dynamic_watts_ <= 0.0) return 0.0;
+  return clamp_utilization((watts - static_watts_) / dynamic_watts_);
+}
+
+}  // namespace fsc

@@ -1,0 +1,42 @@
+// CPU power model (paper Eqn. 1).
+//
+//   P_cpu = P_static + P_dyn * u_cpu,  u_cpu in [0, 1]
+//
+// Table I gives P_idle = 96 W and P_max = 160 W for the target socket, so
+// P_static = 96 W and P_dyn = 64 W.
+#pragma once
+
+namespace fsc {
+
+/// Linear-in-utilization CPU power model.
+class CpuPowerModel {
+ public:
+  /// Construct from static (idle) and maximum dynamic power in watts.
+  /// Throws std::invalid_argument on negative values.
+  CpuPowerModel(double static_watts, double dynamic_watts);
+
+  /// Table I defaults: P_idle = 96 W, P_max = 160 W.
+  static CpuPowerModel table1_defaults();
+
+  /// Power at utilization `u` (clamped into [0, 1]).
+  double power(double u) const noexcept;
+
+  /// Power at u = 0.
+  double idle_power() const noexcept { return static_watts_; }
+
+  /// Power at u = 1.
+  double max_power() const noexcept { return static_watts_ + dynamic_watts_; }
+
+  /// The dynamic (utilization-proportional) component at u = 1.
+  double dynamic_power() const noexcept { return dynamic_watts_; }
+
+  /// Utilization that would produce the given power; clamped into [0, 1].
+  /// Useful for inverse queries in the E-coord baseline.
+  double utilization_for_power(double watts) const noexcept;
+
+ private:
+  double static_watts_;
+  double dynamic_watts_;
+};
+
+}  // namespace fsc

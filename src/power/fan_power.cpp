@@ -1,0 +1,28 @@
+#include "power/fan_power.hpp"
+
+#include <cmath>
+
+#include "util/units.hpp"
+
+namespace fsc {
+
+FanPowerModel::FanPowerModel(double max_speed_rpm, double power_at_max_watts)
+    : max_speed_rpm_(max_speed_rpm), power_at_max_watts_(power_at_max_watts) {
+  require(max_speed_rpm > 0.0, "FanPowerModel: max speed must be > 0");
+  require(power_at_max_watts >= 0.0, "FanPowerModel: power at max must be >= 0");
+}
+
+FanPowerModel FanPowerModel::table1_defaults() { return FanPowerModel(8500.0, 29.4); }
+
+double FanPowerModel::power(double rpm) const noexcept {
+  const double s = clamp(rpm, 0.0, max_speed_rpm_) / max_speed_rpm_;
+  return power_at_max_watts_ * s * s * s;
+}
+
+double FanPowerModel::speed_for_power(double watts) const noexcept {
+  if (power_at_max_watts_ <= 0.0) return 0.0;
+  const double frac = clamp(watts / power_at_max_watts_, 0.0, 1.0);
+  return max_speed_rpm_ * std::cbrt(frac);
+}
+
+}  // namespace fsc

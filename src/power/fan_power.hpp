@@ -1,0 +1,37 @@
+// Fan power model.
+//
+// Fan power has a cubic relationship with fan speed (paper §I, §III-B):
+//
+//   P_fan(s) = P_fan_max * (s / s_max)^3
+//
+// Table I: 29.4 W per socket at s_max = 8500 rpm.
+#pragma once
+
+namespace fsc {
+
+/// Cubic fan power law, parameterised by the maximum speed and the power
+/// drawn at that speed.
+class FanPowerModel {
+ public:
+  /// Throws std::invalid_argument when max_speed_rpm <= 0 or
+  /// power_at_max_watts < 0.
+  FanPowerModel(double max_speed_rpm, double power_at_max_watts);
+
+  /// Table I defaults: 29.4 W at 8500 rpm.
+  static FanPowerModel table1_defaults();
+
+  /// Power at speed `rpm` (clamped into [0, max_speed]).
+  double power(double rpm) const noexcept;
+
+  /// Speed that would draw the given power; clamped into [0, max_speed].
+  double speed_for_power(double watts) const noexcept;
+
+  double max_speed() const noexcept { return max_speed_rpm_; }
+  double power_at_max() const noexcept { return power_at_max_watts_; }
+
+ private:
+  double max_speed_rpm_;
+  double power_at_max_watts_;
+};
+
+}  // namespace fsc

@@ -1,0 +1,49 @@
+#include "sensor/delay_line.hpp"
+
+#include <cmath>
+
+#include "util/units.hpp"
+
+namespace fsc {
+
+DelayLine::DelayLine(double delay_seconds, double sample_period_seconds,
+                     double initial_value)
+    : depth_(0),
+      sample_period_(sample_period_seconds),
+      initial_(initial_value),
+      line_(1) {
+  require(sample_period_seconds > 0.0, "DelayLine: sample period must be > 0");
+  require(delay_seconds >= 0.0, "DelayLine: delay must be >= 0");
+  depth_ = static_cast<std::size_t>(std::llround(delay_seconds / sample_period_seconds));
+  // A depth-0 line behaves as a pass-through; RingBuffer needs capacity >= 1.
+  line_ = RingBuffer<double>(depth_ == 0 ? 1 : depth_);
+}
+
+void DelayLine::push(double value) {
+  if (depth_ == 0) {
+    // Pass-through: remember the newest value only.
+    if (line_.full()) line_.pop();
+    line_.push(value);
+    return;
+  }
+  line_.push(value);
+}
+
+double DelayLine::read() const noexcept {
+  if (line_.empty()) return initial_;
+  if (depth_ == 0) return line_.back();
+  // The oldest in-flight sample is what the firmware sees; until the line
+  // fills, the pipeline has not delivered anything yet.
+  return line_.full() ? line_.front() : initial_;
+}
+
+double DelayLine::delay() const noexcept {
+  return static_cast<double>(depth_) * sample_period_;
+}
+
+void DelayLine::reset(double value) {
+  line_.clear();
+  initial_ = value;
+}
+
+}  // namespace fsc

@@ -1,0 +1,47 @@
+// Transport delay: the I2C/BMC path between the physical transducer and the
+// control firmware (paper Fig. 1: ~10 s on the measured server).
+//
+// The delay line is sampled: values pushed at the sensor sampling period
+// emerge `delay` seconds later.  Until the line fills, read() returns the
+// configured initial value — exactly what firmware sees while the telemetry
+// pipeline warms up.
+#pragma once
+
+#include <cstddef>
+
+#include "util/ring_buffer.hpp"
+
+namespace fsc {
+
+/// Discrete-time pure transport delay of `delay_seconds`, sampled every
+/// `sample_period_seconds`.
+class DelayLine {
+ public:
+  /// Throws std::invalid_argument when sample_period <= 0 or delay < 0.
+  /// A zero delay degenerates to a pass-through.
+  DelayLine(double delay_seconds, double sample_period_seconds,
+            double initial_value = 0.0);
+
+  /// Push the value observed at the transducer this sample period.
+  void push(double value);
+
+  /// The value currently visible to the firmware (delayed by ~delay).
+  double read() const noexcept;
+
+  /// Number of sample slots in the line (delay / sample period, rounded).
+  std::size_t depth() const noexcept { return depth_; }
+
+  /// The configured delay in seconds (depth * sample period).
+  double delay() const noexcept;
+
+  /// Forget all in-flight samples and reset to `value`.
+  void reset(double value);
+
+ private:
+  std::size_t depth_;
+  double sample_period_;
+  double initial_;
+  RingBuffer<double> line_;
+};
+
+}  // namespace fsc

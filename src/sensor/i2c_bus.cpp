@@ -1,0 +1,28 @@
+#include "sensor/i2c_bus.hpp"
+
+#include "util/units.hpp"
+
+namespace fsc {
+
+I2cBusModel::I2cBusModel(double transactions_per_second, double pipeline_delay_s)
+    : rate_(transactions_per_second), pipeline_delay_s_(pipeline_delay_s) {
+  require(transactions_per_second > 0.0, "I2cBusModel: rate must be > 0");
+  require(pipeline_delay_s >= 0.0, "I2cBusModel: pipeline delay must be >= 0");
+}
+
+I2cBusModel I2cBusModel::table1_defaults() {
+  // 12.5 reads/s and 2 s of firmware latency give lag(100) = 2 + 100/12.5
+  // = 10 s, matching the Fig. 1 measurement.
+  return I2cBusModel(12.5, 2.0);
+}
+
+double I2cBusModel::refresh_period(std::size_t sensor_count) const {
+  require(sensor_count > 0, "I2cBusModel: sensor count must be > 0");
+  return static_cast<double>(sensor_count) / rate_;
+}
+
+double I2cBusModel::lag(std::size_t sensor_count) const {
+  return pipeline_delay_s_ + refresh_period(sensor_count);
+}
+
+}  // namespace fsc

@@ -1,0 +1,48 @@
+// I2C bus contention model.
+//
+// The paper attributes the ~10 s telemetry lag to "the limited bandwidth of
+// [the] I2C bus" and notes that "due to the increased number of temperature
+// sensors in each new server platform, the time lag from bandwidth
+// contention becomes even worse".  This model turns that sentence into
+// numbers: sensors share a bus of fixed transaction rate; with N sensors
+// polled round-robin, each sensor's effective refresh (and thus worst-case
+// staleness) scales with N.
+#pragma once
+
+#include <cstddef>
+
+namespace fsc {
+
+/// Bus-level timing model: transactions per second and sensor population
+/// determine the per-sensor refresh period and the end-to-end lag.
+class I2cBusModel {
+ public:
+  /// `transactions_per_second`: sustained read transactions the bus + BMC
+  /// firmware complete per second.  `pipeline_delay_s`: fixed firmware/queue
+  /// latency independent of population (scheduling, SP processing).
+  /// Throws std::invalid_argument when transactions_per_second <= 0 or
+  /// pipeline_delay_s < 0.
+  I2cBusModel(double transactions_per_second, double pipeline_delay_s);
+
+  /// Calibrated so that 100 sensors on the bus reproduce the 10 s lag
+  /// measured on the Table I server (Fig. 1).
+  static I2cBusModel table1_defaults();
+
+  /// Seconds between successive refreshes of one sensor when `sensor_count`
+  /// sensors are polled round-robin.  Throws std::invalid_argument when
+  /// sensor_count == 0.
+  double refresh_period(std::size_t sensor_count) const;
+
+  /// End-to-end measurement lag for one sensor: the fixed pipeline delay
+  /// plus a full polling round (a just-missed update is a round stale).
+  double lag(std::size_t sensor_count) const;
+
+  double transactions_per_second() const noexcept { return rate_; }
+  double pipeline_delay() const noexcept { return pipeline_delay_s_; }
+
+ private:
+  double rate_;
+  double pipeline_delay_s_;
+};
+
+}  // namespace fsc

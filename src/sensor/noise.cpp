@@ -1,0 +1,17 @@
+#include "sensor/noise.hpp"
+
+#include "util/units.hpp"
+
+namespace fsc {
+
+GaussianNoise::GaussianNoise(double stddev, double bias)
+    : stddev_(stddev), bias_(bias) {
+  require(stddev >= 0.0, "GaussianNoise: stddev must be >= 0");
+}
+
+double GaussianNoise::apply(double value, Rng& rng) const {
+  if (stddev_ == 0.0) return value + bias_;
+  return value + bias_ + rng.gaussian(0.0, stddev_);
+}
+
+}  // namespace fsc

@@ -1,0 +1,32 @@
+// Additive sensor noise.
+//
+// Optional Gaussian measurement noise ahead of the ADC.  The paper's
+// experiments add noise to the *workload*; having it available on the
+// sensor too lets the ablation benches separate the two effects.
+#pragma once
+
+#include "util/rng.hpp"
+
+namespace fsc {
+
+/// Zero-mean (or biased) Gaussian noise source for sensor readings.
+class GaussianNoise {
+ public:
+  /// Throws std::invalid_argument when stddev < 0.
+  GaussianNoise(double stddev, double bias = 0.0);
+
+  /// A noiseless source (stddev = bias = 0).
+  static GaussianNoise none() { return GaussianNoise(0.0, 0.0); }
+
+  /// Apply noise to `value` drawing randomness from `rng`.
+  double apply(double value, Rng& rng) const;
+
+  double stddev() const noexcept { return stddev_; }
+  double bias() const noexcept { return bias_; }
+
+ private:
+  double stddev_;
+  double bias_;
+};
+
+}  // namespace fsc

@@ -1,0 +1,40 @@
+#include "sensor/quantizer.hpp"
+
+#include <cmath>
+
+#include "util/units.hpp"
+
+namespace fsc {
+
+AdcQuantizer::AdcQuantizer(unsigned bits, double range_min, double range_max,
+                           AdcRounding rounding)
+    : bits_(bits), range_min_(range_min), range_max_(range_max), rounding_(rounding) {
+  require(bits >= 1 && bits <= 31, "AdcQuantizer: bits must be in [1, 31]");
+  require(range_max > range_min, "AdcQuantizer: range must be non-empty");
+  max_code_ = (1u << bits) - 1u;
+  step_ = (range_max - range_min) / static_cast<double>(1u << bits);
+}
+
+AdcQuantizer AdcQuantizer::table1_temperature_adc() {
+  return AdcQuantizer(8, 0.0, 256.0, AdcRounding::kNearest);  // 1 degC per LSB
+}
+
+std::uint32_t AdcQuantizer::code(double value) const noexcept {
+  double scaled = (value - range_min_) / step_;
+  if (rounding_ == AdcRounding::kNearest) scaled += 0.5;
+  if (scaled <= 0.0) return 0;
+  const double floored = std::floor(scaled);
+  if (floored >= static_cast<double>(max_code_)) return max_code_;
+  return static_cast<std::uint32_t>(floored);
+}
+
+double AdcQuantizer::reconstruct(std::uint32_t c) const noexcept {
+  if (c > max_code_) c = max_code_;
+  return range_min_ + static_cast<double>(c) * step_;
+}
+
+double AdcQuantizer::quantize(double value) const noexcept {
+  return reconstruct(code(value));
+}
+
+}  // namespace fsc

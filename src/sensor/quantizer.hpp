@@ -1,0 +1,59 @@
+// ADC quantization model (paper §I: "standardized usage of 8-bit A/D
+// converters ... the reported readings are severely quantized").
+//
+// An 8-bit ADC over a configurable range reports floor-quantized codes; for
+// the Table I server the step works out to 1 degC.
+#pragma once
+
+#include <cstdint>
+
+namespace fsc {
+
+/// Code assignment convention of the converter.
+enum class AdcRounding {
+  kFloor,    ///< code = floor((v - min)/step): raw integer-register readout
+  kNearest,  ///< code = round((v - min)/step): calibrated transfer function
+};
+
+/// Uniform quantizer emulating an N-bit ADC over [range_min, range_max].
+class AdcQuantizer {
+ public:
+  /// Throws std::invalid_argument when bits is 0 or > 31, or when
+  /// range_max <= range_min.
+  AdcQuantizer(unsigned bits, double range_min, double range_max,
+               AdcRounding rounding = AdcRounding::kFloor);
+
+  /// The server's temperature ADC: 8 bits over [0, 256) degC -> 1 degC
+  /// step.  Uses nearest rounding: BMC firmware calibrates the transfer
+  /// function so a reported degree is centred on the physical degree,
+  /// which also centres the Eqn. 10 hold band on the set point.
+  static AdcQuantizer table1_temperature_adc();
+
+  /// Quantize a physical value to the reconstruction level of its code.
+  /// Values outside the range saturate at the end codes.
+  double quantize(double value) const noexcept;
+
+  /// The integer code the ADC would report for `value`.
+  std::uint32_t code(double value) const noexcept;
+
+  /// Reconstruction value for a code.
+  double reconstruct(std::uint32_t code) const noexcept;
+
+  /// The quantization step |T_Q| in physical units.
+  double step() const noexcept { return step_; }
+
+  unsigned bits() const noexcept { return bits_; }
+  double range_min() const noexcept { return range_min_; }
+  double range_max() const noexcept { return range_max_; }
+  AdcRounding rounding() const noexcept { return rounding_; }
+
+ private:
+  unsigned bits_;
+  double range_min_;
+  double range_max_;
+  AdcRounding rounding_;
+  double step_;
+  std::uint32_t max_code_;
+};
+
+}  // namespace fsc

@@ -1,0 +1,67 @@
+#include "sensor/sensor_array.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+#include "util/units.hpp"
+
+namespace fsc {
+
+SensorArray::SensorArray(SensorArrayParams params, I2cBusModel bus, Rng& rng)
+    : params_(params), lag_s_(bus.lag(params.sensor_count)) {
+  require(params.gradient_celsius >= 0.0, "SensorArray: gradient must be >= 0");
+  chains_.reserve(params.sensor_count);
+  offsets_.reserve(params.sensor_count);
+  for (std::size_t i = 0; i < params.sensor_count; ++i) {
+    SensorChainParams cp;
+    cp.sample_period_s = params.sample_period_s;
+    cp.lag_s = lag_s_;
+    cp.noise_stddev = params.noise_stddev;
+    cp.quantize = params.quantize;
+    cp.initial_value = params.initial_value;
+    chains_.emplace_back(cp, AdcQuantizer::table1_temperature_adc(), rng);
+    // Static core-to-core gradient: core 0 coolest, core N-1 hottest.
+    const double frac = params.sensor_count > 1
+                            ? static_cast<double>(i) /
+                                  static_cast<double>(params.sensor_count - 1)
+                            : 1.0;
+    offsets_.push_back((frac - 1.0) * params.gradient_celsius);
+  }
+}
+
+void SensorArray::observe(double true_value, double dt) {
+  for (std::size_t i = 0; i < chains_.size(); ++i) {
+    chains_[i].observe(true_value + offsets_[i], dt);
+  }
+}
+
+double SensorArray::read_max() const {
+  double hi = -1e300;
+  for (const auto& c : chains_) hi = std::max(hi, c.read());
+  return hi;
+}
+
+double SensorArray::read_mean() const {
+  double acc = 0.0;
+  for (const auto& c : chains_) acc += c.read();
+  return acc / static_cast<double>(chains_.size());
+}
+
+double SensorArray::read(std::size_t index) const {
+  if (index >= chains_.size()) {
+    throw std::out_of_range("SensorArray::read index out of range");
+  }
+  return chains_[index].read();
+}
+
+double SensorArray::quantization_step() const noexcept {
+  return chains_.front().quantization_step();
+}
+
+void SensorArray::reset(double value) {
+  for (std::size_t i = 0; i < chains_.size(); ++i) {
+    chains_[i].reset(value + offsets_[i]);
+  }
+}
+
+}  // namespace fsc

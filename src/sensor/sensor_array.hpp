@@ -1,0 +1,74 @@
+// Multi-sensor telemetry array (paper §I / §III-A).
+//
+// "Due to the increased number of temperature sensors in each new server
+//  platform, the time lag from bandwidth contention becomes even worse in
+//  newer generation servers."
+//
+// The array models N per-core sensors sharing one I2C bus: the bus model
+// turns the population into an end-to-end lag, each sensor sees the die
+// temperature plus a static core-to-core gradient and its own jitter, and
+// the DTM consumes the HOTTEST reading (the thermally-binding core).  This
+// closes the loop on the paper's motivation: more sensors -> longer lag ->
+// harder control problem, reproducible in the sensor-population ablation.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "sensor/i2c_bus.hpp"
+#include "sensor/sensor_chain.hpp"
+#include "util/rng.hpp"
+
+namespace fsc {
+
+/// Configuration of the per-core sensor population.
+struct SensorArrayParams {
+  std::size_t sensor_count = 16;     ///< cores/sensors on the bus
+  double gradient_celsius = 2.0;     ///< static spread: hottest - coolest core
+  double sample_period_s = 1.0;      ///< per-sensor sampling (Table I)
+  double noise_stddev = 0.0;         ///< per-sensor jitter ahead of the ADC
+  bool quantize = true;              ///< 8-bit ADC per sensor
+  double initial_value = 25.0;
+};
+
+/// N lagged/quantized sensors behind one I2C bus; read() is the maximum.
+class SensorArray {
+ public:
+  /// The end-to-end lag of every sensor is `bus.lag(sensor_count)` — the
+  /// paper's bandwidth-contention mechanism.  Throws std::invalid_argument
+  /// when sensor_count == 0 (via the bus model) or parameters are invalid.
+  SensorArray(SensorArrayParams params, I2cBusModel bus, Rng& rng);
+
+  /// Advance all sensors by dt with the die at `true_value`; each core i
+  /// observes true_value + offset(i) where offsets span the gradient.
+  void observe(double true_value, double dt);
+
+  /// The hottest firmware-visible reading (what a max-based DTM consumes).
+  double read_max() const;
+
+  /// Mean of the firmware-visible readings.
+  double read_mean() const;
+
+  /// One specific sensor's reading.
+  double read(std::size_t index) const;
+
+  /// The transport lag every sensor suffers at this population.
+  double lag() const noexcept { return lag_s_; }
+
+  /// ADC step shared by all sensors (0 when quantization disabled).
+  double quantization_step() const noexcept;
+
+  /// Number of sensors.
+  std::size_t size() const noexcept { return chains_.size(); }
+
+  /// Reset all sensors as if the die had been at `value` forever.
+  void reset(double value);
+
+ private:
+  SensorArrayParams params_;
+  double lag_s_;
+  std::vector<SensorChain> chains_;
+  std::vector<double> offsets_;
+};
+
+}  // namespace fsc

@@ -1,0 +1,67 @@
+// The complete non-ideal measurement pipeline:
+//
+//   physical value -> [Gaussian noise] -> [sample & hold @ Ts]
+//                  -> [I2C transport delay] -> [8-bit ADC quantization]
+//                  -> firmware-visible reading
+//
+// This is the plant-facing side of Fig. 2's "T_meas" arrow.  The chain is
+// sampled: call observe() every simulator step with the true value, read()
+// whenever a controller wants the measurement.
+#pragma once
+
+#include <optional>
+
+#include "sensor/delay_line.hpp"
+#include "sensor/noise.hpp"
+#include "sensor/quantizer.hpp"
+#include "util/rng.hpp"
+
+namespace fsc {
+
+/// Configuration of the measurement pipeline.
+struct SensorChainParams {
+  double sample_period_s = 1.0;   ///< Table I fan sample interval
+  double lag_s = 10.0;            ///< Fig. 1 measured I2C + firmware delay
+  double noise_stddev = 0.0;      ///< additive Gaussian ahead of the ADC
+  bool quantize = true;           ///< apply the 8-bit ADC
+  double initial_value = 25.0;    ///< reading reported before first delivery
+};
+
+/// Sampled sensor pipeline with lag, noise, and quantization.
+class SensorChain {
+ public:
+  /// Build with the given parameters and ADC.  Throws std::invalid_argument
+  /// via the component constructors on invalid parameters.
+  SensorChain(SensorChainParams params, AdcQuantizer adc, Rng& rng);
+
+  /// Table I pipeline: 1 s sampling, 10 s lag, 1 degC ADC, no noise.
+  static SensorChain table1_defaults(Rng& rng);
+
+  /// Advance the pipeline clock by `dt` seconds with the physical value
+  /// currently at `true_value`.  Samples are taken every sample_period.
+  /// Throws std::invalid_argument when dt < 0.
+  void observe(double true_value, double dt);
+
+  /// The reading the firmware currently sees (lagged + quantized).
+  double read() const noexcept;
+
+  /// The quantization step of the ADC (|T_Q| in Eqn. 10); zero when
+  /// quantization is disabled.
+  double quantization_step() const noexcept;
+
+  /// Reset the pipeline, pre-loading the delay line as if the physical
+  /// value had been `value` forever (used to start experiments in steady
+  /// state, like real firmware after boot settling).
+  void reset(double value);
+
+  const SensorChainParams& params() const noexcept { return params_; }
+
+ private:
+  SensorChainParams params_;
+  AdcQuantizer adc_;
+  Rng* rng_;
+  DelayLine delay_;
+  double phase_ = 0.0;  ///< time since last sample
+};
+
+}  // namespace fsc

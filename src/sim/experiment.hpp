@@ -1,0 +1,38 @@
+// Experiment drivers for the paper's evaluation section: the Table III
+// five-way comparison and single-solution runs under the §VI-A workloads.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+
+#include "core/solutions.hpp"
+#include "metrics/energy_report.hpp"
+#include "sim/server.hpp"
+#include "sim/simulation.hpp"
+#include "workload/synthetic.hpp"
+
+namespace fsc {
+
+/// Everything a comparison run needs; defaults reproduce the paper's setup
+/// (square 0.1/0.7 workload with sigma = 0.04 noise plus utilization
+/// spikes, 1 s / 30 s control periods, Table I plant).
+struct ComparisonScenario {
+  ServerParams server;
+  SolutionConfig solution;
+  SimulationParams sim;
+  SpikyParams workload;
+  std::uint64_t seed = 1;
+
+  /// The paper's §VI-A configuration.
+  static ComparisonScenario paper_defaults();
+};
+
+/// Run a single solution under the scenario; the policy and plant are
+/// constructed fresh (seeded) so runs are independent and reproducible.
+SimulationResult run_solution(SolutionKind kind, const ComparisonScenario& scenario);
+
+/// Run all five Table III solutions and assemble the comparison report
+/// (normalised against the uncoordinated baseline, as in the paper).
+ComparisonReport run_table3_comparison(const ComparisonScenario& scenario);
+
+}  // namespace fsc

@@ -1,0 +1,89 @@
+// The simulated enterprise server: physics (power + thermal), actuator,
+// and the non-ideal measurement pipeline, assembled per Table I.
+//
+// The Server exposes exactly what a BMC would see (the lagged, quantized
+// measurement) plus — for metrics only — the true junction temperature.
+// Controllers must never read the latter; the simulation runner enforces
+// that separation by handing policies only the measured value.
+#pragma once
+
+#include "actuator/fan_actuator.hpp"
+#include "power/cpu_power.hpp"
+#include "power/energy_meter.hpp"
+#include "power/fan_power.hpp"
+#include "sensor/sensor_chain.hpp"
+#include "thermal/server_thermal_model.hpp"
+#include "util/rng.hpp"
+
+namespace fsc {
+
+/// Full plant configuration.
+struct ServerParams {
+  CpuPowerModel cpu_power = CpuPowerModel::table1_defaults();
+  FanPowerModel fan_power = FanPowerModel::table1_defaults();
+  ServerThermalModel thermal = ServerThermalModel::table1_defaults();
+  FanParams fan;
+  SensorChainParams sensor;
+};
+
+/// The simulated server.
+class Server {
+ public:
+  /// Build with an initial fan speed; the plant starts at thermal
+  /// equilibrium for zero utilization at that speed, and the sensor
+  /// pipeline is pre-loaded with the equilibrium temperature.
+  Server(ServerParams params, double initial_fan_rpm, Rng& rng);
+
+  /// All-defaults server (Table I), initial fan at 2000 rpm.
+  static Server table1_defaults(Rng& rng);
+
+  /// Command a new fan speed (the actuator slews toward it).
+  void command_fan(double rpm) noexcept { actuator_.command(rpm); }
+
+  /// Advance physics by `dt` seconds with the CPU executing utilization
+  /// `u_executed`.  Updates thermal state, fan dynamics, sensing, and
+  /// energy accounting.
+  void step(double u_executed, double dt);
+
+  /// Settle the whole plant (thermal + sensor pipeline) at an operating
+  /// point; the actuator jumps to the speed instantly.
+  void settle(double u_executed, double fan_rpm);
+
+  /// The measurement the firmware sees (lagged + quantized).
+  double measured_temp() const noexcept { return sensor_.read(); }
+
+  /// ADC step of the measurement pipeline (|T_Q| for Eqn. 10).
+  double quantization_step() const noexcept { return sensor_.quantization_step(); }
+
+  /// Ground truth, for metrics only.
+  double true_junction() const noexcept { return params_.thermal.junction(); }
+  double true_heat_sink() const noexcept {
+    return params_.thermal.heat_sink_temperature();
+  }
+
+  /// Actuator state.
+  double fan_speed_actual() const noexcept { return actuator_.speed(); }
+  double fan_speed_commanded() const noexcept { return actuator_.commanded(); }
+
+  /// Instantaneous power at the current state and given utilization.
+  double cpu_power_now(double u_executed) const noexcept {
+    return params_.cpu_power.power(u_executed);
+  }
+  double fan_power_now() const noexcept {
+    return params_.fan_power.power(actuator_.speed());
+  }
+
+  /// Cumulative energy accounting since construction / last reset.
+  const EnergyMeter& energy() const noexcept { return energy_; }
+  void reset_energy() noexcept { energy_.reset(); }
+
+  const ServerParams& params() const noexcept { return params_; }
+
+ private:
+  ServerParams params_;
+  FanActuator actuator_;
+  SensorChain sensor_;
+  EnergyMeter energy_;
+};
+
+}  // namespace fsc

@@ -1,0 +1,80 @@
+// The simulation loop: server plant + DTM policy + workload + metrics.
+//
+// Timing structure (paper §VI-A): the policy is invoked every CPU control
+// period (1 s); physics advance in small fixed steps (0.05 s) between
+// policy invocations; the fan controller inside the policy divides down to
+// its own 30 s period.  Controllers only ever see the lagged, quantized
+// measurement.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "core/controller.hpp"
+#include "metrics/deadline.hpp"
+#include "metrics/energy_report.hpp"
+#include "sim/server.hpp"
+#include "util/statistics.hpp"
+#include "workload/trace.hpp"
+
+namespace fsc {
+
+/// Simulation timing and instrumentation options.
+struct SimulationParams {
+  double physics_dt_s = 0.05;   ///< plant integration step
+  double cpu_period_s = 1.0;    ///< policy invocation period
+  double duration_s = 3600.0;
+  double thermal_limit_celsius = 80.0;  ///< junction limit for violation stats
+  double initial_utilization = 0.0;     ///< plant settles here before t = 0
+  bool record_trace = true;
+  double record_period_s = 1.0;  ///< trace sampling period
+};
+
+/// One recorded trace sample.
+struct TraceRecord {
+  double time_s = 0.0;
+  double demand = 0.0;
+  double cap = 1.0;
+  double executed = 0.0;
+  double fan_cmd_rpm = 0.0;
+  double fan_actual_rpm = 0.0;
+  double junction_celsius = 0.0;
+  double heat_sink_celsius = 0.0;
+  double measured_celsius = 0.0;
+  double reference_celsius = 0.0;
+  double cpu_watts = 0.0;
+  double fan_watts = 0.0;
+};
+
+/// Everything a run produces.
+struct SimulationResult {
+  std::vector<TraceRecord> trace;
+  DeadlineTracker deadline;
+  double fan_energy_joules = 0.0;
+  double cpu_energy_joules = 0.0;
+  RunningStats junction_stats;       ///< over physics steps
+  RunningStats fan_speed_stats;      ///< commanded speed over CPU periods
+  double thermal_violation_fraction = 0.0;  ///< time with Tj above the limit
+  double duration_s = 0.0;
+
+  /// Collapse into a Table III row with the given label.
+  SolutionResult summarize(const std::string& name) const;
+
+  /// Extract one column of the trace as a flat vector (for the oscillation
+  /// and settling analysers).  Column accessor is a member pointer.
+  std::vector<double> column(double TraceRecord::* field) const;
+};
+
+/// Run `policy` against `server` under `workload`.
+///
+/// The server is settled at (initial_utilization, current fan command)
+/// before t = 0 so runs start from a reproducible equilibrium.  The policy
+/// is reset first.  Both objects are left in their final state.
+SimulationResult run_simulation(Server& server, DtmPolicy& policy,
+                                const Workload& workload,
+                                const SimulationParams& params);
+
+/// Serialise a trace to CSV (columns matching TraceRecord fields).
+std::string trace_to_csv(const std::vector<TraceRecord>& trace);
+
+}  // namespace fsc

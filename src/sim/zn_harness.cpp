@@ -1,0 +1,107 @@
+#include "sim/zn_harness.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+#include "util/units.hpp"
+
+namespace fsc {
+
+double operating_utilization(const ServerParams& server_params, double region_rpm,
+                             double reference_celsius) {
+  // steady_state_junction(P(u), s) is affine and increasing in u, so solve
+  // directly: T = Tamb + (Rhs + Rdie) * (Ps + Pd * u).
+  const auto& thermal = server_params.thermal;
+  const double r_total = thermal.heat_sink().resistance(region_rpm) +
+                         thermal.params().die_resistance_kpw;
+  const double p_needed =
+      (reference_celsius - thermal.params().ambient_celsius) / r_total;
+  return server_params.cpu_power.utilization_for_power(p_needed);
+}
+
+double tuning_reference(const ServerParams& server_params, double region_rpm,
+                        double reference_celsius) {
+  const double u_op =
+      operating_utilization(server_params, region_rpm, reference_celsius);
+  return server_params.thermal.steady_state_junction(
+      server_params.cpu_power.power(u_op), region_rpm);
+}
+
+ClosedLoopExperiment make_region_experiment(const ServerParams& server_params,
+                                            double region_rpm,
+                                            const ZnHarnessParams& params) {
+  return [server_params, region_rpm, params](double kp) {
+    // Fresh, deterministic plant per run: tuning must not inherit state.
+    Rng rng(42);
+    ServerParams sp = server_params;
+    sp.sensor.quantize = false;  // see header: tune against the lag only
+    sp.sensor.lag_s = params.sensor_lag_s;
+    sp.sensor.noise_stddev = 0.0;
+    Server server(sp, region_rpm, rng);
+
+    const double u_op =
+        operating_utilization(server_params, region_rpm, params.reference_celsius);
+    const double t_ref =
+        tuning_reference(server_params, region_rpm, params.reference_celsius);
+
+    // Perturb: settle at a slightly slower fan so the junction starts a few
+    // degrees above the reference and the loop has something to correct
+    // (Ziegler-Nichols needs an excited loop).
+    const double perturb_rpm =
+        clamp(region_rpm * 0.85, params.min_speed_rpm, params.max_speed_rpm);
+    server.settle(u_op, perturb_rpm);
+    server.command_fan(region_rpm);
+
+    const long fan_steps = static_cast<long>(
+        std::ceil(params.experiment_duration_s / params.fan_period_s));
+    const long physics_per_fan =
+        std::lround(params.fan_period_s / params.physics_dt_s);
+
+    double fan_cmd = region_rpm;
+    std::vector<double> series;
+    series.reserve(static_cast<std::size_t>(fan_steps));
+    for (long k = 0; k < fan_steps; ++k) {
+      const double t_meas = server.measured_temp();
+      series.push_back(t_meas);
+      // P-only controller around (region_rpm, t_ref).
+      const double error = t_meas - t_ref;
+      fan_cmd = clamp(region_rpm + kp * error, params.min_speed_rpm,
+                      params.max_speed_rpm);
+      server.command_fan(fan_cmd);
+      for (long i = 0; i < physics_per_fan; ++i) {
+        server.step(u_op, params.physics_dt_s);
+      }
+    }
+    return series;
+  };
+}
+
+GainRegion tune_region(const ServerParams& server_params, double region_rpm,
+                       const ZnHarnessParams& harness_params,
+                       const ZnSearchParams& search_params) {
+  const auto experiment =
+      make_region_experiment(server_params, region_rpm, harness_params);
+  ZnSearchParams sp = search_params;
+  sp.sample_period_s = harness_params.fan_period_s;
+  const auto gains = tune_pid(experiment, sp);
+  if (!gains) {
+    throw std::runtime_error("tune_region: no ultimate gain found at " +
+                             std::to_string(region_rpm) + " rpm");
+  }
+  return GainRegion{region_rpm, *gains};
+}
+
+GainSchedule tune_schedule(const ServerParams& server_params,
+                           const std::vector<double>& region_rpms,
+                           const ZnHarnessParams& harness_params,
+                           const ZnSearchParams& search_params) {
+  require(!region_rpms.empty(), "tune_schedule: at least one region required");
+  std::vector<GainRegion> regions;
+  regions.reserve(region_rpms.size());
+  for (double rpm : region_rpms) {
+    regions.push_back(tune_region(server_params, rpm, harness_params, search_params));
+  }
+  return GainSchedule(std::move(regions));
+}
+
+}  // namespace fsc

@@ -1,0 +1,71 @@
+// Closed-loop Ziegler-Nichols tuning harness (paper §IV-A/B).
+//
+// Builds the ClosedLoopExperiment closures the core tuner consumes: each
+// experiment settles the Table I plant at a fan-speed operating region,
+// perturbs it, runs a proportional-only fan loop through the *non-ideal*
+// measurement path (the 10 s lag is what limits the ultimate gain), and
+// returns the measured temperature series sampled at the fan period.
+//
+// Quantization is disabled during tuning: a 1 degC ADC step manufactures a
+// permanent limit cycle at any gain, which would fool the sustained-
+// oscillation detector.  The §IV-C quantization guard handles that effect
+// at run time instead; tuning against the lag alone mirrors how the
+// authors could tune on temperatures averaged over repeated runs.
+#pragma once
+
+#include <vector>
+
+#include "core/gain_schedule.hpp"
+#include "core/ziegler_nichols.hpp"
+#include "sim/server.hpp"
+
+namespace fsc {
+
+/// Tuning experiment configuration.
+struct ZnHarnessParams {
+  double reference_celsius = 75.0;  ///< loop set point during tuning
+  double fan_period_s = 30.0;       ///< controller invocation period
+  double physics_dt_s = 0.05;
+  double experiment_duration_s = 3600.0;  ///< per-gain closed-loop run
+  double initial_temp_offset = 2.0; ///< perturbation to excite the loop
+  double sensor_lag_s = 10.0;       ///< Fig. 1 lag, present during tuning
+  double min_speed_rpm = 500.0;
+  double max_speed_rpm = 8500.0;
+};
+
+/// Utilization whose steady-state junction temperature equals
+/// `reference_celsius` at fan speed `region_rpm` — the consistent operating
+/// point for tuning in that region.  Clamped to [0, 1] when the reference
+/// is unreachable.
+double operating_utilization(const ServerParams& server_params, double region_rpm,
+                             double reference_celsius);
+
+/// The reference temperature actually used while tuning a region: the
+/// requested reference when reachable at that fan speed, otherwise the
+/// steady-state junction temperature at the clamped utilization.  Tuning
+/// around an unreachable set point would measure actuator-saturation
+/// dynamics, not the plant linearization the gains are meant to capture.
+double tuning_reference(const ServerParams& server_params, double region_rpm,
+                        double reference_celsius);
+
+/// Build the closed-loop experiment for one region: returns the measured
+/// temperature series (one sample per fan period) under P-only control
+/// with gain kp.
+ClosedLoopExperiment make_region_experiment(const ServerParams& server_params,
+                                            double region_rpm,
+                                            const ZnHarnessParams& params);
+
+/// Tune one region end to end; throws std::runtime_error when no ultimate
+/// gain is found below the search bound.
+GainRegion tune_region(const ServerParams& server_params, double region_rpm,
+                       const ZnHarnessParams& harness_params,
+                       const ZnSearchParams& search_params);
+
+/// Tune a full schedule over the given region speeds (the paper uses
+/// {2000, 6000}).
+GainSchedule tune_schedule(const ServerParams& server_params,
+                           const std::vector<double>& region_rpms,
+                           const ZnHarnessParams& harness_params,
+                           const ZnSearchParams& search_params);
+
+}  // namespace fsc

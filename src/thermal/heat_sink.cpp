@@ -1,0 +1,47 @@
+#include "thermal/heat_sink.hpp"
+
+#include <cmath>
+
+#include "util/units.hpp"
+
+namespace fsc {
+
+HeatSinkModel::HeatSinkModel(double r_base, double r_coeff, double r_exp,
+                             double max_speed_rpm, double time_constant_at_max_s)
+    : r_base_(r_base),
+      r_coeff_(r_coeff),
+      r_exp_(r_exp),
+      max_speed_rpm_(max_speed_rpm) {
+  require(r_base >= 0.0, "HeatSinkModel: r_base must be >= 0");
+  require(r_coeff >= 0.0, "HeatSinkModel: r_coeff must be >= 0");
+  require(r_exp > 0.0, "HeatSinkModel: r_exp must be > 0");
+  require(max_speed_rpm > 0.0, "HeatSinkModel: max speed must be > 0");
+  require(time_constant_at_max_s > 0.0, "HeatSinkModel: time constant must be > 0");
+  capacitance_ = time_constant_at_max_s / resistance(max_speed_rpm);
+}
+
+HeatSinkModel HeatSinkModel::table1_defaults() {
+  return HeatSinkModel(0.141, 132.51, 0.923, 8500.0, 60.0);
+}
+
+double HeatSinkModel::resistance(double rpm) const noexcept {
+  const double v = rpm < 1.0 ? 1.0 : rpm;
+  return r_base_ + r_coeff_ * std::pow(v, -r_exp_);
+}
+
+double HeatSinkModel::resistance_slope(double rpm) const noexcept {
+  const double v = rpm < 1.0 ? 1.0 : rpm;
+  return -r_exp_ * r_coeff_ * std::pow(v, -r_exp_ - 1.0);
+}
+
+double HeatSinkModel::time_constant(double rpm) const noexcept {
+  return resistance(rpm) * capacitance_;
+}
+
+double HeatSinkModel::speed_for_resistance(double r) const {
+  require(r > r_base_, "HeatSinkModel: requested resistance below asymptote");
+  const double v = std::pow(r_coeff_ / (r - r_base_), 1.0 / r_exp_);
+  return clamp(v, 1.0, max_speed_rpm_);
+}
+
+}  // namespace fsc

@@ -1,0 +1,57 @@
+// Heat-sink thermal resistance as a function of fan speed (Table I):
+//
+//   Rhs(v) = 0.141 + 132.51 * v^-0.923   [K/W],  v = fan speed in rpm
+//
+// The resistance is the nonlinearity that motivates the paper's adaptive
+// (gain-scheduled) PID: dT/ds is much larger at low fan speed than at high
+// fan speed.
+#pragma once
+
+namespace fsc {
+
+/// Fan-speed-dependent heat-sink thermal resistance, plus the derived
+/// thermal capacitance (from the Table I time constant at max airflow).
+class HeatSinkModel {
+ public:
+  /// Parameters of Rhs(v) = r_base + r_coeff * v^-r_exp, and the time
+  /// constant observed at `max_speed_rpm`.
+  /// Throws std::invalid_argument on non-positive max speed / time constant
+  /// or negative resistance parameters.
+  HeatSinkModel(double r_base, double r_coeff, double r_exp,
+                double max_speed_rpm, double time_constant_at_max_s);
+
+  /// Table I defaults: Rhs(v) = 0.141 + 132.51 v^-0.923, tau = 60 s at
+  /// 8500 rpm.
+  static HeatSinkModel table1_defaults();
+
+  /// Thermal resistance in K/W at fan speed `rpm`.  Speeds below 1 rpm are
+  /// clamped to 1 rpm to keep the power law finite.
+  double resistance(double rpm) const noexcept;
+
+  /// d(Rhs)/d(v) at fan speed `rpm` (K/W per rpm); used by tests and the
+  /// sensitivity analysis in the gain-schedule ablation.
+  double resistance_slope(double rpm) const noexcept;
+
+  /// Thermal capacitance in J/K, derived so that tau(max speed) matches the
+  /// configured time constant: C = tau_max / Rhs(s_max).
+  double capacitance() const noexcept { return capacitance_; }
+
+  /// Thermal time constant Rhs(v) * C in seconds at fan speed `rpm`.
+  double time_constant(double rpm) const noexcept;
+
+  /// Fan speed whose resistance equals `r` (inverse of resistance()),
+  /// clamped to [1 rpm, max]. Throws std::invalid_argument when r <= r_base
+  /// (unreachable resistance).
+  double speed_for_resistance(double r) const;
+
+  double max_speed() const noexcept { return max_speed_rpm_; }
+
+ private:
+  double r_base_;
+  double r_coeff_;
+  double r_exp_;
+  double max_speed_rpm_;
+  double capacitance_;
+};
+
+}  // namespace fsc

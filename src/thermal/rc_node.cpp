@@ -1,0 +1,16 @@
+#include "thermal/rc_node.hpp"
+
+#include <cmath>
+
+#include "util/units.hpp"
+
+namespace fsc {
+
+void RcNode::step(double steady_state_celsius, double tau_seconds, double dt) {
+  require(dt >= 0.0, "RcNode: dt must be >= 0");
+  require(tau_seconds > 0.0, "RcNode: tau must be > 0");
+  const double decay = std::exp(-dt / tau_seconds);
+  temperature_ = steady_state_celsius + (temperature_ - steady_state_celsius) * decay;
+}
+
+}  // namespace fsc

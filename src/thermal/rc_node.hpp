@@ -1,0 +1,38 @@
+// First-order thermal RC node with exact exponential integration.
+//
+// Both plant nodes (heat sink and die) follow paper Eqn. 2:
+//
+//   T(t + dt) = T_ss + (T(t) - T_ss) * exp(-dt / (R * C))
+//
+// Using the closed-form update keeps the simulation unconditionally stable
+// for any step size, which matters because the die time constant (0.1 s) is
+// 600x smaller than the heat sink's (60 s).
+#pragma once
+
+namespace fsc {
+
+/// One thermal capacitance with a (possibly time-varying) resistance to a
+/// driving temperature.  The caller supplies R, the upstream steady-state
+/// temperature, and dt on every step; the node stores only its state.
+class RcNode {
+ public:
+  /// Create with an initial temperature in Celsius.
+  explicit RcNode(double initial_celsius) : temperature_(initial_celsius) {}
+
+  /// Advance by `dt` seconds toward `steady_state_celsius` with time
+  /// constant `tau_seconds`.  Throws std::invalid_argument when dt < 0 or
+  /// tau_seconds <= 0.
+  void step(double steady_state_celsius, double tau_seconds, double dt);
+
+  /// Current node temperature in Celsius.
+  double temperature() const noexcept { return temperature_; }
+
+  /// Force the node to a temperature (used when initialising experiments
+  /// from a thermal steady state).
+  void set_temperature(double celsius) noexcept { temperature_ = celsius; }
+
+ private:
+  double temperature_;
+};
+
+}  // namespace fsc

@@ -1,0 +1,72 @@
+#include "thermal/server_thermal_model.hpp"
+
+#include <cmath>
+
+#include "util/units.hpp"
+
+namespace fsc {
+
+ServerThermalModel::ServerThermalModel(HeatSinkModel heat_sink, ThermalParams params)
+    : heat_sink_(heat_sink),
+      params_(params),
+      heat_sink_node_(params.ambient_celsius),
+      die_node_(params.ambient_celsius) {
+  require(params.die_resistance_kpw >= 0.0,
+          "ServerThermalModel: die resistance must be >= 0");
+  require(params.die_time_constant_s > 0.0,
+          "ServerThermalModel: die time constant must be > 0");
+}
+
+ServerThermalModel ServerThermalModel::table1_defaults() {
+  return ServerThermalModel(HeatSinkModel::table1_defaults(), ThermalParams{});
+}
+
+void ServerThermalModel::step(double cpu_watts, double fan_rpm, double dt) {
+  require(cpu_watts >= 0.0, "ServerThermalModel: power must be >= 0");
+  require(fan_rpm >= 0.0, "ServerThermalModel: fan speed must be >= 0");
+  const double r_hs = heat_sink_.resistance(fan_rpm);
+  const double hs_ss = params_.ambient_celsius + r_hs * cpu_watts;   // Eqn. 3
+  heat_sink_node_.step(hs_ss, r_hs * heat_sink_.capacitance(), dt);  // Eqn. 2
+  const double die_ss =
+      heat_sink_node_.temperature() + params_.die_resistance_kpw * cpu_watts;
+  die_node_.step(die_ss, params_.die_time_constant_s, dt);
+}
+
+void ServerThermalModel::settle(double cpu_watts, double fan_rpm) {
+  heat_sink_node_.set_temperature(steady_state_heat_sink(cpu_watts, fan_rpm));
+  die_node_.set_temperature(steady_state_junction(cpu_watts, fan_rpm));
+}
+
+double ServerThermalModel::steady_state_heat_sink(double cpu_watts,
+                                                  double fan_rpm) const noexcept {
+  return params_.ambient_celsius + heat_sink_.resistance(fan_rpm) * cpu_watts;
+}
+
+double ServerThermalModel::steady_state_junction(double cpu_watts,
+                                                 double fan_rpm) const noexcept {
+  return steady_state_heat_sink(cpu_watts, fan_rpm) +
+         params_.die_resistance_kpw * cpu_watts;
+}
+
+double ServerThermalModel::min_speed_for_junction_limit(double cpu_watts,
+                                                        double limit_celsius) const {
+  require(cpu_watts >= 0.0, "min_speed_for_junction_limit: power must be >= 0");
+  const double s_max = heat_sink_.max_speed();
+  if (steady_state_junction(cpu_watts, s_max) > limit_celsius) return s_max;
+  double lo = 1.0;
+  double hi = s_max;
+  if (steady_state_junction(cpu_watts, lo) <= limit_celsius) return lo;
+  // Junction temperature is monotonically decreasing in fan speed, so
+  // bisection converges to the boundary speed.
+  for (int i = 0; i < 60 && hi - lo > 1e-6; ++i) {
+    const double mid = 0.5 * (lo + hi);
+    if (steady_state_junction(cpu_watts, mid) > limit_celsius) {
+      lo = mid;
+    } else {
+      hi = mid;
+    }
+  }
+  return hi;
+}
+
+}  // namespace fsc

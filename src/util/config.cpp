@@ -1,0 +1,120 @@
+#include "util/config.hpp"
+
+#include <algorithm>
+#include <cctype>
+#include <fstream>
+#include <sstream>
+#include <stdexcept>
+
+namespace fsc {
+
+namespace {
+
+std::string trim(const std::string& s) {
+  auto begin = std::find_if_not(s.begin(), s.end(),
+                                [](unsigned char c) { return std::isspace(c); });
+  auto end = std::find_if_not(s.rbegin(), s.rend(),
+                              [](unsigned char c) { return std::isspace(c); })
+                 .base();
+  return begin < end ? std::string(begin, end) : std::string();
+}
+
+std::string lower(std::string s) {
+  std::transform(s.begin(), s.end(), s.begin(),
+                 [](unsigned char c) { return static_cast<char>(std::tolower(c)); });
+  return s;
+}
+
+}  // namespace
+
+Config Config::parse(const std::string& text) {
+  Config cfg;
+  std::istringstream ss(text);
+  std::string line;
+  std::size_t line_no = 0;
+  while (std::getline(ss, line)) {
+    ++line_no;
+    const auto hash = line.find('#');
+    if (hash != std::string::npos) line.erase(hash);
+    const std::string trimmed = trim(line);
+    if (trimmed.empty()) continue;
+    const auto eq = trimmed.find('=');
+    if (eq == std::string::npos) {
+      throw std::runtime_error("config: missing '=' at line " + std::to_string(line_no));
+    }
+    const std::string key = trim(trimmed.substr(0, eq));
+    const std::string value = trim(trimmed.substr(eq + 1));
+    if (key.empty()) {
+      throw std::runtime_error("config: empty key at line " + std::to_string(line_no));
+    }
+    cfg.set(key, value);
+  }
+  return cfg;
+}
+
+Config Config::load(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) throw std::runtime_error("cannot open config file: " + path);
+  std::ostringstream buf;
+  buf << in.rdbuf();
+  return parse(buf.str());
+}
+
+void Config::set(const std::string& key, const std::string& value) {
+  values_[key] = value;
+}
+
+bool Config::has(const std::string& key) const { return values_.count(key) > 0; }
+
+std::optional<std::string> Config::get(const std::string& key) const {
+  auto it = values_.find(key);
+  if (it == values_.end()) return std::nullopt;
+  return it->second;
+}
+
+std::string Config::get_string(const std::string& key, const std::string& def) const {
+  return get(key).value_or(def);
+}
+
+double Config::get_double(const std::string& key, double def) const {
+  auto v = get(key);
+  if (!v) return def;
+  try {
+    std::size_t pos = 0;
+    const double d = std::stod(*v, &pos);
+    if (pos != v->size()) throw std::invalid_argument(*v);
+    return d;
+  } catch (const std::exception&) {
+    throw std::runtime_error("config: key '" + key + "' is not a double: " + *v);
+  }
+}
+
+long Config::get_int(const std::string& key, long def) const {
+  auto v = get(key);
+  if (!v) return def;
+  try {
+    std::size_t pos = 0;
+    const long d = std::stol(*v, &pos);
+    if (pos != v->size()) throw std::invalid_argument(*v);
+    return d;
+  } catch (const std::exception&) {
+    throw std::runtime_error("config: key '" + key + "' is not an integer: " + *v);
+  }
+}
+
+bool Config::get_bool(const std::string& key, bool def) const {
+  auto v = get(key);
+  if (!v) return def;
+  const std::string s = lower(*v);
+  if (s == "true" || s == "1" || s == "yes" || s == "on") return true;
+  if (s == "false" || s == "0" || s == "no" || s == "off") return false;
+  throw std::runtime_error("config: key '" + key + "' is not a bool: " + *v);
+}
+
+std::string Config::to_string() const {
+  std::ostringstream out;
+  for (const auto& [k, v] : values_) out << k << " = " << v << '\n';
+  return out.str();
+}
+
+}  // namespace fsc

@@ -1,0 +1,53 @@
+// Key/value configuration, `key = value` per line, `#` comments.
+//
+// Experiments and examples accept small config files so parameter sweeps do
+// not require recompilation.  Values are strings with typed accessors.
+#pragma once
+
+#include <map>
+#include <optional>
+#include <string>
+
+namespace fsc {
+
+/// Immutable-ish configuration map with typed lookups and defaults.
+class Config {
+ public:
+  Config() = default;
+
+  /// Parse `key = value` text.  Later keys override earlier ones.
+  /// Throws std::runtime_error on malformed lines (no '=').
+  static Config parse(const std::string& text);
+
+  /// Load from a file; throws std::runtime_error when unreadable.
+  static Config load(const std::string& path);
+
+  /// Set (or overwrite) a key.
+  void set(const std::string& key, const std::string& value);
+
+  /// True when `key` exists.
+  bool has(const std::string& key) const;
+
+  /// Raw string lookup; std::nullopt when absent.
+  std::optional<std::string> get(const std::string& key) const;
+
+  /// String lookup with a default.
+  std::string get_string(const std::string& key, const std::string& def) const;
+
+  /// Typed lookups with defaults.  Throw std::runtime_error when the key is
+  /// present but not parseable as the requested type.
+  double get_double(const std::string& key, double def) const;
+  long get_int(const std::string& key, long def) const;
+  bool get_bool(const std::string& key, bool def) const;
+
+  /// Number of keys stored.
+  std::size_t size() const { return values_.size(); }
+
+  /// Serialise back to `key = value` lines (sorted by key).
+  std::string to_string() const;
+
+ private:
+  std::map<std::string, std::string> values_;
+};
+
+}  // namespace fsc

@@ -1,0 +1,45 @@
+#include "workload/predictor.hpp"
+
+#include "util/units.hpp"
+
+namespace fsc {
+
+MovingAveragePredictor::MovingAveragePredictor(std::size_t window, double initial)
+    : window_(window), initial_(initial), stats_(window == 0 ? 1 : window) {
+  require(window > 0, "MovingAveragePredictor: window must be > 0");
+  require(initial >= 0.0 && initial <= 1.0,
+          "MovingAveragePredictor: initial must be in [0,1]");
+}
+
+void MovingAveragePredictor::observe(double u) { stats_.add(clamp_utilization(u)); }
+
+double MovingAveragePredictor::predict() const {
+  return stats_.count() == 0 ? initial_ : stats_.mean();
+}
+
+void MovingAveragePredictor::reset() { stats_.clear(); }
+
+EwmaPredictor::EwmaPredictor(double alpha, double initial)
+    : alpha_(alpha), initial_(initial), value_(initial) {
+  require(alpha > 0.0 && alpha <= 1.0, "EwmaPredictor: alpha must be in (0,1]");
+  require(initial >= 0.0 && initial <= 1.0, "EwmaPredictor: initial must be in [0,1]");
+}
+
+void EwmaPredictor::observe(double u) {
+  const double x = clamp_utilization(u);
+  if (!seeded_) {
+    value_ = x;
+    seeded_ = true;
+  } else {
+    value_ = alpha_ * x + (1.0 - alpha_) * value_;
+  }
+}
+
+double EwmaPredictor::predict() const { return seeded_ ? value_ : initial_; }
+
+void EwmaPredictor::reset() {
+  value_ = initial_;
+  seeded_ = false;
+}
+
+}  // namespace fsc

@@ -1,0 +1,71 @@
+// CPU utilization prediction (paper §V-B).
+//
+// "In order to filter out the noise term in the CPU utilization, we used a
+//  moving average filter for the prediction [19]."
+//
+// The predictor consumes the utilization observed each CPU control period
+// and predicts the next-period utilization as the window mean.  An
+// exponentially-weighted variant is provided for the ablation bench.
+#pragma once
+
+#include <cstddef>
+
+#include "util/statistics.hpp"
+
+namespace fsc {
+
+/// Interface for one-step-ahead utilization predictors.
+class UtilizationPredictor {
+ public:
+  virtual ~UtilizationPredictor() = default;
+
+  /// Record the utilization observed in the period that just ended.
+  virtual void observe(double u) = 0;
+
+  /// Predicted utilization for the next period, in [0, 1].
+  virtual double predict() const = 0;
+
+  /// Forget all history.
+  virtual void reset() = 0;
+};
+
+/// Moving-average predictor over the last `window` observations (the
+/// paper's choice).  Before any observation it predicts `initial`.
+class MovingAveragePredictor final : public UtilizationPredictor {
+ public:
+  /// Throws std::invalid_argument when window == 0 or initial outside [0,1].
+  explicit MovingAveragePredictor(std::size_t window, double initial = 0.0);
+
+  void observe(double u) override;
+  double predict() const override;
+  void reset() override;
+
+  std::size_t window() const noexcept { return window_; }
+
+ private:
+  std::size_t window_;
+  double initial_;
+  WindowedStats stats_;
+};
+
+/// Exponentially weighted moving average: pred <- alpha*u + (1-alpha)*pred.
+class EwmaPredictor final : public UtilizationPredictor {
+ public:
+  /// Throws std::invalid_argument when alpha outside (0, 1] or initial
+  /// outside [0,1].
+  explicit EwmaPredictor(double alpha, double initial = 0.0);
+
+  void observe(double u) override;
+  double predict() const override;
+  void reset() override;
+
+  double alpha() const noexcept { return alpha_; }
+
+ private:
+  double alpha_;
+  double initial_;
+  double value_;
+  bool seeded_ = false;
+};
+
+}  // namespace fsc

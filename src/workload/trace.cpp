@@ -1,0 +1,53 @@
+#include "workload/trace.hpp"
+
+#include <cmath>
+
+#include "util/units.hpp"
+
+namespace fsc {
+
+ConstantWorkload::ConstantWorkload(double level) : level_(level) {
+  require(level >= 0.0 && level <= 1.0, "ConstantWorkload: level must be in [0,1]");
+}
+
+double ConstantWorkload::demand(double) const { return level_; }
+
+SquareWaveWorkload::SquareWaveWorkload(double low, double high, double period_s)
+    : low_(low), high_(high), period_s_(period_s) {
+  require(low >= 0.0 && low <= 1.0, "SquareWaveWorkload: low must be in [0,1]");
+  require(high >= 0.0 && high <= 1.0, "SquareWaveWorkload: high must be in [0,1]");
+  require(period_s > 0.0, "SquareWaveWorkload: period must be > 0");
+}
+
+double SquareWaveWorkload::demand(double t) const {
+  if (t < 0.0) t = 0.0;
+  const double phase = std::fmod(t, period_s_);
+  return phase < 0.5 * period_s_ ? low_ : high_;
+}
+
+SampledWorkload::SampledWorkload(std::vector<double> samples, double sample_period_s)
+    : samples_(std::move(samples)), period_s_(sample_period_s) {
+  require(!samples_.empty(), "SampledWorkload: samples must be non-empty");
+  require(sample_period_s > 0.0, "SampledWorkload: sample period must be > 0");
+  for (double s : samples_) {
+    require(s >= 0.0 && s <= 1.0, "SampledWorkload: samples must be in [0,1]");
+  }
+}
+
+double SampledWorkload::demand(double t) const {
+  if (t < 0.0) t = 0.0;
+  const auto idx = static_cast<std::size_t>(t / period_s_);
+  return idx >= samples_.size() ? samples_.back() : samples_[idx];
+}
+
+double SampledWorkload::duration() const noexcept {
+  return static_cast<double>(samples_.size()) * period_s_;
+}
+
+LambdaWorkload::LambdaWorkload(std::function<double(double)> fn) : fn_(std::move(fn)) {
+  require(static_cast<bool>(fn_), "LambdaWorkload: callable must be non-empty");
+}
+
+double LambdaWorkload::demand(double t) const { return clamp_utilization(fn_(t)); }
+
+}  // namespace fsc

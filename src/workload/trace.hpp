@@ -1,0 +1,85 @@
+// Workload abstraction: required CPU utilization as a function of time.
+//
+// The paper drives experiments with synthetic traces (square wave between
+// 0.1 and 0.7 plus Gaussian noise, §VI-A).  A Workload answers "what
+// utilization does the job mix demand at time t"; the *executed*
+// utilization is min(demand, CPU cap) and is the simulator's business.
+#pragma once
+
+#include <functional>
+#include <memory>
+#include <vector>
+
+namespace fsc {
+
+/// Interface: demanded utilization over time.  Implementations must return
+/// values in [0, 1] and be deterministic for a fixed construction (all
+/// randomness is drawn at construction/creation time so that repeated
+/// queries at the same t agree).
+class Workload {
+ public:
+  virtual ~Workload() = default;
+
+  /// Demanded utilization at absolute time `t` seconds (>= 0).
+  virtual double demand(double t) const = 0;
+};
+
+/// Constant demand.
+class ConstantWorkload final : public Workload {
+ public:
+  /// Throws std::invalid_argument when level is outside [0, 1].
+  explicit ConstantWorkload(double level);
+  double demand(double t) const override;
+
+ private:
+  double level_;
+};
+
+/// Square wave alternating between `low` and `high` with the given period
+/// (50 % duty cycle), starting at `low`.
+class SquareWaveWorkload final : public Workload {
+ public:
+  /// Throws std::invalid_argument when levels are outside [0, 1] or
+  /// period <= 0.
+  SquareWaveWorkload(double low, double high, double period_s);
+  double demand(double t) const override;
+
+  double low() const noexcept { return low_; }
+  double high() const noexcept { return high_; }
+  double period() const noexcept { return period_s_; }
+
+ private:
+  double low_;
+  double high_;
+  double period_s_;
+};
+
+/// A pre-sampled trace: utilization samples at a fixed period, with
+/// zero-order hold between samples and the last sample held forever.
+class SampledWorkload final : public Workload {
+ public:
+  /// Throws std::invalid_argument when samples is empty or period <= 0 or
+  /// any sample is outside [0, 1].
+  SampledWorkload(std::vector<double> samples, double sample_period_s);
+  double demand(double t) const override;
+
+  std::size_t size() const noexcept { return samples_.size(); }
+  double sample_period() const noexcept { return period_s_; }
+  double duration() const noexcept;
+
+ private:
+  std::vector<double> samples_;
+  double period_s_;
+};
+
+/// Wrap any callable as a workload (used by tests and examples).
+class LambdaWorkload final : public Workload {
+ public:
+  explicit LambdaWorkload(std::function<double(double)> fn);
+  double demand(double t) const override;
+
+ private:
+  std::function<double(double)> fn_;
+};
+
+}  // namespace fsc

@@ -1,0 +1,69 @@
+#include "workload/trace_io.hpp"
+
+#include <cmath>
+#include <fstream>
+#include <sstream>
+#include <stdexcept>
+
+#include "util/csv.hpp"
+#include "util/units.hpp"
+
+namespace fsc {
+
+std::string workload_to_csv(const Workload& w, double duration_s,
+                            double sample_period_s) {
+  require(duration_s > 0.0, "workload_to_csv: duration must be > 0");
+  require(sample_period_s > 0.0, "workload_to_csv: sample period must be > 0");
+  std::ostringstream out;
+  CsvWriter csv(out, 9);
+  csv.header({"time", "utilization"});
+  const auto n = static_cast<std::size_t>(std::ceil(duration_s / sample_period_s));
+  for (std::size_t i = 0; i < n; ++i) {
+    const double t = static_cast<double>(i) * sample_period_s;
+    csv.row({t, w.demand(t)});
+  }
+  return out.str();
+}
+
+std::unique_ptr<SampledWorkload> workload_from_csv(const std::string& csv_text) {
+  const CsvTable table = parse_csv(csv_text);
+  std::vector<double> times, utils;
+  try {
+    times = table.column("time");
+    utils = table.column("utilization");
+  } catch (const std::out_of_range& e) {
+    throw std::runtime_error(std::string("workload_from_csv: ") + e.what());
+  }
+  if (times.empty()) throw std::runtime_error("workload_from_csv: empty trace");
+  double period = 1.0;
+  if (times.size() >= 2) {
+    period = times[1] - times[0];
+    if (period <= 0.0) throw std::runtime_error("workload_from_csv: non-increasing time");
+    for (std::size_t i = 1; i < times.size(); ++i) {
+      if (std::fabs((times[i] - times[i - 1]) - period) > 1e-6) {
+        throw std::runtime_error("workload_from_csv: non-uniform sample spacing");
+      }
+    }
+  }
+  std::vector<double> samples;
+  samples.reserve(utils.size());
+  for (double u : utils) samples.push_back(clamp_utilization(u));
+  return std::make_unique<SampledWorkload>(std::move(samples), period);
+}
+
+void save_workload(const Workload& w, double duration_s, double sample_period_s,
+                   const std::string& path) {
+  std::ofstream out(path);
+  if (!out) throw std::runtime_error("save_workload: cannot open " + path);
+  out << workload_to_csv(w, duration_s, sample_period_s);
+}
+
+std::unique_ptr<SampledWorkload> load_workload(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) throw std::runtime_error("load_workload: cannot open " + path);
+  std::ostringstream buf;
+  buf << in.rdbuf();
+  return workload_from_csv(buf.str());
+}
+
+}  // namespace fsc

@@ -1,0 +1,29 @@
+// Workload trace persistence: write/read `time,utilization` CSV files so
+// experiments can be replayed outside the library (trace_player example).
+#pragma once
+
+#include <memory>
+#include <string>
+
+#include "workload/trace.hpp"
+
+namespace fsc {
+
+/// Serialise a workload sampled every `sample_period_s` for `duration_s`
+/// seconds into CSV text with columns `time,utilization`.
+std::string workload_to_csv(const Workload& w, double duration_s,
+                            double sample_period_s);
+
+/// Parse a CSV produced by workload_to_csv (or hand-written with the same
+/// columns) back into a SampledWorkload.  The sample period is inferred
+/// from the first two rows; a single-row trace gets a 1 s period.
+/// Throws std::runtime_error on missing columns or non-uniform spacing
+/// (tolerance 1e-6 s).
+std::unique_ptr<SampledWorkload> workload_from_csv(const std::string& csv_text);
+
+/// Convenience wrappers over files.
+void save_workload(const Workload& w, double duration_s, double sample_period_s,
+                   const std::string& path);
+std::unique_ptr<SampledWorkload> load_workload(const std::string& path);
+
+}  // namespace fsc

@@ -1,0 +1,111 @@
+// Unit tests for src/actuator: slew-limited fan dynamics.
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+
+#include "actuator/fan_actuator.hpp"
+
+namespace fsc {
+namespace {
+
+// Explicit parameters so the tests do not depend on the library defaults
+// (which are calibrated to the reproduction scenario, not to these
+// arithmetic checks): 500-8500 rpm envelope, 200 rpm/s slew.
+FanParams default_params() {
+  FanParams p;
+  p.min_rpm = 500.0;
+  p.max_rpm = 8500.0;
+  p.slew_rpm_per_s = 200.0;
+  return p;
+}
+
+TEST(FanActuator, StartsClampedIntoEnvelope) {
+  FanActuator low(default_params(), 100.0);
+  EXPECT_DOUBLE_EQ(low.speed(), 500.0);  // clamped to min
+  FanActuator high(default_params(), 9999.0);
+  EXPECT_DOUBLE_EQ(high.speed(), 8500.0);  // clamped to max
+}
+
+TEST(FanActuator, SlewsTowardCommand) {
+  FanActuator fan(default_params(), 2000.0);
+  fan.command(3000.0);
+  fan.step(1.0);  // 200 rpm/s slew
+  EXPECT_DOUBLE_EQ(fan.speed(), 2200.0);
+  fan.step(1.0);
+  EXPECT_DOUBLE_EQ(fan.speed(), 2400.0);
+}
+
+TEST(FanActuator, ReachesCommandExactly) {
+  FanActuator fan(default_params(), 2000.0);
+  fan.command(2100.0);
+  fan.step(1.0);  // would move 200 but only 100 needed
+  EXPECT_DOUBLE_EQ(fan.speed(), 2100.0);
+  EXPECT_TRUE(fan.settled());
+}
+
+TEST(FanActuator, SlewsDownToo) {
+  FanActuator fan(default_params(), 4000.0);
+  fan.command(3000.0);
+  fan.step(2.0);
+  EXPECT_DOUBLE_EQ(fan.speed(), 3600.0);
+}
+
+TEST(FanActuator, CommandClampedToEnvelope) {
+  FanActuator fan(default_params(), 2000.0);
+  fan.command(99999.0);
+  EXPECT_DOUBLE_EQ(fan.commanded(), 8500.0);
+  fan.command(0.0);
+  EXPECT_DOUBLE_EQ(fan.commanded(), 500.0);
+}
+
+TEST(FanActuator, TransitionTimeMatchesSlew) {
+  FanActuator fan(default_params(), 2000.0);
+  fan.command(6000.0);
+  // 4000 rpm at 200 rpm/s = 20 s: the paper's N_fan_trans transient.
+  EXPECT_DOUBLE_EQ(fan.transition_time(), 20.0);
+}
+
+TEST(FanActuator, SettledAfterTransitionTime) {
+  FanActuator fan(default_params(), 2000.0);
+  fan.command(6000.0);
+  for (int i = 0; i < 200; ++i) fan.step(0.1);
+  EXPECT_TRUE(fan.settled());
+  EXPECT_DOUBLE_EQ(fan.speed(), 6000.0);
+}
+
+TEST(FanActuator, ZeroDtIsNoop) {
+  FanActuator fan(default_params(), 2000.0);
+  fan.command(5000.0);
+  fan.step(0.0);
+  EXPECT_DOUBLE_EQ(fan.speed(), 2000.0);
+}
+
+TEST(FanActuator, RejectsNegativeDt) {
+  FanActuator fan(default_params(), 2000.0);
+  EXPECT_THROW(fan.step(-1.0), std::invalid_argument);
+}
+
+TEST(FanActuator, RejectsBadParams) {
+  FanParams bad;
+  bad.min_rpm = -1.0;
+  EXPECT_THROW(FanActuator(bad, 1000.0), std::invalid_argument);
+  bad = FanParams{};
+  bad.max_rpm = bad.min_rpm;
+  EXPECT_THROW(FanActuator(bad, 1000.0), std::invalid_argument);
+  bad = FanParams{};
+  bad.slew_rpm_per_s = 0.0;
+  EXPECT_THROW(FanActuator(bad, 1000.0), std::invalid_argument);
+}
+
+TEST(FanActuator, RetargetMidTransition) {
+  FanActuator fan(default_params(), 2000.0);
+  fan.command(6000.0);
+  fan.step(5.0);  // at 3000 rpm
+  EXPECT_DOUBLE_EQ(fan.speed(), 3000.0);
+  fan.command(2500.0);  // reverse
+  fan.step(1.0);
+  EXPECT_DOUBLE_EQ(fan.speed(), 2800.0);
+}
+
+}  // namespace
+}  // namespace fsc

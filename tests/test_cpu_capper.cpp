@@ -1,0 +1,97 @@
+// Unit tests for the deadzone CPU cap controller (§III-A, with the
+// polarity erratum fixed as documented in DESIGN.md).
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+
+#include "core/cpu_capper.hpp"
+
+namespace fsc {
+namespace {
+
+CapControlInput input_at(double temp, double cap) {
+  CapControlInput in;
+  in.measured_temp = temp;
+  in.current_cap = cap;
+  return in;
+}
+
+TEST(Capper, ThrottlesAboveHighThreshold) {
+  DeadzoneCpuCapper c(CpuCapperParams{});  // 77/80, step 0.05
+  EXPECT_NEAR(c.decide(input_at(81.0, 1.0)), 0.95, 1e-12);
+}
+
+TEST(Capper, RestoresBelowLowThreshold) {
+  DeadzoneCpuCapper c(CpuCapperParams{});
+  EXPECT_NEAR(c.decide(input_at(70.0, 0.8)), 0.85, 1e-12);
+}
+
+TEST(Capper, HoldsInsideComfortZone) {
+  DeadzoneCpuCapper c(CpuCapperParams{});
+  EXPECT_DOUBLE_EQ(c.decide(input_at(78.5, 0.8)), 0.8);
+  EXPECT_DOUBLE_EQ(c.decide(input_at(77.0, 0.8)), 0.8);  // boundaries hold
+  EXPECT_DOUBLE_EQ(c.decide(input_at(80.0, 0.8)), 0.8);
+}
+
+TEST(Capper, ClampsAtMinCap) {
+  CpuCapperParams p;
+  p.min_cap = 0.1;
+  DeadzoneCpuCapper c(p);
+  EXPECT_DOUBLE_EQ(c.decide(input_at(90.0, 0.12)), 0.1);
+  EXPECT_DOUBLE_EQ(c.decide(input_at(90.0, 0.1)), 0.1);
+}
+
+TEST(Capper, ClampsAtMaxCap) {
+  DeadzoneCpuCapper c(CpuCapperParams{});
+  EXPECT_DOUBLE_EQ(c.decide(input_at(60.0, 0.98)), 1.0);
+  EXPECT_DOUBLE_EQ(c.decide(input_at(60.0, 1.0)), 1.0);
+}
+
+TEST(Capper, RepeatedEmergencyWalksDownToFloor) {
+  DeadzoneCpuCapper c(CpuCapperParams{});
+  double cap = 1.0;
+  for (int i = 0; i < 40; ++i) cap = c.decide(input_at(85.0, cap));
+  EXPECT_DOUBLE_EQ(cap, 0.1);
+}
+
+TEST(Capper, RecoveryWalksBackUp) {
+  DeadzoneCpuCapper c(CpuCapperParams{});
+  double cap = 0.1;
+  for (int i = 0; i < 40; ++i) cap = c.decide(input_at(60.0, cap));
+  EXPECT_DOUBLE_EQ(cap, 1.0);
+}
+
+TEST(Capper, CustomStepSize) {
+  CpuCapperParams p;
+  p.step = 0.2;
+  DeadzoneCpuCapper c(p);
+  EXPECT_NEAR(c.decide(input_at(85.0, 1.0)), 0.8, 1e-12);
+}
+
+TEST(Capper, RejectsBadParameters) {
+  CpuCapperParams p;
+  p.t_low_celsius = 80.0;
+  p.t_high_celsius = 77.0;
+  EXPECT_THROW(DeadzoneCpuCapper{p}, std::invalid_argument);
+  p = CpuCapperParams{};
+  p.step = 0.0;
+  EXPECT_THROW(DeadzoneCpuCapper{p}, std::invalid_argument);
+  p = CpuCapperParams{};
+  p.min_cap = 0.9;
+  p.max_cap = 0.5;
+  EXPECT_THROW(DeadzoneCpuCapper{p}, std::invalid_argument);
+  p = CpuCapperParams{};
+  p.max_cap = 1.5;
+  EXPECT_THROW(DeadzoneCpuCapper{p}, std::invalid_argument);
+}
+
+TEST(Capper, ResetIsStatelessNoop) {
+  DeadzoneCpuCapper c(CpuCapperParams{});
+  c.decide(input_at(85.0, 1.0));
+  c.reset();
+  // The capper holds no dynamic state; decisions depend only on inputs.
+  EXPECT_NEAR(c.decide(input_at(85.0, 1.0)), 0.95, 1e-12);
+}
+
+}  // namespace
+}  // namespace fsc

@@ -1,0 +1,150 @@
+// Unit tests for the E-coord baseline (energy-greedy coordination).
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <stdexcept>
+
+#include "core/adaptive_pid_fan.hpp"
+#include "core/cpu_capper.hpp"
+#include "core/ecoord.hpp"
+#include "core/solutions.hpp"
+
+namespace fsc {
+namespace {
+
+ECoordPolicy make_policy(ECoordParams p = ECoordParams{}) {
+  return ECoordPolicy(
+      p,
+      std::make_unique<AdaptivePidFanController>(
+          SolutionConfig::default_gain_schedule(), AdaptivePidFanParams{}, 3000.0),
+      std::make_unique<DeadzoneCpuCapper>(CpuCapperParams{}),
+      CpuPowerModel::table1_defaults(), FanPowerModel::table1_defaults(),
+      ServerThermalModel::table1_defaults());
+}
+
+DtmInputs inputs_at(double temp, double fan_cmd, double cap, double demand = 0.5) {
+  DtmInputs in;
+  in.measured_temp = temp;
+  in.quantization_step = 1.0;
+  in.fan_speed_cmd = fan_cmd;
+  in.fan_speed_actual = fan_cmd;
+  in.cpu_cap = cap;
+  in.demand = demand;
+  in.executed = std::min(demand, cap);
+  return in;
+}
+
+TEST(ECoord, RequiresControllers) {
+  EXPECT_THROW(ECoordPolicy(ECoordParams{}, nullptr,
+                            std::make_unique<DeadzoneCpuCapper>(CpuCapperParams{}),
+                            CpuPowerModel::table1_defaults(),
+                            FanPowerModel::table1_defaults(),
+                            ServerThermalModel::table1_defaults()),
+               std::invalid_argument);
+}
+
+TEST(ECoord, CapDownIsFreeCooling) {
+  auto p = make_policy();
+  // Throttling saves energy while cooling: efficiency is the sentinel.
+  EXPECT_GT(p.cap_down_efficiency(3000.0, 0.8), 1e6);
+}
+
+TEST(ECoord, CapDownAtFloorHasNoEfficiency) {
+  auto p = make_policy();
+  EXPECT_DOUBLE_EQ(p.cap_down_efficiency(3000.0, 0.1), 0.0);
+}
+
+TEST(ECoord, FanUpEfficiencyPositiveAndFinite) {
+  auto p = make_policy();
+  const double eff = p.fan_up_efficiency(3000.0, 0.7);
+  EXPECT_GT(eff, 0.0);
+  EXPECT_LT(eff, 1e6);
+}
+
+TEST(ECoord, FanUpEfficiencyDropsAtHighSpeed) {
+  // Cubic power growth makes fan cooling progressively less efficient.
+  auto p = make_policy();
+  EXPECT_GT(p.fan_up_efficiency(2000.0, 0.7), p.fan_up_efficiency(7000.0, 0.7));
+}
+
+TEST(ECoord, FanUpAtMaxHasNoEfficiency) {
+  auto p = make_policy();
+  EXPECT_DOUBLE_EQ(p.fan_up_efficiency(8500.0, 0.7), 0.0);
+}
+
+TEST(ECoord, FanDownSavingIsCubic) {
+  auto p = make_policy();
+  EXPECT_GT(p.fan_down_saving(8000.0), p.fan_down_saving(3000.0));
+}
+
+TEST(ECoord, CapUpCostUsesDynamicPower) {
+  auto p = make_policy();
+  // One 0.05 cap step restores up to 0.05 * 64 W = 3.2 W.
+  EXPECT_NEAR(p.cap_up_cost(0.5), 3.2, 1e-9);
+  EXPECT_NEAR(p.cap_up_cost(1.0), 0.0, 1e-12);  // already at max
+}
+
+TEST(ECoord, EmergencyThrottlesInsteadOfBoostingFan) {
+  auto p = make_policy();
+  const auto out = p.step(inputs_at(85.0, 3000.0, 1.0, 0.8));
+  EXPECT_LT(out.cpu_cap, 1.0);                    // throttled
+  EXPECT_DOUBLE_EQ(out.fan_speed_cmd, 3000.0);    // fan untouched
+}
+
+TEST(ECoord, EmergencyAtCapFloorFinallyUsesFan) {
+  auto p = make_policy();
+  const auto out = p.step(inputs_at(85.0, 3000.0, 0.1, 0.8));
+  EXPECT_DOUBLE_EQ(out.cpu_cap, 0.1);
+  EXPECT_GT(out.fan_speed_cmd, 3000.0);
+}
+
+TEST(ECoord, RidesThermalEdgeViaModel) {
+  // Comfortable temperature, fan far above the energy-minimal target: the
+  // policy jumps the fan to the edge speed for the demanded power.
+  auto p = make_policy();
+  const auto out = p.step(inputs_at(75.0, 8000.0, 1.0, 0.7));
+  EXPECT_LT(out.fan_speed_cmd, 4500.0);  // edge target for u=0.7 is ~3100
+  EXPECT_GT(out.fan_speed_cmd, 1500.0);
+  // The model target keeps the projected junction just inside 79 degC.
+  const auto thermal = ServerThermalModel::table1_defaults();
+  const auto cpu = CpuPowerModel::table1_defaults();
+  EXPECT_LE(thermal.steady_state_junction(cpu.power(0.7), out.fan_speed_cmd),
+            79.0 + 1e-6);
+}
+
+TEST(ECoord, DefersCapUpWhileHarvesting) {
+  // Throttled cap, fan far above target: the descent wins the step and
+  // the cap stays down (the criticised energy-first behaviour).
+  auto p = make_policy();
+  const auto out = p.step(inputs_at(75.0, 8000.0, 0.5, 0.7));
+  EXPECT_DOUBLE_EQ(out.cpu_cap, 0.5);
+  EXPECT_LT(out.fan_speed_cmd, 8000.0);
+}
+
+TEST(ECoord, RestoresCapOnceFanAtTarget) {
+  auto p = make_policy();
+  // Fan exactly at the edge target for u = 0.7: no descent pending, so the
+  // capper's raise finally passes.
+  const auto thermal = ServerThermalModel::table1_defaults();
+  const auto cpu = CpuPowerModel::table1_defaults();
+  const double target = thermal.min_speed_for_junction_limit(cpu.power(0.7), 79.0);
+  const auto out = p.step(inputs_at(75.0, target, 0.5, 0.7));
+  EXPECT_GT(out.cpu_cap, 0.5);
+}
+
+TEST(ECoord, ReferenceTempIsConfigured) {
+  auto p = make_policy();
+  EXPECT_DOUBLE_EQ(p.reference_temp(), 75.0);
+}
+
+TEST(ECoord, RejectsBadParams) {
+  ECoordParams p;
+  p.fan_period_s = 0.5;
+  EXPECT_THROW(make_policy(p), std::invalid_argument);
+  p = ECoordParams{};
+  p.cap_step = 0.0;
+  EXPECT_THROW(make_policy(p), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace fsc

@@ -1,0 +1,130 @@
+// Unit tests for the baseline fan controllers (single threshold, deadzone)
+// and their documented failure mode under non-ideal measurements (Fig. 4).
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+#include <vector>
+
+#include "core/threshold_fan.hpp"
+#include "metrics/oscillation.hpp"
+#include "sim/server.hpp"
+
+namespace fsc {
+namespace {
+
+FanControlInput input_at(double temp, double speed) {
+  FanControlInput in;
+  in.measured_temp = temp;
+  in.reference_temp = 75.0;
+  in.current_speed = speed;
+  in.quantization_step = 1.0;
+  return in;
+}
+
+// ---------------------------------------------------------------- threshold
+
+TEST(SingleThreshold, BangBang) {
+  SingleThresholdFanController c(75.0, 500.0, 8500.0);
+  EXPECT_DOUBLE_EQ(c.decide(input_at(80.0, 2000.0)), 8500.0);
+  EXPECT_DOUBLE_EQ(c.decide(input_at(70.0, 2000.0)), 500.0);
+}
+
+TEST(SingleThreshold, ExactlyAtThresholdIsLow) {
+  SingleThresholdFanController c(75.0, 500.0, 8500.0);
+  EXPECT_DOUBLE_EQ(c.decide(input_at(75.0, 2000.0)), 500.0);
+}
+
+TEST(SingleThreshold, RejectsBadEnvelope) {
+  EXPECT_THROW(SingleThresholdFanController(75.0, 8500.0, 500.0),
+               std::invalid_argument);
+}
+
+// ---------------------------------------------------------------- deadzone
+
+TEST(Deadzone, StepsUpAboveHigh) {
+  DeadzoneFanController c(73.0, 77.0, 250.0, 500.0, 8500.0);
+  EXPECT_DOUBLE_EQ(c.decide(input_at(78.0, 2000.0)), 2250.0);
+}
+
+TEST(Deadzone, StepsDownBelowLow) {
+  DeadzoneFanController c(73.0, 77.0, 250.0, 500.0, 8500.0);
+  EXPECT_DOUBLE_EQ(c.decide(input_at(70.0, 2000.0)), 1750.0);
+}
+
+TEST(Deadzone, HoldsInsideZone) {
+  DeadzoneFanController c(73.0, 77.0, 250.0, 500.0, 8500.0);
+  EXPECT_DOUBLE_EQ(c.decide(input_at(75.0, 2000.0)), 2000.0);
+  EXPECT_DOUBLE_EQ(c.decide(input_at(73.0, 2000.0)), 2000.0);
+  EXPECT_DOUBLE_EQ(c.decide(input_at(77.0, 2000.0)), 2000.0);
+}
+
+TEST(Deadzone, ClampsAtEnvelope) {
+  DeadzoneFanController c(73.0, 77.0, 1000.0, 500.0, 8500.0);
+  EXPECT_DOUBLE_EQ(c.decide(input_at(70.0, 600.0)), 500.0);
+  EXPECT_DOUBLE_EQ(c.decide(input_at(90.0, 8400.0)), 8500.0);
+}
+
+TEST(Deadzone, RejectsBadParameters) {
+  EXPECT_THROW(DeadzoneFanController(77.0, 73.0, 100.0, 500.0, 8500.0),
+               std::invalid_argument);
+  EXPECT_THROW(DeadzoneFanController(73.0, 77.0, 0.0, 500.0, 8500.0),
+               std::invalid_argument);
+  EXPECT_THROW(DeadzoneFanController(73.0, 77.0, 100.0, 8500.0, 500.0),
+               std::invalid_argument);
+}
+
+// ------------------------------------------------ Fig. 4 failure mechanism
+//
+// Under a FIXED workload, a deadzone controller driving the real plant
+// through the lagged + quantized sensor produces sustained fan-speed
+// oscillation (the paper's Fig. 4).  This is an integration-level check of
+// the mechanism the paper motivates the whole design with, so it lives
+// with the controller under test.
+
+std::vector<double> run_deadzone_closed_loop(double lag_s, bool quantize) {
+  Rng rng(7);
+  ServerParams sp;
+  sp.sensor.lag_s = lag_s;
+  sp.sensor.quantize = quantize;
+  Server server(sp, 2000.0, rng);
+
+  // Operating point: a fixed utilization whose thermal equilibrium lies
+  // near the deadzone centre (u = 0.55 -> ~75 degC at ~4180 rpm).  The
+  // deadzone is tighter than the 1 degC quantization step and the 1200 rpm
+  // actuation step moves the steady-state junction by ~2 degC - so every
+  // actuation jumps across the hold window, the limit-cycle mechanism the
+  // paper identifies in Fig. 4.
+  const double u = 0.55;
+  server.settle(u, 4500.0);
+
+  DeadzoneFanController ctl(74.6, 75.4, 1200.0, 1500.0, 8500.0);
+  double fan_cmd = 4500.0;
+  std::vector<double> speeds;
+  const double fan_period = 30.0;
+  const double dt = 0.05;
+  for (int k = 0; k < 120; ++k) {  // 1 hour
+    FanControlInput in;
+    in.measured_temp = server.measured_temp();
+    in.reference_temp = 75.0;
+    in.current_speed = fan_cmd;
+    in.quantization_step = server.quantization_step();
+    fan_cmd = ctl.decide(in);
+    server.command_fan(fan_cmd);
+    speeds.push_back(fan_cmd);
+    for (int i = 0; i < static_cast<int>(fan_period / dt); ++i) server.step(u, dt);
+  }
+  return speeds;
+}
+
+TEST(Fig4Mechanism, DeadzoneOscillatesUnderLagAndQuantization) {
+  const auto speeds = run_deadzone_closed_loop(10.0, true);
+  OscillationParams p;
+  p.hysteresis = 300.0;  // fan-speed units: ignore sub-step jitter
+  const auto report = analyse_oscillation(speeds, p);
+  EXPECT_TRUE(is_oscillatory(report))
+      << "deadzone control should limit-cycle under non-ideal sensing";
+  EXPECT_GE(report.mean_amplitude, 600.0);  // at least one controller step
+}
+
+}  // namespace
+}  // namespace fsc

@@ -1,0 +1,95 @@
+// Unit tests for FanOnlyPolicy (the single-controller harness used by the
+// Fig. 3/4 experiments).
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <stdexcept>
+
+#include "core/adaptive_pid_fan.hpp"
+#include "core/fan_only_policy.hpp"
+#include "core/solutions.hpp"
+
+namespace fsc {
+namespace {
+
+std::unique_ptr<FanController> make_fan() {
+  return std::make_unique<AdaptivePidFanController>(
+      SolutionConfig::default_gain_schedule(), AdaptivePidFanParams{}, 3000.0);
+}
+
+DtmInputs inputs_at(double temp, double fan_cmd = 3000.0) {
+  DtmInputs in;
+  in.measured_temp = temp;
+  in.quantization_step = 1.0;
+  in.fan_speed_cmd = fan_cmd;
+  in.fan_speed_actual = fan_cmd;
+  in.cpu_cap = 1.0;
+  in.demand = in.executed = 0.5;
+  return in;
+}
+
+TEST(FanOnlyPolicy, RequiresController) {
+  EXPECT_THROW(FanOnlyPolicy(nullptr, 75.0), std::invalid_argument);
+}
+
+TEST(FanOnlyPolicy, RejectsBadPeriods) {
+  EXPECT_THROW(FanOnlyPolicy(make_fan(), 75.0, 0.0, 30.0), std::invalid_argument);
+  EXPECT_THROW(FanOnlyPolicy(make_fan(), 75.0, 2.0, 1.0), std::invalid_argument);
+}
+
+TEST(FanOnlyPolicy, CapIsPinned) {
+  FanOnlyPolicy p(make_fan(), 75.0, 1.0, 30.0, 0.8);
+  const auto out = p.step(inputs_at(85.0));
+  EXPECT_DOUBLE_EQ(out.cpu_cap, 0.8);
+}
+
+TEST(FanOnlyPolicy, CapClampedToValidRange) {
+  FanOnlyPolicy p(make_fan(), 75.0, 1.0, 30.0, 1.7);
+  EXPECT_DOUBLE_EQ(p.step(inputs_at(75.0)).cpu_cap, 1.0);
+}
+
+TEST(FanOnlyPolicy, FanActsOnlyAtFanInstants) {
+  FanOnlyPolicy p(make_fan(), 75.0);
+  auto in = inputs_at(85.0);
+  const auto first = p.step(in);  // step 0 = fan instant
+  EXPECT_GT(first.fan_speed_cmd, 3000.0);
+  for (int i = 1; i < 30; ++i) {
+    EXPECT_DOUBLE_EQ(p.step(in).fan_speed_cmd, 3000.0) << "step " << i;
+  }
+  EXPECT_GT(p.step(in).fan_speed_cmd, 3000.0);  // step 30
+}
+
+TEST(FanOnlyPolicy, ReferenceReportedAndSettable) {
+  FanOnlyPolicy p(make_fan(), 75.0);
+  EXPECT_DOUBLE_EQ(p.reference_temp(), 75.0);
+  p.set_reference(70.0);
+  EXPECT_DOUBLE_EQ(p.reference_temp(), 70.0);
+  // A measurement equal to the old reference now reads as +5 hot.
+  const auto out = p.step(inputs_at(75.0));
+  EXPECT_GT(out.fan_speed_cmd, 3000.0);
+}
+
+TEST(FanOnlyPolicy, ResetRestartsFanClock) {
+  FanOnlyPolicy p(make_fan(), 75.0);
+  auto in = inputs_at(85.0);
+  p.step(in);  // consume the step-0 fan instant
+  p.step(in);  // step 1: no fan action
+  p.reset();
+  // After reset the very next step is a fan instant again.
+  const auto out = p.step(in);
+  EXPECT_GT(out.fan_speed_cmd, 3000.0);
+}
+
+TEST(FanOnlyPolicy, CustomFanPeriod) {
+  FanOnlyPolicy p(make_fan(), 75.0, 1.0, 5.0);
+  auto in = inputs_at(85.0);
+  p.step(in);  // instant at step 0
+  int actions = 0;
+  for (int i = 1; i <= 10; ++i) {
+    if (p.step(in).fan_speed_cmd > 3000.0) ++actions;
+  }
+  EXPECT_EQ(actions, 2);  // steps 5 and 10
+}
+
+}  // namespace
+}  // namespace fsc

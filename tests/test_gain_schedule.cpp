@@ -1,0 +1,255 @@
+// Unit tests for the gain schedule (Eqns. 8-9) and the adaptive PID fan
+// controller's region handling.
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+
+#include "core/adaptive_pid_fan.hpp"
+#include "core/gain_schedule.hpp"
+
+namespace fsc {
+namespace {
+
+GainSchedule two_region_schedule() {
+  return GainSchedule({GainRegion{2000.0, PidGains{100.0, 2.0, 800.0}},
+                       GainRegion{6000.0, PidGains{500.0, 10.0, 4000.0}}});
+}
+
+TEST(GainSchedule, ExactRegionSpeedsReturnRegionGains) {
+  const auto s = two_region_schedule();
+  const auto lo = s.lookup(2000.0);
+  EXPECT_DOUBLE_EQ(lo.gains.kp, 100.0);
+  EXPECT_DOUBLE_EQ(lo.alpha, 0.0);
+  const auto hi = s.lookup(6000.0);
+  EXPECT_DOUBLE_EQ(hi.gains.kp, 500.0);
+  EXPECT_DOUBLE_EQ(hi.alpha, 1.0);
+}
+
+TEST(GainSchedule, MidpointInterpolation) {
+  const auto s = two_region_schedule();
+  const auto mid = s.lookup(4000.0);  // alpha = 0.5
+  EXPECT_DOUBLE_EQ(mid.alpha, 0.5);
+  EXPECT_DOUBLE_EQ(mid.gains.kp, 300.0);
+  EXPECT_DOUBLE_EQ(mid.gains.ki, 6.0);
+  EXPECT_DOUBLE_EQ(mid.gains.kd, 2400.0);
+}
+
+TEST(GainSchedule, Equation9Alpha) {
+  const auto s = two_region_schedule();
+  const auto g = s.lookup(3000.0);
+  EXPECT_DOUBLE_EQ(g.alpha, 0.25);  // (3000-2000)/(6000-2000)
+  EXPECT_DOUBLE_EQ(g.gains.kp, 200.0);
+}
+
+TEST(GainSchedule, BelowFirstRegionClamps) {
+  const auto s = two_region_schedule();
+  const auto g = s.lookup(800.0);
+  EXPECT_DOUBLE_EQ(g.gains.kp, 100.0);
+  EXPECT_EQ(g.region_index, 0u);
+  EXPECT_DOUBLE_EQ(g.alpha, 0.0);
+}
+
+TEST(GainSchedule, AboveLastRegionClamps) {
+  const auto s = two_region_schedule();
+  const auto g = s.lookup(8500.0);
+  EXPECT_DOUBLE_EQ(g.gains.kp, 500.0);
+  EXPECT_DOUBLE_EQ(g.alpha, 1.0);
+}
+
+TEST(GainSchedule, SingleRegionAlwaysSameGains) {
+  const GainSchedule s({GainRegion{3000.0, PidGains{42.0, 1.0, 7.0}}});
+  for (double v : {500.0, 3000.0, 8500.0}) {
+    EXPECT_DOUBLE_EQ(s.lookup(v).gains.kp, 42.0) << v;
+  }
+}
+
+TEST(GainSchedule, SortsRegionsOnConstruction) {
+  const GainSchedule s({GainRegion{6000.0, PidGains{500.0, 0.0, 0.0}},
+                        GainRegion{2000.0, PidGains{100.0, 0.0, 0.0}}});
+  EXPECT_DOUBLE_EQ(s.region(0).ref_speed_rpm, 2000.0);
+  EXPECT_DOUBLE_EQ(s.region(1).ref_speed_rpm, 6000.0);
+}
+
+TEST(GainSchedule, ThreeRegionsBracketCorrectly) {
+  const GainSchedule s({GainRegion{1000.0, PidGains{10.0, 0.0, 0.0}},
+                        GainRegion{4000.0, PidGains{40.0, 0.0, 0.0}},
+                        GainRegion{8000.0, PidGains{80.0, 0.0, 0.0}}});
+  EXPECT_EQ(s.lookup(2000.0).region_index, 0u);
+  EXPECT_EQ(s.lookup(5000.0).region_index, 1u);
+  EXPECT_DOUBLE_EQ(s.lookup(2500.0).gains.kp, 25.0);
+  EXPECT_DOUBLE_EQ(s.lookup(6000.0).gains.kp, 60.0);
+}
+
+TEST(GainSchedule, RejectsEmptyAndDuplicates) {
+  EXPECT_THROW(GainSchedule({}), std::invalid_argument);
+  EXPECT_THROW(GainSchedule({GainRegion{2000.0, PidGains{}},
+                             GainRegion{2000.0, PidGains{}}}),
+               std::invalid_argument);
+}
+
+// ----------------------------------------------------- AdaptivePidFanController
+
+FanControlInput input_at(double temp, double speed, double ref = 75.0) {
+  FanControlInput in;
+  in.measured_temp = temp;
+  in.reference_temp = ref;
+  in.current_speed = speed;
+  in.quantization_step = 1.0;
+  return in;
+}
+
+TEST(AdaptiveFan, RespondsToHotMeasurement) {
+  AdaptivePidFanController c(two_region_schedule(), AdaptivePidFanParams{}, 2000.0);
+  // +5 degC error: speed must rise above the offset.
+  const double out = c.decide(input_at(80.0, 2000.0));
+  EXPECT_GT(out, 2000.0);
+}
+
+TEST(AdaptiveFan, FreezeGuardHoldsSpeed) {
+  AdaptivePidFanParams p;
+  p.guard_mode = QuantizationGuardMode::kFreezeOutput;
+  AdaptivePidFanController c(two_region_schedule(), p, 2000.0);
+  // |T_ref - T_meas| = 0.5 < 1 degC: Eqn. 10 holds the speed literally.
+  const double out = c.decide(input_at(75.5, 3456.0));
+  EXPECT_DOUBLE_EQ(out, 3456.0);
+  EXPECT_TRUE(c.last_decision_held());
+}
+
+TEST(AdaptiveFan, ZeroErrorGuardSettlesOutput) {
+  // Default mode: within the quantization cell the PID runs on a zeroed
+  // error, so a settled controller emits a constant command.
+  AdaptivePidFanController c(two_region_schedule(), AdaptivePidFanParams{}, 2000.0);
+  const double out1 = c.decide(input_at(75.5, 2000.0));
+  EXPECT_TRUE(c.last_decision_held());
+  const double out2 = c.decide(input_at(74.5, out1));
+  EXPECT_TRUE(c.last_decision_held());
+  // No error ever acted on: output stays at the linearisation offset.
+  EXPECT_DOUBLE_EQ(out1, 2000.0);
+  EXPECT_DOUBLE_EQ(out2, 2000.0);
+}
+
+TEST(AdaptiveFan, ZeroErrorGuardRetractsAfterBlip) {
+  // A one-period +1 degC reading flip kicks the output, but the following
+  // in-cell reading retracts the P and D contributions: only the integral
+  // displacement remains.  (The freeze mode would park at the kicked
+  // speed; see the quantization-guard ablation.)
+  AdaptivePidFanParams params;
+  params.min_speed_rpm = 500.0;  // keep the retraction inside the envelope
+  AdaptivePidFanController c(two_region_schedule(), params, 2000.0);
+  const double kicked = c.decide(input_at(76.0, 2000.0));
+  const auto g1 = c.active_gains();
+  EXPECT_DOUBLE_EQ(kicked, 2000.0 + g1.kp + g1.ki);  // P + I (D has no history)
+  const double retracted = c.decide(input_at(75.0, kicked));
+  // The second decision interpolates gains at the kicked speed; with the
+  // zeroed error only the integral (one accumulated degree) and the
+  // derivative retraction remain.
+  const auto g2 = c.active_gains();
+  EXPECT_DOUBLE_EQ(retracted, 2000.0 + g2.ki - g2.kd);
+}
+
+TEST(AdaptiveFan, GuardBoundaryIsExclusive) {
+  AdaptivePidFanController c(two_region_schedule(), AdaptivePidFanParams{}, 2000.0);
+  // Exactly one quantization step of error is NOT held (Eqn. 10 is <).
+  c.decide(input_at(76.0, 2000.0));
+  EXPECT_FALSE(c.last_decision_held());
+}
+
+TEST(AdaptiveFan, GuardCanBeDisabled) {
+  AdaptivePidFanParams p;
+  p.enable_quantization_guard = false;
+  AdaptivePidFanController c(two_region_schedule(), p, 2000.0);
+  c.decide(input_at(75.5, 2000.0));
+  EXPECT_FALSE(c.last_decision_held());
+}
+
+TEST(AdaptiveFan, OutputClampedToEnvelope) {
+  AdaptivePidFanController c(two_region_schedule(), AdaptivePidFanParams{}, 2000.0);
+  const double out = c.decide(input_at(120.0, 2000.0));
+  EXPECT_LE(out, 8500.0);
+  const double out2 = c.decide(input_at(20.0, 2000.0));
+  EXPECT_GE(out2, 500.0);
+}
+
+TEST(AdaptiveFan, UsesRegionGainsAtOperatingSpeed) {
+  AdaptivePidFanController c(two_region_schedule(), AdaptivePidFanParams{}, 2000.0);
+  c.decide(input_at(80.0, 2000.0));
+  EXPECT_DOUBLE_EQ(c.active_gains().kp, 100.0);
+  // At 6000 rpm the controller must blend to the high-region gains.
+  c.decide(input_at(80.0, 6000.0));
+  EXPECT_DOUBLE_EQ(c.active_gains().kp, 500.0);
+}
+
+TEST(AdaptiveFan, GainScheduleCanBeDisabled) {
+  AdaptivePidFanParams p;
+  p.enable_gain_schedule = false;
+  AdaptivePidFanController c(two_region_schedule(), p, 2000.0);
+  c.decide(input_at(80.0, 6000.0));
+  // With scheduling off the gains stay at the initial-speed lookup.
+  EXPECT_DOUBLE_EQ(c.active_gains().kp, 100.0);
+}
+
+TEST(AdaptiveFan, RegionChangeResetsIntegralWhenEnabled) {
+  AdaptivePidFanParams p;
+  p.reset_on_region_change = true;  // the paper's literal §IV-B behaviour
+  AdaptivePidFanController c(two_region_schedule(), p, 2000.0);
+  // Build up integral in region 0 with persistent +4 error at low speed.
+  double speed = 2000.0;
+  for (int i = 0; i < 5; ++i) speed = c.decide(input_at(79.0, speed));
+  const std::size_t region_before = c.active_region();
+  // Jump the operating point into the upper region.
+  const double out_after_jump = c.decide(input_at(79.0, 6000.0));
+  EXPECT_NE(c.active_region(), region_before);
+  // After the reset + re-based offset, the output starts from the current
+  // speed plus one fresh PID step; it must not carry region-0's integral.
+  EXPECT_NEAR(out_after_jump, 6000.0 + c.active_gains().kp * 4.0 +
+                                  c.active_gains().ki * 4.0,
+              1e-6);
+}
+
+TEST(AdaptiveFan, NoResetByDefaultPreservesIntegral) {
+  AdaptivePidFanController c(two_region_schedule(), AdaptivePidFanParams{}, 2000.0);
+  double speed = 2000.0;
+  for (int i = 0; i < 5; ++i) speed = c.decide(input_at(79.0, speed));
+  // Jump into the upper region: region index changes but the integral and
+  // offset persist (continuous interpolation handles re-linearisation).
+  const double out_after_jump = c.decide(input_at(79.0, 6000.0));
+  // Carried integral: 5 steps of +4 plus this step's +4 = 24.  Offset is
+  // still the initial 2000 rpm; region-1 gains kp=500, ki=10, derivative
+  // zero (error unchanged): 2000 + 500*4 + 10*24 = 4240.
+  EXPECT_DOUBLE_EQ(out_after_jump, 4240.0);
+}
+
+TEST(AdaptiveFan, RegionSwitchHysteresisHoldsNearBoundary) {
+  AdaptivePidFanParams p;
+  p.region_switch_hysteresis = 0.1;  // +/-400 rpm around the 4000 boundary
+  AdaptivePidFanController c(two_region_schedule(), p, 2000.0);
+  c.decide(input_at(80.0, 2000.0));
+  EXPECT_EQ(c.active_region(), 0u);
+  // 4200 rpm is past the midpoint but inside the hysteresis band: hold.
+  c.decide(input_at(80.0, 4200.0));
+  EXPECT_EQ(c.active_region(), 0u);
+  // 4500 rpm is beyond the band: switch.
+  c.decide(input_at(80.0, 4500.0));
+  EXPECT_EQ(c.active_region(), 1u);
+}
+
+TEST(AdaptiveFan, ResetRestoresInitialState) {
+  AdaptivePidFanController c(two_region_schedule(), AdaptivePidFanParams{}, 2000.0);
+  for (int i = 0; i < 3; ++i) c.decide(input_at(80.0, 3000.0));
+  c.reset();
+  const double a = c.decide(input_at(80.0, 2000.0));
+  AdaptivePidFanController fresh(two_region_schedule(), AdaptivePidFanParams{}, 2000.0);
+  const double b = fresh.decide(input_at(80.0, 2000.0));
+  EXPECT_DOUBLE_EQ(a, b);
+}
+
+TEST(AdaptiveFan, RejectsBadEnvelope) {
+  AdaptivePidFanParams p;
+  p.min_speed_rpm = 5000.0;
+  p.max_speed_rpm = 1000.0;
+  EXPECT_THROW(AdaptivePidFanController(two_region_schedule(), p, 2000.0),
+               std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace fsc

@@ -1,0 +1,214 @@
+// Unit tests for the global DTM controller (Fig. 2 + §V composition).
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <stdexcept>
+
+#include "core/adaptive_pid_fan.hpp"
+#include "core/cpu_capper.hpp"
+#include "core/global_controller.hpp"
+#include "core/solutions.hpp"
+
+namespace fsc {
+namespace {
+
+std::unique_ptr<FanController> make_fan() {
+  return std::make_unique<AdaptivePidFanController>(
+      SolutionConfig::default_gain_schedule(), AdaptivePidFanParams{}, 3000.0);
+}
+
+std::unique_ptr<CpuCapController> make_capper() {
+  return std::make_unique<DeadzoneCpuCapper>(CpuCapperParams{});
+}
+
+GlobalController make_controller(GlobalControllerParams p,
+                                 bool with_setpoint = false,
+                                 bool with_scaler = false) {
+  std::optional<SetpointAdapter> sp;
+  if (with_setpoint) sp.emplace(SetpointAdapterParams{});
+  std::optional<SingleStepScaler> sc;
+  if (with_scaler) {
+    sc.emplace(SingleStepParams{}, [](double u) { return 2000.0 + 5000.0 * u; });
+  }
+  return GlobalController(p, make_fan(), make_capper(), std::move(sp),
+                          std::move(sc));
+}
+
+DtmInputs inputs_at(double temp, double fan_cmd = 3000.0, double cap = 1.0) {
+  DtmInputs in;
+  in.measured_temp = temp;
+  in.quantization_step = 1.0;
+  in.fan_speed_cmd = fan_cmd;
+  in.fan_speed_actual = fan_cmd;
+  in.cpu_cap = cap;
+  in.demand = 0.5;
+  in.executed = 0.5;
+  return in;
+}
+
+TEST(GlobalController, RequiresControllers) {
+  GlobalControllerParams p;
+  EXPECT_THROW(GlobalController(p, nullptr, make_capper(), std::nullopt,
+                                std::nullopt),
+               std::invalid_argument);
+  EXPECT_THROW(GlobalController(p, make_fan(), nullptr, std::nullopt,
+                                std::nullopt),
+               std::invalid_argument);
+}
+
+TEST(GlobalController, RequiresAdapterWhenAdaptive) {
+  GlobalControllerParams p;
+  p.adaptive_setpoint = true;
+  EXPECT_THROW(GlobalController(p, make_fan(), make_capper(), std::nullopt,
+                                std::nullopt),
+               std::invalid_argument);
+}
+
+TEST(GlobalController, RequiresScalerWhenSingleStep) {
+  GlobalControllerParams p;
+  p.single_step = true;
+  EXPECT_THROW(GlobalController(p, make_fan(), make_capper(), std::nullopt,
+                                std::nullopt),
+               std::invalid_argument);
+}
+
+TEST(GlobalController, FixedReferenceByDefault) {
+  auto gc = make_controller(GlobalControllerParams{});
+  EXPECT_DOUBLE_EQ(gc.reference_temp(), 75.0);
+}
+
+TEST(GlobalController, AdaptiveReferenceTracksPrediction) {
+  GlobalControllerParams p;
+  p.adaptive_setpoint = true;
+  auto gc = make_controller(p, /*with_setpoint=*/true);
+  // Feed high demand for a while; the reference should rise above the
+  // band midpoint.
+  auto in = inputs_at(75.0);
+  in.demand = 0.9;
+  for (int i = 0; i < 120; ++i) gc.step(in);
+  EXPECT_GT(gc.reference_temp(), 77.0);
+  // And fall with low demand.
+  in.demand = 0.05;
+  for (int i = 0; i < 120; ++i) gc.step(in);
+  EXPECT_LT(gc.reference_temp(), 72.0);
+}
+
+TEST(GlobalController, FanDecisionOnlyAtFanInstants) {
+  // With a hot measurement the fan controller would raise the speed, but
+  // only every fan_period steps.
+  auto gc = make_controller(GlobalControllerParams{});
+  auto in = inputs_at(79.0);
+  const auto first = gc.step(in);       // step 0: fan instant
+  EXPECT_GT(first.fan_speed_cmd, 3000.0);
+  in.fan_speed_cmd = in.fan_speed_actual = 3000.0;  // pretend unchanged
+  for (int i = 1; i < 30; ++i) {
+    const auto out = gc.step(in);
+    EXPECT_DOUBLE_EQ(out.fan_speed_cmd, 3000.0) << "step " << i;
+  }
+  const auto next = gc.step(in);  // step 30: fan instant again
+  EXPECT_GT(next.fan_speed_cmd, 3000.0);
+}
+
+TEST(GlobalController, UncoordinatedAppliesBoth) {
+  GlobalControllerParams p;
+  p.coordinate = false;
+  auto gc = make_controller(p);
+  // Hot: fan up AND cap down in the same step.
+  auto in = inputs_at(85.0, 3000.0, 1.0);
+  const auto out = gc.step(in);
+  EXPECT_GT(out.fan_speed_cmd, 3000.0);
+  EXPECT_LT(out.cpu_cap, 1.0);
+  EXPECT_EQ(gc.last_action(), CoordinationAction::kNone);
+}
+
+TEST(GlobalController, CoordinatedAppliesOnlyFanUpWhenHot) {
+  auto gc = make_controller(GlobalControllerParams{});
+  auto in = inputs_at(85.0, 3000.0, 1.0);
+  const auto out = gc.step(in);
+  // Table II: fan-up wins; the cap proposal (down) is dropped.
+  EXPECT_GT(out.fan_speed_cmd, 3000.0);
+  EXPECT_DOUBLE_EQ(out.cpu_cap, 1.0);
+  EXPECT_EQ(gc.last_action(), CoordinationAction::kFanUp);
+}
+
+TEST(GlobalController, InFlightFanRampBlocksCapDown) {
+  // The command is far above the actual speed (ramp in progress): the
+  // coordination treats the step as fan-up and freezes the cap.
+  auto gc = make_controller(GlobalControllerParams{});
+  auto in = inputs_at(85.0, 3000.0, 1.0);
+  gc.step(in);  // fan instant: command raised
+  in.fan_speed_cmd = 6000.0;
+  in.fan_speed_actual = 3500.0;  // still ramping
+  const auto out = gc.step(in);  // not a fan instant
+  EXPECT_EQ(gc.last_action(), CoordinationAction::kFanUp);
+  EXPECT_DOUBLE_EQ(out.cpu_cap, 1.0);           // cap-down dropped
+  EXPECT_DOUBLE_EQ(out.fan_speed_cmd, 6000.0);  // command maintained
+}
+
+TEST(GlobalController, CapDownAppliesWhenFanSettled) {
+  auto gc = make_controller(GlobalControllerParams{});
+  auto in = inputs_at(85.0, 8500.0, 1.0);
+  gc.step(in);  // fan instant: already at max, no fan proposal change
+  in.fan_speed_cmd = in.fan_speed_actual = 8500.0;
+  const auto out = gc.step(in);  // capper acts alone
+  EXPECT_LT(out.cpu_cap, 1.0);
+  EXPECT_EQ(gc.last_action(), CoordinationAction::kCapDown);
+}
+
+TEST(GlobalController, CapUpWinsOverFanDown) {
+  // Cool measurement with a throttled cap: the fan wants down, the capper
+  // wants up; Table II gives the step to the cap.
+  auto gc = make_controller(GlobalControllerParams{});
+  auto in = inputs_at(70.0, 6000.0, 0.5);
+  const auto out = gc.step(in);  // fan instant: fan proposes down
+  EXPECT_EQ(gc.last_action(), CoordinationAction::kCapUp);
+  EXPECT_GT(out.cpu_cap, 0.5);
+  EXPECT_DOUBLE_EQ(out.fan_speed_cmd, 6000.0);
+}
+
+TEST(GlobalController, SingleStepOverridesOnDegradation) {
+  GlobalControllerParams p;
+  p.single_step = true;
+  p.adaptive_setpoint = true;
+  auto gc = make_controller(p, true, true);
+  auto in = inputs_at(76.0, 3000.0, 0.5);
+  in.last_degradation = 0.2;  // above the 0.05 threshold
+  const auto out = gc.step(in);
+  EXPECT_DOUBLE_EQ(out.fan_speed_cmd, 8500.0);
+  EXPECT_TRUE(gc.single_step_active());
+}
+
+TEST(GlobalController, SingleStepIgnoredBelowThreshold) {
+  GlobalControllerParams p;
+  p.single_step = true;
+  auto gc = make_controller(p, false, true);
+  auto in = inputs_at(75.0, 3000.0, 1.0);
+  in.last_degradation = 0.01;
+  gc.step(in);
+  EXPECT_FALSE(gc.single_step_active());
+}
+
+TEST(GlobalController, ResetClearsEverything) {
+  GlobalControllerParams p;
+  p.adaptive_setpoint = true;
+  auto gc = make_controller(p, true);
+  auto in = inputs_at(79.0);
+  in.demand = 0.9;
+  for (int i = 0; i < 100; ++i) gc.step(in);
+  gc.reset();
+  // Prediction back to the initial value -> reference back to 74.
+  EXPECT_NEAR(gc.reference_temp(), 70.0 + 10.0 * 0.4, 1e-9);
+  EXPECT_EQ(gc.last_action(), CoordinationAction::kNone);
+}
+
+TEST(GlobalController, RejectsBadPeriods) {
+  GlobalControllerParams p;
+  p.cpu_period_s = 0.0;
+  EXPECT_THROW(make_controller(p), std::invalid_argument);
+  p = GlobalControllerParams{};
+  p.fan_period_s = 0.5;  // below cpu period
+  EXPECT_THROW(make_controller(p), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace fsc

@@ -1,0 +1,166 @@
+// End-to-end integration tests: full simulations of the paper's scenarios
+// with qualitative assertions on the outcomes.  These pin the repository's
+// headline reproductions so a regression in any module surfaces here.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <memory>
+
+#include "core/fan_only_policy.hpp"
+#include "core/solutions.hpp"
+#include "metrics/oscillation.hpp"
+#include "sim/experiment.hpp"
+#include "sim/simulation.hpp"
+#include "workload/synthetic.hpp"
+
+namespace fsc {
+namespace {
+
+ComparisonScenario short_scenario(std::uint64_t seed = 1) {
+  ComparisonScenario s = ComparisonScenario::paper_defaults();
+  s.sim.duration_s = 3600.0;
+  s.workload.base.duration_s = 3600.0;
+  s.seed = seed;
+  return s;
+}
+
+// ------------------------------------------------------------ Fig. 5 pin
+
+TEST(Integration, GlobalSchemeStableUnderNoisyDynamicLoad) {
+  Rng rng(2014);
+  SquareNoiseParams wl;
+  wl.period_s = 400.0;
+  wl.duration_s = 2400.0;
+  const auto workload = make_square_noise_workload(wl, rng);
+  SolutionConfig cfg;
+  const auto policy = make_solution(SolutionKind::kRuleFixed, cfg);
+  Server server(ServerParams{}, cfg.initial_fan_rpm, rng);
+  SimulationParams sim;
+  sim.duration_s = wl.duration_s;
+  sim.initial_utilization = 0.1;
+  const auto r = run_simulation(server, *policy, *workload, sim);
+
+  // Stability: fan oscillation must not grow; junction stays near-safe.
+  const auto speeds = r.column(&TraceRecord::fan_cmd_rpm);
+  std::vector<double> tail(speeds.begin() + speeds.size() / 2, speeds.end());
+  OscillationParams op;
+  op.hysteresis = 500.0;
+  EXPECT_NE(analyse_oscillation(tail, op).verdict, OscillationVerdict::kGrowing);
+  EXPECT_LT(r.junction_stats.max(), 83.0);
+  EXPECT_LT(r.thermal_violation_fraction, 0.05);
+}
+
+// ------------------------------------------------------------ Table III pins
+
+TEST(Integration, Table3OrderingHolds) {
+  const auto scenario = short_scenario();
+  const auto report = run_table3_comparison(scenario);
+  const auto& rows = report.rows();
+  ASSERT_EQ(rows.size(), 5u);
+  const double base_v = rows[0].deadline_violation_percent;
+  const double ecoord_v = rows[1].deadline_violation_percent;
+  const double rcoord_v = rows[2].deadline_violation_percent;
+  const double atref_v = rows[3].deadline_violation_percent;
+  const double ss_v = rows[4].deadline_violation_percent;
+
+  // The paper's qualitative ordering (Table III).
+  EXPECT_GT(ecoord_v, base_v) << "E-coord trades performance away";
+  EXPECT_LE(rcoord_v, base_v * 1.05) << "rule coordination must not hurt";
+  EXPECT_LT(atref_v, rcoord_v) << "adaptive T_ref improves performance";
+  EXPECT_LE(ss_v, atref_v * 1.1) << "single-step scaling helps or is neutral";
+
+  // Energy shape: E-coord cheapest, A-Tref saves vs fixed reference.
+  EXPECT_LT(report.normalized_fan_energy(1), 0.8);
+  EXPECT_LT(report.normalized_fan_energy(3), report.normalized_fan_energy(2));
+}
+
+TEST(Integration, Table3ShapeRobustAcrossSeeds) {
+  for (std::uint64_t seed : {7ull, 21ull}) {
+    const auto report = run_table3_comparison(short_scenario(seed));
+    const auto& rows = report.rows();
+    EXPECT_GT(rows[1].deadline_violation_percent,
+              rows[0].deadline_violation_percent)
+        << "seed " << seed;
+    EXPECT_LT(rows[3].deadline_violation_percent,
+              rows[0].deadline_violation_percent + 1.0)
+        << "seed " << seed;
+    EXPECT_LT(report.normalized_fan_energy(1), 0.9) << "seed " << seed;
+  }
+}
+
+TEST(Integration, ProposedSolutionKeepsJunctionSafe) {
+  const auto r =
+      run_solution(SolutionKind::kRuleAdaptiveTrefSingleStep, short_scenario());
+  // The full stack must keep the junction essentially inside the safe
+  // region: brief transition overshoots only.
+  EXPECT_LT(r.thermal_violation_fraction, 0.03);
+  EXPECT_LT(r.junction_stats.max(), 84.0);
+}
+
+TEST(Integration, DeterministicForFixedSeed) {
+  const auto a = run_solution(SolutionKind::kRuleFixed, short_scenario(5));
+  const auto b = run_solution(SolutionKind::kRuleFixed, short_scenario(5));
+  EXPECT_DOUBLE_EQ(a.fan_energy_joules, b.fan_energy_joules);
+  EXPECT_EQ(a.deadline.violations(), b.deadline.violations());
+  EXPECT_DOUBLE_EQ(a.junction_stats.max(), b.junction_stats.max());
+}
+
+TEST(Integration, SeedChangesTrajectory) {
+  const auto a = run_solution(SolutionKind::kRuleFixed, short_scenario(5));
+  const auto b = run_solution(SolutionKind::kRuleFixed, short_scenario(6));
+  EXPECT_NE(a.fan_energy_joules, b.fan_energy_joules);
+}
+
+// ------------------------------------------------------------ Fig. 1 pin
+
+TEST(Integration, MeasurementLagIsTenSeconds) {
+  Rng rng(1);
+  Server server(ServerParams{}, 3000.0, rng);
+  server.settle(0.1, 3000.0);
+  const double baseline = server.measured_temp();
+  double sensed_at = -1.0;
+  for (double t = 0.0; t < 60.0; t += 0.05) {
+    server.step(1.0, 0.05);
+    if (sensed_at < 0.0 && server.measured_temp() > baseline + 1.0) {
+      sensed_at = t;
+      break;
+    }
+  }
+  ASSERT_GT(sensed_at, 0.0);
+  EXPECT_GE(sensed_at, 8.0);
+  EXPECT_LE(sensed_at, 13.0);
+}
+
+// ------------------------------------------------------------ energy sanity
+
+/// Pins the commanded fan speed and cap (plant-characterisation policy).
+class FixedPolicy final : public DtmPolicy {
+ public:
+  explicit FixedPolicy(double rpm) : rpm_(rpm) {}
+  DtmOutputs step(const DtmInputs&) override { return {rpm_, 1.0}; }
+  void reset() override {}
+  double reference_temp() const override { return 75.0; }
+
+ private:
+  double rpm_;
+};
+
+TEST(Integration, FanEnergyMatchesCubicLaw) {
+  // Two fixed-speed runs: energy ratio must follow (s1/s2)^3.
+  auto run_at = [](double rpm) {
+    Rng rng(3);
+    Server server(ServerParams{}, rpm, rng);
+    FixedPolicy policy(rpm);
+    ConstantWorkload w(0.3);
+    SimulationParams sim;
+    sim.duration_s = 600.0;
+    sim.initial_utilization = 0.3;
+    return run_simulation(server, policy, w, sim).fan_energy_joules;
+  };
+  const double e4000 = run_at(4000.0);
+  const double e8000 = run_at(8000.0);
+  EXPECT_NEAR(e8000 / e4000, 8.0, 0.5);
+}
+
+}  // namespace
+}  // namespace fsc

@@ -1,0 +1,288 @@
+// Unit tests for src/metrics: deadline tracking, oscillation analysis,
+// step-response metrics, comparison report.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <numbers>
+#include <stdexcept>
+#include <vector>
+
+#include "metrics/deadline.hpp"
+#include "metrics/energy_report.hpp"
+#include "metrics/oscillation.hpp"
+#include "metrics/settling.hpp"
+
+namespace fsc {
+namespace {
+
+// ---------------------------------------------------------------- DeadlineTracker
+
+TEST(Deadline, CountsOnlyShortfalls) {
+  DeadlineTracker t;
+  t.record(0.5, 1.0);  // satisfied
+  t.record(0.8, 0.7);  // violated
+  t.record(0.7, 0.7);  // exactly met
+  EXPECT_EQ(t.periods(), 3u);
+  EXPECT_EQ(t.violations(), 1u);
+  EXPECT_NEAR(t.violation_percent(), 100.0 / 3.0, 1e-9);
+}
+
+TEST(Deadline, LostUtilizationAccumulates) {
+  DeadlineTracker t;
+  t.record(0.9, 0.7);
+  t.record(0.8, 0.7);
+  EXPECT_NEAR(t.lost_utilization(), 0.3, 1e-12);
+  EXPECT_NEAR(t.mean_degradation(), 0.15, 1e-12);
+}
+
+TEST(Deadline, LastDegradationTracksMostRecent) {
+  DeadlineTracker t;
+  t.record(0.9, 0.7);
+  EXPECT_NEAR(t.last_degradation(), 0.2, 1e-12);
+  t.record(0.5, 0.7);
+  EXPECT_DOUBLE_EQ(t.last_degradation(), 0.0);
+}
+
+TEST(Deadline, EpsilonSuppressesFloatNoise) {
+  DeadlineTracker t(0.01);
+  t.record(0.705, 0.70);  // within epsilon
+  EXPECT_EQ(t.violations(), 0u);
+  t.record(0.72, 0.70);
+  EXPECT_EQ(t.violations(), 1u);
+}
+
+TEST(Deadline, ClampsInputs) {
+  DeadlineTracker t;
+  t.record(1.5, 2.0);  // both clamp to 1.0 -> no violation
+  EXPECT_EQ(t.violations(), 0u);
+}
+
+TEST(Deadline, EmptyTrackerSafe) {
+  DeadlineTracker t;
+  EXPECT_DOUBLE_EQ(t.violation_fraction(), 0.0);
+  EXPECT_DOUBLE_EQ(t.mean_degradation(), 0.0);
+}
+
+TEST(Deadline, ResetClears) {
+  DeadlineTracker t;
+  t.record(0.9, 0.5);
+  t.reset();
+  EXPECT_EQ(t.periods(), 0u);
+  EXPECT_EQ(t.violations(), 0u);
+  EXPECT_DOUBLE_EQ(t.last_degradation(), 0.0);
+}
+
+TEST(Deadline, RejectsNegativeEpsilon) {
+  EXPECT_THROW(DeadlineTracker(-0.1), std::invalid_argument);
+}
+
+// ---------------------------------------------------------------- find_extrema
+
+std::vector<double> sine_series(double amplitude, double period, int n,
+                                double decay_per_sample = 0.0) {
+  std::vector<double> s;
+  s.reserve(static_cast<std::size_t>(n));
+  double amp = amplitude;
+  for (int i = 0; i < n; ++i) {
+    s.push_back(amp * std::sin(2.0 * std::numbers::pi * i / period));
+    amp *= (1.0 - decay_per_sample);
+  }
+  return s;
+}
+
+TEST(Extrema, FindsAlternatingPeaksAndTroughs) {
+  const auto s = sine_series(10.0, 20.0, 100);
+  const auto ex = find_extrema(s, 1.0);
+  ASSERT_GE(ex.size(), 8u);
+  for (std::size_t i = 1; i < ex.size(); ++i) {
+    EXPECT_NE(ex[i].is_peak, ex[i - 1].is_peak) << "extrema must alternate";
+  }
+}
+
+TEST(Extrema, HysteresisRejectsSmallRipple) {
+  const auto s = sine_series(0.4, 20.0, 100);  // swing 0.8 < hysteresis 1.0
+  const auto ex = find_extrema(s, 1.0);
+  EXPECT_TRUE(ex.empty());
+}
+
+TEST(Extrema, EmptyAndTinySeries) {
+  EXPECT_TRUE(find_extrema({}, 1.0).empty());
+  EXPECT_TRUE(find_extrema({1.0}, 1.0).empty());
+}
+
+TEST(Extrema, MonotoneSeriesHasNoInteriorExtrema) {
+  std::vector<double> s;
+  for (int i = 0; i < 50; ++i) s.push_back(static_cast<double>(i));
+  EXPECT_TRUE(find_extrema(s, 1.0).empty());
+}
+
+// ---------------------------------------------------------------- analyse_oscillation
+
+TEST(Oscillation, SustainedSineIsSustained) {
+  const auto s = sine_series(5.0, 20.0, 200);
+  OscillationParams p;
+  const auto r = analyse_oscillation(s, p);
+  EXPECT_EQ(r.verdict, OscillationVerdict::kSustained);
+  EXPECT_NEAR(r.mean_amplitude, 10.0, 0.5);  // peak-to-trough
+  EXPECT_NEAR(r.period_samples, 20.0, 1.0);
+  EXPECT_TRUE(is_oscillatory(r));
+}
+
+TEST(Oscillation, DecayingSineConverges) {
+  const auto s = sine_series(5.0, 20.0, 300, 0.02);
+  OscillationParams p;
+  const auto r = analyse_oscillation(s, p);
+  EXPECT_EQ(r.verdict, OscillationVerdict::kConverged);
+  EXPECT_FALSE(is_oscillatory(r));
+}
+
+TEST(Oscillation, GrowingSineIsGrowing) {
+  const auto s = sine_series(1.5, 20.0, 300, -0.02);  // negative decay = growth
+  OscillationParams p;
+  const auto r = analyse_oscillation(s, p);
+  EXPECT_EQ(r.verdict, OscillationVerdict::kGrowing);
+  EXPECT_TRUE(is_oscillatory(r));
+}
+
+TEST(Oscillation, FlatSeriesConverges) {
+  const std::vector<double> s(100, 3.0);
+  OscillationParams p;
+  const auto r = analyse_oscillation(s, p);
+  EXPECT_EQ(r.verdict, OscillationVerdict::kConverged);
+  EXPECT_EQ(r.cycles, 0u);
+}
+
+TEST(Oscillation, StepResponseWithOneOvershootConverges) {
+  // A classic damped second-order response: one overshoot then settle.
+  std::vector<double> s;
+  for (int i = 0; i < 100; ++i) {
+    const double t = 0.1 * i;
+    s.push_back(1.0 - std::exp(-t) * std::cos(2.0 * t) * 3.0);
+  }
+  OscillationParams p;
+  p.hysteresis = 0.2;
+  const auto r = analyse_oscillation(s, p);
+  EXPECT_EQ(r.verdict, OscillationVerdict::kConverged);
+}
+
+// ---------------------------------------------------------------- step response
+
+TEST(StepResponse, SettlingTimeOfExponential) {
+  std::vector<double> s;
+  for (int i = 0; i < 100; ++i) s.push_back(100.0 * (1.0 - std::exp(-0.1 * i)));
+  const auto r = analyse_step_response(s, 100.0, 2.0);
+  ASSERT_TRUE(r.settling_index.has_value());
+  // Enters the 2 % band at 1 - e^{-0.1 i} >= 0.98 -> i >= 39.1.
+  EXPECT_NEAR(static_cast<double>(*r.settling_index), 40.0, 2.0);
+  EXPECT_DOUBLE_EQ(r.overshoot, 0.0);
+}
+
+TEST(StepResponse, DetectsOvershoot) {
+  std::vector<double> s{0.0, 50.0, 110.0, 95.0, 101.0, 100.0, 100.0, 100.0,
+                        100.0, 100.0};
+  const auto r = analyse_step_response(s, 100.0, 2.0);
+  EXPECT_DOUBLE_EQ(r.overshoot, 10.0);
+  ASSERT_TRUE(r.rise_index.has_value());
+  EXPECT_EQ(*r.rise_index, 2u);
+}
+
+TEST(StepResponse, NeverSettlesReportsNullopt) {
+  std::vector<double> s;
+  for (int i = 0; i < 50; ++i) s.push_back(i % 2 == 0 ? 90.0 : 110.0);
+  const auto r = analyse_step_response(s, 100.0, 2.0);
+  EXPECT_FALSE(r.settling_index.has_value());
+  EXPECT_TRUE(std::isinf(settling_time_seconds(r, 1.0)));
+}
+
+TEST(StepResponse, DownwardStepWorks) {
+  std::vector<double> s;
+  for (int i = 0; i < 100; ++i) s.push_back(100.0 * std::exp(-0.1 * i));
+  const auto r = analyse_step_response(s, 0.0, 2.0);
+  ASSERT_TRUE(r.settling_index.has_value());
+  EXPECT_GT(*r.settling_index, 30u);
+}
+
+TEST(StepResponse, SettlingSecondsUsesSamplePeriod) {
+  std::vector<double> s{10.0, 0.5, 0.2, 0.1, 0.0};
+  const auto r = analyse_step_response(s, 0.0, 1.0);
+  ASSERT_TRUE(r.settling_index.has_value());
+  EXPECT_DOUBLE_EQ(settling_time_seconds(r, 30.0),
+                   30.0 * static_cast<double>(*r.settling_index));
+}
+
+TEST(StepResponse, RejectsBadArguments) {
+  EXPECT_THROW(analyse_step_response({}, 0.0, 1.0), std::invalid_argument);
+  EXPECT_THROW(analyse_step_response({1.0}, 0.0, 0.0), std::invalid_argument);
+}
+
+TEST(StepResponse, AlwaysInBandSettlesAtZero) {
+  const std::vector<double> s{100.1, 99.9, 100.0};
+  const auto r = analyse_step_response(s, 100.0, 1.0);
+  ASSERT_TRUE(r.settling_index.has_value());
+  EXPECT_EQ(*r.settling_index, 0u);
+}
+
+// ---------------------------------------------------------------- ComparisonReport
+
+SolutionResult make_row(const std::string& name, double viol, double fan_j) {
+  SolutionResult r;
+  r.name = name;
+  r.deadline_violation_percent = viol;
+  r.fan_energy_joules = fan_j;
+  r.total_energy_joules = fan_j + 1000.0;
+  return r;
+}
+
+TEST(Report, NormalisesAgainstFirstRowByDefault) {
+  ComparisonReport rep;
+  rep.add(make_row("baseline", 26.0, 1000.0));
+  rep.add(make_row("ecoord", 44.0, 703.0));
+  EXPECT_DOUBLE_EQ(rep.normalized_fan_energy(0), 1.0);
+  EXPECT_DOUBLE_EQ(rep.normalized_fan_energy(1), 0.703);
+}
+
+TEST(Report, SetBaselineByName) {
+  ComparisonReport rep;
+  rep.add(make_row("a", 1.0, 500.0));
+  rep.add(make_row("b", 2.0, 1000.0));
+  rep.set_baseline("b");
+  EXPECT_DOUBLE_EQ(rep.normalized_fan_energy(0), 0.5);
+}
+
+TEST(Report, UnknownBaselineThrows) {
+  ComparisonReport rep;
+  rep.add(make_row("a", 1.0, 1.0));
+  EXPECT_THROW(rep.set_baseline("zzz"), std::out_of_range);
+}
+
+TEST(Report, TableContainsAllRows) {
+  ComparisonReport rep;
+  rep.add(make_row("alpha", 1.0, 10.0));
+  rep.add(make_row("beta", 2.0, 20.0));
+  const auto text = rep.to_table();
+  EXPECT_NE(text.find("alpha"), std::string::npos);
+  EXPECT_NE(text.find("beta"), std::string::npos);
+}
+
+TEST(Report, CsvHasHeaderAndRows) {
+  ComparisonReport rep;
+  rep.add(make_row("alpha", 1.0, 10.0));
+  const auto csv = rep.to_csv();
+  EXPECT_NE(csv.find("solution,"), std::string::npos);
+  EXPECT_NE(csv.find("alpha"), std::string::npos);
+}
+
+TEST(Report, ZeroBaselineEnergyThrows) {
+  ComparisonReport rep;
+  rep.add(make_row("zero", 1.0, 0.0));
+  EXPECT_THROW(rep.normalized_fan_energy(0), std::logic_error);
+}
+
+TEST(Report, BadRowIndexThrows) {
+  ComparisonReport rep;
+  rep.add(make_row("a", 1.0, 1.0));
+  EXPECT_THROW(rep.normalized_fan_energy(5), std::out_of_range);
+}
+
+}  // namespace
+}  // namespace fsc

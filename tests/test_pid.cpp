@@ -1,0 +1,195 @@
+// Unit tests for the PID controller (Eqn. 4) and Ziegler-Nichols gain
+// computation (Eqns. 5-7).
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+
+#include "core/pid.hpp"
+#include "core/ziegler_nichols.hpp"
+#include "metrics/oscillation.hpp"
+
+namespace fsc {
+namespace {
+
+PidController make(PidGains g, double offset = 1000.0, double lo = 0.0,
+                   double hi = 10000.0) {
+  return PidController(g, offset, lo, hi);
+}
+
+TEST(Pid, ProportionalOnly) {
+  auto pid = make(PidGains{10.0, 0.0, 0.0});
+  EXPECT_DOUBLE_EQ(pid.step(2.0), 1000.0 + 20.0);
+  EXPECT_DOUBLE_EQ(pid.step(-3.0), 1000.0 - 30.0);
+}
+
+TEST(Pid, IntegralAccumulates) {
+  auto pid = make(PidGains{0.0, 1.0, 0.0});
+  EXPECT_DOUBLE_EQ(pid.step(2.0), 1002.0);
+  EXPECT_DOUBLE_EQ(pid.step(2.0), 1004.0);
+  EXPECT_DOUBLE_EQ(pid.step(2.0), 1006.0);
+}
+
+TEST(Pid, DerivativeRespondsToChange) {
+  auto pid = make(PidGains{0.0, 0.0, 5.0});
+  // First step has no previous error: derivative contribution 0.
+  EXPECT_DOUBLE_EQ(pid.step(2.0), 1000.0);
+  // Error jumps by 3: derivative adds 15.
+  EXPECT_DOUBLE_EQ(pid.step(5.0), 1015.0);
+  // Constant error: derivative contribution vanishes.
+  EXPECT_DOUBLE_EQ(pid.step(5.0), 1000.0);
+}
+
+TEST(Pid, Equation4Composition) {
+  // One step with all three terms and a known history.
+  auto pid = make(PidGains{2.0, 0.5, 4.0});
+  pid.step(1.0);  // integral = 1, prev = 1
+  const double out = pid.step(3.0);
+  // offset + KP*3 + KI*(1+3) + KD*(3-1) = 1000 + 6 + 2 + 8 = 1016.
+  EXPECT_DOUBLE_EQ(out, 1016.0);
+}
+
+TEST(Pid, OutputClamped) {
+  auto pid = make(PidGains{1000.0, 0.0, 0.0}, 1000.0, 500.0, 8500.0);
+  EXPECT_DOUBLE_EQ(pid.step(100.0), 8500.0);
+  EXPECT_DOUBLE_EQ(pid.step(-100.0), 500.0);
+}
+
+TEST(Pid, AntiWindupBoundsIntegral) {
+  auto pid = make(PidGains{0.0, 1.0, 0.0}, 0.0, 0.0, 100.0);
+  for (int i = 0; i < 1000; ++i) pid.step(50.0);
+  // Integral alone may not exceed the output span / KI = 100.
+  EXPECT_LE(pid.integral(), 100.0 + 1e-9);
+  // Recovery is quick: a few negative errors pull the output down.
+  for (int i = 0; i < 5; ++i) pid.step(-50.0);
+  EXPECT_LT(pid.integral(), 100.0);
+}
+
+TEST(Pid, ResetClearsDynamicState) {
+  auto pid = make(PidGains{1.0, 1.0, 1.0});
+  pid.step(5.0);
+  pid.step(7.0);
+  pid.reset();
+  EXPECT_DOUBLE_EQ(pid.integral(), 0.0);
+  // After reset the derivative term sees no previous error again.
+  EXPECT_DOUBLE_EQ(pid.step(2.0), 1000.0 + 2.0 + 2.0);  // P + I only
+}
+
+TEST(Pid, SetGainsPreservesState) {
+  auto pid = make(PidGains{0.0, 1.0, 0.0});
+  pid.step(3.0);  // integral = 3
+  pid.set_gains(PidGains{0.0, 2.0, 0.0});
+  EXPECT_DOUBLE_EQ(pid.step(0.0), 1000.0 + 2.0 * 3.0);
+}
+
+TEST(Pid, SetOffsetRebases) {
+  auto pid = make(PidGains{1.0, 0.0, 0.0});
+  pid.set_offset(2000.0);
+  EXPECT_DOUBLE_EQ(pid.step(1.0), 2001.0);
+}
+
+TEST(Pid, RejectsEmptyOutputRange) {
+  EXPECT_THROW(PidController(PidGains{}, 0.0, 10.0, 10.0), std::invalid_argument);
+  EXPECT_THROW(PidController(PidGains{}, 0.0, 10.0, 5.0), std::invalid_argument);
+}
+
+// ----------------------------------------------------- Ziegler-Nichols gains
+
+TEST(ZnGains, Equations5to7) {
+  const auto g = ziegler_nichols_gains(UltimateGain{10.0, 120.0});
+  EXPECT_DOUBLE_EQ(g.kp, 6.0);             // 0.6 Ku
+  EXPECT_DOUBLE_EQ(g.ki, 6.0 * 2.0 / 120.0);   // KP * 2/Pu
+  EXPECT_DOUBLE_EQ(g.kd, 6.0 * 120.0 / 8.0);   // KP * Pu/8
+}
+
+TEST(ZnGains, ScalesLinearlyWithKu) {
+  const auto a = ziegler_nichols_gains(UltimateGain{10.0, 100.0});
+  const auto b = ziegler_nichols_gains(UltimateGain{20.0, 100.0});
+  EXPECT_DOUBLE_EQ(b.kp, 2.0 * a.kp);
+  EXPECT_DOUBLE_EQ(b.ki, 2.0 * a.ki);
+  EXPECT_DOUBLE_EQ(b.kd, 2.0 * a.kd);
+}
+
+TEST(ZnGains, RejectsNonPositiveInputs) {
+  EXPECT_THROW(ziegler_nichols_gains(UltimateGain{0.0, 100.0}), std::invalid_argument);
+  EXPECT_THROW(ziegler_nichols_gains(UltimateGain{1.0, 0.0}), std::invalid_argument);
+}
+
+// A synthetic unstable-able loop for the ultimate-gain search: a discrete
+// first-order lag plant with transport delay, controlled by P-only
+// feedback.  High kp destabilises it, low kp converges, so the search has
+// a genuine boundary to find.
+std::vector<double> delayed_lag_experiment(double kp) {
+  const int delay = 3;
+  const double a = 0.7;  // pole of the lag
+  std::vector<double> buffer(delay, 0.0);
+  double y = 1.0;  // initial perturbation
+  std::vector<double> series;
+  for (int k = 0; k < 400; ++k) {
+    series.push_back(y);
+    const double delayed_y = buffer[k % delay];
+    buffer[k % delay] = y;
+    const double u = -kp * delayed_y;
+    y = a * y + (1.0 - a) * u;
+  }
+  return series;
+}
+
+TEST(ZnSearch, FindsBoundaryOfDelayedLag) {
+  ZnSearchParams p;
+  p.kp_initial = 0.1;
+  p.sample_period_s = 1.0;
+  p.oscillation_hysteresis = 0.05;
+  const auto ug = find_ultimate_gain(delayed_lag_experiment, p);
+  ASSERT_TRUE(ug.has_value());
+  EXPECT_GT(ug->ku, 0.1);
+  EXPECT_LT(ug->ku, 100.0);
+  EXPECT_GT(ug->pu_seconds, 0.0);
+  // Verify the boundary property: slightly below Ku converges, slightly
+  // above oscillates.
+  OscillationParams op;
+  op.hysteresis = 0.05;
+  const auto below = analyse_oscillation(delayed_lag_experiment(0.8 * ug->ku), op);
+  const auto above = analyse_oscillation(delayed_lag_experiment(1.3 * ug->ku), op);
+  EXPECT_EQ(below.verdict, OscillationVerdict::kConverged);
+  EXPECT_NE(above.verdict, OscillationVerdict::kConverged);
+}
+
+TEST(ZnSearch, UnconditionallyStableLoopReturnsNullopt) {
+  // A pure decaying plant that ignores the controller cannot oscillate.
+  const auto stable = [](double) {
+    std::vector<double> s;
+    double y = 1.0;
+    for (int i = 0; i < 100; ++i) {
+      s.push_back(y);
+      y *= 0.9;
+    }
+    return s;
+  };
+  ZnSearchParams p;
+  p.kp_max = 1000.0;
+  EXPECT_FALSE(find_ultimate_gain(stable, p).has_value());
+}
+
+TEST(ZnSearch, TunePidProducesPositiveGains) {
+  ZnSearchParams p;
+  p.kp_initial = 0.1;
+  p.sample_period_s = 1.0;
+  p.oscillation_hysteresis = 0.05;
+  const auto gains = tune_pid(delayed_lag_experiment, p);
+  ASSERT_TRUE(gains.has_value());
+  EXPECT_GT(gains->kp, 0.0);
+  EXPECT_GT(gains->ki, 0.0);
+  EXPECT_GT(gains->kd, 0.0);
+}
+
+TEST(ZnSearch, RejectsBadSearchParams) {
+  ZnSearchParams p;
+  p.kp_initial = 0.0;
+  EXPECT_THROW(find_ultimate_gain(delayed_lag_experiment, p), std::invalid_argument);
+  p = ZnSearchParams{};
+  p.growth_factor = 1.0;
+  EXPECT_THROW(find_ultimate_gain(delayed_lag_experiment, p), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace fsc

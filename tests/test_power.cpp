@@ -1,0 +1,150 @@
+// Unit tests for src/power: CPU linear model (Eqn. 1), cubic fan law,
+// energy metering.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <stdexcept>
+
+#include "power/cpu_power.hpp"
+#include "power/energy_meter.hpp"
+#include "power/fan_power.hpp"
+
+namespace fsc {
+namespace {
+
+// ---------------------------------------------------------------- CpuPowerModel
+
+TEST(CpuPower, Table1Endpoints) {
+  const auto m = CpuPowerModel::table1_defaults();
+  EXPECT_DOUBLE_EQ(m.idle_power(), 96.0);   // Table I: P_idle
+  EXPECT_DOUBLE_EQ(m.max_power(), 160.0);   // Table I: P_max
+  EXPECT_DOUBLE_EQ(m.dynamic_power(), 64.0);
+}
+
+TEST(CpuPower, LinearInUtilization) {
+  const auto m = CpuPowerModel::table1_defaults();
+  EXPECT_DOUBLE_EQ(m.power(0.0), 96.0);
+  EXPECT_DOUBLE_EQ(m.power(0.5), 128.0);
+  EXPECT_DOUBLE_EQ(m.power(1.0), 160.0);
+}
+
+TEST(CpuPower, ClampsUtilization) {
+  const auto m = CpuPowerModel::table1_defaults();
+  EXPECT_DOUBLE_EQ(m.power(-0.5), 96.0);
+  EXPECT_DOUBLE_EQ(m.power(1.5), 160.0);
+}
+
+TEST(CpuPower, InverseRoundTrip) {
+  const auto m = CpuPowerModel::table1_defaults();
+  for (double u : {0.0, 0.1, 0.35, 0.7, 1.0}) {
+    EXPECT_NEAR(m.utilization_for_power(m.power(u)), u, 1e-12);
+  }
+}
+
+TEST(CpuPower, InverseClamps) {
+  const auto m = CpuPowerModel::table1_defaults();
+  EXPECT_DOUBLE_EQ(m.utilization_for_power(50.0), 0.0);   // below idle
+  EXPECT_DOUBLE_EQ(m.utilization_for_power(500.0), 1.0);  // above max
+}
+
+TEST(CpuPower, RejectsNegativeParameters) {
+  EXPECT_THROW(CpuPowerModel(-1.0, 10.0), std::invalid_argument);
+  EXPECT_THROW(CpuPowerModel(10.0, -1.0), std::invalid_argument);
+}
+
+TEST(CpuPower, ZeroDynamicPowerInverseIsZero) {
+  const CpuPowerModel m(100.0, 0.0);
+  EXPECT_DOUBLE_EQ(m.utilization_for_power(100.0), 0.0);
+}
+
+// ---------------------------------------------------------------- FanPowerModel
+
+TEST(FanPower, Table1MaxPoint) {
+  const auto m = FanPowerModel::table1_defaults();
+  EXPECT_DOUBLE_EQ(m.max_speed(), 8500.0);
+  EXPECT_DOUBLE_EQ(m.power(8500.0), 29.4);  // Table I: fan power per socket
+}
+
+TEST(FanPower, CubicRelationship) {
+  const auto m = FanPowerModel::table1_defaults();
+  // P(s/2) = P(s)/8 is the signature of a cubic law.
+  EXPECT_NEAR(m.power(4250.0), 29.4 / 8.0, 1e-12);
+  EXPECT_NEAR(m.power(2125.0), 29.4 / 64.0, 1e-12);
+}
+
+TEST(FanPower, ZeroAtZeroSpeed) {
+  const auto m = FanPowerModel::table1_defaults();
+  EXPECT_DOUBLE_EQ(m.power(0.0), 0.0);
+}
+
+TEST(FanPower, ClampsAboveMax) {
+  const auto m = FanPowerModel::table1_defaults();
+  EXPECT_DOUBLE_EQ(m.power(20000.0), 29.4);
+}
+
+TEST(FanPower, SpeedForPowerRoundTrip) {
+  const auto m = FanPowerModel::table1_defaults();
+  for (double s : {1000.0, 3000.0, 6000.0, 8500.0}) {
+    EXPECT_NEAR(m.speed_for_power(m.power(s)), s, 1e-6);
+  }
+}
+
+TEST(FanPower, RejectsBadParameters) {
+  EXPECT_THROW(FanPowerModel(0.0, 10.0), std::invalid_argument);
+  EXPECT_THROW(FanPowerModel(-100.0, 10.0), std::invalid_argument);
+  EXPECT_THROW(FanPowerModel(1000.0, -1.0), std::invalid_argument);
+}
+
+TEST(FanPower, HalvingSpeedSavesSevenEighths) {
+  // The headline energy argument of the paper (P ~ s^3): halving fan speed
+  // cuts fan power by 87.5 %.
+  const auto m = FanPowerModel::table1_defaults();
+  const double full = m.power(6000.0);
+  const double half = m.power(3000.0);
+  EXPECT_NEAR(half / full, 0.125, 1e-12);
+}
+
+// ---------------------------------------------------------------- EnergyMeter
+
+TEST(EnergyMeter, AccumulatesSeparately) {
+  EnergyMeter m;
+  m.accumulate(100.0, 10.0, 2.0);
+  m.accumulate(50.0, 5.0, 1.0);
+  EXPECT_DOUBLE_EQ(m.cpu_energy(), 250.0);
+  EXPECT_DOUBLE_EQ(m.fan_energy(), 25.0);
+  EXPECT_DOUBLE_EQ(m.total_energy(), 275.0);
+  EXPECT_DOUBLE_EQ(m.elapsed(), 3.0);
+}
+
+TEST(EnergyMeter, AveragePower) {
+  EnergyMeter m;
+  m.accumulate(100.0, 0.0, 10.0);
+  EXPECT_DOUBLE_EQ(m.average_power(), 100.0);
+}
+
+TEST(EnergyMeter, EmptyAveragePowerIsZero) {
+  const EnergyMeter m;
+  EXPECT_DOUBLE_EQ(m.average_power(), 0.0);
+}
+
+TEST(EnergyMeter, RejectsNegativeDt) {
+  EnergyMeter m;
+  EXPECT_THROW(m.accumulate(1.0, 1.0, -0.1), std::invalid_argument);
+}
+
+TEST(EnergyMeter, ResetZeroes) {
+  EnergyMeter m;
+  m.accumulate(10.0, 10.0, 5.0);
+  m.reset();
+  EXPECT_DOUBLE_EQ(m.total_energy(), 0.0);
+  EXPECT_DOUBLE_EQ(m.elapsed(), 0.0);
+}
+
+TEST(EnergyMeter, ZeroDtIsNoop) {
+  EnergyMeter m;
+  m.accumulate(100.0, 100.0, 0.0);
+  EXPECT_DOUBLE_EQ(m.total_energy(), 0.0);
+}
+
+}  // namespace
+}  // namespace fsc

@@ -1,0 +1,245 @@
+// Property-based tests: invariants checked over parameter sweeps
+// (TEST_P / INSTANTIATE_TEST_SUITE_P).
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <memory>
+#include <tuple>
+
+#include "core/adaptive_pid_fan.hpp"
+#include "core/cpu_capper.hpp"
+#include "core/fan_only_policy.hpp"
+#include "core/rule_table.hpp"
+#include "core/solutions.hpp"
+#include "sensor/quantizer.hpp"
+#include "sim/experiment.hpp"
+#include "sim/simulation.hpp"
+#include "thermal/server_thermal_model.hpp"
+#include "workload/synthetic.hpp"
+
+namespace fsc {
+namespace {
+
+// ---------------------------------------------------------------- thermal map
+
+class ThermalMonotonicity : public ::testing::TestWithParam<double> {};
+
+TEST_P(ThermalMonotonicity, JunctionDecreasesWithFanSpeed) {
+  const double watts = GetParam();
+  const auto m = ServerThermalModel::table1_defaults();
+  double prev = 1e300;
+  for (double v = 1500.0; v <= 8500.0; v += 250.0) {
+    const double t = m.steady_state_junction(watts, v);
+    EXPECT_LT(t, prev) << "p=" << watts << " v=" << v;
+    prev = t;
+  }
+}
+
+TEST_P(ThermalMonotonicity, MinSafeSpeedInverseConsistent) {
+  const double watts = GetParam();
+  const auto m = ServerThermalModel::table1_defaults();
+  for (double limit : {70.0, 75.0, 80.0, 85.0}) {
+    const double v = m.min_speed_for_junction_limit(watts, limit);
+    if (v < 8500.0 - 1e-3 && v > 1.0 + 1e-3) {
+      EXPECT_LE(m.steady_state_junction(watts, v), limit + 1e-5);
+      EXPECT_GE(m.steady_state_junction(watts, v * 0.98), limit - 0.5);
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(PowerLevels, ThermalMonotonicity,
+                         ::testing::Values(96.0, 110.0, 128.0, 145.0, 160.0));
+
+// ---------------------------------------------------------------- quantizer
+
+class QuantizerProperty : public ::testing::TestWithParam<unsigned> {};
+
+TEST_P(QuantizerProperty, ErrorBoundAndMonotonicity) {
+  const unsigned bits = GetParam();
+  const AdcQuantizer adc(bits, 0.0, 128.0, AdcRounding::kNearest);
+  double prev = -1e300;
+  // Stay inside the unsaturated range: the top code's reconstruction level
+  // is one step below the range end, so values beyond it clip.
+  const double top = 128.0 - adc.step() - 0.3;
+  for (double v = 0.5; v < top; v += 0.173) {
+    const double q = adc.quantize(v);
+    EXPECT_LE(std::fabs(q - v), 0.5 * adc.step() + 1e-9) << "bits=" << bits;
+    EXPECT_GE(q, prev) << "quantization must be monotone";
+    prev = q;
+  }
+}
+
+TEST_P(QuantizerProperty, IdempotentOnReconstructionLevels) {
+  const unsigned bits = GetParam();
+  const AdcQuantizer adc(bits, 0.0, 128.0);
+  for (std::uint32_t c = 0; c < (1u << bits); c += 3) {
+    const double level = adc.reconstruct(c);
+    EXPECT_DOUBLE_EQ(adc.quantize(level), level);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(BitWidths, QuantizerProperty,
+                         ::testing::Values(4u, 6u, 8u, 10u, 12u));
+
+// ---------------------------------------------------------------- rule table
+
+class RuleTableProperty
+    : public ::testing::TestWithParam<std::tuple<double, double>> {};
+
+TEST_P(RuleTableProperty, ExactlyOneVariableChanges) {
+  const auto [dfan, dcap] = GetParam();
+  const double fan = 4000.0, cap = 0.6;
+  const auto d = coordinate_and_apply(fan, fan + dfan, cap, cap + dcap);
+  const bool fan_changed = std::fabs(d.fan_speed - fan) > 1e-12;
+  const bool cap_changed = std::fabs(d.cpu_cap - cap) > 1e-12;
+  EXPECT_LE(static_cast<int>(fan_changed) + static_cast<int>(cap_changed), 1);
+  // Whatever changed must equal its proposal.
+  if (fan_changed) EXPECT_DOUBLE_EQ(d.fan_speed, fan + dfan);
+  if (cap_changed) EXPECT_DOUBLE_EQ(d.cpu_cap, cap + dcap);
+}
+
+TEST_P(RuleTableProperty, FanUpAlwaysWins) {
+  const auto [dfan, dcap] = GetParam();
+  if (dfan <= 1e-6) GTEST_SKIP();
+  const auto a = coordinate(4000.0, 4000.0 + dfan, 0.6, 0.6 + dcap);
+  EXPECT_EQ(a, CoordinationAction::kFanUp);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    ProposalGrid, RuleTableProperty,
+    ::testing::Combine(::testing::Values(-800.0, -100.0, 0.0, 100.0, 800.0),
+                       ::testing::Values(-0.2, -0.05, 0.0, 0.05, 0.2)));
+
+// ---------------------------------------------------------------- capper
+
+class CapperProperty : public ::testing::TestWithParam<double> {};
+
+TEST_P(CapperProperty, CapStaysInBoundsUnderAnyTemperature) {
+  const double temp = GetParam();
+  DeadzoneCpuCapper capper(CpuCapperParams{});
+  double cap = 0.6;
+  for (int i = 0; i < 100; ++i) {
+    cap = capper.decide(CapControlInput{0.0, temp, cap});
+    EXPECT_GE(cap, 0.1);
+    EXPECT_LE(cap, 1.0);
+  }
+}
+
+TEST_P(CapperProperty, MovementDirectionMatchesZone) {
+  const double temp = GetParam();
+  DeadzoneCpuCapper capper(CpuCapperParams{});  // zone (76, 80)
+  const double cap = 0.6;
+  const double next = capper.decide(CapControlInput{0.0, temp, cap});
+  if (temp > 80.0) {
+    EXPECT_LT(next, cap);
+  } else if (temp < 76.0) {
+    EXPECT_GT(next, cap);
+  } else {
+    EXPECT_DOUBLE_EQ(next, cap);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Temperatures, CapperProperty,
+                         ::testing::Values(60.0, 74.0, 76.0, 78.0, 80.0, 81.0,
+                                           90.0, 120.0));
+
+// ------------------------------------------------------- closed-loop safety
+
+struct LoopCase {
+  double utilization;
+  double reference;
+};
+
+class ClosedLoopProperty : public ::testing::TestWithParam<LoopCase> {};
+
+TEST_P(ClosedLoopProperty, FanCommandAlwaysInsideEnvelope) {
+  const auto [u, ref] = GetParam();
+  Rng rng(17);
+  Server server(ServerParams{}, 3000.0, rng);
+  AdaptivePidFanParams fp;
+  auto fan = std::make_unique<AdaptivePidFanController>(
+      SolutionConfig::default_gain_schedule(), fp, 3000.0);
+  FanOnlyPolicy policy(std::move(fan), ref);
+  ConstantWorkload w(u);
+  SimulationParams sim;
+  sim.duration_s = 1200.0;
+  sim.initial_utilization = u;
+  const auto r = run_simulation(server, policy, w, sim);
+  for (const auto& rec : r.trace) {
+    EXPECT_GE(rec.fan_cmd_rpm, fp.min_speed_rpm);
+    EXPECT_LE(rec.fan_cmd_rpm, fp.max_speed_rpm);
+  }
+}
+
+TEST_P(ClosedLoopProperty, SteadyStateTracksReferenceWhenReachable) {
+  const auto [u, ref] = GetParam();
+  const auto thermal = ServerThermalModel::table1_defaults();
+  const auto cpu = CpuPowerModel::table1_defaults();
+  // Only check tracking when the reference is inside the plant's reachable
+  // band at this utilization (between max-fan and min-fan steady states).
+  const double t_min = thermal.steady_state_junction(cpu.power(u), 8500.0);
+  const double t_max = thermal.steady_state_junction(cpu.power(u), 1500.0);
+  if (ref < t_min + 1.0 || ref > t_max - 1.0) GTEST_SKIP();
+
+  Rng rng(17);
+  Server server(ServerParams{}, 3000.0, rng);
+  AdaptivePidFanParams fp;
+  auto fan = std::make_unique<AdaptivePidFanController>(
+      SolutionConfig::default_gain_schedule(), fp, 3000.0);
+  FanOnlyPolicy policy(std::move(fan), ref);
+  ConstantWorkload w(u);
+  SimulationParams sim;
+  sim.duration_s = 2400.0;
+  sim.initial_utilization = u;
+  const auto r = run_simulation(server, policy, w, sim);
+  // Mean junction over the last quarter must sit within ~1.5 quantization
+  // steps of the reference.
+  const auto temps = r.column(&TraceRecord::junction_celsius);
+  double mean = 0.0;
+  std::size_t n = 0;
+  for (std::size_t i = 3 * temps.size() / 4; i < temps.size(); ++i) {
+    mean += temps[i];
+    ++n;
+  }
+  mean /= static_cast<double>(n);
+  EXPECT_NEAR(mean, ref, 1.5) << "u=" << u << " ref=" << ref;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    OperatingPoints, ClosedLoopProperty,
+    ::testing::Values(LoopCase{0.1, 72.0}, LoopCase{0.1, 75.0},
+                      LoopCase{0.3, 74.0}, LoopCase{0.5, 75.0},
+                      LoopCase{0.7, 75.0}, LoopCase{0.7, 77.0},
+                      LoopCase{0.9, 77.0}, LoopCase{1.0, 78.0}));
+
+// ------------------------------------------------- simulation invariants
+
+class SimulationInvariants : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(SimulationInvariants, EnergyAndCountsConsistent) {
+  ComparisonScenario s = ComparisonScenario::paper_defaults();
+  s.sim.duration_s = 1200.0;
+  s.workload.base.duration_s = 1200.0;
+  s.seed = GetParam();
+  for (SolutionKind kind :
+       {SolutionKind::kUncoordinated, SolutionKind::kRuleAdaptiveTrefSingleStep}) {
+    const auto r = run_solution(kind, s);
+    // CPU energy bounded by idle/max envelopes.
+    EXPECT_GE(r.cpu_energy_joules, 96.0 * r.duration_s - 1.0) << to_string(kind);
+    EXPECT_LE(r.cpu_energy_joules, 160.0 * r.duration_s + 1.0) << to_string(kind);
+    // Fan energy bounded by the max-speed draw.
+    EXPECT_GE(r.fan_energy_joules, 0.0);
+    EXPECT_LE(r.fan_energy_joules, 29.4 * r.duration_s + 1.0);
+    // Deadline accounting: violations never exceed periods.
+    EXPECT_LE(r.deadline.violations(), r.deadline.periods());
+    EXPECT_EQ(r.deadline.periods(), static_cast<std::size_t>(r.duration_s));
+    // Junction stays above ambient.
+    EXPECT_GT(r.junction_stats.min(), 42.0);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, SimulationInvariants,
+                         ::testing::Values(1ull, 2ull, 3ull, 11ull, 42ull));
+
+}  // namespace
+}  // namespace fsc

@@ -1,0 +1,115 @@
+// Exhaustive unit tests for the rule-based coordination table (Table II):
+// all 9 cells, plus tolerance behaviour and the apply step.
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "core/rule_table.hpp"
+
+namespace fsc {
+namespace {
+
+// Fixed current operating point for all cases.
+constexpr double kFan = 3000.0;
+constexpr double kCap = 0.7;
+
+// Proposed values expressing each row/column of Table II.
+constexpr double kFanDown = 2500.0, kFanSame = 3000.0, kFanUp = 3500.0;
+constexpr double kCapDown = 0.6, kCapSame = 0.7, kCapUp = 0.8;
+
+TEST(Table2, Cell_FanDown_CapDown) {
+  EXPECT_EQ(coordinate(kFan, kFanDown, kCap, kCapDown), CoordinationAction::kFanDown);
+}
+
+TEST(Table2, Cell_FanDown_CapSame) {
+  EXPECT_EQ(coordinate(kFan, kFanDown, kCap, kCapSame), CoordinationAction::kFanDown);
+}
+
+TEST(Table2, Cell_FanDown_CapUp) {
+  // Fan decrease yields to a cap increase (performance first).
+  EXPECT_EQ(coordinate(kFan, kFanDown, kCap, kCapUp), CoordinationAction::kCapUp);
+}
+
+TEST(Table2, Cell_FanSame_CapDown) {
+  EXPECT_EQ(coordinate(kFan, kFanSame, kCap, kCapDown), CoordinationAction::kCapDown);
+}
+
+TEST(Table2, Cell_FanSame_CapSame) {
+  EXPECT_EQ(coordinate(kFan, kFanSame, kCap, kCapSame), CoordinationAction::kNone);
+}
+
+TEST(Table2, Cell_FanSame_CapUp) {
+  EXPECT_EQ(coordinate(kFan, kFanSame, kCap, kCapUp), CoordinationAction::kCapUp);
+}
+
+TEST(Table2, Cell_FanUp_CapDown) {
+  // A fan increase always wins.
+  EXPECT_EQ(coordinate(kFan, kFanUp, kCap, kCapDown), CoordinationAction::kFanUp);
+}
+
+TEST(Table2, Cell_FanUp_CapSame) {
+  EXPECT_EQ(coordinate(kFan, kFanUp, kCap, kCapSame), CoordinationAction::kFanUp);
+}
+
+TEST(Table2, Cell_FanUp_CapUp) {
+  EXPECT_EQ(coordinate(kFan, kFanUp, kCap, kCapUp), CoordinationAction::kFanUp);
+}
+
+TEST(Table2, SubToleranceChangesCountAsEqual) {
+  // rpm tolerance default 1e-6; cap tolerance 1e-9.
+  EXPECT_EQ(coordinate(kFan, kFan + 1e-9, kCap, kCap - 1e-12),
+            CoordinationAction::kNone);
+}
+
+TEST(Table2, CustomTolerances) {
+  // With a 100 rpm tolerance, a 50 rpm change is "same".
+  EXPECT_EQ(coordinate(kFan, kFan + 50.0, kCap, kCapUp, 100.0, 1e-9),
+            CoordinationAction::kCapUp);
+}
+
+TEST(Table2, ApplyTakesExactlyOneProposal) {
+  // Fan down + cap up: cap wins; fan must stay at the CURRENT value.
+  const auto d = coordinate_and_apply(kFan, kFanDown, kCap, kCapUp);
+  EXPECT_EQ(d.action, CoordinationAction::kCapUp);
+  EXPECT_DOUBLE_EQ(d.fan_speed, kFan);
+  EXPECT_DOUBLE_EQ(d.cpu_cap, kCapUp);
+}
+
+TEST(Table2, ApplyFanUpKeepsCapCurrent) {
+  const auto d = coordinate_and_apply(kFan, kFanUp, kCap, kCapDown);
+  EXPECT_EQ(d.action, CoordinationAction::kFanUp);
+  EXPECT_DOUBLE_EQ(d.fan_speed, kFanUp);
+  EXPECT_DOUBLE_EQ(d.cpu_cap, kCap);  // cap proposal dropped
+}
+
+TEST(Table2, ApplyNoneKeepsBoth) {
+  const auto d = coordinate_and_apply(kFan, kFanSame, kCap, kCapSame);
+  EXPECT_EQ(d.action, CoordinationAction::kNone);
+  EXPECT_DOUBLE_EQ(d.fan_speed, kFan);
+  EXPECT_DOUBLE_EQ(d.cpu_cap, kCap);
+}
+
+TEST(Table2, OnlyOneVariableEverChanges) {
+  // Property over a grid of proposals: post-coordination state differs
+  // from the current state in at most one variable.
+  for (double fp : {kFanDown, kFanSame, kFanUp}) {
+    for (double cp : {kCapDown, kCapSame, kCapUp}) {
+      const auto d = coordinate_and_apply(kFan, fp, kCap, cp);
+      const bool fan_changed = d.fan_speed != kFan;
+      const bool cap_changed = d.cpu_cap != kCap;
+      EXPECT_FALSE(fan_changed && cap_changed)
+          << "fan proposal " << fp << ", cap proposal " << cp;
+    }
+  }
+}
+
+TEST(Table2, ToStringNamesAllActions) {
+  EXPECT_EQ(std::string(to_string(CoordinationAction::kNone)), "none");
+  EXPECT_EQ(std::string(to_string(CoordinationAction::kFanDown)), "fan-down");
+  EXPECT_EQ(std::string(to_string(CoordinationAction::kFanUp)), "fan-up");
+  EXPECT_EQ(std::string(to_string(CoordinationAction::kCapDown)), "cap-down");
+  EXPECT_EQ(std::string(to_string(CoordinationAction::kCapUp)), "cap-up");
+}
+
+}  // namespace
+}  // namespace fsc

@@ -1,0 +1,284 @@
+// Unit tests for src/sensor: ADC quantizer, delay line, noise, I2C bus
+// contention model, and the assembled sensor chain.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <stdexcept>
+
+#include "sensor/delay_line.hpp"
+#include "sensor/i2c_bus.hpp"
+#include "sensor/noise.hpp"
+#include "sensor/quantizer.hpp"
+#include "sensor/sensor_chain.hpp"
+#include "util/statistics.hpp"
+
+namespace fsc {
+namespace {
+
+// ---------------------------------------------------------------- AdcQuantizer
+
+TEST(Quantizer, Table1StepIsOneDegree) {
+  const auto adc = AdcQuantizer::table1_temperature_adc();
+  EXPECT_DOUBLE_EQ(adc.step(), 1.0);  // 8-bit over [0, 256)
+  EXPECT_EQ(adc.bits(), 8u);
+}
+
+TEST(Quantizer, NearestRoundingDefault) {
+  const auto adc = AdcQuantizer::table1_temperature_adc();
+  EXPECT_EQ(adc.rounding(), AdcRounding::kNearest);
+  EXPECT_DOUBLE_EQ(adc.quantize(75.0), 75.0);
+  EXPECT_DOUBLE_EQ(adc.quantize(75.4), 75.0);
+  EXPECT_DOUBLE_EQ(adc.quantize(75.6), 76.0);
+  EXPECT_DOUBLE_EQ(adc.quantize(76.0), 76.0);
+}
+
+TEST(Quantizer, FloorModeTruncates) {
+  const AdcQuantizer adc(8, 0.0, 256.0, AdcRounding::kFloor);
+  EXPECT_DOUBLE_EQ(adc.quantize(75.0), 75.0);
+  EXPECT_DOUBLE_EQ(adc.quantize(75.4), 75.0);
+  EXPECT_DOUBLE_EQ(adc.quantize(75.999), 75.0);
+  EXPECT_DOUBLE_EQ(adc.quantize(76.0), 76.0);
+}
+
+TEST(Quantizer, SaturatesAtRangeEnds) {
+  const auto adc = AdcQuantizer::table1_temperature_adc();
+  EXPECT_DOUBLE_EQ(adc.quantize(-10.0), 0.0);
+  EXPECT_DOUBLE_EQ(adc.quantize(300.0), 255.0);
+  EXPECT_EQ(adc.code(-10.0), 0u);
+  EXPECT_EQ(adc.code(300.0), 255u);
+}
+
+TEST(Quantizer, CodeReconstructConsistency) {
+  const auto adc = AdcQuantizer::table1_temperature_adc();
+  for (double v = 0.0; v < 256.0; v += 7.3) {
+    EXPECT_DOUBLE_EQ(adc.quantize(v), adc.reconstruct(adc.code(v)));
+  }
+}
+
+TEST(Quantizer, ErrorBoundedByStep) {
+  const auto adc = AdcQuantizer::table1_temperature_adc();
+  for (double v = 0.5; v < 255.0; v += 0.37) {
+    // Nearest rounding: error bounded by half a step.
+    EXPECT_LE(std::fabs(adc.quantize(v) - v), 0.5 * adc.step() + 1e-12);
+  }
+  const AdcQuantizer floor_adc(8, 0.0, 256.0, AdcRounding::kFloor);
+  for (double v = 0.0; v < 255.0; v += 0.37) {
+    EXPECT_LT(std::fabs(floor_adc.quantize(v) - v), floor_adc.step());
+    EXPECT_LE(floor_adc.quantize(v), v);  // floor never rounds up
+  }
+}
+
+TEST(Quantizer, CustomBitWidths) {
+  // 4-bit over [0, 16) -> step 1; 10-bit over [0, 102.4) -> step 0.1.
+  const AdcQuantizer adc4(4, 0.0, 16.0);
+  EXPECT_DOUBLE_EQ(adc4.step(), 1.0);
+  const AdcQuantizer adc10(10, 0.0, 102.4);
+  EXPECT_NEAR(adc10.step(), 0.1, 1e-12);
+}
+
+TEST(Quantizer, RejectsBadParameters) {
+  EXPECT_THROW(AdcQuantizer(0, 0.0, 1.0), std::invalid_argument);
+  EXPECT_THROW(AdcQuantizer(32, 0.0, 1.0), std::invalid_argument);
+  EXPECT_THROW(AdcQuantizer(8, 1.0, 1.0), std::invalid_argument);
+  EXPECT_THROW(AdcQuantizer(8, 2.0, 1.0), std::invalid_argument);
+}
+
+// ---------------------------------------------------------------- DelayLine
+
+TEST(DelayLine, DelaysBySpecifiedDepth) {
+  DelayLine line(3.0, 1.0, 0.0);  // 3-sample transport delay
+  EXPECT_EQ(line.depth(), 3u);
+  line.push(1.0);
+  EXPECT_DOUBLE_EQ(line.read(), 0.0);  // still warming up
+  line.push(2.0);
+  EXPECT_DOUBLE_EQ(line.read(), 0.0);
+  line.push(3.0);
+  EXPECT_DOUBLE_EQ(line.read(), 1.0);  // first value emerges after 3 pushes
+  line.push(4.0);
+  EXPECT_DOUBLE_EQ(line.read(), 2.0);
+}
+
+TEST(DelayLine, ZeroDelayIsPassThrough) {
+  DelayLine line(0.0, 1.0, -1.0);
+  EXPECT_EQ(line.depth(), 0u);
+  EXPECT_DOUBLE_EQ(line.read(), -1.0);
+  line.push(5.0);
+  EXPECT_DOUBLE_EQ(line.read(), 5.0);
+  line.push(6.0);
+  EXPECT_DOUBLE_EQ(line.read(), 6.0);
+}
+
+TEST(DelayLine, Table1TenSecondDelay) {
+  DelayLine line(10.0, 1.0, 20.0);
+  EXPECT_EQ(line.depth(), 10u);
+  EXPECT_DOUBLE_EQ(line.delay(), 10.0);
+  for (int i = 0; i < 9; ++i) {
+    line.push(100.0);
+    EXPECT_DOUBLE_EQ(line.read(), 20.0) << "i=" << i;
+  }
+  line.push(100.0);
+  EXPECT_DOUBLE_EQ(line.read(), 100.0);
+}
+
+TEST(DelayLine, ResetForgetsInFlight) {
+  DelayLine line(2.0, 1.0, 0.0);
+  line.push(1.0);
+  line.push(2.0);
+  line.reset(42.0);
+  EXPECT_DOUBLE_EQ(line.read(), 42.0);
+}
+
+TEST(DelayLine, RejectsBadParameters) {
+  EXPECT_THROW(DelayLine(1.0, 0.0), std::invalid_argument);
+  EXPECT_THROW(DelayLine(-1.0, 1.0), std::invalid_argument);
+}
+
+TEST(DelayLine, FractionalDelayRoundsToNearestSample) {
+  DelayLine line(2.6, 1.0);
+  EXPECT_EQ(line.depth(), 3u);
+  DelayLine line2(2.4, 1.0);
+  EXPECT_EQ(line2.depth(), 2u);
+}
+
+// ---------------------------------------------------------------- GaussianNoise
+
+TEST(Noise, ZeroStddevIsDeterministic) {
+  Rng rng(1);
+  const auto n = GaussianNoise::none();
+  EXPECT_DOUBLE_EQ(n.apply(3.5, rng), 3.5);
+}
+
+TEST(Noise, BiasShifts) {
+  Rng rng(1);
+  const GaussianNoise n(0.0, 2.0);
+  EXPECT_DOUBLE_EQ(n.apply(1.0, rng), 3.0);
+}
+
+TEST(Noise, MomentsMatchParameters) {
+  Rng rng(77);
+  const GaussianNoise n(0.5, 0.0);
+  RunningStats s;
+  for (int i = 0; i < 20000; ++i) s.add(n.apply(10.0, rng));
+  EXPECT_NEAR(s.mean(), 10.0, 0.02);
+  EXPECT_NEAR(s.stddev(), 0.5, 0.02);
+}
+
+TEST(Noise, RejectsNegativeStddev) {
+  EXPECT_THROW(GaussianNoise(-0.1), std::invalid_argument);
+}
+
+// ---------------------------------------------------------------- I2cBusModel
+
+TEST(I2cBus, Table1Calibration) {
+  const auto bus = I2cBusModel::table1_defaults();
+  // 100 sensors on the bus -> the 10 s lag measured in Fig. 1.
+  EXPECT_NEAR(bus.lag(100), 10.0, 1e-9);
+}
+
+TEST(I2cBus, LagGrowsWithSensorCount) {
+  const auto bus = I2cBusModel::table1_defaults();
+  EXPECT_LT(bus.lag(50), bus.lag(100));
+  EXPECT_LT(bus.lag(100), bus.lag(200));
+}
+
+TEST(I2cBus, RefreshPeriodLinearInCount) {
+  const auto bus = I2cBusModel::table1_defaults();
+  EXPECT_NEAR(bus.refresh_period(200), 2.0 * bus.refresh_period(100), 1e-12);
+}
+
+TEST(I2cBus, RejectsBadParameters) {
+  EXPECT_THROW(I2cBusModel(0.0, 1.0), std::invalid_argument);
+  EXPECT_THROW(I2cBusModel(10.0, -1.0), std::invalid_argument);
+  const auto bus = I2cBusModel::table1_defaults();
+  EXPECT_THROW(bus.refresh_period(0), std::invalid_argument);
+}
+
+// ---------------------------------------------------------------- SensorChain
+
+TEST(SensorChain, ReportsInitialValueBeforeFirstDelivery) {
+  Rng rng(1);
+  SensorChainParams p;
+  p.initial_value = 33.0;
+  SensorChain chain(p, AdcQuantizer::table1_temperature_adc(), rng);
+  EXPECT_DOUBLE_EQ(chain.read(), 33.0);
+}
+
+TEST(SensorChain, EndToEndLagIsTenSeconds) {
+  Rng rng(1);
+  SensorChain chain = SensorChain::table1_defaults(rng);
+  chain.reset(50.0);
+  EXPECT_DOUBLE_EQ(chain.read(), 50.0);
+  // Step the physical value to 90 and count how long until the reading
+  // moves: with 1 s sampling and a 10-deep line it takes ~10-11 s.
+  double t_seen = -1.0;
+  for (int step = 0; step < 300; ++step) {
+    chain.observe(90.0, 0.1);
+    if (t_seen < 0.0 && chain.read() > 55.0) {
+      t_seen = 0.1 * static_cast<double>(step + 1);
+      break;
+    }
+  }
+  ASSERT_GT(t_seen, 0.0) << "reading never moved";
+  EXPECT_GE(t_seen, 9.0);
+  EXPECT_LE(t_seen, 12.0);
+}
+
+TEST(SensorChain, QuantizesToWholeDegrees) {
+  Rng rng(1);
+  SensorChain chain = SensorChain::table1_defaults(rng);
+  chain.reset(74.6);
+  EXPECT_DOUBLE_EQ(chain.read(), 75.0);  // nearest integer degree
+  EXPECT_DOUBLE_EQ(chain.quantization_step(), 1.0);
+}
+
+TEST(SensorChain, QuantizationCanBeDisabled) {
+  Rng rng(1);
+  SensorChainParams p;
+  p.quantize = false;
+  SensorChain chain(p, AdcQuantizer::table1_temperature_adc(), rng);
+  chain.reset(74.6);
+  EXPECT_DOUBLE_EQ(chain.read(), 74.6);
+  EXPECT_DOUBLE_EQ(chain.quantization_step(), 0.0);
+}
+
+TEST(SensorChain, SubSamplePeriodObservationsAccumulate) {
+  Rng rng(1);
+  SensorChain chain = SensorChain::table1_defaults(rng);
+  chain.reset(40.0);
+  // 0.25 s observations: a sample is taken every 4th call.
+  for (int i = 0; i < 4 * 11; ++i) chain.observe(80.0, 0.25);
+  EXPECT_DOUBLE_EQ(chain.read(), 80.0);
+}
+
+TEST(SensorChain, LargeDtCatchesUpMultipleSamples) {
+  Rng rng(1);
+  SensorChain chain = SensorChain::table1_defaults(rng);
+  chain.reset(40.0);
+  chain.observe(90.0, 30.0);  // one huge step covers 30 sample instants
+  EXPECT_DOUBLE_EQ(chain.read(), 90.0);
+}
+
+TEST(SensorChain, NoiseReachesReading) {
+  Rng rng(3);
+  SensorChainParams p;
+  p.noise_stddev = 2.0;
+  p.lag_s = 0.0;
+  p.quantize = false;
+  SensorChain chain(p, AdcQuantizer::table1_temperature_adc(), rng);
+  RunningStats s;
+  for (int i = 0; i < 5000; ++i) {
+    chain.observe(70.0, 1.0);
+    s.add(chain.read());
+  }
+  EXPECT_NEAR(s.mean(), 70.0, 0.2);
+  EXPECT_NEAR(s.stddev(), 2.0, 0.2);
+}
+
+TEST(SensorChain, RejectsNegativeDt) {
+  Rng rng(1);
+  SensorChain chain = SensorChain::table1_defaults(rng);
+  EXPECT_THROW(chain.observe(50.0, -0.1), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace fsc

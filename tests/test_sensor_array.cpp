@@ -1,0 +1,111 @@
+// Unit tests for the multi-sensor array (I2C population -> lag coupling).
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+
+#include "sensor/sensor_array.hpp"
+
+namespace fsc {
+namespace {
+
+SensorArray make_array(std::size_t count, double gradient = 2.0,
+                       bool quantize = true) {
+  static Rng rng(5);
+  SensorArrayParams p;
+  p.sensor_count = count;
+  p.gradient_celsius = gradient;
+  p.quantize = quantize;
+  return SensorArray(p, I2cBusModel::table1_defaults(), rng);
+}
+
+TEST(SensorArray, LagMatchesBusModel) {
+  const auto bus = I2cBusModel::table1_defaults();
+  EXPECT_DOUBLE_EQ(make_array(100).lag(), bus.lag(100));
+  EXPECT_DOUBLE_EQ(make_array(25).lag(), bus.lag(25));
+}
+
+TEST(SensorArray, LagGrowsWithPopulation) {
+  EXPECT_LT(make_array(25).lag(), make_array(100).lag());
+  EXPECT_LT(make_array(100).lag(), make_array(400).lag());
+}
+
+TEST(SensorArray, MaxReadingReflectsHottestCore) {
+  Rng rng(5);
+  SensorArrayParams p;
+  p.sensor_count = 8;
+  p.gradient_celsius = 4.0;
+  p.quantize = false;
+  SensorArray a(p, I2cBusModel::table1_defaults(), rng);
+  a.reset(70.0);
+  // The hottest core sits at the true value; the coolest 4 degC below.
+  EXPECT_NEAR(a.read_max(), 70.0, 1e-9);
+  EXPECT_NEAR(a.read(0), 66.0, 1e-9);
+  EXPECT_LT(a.read_mean(), a.read_max());
+}
+
+TEST(SensorArray, ZeroGradientAllAgree) {
+  Rng rng(5);
+  SensorArrayParams p;
+  p.sensor_count = 4;
+  p.gradient_celsius = 0.0;
+  p.quantize = false;
+  SensorArray a(p, I2cBusModel::table1_defaults(), rng);
+  a.reset(55.5);
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    EXPECT_DOUBLE_EQ(a.read(i), 55.5);
+  }
+  EXPECT_DOUBLE_EQ(a.read_max(), a.read_mean());
+}
+
+TEST(SensorArray, ObservationPropagatesAfterLag) {
+  Rng rng(5);
+  SensorArrayParams p;
+  p.sensor_count = 25;  // lag(25) = 4 s
+  p.gradient_celsius = 0.0;
+  SensorArray a(p, I2cBusModel::table1_defaults(), rng);
+  a.reset(50.0);
+  EXPECT_NEAR(a.read_max(), 50.0, 1.0);
+  // After 2 s the step is still invisible; after 6 s it has arrived.
+  for (int i = 0; i < 20; ++i) a.observe(90.0, 0.1);
+  EXPECT_NEAR(a.read_max(), 50.0, 1.0);
+  for (int i = 0; i < 40; ++i) a.observe(90.0, 0.1);
+  EXPECT_NEAR(a.read_max(), 90.0, 1.0);
+}
+
+TEST(SensorArray, QuantizationStepReported) {
+  EXPECT_DOUBLE_EQ(make_array(8).quantization_step(), 1.0);
+  EXPECT_DOUBLE_EQ(make_array(8, 2.0, /*quantize=*/false).quantization_step(), 0.0);
+}
+
+TEST(SensorArray, SingleSensorDegenerate) {
+  Rng rng(5);
+  SensorArrayParams p;
+  p.sensor_count = 1;
+  p.gradient_celsius = 3.0;
+  p.quantize = false;
+  SensorArray a(p, I2cBusModel::table1_defaults(), rng);
+  a.reset(60.0);
+  // A single sensor carries the full (zero-offset) hottest-core reading.
+  EXPECT_DOUBLE_EQ(a.read_max(), 60.0);
+  EXPECT_EQ(a.size(), 1u);
+}
+
+TEST(SensorArray, OutOfRangeIndexThrows) {
+  auto a = make_array(4);
+  EXPECT_THROW(a.read(4), std::out_of_range);
+}
+
+TEST(SensorArray, RejectsBadParameters) {
+  Rng rng(5);
+  SensorArrayParams p;
+  p.sensor_count = 0;
+  EXPECT_THROW(SensorArray(p, I2cBusModel::table1_defaults(), rng),
+               std::invalid_argument);
+  p = SensorArrayParams{};
+  p.gradient_celsius = -1.0;
+  EXPECT_THROW(SensorArray(p, I2cBusModel::table1_defaults(), rng),
+               std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace fsc

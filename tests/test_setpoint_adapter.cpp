@@ -1,0 +1,96 @@
+// Unit tests for the predictive set-point adapter (§V-B).
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <stdexcept>
+
+#include "core/setpoint_adapter.hpp"
+#include "util/rng.hpp"
+
+namespace fsc {
+namespace {
+
+TEST(Setpoint, InitialPredictionGivesInitialReference) {
+  SetpointAdapterParams p;  // 70-80 C, initial utilization 0.4
+  SetpointAdapter a(p);
+  EXPECT_NEAR(a.reference_temp(), 74.0, 1e-12);  // 70 + 10 * 0.4
+}
+
+TEST(Setpoint, LowLoadAttenuatesReference) {
+  SetpointAdapter a(SetpointAdapterParams{});
+  for (int i = 0; i < 20; ++i) a.observe(0.1);
+  EXPECT_NEAR(a.reference_temp(), 71.0, 1e-9);  // 70 + 10 * 0.1
+}
+
+TEST(Setpoint, HighLoadAmplifiesReference) {
+  SetpointAdapter a(SetpointAdapterParams{});
+  for (int i = 0; i < 20; ++i) a.observe(0.9);
+  EXPECT_NEAR(a.reference_temp(), 79.0, 1e-9);
+}
+
+TEST(Setpoint, LinearInPredictedUtilization) {
+  SetpointAdapter a(SetpointAdapterParams{});
+  for (int i = 0; i < 20; ++i) a.observe(0.5);
+  EXPECT_NEAR(a.reference_temp(), 75.0, 1e-9);
+  EXPECT_NEAR(a.predicted_utilization(), 0.5, 1e-9);
+}
+
+TEST(Setpoint, ReferenceAlwaysInsideConfiguredBand) {
+  Rng rng(13);
+  SetpointAdapter a(SetpointAdapterParams{});
+  for (int i = 0; i < 500; ++i) {
+    a.observe(rng.uniform(0.0, 1.0));
+    EXPECT_GE(a.reference_temp(), 70.0);
+    EXPECT_LE(a.reference_temp(), 80.0);
+  }
+}
+
+TEST(Setpoint, MovingAverageFiltersNoise) {
+  Rng rng(5);
+  SetpointAdapterParams p;
+  p.predictor_window = 16;
+  SetpointAdapter a(p);
+  for (int i = 0; i < 100; ++i) a.observe(0.5 + rng.gaussian(0.0, 0.04));
+  EXPECT_NEAR(a.reference_temp(), 75.0, 0.5);
+}
+
+TEST(Setpoint, RespondsWithinWindowLength) {
+  SetpointAdapterParams p;
+  p.predictor_window = 4;
+  SetpointAdapter a(p);
+  for (int i = 0; i < 10; ++i) a.observe(0.1);
+  for (int i = 0; i < 4; ++i) a.observe(0.9);  // window fully replaced
+  EXPECT_NEAR(a.reference_temp(), 79.0, 1e-9);
+}
+
+TEST(Setpoint, ResetRestoresInitialPrediction) {
+  SetpointAdapter a(SetpointAdapterParams{});
+  for (int i = 0; i < 10; ++i) a.observe(1.0);
+  a.reset();
+  EXPECT_NEAR(a.reference_temp(), 74.0, 1e-12);
+}
+
+TEST(Setpoint, CustomPredictorInjection) {
+  SetpointAdapterParams p;
+  SetpointAdapter a(p, std::make_unique<EwmaPredictor>(1.0, 0.0));
+  a.observe(0.8);
+  EXPECT_NEAR(a.reference_temp(), 78.0, 1e-9);  // EWMA alpha=1 tracks exactly
+}
+
+TEST(Setpoint, ClampsOutOfRangeObservations) {
+  SetpointAdapter a(SetpointAdapterParams{});
+  for (int i = 0; i < 20; ++i) a.observe(5.0);  // clamped to 1.0
+  EXPECT_NEAR(a.reference_temp(), 80.0, 1e-9);
+}
+
+TEST(Setpoint, RejectsBadParameters) {
+  SetpointAdapterParams p;
+  p.t_ref_min_celsius = 80.0;
+  p.t_ref_max_celsius = 70.0;
+  EXPECT_THROW(SetpointAdapter{p}, std::invalid_argument);
+  SetpointAdapterParams q;
+  EXPECT_THROW(SetpointAdapter(q, nullptr), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace fsc

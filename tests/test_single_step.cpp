@@ -1,0 +1,129 @@
+// Unit tests for the single-step fan speed scaler (§V-C).
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+
+#include "core/single_step.hpp"
+#include "power/cpu_power.hpp"
+#include "thermal/server_thermal_model.hpp"
+
+namespace fsc {
+namespace {
+
+SingleStepScaler make_scaler(double threshold = 0.05) {
+  SingleStepParams p;
+  p.degradation_threshold = threshold;
+  // Min-safe-speed stub: linear in utilization for easy assertions.
+  return SingleStepScaler(p, [](double u) { return 1000.0 + 5000.0 * u; });
+}
+
+TEST(SingleStep, InactiveBelowThreshold) {
+  auto s = make_scaler();
+  EXPECT_FALSE(s.step(0.04, 74.0, 75.0, 0.5).has_value());
+  EXPECT_FALSE(s.active());
+}
+
+TEST(SingleStep, EngagesAboveThresholdWithMaxSpeed) {
+  auto s = make_scaler();
+  const auto cmd = s.step(0.10, 74.0, 75.0, 0.5);
+  ASSERT_TRUE(cmd.has_value());
+  EXPECT_DOUBLE_EQ(*cmd, 8500.0);
+  EXPECT_TRUE(s.active());
+}
+
+TEST(SingleStep, ExactlyAtThresholdDoesNotEngage) {
+  auto s = make_scaler(0.05);
+  EXPECT_FALSE(s.step(0.05, 74.0, 75.0, 0.5).has_value());
+}
+
+TEST(SingleStep, HoldsMaxWhileDegradationPersists) {
+  auto s = make_scaler();
+  s.step(0.10, 74.0, 75.0, 0.5);
+  const auto cmd = s.step(0.08, 70.0, 75.0, 0.5);  // still degraded
+  ASSERT_TRUE(cmd.has_value());
+  EXPECT_DOUBLE_EQ(*cmd, 8500.0);
+  EXPECT_TRUE(s.active());
+}
+
+TEST(SingleStep, HoldsMaxWhileTemperatureHigh) {
+  auto s = make_scaler();
+  s.step(0.10, 74.0, 75.0, 0.5);
+  // No degradation but still above reference - margin.
+  const auto cmd = s.step(0.0, 74.5, 75.0, 0.5);
+  ASSERT_TRUE(cmd.has_value());
+  EXPECT_DOUBLE_EQ(*cmd, 8500.0);
+}
+
+TEST(SingleStep, ReleasesToMinSafeSpeed) {
+  auto s = make_scaler();
+  s.step(0.10, 74.0, 75.0, 0.5);
+  // Recovered: no degradation, temp at ref - margin.
+  const auto cmd = s.step(0.0, 74.0, 75.0, 0.6);
+  ASSERT_TRUE(cmd.has_value());
+  EXPECT_DOUBLE_EQ(*cmd, 1000.0 + 5000.0 * 0.6);
+  EXPECT_FALSE(s.active());
+}
+
+TEST(SingleStep, AfterReleaseReturnsToNormalOperation) {
+  auto s = make_scaler();
+  s.step(0.10, 74.0, 75.0, 0.5);
+  s.step(0.0, 74.0, 75.0, 0.5);  // release
+  EXPECT_FALSE(s.step(0.0, 74.0, 75.0, 0.5).has_value());
+}
+
+TEST(SingleStep, ReengagesOnNewSpike) {
+  auto s = make_scaler();
+  s.step(0.10, 74.0, 75.0, 0.5);
+  s.step(0.0, 74.0, 75.0, 0.5);  // release
+  const auto cmd = s.step(0.20, 74.0, 75.0, 0.5);
+  ASSERT_TRUE(cmd.has_value());
+  EXPECT_DOUBLE_EQ(*cmd, 8500.0);
+}
+
+TEST(SingleStep, PredictedUtilizationClampedForRelease) {
+  auto s = make_scaler();
+  s.step(0.10, 74.0, 75.0, 0.5);
+  const auto cmd = s.step(0.0, 74.0, 75.0, 3.0);  // clamped to 1.0
+  ASSERT_TRUE(cmd.has_value());
+  EXPECT_DOUBLE_EQ(*cmd, 6000.0);
+}
+
+TEST(SingleStep, ResetDisengages) {
+  auto s = make_scaler();
+  s.step(0.10, 74.0, 75.0, 0.5);
+  s.reset();
+  EXPECT_FALSE(s.active());
+  EXPECT_FALSE(s.step(0.0, 74.0, 75.0, 0.5).has_value());
+}
+
+TEST(SingleStep, RejectsBadParameters) {
+  SingleStepParams p;
+  p.degradation_threshold = -0.1;
+  EXPECT_THROW(SingleStepScaler(p, [](double) { return 1000.0; }),
+               std::invalid_argument);
+  p = SingleStepParams{};
+  p.max_speed_rpm = 0.0;
+  EXPECT_THROW(SingleStepScaler(p, [](double) { return 1000.0; }),
+               std::invalid_argument);
+  p = SingleStepParams{};
+  EXPECT_THROW(SingleStepScaler(p, nullptr), std::invalid_argument);
+}
+
+TEST(SingleStep, WithRealThermalModelReleaseSpeedIsSafe) {
+  // Wire the scaler the way the solutions factory does and check the
+  // released speed actually satisfies the thermal limit.
+  const auto cpu = CpuPowerModel::table1_defaults();
+  const auto thermal = ServerThermalModel::table1_defaults();
+  const double limit = 79.0;
+  SingleStepParams p;
+  SingleStepScaler s(p, [&](double u) {
+    return thermal.min_speed_for_junction_limit(cpu.power(u), limit);
+  });
+  s.step(0.10, 74.0, 75.0, 0.7);
+  const auto cmd = s.step(0.0, 74.0, 75.0, 0.7);
+  ASSERT_TRUE(cmd.has_value());
+  EXPECT_LE(thermal.steady_state_junction(cpu.power(0.7), *cmd), limit + 1e-6);
+}
+
+}  // namespace
+}  // namespace fsc

@@ -1,0 +1,88 @@
+// Unit tests for the Table III solutions factory.
+#include <gtest/gtest.h>
+
+#include "core/solutions.hpp"
+
+namespace fsc {
+namespace {
+
+TEST(Solutions, AllFiveKindsConstruct) {
+  SolutionConfig cfg;
+  for (SolutionKind kind : all_solutions()) {
+    const auto policy = make_solution(kind, cfg);
+    ASSERT_NE(policy, nullptr) << to_string(kind);
+  }
+}
+
+TEST(Solutions, RowOrderMatchesTable3) {
+  const auto kinds = all_solutions();
+  ASSERT_EQ(kinds.size(), 5u);
+  EXPECT_EQ(kinds[0], SolutionKind::kUncoordinated);
+  EXPECT_EQ(kinds[1], SolutionKind::kECoord);
+  EXPECT_EQ(kinds[2], SolutionKind::kRuleFixed);
+  EXPECT_EQ(kinds[3], SolutionKind::kRuleAdaptiveTref);
+  EXPECT_EQ(kinds[4], SolutionKind::kRuleAdaptiveTrefSingleStep);
+}
+
+TEST(Solutions, NamesMatchPaperRows) {
+  EXPECT_EQ(to_string(SolutionKind::kUncoordinated), "w/o coordination (baseline)");
+  EXPECT_EQ(to_string(SolutionKind::kECoord), "E-coord [6]");
+  EXPECT_EQ(to_string(SolutionKind::kRuleFixed), "R-coord (@ Tref = 75C)");
+  EXPECT_EQ(to_string(SolutionKind::kRuleAdaptiveTref), "R-coord + A-Tref");
+  EXPECT_EQ(to_string(SolutionKind::kRuleAdaptiveTrefSingleStep),
+            "R-coord + A-Tref + SSfan");
+}
+
+TEST(Solutions, DefaultScheduleHasPaperRegions) {
+  const auto schedule = SolutionConfig::default_gain_schedule();
+  ASSERT_EQ(schedule.size(), 2u);
+  EXPECT_DOUBLE_EQ(schedule.region(0).ref_speed_rpm, 2000.0);
+  EXPECT_DOUBLE_EQ(schedule.region(1).ref_speed_rpm, 6000.0);
+  // The high-speed region needs several times the low region's gain (the
+  // plant is that much less sensitive there).
+  EXPECT_GT(schedule.region(1).gains.kp, 2.0 * schedule.region(0).gains.kp);
+}
+
+TEST(Solutions, FixedReferencePolicyReports75) {
+  SolutionConfig cfg;
+  const auto policy = make_solution(SolutionKind::kRuleFixed, cfg);
+  EXPECT_DOUBLE_EQ(policy->reference_temp(), 75.0);
+}
+
+TEST(Solutions, AdaptivePolicyStartsAtInitialPrediction) {
+  SolutionConfig cfg;
+  const auto policy = make_solution(SolutionKind::kRuleAdaptiveTref, cfg);
+  // initial utilization prediction 0.4 over the 70-80 band -> 74.
+  EXPECT_NEAR(policy->reference_temp(), 74.0, 1e-9);
+}
+
+TEST(Solutions, PoliciesAreIndependentInstances) {
+  SolutionConfig cfg;
+  const auto a = make_solution(SolutionKind::kRuleAdaptiveTref, cfg);
+  const auto b = make_solution(SolutionKind::kRuleAdaptiveTref, cfg);
+  DtmInputs in;
+  in.measured_temp = 76.0;
+  in.fan_speed_cmd = in.fan_speed_actual = 3000.0;
+  in.cpu_cap = 1.0;
+  in.demand = in.executed = 0.9;
+  for (int i = 0; i < 100; ++i) a->step(in);
+  // `a`'s prediction moved; `b` must be untouched.
+  EXPECT_GT(a->reference_temp(), 76.0);
+  EXPECT_NEAR(b->reference_temp(), 74.0, 1e-9);
+}
+
+TEST(Solutions, MakeFanControllerUsesConfig) {
+  SolutionConfig cfg;
+  cfg.fan_params.enable_quantization_guard = false;
+  const auto fan = make_fan_controller(cfg);
+  FanControlInput in;
+  in.measured_temp = 75.5;
+  in.reference_temp = 75.0;
+  in.current_speed = 3000.0;
+  in.quantization_step = 1.0;
+  fan->decide(in);
+  EXPECT_FALSE(fan->last_decision_held());
+}
+
+}  // namespace
+}  // namespace fsc

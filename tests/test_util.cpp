@@ -1,0 +1,381 @@
+// Unit tests for src/util: ring buffer, statistics, CSV, config, units.
+#include <gtest/gtest.h>
+
+#include <sstream>
+#include <stdexcept>
+
+#include "util/config.hpp"
+#include "util/csv.hpp"
+#include "util/ring_buffer.hpp"
+#include "util/rng.hpp"
+#include "util/statistics.hpp"
+#include "util/units.hpp"
+
+namespace fsc {
+namespace {
+
+// ---------------------------------------------------------------- units
+
+TEST(Units, ClampBounds) {
+  EXPECT_DOUBLE_EQ(clamp(5.0, 0.0, 10.0), 5.0);
+  EXPECT_DOUBLE_EQ(clamp(-1.0, 0.0, 10.0), 0.0);
+  EXPECT_DOUBLE_EQ(clamp(11.0, 0.0, 10.0), 10.0);
+  EXPECT_DOUBLE_EQ(clamp(0.0, 0.0, 10.0), 0.0);
+  EXPECT_DOUBLE_EQ(clamp(10.0, 0.0, 10.0), 10.0);
+}
+
+TEST(Units, ClampUtilization) {
+  EXPECT_DOUBLE_EQ(clamp_utilization(0.5), 0.5);
+  EXPECT_DOUBLE_EQ(clamp_utilization(-0.2), 0.0);
+  EXPECT_DOUBLE_EQ(clamp_utilization(1.7), 1.0);
+}
+
+TEST(Units, LerpEndpointsAndMidpoint) {
+  EXPECT_DOUBLE_EQ(lerp(2.0, 10.0, 0.0), 2.0);
+  EXPECT_DOUBLE_EQ(lerp(2.0, 10.0, 1.0), 10.0);
+  EXPECT_DOUBLE_EQ(lerp(2.0, 10.0, 0.5), 6.0);
+}
+
+TEST(Units, LerpExtrapolates) {
+  EXPECT_DOUBLE_EQ(lerp(0.0, 10.0, 1.5), 15.0);
+  EXPECT_DOUBLE_EQ(lerp(0.0, 10.0, -0.5), -5.0);
+}
+
+TEST(Units, ApproxEqual) {
+  EXPECT_TRUE(approx_equal(1.0, 1.0 + 1e-12));
+  EXPECT_FALSE(approx_equal(1.0, 1.001));
+  EXPECT_TRUE(approx_equal(1.0, 1.5, 0.6));
+}
+
+TEST(Units, RequireThrows) {
+  EXPECT_NO_THROW(require(true, "ok"));
+  EXPECT_THROW(require(false, "bad"), std::invalid_argument);
+}
+
+TEST(Units, Literals) {
+  using namespace literals;
+  EXPECT_DOUBLE_EQ(2000_rpm, 2000.0);
+  EXPECT_DOUBLE_EQ(75.5_celsius, 75.5);
+  EXPECT_DOUBLE_EQ(29.4_watts, 29.4);
+  EXPECT_DOUBLE_EQ(30_sec, 30.0);
+}
+
+// ---------------------------------------------------------------- RingBuffer
+
+TEST(RingBuffer, RejectsZeroCapacity) {
+  EXPECT_THROW(RingBuffer<int>(0), std::invalid_argument);
+}
+
+TEST(RingBuffer, PushPopFifoOrder) {
+  RingBuffer<int> buf(3);
+  buf.push(1);
+  buf.push(2);
+  buf.push(3);
+  EXPECT_EQ(buf.pop(), 1);
+  EXPECT_EQ(buf.pop(), 2);
+  EXPECT_EQ(buf.pop(), 3);
+  EXPECT_TRUE(buf.empty());
+}
+
+TEST(RingBuffer, OverwriteEvictsOldest) {
+  RingBuffer<int> buf(3);
+  for (int i = 1; i <= 5; ++i) buf.push(i);
+  EXPECT_TRUE(buf.full());
+  EXPECT_EQ(buf.front(), 3);
+  EXPECT_EQ(buf.back(), 5);
+  EXPECT_EQ(buf.pop(), 3);
+  EXPECT_EQ(buf.pop(), 4);
+  EXPECT_EQ(buf.pop(), 5);
+}
+
+TEST(RingBuffer, AtIndexesFromOldest) {
+  RingBuffer<int> buf(4);
+  for (int i = 10; i < 14; ++i) buf.push(i);
+  buf.push(14);  // evicts 10
+  EXPECT_EQ(buf.at(0), 11);
+  EXPECT_EQ(buf.at(3), 14);
+  EXPECT_THROW(buf.at(4), std::out_of_range);
+}
+
+TEST(RingBuffer, EmptyAccessThrows) {
+  RingBuffer<double> buf(2);
+  EXPECT_THROW(buf.pop(), std::out_of_range);
+  EXPECT_THROW(buf.front(), std::out_of_range);
+  EXPECT_THROW(buf.back(), std::out_of_range);
+}
+
+TEST(RingBuffer, ClearResets) {
+  RingBuffer<int> buf(2);
+  buf.push(1);
+  buf.push(2);
+  buf.clear();
+  EXPECT_TRUE(buf.empty());
+  EXPECT_EQ(buf.capacity(), 2u);
+  buf.push(7);
+  EXPECT_EQ(buf.front(), 7);
+}
+
+TEST(RingBuffer, SizeTracksPushesUpToCapacity) {
+  RingBuffer<int> buf(3);
+  EXPECT_EQ(buf.size(), 0u);
+  buf.push(1);
+  EXPECT_EQ(buf.size(), 1u);
+  buf.push(2);
+  buf.push(3);
+  buf.push(4);
+  EXPECT_EQ(buf.size(), 3u);
+}
+
+// ---------------------------------------------------------------- RunningStats
+
+TEST(RunningStats, EmptyDefaults) {
+  RunningStats s;
+  EXPECT_EQ(s.count(), 0u);
+  EXPECT_DOUBLE_EQ(s.mean(), 0.0);
+  EXPECT_DOUBLE_EQ(s.variance(), 0.0);
+}
+
+TEST(RunningStats, KnownSequence) {
+  RunningStats s;
+  for (double x : {2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0}) s.add(x);
+  EXPECT_EQ(s.count(), 8u);
+  EXPECT_DOUBLE_EQ(s.mean(), 5.0);
+  EXPECT_DOUBLE_EQ(s.variance(), 4.0);  // classic example: sigma^2 = 4
+  EXPECT_DOUBLE_EQ(s.stddev(), 2.0);
+  EXPECT_DOUBLE_EQ(s.min(), 2.0);
+  EXPECT_DOUBLE_EQ(s.max(), 9.0);
+  EXPECT_DOUBLE_EQ(s.sum(), 40.0);
+}
+
+TEST(RunningStats, SampleVarianceUsesNMinusOne) {
+  RunningStats s;
+  s.add(1.0);
+  s.add(3.0);
+  EXPECT_DOUBLE_EQ(s.variance(), 1.0);
+  EXPECT_DOUBLE_EQ(s.sample_variance(), 2.0);
+}
+
+TEST(RunningStats, ResetClearsEverything) {
+  RunningStats s;
+  s.add(10.0);
+  s.reset();
+  EXPECT_EQ(s.count(), 0u);
+  EXPECT_DOUBLE_EQ(s.sum(), 0.0);
+}
+
+TEST(RunningStats, SingleSampleVarianceZero) {
+  RunningStats s;
+  s.add(42.0);
+  EXPECT_DOUBLE_EQ(s.variance(), 0.0);
+  EXPECT_DOUBLE_EQ(s.sample_variance(), 0.0);
+  EXPECT_DOUBLE_EQ(s.mean(), 42.0);
+}
+
+// ---------------------------------------------------------------- WindowedStats
+
+TEST(WindowedStats, RejectsZeroWindow) {
+  EXPECT_THROW(WindowedStats(0), std::invalid_argument);
+}
+
+TEST(WindowedStats, MeanOverWindowOnly) {
+  WindowedStats w(3);
+  w.add(1.0);
+  w.add(2.0);
+  w.add(3.0);
+  EXPECT_DOUBLE_EQ(w.mean(), 2.0);
+  w.add(10.0);  // evicts 1.0
+  EXPECT_DOUBLE_EQ(w.mean(), 5.0);
+  EXPECT_EQ(w.count(), 3u);
+}
+
+TEST(WindowedStats, VarianceMatchesDirectComputation) {
+  WindowedStats w(4);
+  for (double x : {1.0, 2.0, 3.0, 4.0}) w.add(x);
+  // mean 2.5, squared deviations 2.25+0.25+0.25+2.25 = 5 -> var 1.25
+  EXPECT_NEAR(w.variance(), 1.25, 1e-12);
+}
+
+TEST(WindowedStats, MinMaxOverWindow) {
+  WindowedStats w(2);
+  w.add(5.0);
+  w.add(1.0);
+  w.add(3.0);  // window now {1, 3}
+  EXPECT_DOUBLE_EQ(w.min(), 1.0);
+  EXPECT_DOUBLE_EQ(w.max(), 3.0);
+}
+
+TEST(WindowedStats, SnapshotOldestFirst) {
+  WindowedStats w(3);
+  w.add(1.0);
+  w.add(2.0);
+  w.add(3.0);
+  w.add(4.0);
+  const auto snap = w.snapshot();
+  ASSERT_EQ(snap.size(), 3u);
+  EXPECT_DOUBLE_EQ(snap[0], 2.0);
+  EXPECT_DOUBLE_EQ(snap[2], 4.0);
+}
+
+TEST(WindowedStats, ClearEmptiesWindow) {
+  WindowedStats w(3);
+  w.add(1.0);
+  w.clear();
+  EXPECT_EQ(w.count(), 0u);
+  EXPECT_DOUBLE_EQ(w.mean(), 0.0);
+}
+
+// ---------------------------------------------------------------- Rng
+
+TEST(Rng, DeterministicForFixedSeed) {
+  Rng a(7);
+  Rng b(7);
+  for (int i = 0; i < 10; ++i) {
+    EXPECT_DOUBLE_EQ(a.uniform(0.0, 1.0), b.uniform(0.0, 1.0));
+  }
+}
+
+TEST(Rng, DifferentSeedsDiverge) {
+  Rng a(1);
+  Rng b(2);
+  bool any_diff = false;
+  for (int i = 0; i < 10; ++i) {
+    if (a.uniform(0.0, 1.0) != b.uniform(0.0, 1.0)) any_diff = true;
+  }
+  EXPECT_TRUE(any_diff);
+}
+
+TEST(Rng, GaussianMomentsRoughlyCorrect) {
+  Rng rng(123);
+  RunningStats s;
+  for (int i = 0; i < 20000; ++i) s.add(rng.gaussian(5.0, 2.0));
+  EXPECT_NEAR(s.mean(), 5.0, 0.1);
+  EXPECT_NEAR(s.stddev(), 2.0, 0.1);
+}
+
+TEST(Rng, UniformIntInRange) {
+  Rng rng(9);
+  for (int i = 0; i < 1000; ++i) {
+    const auto v = rng.uniform_int(3, 7);
+    EXPECT_GE(v, 3);
+    EXPECT_LE(v, 7);
+  }
+}
+
+TEST(Rng, ExponentialMeanMatchesRate) {
+  Rng rng(55);
+  RunningStats s;
+  for (int i = 0; i < 20000; ++i) s.add(rng.exponential(0.5));
+  EXPECT_NEAR(s.mean(), 2.0, 0.1);
+}
+
+// ---------------------------------------------------------------- CSV
+
+TEST(Csv, WriterProducesHeaderAndRows) {
+  std::ostringstream out;
+  CsvWriter w(out);
+  w.header({"a", "b"});
+  w.row({1.0, 2.0});
+  w.row({3.5, -4.25});
+  EXPECT_EQ(out.str(), "a,b\n1,2\n3.5,-4.25\n");
+  EXPECT_EQ(w.rows_written(), 2u);
+}
+
+TEST(Csv, WriterRejectsDoubleHeader) {
+  std::ostringstream out;
+  CsvWriter w(out);
+  w.header({"a"});
+  EXPECT_THROW(w.header({"b"}), std::logic_error);
+}
+
+TEST(Csv, WriterRejectsWidthMismatch) {
+  std::ostringstream out;
+  CsvWriter w(out);
+  w.header({"a", "b"});
+  EXPECT_THROW(w.row({1.0}), std::invalid_argument);
+}
+
+TEST(Csv, ParseRoundTrip) {
+  const auto table = parse_csv("x,y\n1,2\n3,4\n");
+  ASSERT_EQ(table.columns.size(), 2u);
+  ASSERT_EQ(table.rows.size(), 2u);
+  EXPECT_EQ(table.column("x"), (std::vector<double>{1.0, 3.0}));
+  EXPECT_EQ(table.column("y"), (std::vector<double>{2.0, 4.0}));
+}
+
+TEST(Csv, ParseRejectsRaggedRows) {
+  EXPECT_THROW(parse_csv("a,b\n1\n"), std::runtime_error);
+}
+
+TEST(Csv, ParseRejectsNonNumeric) {
+  EXPECT_THROW(parse_csv("a\nhello\n"), std::runtime_error);
+}
+
+TEST(Csv, ParseSkipsBlankLinesAndCr) {
+  const auto table = parse_csv("a\r\n\r\n1\r\n");
+  ASSERT_EQ(table.rows.size(), 1u);
+  EXPECT_DOUBLE_EQ(table.rows[0][0], 1.0);
+}
+
+TEST(Csv, MissingColumnThrows) {
+  const auto table = parse_csv("a\n1\n");
+  EXPECT_THROW(table.column_index("zzz"), std::out_of_range);
+}
+
+// ---------------------------------------------------------------- Config
+
+TEST(Config, ParseBasics) {
+  const auto cfg = Config::parse("alpha = 1.5\nname = hello\nflag = true\n");
+  EXPECT_DOUBLE_EQ(cfg.get_double("alpha", 0.0), 1.5);
+  EXPECT_EQ(cfg.get_string("name", ""), "hello");
+  EXPECT_TRUE(cfg.get_bool("flag", false));
+}
+
+TEST(Config, DefaultsWhenMissing) {
+  const Config cfg;
+  EXPECT_DOUBLE_EQ(cfg.get_double("nope", 3.25), 3.25);
+  EXPECT_EQ(cfg.get_int("nope", 42), 42);
+  EXPECT_FALSE(cfg.get_bool("nope", false));
+}
+
+TEST(Config, CommentsAndWhitespace) {
+  const auto cfg = Config::parse("# comment\n  key =  7  # trailing\n");
+  EXPECT_EQ(cfg.get_int("key", 0), 7);
+  EXPECT_EQ(cfg.size(), 1u);
+}
+
+TEST(Config, LaterKeysOverride) {
+  const auto cfg = Config::parse("k = 1\nk = 2\n");
+  EXPECT_EQ(cfg.get_int("k", 0), 2);
+}
+
+TEST(Config, MalformedLineThrows) {
+  EXPECT_THROW(Config::parse("no equals sign\n"), std::runtime_error);
+}
+
+TEST(Config, BadTypeThrows) {
+  const auto cfg = Config::parse("x = hello\n");
+  EXPECT_THROW(cfg.get_double("x", 0.0), std::runtime_error);
+  EXPECT_THROW(cfg.get_int("x", 0), std::runtime_error);
+  EXPECT_THROW(cfg.get_bool("x", false), std::runtime_error);
+}
+
+TEST(Config, BoolSpellings) {
+  const auto cfg = Config::parse("a=1\nb=yes\nc=on\nd=0\ne=no\nf=off\n");
+  EXPECT_TRUE(cfg.get_bool("a", false));
+  EXPECT_TRUE(cfg.get_bool("b", false));
+  EXPECT_TRUE(cfg.get_bool("c", false));
+  EXPECT_FALSE(cfg.get_bool("d", true));
+  EXPECT_FALSE(cfg.get_bool("e", true));
+  EXPECT_FALSE(cfg.get_bool("f", true));
+}
+
+TEST(Config, RoundTripToString) {
+  auto cfg = Config::parse("b = 2\na = 1\n");
+  const auto text = cfg.to_string();
+  const auto cfg2 = Config::parse(text);
+  EXPECT_EQ(cfg2.get_int("a", 0), 1);
+  EXPECT_EQ(cfg2.get_int("b", 0), 2);
+}
+
+}  // namespace
+}  // namespace fsc

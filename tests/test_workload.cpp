@@ -1,0 +1,256 @@
+// Unit tests for src/workload: trace types, synthetic generators,
+// predictors, and trace I/O round-trips.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <stdexcept>
+
+#include "util/statistics.hpp"
+#include "workload/predictor.hpp"
+#include "workload/synthetic.hpp"
+#include "workload/trace.hpp"
+#include "workload/trace_io.hpp"
+
+namespace fsc {
+namespace {
+
+// ---------------------------------------------------------------- trace types
+
+TEST(ConstantWorkload, AlwaysSameLevel) {
+  const ConstantWorkload w(0.42);
+  EXPECT_DOUBLE_EQ(w.demand(0.0), 0.42);
+  EXPECT_DOUBLE_EQ(w.demand(1e6), 0.42);
+}
+
+TEST(ConstantWorkload, RejectsOutOfRange) {
+  EXPECT_THROW(ConstantWorkload(-0.1), std::invalid_argument);
+  EXPECT_THROW(ConstantWorkload(1.1), std::invalid_argument);
+}
+
+TEST(SquareWave, PaperLevelsAndPhase) {
+  const SquareWaveWorkload w(0.1, 0.7, 200.0);
+  EXPECT_DOUBLE_EQ(w.demand(0.0), 0.1);
+  EXPECT_DOUBLE_EQ(w.demand(99.0), 0.1);
+  EXPECT_DOUBLE_EQ(w.demand(100.0), 0.7);
+  EXPECT_DOUBLE_EQ(w.demand(199.0), 0.7);
+  EXPECT_DOUBLE_EQ(w.demand(200.0), 0.1);  // wraps
+}
+
+TEST(SquareWave, NegativeTimeClampsToStart) {
+  const SquareWaveWorkload w(0.1, 0.7, 200.0);
+  EXPECT_DOUBLE_EQ(w.demand(-5.0), 0.1);
+}
+
+TEST(SquareWave, RejectsBadParameters) {
+  EXPECT_THROW(SquareWaveWorkload(-0.1, 0.7, 100.0), std::invalid_argument);
+  EXPECT_THROW(SquareWaveWorkload(0.1, 1.7, 100.0), std::invalid_argument);
+  EXPECT_THROW(SquareWaveWorkload(0.1, 0.7, 0.0), std::invalid_argument);
+}
+
+TEST(SampledWorkload, ZeroOrderHold) {
+  const SampledWorkload w({0.1, 0.5, 0.9}, 2.0);
+  EXPECT_DOUBLE_EQ(w.demand(0.0), 0.1);
+  EXPECT_DOUBLE_EQ(w.demand(1.99), 0.1);
+  EXPECT_DOUBLE_EQ(w.demand(2.0), 0.5);
+  EXPECT_DOUBLE_EQ(w.demand(4.0), 0.9);
+  EXPECT_DOUBLE_EQ(w.demand(100.0), 0.9);  // last sample held forever
+  EXPECT_DOUBLE_EQ(w.duration(), 6.0);
+}
+
+TEST(SampledWorkload, RejectsBadInput) {
+  EXPECT_THROW(SampledWorkload({}, 1.0), std::invalid_argument);
+  EXPECT_THROW(SampledWorkload({0.5}, 0.0), std::invalid_argument);
+  EXPECT_THROW(SampledWorkload({1.5}, 1.0), std::invalid_argument);
+}
+
+TEST(LambdaWorkload, ClampsCallableOutput) {
+  const LambdaWorkload w([](double t) { return t; });
+  EXPECT_DOUBLE_EQ(w.demand(0.5), 0.5);
+  EXPECT_DOUBLE_EQ(w.demand(7.0), 1.0);  // clamped
+}
+
+// ---------------------------------------------------------------- synthetic
+
+TEST(SquareNoise, MatchesPaperParameters) {
+  Rng rng(1);
+  SquareNoiseParams p;  // defaults: 0.1/0.7, sigma 0.04
+  p.duration_s = 2000.0;
+  const auto w = make_square_noise_workload(p, rng);
+  // Samples in the low phase should centre on 0.1, high phase on 0.7.
+  RunningStats low, high;
+  for (double t = 0.0; t < 2000.0; t += 1.0) {
+    const double phase = std::fmod(t, 200.0);
+    (phase < 100.0 ? low : high).add(w->demand(t));
+  }
+  EXPECT_NEAR(low.mean(), 0.1, 0.02);
+  EXPECT_NEAR(high.mean(), 0.7, 0.02);
+  EXPECT_NEAR(low.stddev(), 0.04, 0.015);
+  EXPECT_NEAR(high.stddev(), 0.04, 0.015);
+}
+
+TEST(SquareNoise, DeterministicPerSeed) {
+  SquareNoiseParams p;
+  p.duration_s = 100.0;
+  Rng a(9), b(9);
+  const auto wa = make_square_noise_workload(p, a);
+  const auto wb = make_square_noise_workload(p, b);
+  for (double t = 0.0; t < 100.0; t += 1.0) {
+    EXPECT_DOUBLE_EQ(wa->demand(t), wb->demand(t));
+  }
+}
+
+TEST(SquareNoise, AllSamplesInRange) {
+  Rng rng(2);
+  SquareNoiseParams p;
+  p.noise_stddev = 0.5;  // huge noise to exercise clamping
+  p.duration_s = 500.0;
+  const auto w = make_square_noise_workload(p, rng);
+  for (double t = 0.0; t < 500.0; t += 1.0) {
+    EXPECT_GE(w->demand(t), 0.0);
+    EXPECT_LE(w->demand(t), 1.0);
+  }
+}
+
+TEST(Spiky, SpikesReachConfiguredLevel) {
+  Rng rng(3);
+  SpikyParams p;
+  p.base.duration_s = 3000.0;
+  p.spike_rate_per_s = 1.0 / 100.0;  // frequent spikes for the test
+  p.spike_level = 1.0;
+  const auto w = make_spiky_workload(p, rng);
+  int spike_samples = 0;
+  for (double t = 0.0; t < 3000.0; t += 1.0) {
+    if (w->demand(t) >= 0.99) ++spike_samples;
+  }
+  // ~30 spikes x 20 s each = ~600 expected spike seconds; allow wide margin.
+  EXPECT_GT(spike_samples, 100);
+}
+
+TEST(Spiky, ZeroRateMeansNoSpikes) {
+  Rng rng(4);
+  SpikyParams p;
+  p.base.duration_s = 500.0;
+  p.base.noise_stddev = 0.0;
+  p.spike_rate_per_s = 0.0;
+  const auto w = make_spiky_workload(p, rng);
+  for (double t = 0.0; t < 500.0; t += 1.0) {
+    EXPECT_LE(w->demand(t), 0.7);
+  }
+}
+
+TEST(Diurnal, TroughAtMidnightPeakAtNoon) {
+  Rng rng(5);
+  DiurnalParams p;
+  p.noise_stddev = 0.0;
+  const auto w = make_diurnal_workload(p, rng);
+  EXPECT_NEAR(w->demand(0.0), p.base, 1e-6);
+  EXPECT_NEAR(w->demand(43200.0), p.peak, 1e-6);
+}
+
+TEST(Diurnal, RejectsPeakBelowBase) {
+  Rng rng(5);
+  DiurnalParams p;
+  p.base = 0.9;
+  p.peak = 0.1;
+  EXPECT_THROW(make_diurnal_workload(p, rng), std::invalid_argument);
+}
+
+TEST(StepWorkload, SwitchesAtStepTime) {
+  const auto w = make_step_workload(0.1, 0.7, 30.0);
+  EXPECT_DOUBLE_EQ(w->demand(29.9), 0.1);
+  EXPECT_DOUBLE_EQ(w->demand(30.0), 0.7);
+}
+
+// ---------------------------------------------------------------- predictors
+
+TEST(MovingAverage, PredictsWindowMean) {
+  MovingAveragePredictor p(3, 0.5);
+  EXPECT_DOUBLE_EQ(p.predict(), 0.5);  // initial
+  p.observe(0.2);
+  EXPECT_DOUBLE_EQ(p.predict(), 0.2);
+  p.observe(0.4);
+  p.observe(0.6);
+  EXPECT_NEAR(p.predict(), 0.4, 1e-12);
+  p.observe(0.8);  // evicts 0.2
+  EXPECT_NEAR(p.predict(), 0.6, 1e-12);
+}
+
+TEST(MovingAverage, FiltersNoise) {
+  Rng rng(11);
+  MovingAveragePredictor p(16);
+  for (int i = 0; i < 200; ++i) p.observe(0.5 + rng.gaussian(0.0, 0.04));
+  EXPECT_NEAR(p.predict(), 0.5, 0.03);
+}
+
+TEST(MovingAverage, ResetRestoresInitial) {
+  MovingAveragePredictor p(4, 0.3);
+  p.observe(0.9);
+  p.reset();
+  EXPECT_DOUBLE_EQ(p.predict(), 0.3);
+}
+
+TEST(MovingAverage, RejectsBadParameters) {
+  EXPECT_THROW(MovingAveragePredictor(0), std::invalid_argument);
+  EXPECT_THROW(MovingAveragePredictor(4, 1.5), std::invalid_argument);
+}
+
+TEST(Ewma, ConvergesToConstantInput) {
+  EwmaPredictor p(0.3);
+  for (int i = 0; i < 100; ++i) p.observe(0.6);
+  EXPECT_NEAR(p.predict(), 0.6, 1e-9);
+}
+
+TEST(Ewma, FirstObservationSeeds) {
+  EwmaPredictor p(0.3, 0.0);
+  p.observe(0.8);
+  EXPECT_DOUBLE_EQ(p.predict(), 0.8);
+}
+
+TEST(Ewma, AlphaOneTracksExactly) {
+  EwmaPredictor p(1.0);
+  p.observe(0.2);
+  p.observe(0.9);
+  EXPECT_DOUBLE_EQ(p.predict(), 0.9);
+}
+
+TEST(Ewma, RejectsBadAlpha) {
+  EXPECT_THROW(EwmaPredictor(0.0), std::invalid_argument);
+  EXPECT_THROW(EwmaPredictor(1.1), std::invalid_argument);
+}
+
+// ---------------------------------------------------------------- trace I/O
+
+TEST(TraceIo, RoundTripPreservesSamples) {
+  const SampledWorkload original({0.1, 0.3, 0.5, 0.7}, 2.0);
+  const std::string csv = workload_to_csv(original, 8.0, 2.0);
+  const auto loaded = workload_from_csv(csv);
+  ASSERT_EQ(loaded->size(), 4u);
+  EXPECT_DOUBLE_EQ(loaded->sample_period(), 2.0);
+  for (double t = 0.0; t < 8.0; t += 0.5) {
+    EXPECT_DOUBLE_EQ(loaded->demand(t), original.demand(t)) << "t=" << t;
+  }
+}
+
+TEST(TraceIo, RejectsNonUniformSpacing) {
+  EXPECT_THROW(workload_from_csv("time,utilization\n0,0.1\n1,0.2\n3,0.3\n"),
+               std::runtime_error);
+}
+
+TEST(TraceIo, RejectsMissingColumns) {
+  EXPECT_THROW(workload_from_csv("a,b\n0,0.1\n"), std::runtime_error);
+}
+
+TEST(TraceIo, SingleRowGetsDefaultPeriod) {
+  const auto w = workload_from_csv("time,utilization\n0,0.25\n");
+  EXPECT_DOUBLE_EQ(w->sample_period(), 1.0);
+  EXPECT_DOUBLE_EQ(w->demand(0.0), 0.25);
+}
+
+TEST(TraceIo, ClampsUtilizationOnLoad) {
+  const auto w = workload_from_csv("time,utilization\n0,1.5\n1,-0.5\n");
+  EXPECT_DOUBLE_EQ(w->demand(0.0), 1.0);
+  EXPECT_DOUBLE_EQ(w->demand(1.0), 0.0);
+}
+
+}  // namespace
+}  // namespace fsc

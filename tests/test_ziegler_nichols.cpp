@@ -1,0 +1,102 @@
+// Integration tests: Ziegler-Nichols tuning against the real simulated
+// plant (the §IV-A/B procedure end to end).
+//
+// These are the slowest tests in the suite (each ultimate-gain search runs
+// dozens of closed-loop experiments); durations are kept moderate.
+#include <gtest/gtest.h>
+
+#include "metrics/oscillation.hpp"
+#include "sim/zn_harness.hpp"
+
+namespace fsc {
+namespace {
+
+ZnHarnessParams harness() {
+  ZnHarnessParams p;
+  p.experiment_duration_s = 2400.0;
+  return p;
+}
+
+ZnSearchParams search() {
+  ZnSearchParams p;
+  p.kp_initial = 10.0;
+  p.refine_iterations = 8;
+  return p;
+}
+
+TEST(OperatingPoint, UtilizationSolvesSteadyState) {
+  ServerParams sp;
+  const double u = operating_utilization(sp, 2000.0, 75.0);
+  ASSERT_GT(u, 0.0);
+  ASSERT_LT(u, 1.0);
+  const double p = sp.cpu_power.power(u);
+  EXPECT_NEAR(sp.thermal.steady_state_junction(p, 2000.0), 75.0, 1e-6);
+}
+
+TEST(OperatingPoint, HigherSpeedNeedsMoreUtilization) {
+  ServerParams sp;
+  const double u2000 = operating_utilization(sp, 2000.0, 75.0);
+  const double u6000 = operating_utilization(sp, 6000.0, 75.0);
+  EXPECT_GT(u6000, u2000);
+}
+
+TEST(OperatingPoint, UnreachableReferenceClamps) {
+  ServerParams sp;
+  EXPECT_DOUBLE_EQ(operating_utilization(sp, 8500.0, 200.0), 1.0);
+  EXPECT_DOUBLE_EQ(operating_utilization(sp, 8500.0, 10.0), 0.0);
+}
+
+TEST(RegionExperiment, LowGainConverges) {
+  const auto exp2000 = make_region_experiment(ServerParams{}, 2000.0, harness());
+  const auto series = exp2000(5.0);
+  OscillationParams op;
+  op.hysteresis = 0.25;
+  EXPECT_EQ(analyse_oscillation(series, op).verdict, OscillationVerdict::kConverged);
+}
+
+TEST(RegionExperiment, HugeGainOscillates) {
+  const auto exp2000 = make_region_experiment(ServerParams{}, 2000.0, harness());
+  const auto series = exp2000(5000.0);
+  OscillationParams op;
+  op.hysteresis = 0.25;
+  EXPECT_NE(analyse_oscillation(series, op).verdict, OscillationVerdict::kConverged);
+}
+
+TEST(RegionExperiment, DeterministicAcrossCalls) {
+  const auto exp = make_region_experiment(ServerParams{}, 2000.0, harness());
+  EXPECT_EQ(exp(50.0), exp(50.0));
+}
+
+TEST(TuneRegion, FindsGainsAt2000Rpm) {
+  const auto region = tune_region(ServerParams{}, 2000.0, harness(), search());
+  EXPECT_DOUBLE_EQ(region.ref_speed_rpm, 2000.0);
+  EXPECT_GT(region.gains.kp, 0.0);
+  EXPECT_GT(region.gains.ki, 0.0);
+  EXPECT_GT(region.gains.kd, 0.0);
+}
+
+TEST(TuneRegion, HighSpeedRegionHasLargerKp) {
+  // The plant gain dT/ds at 6000 rpm is ~8x smaller than at 2000 rpm, so
+  // the ultimate (and hence tuned) proportional gain must be substantially
+  // larger - the nonlinearity that motivates gain scheduling (§IV-B).
+  const auto r2000 = tune_region(ServerParams{}, 2000.0, harness(), search());
+  const auto r6000 = tune_region(ServerParams{}, 6000.0, harness(), search());
+  EXPECT_GT(r6000.gains.kp, 2.0 * r2000.gains.kp);
+}
+
+TEST(TuneSchedule, TwoRegionScheduleOrdered) {
+  const auto schedule =
+      tune_schedule(ServerParams{}, {2000.0, 6000.0}, harness(), search());
+  ASSERT_EQ(schedule.size(), 2u);
+  EXPECT_DOUBLE_EQ(schedule.region(0).ref_speed_rpm, 2000.0);
+  EXPECT_DOUBLE_EQ(schedule.region(1).ref_speed_rpm, 6000.0);
+  EXPECT_LT(schedule.region(0).gains.kp, schedule.region(1).gains.kp);
+}
+
+TEST(TuneSchedule, RejectsEmptyRegionList) {
+  EXPECT_THROW(tune_schedule(ServerParams{}, {}, harness(), search()),
+               std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace fsc

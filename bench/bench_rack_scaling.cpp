@@ -1,0 +1,52 @@
+// Rack batch-runner scaling: simulated servers per wall-clock second as a
+// function of rack size and thread count.  Run on a multicore box, the
+// (64 servers, 8 threads) row should show the near-linear speedup over
+// (64 servers, 1 thread) that justifies the thread-pool fan-out; items
+// processed are *servers*, so google-benchmark's items_per_second counter
+// is exactly servers/sec.
+#include <benchmark/benchmark.h>
+
+#include "rack/batch_runner.hpp"
+#include "rack/rack.hpp"
+
+namespace {
+
+using namespace fsc;
+
+void BM_RackBatch(benchmark::State& state) {
+  const auto num_servers = static_cast<std::size_t>(state.range(0));
+  const auto threads = static_cast<std::size_t>(state.range(1));
+
+  RackParams params;
+  params.num_servers = num_servers;
+  params.base_seed = 42;
+  // Short runs keep the bench turnaround reasonable: 600 simulated seconds
+  // is 600 policy steps + 12000 physics steps per server.
+  params.sim.duration_s = 600.0;
+  params.sim.initial_utilization = 0.1;
+  params.workload.base.duration_s = params.sim.duration_s;
+
+  const Rack rack(params);
+  const BatchRunner runner(threads);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(runner.run(rack));
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()) *
+                          static_cast<int64_t>(num_servers));
+  state.counters["servers"] = static_cast<double>(num_servers);
+  state.counters["threads"] = static_cast<double>(threads);
+}
+
+BENCHMARK(BM_RackBatch)
+    ->Args({1, 1})
+    ->Args({8, 1})
+    ->Args({8, 8})
+    ->Args({64, 1})
+    ->Args({64, 8})
+    ->Unit(benchmark::kMillisecond)
+    ->MeasureProcessCPUTime()
+    ->UseRealTime();
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -12,25 +12,13 @@
 #include <iostream>
 #include <memory>
 
+#include "core/policy_factory.hpp"
 #include "core/solutions.hpp"
 #include "sim/simulation.hpp"
 #include "workload/synthetic.hpp"
 
-namespace {
-
-using namespace fsc;
-
-/// The conservative firmware: fan pinned fast enough for the worst case.
-class StaticFanPolicy final : public DtmPolicy {
- public:
-  DtmOutputs step(const DtmInputs&) override { return {7000.0, 1.0}; }
-  void reset() override {}
-  double reference_temp() const override { return 75.0; }
-};
-
-}  // namespace
-
 int main(int argc, char** argv) {
+  using namespace fsc;
   std::uint64_t seed = 99;
   if (argc > 1) seed = static_cast<std::uint64_t>(std::atoll(argv[1]));
 
@@ -49,15 +37,22 @@ int main(int argc, char** argv) {
   Server server(ServerParams{}, cfg.initial_fan_rpm, rng);
   const auto proposed = run_simulation(server, *policy, *workload, sim);
 
-  // Run the static-fan comparison on an identical plant and workload.
+  // Run the static-fan comparison (from the policy registry: fan pinned at
+  // the worst-case-safe speed) on an identical plant and workload.  The
+  // plant starts at the same speed the policy will command.
   Rng rng2(seed);
   const auto workload2 = make_diurnal_workload(wl, rng2);
-  StaticFanPolicy static_policy;
-  Server server2(ServerParams{}, 7000.0, rng2);
-  const auto fixed = run_simulation(server2, static_policy, *workload2, sim);
+  const auto static_policy = PolicyFactory::instance().make("static-fan", cfg);
+  const double static_rpm = static_policy->step(DtmInputs{}).fan_speed_cmd;
+  static_policy->reset();
+  Server server2(ServerParams{}, static_rpm, rng2);
+  const auto fixed = run_simulation(server2, *static_policy, *workload2, sim);
 
   std::cout << "=== datacenter_day: 24 h diurnal load, proposed stack vs "
-               "static 7000 rpm fan ===\n\n";
+               "static "
+            << std::fixed << std::setprecision(0) << static_rpm
+            << " rpm (worst-case-safe) fan ===\n\n";
+  std::cout.unsetf(std::ios::fixed);
   std::cout << "hour  load   fan(rpm)  Tj(degC)  Tref\n";
   for (std::size_t i = 0; i < proposed.trace.size(); i += 60) {
     const auto& rec = proposed.trace[i];

@@ -7,6 +7,7 @@
 #include <cstdlib>
 #include <iostream>
 
+#include "core/policy_factory.hpp"
 #include "core/solutions.hpp"
 #include "sim/experiment.hpp"
 #include "sim/simulation.hpp"
@@ -34,10 +35,11 @@ int main(int argc, char** argv) {
   wl.duration_s = duration;
   const auto workload = make_square_noise_workload(wl, rng);
 
-  // 3. The controller: the full proposed solution (Table III last row).
+  // 3. The controller: the full proposed solution (Table III last row),
+  //    built through the shared policy registry.
   SolutionConfig cfg;
   const auto policy =
-      make_solution(SolutionKind::kRuleAdaptiveTrefSingleStep, cfg);
+      PolicyFactory::instance().make("r-coord+a-tref+ss-fan", cfg);
 
   // 4. Run.
   SimulationParams sim;

@@ -6,7 +6,31 @@
 // next actuator command.  They never see the true junction temperature.
 #pragma once
 
+#include <cmath>
+
+#include "util/units.hpp"
+
 namespace fsc {
+
+/// Number of CPU control periods per fan decision instant.
+///
+/// Policies step once per CPU period and internally divide down to the fan
+/// period, so the fan period must be a whole (positive) multiple of the CPU
+/// period — otherwise the divider silently rounds and the realised fan
+/// period drifts from the configured one.  Throws std::invalid_argument
+/// when either period is non-positive, fan < cpu, or the ratio is not an
+/// integer (to within 1e-6 relative tolerance).
+inline long derive_fan_divider(double cpu_period_s, double fan_period_s) {
+  require(cpu_period_s > 0.0, "derive_fan_divider: cpu period must be > 0");
+  require(fan_period_s >= cpu_period_s,
+          "derive_fan_divider: fan period must be >= cpu period");
+  const double ratio = fan_period_s / cpu_period_s;
+  const long divider = std::lround(ratio);
+  require(std::fabs(ratio - static_cast<double>(divider)) <= 1e-6 * ratio,
+          "derive_fan_divider: fan period must be an integer multiple of the "
+          "cpu period");
+  return divider;
+}
 
 /// Everything a fan-speed controller may consult at a fan decision instant.
 struct FanControlInput {

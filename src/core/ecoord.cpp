@@ -25,13 +25,9 @@ ECoordPolicy::ECoordPolicy(ECoordParams params, std::unique_ptr<FanController> f
       thermal_(thermal) {
   require(static_cast<bool>(fan_), "ECoordPolicy: fan controller required");
   require(static_cast<bool>(capper_), "ECoordPolicy: cap controller required");
-  require(params.cpu_period_s > 0.0, "ECoordPolicy: cpu period must be > 0");
-  require(params.fan_period_s >= params.cpu_period_s,
-          "ECoordPolicy: fan period must be >= cpu period");
   require(params.fan_step_rpm > 0.0, "ECoordPolicy: fan step must be > 0");
   require(params.cap_step > 0.0, "ECoordPolicy: cap step must be > 0");
-  fan_divider_ = std::lround(params.fan_period_s / params.cpu_period_s);
-  if (fan_divider_ < 1) fan_divider_ = 1;
+  fan_divider_ = derive_fan_divider(params.cpu_period_s, params.fan_period_s);
 }
 
 double ECoordPolicy::fan_up_efficiency(double fan_rpm, double utilization) const {

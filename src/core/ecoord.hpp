@@ -78,6 +78,10 @@ class ECoordPolicy final : public DtmPolicy {
 
   const ECoordParams& params() const noexcept { return params_; }
 
+  /// CPU periods per fan decision instant, derived in the constructor from
+  /// fan_period_s / cpu_period_s (validated to be a whole multiple).
+  long fan_divider() const noexcept { return fan_divider_; }
+
  private:
   bool fan_instant() const noexcept { return step_count_ % fan_divider_ == 0; }
 
@@ -88,7 +92,7 @@ class ECoordPolicy final : public DtmPolicy {
   FanPowerModel fan_power_;
   ServerThermalModel thermal_;
   long step_count_ = 0;
-  long fan_divider_ = 30;
+  long fan_divider_;  ///< always set by the constructor, never defaulted
 };
 
 }  // namespace fsc

@@ -13,11 +13,7 @@ FanOnlyPolicy::FanOnlyPolicy(std::unique_ptr<FanController> fan,
       reference_(reference_celsius),
       fixed_cap_(clamp_utilization(fixed_cap)) {
   require(static_cast<bool>(fan_), "FanOnlyPolicy: fan controller required");
-  require(cpu_period_s > 0.0, "FanOnlyPolicy: cpu period must be > 0");
-  require(fan_period_s >= cpu_period_s,
-          "FanOnlyPolicy: fan period must be >= cpu period");
-  fan_divider_ = std::lround(fan_period_s / cpu_period_s);
-  if (fan_divider_ < 1) fan_divider_ = 1;
+  fan_divider_ = derive_fan_divider(cpu_period_s, fan_period_s);
 }
 
 DtmOutputs FanOnlyPolicy::step(const DtmInputs& in) {

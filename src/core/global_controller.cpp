@@ -19,15 +19,11 @@ GlobalController::GlobalController(GlobalControllerParams params,
       scaler_(std::move(scaler)) {
   require(static_cast<bool>(fan_), "GlobalController: fan controller required");
   require(static_cast<bool>(capper_), "GlobalController: cap controller required");
-  require(params.cpu_period_s > 0.0, "GlobalController: cpu period must be > 0");
-  require(params.fan_period_s >= params.cpu_period_s,
-          "GlobalController: fan period must be >= cpu period");
   require(!params.adaptive_setpoint || setpoint_.has_value(),
           "GlobalController: adaptive setpoint enabled but no adapter supplied");
   require(!params.single_step || scaler_.has_value(),
           "GlobalController: single-step enabled but no scaler supplied");
-  fan_divider_ = std::lround(params.fan_period_s / params.cpu_period_s);
-  if (fan_divider_ < 1) fan_divider_ = 1;
+  fan_divider_ = derive_fan_divider(params.cpu_period_s, params.fan_period_s);
 }
 
 bool GlobalController::fan_instant() const noexcept {

@@ -68,7 +68,7 @@ class GlobalController final : public DtmPolicy {
   std::optional<SetpointAdapter> setpoint_;
   std::optional<SingleStepScaler> scaler_;
   long step_count_ = 0;
-  long fan_divider_ = 30;
+  long fan_divider_;  ///< always set by the constructor, never defaulted
   CoordinationAction last_action_ = CoordinationAction::kNone;
 };
 

@@ -1,0 +1,137 @@
+#include "core/policy_factory.hpp"
+
+#include <algorithm>
+#include <sstream>
+#include <stdexcept>
+
+#include "core/fan_only_policy.hpp"
+#include "util/units.hpp"
+
+namespace fsc {
+
+namespace {
+
+/// The conservative firmware the paper argues against: fan pinned at a
+/// speed safe for the worst-case (100 % load) power draw, cap never
+/// engaged.  Used as the energy baseline by the day-scale examples.
+class StaticFanPolicy final : public DtmPolicy {
+ public:
+  StaticFanPolicy(double fan_rpm, double reference_celsius)
+      : fan_rpm_(fan_rpm), reference_(reference_celsius) {}
+
+  DtmOutputs step(const DtmInputs&) override { return {fan_rpm_, 1.0}; }
+  void reset() override {}
+  double reference_temp() const override { return reference_; }
+
+ private:
+  double fan_rpm_;
+  double reference_;
+};
+
+}  // namespace
+
+std::string solution_key(SolutionKind kind) {
+  switch (kind) {
+    case SolutionKind::kUncoordinated: return "uncoordinated";
+    case SolutionKind::kECoord: return "e-coord";
+    case SolutionKind::kRuleFixed: return "r-coord";
+    case SolutionKind::kRuleAdaptiveTref: return "r-coord+a-tref";
+    case SolutionKind::kRuleAdaptiveTrefSingleStep: return "r-coord+a-tref+ss-fan";
+  }
+  throw std::invalid_argument("solution_key: unknown SolutionKind");
+}
+
+PolicyFactory& PolicyFactory::instance() {
+  static PolicyFactory factory;
+  return factory;
+}
+
+PolicyFactory::PolicyFactory() {
+  for (SolutionKind kind : all_solutions()) {
+    register_policy(solution_key(kind), to_string(kind),
+                    [kind](const SolutionConfig& cfg) {
+                      return make_solution(kind, cfg);
+                    });
+  }
+  register_policy("fan-only",
+                  "fan controller only, cap fixed at 1 (Fig. 3/4 studies)",
+                  [](const SolutionConfig& cfg) -> std::unique_ptr<DtmPolicy> {
+                    return std::make_unique<FanOnlyPolicy>(
+                        make_fan_controller(cfg), cfg.fixed_reference_celsius,
+                        cfg.cpu_period_s, cfg.fan_period_s);
+                  });
+  register_policy("static-fan",
+                  "conservative firmware: fan pinned at the worst-case-safe speed",
+                  [](const SolutionConfig& cfg) -> std::unique_ptr<DtmPolicy> {
+                    const double rpm = clamp(
+                        cfg.thermal.min_speed_for_junction_limit(
+                            cfg.cpu_power.max_power(),
+                            cfg.thermal_limit_celsius - 1.0),
+                        cfg.fan_params.min_speed_rpm, cfg.fan_params.max_speed_rpm);
+                    return std::make_unique<StaticFanPolicy>(
+                        rpm, cfg.fixed_reference_celsius);
+                  });
+}
+
+void PolicyFactory::register_policy(std::string name, std::string description,
+                                    Builder builder) {
+  require(!name.empty(), "PolicyFactory: name must not be empty");
+  require(static_cast<bool>(builder), "PolicyFactory: builder must not be null");
+  std::lock_guard<std::mutex> lock(mutex_);
+  if (find_locked(name) != nullptr) {
+    throw std::invalid_argument("PolicyFactory: '" + name + "' already registered");
+  }
+  entries_.emplace_back(std::move(name),
+                        Entry{std::move(description), std::move(builder)});
+}
+
+bool PolicyFactory::contains(const std::string& name) const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return find_locked(name) != nullptr;
+}
+
+std::unique_ptr<DtmPolicy> PolicyFactory::make(const std::string& name,
+                                               const SolutionConfig& cfg) const {
+  Builder builder;
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    const Entry* entry = find_locked(name);
+    if (entry == nullptr) {
+      std::ostringstream msg;
+      msg << "PolicyFactory: unknown policy '" << name << "'; known:";
+      for (const auto& [key, value] : entries_) msg << " " << key;
+      throw std::out_of_range(msg.str());
+    }
+    builder = entry->builder;
+  }
+  // Invoked outside the lock so concurrent construction does not serialise.
+  return builder(cfg);
+}
+
+std::vector<std::string> PolicyFactory::names() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  std::vector<std::string> out;
+  out.reserve(entries_.size());
+  for (const auto& [key, value] : entries_) out.push_back(key);
+  std::sort(out.begin(), out.end());
+  return out;
+}
+
+std::string PolicyFactory::describe(const std::string& name) const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  const Entry* entry = find_locked(name);
+  if (entry == nullptr) {
+    throw std::out_of_range("PolicyFactory: unknown policy '" + name + "'");
+  }
+  return entry->description;
+}
+
+const PolicyFactory::Entry* PolicyFactory::find_locked(
+    const std::string& name) const {
+  for (const auto& [key, value] : entries_) {
+    if (key == name) return &value;
+  }
+  return nullptr;
+}
+
+}  // namespace fsc

@@ -1,0 +1,75 @@
+// String-keyed registry of DTM policy constructors: the single construction
+// path shared by the Table III experiment drivers, the benches, the rack
+// batch runner, and the examples.
+//
+// The built-in entries cover the five Table III rows plus two auxiliary
+// policies ("fan-only" for the Fig. 3/4 loop-isolation studies,
+// "static-fan" for the conservative-firmware comparison).  New policies —
+// research variants, ablations — register themselves by name and instantly
+// become available to every driver that selects policies by string (CLI
+// arguments, rack configs, sweep harnesses).
+#pragma once
+
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "core/controller.hpp"
+#include "core/solutions.hpp"
+
+namespace fsc {
+
+/// Process-wide policy registry.  Thread-safe: make()/names()/contains()
+/// may be called concurrently with each other (the rack batch runner
+/// constructs policies from worker threads); register_policy() is also
+/// serialised, though registration is expected to happen at startup.
+class PolicyFactory {
+ public:
+  /// Builds a configured policy from the shared SolutionConfig.
+  using Builder =
+      std::function<std::unique_ptr<DtmPolicy>(const SolutionConfig&)>;
+
+  /// The singleton, with the built-in policies pre-registered.
+  static PolicyFactory& instance();
+
+  /// Register a policy under `name`.  Throws std::invalid_argument when the
+  /// name is empty, the builder is null, or the name is already taken.
+  void register_policy(std::string name, std::string description, Builder builder);
+
+  /// True when `name` is registered.
+  bool contains(const std::string& name) const;
+
+  /// Construct the policy registered under `name`.
+  /// Throws std::out_of_range (listing the known names) when absent.
+  std::unique_ptr<DtmPolicy> make(const std::string& name,
+                                  const SolutionConfig& cfg) const;
+
+  /// All registered names, sorted.
+  std::vector<std::string> names() const;
+
+  /// Human-readable description of `name`; throws std::out_of_range when
+  /// absent.
+  std::string describe(const std::string& name) const;
+
+ private:
+  PolicyFactory();
+
+  struct Entry {
+    std::string description;
+    Builder builder;
+  };
+
+  mutable std::mutex mutex_;
+  std::vector<std::pair<std::string, Entry>> entries_;  ///< insertion order
+
+  const Entry* find_locked(const std::string& name) const;
+};
+
+/// Canonical registry key for a Table III solution (e.g. kRuleFixed ->
+/// "r-coord").  The factory's built-ins are registered under these keys.
+std::string solution_key(SolutionKind kind);
+
+}  // namespace fsc

@@ -1,0 +1,109 @@
+#include "rack/batch_runner.hpp"
+
+#include <future>
+#include <iomanip>
+#include <sstream>
+
+#include "core/policy_factory.hpp"
+#include "util/thread_pool.hpp"
+#include "util/units.hpp"
+
+namespace fsc {
+
+BatchRunner::BatchRunner(std::size_t threads) : threads_(threads) {
+  require(threads_ > 0, "BatchRunner: need at least one thread");
+}
+
+RackServerSummary BatchRunner::run_server(const RackServerSpec& spec,
+                                          const std::string& policy,
+                                          const SimulationParams& sim) {
+  Rng rng(spec.seed);
+  const auto workload = make_spiky_workload(spec.workload, rng);
+  Server server(spec.server, spec.solution.initial_fan_rpm, rng);
+  const auto dtm = PolicyFactory::instance().make(policy, spec.solution);
+  const SimulationResult result = run_simulation(server, *dtm, *workload, sim);
+
+  RackServerSummary summary;
+  summary.index = spec.index;
+  summary.seed = spec.seed;
+  summary.result = result.summarize("server-" + std::to_string(spec.index));
+  summary.deadline_periods = result.deadline.periods();
+  summary.deadline_violations = result.deadline.violations();
+  summary.duration_s = result.duration_s;
+  return summary;
+}
+
+RackResult BatchRunner::run(const Rack& rack) const {
+  const std::string& policy = rack.params().policy;
+  const SimulationParams& sim = rack.params().sim;
+
+  std::vector<std::future<RackServerSummary>> futures;
+  futures.reserve(rack.size());
+  {
+    ThreadPool pool(threads_);
+    for (const RackServerSpec& spec : rack.servers()) {
+      futures.push_back(
+          pool.submit([&spec, &policy, &sim] { return run_server(spec, policy, sim); }));
+    }
+    // The pool drains on destruction; get() below also synchronises, but
+    // keeping the scope tight makes the ownership obvious.
+  }
+
+  RackResult out;
+  out.servers.reserve(rack.size());
+  std::size_t pooled_periods = 0;
+  std::size_t pooled_violations = 0;
+  double thermal_violation_sum = 0.0;
+  for (auto& future : futures) {
+    out.servers.push_back(future.get());  // rethrows worker exceptions
+    const RackServerSummary& s = out.servers.back();
+    out.duration_s = s.duration_s;  // identical across slots (shared sim params)
+    out.fan_energy_joules += s.result.fan_energy_joules;
+    out.cpu_energy_joules += s.result.cpu_energy_joules;
+    pooled_periods += s.deadline_periods;
+    pooled_violations += s.deadline_violations;
+    thermal_violation_sum += s.result.thermal_violation_percent;
+    out.max_junction_stats.add(s.result.max_junction_celsius);
+    out.mean_junction_stats.add(s.result.mean_junction_celsius);
+  }
+  out.total_energy_joules = out.fan_energy_joules + out.cpu_energy_joules;
+  out.deadline_violation_percent =
+      pooled_periods > 0
+          ? 100.0 * static_cast<double>(pooled_violations) /
+                static_cast<double>(pooled_periods)
+          : 0.0;
+  out.thermal_violation_percent =
+      out.servers.empty() ? 0.0
+                          : thermal_violation_sum /
+                                static_cast<double>(out.servers.size());
+  return out;
+}
+
+std::string RackResult::to_table() const {
+  std::ostringstream os;
+  os << std::fixed;
+  os << "slot  seed              ddl-viol%  fan-kJ    cpu-kJ    meanTj  maxTj\n";
+  for (const RackServerSummary& s : servers) {
+    os << std::setw(4) << s.index << "  " << std::hex << std::setw(16)
+       << s.seed << std::dec << "  " << std::setprecision(3) << std::setw(9)
+       << s.result.deadline_violation_percent << "  " << std::setprecision(1)
+       << std::setw(8) << s.result.fan_energy_joules / 1000.0 << "  "
+       << std::setw(8) << s.result.cpu_energy_joules / 1000.0 << "  "
+       << std::setw(6) << s.result.mean_junction_celsius << "  " << std::setw(5)
+       << s.result.max_junction_celsius << "\n";
+  }
+  os << "---\n";
+  os << "servers                : " << servers.size() << "\n";
+  os << std::setprecision(3);
+  os << "pooled deadline viol   : " << deadline_violation_percent << " %\n";
+  os << "mean thermal viol      : " << thermal_violation_percent << " %\n";
+  os << std::setprecision(1);
+  os << "rack fan energy        : " << fan_energy_joules / 1000.0 << " kJ\n";
+  os << "rack cpu energy        : " << cpu_energy_joules / 1000.0 << " kJ\n";
+  os << "rack total energy      : " << total_energy_joules / 1000.0 << " kJ\n";
+  os << "per-server max Tj      : mean " << max_junction_stats.mean()
+     << " degC, worst " << max_junction_stats.max() << " degC\n";
+  return os.str();
+}
+
+}  // namespace fsc

@@ -1,0 +1,74 @@
+// Parallel batch execution of a Rack's servers.
+//
+// Each slot's simulation is fully self-contained (its RackServerSpec
+// carries the jittered plant, the nominal controller config, and its own
+// RNG seed), so the runner fans the N runs out across a ThreadPool and the
+// result is bit-identical for any thread count — parallelism changes only
+// the wall clock, never the physics.  Aggregation happens on the calling
+// thread, in slot order.
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "metrics/energy_report.hpp"
+#include "rack/rack.hpp"
+#include "sim/simulation.hpp"
+#include "util/statistics.hpp"
+
+namespace fsc {
+
+/// One slot's outcome.
+struct RackServerSummary {
+  std::size_t index = 0;
+  std::uint64_t seed = 0;
+  SolutionResult result;               ///< Table III style row for the slot
+  std::size_t deadline_periods = 0;    ///< for pooled violation accounting
+  std::size_t deadline_violations = 0;
+  double duration_s = 0.0;             ///< actually simulated seconds
+};
+
+/// Rack-level aggregate statistics.
+struct RackResult {
+  std::vector<RackServerSummary> servers;  ///< slot order
+
+  double fan_energy_joules = 0.0;    ///< summed over servers
+  double cpu_energy_joules = 0.0;
+  double total_energy_joules = 0.0;
+  double deadline_violation_percent = 0.0;  ///< pooled over all periods
+  double thermal_violation_percent = 0.0;   ///< mean over servers (equal durations)
+  RunningStats max_junction_stats;   ///< spread of per-server max Tj
+  RunningStats mean_junction_stats;  ///< spread of per-server mean Tj
+  double duration_s = 0.0;           ///< simulated seconds per server
+
+  std::size_t size() const noexcept { return servers.size(); }
+
+  /// Fixed-width per-server + aggregate report.
+  std::string to_table() const;
+};
+
+/// Runs every server of a Rack and aggregates.
+class BatchRunner {
+ public:
+  /// Fan work out across `threads` workers (>= 1).
+  /// Throws std::invalid_argument when threads == 0.
+  explicit BatchRunner(std::size_t threads);
+
+  std::size_t threads() const noexcept { return threads_; }
+
+  /// Simulate all servers (policy and timing come from the rack's params)
+  /// and aggregate.  Worker exceptions propagate to the caller.
+  RackResult run(const Rack& rack) const;
+
+  /// Simulate one slot (what each worker executes): builds the seeded RNG,
+  /// workload, plant, and policy from the spec and runs the simulation.
+  static RackServerSummary run_server(const RackServerSpec& spec,
+                                      const std::string& policy,
+                                      const SimulationParams& sim);
+
+ private:
+  std::size_t threads_;
+};
+
+}  // namespace fsc

@@ -1,0 +1,77 @@
+#include "rack/rack.hpp"
+
+#include "util/rng.hpp"
+#include "util/units.hpp"
+
+namespace fsc {
+
+namespace {
+
+/// Multiplicative jitter: value * (1 + U(-fraction, +fraction)).
+double scale_jitter(Rng& rng, double value, double fraction) {
+  if (fraction <= 0.0) return value;
+  return value * (1.0 + rng.uniform(-fraction, fraction));
+}
+
+RackServerSpec make_spec(const RackParams& params, std::size_t index) {
+  // Two decorrelated streams per slot: one consumed here for the parameter
+  // spread, one stored in the spec for the run itself (workload sampling +
+  // sensor noise).  Both depend only on (base_seed, index).
+  const std::uint64_t slot = derive_seed(params.base_seed, index);
+  Rng jitter_rng(derive_seed(slot, 0));
+
+  RackServerSpec spec;
+  spec.index = index;
+  spec.seed = derive_seed(slot, 1);
+  spec.server = params.server;
+  spec.solution = params.solution;
+  spec.workload = params.workload;
+
+  const RackJitter& j = params.jitter;
+
+  // Plant spread: slot-position preheat, heat-sink mounting, silicon bin.
+  ThermalParams tp = params.server.thermal.params();
+  tp.ambient_celsius +=
+      j.ambient_delta_celsius > 0.0
+          ? jitter_rng.uniform(-j.ambient_delta_celsius, j.ambient_delta_celsius)
+          : 0.0;
+  tp.die_resistance_kpw =
+      scale_jitter(jitter_rng, tp.die_resistance_kpw, j.die_resistance_fraction);
+  spec.server.thermal = ServerThermalModel(params.server.thermal.heat_sink(), tp);
+
+  const double power_scale =
+      scale_jitter(jitter_rng, 1.0, j.cpu_power_fraction);
+  spec.server.cpu_power =
+      CpuPowerModel(params.server.cpu_power.idle_power() * power_scale,
+                    params.server.cpu_power.dynamic_power() * power_scale);
+
+  // Workload spread: per-server load imbalance and phase offset.
+  const double level_scale =
+      scale_jitter(jitter_rng, 1.0, j.workload_level_fraction);
+  spec.workload.base.low = clamp_utilization(spec.workload.base.low * level_scale);
+  spec.workload.base.high =
+      clamp_utilization(spec.workload.base.high * level_scale);
+  if (j.workload_phase_fraction > 0.0) {
+    spec.workload.base.phase_s = jitter_rng.uniform(
+        0.0, j.workload_phase_fraction * spec.workload.base.period_s);
+  }
+  return spec;
+}
+
+}  // namespace
+
+Rack::Rack(RackParams params) : params_(std::move(params)) {
+  require(params_.num_servers > 0, "Rack: need at least one server");
+  require(params_.jitter.ambient_delta_celsius >= 0.0 &&
+              params_.jitter.die_resistance_fraction >= 0.0 &&
+              params_.jitter.cpu_power_fraction >= 0.0 &&
+              params_.jitter.workload_level_fraction >= 0.0 &&
+              params_.jitter.workload_phase_fraction >= 0.0,
+          "Rack: jitter magnitudes must be >= 0");
+  specs_.reserve(params_.num_servers);
+  for (std::size_t i = 0; i < params_.num_servers; ++i) {
+    specs_.push_back(make_spec(params_, i));
+  }
+}
+
+}  // namespace fsc

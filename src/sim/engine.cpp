@@ -1,0 +1,116 @@
+#include "sim/engine.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/units.hpp"
+
+namespace fsc {
+
+SimulationEngine::SimulationEngine(const SimulationParams& params)
+    : params_(params) {
+  require(params_.physics_dt_s > 0.0, "SimulationEngine: physics dt must be > 0");
+  require(params_.cpu_period_s >= params_.physics_dt_s,
+          "SimulationEngine: cpu period must be >= physics dt");
+  require(params_.duration_s > 0.0, "SimulationEngine: duration must be > 0");
+}
+
+void SimulationEngine::add_sink(InstrumentationSink* sink) {
+  require(sink != nullptr, "SimulationEngine: sink must not be null");
+  sinks_.push_back(sink);
+}
+
+double SimulationEngine::run(Server& server, DtmPolicy& policy,
+                             const Workload& workload) const {
+  policy.reset();
+  server.reset_energy();
+  server.settle(params_.initial_utilization, server.fan_speed_commanded());
+
+  const long physics_per_period =
+      std::lround(params_.cpu_period_s / params_.physics_dt_s);
+  const long periods =
+      static_cast<long>(std::ceil(params_.duration_s / params_.cpu_period_s));
+  const long record_every = std::max<long>(
+      1, std::lround(params_.record_period_s / params_.cpu_period_s));
+
+  for (InstrumentationSink* sink : sinks_) sink->on_run_begin(params_, server);
+
+  double cap = 1.0;
+  double fan_cmd = server.fan_speed_commanded();
+  double prev_demand = params_.initial_utilization;
+  double prev_executed = params_.initial_utilization;
+  double last_degradation = 0.0;
+
+  for (long k = 0; k < periods; ++k) {
+    const double t = static_cast<double>(k) * params_.cpu_period_s;
+
+    // Policy decision at the period boundary: it sees the current (lagged)
+    // measurement and the previous period's observable utilization.
+    DtmInputs in;
+    in.time_s = t;
+    in.measured_temp = server.measured_temp();
+    in.quantization_step = server.quantization_step();
+    in.fan_speed_cmd = fan_cmd;
+    in.fan_speed_actual = server.fan_speed_actual();
+    in.cpu_cap = cap;
+    in.demand = prev_demand;
+    in.executed = prev_executed;
+    in.last_degradation = last_degradation;
+    const DtmOutputs out = policy.step(in);
+    fan_cmd = out.fan_speed_cmd;
+    cap = clamp_utilization(out.cpu_cap);
+    server.command_fan(fan_cmd);
+
+    // This period's workload executes under the new cap.
+    const double demand = workload.demand(t);
+    const double executed = std::min(demand, cap);
+    last_degradation = std::max(0.0, demand - cap);
+
+    PeriodSample sample;
+    sample.period_index = k;
+    sample.time_s = t;
+    sample.demand = demand;
+    sample.cap = cap;
+    sample.executed = executed;
+    sample.fan_cmd_rpm = fan_cmd;
+    sample.server = &server;
+    sample.policy = &policy;
+    for (InstrumentationSink* sink : sinks_) sink->on_period(sample);
+
+    if (params_.record_trace && k % record_every == 0) {
+      TraceRecord rec;
+      rec.time_s = t;
+      rec.demand = demand;
+      rec.cap = cap;
+      rec.executed = executed;
+      rec.fan_cmd_rpm = fan_cmd;
+      rec.fan_actual_rpm = server.fan_speed_actual();
+      rec.junction_celsius = server.true_junction();
+      rec.heat_sink_celsius = server.true_heat_sink();
+      rec.measured_celsius = server.measured_temp();
+      rec.reference_celsius = policy.reference_temp();
+      rec.cpu_watts = server.cpu_power_now(executed);
+      rec.fan_watts = server.fan_power_now();
+      for (InstrumentationSink* sink : sinks_) sink->on_record(rec);
+    }
+
+    // Physics for the rest of the period.
+    for (long i = 0; i < physics_per_period; ++i) {
+      server.step(executed, params_.physics_dt_s);
+      PhysicsSample phys;
+      phys.time_s = t + static_cast<double>(i + 1) * params_.physics_dt_s;
+      phys.dt_s = params_.physics_dt_s;
+      phys.server = &server;
+      for (InstrumentationSink* sink : sinks_) sink->on_physics_step(phys);
+    }
+
+    prev_demand = demand;
+    prev_executed = executed;
+  }
+
+  const double duration = static_cast<double>(periods) * params_.cpu_period_s;
+  for (InstrumentationSink* sink : sinks_) sink->on_run_end(server, duration);
+  return duration;
+}
+
+}  // namespace fsc

@@ -1,0 +1,124 @@
+// The simulation engine: the single place that owns the timing structure
+// of a run (paper §VI-A) — policy invocations every CPU control period,
+// plant integration in small fixed physics steps between them, and trace
+// recording on its own divider — decoupled from *what* is measured.
+//
+// Observation is delegated to pluggable InstrumentationSinks: the engine
+// publishes every policy decision, every physics substep, and every trace
+// record to all attached sinks.  The classic `run_simulation` entry point
+// (sim/simulation.hpp) is a thin wrapper that attaches the standard sinks
+// (trace recorder, deadline stats, thermal violation tracker, energy
+// accumulator) and assembles their outputs into a SimulationResult.
+#pragma once
+
+#include <vector>
+
+#include "core/controller.hpp"
+#include "sim/server.hpp"
+#include "workload/trace.hpp"
+
+namespace fsc {
+
+/// Simulation timing and instrumentation options.
+struct SimulationParams {
+  double physics_dt_s = 0.05;   ///< plant integration step
+  double cpu_period_s = 1.0;    ///< policy invocation period
+  double duration_s = 3600.0;
+  double thermal_limit_celsius = 80.0;  ///< junction limit for violation stats
+  double initial_utilization = 0.0;     ///< plant settles here before t = 0
+  bool record_trace = true;
+  double record_period_s = 1.0;  ///< trace sampling period
+};
+
+/// One recorded trace sample.
+struct TraceRecord {
+  double time_s = 0.0;
+  double demand = 0.0;
+  double cap = 1.0;
+  double executed = 0.0;
+  double fan_cmd_rpm = 0.0;
+  double fan_actual_rpm = 0.0;
+  double junction_celsius = 0.0;
+  double heat_sink_celsius = 0.0;
+  double measured_celsius = 0.0;
+  double reference_celsius = 0.0;
+  double cpu_watts = 0.0;
+  double fan_watts = 0.0;
+};
+
+/// What the engine publishes at each policy decision instant (once per CPU
+/// control period, after the policy has acted and the period's workload has
+/// been resolved against the new cap).
+struct PeriodSample {
+  long period_index = 0;
+  double time_s = 0.0;
+  double demand = 0.0;    ///< utilization the workload asked for
+  double cap = 1.0;       ///< cap in force for this period
+  double executed = 0.0;  ///< min(demand, cap)
+  double fan_cmd_rpm = 0.0;
+  const Server* server = nullptr;
+  const DtmPolicy* policy = nullptr;
+};
+
+/// What the engine publishes after each plant integration substep.
+struct PhysicsSample {
+  double time_s = 0.0;  ///< time at the *end* of the substep
+  double dt_s = 0.0;
+  const Server* server = nullptr;
+};
+
+/// Observer interface.  All hooks default to no-ops so sinks override only
+/// what they need.  Sinks must not mutate the plant or the policy; they see
+/// them const and only through the published samples.
+class InstrumentationSink {
+ public:
+  virtual ~InstrumentationSink() = default;
+
+  /// The run is about to start; the server has been settled at the initial
+  /// operating point and the policy reset.
+  virtual void on_run_begin(const SimulationParams& /*params*/,
+                            const Server& /*server*/) {}
+
+  /// One CPU control period has been decided and its workload resolved.
+  virtual void on_period(const PeriodSample& /*sample*/) {}
+
+  /// A fully-populated trace record at a record instant (only published
+  /// when SimulationParams::record_trace is set).
+  virtual void on_record(const TraceRecord& /*record*/) {}
+
+  /// One plant integration substep has completed.
+  virtual void on_physics_step(const PhysicsSample& /*sample*/) {}
+
+  /// The run finished after `duration_s` simulated seconds.
+  virtual void on_run_end(const Server& /*server*/, double /*duration_s*/) {}
+};
+
+/// Drives one (server, policy, workload) run and publishes everything it
+/// does to the attached sinks.  The engine is reusable: run() may be called
+/// repeatedly (each call resets policy state and energy accounting).
+class SimulationEngine {
+ public:
+  /// Validates timing parameters; throws std::invalid_argument when the
+  /// physics step, CPU period, or duration are inconsistent.
+  explicit SimulationEngine(const SimulationParams& params);
+
+  /// Attach an observer.  Non-owning: the sink must outlive the run() call.
+  /// Sinks are notified in attachment order.
+  void add_sink(InstrumentationSink* sink);
+
+  const SimulationParams& params() const noexcept { return params_; }
+
+  /// Run `policy` against `server` under `workload`.
+  ///
+  /// The server is settled at (initial_utilization, current fan command)
+  /// before t = 0 so runs start from a reproducible equilibrium.  The
+  /// policy is reset first.  Both objects are left in their final state.
+  /// Returns the simulated duration in seconds (periods * cpu_period).
+  double run(Server& server, DtmPolicy& policy, const Workload& workload) const;
+
+ private:
+  SimulationParams params_;
+  std::vector<InstrumentationSink*> sinks_;
+};
+
+}  // namespace fsc

@@ -1,5 +1,7 @@
 #include "sim/experiment.hpp"
 
+#include "core/policy_factory.hpp"
+
 namespace fsc {
 
 ComparisonScenario ComparisonScenario::paper_defaults() {
@@ -28,7 +30,8 @@ SimulationResult run_solution(SolutionKind kind, const ComparisonScenario& scena
   Rng rng(scenario.seed);
   const auto workload = make_spiky_workload(scenario.workload, rng);
   Server server(scenario.server, scenario.solution.initial_fan_rpm, rng);
-  const auto policy = make_solution(kind, scenario.solution);
+  const auto policy =
+      PolicyFactory::instance().make(solution_key(kind), scenario.solution);
   return run_simulation(server, *policy, *workload, scenario.sim);
 }
 

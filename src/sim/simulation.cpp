@@ -1,11 +1,9 @@
 #include "sim/simulation.hpp"
 
-#include <algorithm>
-#include <cmath>
 #include <sstream>
 
+#include "sim/instrumentation.hpp"
 #include "util/csv.hpp"
-#include "util/units.hpp"
 
 namespace fsc {
 
@@ -32,91 +30,27 @@ std::vector<double> SimulationResult::column(double TraceRecord::* field) const 
 SimulationResult run_simulation(Server& server, DtmPolicy& policy,
                                 const Workload& workload,
                                 const SimulationParams& params) {
-  require(params.physics_dt_s > 0.0, "run_simulation: physics dt must be > 0");
-  require(params.cpu_period_s >= params.physics_dt_s,
-          "run_simulation: cpu period must be >= physics dt");
-  require(params.duration_s > 0.0, "run_simulation: duration must be > 0");
+  SimulationEngine engine(params);
+  TraceRecorderSink trace;
+  DeadlineStatsSink periods;
+  ThermalViolationSink thermal;
+  EnergyAccumulatorSink energy;
+  if (params.record_trace) engine.add_sink(&trace);
+  engine.add_sink(&periods);
+  engine.add_sink(&thermal);
+  engine.add_sink(&energy);
+
+  const double duration = engine.run(server, policy, workload);
 
   SimulationResult result;
-  policy.reset();
-  server.reset_energy();
-  server.settle(params.initial_utilization, server.fan_speed_commanded());
-
-  const long physics_per_period =
-      std::lround(params.cpu_period_s / params.physics_dt_s);
-  const long periods =
-      static_cast<long>(std::ceil(params.duration_s / params.cpu_period_s));
-  const long record_every = std::max<long>(
-      1, std::lround(params.record_period_s / params.cpu_period_s));
-
-  double cap = 1.0;
-  double fan_cmd = server.fan_speed_commanded();
-  double prev_demand = params.initial_utilization;
-  double prev_executed = params.initial_utilization;
-  double last_degradation = 0.0;
-  double violation_time = 0.0;
-
-  for (long k = 0; k < periods; ++k) {
-    const double t = static_cast<double>(k) * params.cpu_period_s;
-
-    // Policy decision at the period boundary: it sees the current (lagged)
-    // measurement and the previous period's observable utilization.
-    DtmInputs in;
-    in.time_s = t;
-    in.measured_temp = server.measured_temp();
-    in.quantization_step = server.quantization_step();
-    in.fan_speed_cmd = fan_cmd;
-    in.fan_speed_actual = server.fan_speed_actual();
-    in.cpu_cap = cap;
-    in.demand = prev_demand;
-    in.executed = prev_executed;
-    in.last_degradation = last_degradation;
-    const DtmOutputs out = policy.step(in);
-    fan_cmd = out.fan_speed_cmd;
-    cap = clamp_utilization(out.cpu_cap);
-    server.command_fan(fan_cmd);
-
-    // This period's workload executes under the new cap.
-    const double demand = workload.demand(t);
-    const double executed = std::min(demand, cap);
-    result.deadline.record(demand, cap);
-    last_degradation = std::max(0.0, demand - cap);
-    result.fan_speed_stats.add(fan_cmd);
-
-    if (params.record_trace && k % record_every == 0) {
-      TraceRecord rec;
-      rec.time_s = t;
-      rec.demand = demand;
-      rec.cap = cap;
-      rec.executed = executed;
-      rec.fan_cmd_rpm = fan_cmd;
-      rec.fan_actual_rpm = server.fan_speed_actual();
-      rec.junction_celsius = server.true_junction();
-      rec.heat_sink_celsius = server.true_heat_sink();
-      rec.measured_celsius = server.measured_temp();
-      rec.reference_celsius = policy.reference_temp();
-      rec.cpu_watts = server.cpu_power_now(executed);
-      rec.fan_watts = server.fan_power_now();
-      result.trace.push_back(rec);
-    }
-
-    // Physics for the rest of the period.
-    for (long i = 0; i < physics_per_period; ++i) {
-      server.step(executed, params.physics_dt_s);
-      result.junction_stats.add(server.true_junction());
-      if (server.true_junction() > params.thermal_limit_celsius) {
-        violation_time += params.physics_dt_s;
-      }
-    }
-
-    prev_demand = demand;
-    prev_executed = executed;
-  }
-
-  result.duration_s = static_cast<double>(periods) * params.cpu_period_s;
-  result.fan_energy_joules = server.energy().fan_energy();
-  result.cpu_energy_joules = server.energy().cpu_energy();
-  result.thermal_violation_fraction = violation_time / result.duration_s;
+  result.trace = trace.take_trace();
+  result.deadline = periods.deadline();
+  result.fan_speed_stats = periods.fan_speed_stats();
+  result.junction_stats = thermal.junction_stats();
+  result.thermal_violation_fraction = thermal.violation_fraction(duration);
+  result.fan_energy_joules = energy.fan_energy_joules();
+  result.cpu_energy_joules = energy.cpu_energy_joules();
+  result.duration_s = duration;
   return result;
 }
 

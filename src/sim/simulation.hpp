@@ -1,4 +1,8 @@
-// The simulation loop: server plant + DTM policy + workload + metrics.
+// The classic single-call simulation entry point, now a thin wrapper over
+// the SimulationEngine (sim/engine.hpp): it attaches the standard
+// instrumentation sinks (trace recorder, deadline stats, thermal violation
+// tracker, energy accumulator) and assembles their outputs into a
+// SimulationResult.
 //
 // Timing structure (paper §VI-A): the policy is invoked every CPU control
 // period (1 s); physics advance in small fixed steps (0.05 s) between
@@ -13,38 +17,12 @@
 #include "core/controller.hpp"
 #include "metrics/deadline.hpp"
 #include "metrics/energy_report.hpp"
+#include "sim/engine.hpp"
 #include "sim/server.hpp"
 #include "util/statistics.hpp"
 #include "workload/trace.hpp"
 
 namespace fsc {
-
-/// Simulation timing and instrumentation options.
-struct SimulationParams {
-  double physics_dt_s = 0.05;   ///< plant integration step
-  double cpu_period_s = 1.0;    ///< policy invocation period
-  double duration_s = 3600.0;
-  double thermal_limit_celsius = 80.0;  ///< junction limit for violation stats
-  double initial_utilization = 0.0;     ///< plant settles here before t = 0
-  bool record_trace = true;
-  double record_period_s = 1.0;  ///< trace sampling period
-};
-
-/// One recorded trace sample.
-struct TraceRecord {
-  double time_s = 0.0;
-  double demand = 0.0;
-  double cap = 1.0;
-  double executed = 0.0;
-  double fan_cmd_rpm = 0.0;
-  double fan_actual_rpm = 0.0;
-  double junction_celsius = 0.0;
-  double heat_sink_celsius = 0.0;
-  double measured_celsius = 0.0;
-  double reference_celsius = 0.0;
-  double cpu_watts = 0.0;
-  double fan_watts = 0.0;
-};
 
 /// Everything a run produces.
 struct SimulationResult {

@@ -48,4 +48,15 @@ class Rng {
   std::mt19937_64 engine_;
 };
 
+/// Derive an independent child seed from a base seed and a stream index
+/// (splitmix64 finaliser).  Used to give every server in a rack its own RNG
+/// stream: derived seeds are decorrelated even for consecutive indices, and
+/// depend only on (base, index) — never on thread scheduling.
+constexpr std::uint64_t derive_seed(std::uint64_t base, std::uint64_t index) {
+  std::uint64_t z = base + 0x9e3779b97f4a7c15ull * (index + 1);
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ull;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebull;
+  return z ^ (z >> 31);
+}
+
 }  // namespace fsc

@@ -1,0 +1,97 @@
+// Fixed-size worker pool over std::thread.
+//
+// The simulator core stays single-threaded by design (util/ring_buffer.hpp);
+// parallelism lives one level up, where the rack batch runner fans fully
+// independent per-server simulations out across workers.  Tasks must
+// therefore not share mutable state — the pool provides no synchronisation
+// beyond the queue itself and the returned futures.
+#pragma once
+
+#include <condition_variable>
+#include <cstddef>
+#include <functional>
+#include <future>
+#include <memory>
+#include <mutex>
+#include <queue>
+#include <stdexcept>
+#include <thread>
+#include <type_traits>
+#include <utility>
+#include <vector>
+
+namespace fsc {
+
+/// Fixed pool of worker threads draining a FIFO task queue.
+class ThreadPool {
+ public:
+  /// Spawn `threads` workers.  Throws std::invalid_argument when 0.
+  explicit ThreadPool(std::size_t threads) {
+    if (threads == 0) {
+      throw std::invalid_argument("ThreadPool: thread count must be > 0");
+    }
+    workers_.reserve(threads);
+    for (std::size_t i = 0; i < threads; ++i) {
+      workers_.emplace_back([this] { worker_loop(); });
+    }
+  }
+
+  /// Drains outstanding tasks, then joins all workers.
+  ~ThreadPool() {
+    {
+      std::lock_guard<std::mutex> lock(mutex_);
+      stopping_ = true;
+    }
+    wake_.notify_all();
+    for (std::thread& worker : workers_) worker.join();
+  }
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  /// Number of worker threads.
+  std::size_t size() const noexcept { return workers_.size(); }
+
+  /// Enqueue `fn` and return a future for its result.  Exceptions thrown by
+  /// the task surface through the future.  Throws std::runtime_error when
+  /// the pool is already shutting down.
+  template <typename F>
+  auto submit(F&& fn) -> std::future<std::invoke_result_t<F>> {
+    using Result = std::invoke_result_t<F>;
+    auto task =
+        std::make_shared<std::packaged_task<Result()>>(std::forward<F>(fn));
+    std::future<Result> result = task->get_future();
+    {
+      std::lock_guard<std::mutex> lock(mutex_);
+      if (stopping_) {
+        throw std::runtime_error("ThreadPool::submit on a stopping pool");
+      }
+      tasks_.push([task] { (*task)(); });
+    }
+    wake_.notify_one();
+    return result;
+  }
+
+ private:
+  void worker_loop() {
+    for (;;) {
+      std::function<void()> task;
+      {
+        std::unique_lock<std::mutex> lock(mutex_);
+        wake_.wait(lock, [this] { return stopping_ || !tasks_.empty(); });
+        if (tasks_.empty()) return;  // stopping and drained
+        task = std::move(tasks_.front());
+        tasks_.pop();
+      }
+      task();
+    }
+  }
+
+  std::vector<std::thread> workers_;
+  std::queue<std::function<void()>> tasks_;
+  std::mutex mutex_;
+  std::condition_variable wake_;
+  bool stopping_ = false;
+};
+
+}  // namespace fsc

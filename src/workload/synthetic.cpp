@@ -20,13 +20,14 @@ std::size_t sample_count(double duration_s, double period_s) {
 
 std::unique_ptr<SampledWorkload> make_square_noise_workload(
     const SquareNoiseParams& params, Rng& rng) {
+  require(params.phase_s >= 0.0, "synthetic workload: phase must be >= 0");
   const SquareWaveWorkload square(params.low, params.high, params.period_s);
   const std::size_t n = sample_count(params.duration_s, params.sample_period_s);
   std::vector<double> samples;
   samples.reserve(n);
   for (std::size_t i = 0; i < n; ++i) {
     const double t = static_cast<double>(i) * params.sample_period_s;
-    double u = square.demand(t);
+    double u = square.demand(t + params.phase_s);
     if (params.noise_stddev > 0.0) u += rng.gaussian(0.0, params.noise_stddev);
     samples.push_back(clamp_utilization(u));
   }

@@ -19,6 +19,8 @@ struct SquareNoiseParams {
   double low = 0.1;             ///< paper's low utilization level
   double high = 0.7;            ///< paper's high utilization level
   double period_s = 200.0;      ///< full square period
+  double phase_s = 0.0;         ///< phase offset (>= 0); the wave starts
+                                ///< `phase_s` seconds into its period
   double noise_stddev = 0.04;   ///< Fig. 5 caption: sigma = 0.04
   double sample_period_s = 1.0; ///< matches the CPU control interval
   double duration_s = 3600.0;

@@ -146,5 +146,43 @@ TEST(ECoord, RejectsBadParams) {
   EXPECT_THROW(make_policy(p), std::invalid_argument);
 }
 
+TEST(ECoord, FanDividerDerivedFromPeriods) {
+  // Default: 30 s fan period over 1 s cpu period.
+  EXPECT_EQ(make_policy().fan_divider(), 30);
+
+  ECoordParams p;
+  p.cpu_period_s = 2.0;
+  p.fan_period_s = 10.0;
+  EXPECT_EQ(make_policy(p).fan_divider(), 5);
+
+  p = ECoordParams{};
+  p.fan_period_s = 1.0;  // equal periods: fan decided every step
+  EXPECT_EQ(make_policy(p).fan_divider(), 1);
+}
+
+TEST(ECoord, RejectsNonIntegerPeriodRatio) {
+  ECoordParams p;
+  p.fan_period_s = 1.4;  // would silently round to a divider of 1 before
+  EXPECT_THROW(make_policy(p), std::invalid_argument);
+  p.fan_period_s = 30.5;
+  EXPECT_THROW(make_policy(p), std::invalid_argument);
+  p.cpu_period_s = 0.0;
+  EXPECT_THROW(make_policy(p), std::invalid_argument);
+}
+
+TEST(ECoord, FanActsOnlyAtDerivedInstants) {
+  ECoordParams p;
+  p.fan_period_s = 5.0;
+  auto policy = make_policy(p);
+  // Comfortable temperature far above the model's edge target: the policy
+  // re-targets the fan only at fan instants (steps 0, 5, 10, ...).
+  int fan_moves = 0;
+  for (int k = 0; k < 10; ++k) {
+    const auto out = policy.step(inputs_at(75.0, 8000.0, 1.0, 0.7));
+    if (out.fan_speed_cmd != 8000.0) ++fan_moves;
+  }
+  EXPECT_EQ(fan_moves, 2);  // k = 0 and k = 5
+}
+
 }  // namespace
 }  // namespace fsc

@@ -1,0 +1,129 @@
+// PolicyFactory registry tests: built-ins, equivalence with the enum-based
+// construction path, error handling, and runtime registration.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <stdexcept>
+
+#include "core/policy_factory.hpp"
+#include "core/solutions.hpp"
+#include "sim/simulation.hpp"
+#include "workload/synthetic.hpp"
+
+namespace fsc {
+namespace {
+
+TEST(PolicyFactory, BuiltinsAreRegistered) {
+  auto& factory = PolicyFactory::instance();
+  for (SolutionKind kind : all_solutions()) {
+    EXPECT_TRUE(factory.contains(solution_key(kind)))
+        << "missing " << solution_key(kind);
+  }
+  EXPECT_TRUE(factory.contains("fan-only"));
+  EXPECT_TRUE(factory.contains("static-fan"));
+  EXPECT_FALSE(factory.contains("no-such-policy"));
+
+  const auto names = factory.names();
+  EXPECT_GE(names.size(), 7u);
+  EXPECT_TRUE(std::is_sorted(names.begin(), names.end()));
+}
+
+TEST(PolicyFactory, SolutionKeysAreUniqueAndStable) {
+  EXPECT_EQ(solution_key(SolutionKind::kUncoordinated), "uncoordinated");
+  EXPECT_EQ(solution_key(SolutionKind::kECoord), "e-coord");
+  EXPECT_EQ(solution_key(SolutionKind::kRuleFixed), "r-coord");
+  EXPECT_EQ(solution_key(SolutionKind::kRuleAdaptiveTref), "r-coord+a-tref");
+  EXPECT_EQ(solution_key(SolutionKind::kRuleAdaptiveTrefSingleStep),
+            "r-coord+a-tref+ss-fan");
+}
+
+TEST(PolicyFactory, FactoryPolicyMatchesEnumConstruction) {
+  // The factory path and make_solution must build behaviourally identical
+  // controllers: same trace on the same seeded scenario.
+  const SolutionConfig cfg;
+  const auto run_with = [&](DtmPolicy& policy) {
+    Rng rng(7);
+    Server server(ServerParams{}, cfg.initial_fan_rpm, rng);
+    SquareNoiseParams wl;
+    wl.duration_s = 400.0;
+    const auto workload = make_square_noise_workload(wl, rng);
+    SimulationParams sim;
+    sim.duration_s = 400.0;
+    sim.initial_utilization = 0.1;
+    return trace_to_csv(run_simulation(server, policy, *workload, sim).trace);
+  };
+
+  for (SolutionKind kind : all_solutions()) {
+    const auto via_enum = make_solution(kind, cfg);
+    const auto via_factory =
+        PolicyFactory::instance().make(solution_key(kind), cfg);
+    EXPECT_EQ(run_with(*via_factory), run_with(*via_enum))
+        << "divergence for " << solution_key(kind);
+  }
+}
+
+TEST(PolicyFactory, UnknownNameThrowsListingKnownNames) {
+  try {
+    PolicyFactory::instance().make("bogus", SolutionConfig{});
+    FAIL() << "expected std::out_of_range";
+  } catch (const std::out_of_range& e) {
+    const std::string what = e.what();
+    EXPECT_NE(what.find("bogus"), std::string::npos);
+    EXPECT_NE(what.find("r-coord"), std::string::npos);  // lists the options
+  }
+  EXPECT_THROW(PolicyFactory::instance().describe("bogus"), std::out_of_range);
+}
+
+TEST(PolicyFactory, RejectsDuplicateAndInvalidRegistration) {
+  auto& factory = PolicyFactory::instance();
+  EXPECT_THROW(factory.register_policy("r-coord", "dup",
+                                       [](const SolutionConfig& cfg) {
+                                         return make_solution(
+                                             SolutionKind::kRuleFixed, cfg);
+                                       }),
+               std::invalid_argument);
+  EXPECT_THROW(factory.register_policy("", "empty name",
+                                       [](const SolutionConfig& cfg) {
+                                         return make_solution(
+                                             SolutionKind::kRuleFixed, cfg);
+                                       }),
+               std::invalid_argument);
+  EXPECT_THROW(factory.register_policy("null-builder", "null", nullptr),
+               std::invalid_argument);
+}
+
+TEST(PolicyFactory, RuntimeRegistrationIsUsable) {
+  auto& factory = PolicyFactory::instance();
+  const std::string name = "test-only-uncoordinated-alias";
+  if (!factory.contains(name)) {
+    factory.register_policy(name, "registered by test_policy_factory",
+                            [](const SolutionConfig& cfg) {
+                              return make_solution(
+                                  SolutionKind::kUncoordinated, cfg);
+                            });
+  }
+  EXPECT_TRUE(factory.contains(name));
+  EXPECT_EQ(factory.describe(name), "registered by test_policy_factory");
+  const auto policy = factory.make(name, SolutionConfig{});
+  ASSERT_NE(policy, nullptr);
+  EXPECT_DOUBLE_EQ(policy->reference_temp(), 75.0);
+}
+
+TEST(PolicyFactory, StaticFanPinsWorstCaseSafeSpeed) {
+  const SolutionConfig cfg;
+  const auto policy = PolicyFactory::instance().make("static-fan", cfg);
+  DtmInputs in;
+  in.measured_temp = 90.0;  // even an emergency does not move it
+  const auto hot = policy->step(in);
+  in.measured_temp = 50.0;
+  const auto cold = policy->step(in);
+  EXPECT_EQ(hot.fan_speed_cmd, cold.fan_speed_cmd);
+  EXPECT_EQ(hot.cpu_cap, 1.0);
+  // Pinned speed keeps the worst-case (u = 1) steady state under the limit.
+  const double tj = cfg.thermal.steady_state_junction(cfg.cpu_power.max_power(),
+                                                      hot.fan_speed_cmd);
+  EXPECT_LE(tj, cfg.thermal_limit_celsius + 1e-6);
+}
+
+}  // namespace
+}  // namespace fsc

@@ -115,6 +115,28 @@ TEST(RingBuffer, ClearResets) {
   EXPECT_EQ(buf.front(), 7);
 }
 
+TEST(RingBuffer, ManyWraparoundsStayConsistent) {
+  // Sliding-window invariant under sustained eviction: after pushing 0..999
+  // through a 7-slot buffer, the window is always the last 7 values in
+  // order, regardless of where head_ has wrapped to.
+  RingBuffer<int> buf(7);
+  for (int i = 0; i < 1000; ++i) {
+    buf.push(i);
+    const int expected_size = std::min(i + 1, 7);
+    ASSERT_EQ(buf.size(), static_cast<std::size_t>(expected_size));
+    ASSERT_EQ(buf.back(), i);
+    ASSERT_EQ(buf.front(), i - expected_size + 1);
+    for (int k = 0; k < expected_size; ++k) {
+      ASSERT_EQ(buf.at(static_cast<std::size_t>(k)), i - expected_size + 1 + k);
+    }
+  }
+  // Interleaved pop/push keeps FIFO order across the wrap point.
+  EXPECT_EQ(buf.pop(), 993);
+  buf.push(1000);
+  EXPECT_EQ(buf.front(), 994);
+  EXPECT_EQ(buf.back(), 1000);
+}
+
 TEST(RingBuffer, SizeTracksPushesUpToCapacity) {
   RingBuffer<int> buf(3);
   EXPECT_EQ(buf.size(), 0u);

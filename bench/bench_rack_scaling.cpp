@@ -3,8 +3,11 @@
 // (64 servers, 8 threads) row should show the near-linear speedup over
 // (64 servers, 1 thread) that justifies the thread-pool fan-out; items
 // processed are *servers*, so google-benchmark's items_per_second counter
-// is exactly servers/sec.
+// is exactly servers/sec.  Writes BENCH_rack_scaling.json (override via
+// FSC_BENCH_JSON) so the rack perf trajectory accumulates across commits.
 #include <benchmark/benchmark.h>
+
+#include "json_reporter.hpp"
 
 #include "rack/batch_runner.hpp"
 #include "rack/rack.hpp"
@@ -49,4 +52,7 @@ BENCHMARK(BM_RackBatch)
 
 }  // namespace
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv) {
+  return fsc_bench::run_benchmarks_with_json(argc, argv,
+                                             "BENCH_rack_scaling.json");
+}

@@ -1,0 +1,174 @@
+// fsc_rack: the rack-scale front end over the coord/ subsystem.
+//
+// Runs a rack of N servers as one coupled plant (shared-plenum inlet
+// coupling + a named RackCoordinator) and writes a JSON report, optionally
+// a per-slot CSV.  Slots replay traces from --traces DIR (round-robin,
+// sorted by filename) or fall back to the default contended synthetic
+// scenario.
+//
+// Usage:
+//   fsc_rack [--policy COORD] [--dtm POLICY] [--traces DIR] [--slots N]
+//            [--threads N] [--seed S] [--duration SECS] [--budget WATTS]
+//            [--zone K] [--no-plenum] [--out FILE.json] [--csv FILE.csv]
+//            [--list]
+//
+//   --policy    coordinator name (default "independent"); --list shows all
+//   --dtm       per-server DtmPolicy name (default the paper's full stack)
+//   --budget    rack CPU power budget in watts (0 = 85 % of aggregate max)
+//   --zone      slots per shared fan zone
+#include <algorithm>
+#include <cstdlib>
+#include <fstream>
+#include <iostream>
+#include <string>
+#include <thread>
+
+#include "coord/coupled_rack_engine.hpp"
+#include "core/policy_factory.hpp"
+#include "workload/trace_io.hpp"
+
+namespace {
+
+void print_names() {
+  const auto& factory = fsc::PolicyFactory::instance();
+  std::cout << "coordinators:\n";
+  for (const auto& name : factory.coordinator_names()) {
+    std::cout << "  " << name << "  -  " << factory.describe_coordinator(name)
+              << "\n";
+  }
+  std::cout << "dtm policies:\n";
+  for (const auto& name : factory.names()) {
+    std::cout << "  " << name << "  -  " << factory.describe(name) << "\n";
+  }
+}
+
+/// Parse a strictly positive integer flag value; returns 0 on anything
+/// else (including negatives, which would otherwise wrap through the
+/// size_t cast into absurd allocation sizes).
+std::size_t parse_positive(const char* text) {
+  char* end = nullptr;
+  const long long v = std::strtoll(text, &end, 10);
+  if (end == text || *end != '\0' || v <= 0) return 0;
+  return static_cast<std::size_t>(v);
+}
+
+int usage(const char* argv0) {
+  std::cerr << "usage: " << argv0
+            << " [--policy COORD] [--dtm POLICY] [--traces DIR] [--slots N]\n"
+               "       [--threads N] [--seed S] [--duration SECS] "
+               "[--budget WATTS]\n"
+               "       [--zone K] [--no-plenum] [--out FILE.json] "
+               "[--csv FILE.csv] [--list]\n";
+  return 1;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace fsc;
+
+  std::string coordinator = "independent";
+  std::string dtm;
+  std::string trace_dir;
+  std::string out_path = "fsc_rack_report.json";
+  std::string csv_path;
+  std::size_t slots = 8;
+  std::size_t threads = std::max(1u, std::thread::hardware_concurrency());
+  std::uint64_t seed = 42;
+  double duration_s = 900.0;
+  double budget_watts = -1.0;
+  std::size_t zone = 0;
+  bool plenum = true;
+
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    const bool has_value = i + 1 < argc;
+    if (arg == "--list") {
+      print_names();
+      return 0;
+    } else if (arg == "--no-plenum") {
+      plenum = false;
+    } else if (!has_value) {
+      return usage(argv[0]);
+    } else if (arg == "--policy") {
+      coordinator = argv[++i];
+    } else if (arg == "--dtm") {
+      dtm = argv[++i];
+    } else if (arg == "--traces") {
+      trace_dir = argv[++i];
+    } else if (arg == "--slots") {
+      if ((slots = parse_positive(argv[++i])) == 0) return usage(argv[0]);
+    } else if (arg == "--threads") {
+      if ((threads = parse_positive(argv[++i])) == 0) return usage(argv[0]);
+    } else if (arg == "--seed") {
+      seed = static_cast<std::uint64_t>(std::strtoull(argv[++i], nullptr, 10));
+    } else if (arg == "--duration") {
+      duration_s = std::atof(argv[++i]);
+    } else if (arg == "--budget") {
+      budget_watts = std::atof(argv[++i]);
+    } else if (arg == "--zone") {
+      if ((zone = parse_positive(argv[++i])) == 0) return usage(argv[0]);
+    } else if (arg == "--out") {
+      out_path = argv[++i];
+    } else if (arg == "--csv") {
+      csv_path = argv[++i];
+    } else {
+      std::cerr << "unknown argument '" << arg << "'\n";
+      return usage(argv[0]);
+    }
+  }
+  if (slots == 0 || threads == 0 || duration_s <= 0.0) return usage(argv[0]);
+
+  const auto& factory = PolicyFactory::instance();
+  if (!factory.contains_coordinator(coordinator)) {
+    std::cerr << "unknown coordinator '" << coordinator << "'; known:";
+    for (const auto& name : factory.coordinator_names()) std::cerr << " " << name;
+    std::cerr << "\n";
+    return 1;
+  }
+
+  try {
+    CoupledRackParams params = default_coupled_scenario(seed, duration_s);
+    params.rack.num_servers = slots;
+    params.coordinator = coordinator;
+    params.plenum_enabled = plenum;
+    if (!dtm.empty()) params.rack.policy = dtm;
+    if (budget_watts >= 0.0) params.coord.rack_power_budget_watts = budget_watts;
+    if (zone > 0) params.coord.fan_zone_size = zone;
+    if (!trace_dir.empty()) {
+      params.rack.traces = load_trace_dir(trace_dir);
+      std::cout << "loaded " << params.rack.traces.size() << " trace(s) from "
+                << trace_dir << "\n";
+    }
+
+    const CoupledRackEngine engine(params, threads);
+    const CoupledRackResult result = engine.run();
+
+    std::cout << "=== fsc_rack: " << slots << " slots, coordinator '"
+              << coordinator << "' ("
+              << factory.describe_coordinator(coordinator) << "), " << threads
+              << " thread(s) ===\n\n";
+    std::cout << result.to_table();
+
+    std::ofstream out(out_path);
+    if (!out) {
+      std::cerr << "cannot write " << out_path << "\n";
+      return 1;
+    }
+    out << result.to_json();
+    std::cout << "\nreport written to " << out_path << "\n";
+    if (!csv_path.empty()) {
+      std::ofstream csv(csv_path);
+      if (!csv) {
+        std::cerr << "cannot write " << csv_path << "\n";
+        return 1;
+      }
+      csv << result.to_csv();
+      std::cout << "per-slot CSV written to " << csv_path << "\n";
+    }
+  } catch (const std::exception& e) {
+    std::cerr << "fsc_rack: " << e.what() << "\n";
+    return 1;
+  }
+  return 0;
+}

@@ -1,0 +1,359 @@
+#include "coord/coupled_rack_engine.hpp"
+
+#include <future>
+#include <iomanip>
+#include <memory>
+#include <optional>
+#include <sstream>
+
+#include "core/controller.hpp"
+#include "core/policy_factory.hpp"
+#include "sim/instrumentation.hpp"
+#include "util/thread_pool.hpp"
+#include "util/units.hpp"
+
+namespace fsc {
+
+namespace {
+
+/// Everything one slot needs to advance between barriers, at a stable
+/// address (the Server keeps a pointer to the Rng, the Session keeps
+/// references to everything).  Construction order mirrors
+/// BatchRunner::run_server exactly so an uncoupled run is bit-identical.
+struct SlotRuntime {
+  Rng rng;
+  std::shared_ptr<const Workload> workload;
+  Server server;
+  std::unique_ptr<DtmPolicy> policy;
+  SimulationEngine engine;
+  DeadlineStatsSink deadline;
+  ThermalViolationSink thermal;
+  EnergyAccumulatorSink energy;
+  std::unique_ptr<SimulationEngine::Session> session;
+
+  double base_inlet_celsius = 0.0;
+  RunningStats inlet_stats;
+  double cap_limit_sum = 0.0;
+  std::size_t fan_override_rounds = 0;
+
+  SlotRuntime(const RackServerSpec& spec, const std::string& policy_name,
+              const SimulationParams& sim)
+      : rng(spec.seed),
+        workload(make_slot_workload(spec, rng)),
+        server(spec.server, spec.solution.initial_fan_rpm, rng),
+        policy(PolicyFactory::instance().make(policy_name, spec.solution)),
+        engine(sim) {
+    engine.add_sink(&deadline);
+    engine.add_sink(&thermal);
+    engine.add_sink(&energy);
+    session = std::make_unique<SimulationEngine::Session>(engine, server,
+                                                          *policy, *workload);
+    base_inlet_celsius = server.inlet_temperature();
+  }
+};
+
+}  // namespace
+
+std::size_t CoupledRackResult::pooled_deadline_violations() const noexcept {
+  std::size_t total = 0;
+  for (const CoupledSlotSummary& s : slots) total += s.deadline_violations;
+  return total;
+}
+
+CoupledRackEngine::CoupledRackEngine(CoupledRackParams params,
+                                     std::size_t threads)
+    : params_(std::move(params)), threads_(threads) {
+  require(threads_ > 0, "CoupledRackEngine: need at least one thread");
+  // Also validates positivity of both periods.
+  (void)derive_fan_divider(params_.rack.sim.cpu_period_s,
+                           params_.coord.coordination_period_s);
+}
+
+CoupledRackResult CoupledRackEngine::run() const {
+  const Rack rack(params_.rack);
+  const SimulationParams& sim = params_.rack.sim;
+  const SolutionConfig& solution = params_.rack.solution;
+
+  CoordinatorConfig cfg = params_.coord;
+  cfg.num_slots = rack.size();
+  cfg.thermal_limit_celsius = sim.thermal_limit_celsius;
+  cfg.fan_min_rpm = solution.fan_params.min_speed_rpm;
+  cfg.fan_max_rpm = solution.fan_params.max_speed_rpm;
+  cfg.cpu_power = solution.cpu_power;  // nominal datasheet model
+  const auto coordinator =
+      PolicyFactory::instance().make_coordinator(params_.coordinator, cfg);
+  coordinator->reset();
+
+  const long periods_per_round =
+      derive_fan_divider(sim.cpu_period_s, cfg.coordination_period_s);
+
+  std::vector<std::unique_ptr<SlotRuntime>> slots;
+  slots.reserve(rack.size());
+  for (const RackServerSpec& spec : rack.servers()) {
+    slots.push_back(
+        std::make_unique<SlotRuntime>(spec, params_.rack.policy, sim));
+  }
+
+  std::optional<SharedPlenumModel> plenum;
+  if (params_.plenum_enabled) {
+    std::vector<double> base_inlets;
+    base_inlets.reserve(slots.size());
+    for (const auto& rt : slots) base_inlets.push_back(rt->base_inlet_celsius);
+    plenum.emplace(params_.plenum, std::move(base_inlets));
+  }
+
+  std::size_t rounds = 0;
+  {
+    ThreadPool pool(threads_);
+    while (!slots.front()->session->done()) {
+      // Chunk: every slot advances one coordination period, in parallel —
+      // slots only interact at the barrier below, so task order is free.
+      std::vector<std::future<void>> futures;
+      futures.reserve(slots.size());
+      for (const auto& rt_ptr : slots) {
+        SlotRuntime* rt = rt_ptr.get();
+        futures.push_back(pool.submit([rt, periods_per_round] {
+          for (long i = 0; i < periods_per_round && !rt->session->done(); ++i) {
+            rt->session->step_period();
+          }
+        }));
+      }
+      for (auto& f : futures) f.get();  // barrier; rethrows worker exceptions
+      if (slots.front()->session->done()) break;  // run over: nothing to steer
+
+      // Deterministic barrier work, in slot order on this thread.
+      const double t = slots.front()->session->time_s();
+      std::vector<SlotObservation> observations;
+      observations.reserve(slots.size());
+      for (const auto& rt : slots) {
+        SlotObservation o;
+        o.index = observations.size();
+        o.time_s = t;
+        o.measured_temp = rt->server.measured_temp();
+        o.inlet_celsius = rt->server.inlet_temperature();
+        o.fan_cmd_rpm = rt->session->applied_fan_cmd();
+        o.fan_requested_rpm = rt->session->last_requested_fan();
+        o.fan_actual_rpm = rt->server.fan_speed_actual();
+        o.cap = rt->session->applied_cap();
+        o.demand = rt->session->window_mean_demand();
+        o.executed = rt->session->window_mean_executed();
+        o.cpu_watts = rt->server.cpu_power_now(o.executed);
+        observations.push_back(o);
+        rt->session->reset_window();
+      }
+
+      const std::vector<SlotDirective> directives =
+          coordinator->coordinate(t, observations);
+      require(directives.size() == slots.size(),
+              "CoupledRackEngine: coordinator must return one directive per slot");
+      for (std::size_t i = 0; i < slots.size(); ++i) {
+        SlotRuntime& rt = *slots[i];
+        const SlotDirective& d = directives[i];
+        if (d.has_fan_override()) {
+          rt.session->set_fan_override(d.fan_override_rpm);
+          ++rt.fan_override_rounds;
+        } else {
+          rt.session->clear_fan_override();
+        }
+        rt.session->set_cap_limit(d.cap_limit);
+        rt.cap_limit_sum += d.cap_limit;
+      }
+
+      if (plenum) {
+        std::vector<PlenumSlotState> states;
+        states.reserve(slots.size());
+        for (const SlotObservation& o : observations) {
+          states.push_back(PlenumSlotState{o.cpu_watts, o.fan_actual_rpm});
+        }
+        const std::vector<double> inlets = plenum->inlet_temperatures(states);
+        for (std::size_t i = 0; i < slots.size(); ++i) {
+          slots[i]->server.set_inlet_temperature(inlets[i]);
+        }
+      }
+      for (const auto& rt : slots) {
+        rt->inlet_stats.add(rt->server.inlet_temperature());
+      }
+      ++rounds;
+    }
+  }
+
+  CoupledRackResult out;
+  out.coordinator = params_.coordinator;
+  out.policy = params_.rack.policy;
+  out.coordination_rounds = rounds;
+  out.slots.reserve(slots.size());
+  std::size_t pooled_periods = 0;
+  std::size_t pooled_violations = 0;
+  double thermal_violation_sum = 0.0;
+  for (std::size_t i = 0; i < slots.size(); ++i) {
+    SlotRuntime& rt = *slots[i];
+    const double duration = rt.session->finish();
+    if (rounds == 0) {
+      // The whole run fit inside one coordination period, so no barrier
+      // ever sampled the inlets: report the (constant) base inlet instead
+      // of empty-stats sentinels.
+      rt.inlet_stats.add(rt.server.inlet_temperature());
+    }
+
+    CoupledSlotSummary s;
+    s.index = i;
+    s.seed = rack.server(i).seed;
+    s.duration_s = duration;
+    s.deadline_periods = rt.deadline.deadline().periods();
+    s.deadline_violations = rt.deadline.deadline().violations();
+    s.result.name = "slot-" + std::to_string(i);
+    s.result.deadline_violation_percent = rt.deadline.deadline().violation_percent();
+    s.result.fan_energy_joules = rt.energy.fan_energy_joules();
+    s.result.cpu_energy_joules = rt.energy.cpu_energy_joules();
+    s.result.total_energy_joules =
+        s.result.fan_energy_joules + s.result.cpu_energy_joules;
+    s.result.mean_junction_celsius = rt.thermal.junction_stats().mean();
+    s.result.max_junction_celsius = rt.thermal.junction_stats().max();
+    s.result.thermal_violation_percent =
+        100.0 * rt.thermal.violation_fraction(duration);
+    s.inlet_stats = rt.inlet_stats;
+    s.mean_cap_limit =
+        rounds > 0 ? rt.cap_limit_sum / static_cast<double>(rounds) : 1.0;
+    s.fan_override_rounds = rt.fan_override_rounds;
+
+    out.duration_s = duration;
+    out.fan_energy_joules += s.result.fan_energy_joules;
+    out.cpu_energy_joules += s.result.cpu_energy_joules;
+    pooled_periods += s.deadline_periods;
+    pooled_violations += s.deadline_violations;
+    thermal_violation_sum += s.result.thermal_violation_percent;
+    out.max_junction_stats.add(s.result.max_junction_celsius);
+    out.mean_junction_stats.add(s.result.mean_junction_celsius);
+    out.slots.push_back(std::move(s));
+  }
+  out.total_energy_joules = out.fan_energy_joules + out.cpu_energy_joules;
+  out.deadline_violation_percent =
+      pooled_periods > 0 ? 100.0 * static_cast<double>(pooled_violations) /
+                               static_cast<double>(pooled_periods)
+                         : 0.0;
+  out.thermal_violation_percent =
+      out.slots.empty()
+          ? 0.0
+          : thermal_violation_sum / static_cast<double>(out.slots.size());
+  return out;
+}
+
+std::string CoupledRackResult::to_table() const {
+  std::ostringstream os;
+  os << std::fixed;
+  os << "slot  ddl-viol%  thr-viol%  fan-kJ    cpu-kJ    maxTj  inlet(mean/max)  "
+        "capL   fan-ovr\n";
+  for (const CoupledSlotSummary& s : slots) {
+    os << std::setw(4) << s.index << "  " << std::setprecision(3) << std::setw(9)
+       << s.result.deadline_violation_percent << "  " << std::setw(9)
+       << s.result.thermal_violation_percent << "  " << std::setprecision(1)
+       << std::setw(8) << s.result.fan_energy_joules / 1000.0 << "  "
+       << std::setw(8) << s.result.cpu_energy_joules / 1000.0 << "  "
+       << std::setw(5) << s.result.max_junction_celsius << "  " << std::setw(6)
+       << s.inlet_stats.mean() << "/" << std::setw(5) << s.inlet_stats.max()
+       << "  " << std::setprecision(2) << std::setw(5) << s.mean_cap_limit
+       << "  " << std::setw(7) << s.fan_override_rounds << "\n";
+  }
+  os << "---\n";
+  os << "coordinator            : " << coordinator << " (policy " << policy
+     << ")\n";
+  os << "slots / rounds         : " << slots.size() << " / "
+     << coordination_rounds << "\n";
+  os << std::setprecision(3);
+  os << "pooled deadline viol   : " << deadline_violation_percent << " %\n";
+  os << "mean thermal viol      : " << thermal_violation_percent << " %\n";
+  os << std::setprecision(1);
+  os << "rack fan energy        : " << fan_energy_joules / 1000.0 << " kJ\n";
+  os << "rack cpu energy        : " << cpu_energy_joules / 1000.0 << " kJ\n";
+  os << "rack total energy      : " << total_energy_joules / 1000.0 << " kJ\n";
+  os << "per-slot max Tj        : mean " << max_junction_stats.mean()
+     << " degC, worst " << max_junction_stats.max() << " degC\n";
+  return os.str();
+}
+
+std::string CoupledRackResult::to_json() const {
+  std::ostringstream os;
+  os << std::setprecision(10);
+  os << "{\n";
+  os << "  \"coordinator\": \"" << coordinator << "\",\n";
+  os << "  \"policy\": \"" << policy << "\",\n";
+  os << "  \"slots\": " << slots.size() << ",\n";
+  os << "  \"duration_s\": " << duration_s << ",\n";
+  os << "  \"coordination_rounds\": " << coordination_rounds << ",\n";
+  os << "  \"totals\": {\n";
+  os << "    \"fan_energy_j\": " << fan_energy_joules << ",\n";
+  os << "    \"cpu_energy_j\": " << cpu_energy_joules << ",\n";
+  os << "    \"total_energy_j\": " << total_energy_joules << ",\n";
+  os << "    \"deadline_violation_pct\": " << deadline_violation_percent << ",\n";
+  os << "    \"deadline_violations\": " << pooled_deadline_violations() << ",\n";
+  os << "    \"thermal_violation_pct\": " << thermal_violation_percent << ",\n";
+  os << "    \"worst_max_junction_c\": " << max_junction_stats.max() << "\n";
+  os << "  },\n";
+  os << "  \"per_slot\": [\n";
+  for (std::size_t i = 0; i < slots.size(); ++i) {
+    const CoupledSlotSummary& s = slots[i];
+    os << "    {\"slot\": " << s.index << ", \"seed\": " << s.seed
+       << ", \"deadline_violation_pct\": " << s.result.deadline_violation_percent
+       << ", \"thermal_violation_pct\": " << s.result.thermal_violation_percent
+       << ", \"fan_energy_j\": " << s.result.fan_energy_joules
+       << ", \"cpu_energy_j\": " << s.result.cpu_energy_joules
+       << ", \"max_junction_c\": " << s.result.max_junction_celsius
+       << ", \"mean_inlet_c\": " << s.inlet_stats.mean()
+       << ", \"max_inlet_c\": " << s.inlet_stats.max()
+       << ", \"mean_cap_limit\": " << s.mean_cap_limit
+       << ", \"fan_override_rounds\": " << s.fan_override_rounds << "}"
+       << (i + 1 < slots.size() ? "," : "") << "\n";
+  }
+  os << "  ]\n";
+  os << "}\n";
+  return os.str();
+}
+
+std::string CoupledRackResult::to_csv() const {
+  std::ostringstream os;
+  os << std::setprecision(10);
+  os << "slot,seed,deadline_violation_pct,thermal_violation_pct,fan_energy_j,"
+        "cpu_energy_j,total_energy_j,mean_junction_c,max_junction_c,"
+        "mean_inlet_c,max_inlet_c,mean_cap_limit,fan_override_rounds\n";
+  for (const CoupledSlotSummary& s : slots) {
+    os << s.index << "," << s.seed << "," << s.result.deadline_violation_percent
+       << "," << s.result.thermal_violation_percent << ","
+       << s.result.fan_energy_joules << "," << s.result.cpu_energy_joules << ","
+       << s.result.total_energy_joules << "," << s.result.mean_junction_celsius
+       << "," << s.result.max_junction_celsius << "," << s.inlet_stats.mean()
+       << "," << s.inlet_stats.max() << "," << s.mean_cap_limit << ","
+       << s.fan_override_rounds << "\n";
+  }
+  return os.str();
+}
+
+CoupledRackParams default_coupled_scenario(std::uint64_t seed,
+                                           double duration_s) {
+  require(duration_s > 0.0, "default_coupled_scenario: duration must be > 0");
+  CoupledRackParams p;
+  p.rack.num_servers = 8;
+  p.rack.base_seed = seed;
+  p.rack.policy = "r-coord+a-tref+ss-fan";
+  p.rack.sim.duration_s = duration_s;
+  p.rack.sim.initial_utilization = 0.1;
+  // Contended rack: heavier square load with frequent saturation spikes —
+  // the regime where fan arbitration and budget capping have work to do.
+  p.rack.workload.base.low = 0.25;
+  p.rack.workload.base.high = 0.85;
+  p.rack.workload.base.duration_s = duration_s;
+  p.rack.workload.spike_rate_per_s = 1.0 / 150.0;
+  p.rack.workload.spike_duration_s = 30.0;
+  // Dense chassis: strong recirculation through a tight plenum.
+  p.plenum.recirculation_fraction = 0.15;
+  p.plenum.neighbor_decay = 0.5;
+  p.coord.coordination_period_s = 30.0;
+  p.coord.fan_zone_size = 4;
+  // Budget well below the rack's aggregate peak draw (8 x 160 W = 1280 W)
+  // and below the high-phase mean (~1200 W), so the high half of the square
+  // wave oversubscribes it and water-filling has to arbitrate: the rack
+  // trades deadline slack for a solid total-energy cut.
+  p.coord.rack_power_budget_watts = 1000.0;
+  return p;
+}
+
+}  // namespace fsc

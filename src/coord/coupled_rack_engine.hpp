@@ -1,0 +1,122 @@
+// Lockstep rack simulation: N servers advanced as ONE coupled plant.
+//
+// The BatchRunner (rack/batch_runner.hpp) fans N *independent* runs across
+// a thread pool — correct for embarrassingly parallel sweeps, but unable to
+// express any physics or control that crosses a chassis boundary.  The
+// CoupledRackEngine closes both loops:
+//
+//   * physics coupling: a SharedPlenumModel (coord/plenum.hpp) recomputes
+//     every slot's inlet air temperature from its neighbors' exhaust at
+//     each coordination barrier;
+//   * control coupling: a RackCoordinator (selected by PolicyFactory name)
+//     may override fan commands (shared blower zones) and clamp CPU caps
+//     (rack power budgeting) between barriers.
+//
+// Execution model: the run is cut into coordination periods (a whole
+// multiple of the CPU control period).  Within a period every slot steps
+// its own SimulationEngine::Session — fanned out across the ThreadPool,
+// since slots do not interact mid-period — then a deterministic barrier
+// gathers observations in slot order, the coordinator issues directives,
+// and the plenum retargets the inlets.  Nothing depends on thread
+// scheduling, so results are bit-identical for any thread count; with the
+// "independent" coordinator and the plenum disabled they are bit-identical
+// to BatchRunner's (test_coord verifies both properties).
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "coord/coordinator.hpp"
+#include "coord/plenum.hpp"
+#include "metrics/energy_report.hpp"
+#include "rack/batch_runner.hpp"
+#include "rack/rack.hpp"
+#include "util/statistics.hpp"
+
+namespace fsc {
+
+/// Everything a coupled run needs: the rack (specs, slot policy, timing),
+/// the coordinator selection, and the coupling physics.
+struct CoupledRackParams {
+  RackParams rack;
+  std::string coordinator = "independent";  ///< PolicyFactory coordinator key
+  /// Coordinator configuration.  num_slots, thermal limit, fan envelope,
+  /// and the nominal power model are synced from `rack` by the engine so
+  /// callers only set the genuinely free knobs (zone size, budget, period).
+  CoordinatorConfig coord;
+  PlenumParams plenum;
+  bool plenum_enabled = true;
+};
+
+/// One slot's outcome plus its coordination exposure.
+struct CoupledSlotSummary {
+  std::size_t index = 0;
+  std::uint64_t seed = 0;
+  SolutionResult result;
+  std::size_t deadline_periods = 0;
+  std::size_t deadline_violations = 0;
+  double duration_s = 0.0;
+  RunningStats inlet_stats;            ///< applied inlet temp across barriers
+  double mean_cap_limit = 1.0;         ///< 1 = never budget-capped
+  std::size_t fan_override_rounds = 0; ///< barriers with a fan override
+};
+
+/// Rack-level aggregate of a coupled run.
+struct CoupledRackResult {
+  std::string coordinator;
+  std::string policy;
+  std::vector<CoupledSlotSummary> slots;  ///< slot order
+
+  double fan_energy_joules = 0.0;
+  double cpu_energy_joules = 0.0;
+  double total_energy_joules = 0.0;
+  double deadline_violation_percent = 0.0;  ///< pooled over all periods
+  double thermal_violation_percent = 0.0;   ///< mean over slots
+  RunningStats max_junction_stats;
+  RunningStats mean_junction_stats;
+  double duration_s = 0.0;
+  std::size_t coordination_rounds = 0;
+
+  std::size_t size() const noexcept { return slots.size(); }
+  std::size_t pooled_deadline_violations() const noexcept;
+
+  /// Fixed-width per-slot + aggregate report.
+  std::string to_table() const;
+  /// Machine-readable report (totals + per-slot rows), schema documented
+  /// in the fsc_rack example.
+  std::string to_json() const;
+  /// Per-slot CSV (one row per slot, aggregate columns).
+  std::string to_csv() const;
+};
+
+/// Steps a Rack as one coupled plant under a named RackCoordinator.
+class CoupledRackEngine {
+ public:
+  /// Validates thread count, coordination timing (the coordination period
+  /// must be a positive whole multiple of the CPU control period), and the
+  /// plenum parameters.  The coordinator name is resolved at run() so
+  /// late-registered coordinators work.
+  CoupledRackEngine(CoupledRackParams params, std::size_t threads);
+
+  const CoupledRackParams& params() const noexcept { return params_; }
+  std::size_t threads() const noexcept { return threads_; }
+
+  /// Simulate the whole rack in lockstep and aggregate.  Deterministic for
+  /// a fixed CoupledRackParams regardless of `threads`.
+  CoupledRackResult run() const;
+
+ private:
+  CoupledRackParams params_;
+  std::size_t threads_;
+};
+
+/// The canonical 8-slot evaluation scenario shared by bench_coord_overhead,
+/// the fsc_rack CLI defaults, and test_coord: a contended rack (tight
+/// airflow, strong plenum recirculation, spiky load) where cross-server
+/// coordination has real work to do.  `seed` varies the jitter/workload
+/// draw, `duration_s` the simulated horizon.
+CoupledRackParams default_coupled_scenario(std::uint64_t seed = 42,
+                                           double duration_s = 900.0);
+
+}  // namespace fsc

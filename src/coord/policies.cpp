@@ -1,0 +1,138 @@
+#include "coord/policies.hpp"
+
+#include <algorithm>
+#include <memory>
+
+#include "core/policy_factory.hpp"
+#include "util/units.hpp"
+
+namespace fsc {
+
+IndependentCoordinator::IndependentCoordinator(const CoordinatorConfig&) {}
+
+std::vector<SlotDirective> IndependentCoordinator::coordinate(
+    double, const std::vector<SlotObservation>& slots) {
+  return std::vector<SlotDirective>(slots.size());
+}
+
+FanZoneCoordinator::FanZoneCoordinator(const CoordinatorConfig& cfg)
+    : zone_size_(cfg.fan_zone_size),
+      fan_min_rpm_(cfg.fan_min_rpm),
+      fan_max_rpm_(cfg.fan_max_rpm) {
+  require(zone_size_ > 0, "FanZoneCoordinator: zone size must be > 0");
+  require(fan_min_rpm_ >= 0.0 && fan_max_rpm_ > fan_min_rpm_,
+          "FanZoneCoordinator: need 0 <= min rpm < max rpm");
+}
+
+std::vector<SlotDirective> FanZoneCoordinator::coordinate(
+    double, const std::vector<SlotObservation>& slots) {
+  std::vector<SlotDirective> directives(slots.size());
+  for (std::size_t zone_start = 0; zone_start < slots.size();
+       zone_start += zone_size_) {
+    const std::size_t zone_end = std::min(zone_start + zone_size_, slots.size());
+    double zone_rpm = fan_min_rpm_;
+    for (std::size_t i = zone_start; i < zone_end; ++i) {
+      zone_rpm = std::max(zone_rpm, slots[i].fan_requested_rpm);
+    }
+    zone_rpm = clamp(zone_rpm, fan_min_rpm_, fan_max_rpm_);
+    for (std::size_t i = zone_start; i < zone_end; ++i) {
+      directives[i].fan_override_rpm = zone_rpm;
+    }
+  }
+  return directives;
+}
+
+PowerBudgetCoordinator::PowerBudgetCoordinator(const CoordinatorConfig& cfg)
+    : budget_watts_(cfg.effective_power_budget()),
+      min_cap_(cfg.min_cap),
+      cpu_power_(cfg.cpu_power) {
+  require(budget_watts_ > 0.0, "PowerBudgetCoordinator: budget must be > 0");
+  require(min_cap_ > 0.0 && min_cap_ <= 1.0,
+          "PowerBudgetCoordinator: min_cap must be in (0, 1]");
+  // Capping can only shed dynamic power: every slot draws at least
+  // power(min_cap) (idle + the guaranteed floor).  A budget below that
+  // aggregate is physically unenforceable — the rack would sit over
+  // budget forever while every slot is pinned at min_cap — so refuse it
+  // up front instead of silently failing to meet it.
+  const double floor_watts = static_cast<double>(cfg.num_slots) *
+                             cpu_power_.power(min_cap_);
+  require(cfg.num_slots == 0 || budget_watts_ >= floor_watts,
+          "PowerBudgetCoordinator: budget is below the rack's idle + min_cap "
+          "power floor and can never be met");
+}
+
+std::vector<double> PowerBudgetCoordinator::water_fill(
+    const std::vector<double>& demands_watts, double budget) {
+  std::vector<double> alloc(demands_watts.size(), 0.0);
+  std::vector<bool> granted(demands_watts.size(), false);
+  double remaining = budget;
+  std::size_t open = demands_watts.size();
+  // Each pass grants every slot whose demand fits under the current fair
+  // share and re-divides what they left on the table; terminates because a
+  // pass either grants someone or settles all open slots at the share.
+  while (open > 0) {
+    const double share = remaining / static_cast<double>(open);
+    bool granted_any = false;
+    for (std::size_t i = 0; i < demands_watts.size(); ++i) {
+      if (granted[i]) continue;
+      if (demands_watts[i] <= share) {
+        alloc[i] = demands_watts[i];
+        remaining -= alloc[i];
+        granted[i] = true;
+        --open;
+        granted_any = true;
+      }
+    }
+    if (!granted_any) {
+      for (std::size_t i = 0; i < demands_watts.size(); ++i) {
+        if (!granted[i]) alloc[i] = share;
+      }
+      break;
+    }
+  }
+  return alloc;
+}
+
+std::vector<SlotDirective> PowerBudgetCoordinator::coordinate(
+    double, const std::vector<SlotObservation>& slots) {
+  std::vector<SlotDirective> directives(slots.size());
+  std::vector<double> demand_watts;
+  demand_watts.reserve(slots.size());
+  double total = 0.0;
+  for (const SlotObservation& slot : slots) {
+    const double w = cpu_power_.power(slot.demand);
+    demand_watts.push_back(w);
+    total += w;
+  }
+  if (total <= budget_watts_) return directives;  // everyone unconstrained
+
+  const std::vector<double> alloc = water_fill(demand_watts, budget_watts_);
+  for (std::size_t i = 0; i < slots.size(); ++i) {
+    if (alloc[i] >= demand_watts[i] - 1e-12) continue;  // fully granted
+    const double cap = cpu_power_.utilization_for_power(alloc[i]);
+    directives[i].cap_limit = std::max(min_cap_, cap);
+  }
+  return directives;
+}
+
+void register_builtin_coordinators(PolicyFactory& factory) {
+  factory.register_coordinator(
+      "independent", "no cross-server coordination (baseline)",
+      [](const CoordinatorConfig& cfg) -> std::unique_ptr<RackCoordinator> {
+        return std::make_unique<IndependentCoordinator>(cfg);
+      });
+  factory.register_coordinator(
+      "shared-fan-zone",
+      "one blower per zone of K slots, speed = max member request",
+      [](const CoordinatorConfig& cfg) -> std::unique_ptr<RackCoordinator> {
+        return std::make_unique<FanZoneCoordinator>(cfg);
+      });
+  factory.register_coordinator(
+      "power-budget",
+      "rack power budget re-divided by max-min water-filling on demand",
+      [](const CoordinatorConfig& cfg) -> std::unique_ptr<RackCoordinator> {
+        return std::make_unique<PowerBudgetCoordinator>(cfg);
+      });
+}
+
+}  // namespace fsc

@@ -1,0 +1,87 @@
+// The built-in RackCoordinators.
+//
+//   independent       no cross-server action: every slot's own DtmPolicy
+//                     stays in full control (the baseline the coupled
+//                     engine's coordination benefit is measured against)
+//   shared-fan-zone   contiguous zones of K slots share one blower; the
+//                     zone speed is negotiated each coordination period as
+//                     the largest per-slot request, so the hottest machine
+//                     in a zone is never under-cooled by its neighbors
+//   power-budget      a rack-wide CPU power budget is re-divided by
+//                     max-min water-filling on demanded power: cool
+//                     (lightly loaded) slots donate the headroom they are
+//                     not using to hot (heavily loaded) ones, and only the
+//                     still-oversubscribed slots get capped
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "coord/coordinator.hpp"
+
+namespace fsc {
+
+/// Baseline: never constrains any slot.
+class IndependentCoordinator final : public RackCoordinator {
+ public:
+  explicit IndependentCoordinator(const CoordinatorConfig& cfg);
+  std::string name() const override { return "independent"; }
+  void reset() override {}
+  std::vector<SlotDirective> coordinate(
+      double time_s, const std::vector<SlotObservation>& slots) override;
+};
+
+/// One shared blower per zone of `fan_zone_size` contiguous slots: every
+/// slot in a zone is overridden with the zone's negotiated speed (the max
+/// of the member policies' own requests, clamped into the fan envelope).
+class FanZoneCoordinator final : public RackCoordinator {
+ public:
+  /// Throws std::invalid_argument when the zone size is 0.
+  explicit FanZoneCoordinator(const CoordinatorConfig& cfg);
+  std::string name() const override { return "shared-fan-zone"; }
+  void reset() override {}
+  std::vector<SlotDirective> coordinate(
+      double time_s, const std::vector<SlotObservation>& slots) override;
+
+  std::size_t zone_of(std::size_t slot) const noexcept {
+    return slot / zone_size_;
+  }
+
+ private:
+  std::size_t zone_size_;
+  double fan_min_rpm_;
+  double fan_max_rpm_;
+};
+
+/// Rack power budget arbitration: each coordination period the budget is
+/// re-divided across slots by max-min water-filling on the power each slot
+/// demanded last period; slots granted less than their demand get a cap
+/// limit at the utilization their allocation affords (never below
+/// `min_cap`).  When the rack's aggregate demand fits the budget no slot
+/// is constrained.
+class PowerBudgetCoordinator final : public RackCoordinator {
+ public:
+  /// Throws std::invalid_argument when the effective budget or min_cap is
+  /// non-positive.
+  explicit PowerBudgetCoordinator(const CoordinatorConfig& cfg);
+  std::string name() const override { return "power-budget"; }
+  void reset() override {}
+  std::vector<SlotDirective> coordinate(
+      double time_s, const std::vector<SlotObservation>& slots) override;
+
+  double budget_watts() const noexcept { return budget_watts_; }
+
+  /// The water-filling allocation itself (exposed for tests): divides
+  /// `budget` across `demands_watts` max-min fairly — every slot gets
+  /// min(demand, fair share), with unused share recursively redistributed.
+  static std::vector<double> water_fill(const std::vector<double>& demands_watts,
+                                        double budget);
+
+ private:
+  double budget_watts_;
+  double min_cap_;
+  CpuPowerModel cpu_power_;
+};
+
+}  // namespace fsc

@@ -4,6 +4,14 @@
 #include <sstream>
 #include <stdexcept>
 
+// Deliberate layering exception: core/ reaches up to coord/ for exactly
+// one symbol, register_builtin_coordinators(), so the built-in
+// coordinators are registered the moment the singleton exists (string
+// lookup must work from any entry point, and a self-registering static in
+// coord/ would be dropped by static-library linkers when nothing else
+// references its object file).  Splitting core/ into its own link target
+// would require moving this call to a coord/-side registrar.
+#include "coord/coordinator.hpp"
 #include "core/fan_only_policy.hpp"
 #include "util/units.hpp"
 
@@ -71,6 +79,71 @@ PolicyFactory::PolicyFactory() {
                     return std::make_unique<StaticFanPolicy>(
                         rpm, cfg.fixed_reference_celsius);
                   });
+  register_builtin_coordinators(*this);
+}
+
+void PolicyFactory::register_coordinator(std::string name,
+                                         std::string description,
+                                         CoordinatorBuilder builder) {
+  require(!name.empty(), "PolicyFactory: coordinator name must not be empty");
+  require(static_cast<bool>(builder),
+          "PolicyFactory: coordinator builder must not be null");
+  std::lock_guard<std::mutex> lock(mutex_);
+  if (find_coordinator_locked(name) != nullptr) {
+    throw std::invalid_argument("PolicyFactory: coordinator '" + name +
+                                "' already registered");
+  }
+  coordinator_entries_.emplace_back(
+      std::move(name),
+      CoordinatorEntry{std::move(description), std::move(builder)});
+}
+
+bool PolicyFactory::contains_coordinator(const std::string& name) const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return find_coordinator_locked(name) != nullptr;
+}
+
+std::unique_ptr<RackCoordinator> PolicyFactory::make_coordinator(
+    const std::string& name, const CoordinatorConfig& cfg) const {
+  CoordinatorBuilder builder;
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    const CoordinatorEntry* entry = find_coordinator_locked(name);
+    if (entry == nullptr) {
+      std::ostringstream msg;
+      msg << "PolicyFactory: unknown coordinator '" << name << "'; known:";
+      for (const auto& [key, value] : coordinator_entries_) msg << " " << key;
+      throw std::out_of_range(msg.str());
+    }
+    builder = entry->builder;
+  }
+  return builder(cfg);
+}
+
+std::vector<std::string> PolicyFactory::coordinator_names() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  std::vector<std::string> out;
+  out.reserve(coordinator_entries_.size());
+  for (const auto& [key, value] : coordinator_entries_) out.push_back(key);
+  std::sort(out.begin(), out.end());
+  return out;
+}
+
+std::string PolicyFactory::describe_coordinator(const std::string& name) const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  const CoordinatorEntry* entry = find_coordinator_locked(name);
+  if (entry == nullptr) {
+    throw std::out_of_range("PolicyFactory: unknown coordinator '" + name + "'");
+  }
+  return entry->description;
+}
+
+const PolicyFactory::CoordinatorEntry* PolicyFactory::find_coordinator_locked(
+    const std::string& name) const {
+  for (const auto& [key, value] : coordinator_entries_) {
+    if (key == name) return &value;
+  }
+  return nullptr;
 }
 
 void PolicyFactory::register_policy(std::string name, std::string description,

@@ -8,6 +8,12 @@
 // research variants, ablations — register themselves by name and instantly
 // become available to every driver that selects policies by string (CLI
 // arguments, rack configs, sweep harnesses).
+//
+// The factory also carries the registry of *rack coordinators* (the
+// cross-server policies of coord/) under the same string-selection scheme:
+// "independent", "shared-fan-zone", and "power-budget" are pre-registered,
+// and the two namespaces are independent (a DtmPolicy and a coordinator
+// may share a name).
 #pragma once
 
 #include <functional>
@@ -22,6 +28,9 @@
 
 namespace fsc {
 
+class RackCoordinator;     // coord/coordinator.hpp
+struct CoordinatorConfig;  // coord/coordinator.hpp
+
 /// Process-wide policy registry.  Thread-safe: make()/names()/contains()
 /// may be called concurrently with each other (the rack batch runner
 /// constructs policies from worker threads); register_policy() is also
@@ -31,6 +40,10 @@ class PolicyFactory {
   /// Builds a configured policy from the shared SolutionConfig.
   using Builder =
       std::function<std::unique_ptr<DtmPolicy>(const SolutionConfig&)>;
+
+  /// Builds a configured rack coordinator from the shared CoordinatorConfig.
+  using CoordinatorBuilder =
+      std::function<std::unique_ptr<RackCoordinator>(const CoordinatorConfig&)>;
 
   /// The singleton, with the built-in policies pre-registered.
   static PolicyFactory& instance();
@@ -54,6 +67,28 @@ class PolicyFactory {
   /// absent.
   std::string describe(const std::string& name) const;
 
+  // ----- rack coordinator registry (same contract, separate namespace) ----
+
+  /// Register a coordinator under `name`.  Throws std::invalid_argument on
+  /// an empty name, a null builder, or a duplicate.
+  void register_coordinator(std::string name, std::string description,
+                            CoordinatorBuilder builder);
+
+  /// True when a coordinator named `name` is registered.
+  bool contains_coordinator(const std::string& name) const;
+
+  /// Construct the coordinator registered under `name`.
+  /// Throws std::out_of_range (listing the known names) when absent.
+  std::unique_ptr<RackCoordinator> make_coordinator(
+      const std::string& name, const CoordinatorConfig& cfg) const;
+
+  /// All registered coordinator names, sorted.
+  std::vector<std::string> coordinator_names() const;
+
+  /// Human-readable description of coordinator `name`; throws
+  /// std::out_of_range when absent.
+  std::string describe_coordinator(const std::string& name) const;
+
  private:
   PolicyFactory();
 
@@ -62,10 +97,17 @@ class PolicyFactory {
     Builder builder;
   };
 
+  struct CoordinatorEntry {
+    std::string description;
+    CoordinatorBuilder builder;
+  };
+
   mutable std::mutex mutex_;
   std::vector<std::pair<std::string, Entry>> entries_;  ///< insertion order
+  std::vector<std::pair<std::string, CoordinatorEntry>> coordinator_entries_;
 
   const Entry* find_locked(const std::string& name) const;
+  const CoordinatorEntry* find_coordinator_locked(const std::string& name) const;
 };
 
 /// Canonical registry key for a Table III solution (e.g. kRuleFixed ->

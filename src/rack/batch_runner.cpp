@@ -18,7 +18,7 @@ RackServerSummary BatchRunner::run_server(const RackServerSpec& spec,
                                           const std::string& policy,
                                           const SimulationParams& sim) {
   Rng rng(spec.seed);
-  const auto workload = make_spiky_workload(spec.workload, rng);
+  const auto workload = make_slot_workload(spec, rng);
   Server server(spec.server, spec.solution.initial_fan_rpm, rng);
   const auto dtm = PolicyFactory::instance().make(policy, spec.solution);
   const SimulationResult result = run_simulation(server, *dtm, *workload, sim);

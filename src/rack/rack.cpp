@@ -55,10 +55,23 @@ RackServerSpec make_spec(const RackParams& params, std::size_t index) {
     spec.workload.base.phase_s = jitter_rng.uniform(
         0.0, j.workload_phase_fraction * spec.workload.base.period_s);
   }
+
+  // Trace replay: round-robin over the supplied traces.  The jitter draws
+  // above still happen so plant spread (and any later switch back to
+  // synthetic) is independent of whether traces are attached.
+  if (!params.traces.empty()) {
+    spec.trace = params.traces[index % params.traces.size()];
+  }
   return spec;
 }
 
 }  // namespace
+
+std::shared_ptr<const Workload> make_slot_workload(const RackServerSpec& spec,
+                                                   Rng& rng) {
+  if (spec.trace != nullptr) return spec.trace;
+  return std::shared_ptr<const Workload>(make_spiky_workload(spec.workload, rng));
+}
 
 Rack::Rack(RackParams params) : params_(std::move(params)) {
   require(params_.num_servers > 0, "Rack: need at least one server");
@@ -68,6 +81,9 @@ Rack::Rack(RackParams params) : params_(std::move(params)) {
               params_.jitter.workload_level_fraction >= 0.0 &&
               params_.jitter.workload_phase_fraction >= 0.0,
           "Rack: jitter magnitudes must be >= 0");
+  for (const auto& trace : params_.traces) {
+    require(trace != nullptr, "Rack: traces must not contain null entries");
+  }
   specs_.reserve(params_.num_servers);
   for (std::size_t i = 0; i < params_.num_servers; ++i) {
     specs_.push_back(make_spec(params_, i));

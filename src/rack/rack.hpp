@@ -21,6 +21,7 @@
 
 #include <cstddef>
 #include <cstdint>
+#include <memory>
 #include <string>
 #include <vector>
 
@@ -28,6 +29,7 @@
 #include "sim/engine.hpp"
 #include "sim/server.hpp"
 #include "workload/synthetic.hpp"
+#include "workload/trace.hpp"
 
 namespace fsc {
 
@@ -53,6 +55,13 @@ struct RackParams {
   SpikyParams workload;         ///< template workload
   RackJitter jitter;
 
+  /// Recorded traces to replay instead of the synthetic template.  When
+  /// non-empty, slot i replays traces[i % traces.size()] verbatim (no
+  /// workload jitter — a real trace already carries its own phase and
+  /// level structure); plant jitter still applies.  Shared pointers so a
+  /// large trace is loaded once however many slots replay it.
+  std::vector<std::shared_ptr<const SampledWorkload>> traces;
+
   RackParams() { sim.record_trace = false; }
 };
 
@@ -63,8 +72,18 @@ struct RackServerSpec {
   std::uint64_t seed = 0;       ///< RNG stream for workload + sensor noise
   ServerParams server;          ///< jittered plant
   SolutionConfig solution;      ///< nominal controller configuration
-  SpikyParams workload;         ///< jittered workload
+  SpikyParams workload;         ///< jittered workload (synthetic fallback)
+  /// Recorded trace this slot replays; null means "generate the synthetic
+  /// workload from `workload` + seed".
+  std::shared_ptr<const SampledWorkload> trace;
 };
+
+/// The one place a slot's demand source is materialised: the spec's trace
+/// when present (no RNG consumed), else the seeded synthetic spiky
+/// workload.  BatchRunner and the coupled rack engine both build through
+/// this so trace-driven and synthetic slots are interchangeable.
+std::shared_ptr<const Workload> make_slot_workload(const RackServerSpec& spec,
+                                                   Rng& rng);
 
 /// Builds and holds the per-server specs.
 class Rack {

@@ -20,97 +20,156 @@ void SimulationEngine::add_sink(InstrumentationSink* sink) {
   sinks_.push_back(sink);
 }
 
-double SimulationEngine::run(Server& server, DtmPolicy& policy,
-                             const Workload& workload) const {
-  policy.reset();
-  server.reset_energy();
-  server.settle(params_.initial_utilization, server.fan_speed_commanded());
+SimulationEngine::Session::Session(const SimulationEngine& engine,
+                                   Server& server, DtmPolicy& policy,
+                                   const Workload& workload)
+    : engine_(engine), server_(server), policy_(policy), workload_(workload) {
+  const SimulationParams& params = engine_.params_;
+  policy_.reset();
+  server_.reset_energy();
+  server_.settle(params.initial_utilization, server_.fan_speed_commanded());
 
-  const long physics_per_period =
-      std::lround(params_.cpu_period_s / params_.physics_dt_s);
-  const long periods =
-      static_cast<long>(std::ceil(params_.duration_s / params_.cpu_period_s));
-  const long record_every = std::max<long>(
-      1, std::lround(params_.record_period_s / params_.cpu_period_s));
+  physics_per_period_ = std::lround(params.cpu_period_s / params.physics_dt_s);
+  total_periods_ =
+      static_cast<long>(std::ceil(params.duration_s / params.cpu_period_s));
+  record_every_ = std::max<long>(
+      1, std::lround(params.record_period_s / params.cpu_period_s));
 
-  for (InstrumentationSink* sink : sinks_) sink->on_run_begin(params_, server);
+  fan_cmd_ = server_.fan_speed_commanded();
+  last_requested_fan_ = fan_cmd_;
+  prev_demand_ = params.initial_utilization;
+  prev_executed_ = params.initial_utilization;
 
-  double cap = 1.0;
-  double fan_cmd = server.fan_speed_commanded();
-  double prev_demand = params_.initial_utilization;
-  double prev_executed = params_.initial_utilization;
-  double last_degradation = 0.0;
+  for (InstrumentationSink* sink : engine_.sinks_) {
+    sink->on_run_begin(params, server_);
+  }
+}
 
-  for (long k = 0; k < periods; ++k) {
-    const double t = static_cast<double>(k) * params_.cpu_period_s;
+double SimulationEngine::Session::time_s() const noexcept {
+  return static_cast<double>(period_) * engine_.params_.cpu_period_s;
+}
 
-    // Policy decision at the period boundary: it sees the current (lagged)
-    // measurement and the previous period's observable utilization.
-    DtmInputs in;
-    in.time_s = t;
-    in.measured_temp = server.measured_temp();
-    in.quantization_step = server.quantization_step();
-    in.fan_speed_cmd = fan_cmd;
-    in.fan_speed_actual = server.fan_speed_actual();
-    in.cpu_cap = cap;
-    in.demand = prev_demand;
-    in.executed = prev_executed;
-    in.last_degradation = last_degradation;
-    const DtmOutputs out = policy.step(in);
-    fan_cmd = out.fan_speed_cmd;
-    cap = clamp_utilization(out.cpu_cap);
-    server.command_fan(fan_cmd);
+void SimulationEngine::Session::set_cap_limit(double limit) {
+  require(limit >= 0.0 && limit <= 1.0,
+          "Session::set_cap_limit: limit must be in [0, 1]");
+  cap_limit_ = limit;
+}
 
-    // This period's workload executes under the new cap.
-    const double demand = workload.demand(t);
-    const double executed = std::min(demand, cap);
-    last_degradation = std::max(0.0, demand - cap);
+void SimulationEngine::Session::set_fan_override(double rpm) {
+  require(rpm >= 0.0, "Session::set_fan_override: speed must be >= 0");
+  fan_override_rpm_ = rpm;
+}
 
-    PeriodSample sample;
-    sample.period_index = k;
-    sample.time_s = t;
-    sample.demand = demand;
-    sample.cap = cap;
-    sample.executed = executed;
-    sample.fan_cmd_rpm = fan_cmd;
-    sample.server = &server;
-    sample.policy = &policy;
-    for (InstrumentationSink* sink : sinks_) sink->on_period(sample);
+void SimulationEngine::Session::step_period() {
+  if (done()) return;
+  const SimulationParams& params = engine_.params_;
+  const long k = period_;
+  const double t = static_cast<double>(k) * params.cpu_period_s;
 
-    if (params_.record_trace && k % record_every == 0) {
-      TraceRecord rec;
-      rec.time_s = t;
-      rec.demand = demand;
-      rec.cap = cap;
-      rec.executed = executed;
-      rec.fan_cmd_rpm = fan_cmd;
-      rec.fan_actual_rpm = server.fan_speed_actual();
-      rec.junction_celsius = server.true_junction();
-      rec.heat_sink_celsius = server.true_heat_sink();
-      rec.measured_celsius = server.measured_temp();
-      rec.reference_celsius = policy.reference_temp();
-      rec.cpu_watts = server.cpu_power_now(executed);
-      rec.fan_watts = server.fan_power_now();
-      for (InstrumentationSink* sink : sinks_) sink->on_record(rec);
-    }
+  // Policy decision at the period boundary: it sees the current (lagged)
+  // measurement and the previous period's observable utilization.  Its
+  // "current command" is its OWN last request, not the post-override one:
+  // policies hold their command between fan instants by echoing
+  // fan_speed_cmd back, so feeding the override through would overwrite
+  // the slot's genuine request with the zone speed (a one-way ratchet —
+  // arbitration could never lower the zone again).  Without an override
+  // the two values coincide and the classic path is unchanged.
+  DtmInputs in;
+  in.time_s = t;
+  in.measured_temp = server_.measured_temp();
+  in.quantization_step = server_.quantization_step();
+  in.fan_speed_cmd = last_requested_fan_;
+  in.fan_speed_actual = server_.fan_speed_actual();
+  in.cpu_cap = cap_;
+  in.demand = prev_demand_;
+  in.executed = prev_executed_;
+  in.last_degradation = last_degradation_;
+  const DtmOutputs out = policy_.step(in);
+  last_requested_fan_ = out.fan_speed_cmd;
+  fan_cmd_ = fan_overridden() ? fan_override_rpm_ : out.fan_speed_cmd;
+  cap_ = std::min(clamp_utilization(out.cpu_cap), cap_limit_);
+  server_.command_fan(fan_cmd_);
 
-    // Physics for the rest of the period.
-    for (long i = 0; i < physics_per_period; ++i) {
-      server.step(executed, params_.physics_dt_s);
-      PhysicsSample phys;
-      phys.time_s = t + static_cast<double>(i + 1) * params_.physics_dt_s;
-      phys.dt_s = params_.physics_dt_s;
-      phys.server = &server;
-      for (InstrumentationSink* sink : sinks_) sink->on_physics_step(phys);
-    }
+  // This period's workload executes under the new cap.
+  const double demand = workload_.demand(t);
+  const double executed = std::min(demand, cap_);
+  // The policy is only told about degradation it could cure by raising its
+  // own cap: demand above an externally imposed cap limit is the rack
+  // manager's doing (the firmware knows that cap), and reporting it would
+  // make recovery heuristics (e.g. single-step fan boosts) fight a clamp
+  // they cannot move.  With no external limit this is max(0, demand - cap).
+  last_degradation_ = std::max(0.0, std::min(demand, cap_limit_) - cap_);
 
-    prev_demand = demand;
-    prev_executed = executed;
+  PeriodSample sample;
+  sample.period_index = k;
+  sample.time_s = t;
+  sample.demand = demand;
+  sample.cap = cap_;
+  sample.executed = executed;
+  sample.fan_cmd_rpm = fan_cmd_;
+  sample.server = &server_;
+  sample.policy = &policy_;
+  for (InstrumentationSink* sink : engine_.sinks_) sink->on_period(sample);
+
+  if (params.record_trace && k % record_every_ == 0) {
+    TraceRecord rec;
+    rec.time_s = t;
+    rec.demand = demand;
+    rec.cap = cap_;
+    rec.executed = executed;
+    rec.fan_cmd_rpm = fan_cmd_;
+    rec.fan_actual_rpm = server_.fan_speed_actual();
+    rec.junction_celsius = server_.true_junction();
+    rec.heat_sink_celsius = server_.true_heat_sink();
+    rec.measured_celsius = server_.measured_temp();
+    rec.reference_celsius = policy_.reference_temp();
+    rec.cpu_watts = server_.cpu_power_now(executed);
+    rec.fan_watts = server_.fan_power_now();
+    for (InstrumentationSink* sink : engine_.sinks_) sink->on_record(rec);
   }
 
-  const double duration = static_cast<double>(periods) * params_.cpu_period_s;
-  for (InstrumentationSink* sink : sinks_) sink->on_run_end(server, duration);
+  // Physics for the rest of the period.
+  for (long i = 0; i < physics_per_period_; ++i) {
+    server_.step(executed, params.physics_dt_s);
+    PhysicsSample phys;
+    phys.time_s = t + static_cast<double>(i + 1) * params.physics_dt_s;
+    phys.dt_s = params.physics_dt_s;
+    phys.server = &server_;
+    for (InstrumentationSink* sink : engine_.sinks_) sink->on_physics_step(phys);
+  }
+
+  prev_demand_ = demand;
+  prev_executed_ = executed;
+  window_demand_sum_ += demand;
+  window_executed_sum_ += executed;
+  ++window_periods_;
+  ++period_;
+}
+
+double SimulationEngine::Session::window_mean_demand() const noexcept {
+  if (window_periods_ == 0) return prev_demand_;
+  return window_demand_sum_ / static_cast<double>(window_periods_);
+}
+
+double SimulationEngine::Session::window_mean_executed() const noexcept {
+  if (window_periods_ == 0) return prev_executed_;
+  return window_executed_sum_ / static_cast<double>(window_periods_);
+}
+
+double SimulationEngine::Session::finish() {
+  const double duration =
+      static_cast<double>(total_periods_) * engine_.params_.cpu_period_s;
+  for (InstrumentationSink* sink : engine_.sinks_) {
+    sink->on_run_end(server_, duration);
+  }
   return duration;
+}
+
+double SimulationEngine::run(Server& server, DtmPolicy& policy,
+                             const Workload& workload) const {
+  Session session(*this, server, policy, workload);
+  while (!session.done()) session.step_period();
+  return session.finish();
 }
 
 }  // namespace fsc

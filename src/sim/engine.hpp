@@ -108,6 +108,101 @@ class SimulationEngine {
 
   const SimulationParams& params() const noexcept { return params_; }
 
+  /// Resumable per-period stepping over one (server, policy, workload)
+  /// triple.  run() is exactly `Session s(...); while (!s.done())
+  /// s.step_period(); s.finish();` — the Session exists so lockstep
+  /// multi-server drivers (coord/CoupledRackEngine) can advance many
+  /// plants a few periods at a time and coordinate between chunks.
+  ///
+  /// Between periods a coordinator may constrain the next decisions:
+  /// set_cap_limit() clamps the applied CPU cap below the policy's own
+  /// output, and set_fan_override() replaces the policy's fan command (the
+  /// policy still runs and its request is retained for arbitration via
+  /// last_requested_fan()).  Both default to "policy in full control", in
+  /// which case the step sequence is bit-identical to the classic run().
+  class Session {
+   public:
+    /// Resets the policy and energy meter, settles the server at the
+    /// initial operating point, and publishes on_run_begin.  All referenced
+    /// objects must outlive the session.
+    Session(const SimulationEngine& engine, Server& server, DtmPolicy& policy,
+            const Workload& workload);
+
+    /// Advance one CPU control period (policy decision + workload
+    /// resolution + physics substeps).  No-op once done().
+    void step_period();
+
+    /// Periods completed so far / total periods in the configured duration.
+    long periods_done() const noexcept { return period_; }
+    long total_periods() const noexcept { return total_periods_; }
+    bool done() const noexcept { return period_ >= total_periods_; }
+
+    /// Simulation time at the *next* period boundary.
+    double time_s() const noexcept;
+
+    /// Publish on_run_end and return the simulated duration.  Call once,
+    /// after done(); further step_period() calls are invalid.
+    double finish();
+
+    /// Cross-server coordination hooks (identity by default).
+    void set_cap_limit(double limit);
+    void clear_cap_limit() noexcept { cap_limit_ = 1.0; }
+    double cap_limit() const noexcept { return cap_limit_; }
+    void set_fan_override(double rpm);
+    void clear_fan_override() noexcept { fan_override_rpm_ = -1.0; }
+    bool fan_overridden() const noexcept { return fan_override_rpm_ >= 0.0; }
+
+    /// The policy's own fan request in the last period, before any
+    /// override (what a slot "asks" a shared blower for).  While an
+    /// override is active the policy keeps tracking its own request — it
+    /// is fed this value back as DtmInputs::fan_speed_cmd, not the
+    /// override — so arbitration stays bidirectional: a zone speed can
+    /// fall again once the members' own requests fall.
+    double last_requested_fan() const noexcept { return last_requested_fan_; }
+
+    /// Last period's resolved workload numbers (for observations).
+    double last_demand() const noexcept { return prev_demand_; }
+    double last_executed() const noexcept { return prev_executed_; }
+    double applied_cap() const noexcept { return cap_; }
+    double applied_fan_cmd() const noexcept { return fan_cmd_; }
+
+    /// Mean demanded/executed utilization since the last reset_window()
+    /// (falls back to the last period's value for an empty window).  Lets a
+    /// coordinator see the whole coordination period, not one sample of a
+    /// spiky workload.
+    double window_mean_demand() const noexcept;
+    double window_mean_executed() const noexcept;
+    void reset_window() noexcept {
+      window_demand_sum_ = 0.0;
+      window_executed_sum_ = 0.0;
+      window_periods_ = 0;
+    }
+
+    const Server& server() const noexcept { return server_; }
+    const DtmPolicy& policy() const noexcept { return policy_; }
+
+   private:
+    const SimulationEngine& engine_;
+    Server& server_;
+    DtmPolicy& policy_;
+    const Workload& workload_;
+    long physics_per_period_ = 0;
+    long total_periods_ = 0;
+    long record_every_ = 1;
+    long period_ = 0;
+    double cap_ = 1.0;
+    double fan_cmd_ = 0.0;
+    double prev_demand_ = 0.0;
+    double prev_executed_ = 0.0;
+    double last_degradation_ = 0.0;
+    double cap_limit_ = 1.0;
+    double fan_override_rpm_ = -1.0;  ///< < 0 means "no override"
+    double last_requested_fan_ = 0.0;
+    double window_demand_sum_ = 0.0;
+    double window_executed_sum_ = 0.0;
+    long window_periods_ = 0;
+  };
+
   /// Run `policy` against `server` under `workload`.
   ///
   /// The server is settled at (initial_utilization, current fan command)

@@ -65,6 +65,16 @@ class Server {
   double fan_speed_actual() const noexcept { return actuator_.speed(); }
   double fan_speed_commanded() const noexcept { return actuator_.commanded(); }
 
+  /// Shared-plenum coupling: retarget the heat-sink inlet air temperature
+  /// mid-run (one server's exhaust preheating its neighbors' intake).  The
+  /// plant relaxes toward the new ambient over subsequent steps.
+  void set_inlet_temperature(double celsius) noexcept {
+    params_.thermal.set_ambient(celsius);
+  }
+  double inlet_temperature() const noexcept {
+    return params_.thermal.params().ambient_celsius;
+  }
+
   /// Instantaneous power at the current state and given utilization.
   double cpu_power_now(double u_executed) const noexcept {
     return params_.cpu_power.power(u_executed);

@@ -68,6 +68,11 @@ class ServerThermalModel {
   /// limit.
   double min_speed_for_junction_limit(double cpu_watts, double limit_celsius) const;
 
+  /// Retarget the heat-sink inlet (ambient) air temperature.  Used by the
+  /// shared-plenum rack coupling: the thermal state is untouched and
+  /// relaxes toward the new ambient through subsequent step() calls.
+  void set_ambient(double celsius) noexcept { params_.ambient_celsius = celsius; }
+
   /// Current plant state.
   ThermalState state() const noexcept {
     return ThermalState{heat_sink_node_.temperature(), die_node_.temperature()};

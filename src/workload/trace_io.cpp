@@ -1,6 +1,8 @@
 #include "workload/trace_io.hpp"
 
+#include <algorithm>
 #include <cmath>
+#include <filesystem>
 #include <fstream>
 #include <sstream>
 #include <stdexcept>
@@ -25,7 +27,12 @@ std::string workload_to_csv(const Workload& w, double duration_s,
   return out.str();
 }
 
-std::unique_ptr<SampledWorkload> workload_from_csv(const std::string& csv_text) {
+std::unique_ptr<SampledWorkload> workload_from_csv(const std::string& csv_text,
+                                                   double single_row_period_s) {
+  require(single_row_period_s > 0.0,
+          "workload_from_csv: single-row period must be > 0");
+  // parse_csv already skips blank lines and strips CR, so CRLF files and
+  // trailing newlines arrive here as clean rows.
   const CsvTable table = parse_csv(csv_text);
   std::vector<double> times, utils;
   try {
@@ -35,7 +42,7 @@ std::unique_ptr<SampledWorkload> workload_from_csv(const std::string& csv_text) 
     throw std::runtime_error(std::string("workload_from_csv: ") + e.what());
   }
   if (times.empty()) throw std::runtime_error("workload_from_csv: empty trace");
-  double period = 1.0;
+  double period = single_row_period_s;
   if (times.size() >= 2) {
     period = times[1] - times[0];
     if (period <= 0.0) throw std::runtime_error("workload_from_csv: non-increasing time");
@@ -58,12 +65,50 @@ void save_workload(const Workload& w, double duration_s, double sample_period_s,
   out << workload_to_csv(w, duration_s, sample_period_s);
 }
 
-std::unique_ptr<SampledWorkload> load_workload(const std::string& path) {
+std::unique_ptr<SampledWorkload> load_workload(const std::string& path,
+                                               double single_row_period_s) {
   std::ifstream in(path);
   if (!in) throw std::runtime_error("load_workload: cannot open " + path);
   std::ostringstream buf;
   buf << in.rdbuf();
-  return workload_from_csv(buf.str());
+  return workload_from_csv(buf.str(), single_row_period_s);
+}
+
+std::vector<std::string> list_trace_files(const std::string& dir) {
+  namespace fs = std::filesystem;
+  std::error_code ec;
+  if (!fs::is_directory(dir, ec)) {
+    throw std::runtime_error("list_trace_files: not a directory: " + dir);
+  }
+  std::vector<std::string> paths;
+  for (const auto& entry : fs::directory_iterator(dir)) {
+    if (!entry.is_regular_file()) continue;
+    if (entry.path().extension() == ".csv") {
+      paths.push_back(entry.path().string());
+    }
+  }
+  // directory_iterator order is unspecified; sort for a stable slot
+  // assignment.
+  std::sort(paths.begin(), paths.end());
+  return paths;
+}
+
+std::vector<std::shared_ptr<const SampledWorkload>> load_trace_dir(
+    const std::string& dir, double single_row_period_s) {
+  const std::vector<std::string> paths = list_trace_files(dir);
+  if (paths.empty()) {
+    throw std::runtime_error("load_trace_dir: no .csv traces in " + dir);
+  }
+  std::vector<std::shared_ptr<const SampledWorkload>> traces;
+  traces.reserve(paths.size());
+  for (const std::string& path : paths) {
+    try {
+      traces.emplace_back(load_workload(path, single_row_period_s));
+    } catch (const std::exception& e) {
+      throw std::runtime_error("load_trace_dir: " + path + ": " + e.what());
+    }
+  }
+  return traces;
 }
 
 }  // namespace fsc

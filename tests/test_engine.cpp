@@ -212,5 +212,127 @@ TEST(SimulationEngine, RejectsNullSink) {
   EXPECT_THROW(engine.add_sink(nullptr), std::invalid_argument);
 }
 
+TEST(SimulationEngineSession, ManualSteppingMatchesRun) {
+  // Chunked stepping through the Session (as the coupled rack engine does)
+  // must reproduce run() exactly when no directives are applied.
+  const SimulationResult via_run = quickstart_run(run_simulation, 600.0);
+  const SimulationResult via_session = quickstart_run(
+      [](Server& server, DtmPolicy& policy, const Workload& workload,
+         const SimulationParams& params) {
+        SimulationEngine engine(params);
+        TraceRecorderSink trace;
+        EnergyAccumulatorSink energy;
+        engine.add_sink(&trace);
+        engine.add_sink(&energy);
+        SimulationEngine::Session session(engine, server, policy, workload);
+        while (!session.done()) {
+          for (int i = 0; i < 30 && !session.done(); ++i) session.step_period();
+        }
+        SimulationResult r;
+        r.duration_s = session.finish();
+        r.trace = trace.take_trace();
+        r.fan_energy_joules = energy.fan_energy_joules();
+        r.cpu_energy_joules = energy.cpu_energy_joules();
+        return r;
+      },
+      600.0);
+  EXPECT_EQ(via_session.duration_s, via_run.duration_s);
+  EXPECT_EQ(via_session.fan_energy_joules, via_run.fan_energy_joules);
+  EXPECT_EQ(via_session.cpu_energy_joules, via_run.cpu_energy_joules);
+  ASSERT_EQ(via_session.trace.size(), via_run.trace.size());
+  EXPECT_EQ(trace_to_csv(via_session.trace), trace_to_csv(via_run.trace));
+}
+
+TEST(SimulationEngineSession, CapLimitClampsThePolicyCap) {
+  Rng rng(3);
+  Server server = Server::table1_defaults(rng);
+  SolutionConfig cfg;
+  const auto policy = PolicyFactory::instance().make("uncoordinated", cfg);
+  const ConstantWorkload workload(0.9);
+  SimulationParams params;
+  params.duration_s = 10.0;
+  params.record_trace = false;
+  SimulationEngine engine(params);
+  SimulationEngine::Session session(engine, server, *policy, workload);
+  session.set_cap_limit(0.3);
+  while (!session.done()) session.step_period();
+  EXPECT_DOUBLE_EQ(session.applied_cap(), 0.3);
+  EXPECT_DOUBLE_EQ(session.last_executed(), 0.3);
+  EXPECT_DOUBLE_EQ(session.last_demand(), 0.9);
+  // The window means saw every period at the clamped level.
+  EXPECT_DOUBLE_EQ(session.window_mean_executed(), 0.3);
+  EXPECT_DOUBLE_EQ(session.window_mean_demand(), 0.9);
+  session.finish();
+  EXPECT_THROW(session.set_cap_limit(1.5), std::invalid_argument);
+}
+
+TEST(SimulationEngineSession, FanOverrideReplacesThePolicyCommand) {
+  Rng rng(3);
+  Server server = Server::table1_defaults(rng);
+  SolutionConfig cfg;
+  const auto policy = PolicyFactory::instance().make("r-coord", cfg);
+  const ConstantWorkload workload(0.5);
+  SimulationParams params;
+  params.duration_s = 5.0;
+  params.record_trace = false;
+  SimulationEngine engine(params);
+  SimulationEngine::Session session(engine, server, *policy, workload);
+  session.set_fan_override(4321.0);
+  session.step_period();
+  EXPECT_DOUBLE_EQ(session.applied_fan_cmd(), 4321.0);
+  EXPECT_DOUBLE_EQ(server.fan_speed_commanded(), 4321.0);
+  // The policy's own request is preserved for arbitration.
+  EXPECT_NE(session.last_requested_fan(), 4321.0);
+  session.clear_fan_override();
+  session.step_period();
+  EXPECT_EQ(session.applied_fan_cmd(), session.last_requested_fan());
+  EXPECT_THROW(session.set_fan_override(-1.0), std::invalid_argument);
+}
+
+TEST(SimulationEngineSession, OverrideDoesNotPoisonThePolicysOwnRequest) {
+  // Regression: policies hold their command between fan instants by
+  // echoing fan_speed_cmd back.  If the engine fed them the override, the
+  // slot's genuine request would be overwritten by the zone speed and
+  // arbitration could never lower a zone again (one-way ratchet).  Under a
+  // light constant load with a max-speed override in force across several
+  // fan instants, the policy's own request must stay far below the
+  // override.
+  Rng rng(11);
+  Server server = Server::table1_defaults(rng);
+  SolutionConfig cfg;
+  const auto policy = PolicyFactory::instance().make("r-coord", cfg);
+  const ConstantWorkload workload(0.1);
+  SimulationParams params;
+  params.duration_s = 120.0;  // covers four 30 s fan instants
+  params.record_trace = false;
+  SimulationEngine engine(params);
+  SimulationEngine::Session session(engine, server, *policy, workload);
+  session.set_fan_override(8500.0);
+  while (!session.done()) session.step_period();
+  session.finish();
+  EXPECT_DOUBLE_EQ(session.applied_fan_cmd(), 8500.0);
+  EXPECT_LT(session.last_requested_fan(), 8000.0);
+}
+
+TEST(SimulationEngineSession, WindowResetsOnDemand) {
+  Rng rng(4);
+  Server server = Server::table1_defaults(rng);
+  SolutionConfig cfg;
+  const auto policy = PolicyFactory::instance().make("uncoordinated", cfg);
+  const ConstantWorkload workload(0.4);
+  SimulationParams params;
+  params.duration_s = 6.0;
+  params.record_trace = false;
+  SimulationEngine engine(params);
+  SimulationEngine::Session session(engine, server, *policy, workload);
+  session.step_period();
+  session.step_period();
+  EXPECT_DOUBLE_EQ(session.window_mean_demand(), 0.4);
+  session.reset_window();
+  // Empty window falls back to the last period's values.
+  EXPECT_DOUBLE_EQ(session.window_mean_demand(), 0.4);
+  EXPECT_DOUBLE_EQ(session.window_mean_executed(), session.last_executed());
+}
+
 }  // namespace
 }  // namespace fsc

@@ -3,6 +3,8 @@
 #include <gtest/gtest.h>
 
 #include <cmath>
+#include <filesystem>
+#include <fstream>
 #include <stdexcept>
 
 #include "util/statistics.hpp"
@@ -244,6 +246,57 @@ TEST(TraceIo, SingleRowGetsDefaultPeriod) {
   const auto w = workload_from_csv("time,utilization\n0,0.25\n");
   EXPECT_DOUBLE_EQ(w->sample_period(), 1.0);
   EXPECT_DOUBLE_EQ(w->demand(0.0), 0.25);
+}
+
+TEST(TraceIo, SingleRowHonorsExplicitPeriod) {
+  const auto w = workload_from_csv("time,utilization\n0,0.25\n", 5.0);
+  EXPECT_DOUBLE_EQ(w->sample_period(), 5.0);
+  EXPECT_DOUBLE_EQ(w->duration(), 5.0);
+  EXPECT_THROW(workload_from_csv("time,utilization\n0,0.25\n", 0.0),
+               std::invalid_argument);
+  EXPECT_THROW(workload_from_csv("time,utilization\n0,0.25\n", -1.0),
+               std::invalid_argument);
+}
+
+TEST(TraceIo, MultiRowIgnoresSingleRowPeriodParameter) {
+  // With two or more rows the spacing is inferred, never the parameter.
+  const auto w = workload_from_csv("time,utilization\n0,0.1\n2,0.2\n", 7.0);
+  EXPECT_DOUBLE_EQ(w->sample_period(), 2.0);
+}
+
+TEST(TraceIo, AcceptsCrlfBlankLinesAndTrailingNewlines) {
+  const auto crlf = workload_from_csv(
+      "time,utilization\r\n0,0.1\r\n1,0.2\r\n2,0.3\r\n");
+  ASSERT_EQ(crlf->size(), 3u);
+  EXPECT_DOUBLE_EQ(crlf->demand(1.0), 0.2);
+
+  const auto blanks = workload_from_csv(
+      "time,utilization\n\n0,0.1\n\n1,0.2\n\n\n");
+  ASSERT_EQ(blanks->size(), 2u);
+  EXPECT_DOUBLE_EQ(blanks->sample_period(), 1.0);
+
+  const auto trailing = workload_from_csv("time,utilization\n0,0.4\n1,0.5\n\n");
+  ASSERT_EQ(trailing->size(), 2u);
+}
+
+TEST(TraceIo, LoadTraceDirSortsByFilenameAndRejectsEmpty) {
+  namespace fs = std::filesystem;
+  const std::string dir = ::testing::TempDir() + "fsc_trace_dir_test";
+  fs::create_directories(dir);
+  for (const auto& entry : fs::directory_iterator(dir)) fs::remove(entry);
+  EXPECT_THROW(load_trace_dir(dir), std::runtime_error);
+
+  std::ofstream(dir + "/b.csv") << "time,utilization\n0,0.2\n";
+  std::ofstream(dir + "/a.csv") << "time,utilization\n0,0.1\n";
+  std::ofstream(dir + "/ignored.txt") << "not a trace";
+  const auto traces = load_trace_dir(dir);
+  ASSERT_EQ(traces.size(), 2u);
+  EXPECT_DOUBLE_EQ(traces[0]->demand(0.0), 0.1);  // a.csv first
+  EXPECT_DOUBLE_EQ(traces[1]->demand(0.0), 0.2);
+
+  std::ofstream(dir + "/c.csv") << "time,utilization\n0,bad\n";
+  EXPECT_THROW(load_trace_dir(dir), std::runtime_error);
+  EXPECT_THROW(load_trace_dir(dir + "/nonexistent"), std::runtime_error);
 }
 
 TEST(TraceIo, ClampsUtilizationOnLoad) {

@@ -116,7 +116,6 @@ int main() {
 
   const auto two = SolutionConfig::default_gain_schedule();
   const GainRegion r2000 = two.region(0);
-  const GainRegion r6000 = two.region(1);
 
   // 1 region: the 2000 rpm tuning everywhere (conventional PID).
   print("1 region (@2000, conventional)", linearization_error({2000.0}),

@@ -9,8 +9,10 @@
 //   * benefit — each timed run also reports rack totals as counters
 //     (total_kj, ddl_viol_pct, thr_viol_pct), and after the timing loop
 //     main() re-runs the scenario once per coordinator and prints a
-//     comparison table with an explicit verdict: shared-fan-zone must beat
-//     the independent baseline on violations, power-budget on total
+//     comparison table with an explicit per-metric verdict
+//     (bench/verdict.hpp: policy, metric, baseline vs observed values, so
+//     a red run is diagnosable from the log alone): shared-fan-zone must
+//     beat the independent baseline on violations, power-budget on total
 //     energy.  The process exits non-zero when either regresses, so the CI
 //     smoke run enforces the coordination benefit.
 //
@@ -23,6 +25,7 @@
 #include <thread>
 
 #include "json_reporter.hpp"
+#include "verdict.hpp"
 
 #include "coord/coupled_rack_engine.hpp"
 #include "rack/batch_runner.hpp"
@@ -106,15 +109,16 @@ bool print_benefit_verdict() {
                 r->thermal_violation_percent);
   }
 
-  const bool fan_zone_wins = fan_zone.pooled_deadline_violations() <
-                             independent.pooled_deadline_violations();
-  const bool budget_wins =
-      budget.total_energy_joules < independent.total_energy_joules;
-  std::printf("shared-fan-zone beats independent on deadline violations: %s\n",
-              fan_zone_wins ? "yes" : "NO (regression)");
-  std::printf("power-budget beats independent on total energy: %s\n",
-              budget_wins ? "yes" : "NO (regression)");
-  return fan_zone_wins && budget_wins;
+  std::printf("\n");
+  bool ok = true;
+  ok &= fsc_bench::check_beats(
+      "shared-fan-zone", "pooled_deadline_violations", "independent",
+      static_cast<double>(independent.pooled_deadline_violations()),
+      static_cast<double>(fan_zone.pooled_deadline_violations()));
+  ok &= fsc_bench::check_beats("power-budget", "total_energy_joules",
+                               "independent", independent.total_energy_joules,
+                               budget.total_energy_joules);
+  return ok;
 }
 
 }  // namespace

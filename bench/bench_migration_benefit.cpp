@@ -1,0 +1,112 @@
+// Migration cost and benefit on the default contended room scenario.
+//
+// Two questions, one harness:
+//
+//   * overhead — what does room-level scheduling cost on top of the rack
+//     barriers?  BM_Room/static (lockstep, no-op scheduler) vs the
+//     migrating schedulers is the pure scheduling tax.
+//   * benefit — after the timing loop main() re-runs the scenario once per
+//     scheduler and prints a comparison table with an explicit per-metric
+//     verdict (bench/verdict.hpp): thermal-headroom and power-aware must
+//     both beat the static assignment on pooled deadline violations.  The
+//     process exits non-zero when either regresses, so the CI smoke run
+//     enforces the migration benefit; every enforced comparison prints
+//     policy, metric, and baseline vs observed values for diagnosability.
+//
+// Writes BENCH_room.json (override via FSC_BENCH_JSON) with the same
+// schema as bench_micro_perf.json.
+#include <benchmark/benchmark.h>
+
+#include <algorithm>
+#include <cstdio>
+#include <string>
+#include <thread>
+
+#include "json_reporter.hpp"
+#include "verdict.hpp"
+
+#include "room/room_engine.hpp"
+
+namespace {
+
+using namespace fsc;
+
+constexpr std::uint64_t kSeed = 42;
+constexpr double kDurationS = 600.0;
+constexpr std::size_t kRacks = 4;
+
+std::size_t bench_threads() {
+  return std::min<std::size_t>(8, std::max(1u, std::thread::hardware_concurrency()));
+}
+
+RoomParams scenario(const std::string& scheduler) {
+  RoomParams p = default_room_scenario(kRacks, kSeed, kDurationS);
+  p.scheduler = scheduler;
+  return p;
+}
+
+void BM_Room(benchmark::State& state, const std::string& scheduler) {
+  const RoomEngine engine(scenario(scheduler), bench_threads());
+  RoomResult last;
+  for (auto _ : state) {
+    last = engine.run();
+    benchmark::DoNotOptimize(last);
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()) *
+                          static_cast<int64_t>(last.total_slots()));
+  state.counters["total_kj"] = last.total_energy_joules / 1000.0;
+  state.counters["ddl_viol_pct"] = last.deadline_violation_percent;
+  state.counters["migrations"] = static_cast<double>(last.migration_events);
+}
+BENCHMARK_CAPTURE(BM_Room, static_assignment, "static")
+    ->Unit(benchmark::kMillisecond)
+    ->UseRealTime();
+BENCHMARK_CAPTURE(BM_Room, thermal_headroom, "thermal-headroom")
+    ->Unit(benchmark::kMillisecond)
+    ->UseRealTime();
+BENCHMARK_CAPTURE(BM_Room, power_aware, "power-aware")
+    ->Unit(benchmark::kMillisecond)
+    ->UseRealTime();
+
+/// Re-run each scheduler once and print the benefit table + verdict.
+/// Returns true when both migrating schedulers beat the baseline.
+bool print_benefit_verdict() {
+  const std::size_t threads = bench_threads();
+  const RoomResult stat = RoomEngine(scenario("static"), threads).run();
+  const RoomResult headroom =
+      RoomEngine(scenario("thermal-headroom"), threads).run();
+  const RoomResult power = RoomEngine(scenario("power-aware"), threads).run();
+
+  std::printf(
+      "\n--- migration benefit (%zu racks, seed %llu, %.0f s) ---\n", kRacks,
+      static_cast<unsigned long long>(kSeed), kDurationS);
+  std::printf("%-18s  %10s  %12s  %12s  %12s\n", "scheduler", "total kJ",
+              "ddl viol", "thr viol %", "migrations");
+  for (const RoomResult* r : {&stat, &headroom, &power}) {
+    std::printf("%-18s  %10.1f  %12zu  %12.3f  %12zu\n", r->scheduler.c_str(),
+                r->total_energy_joules / 1000.0,
+                r->pooled_deadline_violations(), r->thermal_violation_percent,
+                r->migration_events);
+  }
+  std::printf("\n");
+
+  const double baseline =
+      static_cast<double>(stat.pooled_deadline_violations());
+  bool ok = true;
+  ok &= fsc_bench::check_beats(
+      "thermal-headroom", "pooled_deadline_violations", "static", baseline,
+      static_cast<double>(headroom.pooled_deadline_violations()));
+  ok &= fsc_bench::check_beats(
+      "power-aware", "pooled_deadline_violations", "static", baseline,
+      static_cast<double>(power.pooled_deadline_violations()));
+  return ok;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const int rc =
+      fsc_bench::run_benchmarks_with_json(argc, argv, "BENCH_room.json");
+  if (rc != 0) return rc;
+  return print_benefit_verdict() ? 0 : 2;
+}

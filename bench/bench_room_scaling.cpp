@@ -1,0 +1,57 @@
+// Room engine scaling: simulated servers per wall-clock second as a
+// function of room size and thread count.  The lockstep room shares ONE
+// thread pool across all racks and launches every rack's coordination
+// period before blocking on any barrier, so the (8 racks, 8 threads) row
+// should scale near-linearly over (8 racks, 1 thread) despite the nested
+// rack + room barrier structure; items processed are *servers*, so
+// google-benchmark's items_per_second counter is exactly servers/sec.
+// Writes BENCH_room_scaling.json (override via FSC_BENCH_JSON) so the
+// room perf trajectory accumulates across commits.
+#include <benchmark/benchmark.h>
+
+#include "json_reporter.hpp"
+
+#include "room/room_engine.hpp"
+
+namespace {
+
+using namespace fsc;
+
+void BM_RoomLockstep(benchmark::State& state) {
+  const auto num_racks = static_cast<std::size_t>(state.range(0));
+  const auto threads = static_cast<std::size_t>(state.range(1));
+
+  // Short horizon keeps the bench turnaround reasonable; the default
+  // contended scenario still exercises migration + both plenum tiers.
+  RoomParams params = default_room_scenario(num_racks, 42, 300.0);
+  params.scheduler = "thermal-headroom";
+
+  const RoomEngine engine(params, threads);
+  std::size_t servers = 0;
+  for (auto _ : state) {
+    const RoomResult r = engine.run();
+    servers = r.total_slots();
+    benchmark::DoNotOptimize(r);
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()) *
+                          static_cast<int64_t>(servers));
+  state.counters["racks"] = static_cast<double>(num_racks);
+  state.counters["threads"] = static_cast<double>(threads);
+}
+
+BENCHMARK(BM_RoomLockstep)
+    ->Args({1, 1})
+    ->Args({2, 2})
+    ->Args({4, 8})
+    ->Args({8, 1})
+    ->Args({8, 8})
+    ->Unit(benchmark::kMillisecond)
+    ->MeasureProcessCPUTime()
+    ->UseRealTime();
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  return fsc_bench::run_benchmarks_with_json(argc, argv,
+                                             "BENCH_room_scaling.json");
+}

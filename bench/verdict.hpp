@@ -1,0 +1,29 @@
+// Shared verdict reporting for the benefit-enforcing benches
+// (bench_coord_overhead, bench_migration_benefit): every enforced
+// comparison prints the policy, the metric, and the baseline vs observed
+// values — pass or fail — so a red CI run is diagnosable from the log
+// alone, without re-running anything locally.
+#pragma once
+
+#include <cstdio>
+
+namespace fsc_bench {
+
+/// Record one enforced "observed must beat baseline" comparison.  Prints a
+/// PASS/REGRESSION line either way and returns whether it passed, so the
+/// caller can aggregate an exit code.  `lower_is_better` picks the
+/// direction (deadline violations: lower; an efficiency metric where
+/// higher wins would pass false).
+inline bool check_beats(const char* policy, const char* metric,
+                        const char* baseline_policy, double baseline,
+                        double observed, bool lower_is_better = true) {
+  const bool ok = lower_is_better ? observed < baseline : observed > baseline;
+  std::printf("[%s] policy=%s metric=%s baseline(%s)=%.6g observed=%.6g%s\n",
+              ok ? "PASS" : "REGRESSION", policy, metric, baseline_policy,
+              baseline, observed,
+              ok ? "" : lower_is_better ? "  (expected observed < baseline)"
+                                        : "  (expected observed > baseline)");
+  return ok;
+}
+
+}  // namespace fsc_bench

@@ -1,0 +1,20 @@
+// Small flag-parsing helpers shared by the CLI front ends (fsc_rack,
+// fsc_room) so fixes to the parsing land in one place.
+#pragma once
+
+#include <cstddef>
+#include <cstdlib>
+
+namespace fsc_cli {
+
+/// Parse a strictly positive integer flag value; returns 0 on anything
+/// else (including negatives, which would otherwise wrap through the
+/// size_t cast into absurd allocation sizes).
+inline std::size_t parse_positive(const char* text) {
+  char* end = nullptr;
+  const long long v = std::strtoll(text, &end, 10);
+  if (end == text || *end != '\0' || v <= 0) return 0;
+  return static_cast<std::size_t>(v);
+}
+
+}  // namespace fsc_cli

@@ -23,11 +23,15 @@
 #include <string>
 #include <thread>
 
+#include "cli_util.hpp"
+
 #include "coord/coupled_rack_engine.hpp"
 #include "core/policy_factory.hpp"
 #include "workload/trace_io.hpp"
 
 namespace {
+
+using fsc_cli::parse_positive;
 
 void print_names() {
   const auto& factory = fsc::PolicyFactory::instance();
@@ -40,16 +44,6 @@ void print_names() {
   for (const auto& name : factory.names()) {
     std::cout << "  " << name << "  -  " << factory.describe(name) << "\n";
   }
-}
-
-/// Parse a strictly positive integer flag value; returns 0 on anything
-/// else (including negatives, which would otherwise wrap through the
-/// size_t cast into absurd allocation sizes).
-std::size_t parse_positive(const char* text) {
-  char* end = nullptr;
-  const long long v = std::strtoll(text, &end, 10);
-  if (end == text || *end != '\0' || v <= 0) return 0;
-  return static_cast<std::size_t>(v);
 }
 
 int usage(const char* argv0) {

@@ -1,0 +1,204 @@
+// fsc_room: the room-scale front end over the room/ subsystem.
+//
+// Runs a room of K racks (each a full coupled-rack plant: shared plenum +
+// named RackCoordinator) in lockstep under a named RoomScheduler with
+// cross-rack hot-aisle recirculation, and writes a JSON report, optionally
+// a per-rack CSV.  Slots replay traces from --traces DIR (round-robin
+// across the whole room, sorted by filename) or fall back to the default
+// contended room scenario (heavy front half, light back half).
+//
+// Usage:
+//   fsc_room [--policy SCHED] [--coordinator COORD] [--dtm POLICY]
+//            [--racks K] [--slots N] [--traces DIR] [--threads N]
+//            [--seed S] [--duration SECS] [--budget WATTS] [--step FRAC]
+//            [--no-cross-plenum] [--no-plenum] [--out FILE.json]
+//            [--csv FILE.csv] [--list]
+//
+//   --policy       room scheduler name (default "static"); --list shows all
+//   --coordinator  per-rack RackCoordinator name (default "independent")
+//   --dtm          per-server DtmPolicy name (default the paper's full stack)
+//   --budget       room CPU power budget in watts (0 = 85 % of aggregate max)
+//   --step         fraction of the hot rack's load moved per migration
+#include <algorithm>
+#include <cstdlib>
+#include <fstream>
+#include <iostream>
+#include <string>
+#include <thread>
+
+#include "cli_util.hpp"
+
+#include "core/policy_factory.hpp"
+#include "room/room_engine.hpp"
+#include "workload/trace_io.hpp"
+
+namespace {
+
+using fsc_cli::parse_positive;
+
+void print_names() {
+  const auto& factory = fsc::PolicyFactory::instance();
+  std::cout << "room schedulers:\n";
+  for (const auto& name : factory.room_scheduler_names()) {
+    std::cout << "  " << name << "  -  "
+              << factory.describe_room_scheduler(name) << "\n";
+  }
+  std::cout << "rack coordinators:\n";
+  for (const auto& name : factory.coordinator_names()) {
+    std::cout << "  " << name << "  -  " << factory.describe_coordinator(name)
+              << "\n";
+  }
+  std::cout << "dtm policies:\n";
+  for (const auto& name : factory.names()) {
+    std::cout << "  " << name << "  -  " << factory.describe(name) << "\n";
+  }
+}
+
+int usage(const char* argv0) {
+  std::cerr << "usage: " << argv0
+            << " [--policy SCHED] [--coordinator COORD] [--dtm POLICY]\n"
+               "       [--racks K] [--slots N] [--traces DIR] [--threads N]\n"
+               "       [--seed S] [--duration SECS] [--budget WATTS] "
+               "[--step FRAC]\n"
+               "       [--no-cross-plenum] [--no-plenum] [--out FILE.json]\n"
+               "       [--csv FILE.csv] [--list]\n";
+  return 1;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace fsc;
+
+  std::string scheduler = "static";
+  std::string coordinator;
+  std::string dtm;
+  std::string trace_dir;
+  std::string out_path = "fsc_room_report.json";
+  std::string csv_path;
+  std::size_t num_racks = 4;
+  std::size_t slots = 8;
+  std::size_t threads = std::max(1u, std::thread::hardware_concurrency());
+  std::uint64_t seed = 42;
+  double duration_s = 900.0;
+  double budget_watts = -1.0;
+  double step = -1.0;
+  bool cross_plenum = true;
+  bool rack_plenum = true;
+
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    const bool has_value = i + 1 < argc;
+    if (arg == "--list") {
+      print_names();
+      return 0;
+    } else if (arg == "--no-cross-plenum") {
+      cross_plenum = false;
+    } else if (arg == "--no-plenum") {
+      rack_plenum = false;
+    } else if (!has_value) {
+      return usage(argv[0]);
+    } else if (arg == "--policy") {
+      scheduler = argv[++i];
+    } else if (arg == "--coordinator") {
+      coordinator = argv[++i];
+    } else if (arg == "--dtm") {
+      dtm = argv[++i];
+    } else if (arg == "--traces") {
+      trace_dir = argv[++i];
+    } else if (arg == "--racks") {
+      if ((num_racks = parse_positive(argv[++i])) == 0) return usage(argv[0]);
+    } else if (arg == "--slots") {
+      if ((slots = parse_positive(argv[++i])) == 0) return usage(argv[0]);
+    } else if (arg == "--threads") {
+      if ((threads = parse_positive(argv[++i])) == 0) return usage(argv[0]);
+    } else if (arg == "--seed") {
+      seed = static_cast<std::uint64_t>(std::strtoull(argv[++i], nullptr, 10));
+    } else if (arg == "--duration") {
+      duration_s = std::atof(argv[++i]);
+    } else if (arg == "--budget") {
+      budget_watts = std::atof(argv[++i]);
+    } else if (arg == "--step") {
+      step = std::atof(argv[++i]);
+    } else if (arg == "--out") {
+      out_path = argv[++i];
+    } else if (arg == "--csv") {
+      csv_path = argv[++i];
+    } else {
+      std::cerr << "unknown argument '" << arg << "'\n";
+      return usage(argv[0]);
+    }
+  }
+  if (duration_s <= 0.0) return usage(argv[0]);
+
+  const auto& factory = PolicyFactory::instance();
+  if (!factory.contains_room_scheduler(scheduler)) {
+    std::cerr << "unknown room scheduler '" << scheduler << "'; known:";
+    for (const auto& name : factory.room_scheduler_names()) {
+      std::cerr << " " << name;
+    }
+    std::cerr << "\n";
+    return 1;
+  }
+
+  try {
+    RoomParams params = default_room_scenario(num_racks, seed, duration_s);
+    params.scheduler = scheduler;
+    params.cross_plenum_enabled = cross_plenum;
+    if (budget_watts >= 0.0) {
+      params.sched.room_power_budget_watts = budget_watts;
+    }
+    if (step > 0.0) params.sched.migration_step = step;
+    std::vector<std::shared_ptr<const SampledWorkload>> traces;
+    if (!trace_dir.empty()) {
+      traces = load_trace_dir(trace_dir);
+      std::cout << "loaded " << traces.size() << " trace(s) from " << trace_dir
+                << "\n";
+    }
+    for (std::size_t r = 0; r < params.racks.size(); ++r) {
+      CoupledRackParams& rack = params.racks[r];
+      rack.rack.num_servers = slots;
+      rack.plenum_enabled = rack_plenum;
+      if (!coordinator.empty()) rack.coordinator = coordinator;
+      if (!dtm.empty()) rack.rack.policy = dtm;
+      if (!traces.empty()) {
+        // Round-robin across the whole room, not per rack, so a trace set
+        // smaller than the room still lands on every rack differently.
+        rack.rack.traces.clear();
+        for (std::size_t s = 0; s < slots; ++s) {
+          rack.rack.traces.push_back(traces[(r * slots + s) % traces.size()]);
+        }
+      }
+    }
+
+    const RoomEngine engine(params, threads);
+    const RoomResult result = engine.run();
+
+    std::cout << "=== fsc_room: " << num_racks << " racks x " << slots
+              << " slots, scheduler '" << scheduler << "' ("
+              << factory.describe_room_scheduler(scheduler) << "), " << threads
+              << " thread(s) ===\n\n";
+    std::cout << result.to_table();
+
+    std::ofstream out(out_path);
+    if (!out) {
+      std::cerr << "cannot write " << out_path << "\n";
+      return 1;
+    }
+    out << result.to_json();
+    std::cout << "\nreport written to " << out_path << "\n";
+    if (!csv_path.empty()) {
+      std::ofstream csv(csv_path);
+      if (!csv) {
+        std::cerr << "cannot write " << csv_path << "\n";
+        return 1;
+      }
+      csv << result.to_csv();
+      std::cout << "per-rack CSV written to " << csv_path << "\n";
+    }
+  } catch (const std::exception& e) {
+    std::cerr << "fsc_room: " << e.what() << "\n";
+    return 1;
+  }
+  return 0;
+}

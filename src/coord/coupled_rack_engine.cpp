@@ -69,124 +69,211 @@ CoupledRackEngine::CoupledRackEngine(CoupledRackParams params,
                            params_.coord.coordination_period_s);
 }
 
-CoupledRackResult CoupledRackEngine::run() const {
-  const Rack rack(params_.rack);
-  const SimulationParams& sim = params_.rack.sim;
-  const SolutionConfig& solution = params_.rack.solution;
-
-  CoordinatorConfig cfg = params_.coord;
-  cfg.num_slots = rack.size();
-  cfg.thermal_limit_celsius = sim.thermal_limit_celsius;
-  cfg.fan_min_rpm = solution.fan_params.min_speed_rpm;
-  cfg.fan_max_rpm = solution.fan_params.max_speed_rpm;
-  cfg.cpu_power = solution.cpu_power;  // nominal datasheet model
-  const auto coordinator =
-      PolicyFactory::instance().make_coordinator(params_.coordinator, cfg);
-  coordinator->reset();
-
-  const long periods_per_round =
-      derive_fan_divider(sim.cpu_period_s, cfg.coordination_period_s);
-
+struct CoupledRackEngine::Session::Impl {
+  CoupledRackParams params;
+  ThreadPool& pool;
+  Rack rack;
+  std::unique_ptr<RackCoordinator> coordinator;
+  long periods_per_round = 0;
   std::vector<std::unique_ptr<SlotRuntime>> slots;
-  slots.reserve(rack.size());
-  for (const RackServerSpec& spec : rack.servers()) {
-    slots.push_back(
-        std::make_unique<SlotRuntime>(spec, params_.rack.policy, sim));
-  }
-
   std::optional<SharedPlenumModel> plenum;
-  if (params_.plenum_enabled) {
-    std::vector<double> base_inlets;
-    base_inlets.reserve(slots.size());
-    for (const auto& rt : slots) base_inlets.push_back(rt->base_inlet_celsius);
-    plenum.emplace(params_.plenum, std::move(base_inlets));
-  }
-
+  std::vector<std::future<void>> futures;
+  std::vector<SlotObservation> observations;
   std::size_t rounds = 0;
-  {
-    ThreadPool pool(threads_);
-    while (!slots.front()->session->done()) {
-      // Chunk: every slot advances one coordination period, in parallel —
-      // slots only interact at the barrier below, so task order is free.
-      std::vector<std::future<void>> futures;
-      futures.reserve(slots.size());
-      for (const auto& rt_ptr : slots) {
-        SlotRuntime* rt = rt_ptr.get();
-        futures.push_back(pool.submit([rt, periods_per_round] {
-          for (long i = 0; i < periods_per_round && !rt->session->done(); ++i) {
-            rt->session->step_period();
-          }
-        }));
-      }
-      for (auto& f : futures) f.get();  // barrier; rethrows worker exceptions
-      if (slots.front()->session->done()) break;  // run over: nothing to steer
+  double demand_scale = 1.0;
+  double ambient_offset = 0.0;
 
-      // Deterministic barrier work, in slot order on this thread.
-      const double t = slots.front()->session->time_s();
-      std::vector<SlotObservation> observations;
-      observations.reserve(slots.size());
-      for (const auto& rt : slots) {
-        SlotObservation o;
-        o.index = observations.size();
-        o.time_s = t;
-        o.measured_temp = rt->server.measured_temp();
-        o.inlet_celsius = rt->server.inlet_temperature();
-        o.fan_cmd_rpm = rt->session->applied_fan_cmd();
-        o.fan_requested_rpm = rt->session->last_requested_fan();
-        o.fan_actual_rpm = rt->server.fan_speed_actual();
-        o.cap = rt->session->applied_cap();
-        o.demand = rt->session->window_mean_demand();
-        o.executed = rt->session->window_mean_executed();
-        o.cpu_watts = rt->server.cpu_power_now(o.executed);
-        observations.push_back(o);
-        rt->session->reset_window();
-      }
+  Impl(const CoupledRackParams& p, ThreadPool& worker_pool)
+      : params(p), pool(worker_pool), rack(p.rack) {
+    const SimulationParams& sim = params.rack.sim;
+    const SolutionConfig& solution = params.rack.solution;
 
-      const std::vector<SlotDirective> directives =
-          coordinator->coordinate(t, observations);
-      require(directives.size() == slots.size(),
-              "CoupledRackEngine: coordinator must return one directive per slot");
-      for (std::size_t i = 0; i < slots.size(); ++i) {
-        SlotRuntime& rt = *slots[i];
-        const SlotDirective& d = directives[i];
-        if (d.has_fan_override()) {
-          rt.session->set_fan_override(d.fan_override_rpm);
-          ++rt.fan_override_rounds;
-        } else {
-          rt.session->clear_fan_override();
-        }
-        rt.session->set_cap_limit(d.cap_limit);
-        rt.cap_limit_sum += d.cap_limit;
-      }
+    CoordinatorConfig cfg = params.coord;
+    cfg.num_slots = rack.size();
+    cfg.thermal_limit_celsius = sim.thermal_limit_celsius;
+    cfg.fan_min_rpm = solution.fan_params.min_speed_rpm;
+    cfg.fan_max_rpm = solution.fan_params.max_speed_rpm;
+    cfg.cpu_power = solution.cpu_power;  // nominal datasheet model
+    coordinator =
+        PolicyFactory::instance().make_coordinator(params.coordinator, cfg);
+    coordinator->reset();
 
-      if (plenum) {
-        std::vector<PlenumSlotState> states;
-        states.reserve(slots.size());
-        for (const SlotObservation& o : observations) {
-          states.push_back(PlenumSlotState{o.cpu_watts, o.fan_actual_rpm});
-        }
-        const std::vector<double> inlets = plenum->inlet_temperatures(states);
-        for (std::size_t i = 0; i < slots.size(); ++i) {
-          slots[i]->server.set_inlet_temperature(inlets[i]);
-        }
-      }
-      for (const auto& rt : slots) {
-        rt->inlet_stats.add(rt->server.inlet_temperature());
-      }
-      ++rounds;
+    periods_per_round =
+        derive_fan_divider(sim.cpu_period_s, cfg.coordination_period_s);
+
+    slots.reserve(rack.size());
+    for (const RackServerSpec& spec : rack.servers()) {
+      slots.push_back(
+          std::make_unique<SlotRuntime>(spec, params.rack.policy, sim));
+    }
+
+    if (params.plenum_enabled) {
+      std::vector<double> base_inlets;
+      base_inlets.reserve(slots.size());
+      for (const auto& rt : slots) base_inlets.push_back(rt->base_inlet_celsius);
+      plenum.emplace(params.plenum, std::move(base_inlets));
     }
   }
+};
+
+CoupledRackEngine::Session::Session(const CoupledRackParams& params,
+                                    ThreadPool& pool) {
+  // Validate coordination timing up front, exactly like the engine ctor.
+  (void)derive_fan_divider(params.rack.sim.cpu_period_s,
+                           params.coord.coordination_period_s);
+  impl_ = std::make_unique<Impl>(params, pool);
+}
+
+CoupledRackEngine::Session::~Session() = default;
+
+bool CoupledRackEngine::Session::done() const noexcept {
+  return impl_->slots.front()->session->done();
+}
+
+double CoupledRackEngine::Session::time_s() const noexcept {
+  return impl_->slots.front()->session->time_s();
+}
+
+std::size_t CoupledRackEngine::Session::rounds() const noexcept {
+  return impl_->rounds;
+}
+
+std::size_t CoupledRackEngine::Session::num_slots() const noexcept {
+  return impl_->slots.size();
+}
+
+void CoupledRackEngine::Session::begin_round() {
+  Impl& im = *impl_;
+  if (done()) return;
+  // Chunk: every slot advances one coordination period, in parallel —
+  // slots only interact at the barrier in complete_round(), so task order
+  // is free.
+  im.futures.clear();
+  im.futures.reserve(im.slots.size());
+  const long periods_per_round = im.periods_per_round;
+  for (const auto& rt_ptr : im.slots) {
+    SlotRuntime* rt = rt_ptr.get();
+    im.futures.push_back(im.pool.submit([rt, periods_per_round] {
+      for (long i = 0; i < periods_per_round && !rt->session->done(); ++i) {
+        rt->session->step_period();
+      }
+    }));
+  }
+}
+
+void CoupledRackEngine::Session::complete_round() {
+  Impl& im = *impl_;
+  for (auto& f : im.futures) f.get();  // barrier; rethrows worker exceptions
+  im.futures.clear();
+  if (done()) return;  // run over: nothing to steer
+
+  // Deterministic barrier work, in slot order on this thread.
+  const double t = im.slots.front()->session->time_s();
+  im.observations.clear();
+  im.observations.reserve(im.slots.size());
+  for (const auto& rt : im.slots) {
+    SlotObservation o;
+    o.index = im.observations.size();
+    o.time_s = t;
+    o.measured_temp = rt->server.measured_temp();
+    o.inlet_celsius = rt->server.inlet_temperature();
+    o.fan_cmd_rpm = rt->session->applied_fan_cmd();
+    o.fan_requested_rpm = rt->session->last_requested_fan();
+    o.fan_actual_rpm = rt->server.fan_speed_actual();
+    o.cap = rt->session->applied_cap();
+    o.demand = rt->session->window_mean_demand();
+    o.executed = rt->session->window_mean_executed();
+    o.cpu_watts = rt->server.cpu_power_now(o.executed);
+    im.observations.push_back(o);
+    rt->session->reset_window();
+  }
+
+  const std::vector<SlotDirective> directives =
+      im.coordinator->coordinate(t, im.observations);
+  require(directives.size() == im.slots.size(),
+          "CoupledRackEngine: coordinator must return one directive per slot");
+  for (std::size_t i = 0; i < im.slots.size(); ++i) {
+    SlotRuntime& rt = *im.slots[i];
+    const SlotDirective& d = directives[i];
+    if (d.has_fan_override()) {
+      rt.session->set_fan_override(d.fan_override_rpm);
+      ++rt.fan_override_rounds;
+    } else {
+      rt.session->clear_fan_override();
+    }
+    rt.session->set_cap_limit(d.cap_limit);
+    rt.cap_limit_sum += d.cap_limit;
+  }
+
+  if (im.plenum) {
+    std::vector<PlenumSlotState> states;
+    states.reserve(im.slots.size());
+    for (const SlotObservation& o : im.observations) {
+      states.push_back(PlenumSlotState{o.cpu_watts, o.fan_actual_rpm});
+    }
+    const std::vector<double> inlets = im.plenum->inlet_temperatures(states);
+    for (std::size_t i = 0; i < im.slots.size(); ++i) {
+      im.slots[i]->server.set_inlet_temperature(inlets[i] + im.ambient_offset);
+    }
+  } else if (im.ambient_offset != 0.0) {
+    // No rack-level plenum, but the room still preheats this rack.
+    for (const auto& rt : im.slots) {
+      rt->server.set_inlet_temperature(rt->base_inlet_celsius +
+                                       im.ambient_offset);
+    }
+  }
+  for (const auto& rt : im.slots) {
+    rt->inlet_stats.add(rt->server.inlet_temperature());
+  }
+  ++im.rounds;
+}
+
+void CoupledRackEngine::Session::set_demand_scale(double scale) {
+  require(scale >= 0.0, "CoupledRackEngine::Session: demand scale must be >= 0");
+  impl_->demand_scale = scale;
+  for (const auto& rt : impl_->slots) rt->session->set_demand_scale(scale);
+}
+
+double CoupledRackEngine::Session::demand_scale() const noexcept {
+  return impl_->demand_scale;
+}
+
+void CoupledRackEngine::Session::set_ambient_offset(double celsius) {
+  impl_->ambient_offset = celsius;
+}
+
+double CoupledRackEngine::Session::ambient_offset() const noexcept {
+  return impl_->ambient_offset;
+}
+
+const std::vector<SlotObservation>&
+CoupledRackEngine::Session::last_observations() const noexcept {
+  return impl_->observations;
+}
+
+std::size_t CoupledRackEngine::Session::pooled_deadline_violations_so_far()
+    const noexcept {
+  std::size_t total = 0;
+  for (const auto& rt : impl_->slots) {
+    total += rt->deadline.deadline().violations();
+  }
+  return total;
+}
+
+CoupledRackResult CoupledRackEngine::Session::finish() {
+  Impl& im = *impl_;
+  const std::size_t rounds = im.rounds;
 
   CoupledRackResult out;
-  out.coordinator = params_.coordinator;
-  out.policy = params_.rack.policy;
+  out.coordinator = im.params.coordinator;
+  out.policy = im.params.rack.policy;
   out.coordination_rounds = rounds;
-  out.slots.reserve(slots.size());
+  out.slots.reserve(im.slots.size());
   std::size_t pooled_periods = 0;
   std::size_t pooled_violations = 0;
   double thermal_violation_sum = 0.0;
-  for (std::size_t i = 0; i < slots.size(); ++i) {
-    SlotRuntime& rt = *slots[i];
+  for (std::size_t i = 0; i < im.slots.size(); ++i) {
+    SlotRuntime& rt = *im.slots[i];
     const double duration = rt.session->finish();
     if (rounds == 0) {
       // The whole run fit inside one coordination period, so no barrier
@@ -197,7 +284,7 @@ CoupledRackResult CoupledRackEngine::run() const {
 
     CoupledSlotSummary s;
     s.index = i;
-    s.seed = rack.server(i).seed;
+    s.seed = im.rack.server(i).seed;
     s.duration_s = duration;
     s.deadline_periods = rt.deadline.deadline().periods();
     s.deadline_violations = rt.deadline.deadline().violations();
@@ -236,6 +323,13 @@ CoupledRackResult CoupledRackEngine::run() const {
           ? 0.0
           : thermal_violation_sum / static_cast<double>(out.slots.size());
   return out;
+}
+
+CoupledRackResult CoupledRackEngine::run() const {
+  ThreadPool pool(threads_);
+  Session session(params_, pool);
+  while (!session.done()) session.advance_round();
+  return session.finish();
 }
 
 std::string CoupledRackResult::to_table() const {

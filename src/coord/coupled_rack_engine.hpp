@@ -24,6 +24,7 @@
 #pragma once
 
 #include <cstddef>
+#include <memory>
 #include <string>
 #include <vector>
 
@@ -35,6 +36,8 @@
 #include "util/statistics.hpp"
 
 namespace fsc {
+
+class ThreadPool;
 
 /// Everything a coupled run needs: the rack (specs, slot policy, timing),
 /// the coordinator selection, and the coupling physics.
@@ -93,6 +96,72 @@ struct CoupledRackResult {
 /// Steps a Rack as one coupled plant under a named RackCoordinator.
 class CoupledRackEngine {
  public:
+  /// Resumable round-by-round stepping of one rack (the rack-scale
+  /// analogue of SimulationEngine::Session).  run() is exactly
+  /// `Session s(params, pool); while (!s.done()) s.advance_round();
+  /// s.finish();` — the Session exists so lockstep multi-rack drivers
+  /// (room/RoomEngine) can advance many racks one coordination round at a
+  /// time over a *shared* ThreadPool and schedule between rounds.
+  ///
+  /// A round is split into begin_round() (fan the slot stepping out into
+  /// the pool) and complete_round() (barrier + rack coordination + plenum
+  /// retargeting, on the calling thread) so a room can launch every rack's
+  /// work before blocking on any barrier.  Between rounds a room scheduler
+  /// may migrate load onto or off this rack (set_demand_scale) and impose
+  /// a room-plenum preheat (set_ambient_offset); both default to exact
+  /// no-ops, in which case the step sequence is bit-identical to a
+  /// standalone run.
+  class Session {
+   public:
+    /// Builds the slot runtimes, resolves the coordinator by name, and
+    /// settles every slot at its initial operating point.  `pool` is only
+    /// borrowed and must outlive the session's stepping.
+    Session(const CoupledRackParams& params, ThreadPool& pool);
+    ~Session();
+    Session(const Session&) = delete;
+    Session& operator=(const Session&) = delete;
+
+    bool done() const noexcept;
+    /// Simulation time at the next period boundary (slot clocks agree).
+    double time_s() const noexcept;
+    std::size_t rounds() const noexcept;
+    std::size_t num_slots() const noexcept;
+
+    /// Submit one coordination period of per-slot stepping to the pool.
+    /// No-op once done().
+    void begin_round();
+    /// Barrier on the submitted work, then coordinate + retarget inlets
+    /// (deterministic, on the calling thread).  Must follow begin_round().
+    void complete_round();
+    void advance_round() {
+      begin_round();
+      complete_round();
+    }
+
+    /// Room-level load migration: every slot's demanded utilization is
+    /// multiplied by `scale` (>= 0) from the next round on.
+    void set_demand_scale(double scale);
+    double demand_scale() const noexcept;
+    /// Room-plenum coupling: added to every slot's inlet temperature on
+    /// top of the rack's own shared-plenum result.
+    void set_ambient_offset(double celsius);
+    double ambient_offset() const noexcept;
+
+    /// Per-slot observations gathered at the most recent barrier (empty
+    /// before the first complete_round()).
+    const std::vector<SlotObservation>& last_observations() const noexcept;
+    /// Pooled deadline violations accumulated so far (for windowed room
+    /// accounting).
+    std::size_t pooled_deadline_violations_so_far() const noexcept;
+
+    /// Aggregate the finished run.  Call once, after done().
+    CoupledRackResult finish();
+
+   private:
+    struct Impl;
+    std::unique_ptr<Impl> impl_;
+  };
+
   /// Validates thread count, coordination timing (the coordination period
   /// must be a positive whole multiple of the CPU control period), and the
   /// plenum parameters.  The coordinator name is resolved at run() so

@@ -4,15 +4,18 @@
 #include <sstream>
 #include <stdexcept>
 
-// Deliberate layering exception: core/ reaches up to coord/ for exactly
-// one symbol, register_builtin_coordinators(), so the built-in
-// coordinators are registered the moment the singleton exists (string
-// lookup must work from any entry point, and a self-registering static in
-// coord/ would be dropped by static-library linkers when nothing else
-// references its object file).  Splitting core/ into its own link target
-// would require moving this call to a coord/-side registrar.
+// Deliberate layering exception: core/ reaches up to coord/ and room/ for
+// exactly one symbol each, register_builtin_coordinators() and
+// register_builtin_room_schedulers(), so the built-in cross-server and
+// cross-rack policies are registered the moment the singleton exists
+// (string lookup must work from any entry point, and a self-registering
+// static in coord/ or room/ would be dropped by static-library linkers
+// when nothing else references its object file).  Splitting core/ into its
+// own link target would require moving these calls to registrars on the
+// upper layers' side.
 #include "coord/coordinator.hpp"
 #include "core/fan_only_policy.hpp"
+#include "room/scheduler.hpp"
 #include "util/units.hpp"
 
 namespace fsc {
@@ -80,6 +83,74 @@ PolicyFactory::PolicyFactory() {
                         rpm, cfg.fixed_reference_celsius);
                   });
   register_builtin_coordinators(*this);
+  register_builtin_room_schedulers(*this);
+}
+
+void PolicyFactory::register_room_scheduler(std::string name,
+                                            std::string description,
+                                            RoomSchedulerBuilder builder) {
+  require(!name.empty(),
+          "PolicyFactory: room scheduler name must not be empty");
+  require(static_cast<bool>(builder),
+          "PolicyFactory: room scheduler builder must not be null");
+  std::lock_guard<std::mutex> lock(mutex_);
+  if (find_room_scheduler_locked(name) != nullptr) {
+    throw std::invalid_argument("PolicyFactory: room scheduler '" + name +
+                                "' already registered");
+  }
+  room_scheduler_entries_.emplace_back(
+      std::move(name),
+      RoomSchedulerEntry{std::move(description), std::move(builder)});
+}
+
+bool PolicyFactory::contains_room_scheduler(const std::string& name) const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return find_room_scheduler_locked(name) != nullptr;
+}
+
+std::unique_ptr<RoomScheduler> PolicyFactory::make_room_scheduler(
+    const std::string& name, const RoomSchedulerConfig& cfg) const {
+  RoomSchedulerBuilder builder;
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    const RoomSchedulerEntry* entry = find_room_scheduler_locked(name);
+    if (entry == nullptr) {
+      std::ostringstream msg;
+      msg << "PolicyFactory: unknown room scheduler '" << name << "'; known:";
+      for (const auto& [key, value] : room_scheduler_entries_) msg << " " << key;
+      throw std::out_of_range(msg.str());
+    }
+    builder = entry->builder;
+  }
+  return builder(cfg);
+}
+
+std::vector<std::string> PolicyFactory::room_scheduler_names() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  std::vector<std::string> out;
+  out.reserve(room_scheduler_entries_.size());
+  for (const auto& [key, value] : room_scheduler_entries_) out.push_back(key);
+  std::sort(out.begin(), out.end());
+  return out;
+}
+
+std::string PolicyFactory::describe_room_scheduler(
+    const std::string& name) const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  const RoomSchedulerEntry* entry = find_room_scheduler_locked(name);
+  if (entry == nullptr) {
+    throw std::out_of_range("PolicyFactory: unknown room scheduler '" + name +
+                            "'");
+  }
+  return entry->description;
+}
+
+const PolicyFactory::RoomSchedulerEntry*
+PolicyFactory::find_room_scheduler_locked(const std::string& name) const {
+  for (const auto& [key, value] : room_scheduler_entries_) {
+    if (key == name) return &value;
+  }
+  return nullptr;
 }
 
 void PolicyFactory::register_coordinator(std::string name,

@@ -9,11 +9,13 @@
 // become available to every driver that selects policies by string (CLI
 // arguments, rack configs, sweep harnesses).
 //
-// The factory also carries the registry of *rack coordinators* (the
-// cross-server policies of coord/) under the same string-selection scheme:
-// "independent", "shared-fan-zone", and "power-budget" are pre-registered,
-// and the two namespaces are independent (a DtmPolicy and a coordinator
-// may share a name).
+// The factory also carries the registries of *rack coordinators* (the
+// cross-server policies of coord/) and *room schedulers* (the cross-rack
+// policies of room/) under the same string-selection scheme:
+// "independent", "shared-fan-zone", and "power-budget" coordinators and
+// the "static", "thermal-headroom", and "power-aware" schedulers are
+// pre-registered, and the three namespaces are independent (a DtmPolicy,
+// a coordinator, and a scheduler may share a name).
 #pragma once
 
 #include <functional>
@@ -28,8 +30,10 @@
 
 namespace fsc {
 
-class RackCoordinator;     // coord/coordinator.hpp
-struct CoordinatorConfig;  // coord/coordinator.hpp
+class RackCoordinator;       // coord/coordinator.hpp
+struct CoordinatorConfig;    // coord/coordinator.hpp
+class RoomScheduler;         // room/scheduler.hpp
+struct RoomSchedulerConfig;  // room/scheduler.hpp
 
 /// Process-wide policy registry.  Thread-safe: make()/names()/contains()
 /// may be called concurrently with each other (the rack batch runner
@@ -44,6 +48,10 @@ class PolicyFactory {
   /// Builds a configured rack coordinator from the shared CoordinatorConfig.
   using CoordinatorBuilder =
       std::function<std::unique_ptr<RackCoordinator>(const CoordinatorConfig&)>;
+
+  /// Builds a configured room scheduler from the shared RoomSchedulerConfig.
+  using RoomSchedulerBuilder =
+      std::function<std::unique_ptr<RoomScheduler>(const RoomSchedulerConfig&)>;
 
   /// The singleton, with the built-in policies pre-registered.
   static PolicyFactory& instance();
@@ -89,6 +97,28 @@ class PolicyFactory {
   /// std::out_of_range when absent.
   std::string describe_coordinator(const std::string& name) const;
 
+  // ----- room scheduler registry (same contract, separate namespace) ------
+
+  /// Register a room scheduler under `name`.  Throws std::invalid_argument
+  /// on an empty name, a null builder, or a duplicate.
+  void register_room_scheduler(std::string name, std::string description,
+                               RoomSchedulerBuilder builder);
+
+  /// True when a room scheduler named `name` is registered.
+  bool contains_room_scheduler(const std::string& name) const;
+
+  /// Construct the room scheduler registered under `name`.
+  /// Throws std::out_of_range (listing the known names) when absent.
+  std::unique_ptr<RoomScheduler> make_room_scheduler(
+      const std::string& name, const RoomSchedulerConfig& cfg) const;
+
+  /// All registered room scheduler names, sorted.
+  std::vector<std::string> room_scheduler_names() const;
+
+  /// Human-readable description of room scheduler `name`; throws
+  /// std::out_of_range when absent.
+  std::string describe_room_scheduler(const std::string& name) const;
+
  private:
   PolicyFactory();
 
@@ -102,12 +132,21 @@ class PolicyFactory {
     CoordinatorBuilder builder;
   };
 
+  struct RoomSchedulerEntry {
+    std::string description;
+    RoomSchedulerBuilder builder;
+  };
+
   mutable std::mutex mutex_;
   std::vector<std::pair<std::string, Entry>> entries_;  ///< insertion order
   std::vector<std::pair<std::string, CoordinatorEntry>> coordinator_entries_;
+  std::vector<std::pair<std::string, RoomSchedulerEntry>>
+      room_scheduler_entries_;
 
   const Entry* find_locked(const std::string& name) const;
   const CoordinatorEntry* find_coordinator_locked(const std::string& name) const;
+  const RoomSchedulerEntry* find_room_scheduler_locked(
+      const std::string& name) const;
 };
 
 /// Canonical registry key for a Table III solution (e.g. kRuleFixed ->

@@ -1,0 +1,40 @@
+#include "room/cross_plenum.hpp"
+
+#include "util/units.hpp"
+
+namespace fsc {
+
+namespace {
+
+PlenumParams to_plenum_params(const CrossRackPlenumParams& p) {
+  PlenumParams out;
+  out.recirculation_fraction = p.recirculation_fraction;
+  out.neighbor_decay = p.neighbor_decay;
+  out.reference_fan_rpm = p.reference_fan_rpm;
+  out.watts_per_kelvin_at_ref = p.watts_per_kelvin_at_ref;
+  out.min_airflow_rpm = p.min_airflow_rpm;
+  out.max_rise_celsius = p.max_rise_celsius;
+  return out;
+}
+
+}  // namespace
+
+CrossRackPlenumModel::CrossRackPlenumModel(const CrossRackPlenumParams& params,
+                                           std::size_t num_racks)
+    : params_(params),
+      plenum_(to_plenum_params(params), std::vector<double>(num_racks, 0.0)) {}
+
+std::vector<double> CrossRackPlenumModel::ambient_offsets(
+    const std::vector<RackPlenumState>& racks) const {
+  std::vector<PlenumSlotState> states;
+  states.reserve(racks.size());
+  for (const RackPlenumState& r : racks) {
+    require(r.cpu_watts >= 0.0,
+            "CrossRackPlenumModel: rack power must be >= 0");
+    states.push_back(PlenumSlotState{r.cpu_watts, r.mean_fan_rpm});
+  }
+  // Zero base inlets make the shared-plenum result the offset itself.
+  return plenum_.inlet_temperatures(states);
+}
+
+}  // namespace fsc

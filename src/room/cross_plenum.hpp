@@ -1,0 +1,68 @@
+// Cross-rack plenum: hot-aisle recirculation between adjacent racks, the
+// room-granularity analogue of coord/plenum.hpp.
+//
+// In a real room a rack's intake is preheated by its neighbors' hot-aisle
+// exhaust leaking back over or around the row, more strongly the closer
+// the racks stand.  The model treats each rack as one aggregate exhaust
+// source (total CPU power through the mean blade speed's airflow) and
+// reuses SharedPlenumModel's energy-balance + geometric-decay math with
+// racks in place of slots and zero base inlets — so the output is a pure
+// per-rack *offset* the RoomEngine adds on top of every slot's own
+// rack-plenum inlet.  Setting recirculation_fraction to 0 decouples the
+// room exactly (offsets identically 0), which the room/rack equivalence
+// test relies on.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "coord/plenum.hpp"
+
+namespace fsc {
+
+/// Rack-to-rack coupling strength and per-rack airflow normalisation.
+struct CrossRackPlenumParams {
+  /// Fraction of a rack's exhaust rise reaching the adjacent rack's inlet.
+  double recirculation_fraction = 0.08;
+  /// Geometric decay per additional rack of row distance.
+  double neighbor_decay = 0.6;
+  /// Mean blade speed at which `watts_per_kelvin_at_ref` is calibrated.
+  double reference_fan_rpm = 6000.0;
+  /// m_dot * cp of a whole rack's through-flow at the reference speed
+  /// (a rack moves roughly its slot count times one chassis' air).
+  double watts_per_kelvin_at_ref = 320.0;
+  /// Mean speeds below this are treated as this for the airflow estimate.
+  double min_airflow_rpm = 500.0;
+  /// Hard cap on any one rack's total recirculation preheat.
+  double max_rise_celsius = 10.0;
+};
+
+/// One rack's aggregate operating point feeding the room plenum.
+struct RackPlenumState {
+  double cpu_watts = 0.0;      ///< aggregate CPU power of the rack
+  double mean_fan_rpm = 0.0;   ///< mean actual blade speed across slots
+};
+
+/// Computes every rack's ambient *offset* from the room's operating point.
+/// Stateless apart from configuration, hence trivially deterministic.
+class CrossRackPlenumModel {
+ public:
+  /// Throws std::invalid_argument on an empty room or invalid params
+  /// (delegated to SharedPlenumModel's validation).
+  CrossRackPlenumModel(const CrossRackPlenumParams& params,
+                       std::size_t num_racks);
+
+  std::size_t size() const noexcept { return plenum_.size(); }
+  const CrossRackPlenumParams& params() const noexcept { return params_; }
+
+  /// Per-rack preheat offsets (>= 0), in rack order.  Throws
+  /// std::invalid_argument when `racks` does not match the room size.
+  std::vector<double> ambient_offsets(
+      const std::vector<RackPlenumState>& racks) const;
+
+ private:
+  CrossRackPlenumParams params_;
+  SharedPlenumModel plenum_;  ///< racks as slots, zero base inlets
+};
+
+}  // namespace fsc

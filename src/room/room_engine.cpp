@@ -1,0 +1,350 @@
+#include "room/room_engine.hpp"
+
+#include <algorithm>
+#include <iomanip>
+#include <memory>
+#include <optional>
+#include <sstream>
+
+#include "core/policy_factory.hpp"
+#include "util/rng.hpp"
+#include "util/thread_pool.hpp"
+#include "util/units.hpp"
+
+namespace fsc {
+
+std::size_t RoomResult::total_slots() const noexcept {
+  std::size_t total = 0;
+  for (const RoomRackSummary& r : racks) total += r.result.size();
+  return total;
+}
+
+std::size_t RoomResult::pooled_deadline_violations() const noexcept {
+  std::size_t total = 0;
+  for (const RoomRackSummary& r : racks) {
+    total += r.result.pooled_deadline_violations();
+  }
+  return total;
+}
+
+RoomEngine::RoomEngine(RoomParams params, std::size_t threads)
+    : params_(std::move(params)), threads_(threads) {
+  require(threads_ > 0, "RoomEngine: need at least one thread");
+  require(!params_.racks.empty(), "RoomEngine: need at least one rack");
+  const CoupledRackParams& first = params_.racks.front();
+  for (const CoupledRackParams& rack : params_.racks) {
+    // Per-rack validation of the coordination divider, exactly like a
+    // standalone CoupledRackEngine would do.
+    (void)derive_fan_divider(rack.rack.sim.cpu_period_s,
+                             rack.coord.coordination_period_s);
+    require(rack.rack.sim.cpu_period_s == first.rack.sim.cpu_period_s &&
+                rack.coord.coordination_period_s ==
+                    first.coord.coordination_period_s &&
+                rack.rack.sim.duration_s == first.rack.sim.duration_s,
+            "RoomEngine: all racks must share the CPU control period, the "
+            "coordination period, and the duration (lockstep barriers)");
+    // The room scheduler prices every rack's load with ONE nominal
+    // datasheet model (synced from the first rack below); a room of
+    // different SKUs would silently mis-pack, so refuse it up front.
+    require(rack.rack.solution.cpu_power.idle_power() ==
+                    first.rack.solution.cpu_power.idle_power() &&
+                rack.rack.solution.cpu_power.dynamic_power() ==
+                    first.rack.solution.cpu_power.dynamic_power(),
+            "RoomEngine: all racks must share the nominal CPU power model "
+            "(the room scheduler prices load with one datasheet model)");
+  }
+}
+
+RoomResult RoomEngine::run() const {
+  const std::size_t num_racks = params_.racks.size();
+
+  ThreadPool pool(threads_);
+  std::vector<std::unique_ptr<CoupledRackEngine::Session>> racks;
+  racks.reserve(num_racks);
+  std::size_t total_slots = 0;
+  for (const CoupledRackParams& rack_params : params_.racks) {
+    racks.push_back(
+        std::make_unique<CoupledRackEngine::Session>(rack_params, pool));
+    total_slots += racks.back()->num_slots();
+  }
+
+  RoomSchedulerConfig cfg = params_.sched;
+  cfg.num_racks = num_racks;
+  cfg.total_slots = total_slots;
+  cfg.cpu_power = params_.racks.front().rack.solution.cpu_power;  // nominal
+  const auto scheduler =
+      PolicyFactory::instance().make_room_scheduler(params_.scheduler, cfg);
+  scheduler->reset();
+
+  std::optional<CrossRackPlenumModel> cross;
+  if (params_.cross_plenum_enabled) {
+    cross.emplace(params_.cross_plenum, num_racks);
+  }
+
+  std::vector<RunningStats> scale_stats(num_racks);
+  std::vector<RunningStats> offset_stats(num_racks);
+  std::vector<std::size_t> violations_seen(num_racks, 0);
+  std::size_t rounds = 0;
+  std::size_t migration_events = 0;
+
+  while (!racks.front()->done()) {
+    // Launch every rack's coordination period before blocking on any
+    // barrier: the shared pool interleaves all racks' slot work freely.
+    for (const auto& rack : racks) rack->begin_round();
+    // Deterministic barrier work, in rack order on this thread (each
+    // rack's own coordination happens inside complete_round()).
+    for (const auto& rack : racks) rack->complete_round();
+    if (racks.front()->done()) break;  // run over: nothing to schedule
+
+    const double t = racks.front()->time_s();
+    std::vector<RackObservation> observations;
+    observations.reserve(num_racks);
+    for (std::size_t i = 0; i < num_racks; ++i) {
+      const CoupledRackEngine::Session& rack = *racks[i];
+      const std::vector<SlotObservation>& slots = rack.last_observations();
+      RackObservation o;
+      o.index = i;
+      o.time_s = t;
+      o.slots = slots.size();
+      for (const SlotObservation& s : slots) {
+        o.demand += s.demand;
+        o.executed += s.executed;
+        o.cpu_watts += s.cpu_watts;
+        o.mean_inlet_celsius += s.inlet_celsius;
+        o.max_inlet_celsius = std::max(o.max_inlet_celsius, s.inlet_celsius);
+        o.mean_measured_temp += s.measured_temp;
+        o.max_measured_temp = std::max(o.max_measured_temp, s.measured_temp);
+        o.mean_fan_rpm += s.fan_actual_rpm;
+      }
+      if (!slots.empty()) {
+        const double n = static_cast<double>(slots.size());
+        o.demand /= n;
+        o.executed /= n;
+        o.mean_inlet_celsius /= n;
+        o.mean_measured_temp /= n;
+        o.mean_fan_rpm /= n;
+      }
+      const std::size_t pooled = rack.pooled_deadline_violations_so_far();
+      o.window_deadline_violations = pooled - violations_seen[i];
+      violations_seen[i] = pooled;
+      o.demand_scale = rack.demand_scale();
+      observations.push_back(o);
+    }
+
+    const std::vector<RackDirective> directives =
+        scheduler->schedule(t, observations);
+    require(directives.size() == num_racks,
+            "RoomEngine: scheduler must return one directive per rack");
+    // A round counts as a migration event only when load actually moved:
+    // some rack scaled down AND another scaled up.  One-sided adjustments
+    // (e.g. thermal-headroom retiring its one-round cost surcharge, or
+    // pure load-shedding with no absorber) are not migrations.
+    bool any_scale_up = false;
+    bool any_scale_down = false;
+    for (std::size_t i = 0; i < num_racks; ++i) {
+      require(directives[i].demand_scale >= 0.0,
+              "RoomEngine: scheduler demand scale must be >= 0");
+      if (directives[i].demand_scale != racks[i]->demand_scale()) {
+        (directives[i].demand_scale > racks[i]->demand_scale()
+             ? any_scale_up
+             : any_scale_down) = true;
+        racks[i]->set_demand_scale(directives[i].demand_scale);
+      }
+      scale_stats[i].add(racks[i]->demand_scale());
+    }
+    if (any_scale_up && any_scale_down) ++migration_events;
+
+    if (cross) {
+      std::vector<RackPlenumState> states;
+      states.reserve(num_racks);
+      for (const RackObservation& o : observations) {
+        states.push_back(RackPlenumState{o.cpu_watts, o.mean_fan_rpm});
+      }
+      const std::vector<double> offsets = cross->ambient_offsets(states);
+      for (std::size_t i = 0; i < num_racks; ++i) {
+        racks[i]->set_ambient_offset(offsets[i]);
+        offset_stats[i].add(offsets[i]);
+      }
+    } else {
+      for (std::size_t i = 0; i < num_racks; ++i) offset_stats[i].add(0.0);
+    }
+    ++rounds;
+  }
+
+  RoomResult out;
+  out.scheduler = params_.scheduler;
+  out.room_rounds = rounds;
+  out.migration_events = migration_events;
+  out.racks.reserve(num_racks);
+  std::size_t pooled_periods = 0;
+  std::size_t pooled_violations = 0;
+  double thermal_violation_slot_sum = 0.0;
+  std::size_t slot_count = 0;
+  for (std::size_t i = 0; i < num_racks; ++i) {
+    RoomRackSummary s;
+    s.index = i;
+    s.final_demand_scale = racks[i]->demand_scale();
+    s.result = racks[i]->finish();
+    s.demand_scale_stats = scale_stats[i];
+    s.ambient_offset_stats = offset_stats[i];
+
+    out.duration_s = s.result.duration_s;
+    out.fan_energy_joules += s.result.fan_energy_joules;
+    out.cpu_energy_joules += s.result.cpu_energy_joules;
+    for (const CoupledSlotSummary& slot : s.result.slots) {
+      pooled_periods += slot.deadline_periods;
+      pooled_violations += slot.deadline_violations;
+      thermal_violation_slot_sum += slot.result.thermal_violation_percent;
+      ++slot_count;
+    }
+    out.max_junction_stats.add(s.result.max_junction_stats.max());
+    out.racks.push_back(std::move(s));
+  }
+  out.total_energy_joules = out.fan_energy_joules + out.cpu_energy_joules;
+  out.deadline_violation_percent =
+      pooled_periods > 0 ? 100.0 * static_cast<double>(pooled_violations) /
+                               static_cast<double>(pooled_periods)
+                         : 0.0;
+  out.thermal_violation_percent =
+      slot_count > 0
+          ? thermal_violation_slot_sum / static_cast<double>(slot_count)
+          : 0.0;
+  return out;
+}
+
+std::string RoomResult::to_table() const {
+  std::ostringstream os;
+  os << std::fixed;
+  os << "rack  slots  ddl-viol%  thr-viol%  total-kJ  scale(mean/last)  "
+        "offset(mean/max)\n";
+  for (const RoomRackSummary& r : racks) {
+    os << std::setw(4) << r.index << "  " << std::setw(5) << r.result.size()
+       << "  " << std::setprecision(3) << std::setw(9)
+       << r.result.deadline_violation_percent << "  " << std::setw(9)
+       << r.result.thermal_violation_percent << "  " << std::setprecision(1)
+       << std::setw(8) << r.result.total_energy_joules / 1000.0 << "  "
+       << std::setprecision(2) << std::setw(7) << r.demand_scale_stats.mean()
+       << "/" << std::setw(5) << r.final_demand_scale << "  "
+       << std::setprecision(2) << std::setw(7) << r.ambient_offset_stats.mean()
+       << "/" << std::setw(5) << r.ambient_offset_stats.max() << "\n";
+  }
+  os << "---\n";
+  os << "scheduler              : " << scheduler << "\n";
+  os << "racks / slots / rounds : " << racks.size() << " / " << total_slots()
+     << " / " << room_rounds << "\n";
+  os << "migration events       : " << migration_events << "\n";
+  os << std::setprecision(3);
+  os << "pooled deadline viol   : " << deadline_violation_percent << " % ("
+     << pooled_deadline_violations() << " periods)\n";
+  os << "mean thermal viol      : " << thermal_violation_percent << " %\n";
+  os << std::setprecision(1);
+  os << "room fan energy        : " << fan_energy_joules / 1000.0 << " kJ\n";
+  os << "room cpu energy        : " << cpu_energy_joules / 1000.0 << " kJ\n";
+  os << "room total energy      : " << total_energy_joules / 1000.0 << " kJ\n";
+  os << "per-rack worst Tj      : mean " << max_junction_stats.mean()
+     << " degC, worst " << max_junction_stats.max() << " degC\n";
+  return os.str();
+}
+
+std::string RoomResult::to_json() const {
+  std::ostringstream os;
+  os << std::setprecision(10);
+  os << "{\n";
+  os << "  \"scheduler\": \"" << scheduler << "\",\n";
+  os << "  \"racks\": " << racks.size() << ",\n";
+  os << "  \"slots\": " << total_slots() << ",\n";
+  os << "  \"duration_s\": " << duration_s << ",\n";
+  os << "  \"room_rounds\": " << room_rounds << ",\n";
+  os << "  \"migration_events\": " << migration_events << ",\n";
+  os << "  \"totals\": {\n";
+  os << "    \"fan_energy_j\": " << fan_energy_joules << ",\n";
+  os << "    \"cpu_energy_j\": " << cpu_energy_joules << ",\n";
+  os << "    \"total_energy_j\": " << total_energy_joules << ",\n";
+  os << "    \"deadline_violation_pct\": " << deadline_violation_percent
+     << ",\n";
+  os << "    \"deadline_violations\": " << pooled_deadline_violations()
+     << ",\n";
+  os << "    \"thermal_violation_pct\": " << thermal_violation_percent
+     << ",\n";
+  os << "    \"worst_max_junction_c\": " << max_junction_stats.max() << "\n";
+  os << "  },\n";
+  os << "  \"per_rack\": [\n";
+  for (std::size_t i = 0; i < racks.size(); ++i) {
+    const RoomRackSummary& r = racks[i];
+    os << "    {\"rack\": " << r.index << ", \"slots\": " << r.result.size()
+       << ", \"coordinator\": \"" << r.result.coordinator << "\""
+       << ", \"deadline_violation_pct\": "
+       << r.result.deadline_violation_percent
+       << ", \"deadline_violations\": "
+       << r.result.pooled_deadline_violations()
+       << ", \"thermal_violation_pct\": " << r.result.thermal_violation_percent
+       << ", \"total_energy_j\": " << r.result.total_energy_joules
+       << ", \"mean_demand_scale\": " << r.demand_scale_stats.mean()
+       << ", \"final_demand_scale\": " << r.final_demand_scale
+       << ", \"mean_ambient_offset_c\": " << r.ambient_offset_stats.mean()
+       << ", \"max_ambient_offset_c\": " << r.ambient_offset_stats.max()
+       << "}" << (i + 1 < racks.size() ? "," : "") << "\n";
+  }
+  os << "  ]\n";
+  os << "}\n";
+  return os.str();
+}
+
+std::string RoomResult::to_csv() const {
+  std::ostringstream os;
+  os << std::setprecision(10);
+  os << "rack,slots,coordinator,deadline_violation_pct,deadline_violations,"
+        "thermal_violation_pct,fan_energy_j,cpu_energy_j,total_energy_j,"
+        "mean_demand_scale,final_demand_scale,mean_ambient_offset_c,"
+        "max_ambient_offset_c\n";
+  for (const RoomRackSummary& r : racks) {
+    os << r.index << "," << r.result.size() << "," << r.result.coordinator
+       << "," << r.result.deadline_violation_percent << ","
+       << r.result.pooled_deadline_violations() << ","
+       << r.result.thermal_violation_percent << ","
+       << r.result.fan_energy_joules << "," << r.result.cpu_energy_joules
+       << "," << r.result.total_energy_joules << ","
+       << r.demand_scale_stats.mean() << "," << r.final_demand_scale << ","
+       << r.ambient_offset_stats.mean() << "," << r.ambient_offset_stats.max()
+       << "\n";
+  }
+  return os.str();
+}
+
+RoomParams default_room_scenario(std::size_t num_racks, std::uint64_t seed,
+                                 double duration_s) {
+  require(num_racks > 0, "default_room_scenario: need at least one rack");
+  require(duration_s > 0.0, "default_room_scenario: duration must be > 0");
+  RoomParams room;
+  room.racks.reserve(num_racks);
+  const std::size_t heavy_racks = (num_racks + 1) / 2;
+  for (std::size_t i = 0; i < num_racks; ++i) {
+    CoupledRackParams rack =
+        default_coupled_scenario(derive_seed(seed, i), duration_s);
+    // The room layer supplies the cross-rack policy; within a rack every
+    // slot keeps its own DTM stack so the migration benefit is isolated
+    // from rack-level fan/budget arbitration.
+    rack.coordinator = "independent";
+    if (i < heavy_racks) {
+      // Hot aisle: saturating spiky load that drives DTM capping (and with
+      // it deadline violations) when left where it is.
+      rack.rack.workload.base.low = 0.45;
+      rack.rack.workload.base.high = 0.95;
+      rack.rack.workload.spike_rate_per_s = 1.0 / 120.0;
+    } else {
+      // Cold aisle: plenty of thermal headroom to migrate into.
+      rack.rack.workload.base.low = 0.05;
+      rack.rack.workload.base.high = 0.30;
+      rack.rack.workload.spike_rate_per_s = 1.0 / 400.0;
+    }
+    room.racks.push_back(std::move(rack));
+  }
+  room.scheduler = "static";
+  // Noticeable hot-aisle carryover so the heavy half genuinely preheats
+  // the light half's intakes until load moves.
+  room.cross_plenum.recirculation_fraction = 0.10;
+  room.cross_plenum.neighbor_decay = 0.6;
+  return room;
+}
+
+}  // namespace fsc

@@ -1,0 +1,224 @@
+#include "room/schedulers.hpp"
+
+#include <algorithm>
+#include <memory>
+
+#include "coord/policies.hpp"
+#include "core/policy_factory.hpp"
+#include "util/units.hpp"
+
+namespace fsc {
+
+namespace {
+
+/// Demand below this is treated as "no load to scale against": a
+/// multiplicative directive cannot conjure work onto an idle rack, and
+/// dividing by it would explode the descaled-demand estimate.
+constexpr double kMinScalableDemand = 1e-6;
+
+std::vector<RackDirective> directives_from(const std::vector<double>& scales) {
+  std::vector<RackDirective> out(scales.size());
+  for (std::size_t i = 0; i < scales.size(); ++i) {
+    out[i].demand_scale = scales[i];
+  }
+  return out;
+}
+
+}  // namespace
+
+// ---------------------------------------------------------------- static
+
+StaticRoomScheduler::StaticRoomScheduler(const RoomSchedulerConfig&) {}
+
+std::vector<RackDirective> StaticRoomScheduler::schedule(
+    double, const std::vector<RackObservation>& racks) {
+  return std::vector<RackDirective>(racks.size());
+}
+
+// ------------------------------------------------------ thermal-headroom
+
+ThermalHeadroomScheduler::ThermalHeadroomScheduler(
+    const RoomSchedulerConfig& cfg)
+    : cfg_(cfg) {
+  require(cfg_.migration_step > 0.0 && cfg_.migration_step < 1.0,
+          "ThermalHeadroomScheduler: migration step must be in (0, 1)");
+  require(cfg_.min_demand_scale > 0.0 &&
+              cfg_.min_demand_scale < cfg_.max_demand_scale,
+          "ThermalHeadroomScheduler: need 0 < min scale < max scale");
+  require(cfg_.hysteresis_celsius >= 0.0,
+          "ThermalHeadroomScheduler: hysteresis must be >= 0");
+  require(cfg_.migration_cost_fraction >= 0.0,
+          "ThermalHeadroomScheduler: migration cost must be >= 0");
+}
+
+void ThermalHeadroomScheduler::reset() {
+  scales_.clear();
+  cooldown_ = 0;
+  migrations_ = 0;
+}
+
+std::vector<RackDirective> ThermalHeadroomScheduler::schedule(
+    double, const std::vector<RackObservation>& racks) {
+  if (scales_.empty()) scales_.assign(racks.size(), 1.0);
+  require(scales_.size() == racks.size(),
+          "ThermalHeadroomScheduler: rack count changed mid-run");
+
+  if (cooldown_ > 0) {
+    // Settling: hold the current assignment (which also retires the
+    // previous migration's one-round cost surcharge).
+    --cooldown_;
+    return directives_from(scales_);
+  }
+
+  // Donor: hottest inlet among racks that still have load to give.
+  // Receiver: coolest inlet among racks that can still absorb — which
+  // requires some load of their own to scale up (a multiplier cannot
+  // express an absolute injection onto an idle rack, so an idle rack is
+  // skipped in favor of the next-coolest loaded one).
+  std::size_t hot = racks.size();
+  std::size_t cool = racks.size();
+  for (std::size_t i = 0; i < racks.size(); ++i) {
+    const RackObservation& r = racks[i];
+    if (scales_[i] > cfg_.min_demand_scale &&
+        r.demand > kMinScalableDemand &&
+        (hot == racks.size() ||
+         r.mean_inlet_celsius > racks[hot].mean_inlet_celsius)) {
+      hot = i;
+    }
+    if (scales_[i] < cfg_.max_demand_scale &&
+        r.demand > kMinScalableDemand &&
+        (cool == racks.size() ||
+         r.mean_inlet_celsius < racks[cool].mean_inlet_celsius)) {
+      cool = i;
+    }
+  }
+  if (hot == racks.size() || cool == racks.size() || hot == cool) {
+    return directives_from(scales_);
+  }
+  const double spread = racks[hot].mean_inlet_celsius -
+                        racks[cool].mean_inlet_celsius;
+  if (spread < cfg_.hysteresis_celsius) {
+    return directives_from(scales_);  // deadband: not worth moving for
+  }
+  const RackObservation& donor = racks[hot];
+  const RackObservation& receiver = racks[cool];
+
+  // Move `migration_step` of the donor's current aggregate demand,
+  // conserving total demanded utilization: the receiver's scale rises by
+  // exactly the moved units over its own (descaled) aggregate demand.
+  const double moved_units = cfg_.migration_step * donor.demand *
+                             static_cast<double>(donor.slots);
+  const double receiver_raw_units = receiver.demand / scales_[cool] *
+                                    static_cast<double>(receiver.slots);
+  scales_[hot] = std::max(cfg_.min_demand_scale,
+                          scales_[hot] * (1.0 - cfg_.migration_step));
+  scales_[cool] = std::min(cfg_.max_demand_scale,
+                           scales_[cool] + moved_units / receiver_raw_units);
+  cooldown_ = cfg_.cooldown_rounds;
+  ++migrations_;
+
+  // The move itself is not free: the receiver pays a one-round overhead
+  // (state transfer, cold caches) on top of its new share.
+  std::vector<RackDirective> out = directives_from(scales_);
+  out[cool].demand_scale = std::min(
+      cfg_.max_demand_scale,
+      scales_[cool] * (1.0 + cfg_.migration_cost_fraction));
+  return out;
+}
+
+// ----------------------------------------------------------- power-aware
+
+PowerAwareScheduler::PowerAwareScheduler(const RoomSchedulerConfig& cfg)
+    : cfg_(cfg), budget_watts_(cfg.effective_power_budget()) {
+  require(budget_watts_ > 0.0, "PowerAwareScheduler: budget must be > 0");
+  require(cfg_.num_racks > 0, "PowerAwareScheduler: need at least one rack");
+  require(cfg_.min_demand_scale > 0.0 &&
+              cfg_.min_demand_scale < cfg_.max_demand_scale,
+          "PowerAwareScheduler: need 0 < min scale < max scale");
+  // Migration moves work, and with it dynamic power; the idle (static)
+  // draw stays where the servers are.  A budget below the room's aggregate
+  // idle floor can never be met by any packing, so refuse it up front
+  // instead of silently failing to meet it.
+  const double idle_floor =
+      static_cast<double>(cfg_.total_slots) * cfg_.cpu_power.power(0.0);
+  require(budget_watts_ >= idle_floor,
+          "PowerAwareScheduler: budget is below the room's aggregate idle "
+          "power floor and can never be met");
+}
+
+std::vector<RackDirective> PowerAwareScheduler::schedule(
+    double, const std::vector<RackObservation>& racks) {
+  std::vector<RackDirective> out(racks.size());
+  if (racks.empty()) return out;
+  const double rack_budget = budget_watts_ / static_cast<double>(racks.size());
+
+  // Descale each rack's observed demand back to its native load, price it
+  // with the nominal power model, and split the room into shedders (over
+  // their per-rack budget) and absorbers (headroom under it).
+  std::vector<double> raw_u(racks.size(), 0.0);
+  std::vector<double> native_watts(racks.size(), 0.0);
+  std::vector<double> headroom(racks.size(), 0.0);
+  double shed_pool = 0.0;
+  for (std::size_t i = 0; i < racks.size(); ++i) {
+    const RackObservation& r = racks[i];
+    raw_u[i] = r.demand_scale > 0.0 ? r.demand / r.demand_scale : r.demand;
+    native_watts[i] =
+        static_cast<double>(r.slots) * cfg_.cpu_power.power(raw_u[i]);
+    if (native_watts[i] > rack_budget) {
+      shed_pool += native_watts[i] - rack_budget;
+    } else {
+      headroom[i] = rack_budget - native_watts[i];
+    }
+  }
+
+  // Re-pack: the shed watts are divided across the absorbers' headroom by
+  // the same max-min water-filling the rack budget coordinator uses —
+  // every absorber takes min(headroom, fair share), leftovers recursively
+  // redistributed, and anything that fits nowhere stays shed (the room is
+  // genuinely over budget and that slice of load is simply not run).
+  const std::vector<double> received =
+      PowerBudgetCoordinator::water_fill(headroom, shed_pool);
+
+  for (std::size_t i = 0; i < racks.size(); ++i) {
+    const RackObservation& r = racks[i];
+    const bool sheds = native_watts[i] > rack_budget;
+    const bool absorbs = received[i] > 0.0;
+    if ((!sheds && !absorbs) || raw_u[i] <= kMinScalableDemand ||
+        r.slots == 0) {
+      continue;  // untouched racks run their native load, scale exactly 1
+    }
+    const double target_watts =
+        (sheds ? rack_budget : native_watts[i] + received[i]) /
+        static_cast<double>(r.slots);
+    const double target_u = cfg_.cpu_power.utilization_for_power(target_watts);
+    out[i].demand_scale = clamp(target_u / raw_u[i], cfg_.min_demand_scale,
+                                cfg_.max_demand_scale);
+  }
+  return out;
+}
+
+// ------------------------------------------------------------- registry
+
+void register_builtin_room_schedulers(PolicyFactory& factory) {
+  factory.register_room_scheduler(
+      "static", "fixed assignment: no load ever migrates (baseline)",
+      [](const RoomSchedulerConfig& cfg) -> std::unique_ptr<RoomScheduler> {
+        return std::make_unique<StaticRoomScheduler>(cfg);
+      });
+  factory.register_room_scheduler(
+      "thermal-headroom",
+      "migrate load from the hottest-inlet rack toward cool headroom, with "
+      "deadband + cooldown hysteresis",
+      [](const RoomSchedulerConfig& cfg) -> std::unique_ptr<RoomScheduler> {
+        return std::make_unique<ThermalHeadroomScheduler>(cfg);
+      });
+  factory.register_room_scheduler(
+      "power-aware",
+      "greedy re-packing against per-rack power budgets via max-min "
+      "water-filling",
+      [](const RoomSchedulerConfig& cfg) -> std::unique_ptr<RoomScheduler> {
+        return std::make_unique<PowerAwareScheduler>(cfg);
+      });
+}
+
+}  // namespace fsc

@@ -60,6 +60,11 @@ void SimulationEngine::Session::set_fan_override(double rpm) {
   fan_override_rpm_ = rpm;
 }
 
+void SimulationEngine::Session::set_demand_scale(double scale) {
+  require(scale >= 0.0, "Session::set_demand_scale: scale must be >= 0");
+  demand_scale_ = scale;
+}
+
 void SimulationEngine::Session::step_period() {
   if (done()) return;
   const SimulationParams& params = engine_.params_;
@@ -90,8 +95,12 @@ void SimulationEngine::Session::step_period() {
   cap_ = std::min(clamp_utilization(out.cpu_cap), cap_limit_);
   server_.command_fan(fan_cmd_);
 
-  // This period's workload executes under the new cap.
-  const double demand = workload_.demand(t);
+  // This period's workload executes under the new cap.  The scale-by-1
+  // branch is skipped entirely so an unmigrated run stays bit-identical.
+  const double raw_demand = workload_.demand(t);
+  const double demand = demand_scale_ == 1.0
+                            ? raw_demand
+                            : clamp_utilization(raw_demand * demand_scale_);
   const double executed = std::min(demand, cap_);
   // The policy is only told about degradation it could cure by raising its
   // own cap: demand above an externally imposed cap limit is the rack

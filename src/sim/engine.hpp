@@ -152,6 +152,15 @@ class SimulationEngine {
     void clear_fan_override() noexcept { fan_override_rpm_ = -1.0; }
     bool fan_overridden() const noexcept { return fan_override_rpm_ >= 0.0; }
 
+    /// Room-level load migration hook: demanded utilization is multiplied
+    /// by `scale` (then clamped to [0, 1]) before the workload is resolved.
+    /// A room scheduler moves work between racks by scaling one side down
+    /// and the other up; the default of exactly 1 leaves the demand stream
+    /// bit-identical to the unscaled run.
+    void set_demand_scale(double scale);
+    void clear_demand_scale() noexcept { demand_scale_ = 1.0; }
+    double demand_scale() const noexcept { return demand_scale_; }
+
     /// The policy's own fan request in the last period, before any
     /// override (what a slot "asks" a shared blower for).  While an
     /// override is active the policy keeps tracking its own request — it
@@ -197,6 +206,7 @@ class SimulationEngine {
     double last_degradation_ = 0.0;
     double cap_limit_ = 1.0;
     double fan_override_rpm_ = -1.0;  ///< < 0 means "no override"
+    double demand_scale_ = 1.0;
     double last_requested_fan_ = 0.0;
     double window_demand_sum_ = 0.0;
     double window_executed_sum_ = 0.0;

@@ -5,8 +5,10 @@
 #include <algorithm>
 #include <stdexcept>
 
+#include "coord/coordinator.hpp"
 #include "core/policy_factory.hpp"
 #include "core/solutions.hpp"
+#include "room/scheduler.hpp"
 #include "sim/simulation.hpp"
 #include "workload/synthetic.hpp"
 
@@ -107,6 +109,44 @@ TEST(PolicyFactory, RuntimeRegistrationIsUsable) {
   const auto policy = factory.make(name, SolutionConfig{});
   ASSERT_NE(policy, nullptr);
   EXPECT_DOUBLE_EQ(policy->reference_temp(), 75.0);
+}
+
+TEST(PolicyFactory, EveryRegisteredNameRoundTripsThroughMake) {
+  // Enumerate-and-construct across all three registries, so a policy that
+  // registers under one name but validates under another (or not at all)
+  // is caught by ctest rather than at CLI runtime.  Uses workable default
+  // configs; construction must neither throw nor return null, and each
+  // product must report the name it was built from.
+  const auto& factory = PolicyFactory::instance();
+
+  const SolutionConfig policy_cfg;
+  for (const std::string& name : factory.names()) {
+    SCOPED_TRACE("policy " + name);
+    std::unique_ptr<DtmPolicy> policy;
+    ASSERT_NO_THROW(policy = factory.make(name, policy_cfg));
+    EXPECT_NE(policy, nullptr);
+    EXPECT_FALSE(factory.describe(name).empty());
+  }
+
+  const CoordinatorConfig coord_cfg;
+  for (const std::string& name : factory.coordinator_names()) {
+    SCOPED_TRACE("coordinator " + name);
+    std::unique_ptr<RackCoordinator> coord;
+    ASSERT_NO_THROW(coord = factory.make_coordinator(name, coord_cfg));
+    ASSERT_NE(coord, nullptr);
+    EXPECT_EQ(coord->name(), name);
+    EXPECT_FALSE(factory.describe_coordinator(name).empty());
+  }
+
+  const RoomSchedulerConfig room_cfg;
+  for (const std::string& name : factory.room_scheduler_names()) {
+    SCOPED_TRACE("room scheduler " + name);
+    std::unique_ptr<RoomScheduler> sched;
+    ASSERT_NO_THROW(sched = factory.make_room_scheduler(name, room_cfg));
+    ASSERT_NE(sched, nullptr);
+    EXPECT_EQ(sched->name(), name);
+    EXPECT_FALSE(factory.describe_room_scheduler(name).empty());
+  }
 }
 
 TEST(PolicyFactory, StaticFanPinsWorstCaseSafeSpeed) {

@@ -94,8 +94,12 @@ TEST_P(RuleTableProperty, ExactlyOneVariableChanges) {
   const bool cap_changed = std::fabs(d.cpu_cap - cap) > 1e-12;
   EXPECT_LE(static_cast<int>(fan_changed) + static_cast<int>(cap_changed), 1);
   // Whatever changed must equal its proposal.
-  if (fan_changed) EXPECT_DOUBLE_EQ(d.fan_speed, fan + dfan);
-  if (cap_changed) EXPECT_DOUBLE_EQ(d.cpu_cap, cap + dcap);
+  if (fan_changed) {
+    EXPECT_DOUBLE_EQ(d.fan_speed, fan + dfan);
+  }
+  if (cap_changed) {
+    EXPECT_DOUBLE_EQ(d.cpu_cap, cap + dcap);
+  }
 }
 
 TEST_P(RuleTableProperty, FanUpAlwaysWins) {

@@ -1,0 +1,187 @@
+// Batched SoA plant kernel vs the scalar per-server step.
+//
+// BM_ScalarServerStep is the BM_ServerPhysicsStep baseline from
+// bench_micro_perf (one Server::step per call: actuator + power + two-node
+// thermal + sensor + energy).  BM_BatchedServerStep/N advances N servers
+// through ServerBatch::step_all plus the per-server write-back — the exact
+// work the batched engines perform per physics substep — so items/sec is
+// directly comparable per-server throughput.  The Slewing variant toggles
+// the fan command every control period, forcing the memoised
+// transcendentals (Rhs pow + heat-sink exp) to refresh while the fans
+// move: the worst case for the batch, the common case being settled fans
+// where the whole substep is a handful of vectorized multiply-adds.
+//
+// After the timing loops, main() measures both paths with a plain
+// chrono harness and enforces the tentpole claim through
+// bench/verdict.hpp: batched per-server throughput at N = 64 must beat
+// the scalar baseline, and beat it by at least 4x.  The process exits
+// non-zero when either regresses, so CI's bench run gates the batch
+// kernel's reason to exist.
+//
+// Writes BENCH_batch.json (override via FSC_BENCH_JSON) with the same
+// schema as the other BENCH_*.json trajectory files.
+#include <benchmark/benchmark.h>
+
+#include <algorithm>
+#include <chrono>
+#include <cstdio>
+#include <memory>
+#include <vector>
+
+#include "json_reporter.hpp"
+#include "verdict.hpp"
+
+#include "batch/server_batch.hpp"
+#include "sim/server.hpp"
+#include "util/rng.hpp"
+
+namespace {
+
+using namespace fsc;
+
+constexpr double kDt = 0.05;       // the engines' physics substep
+constexpr double kUtilization = 0.5;
+
+/// A mildly heterogeneous fleet (per-slot inlet spread, like a rack's
+/// airflow preheat) so no two lanes share identical coefficients.
+struct Fleet {
+  std::vector<std::unique_ptr<Rng>> rngs;
+  std::vector<std::unique_ptr<Server>> servers;
+  ServerBatch batch;
+
+  explicit Fleet(std::size_t n) {
+    for (std::size_t i = 0; i < n; ++i) {
+      ServerParams params;
+      ThermalParams thermal;
+      thermal.ambient_celsius = 40.0 + 0.25 * static_cast<double>(i % 16);
+      params.thermal = ServerThermalModel(HeatSinkModel::table1_defaults(), thermal);
+      rngs.push_back(std::make_unique<Rng>(derive_seed(42, i)));
+      servers.push_back(std::make_unique<Server>(params, 2000.0, *rngs.back()));
+      batch.add_server(*servers.back());
+    }
+    set_inputs(3000.0);
+  }
+
+  void set_inputs(double fan_cmd_rpm) {
+    for (std::size_t i = 0; i < servers.size(); ++i) {
+      servers[i]->command_fan(fan_cmd_rpm);
+      batch.set_inputs(i, servers[i]->cpu_power_now(kUtilization),
+                       servers[i]->fan_speed_commanded(),
+                       servers[i]->inlet_temperature());
+    }
+  }
+
+  /// One batched physics substep including the per-server write-back —
+  /// what RackBatchStepper does per substep.
+  void substep() {
+    batch.step_all(kDt);
+    for (std::size_t i = 0; i < servers.size(); ++i) {
+      servers[i]->adopt_plant_step(batch.fan_rpm(i), batch.heat_sink_celsius(i),
+                                   batch.junction_celsius(i), batch.cpu_watts(i),
+                                   batch.fan_watts(i), kDt);
+    }
+  }
+};
+
+/// The scalar baseline: equivalent to bench_micro_perf's
+/// BM_ServerPhysicsStep.
+void BM_ScalarServerStep(benchmark::State& state) {
+  Rng rng(1);
+  Server server = Server::table1_defaults(rng);
+  server.command_fan(3000.0);
+  for (auto _ : state) {
+    server.step(kUtilization, kDt);
+    benchmark::DoNotOptimize(server.true_junction());
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_ScalarServerStep);
+
+void BM_BatchedServerStep(benchmark::State& state) {
+  Fleet fleet(static_cast<std::size_t>(state.range(0)));
+  for (auto _ : state) {
+    fleet.substep();
+    benchmark::DoNotOptimize(fleet.batch.junction_celsius(0));
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()) *
+                          state.range(0));
+}
+BENCHMARK(BM_BatchedServerStep)->Arg(1)->Arg(8)->Arg(64);
+
+/// Worst case: the fan command flips every control period (20 substeps),
+/// so the fans slew most of the time and the memoised pow/exp refresh
+/// almost every substep.
+void BM_BatchedServerStepSlewing(benchmark::State& state) {
+  Fleet fleet(static_cast<std::size_t>(state.range(0)));
+  long substep = 0;
+  for (auto _ : state) {
+    if (substep % 20 == 0) {
+      fleet.set_inputs((substep / 20) % 2 == 0 ? 2500.0 : 7000.0);
+    }
+    fleet.substep();
+    benchmark::DoNotOptimize(fleet.batch.junction_celsius(0));
+    ++substep;
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()) *
+                          state.range(0));
+}
+BENCHMARK(BM_BatchedServerStepSlewing)->Arg(64);
+
+/// Plain-chrono measurement of both paths for the enforced verdict (the
+/// google-benchmark results are not programmatically accessible here).
+double measure_scalar_ns_per_step() {
+  Rng rng(1);
+  Server server = Server::table1_defaults(rng);
+  server.command_fan(3000.0);
+  for (int i = 0; i < 20000; ++i) server.step(kUtilization, kDt);  // warmup
+  constexpr long kSteps = 300000;
+  const auto start = std::chrono::steady_clock::now();
+  for (long i = 0; i < kSteps; ++i) server.step(kUtilization, kDt);
+  const auto stop = std::chrono::steady_clock::now();
+  benchmark::DoNotOptimize(server.true_junction());
+  return std::chrono::duration<double, std::nano>(stop - start).count() /
+         static_cast<double>(kSteps);
+}
+
+double measure_batched_ns_per_server_step(std::size_t n) {
+  Fleet fleet(n);
+  for (int i = 0; i < 2000; ++i) fleet.substep();  // warmup (fans settle)
+  constexpr long kSubsteps = 20000;
+  const auto start = std::chrono::steady_clock::now();
+  for (long i = 0; i < kSubsteps; ++i) fleet.substep();
+  const auto stop = std::chrono::steady_clock::now();
+  benchmark::DoNotOptimize(fleet.batch.junction_celsius(0));
+  return std::chrono::duration<double, std::nano>(stop - start).count() /
+         static_cast<double>(kSubsteps * static_cast<long>(n));
+}
+
+bool print_throughput_verdict() {
+  // Min-of-3: the minimum is the standard noise-robust estimator for a
+  // deterministic workload — one preempted run must not fail the gate.
+  double scalar_ns = measure_scalar_ns_per_step();
+  double batched_ns = measure_batched_ns_per_server_step(64);
+  for (int rep = 0; rep < 2; ++rep) {
+    scalar_ns = std::min(scalar_ns, measure_scalar_ns_per_step());
+    batched_ns = std::min(batched_ns, measure_batched_ns_per_server_step(64));
+  }
+  std::printf("\n--- batched kernel throughput (n=64, settled fans) ---\n");
+  std::printf("scalar  Server::step      : %8.2f ns/server-step\n", scalar_ns);
+  std::printf("batched step_all + adopt  : %8.2f ns/server-step (%.1fx)\n\n",
+              batched_ns, scalar_ns / batched_ns);
+  bool ok = true;
+  ok &= fsc_bench::check_beats("batched-soa-n64", "ns_per_server_step",
+                               "scalar", scalar_ns, batched_ns);
+  ok &= fsc_bench::check_beats("batched-soa-n64", "ns_per_server_step",
+                               "scalar/4 (the >=4x tentpole)", scalar_ns / 4.0,
+                               batched_ns);
+  return ok;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const int rc =
+      fsc_bench::run_benchmarks_with_json(argc, argv, "BENCH_batch.json");
+  if (rc != 0) return rc;
+  return print_throughput_verdict() ? 0 : 2;
+}

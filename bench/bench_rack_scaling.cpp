@@ -40,6 +40,10 @@ void BM_RackBatch(benchmark::State& state) {
   state.counters["threads"] = static_cast<double>(threads);
 }
 
+// The explicit MinTime overrides CI's global --benchmark_min_time=0.05,
+// which previously let every multi-server row finish after a single
+// iteration — a lone cold-cache run is pure noise in the committed
+// BENCH_rack_scaling.json trajectory.
 BENCHMARK(BM_RackBatch)
     ->Args({1, 1})
     ->Args({8, 1})
@@ -47,6 +51,7 @@ BENCHMARK(BM_RackBatch)
     ->Args({64, 1})
     ->Args({64, 8})
     ->Unit(benchmark::kMillisecond)
+    ->MinTime(0.5)
     ->MeasureProcessCPUTime()
     ->UseRealTime();
 

@@ -39,6 +39,10 @@ void BM_RoomLockstep(benchmark::State& state) {
   state.counters["threads"] = static_cast<double>(threads);
 }
 
+// The explicit MinTime overrides CI's global --benchmark_min_time=0.05,
+// which previously let every multi-rack row finish after a single
+// iteration — a lone cold-cache run is pure noise in the committed
+// BENCH_room_scaling.json trajectory.
 BENCHMARK(BM_RoomLockstep)
     ->Args({1, 1})
     ->Args({2, 2})
@@ -46,6 +50,7 @@ BENCHMARK(BM_RoomLockstep)
     ->Args({8, 1})
     ->Args({8, 8})
     ->Unit(benchmark::kMillisecond)
+    ->MinTime(0.5)
     ->MeasureProcessCPUTime()
     ->UseRealTime();
 

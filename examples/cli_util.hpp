@@ -4,6 +4,7 @@
 
 #include <cstddef>
 #include <cstdlib>
+#include <cstring>
 
 namespace fsc_cli {
 
@@ -15,6 +16,20 @@ inline std::size_t parse_positive(const char* text) {
   const long long v = std::strtoll(text, &end, 10);
   if (end == text || *end != '\0' || v <= 0) return 0;
   return static_cast<std::size_t>(v);
+}
+
+/// Parse an on/off flag value ("--batched on|off") into `out`.  Returns
+/// false on anything else so the caller can fall through to usage().
+inline bool parse_on_off(const char* text, bool& out) {
+  if (std::strcmp(text, "on") == 0) {
+    out = true;
+    return true;
+  }
+  if (std::strcmp(text, "off") == 0) {
+    out = false;
+    return true;
+  }
+  return false;
 }
 
 }  // namespace fsc_cli

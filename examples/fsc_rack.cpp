@@ -9,13 +9,15 @@
 // Usage:
 //   fsc_rack [--policy COORD] [--dtm POLICY] [--traces DIR] [--slots N]
 //            [--threads N] [--seed S] [--duration SECS] [--budget WATTS]
-//            [--zone K] [--no-plenum] [--out FILE.json] [--csv FILE.csv]
-//            [--list]
+//            [--zone K] [--batched on|off] [--no-plenum] [--out FILE.json]
+//            [--csv FILE.csv] [--list]
 //
 //   --policy    coordinator name (default "independent"); --list shows all
 //   --dtm       per-server DtmPolicy name (default the paper's full stack)
 //   --budget    rack CPU power budget in watts (0 = 85 % of aggregate max)
 //   --zone      slots per shared fan zone
+//   --batched   SoA batched physics (default on) vs the scalar
+//               one-task-per-server path — bit-identical, for A/B timing
 #include <algorithm>
 #include <cstdlib>
 #include <fstream>
@@ -31,6 +33,7 @@
 
 namespace {
 
+using fsc_cli::parse_on_off;
 using fsc_cli::parse_positive;
 
 void print_names() {
@@ -51,8 +54,8 @@ int usage(const char* argv0) {
             << " [--policy COORD] [--dtm POLICY] [--traces DIR] [--slots N]\n"
                "       [--threads N] [--seed S] [--duration SECS] "
                "[--budget WATTS]\n"
-               "       [--zone K] [--no-plenum] [--out FILE.json] "
-               "[--csv FILE.csv] [--list]\n";
+               "       [--zone K] [--batched on|off] [--no-plenum] "
+               "[--out FILE.json] [--csv FILE.csv] [--list]\n";
   return 1;
 }
 
@@ -73,6 +76,7 @@ int main(int argc, char** argv) {
   double budget_watts = -1.0;
   std::size_t zone = 0;
   bool plenum = true;
+  bool batched = true;
 
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
@@ -102,6 +106,8 @@ int main(int argc, char** argv) {
       budget_watts = std::atof(argv[++i]);
     } else if (arg == "--zone") {
       if ((zone = parse_positive(argv[++i])) == 0) return usage(argv[0]);
+    } else if (arg == "--batched") {
+      if (!parse_on_off(argv[++i], batched)) return usage(argv[0]);
     } else if (arg == "--out") {
       out_path = argv[++i];
     } else if (arg == "--csv") {
@@ -126,6 +132,7 @@ int main(int argc, char** argv) {
     params.rack.num_servers = slots;
     params.coordinator = coordinator;
     params.plenum_enabled = plenum;
+    params.batched = batched;
     if (!dtm.empty()) params.rack.policy = dtm;
     if (budget_watts >= 0.0) params.coord.rack_power_budget_watts = budget_watts;
     if (zone > 0) params.coord.fan_zone_size = zone;

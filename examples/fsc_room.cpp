@@ -11,14 +11,16 @@
 //   fsc_room [--policy SCHED] [--coordinator COORD] [--dtm POLICY]
 //            [--racks K] [--slots N] [--traces DIR] [--threads N]
 //            [--seed S] [--duration SECS] [--budget WATTS] [--step FRAC]
-//            [--no-cross-plenum] [--no-plenum] [--out FILE.json]
-//            [--csv FILE.csv] [--list]
+//            [--batched on|off] [--no-cross-plenum] [--no-plenum]
+//            [--out FILE.json] [--csv FILE.csv] [--list]
 //
 //   --policy       room scheduler name (default "static"); --list shows all
 //   --coordinator  per-rack RackCoordinator name (default "independent")
 //   --dtm          per-server DtmPolicy name (default the paper's full stack)
 //   --budget       room CPU power budget in watts (0 = 85 % of aggregate max)
 //   --step         fraction of the hot rack's load moved per migration
+//   --batched      SoA batched physics (default on) vs the scalar
+//                  one-task-per-server path — bit-identical, for A/B timing
 #include <algorithm>
 #include <cstdlib>
 #include <fstream>
@@ -34,6 +36,7 @@
 
 namespace {
 
+using fsc_cli::parse_on_off;
 using fsc_cli::parse_positive;
 
 void print_names() {
@@ -60,8 +63,8 @@ int usage(const char* argv0) {
                "       [--racks K] [--slots N] [--traces DIR] [--threads N]\n"
                "       [--seed S] [--duration SECS] [--budget WATTS] "
                "[--step FRAC]\n"
-               "       [--no-cross-plenum] [--no-plenum] [--out FILE.json]\n"
-               "       [--csv FILE.csv] [--list]\n";
+               "       [--batched on|off] [--no-cross-plenum] [--no-plenum]\n"
+               "       [--out FILE.json] [--csv FILE.csv] [--list]\n";
   return 1;
 }
 
@@ -85,6 +88,7 @@ int main(int argc, char** argv) {
   double step = -1.0;
   bool cross_plenum = true;
   bool rack_plenum = true;
+  bool batched = true;
 
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
@@ -120,6 +124,8 @@ int main(int argc, char** argv) {
       budget_watts = std::atof(argv[++i]);
     } else if (arg == "--step") {
       step = std::atof(argv[++i]);
+    } else if (arg == "--batched") {
+      if (!parse_on_off(argv[++i], batched)) return usage(argv[0]);
     } else if (arg == "--out") {
       out_path = argv[++i];
     } else if (arg == "--csv") {
@@ -159,6 +165,7 @@ int main(int argc, char** argv) {
       CoupledRackParams& rack = params.racks[r];
       rack.rack.num_servers = slots;
       rack.plenum_enabled = rack_plenum;
+      rack.batched = batched;
       if (!coordinator.empty()) rack.coordinator = coordinator;
       if (!dtm.empty()) rack.rack.policy = dtm;
       if (!traces.empty()) {

@@ -2,6 +2,7 @@
 
 #include <cmath>
 
+#include "batch/plant_kernel.hpp"
 #include "util/units.hpp"
 
 namespace fsc {
@@ -20,13 +21,8 @@ void FanActuator::command(double rpm) noexcept {
 
 void FanActuator::step(double dt) {
   require(dt >= 0.0, "FanActuator: dt must be >= 0");
-  const double max_delta = params_.slew_rpm_per_s * dt;
-  const double delta = commanded_rpm_ - actual_rpm_;
-  if (std::fabs(delta) <= max_delta) {
-    actual_rpm_ = commanded_rpm_;
-  } else {
-    actual_rpm_ += delta > 0.0 ? max_delta : -max_delta;
-  }
+  actual_rpm_ =
+      plant::slew_toward(actual_rpm_, commanded_rpm_, params_.slew_rpm_per_s * dt);
 }
 
 bool FanActuator::settled() const noexcept {

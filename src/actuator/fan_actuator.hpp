@@ -40,6 +40,13 @@ class FanActuator {
   /// The speed the blades are actually spinning at.
   double speed() const noexcept { return actual_rpm_; }
 
+  /// Overwrite the actual speed without slewing.  Batched-stepping
+  /// write-back hook: the SoA kernel advances the slew in its own arrays
+  /// (same plant::slew_toward expression) and mirrors the result here.
+  /// Precondition: `rpm` came from that kernel, so it is already inside
+  /// the [min, max] envelope.
+  void adopt_speed(double rpm) noexcept { actual_rpm_ = rpm; }
+
   /// The most recent commanded speed.
   double commanded() const noexcept { return commanded_rpm_; }
 

@@ -1,0 +1,66 @@
+#include "batch/rack_stepper.hpp"
+
+#include "sim/server.hpp"
+#include "util/units.hpp"
+
+namespace fsc {
+
+void RackBatchStepper::add_slot(SimulationEngine::Session& session,
+                                Server& server) {
+  if (!slots_.empty()) {
+    const SimulationParams& first = slots_.front().session->params();
+    require(session.params().physics_dt_s == first.physics_dt_s &&
+                session.physics_per_period() ==
+                    slots_.front().session->physics_per_period(),
+            "RackBatchStepper: all slots must share the physics timing");
+  }
+  slots_.push_back(Slot{&session, &server});
+  active_.push_back(0);
+  batch_.add_server(server);
+}
+
+void RackBatchStepper::advance_periods(long periods) {
+  if (slots_.empty()) return;
+  const double dt = slots_.front().session->params().physics_dt_s;
+  const long substeps = slots_.front().session->physics_per_period();
+
+  for (long p = 0; p < periods; ++p) {
+    // Phase 1 — per-slot control decisions, then the once-per-period input
+    // gather into the SoA kernel.
+    bool any_active = false;
+    for (std::size_t i = 0; i < slots_.size(); ++i) {
+      Slot& slot = slots_[i];
+      active_[i] = slot.session->begin_period() ? 1 : 0;
+      if (!active_[i]) continue;
+      any_active = true;
+      batch_.set_inputs(i,
+                        slot.server->cpu_power_now(slot.session->period_executed()),
+                        slot.server->fan_speed_commanded(),
+                        slot.server->inlet_temperature());
+    }
+    if (!any_active) return;  // all sessions done
+
+    // Phase 2 — batched physics: one SoA step over every slot, then the
+    // per-slot write-back (sensor, energy, instrumentation).
+    for (long s = 0; s < substeps; ++s) {
+      batch_.step_all(dt);
+      for (std::size_t i = 0; i < slots_.size(); ++i) {
+        if (!active_[i]) continue;
+        Slot& slot = slots_[i];
+        slot.server->adopt_plant_step(batch_.fan_rpm(i),
+                                      batch_.heat_sink_celsius(i),
+                                      batch_.junction_celsius(i),
+                                      batch_.cpu_watts(i), batch_.fan_watts(i),
+                                      dt);
+        slot.session->note_substep();
+      }
+    }
+
+    // Phase 3 — close the period on every slot.
+    for (std::size_t i = 0; i < slots_.size(); ++i) {
+      if (active_[i]) slots_[i].session->finish_period();
+    }
+  }
+}
+
+}  // namespace fsc

@@ -1,0 +1,61 @@
+// Drives N (SimulationEngine::Session, Server) pairs — one rack — through
+// whole CPU control periods with the plant math batched in a ServerBatch.
+//
+// Per period it runs the three session phases (sim/engine.hpp):
+//
+//   1. every slot's begin_period() in slot order (policy decision, fan
+//      command, workload resolution) — control stays per-entity;
+//   2. the per-slot inputs are gathered ONCE into the SoA kernel (CPU
+//      power at the period's executed utilization, the clamped fan
+//      command, the current inlet temperature), then each physics substep
+//      is one ServerBatch::step_all over all slots followed by the
+//      write-back into each Server (sensor + energy + instrumentation);
+//   3. every slot's finish_period().
+//
+// Slots never interact inside a period (rack coupling happens at the
+// coordination barriers, between advance_periods calls), so interleaving
+// the slots substep-by-substep instead of slot-by-slot performs the exact
+// same per-slot FP operation sequence as the scalar path — trajectories
+// are bit-identical, only the loop nest (and the speed) changes.  This is
+// what lets CoupledRackEngine submit ONE pool task per rack instead of one
+// per server: racks parallelise across the pool, servers vectorize within
+// the batch.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "batch/server_batch.hpp"
+#include "sim/engine.hpp"
+
+namespace fsc {
+
+class Server;
+
+/// Steps one rack's sessions over a shared SoA plant kernel.
+class RackBatchStepper {
+ public:
+  /// Register a slot.  The session must be freshly constructed (settled,
+  /// zero periods stepped) so the gathered plant state matches; all slots
+  /// must share the session timing (the engines validate that).  Both
+  /// references are borrowed and must outlive the stepper.
+  void add_slot(SimulationEngine::Session& session, Server& server);
+
+  std::size_t size() const noexcept { return slots_.size(); }
+
+  /// Advance every slot by up to `periods` CPU control periods, stopping
+  /// early when the sessions are done.
+  void advance_periods(long periods);
+
+ private:
+  struct Slot {
+    SimulationEngine::Session* session = nullptr;
+    Server* server = nullptr;
+  };
+
+  std::vector<Slot> slots_;
+  std::vector<char> active_;  ///< per-period: slot opened a period
+  ServerBatch batch_;
+};
+
+}  // namespace fsc

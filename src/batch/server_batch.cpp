@@ -1,0 +1,126 @@
+#include "batch/server_batch.hpp"
+
+#include <cmath>
+#include <limits>
+
+#include "batch/plant_kernel.hpp"
+#include "sim/server.hpp"
+#include "util/units.hpp"
+
+namespace fsc {
+
+std::size_t ServerBatch::add_server(const Server& server) {
+  const ServerParams& p = server.params();
+  const HeatSinkModel& hs = p.thermal.heat_sink();
+  const ThermalParams& tp = p.thermal.params();
+
+  heat_sink_.push_back(server.true_heat_sink());
+  junction_.push_back(server.true_junction());
+  fan_actual_.push_back(server.fan_speed_actual());
+  fan_cmd_.push_back(server.fan_speed_commanded());
+  cpu_watts_.push_back(p.cpu_power.idle_power());
+  fan_watts_.push_back(0.0);
+  ambient_.push_back(server.inlet_temperature());
+
+  r_base_.push_back(hs.r_base());
+  r_coeff_.push_back(hs.r_coeff());
+  r_exp_.push_back(hs.r_exp());
+  hs_capacitance_.push_back(hs.capacitance());
+  r_die_.push_back(tp.die_resistance_kpw);
+  tau_die_.push_back(tp.die_time_constant_s);
+  fan_min_.push_back(p.fan.min_rpm);
+  fan_max_.push_back(p.fan.max_rpm);
+  fan_slew_.push_back(p.fan.slew_rpm_per_s);
+  fan_pmax_.push_back(p.fan_power.power_at_max());
+  fan_smax_.push_back(p.fan_power.max_speed());
+
+  memo_rpm_.push_back(std::numeric_limits<double>::quiet_NaN());
+  r_hs_.push_back(0.0);
+  hs_decay_.push_back(0.0);
+  die_decay_.push_back(0.0);
+  last_dt_ = -1.0;  // new lane: force a full transcendental refresh
+  return size() - 1;
+}
+
+void ServerBatch::set_inputs(std::size_t i, double cpu_watts,
+                             double fan_cmd_rpm, double inlet_celsius) {
+  require(i < size(), "ServerBatch::set_inputs: slot index out of range");
+  require(cpu_watts >= 0.0, "ServerBatch::set_inputs: power must be >= 0");
+  cpu_watts_[i] = cpu_watts;
+  fan_cmd_[i] = clamp(fan_cmd_rpm, fan_min_[i], fan_max_[i]);
+  ambient_[i] = inlet_celsius;
+}
+
+void ServerBatch::refresh_dt(double dt) {
+  const std::size_t n = size();
+  for (std::size_t i = 0; i < n; ++i) {
+    die_decay_[i] = plant::rc_decay(dt, tau_die_[i]);
+    // The heat-sink decay also depends on dt; invalidate the speed memo so
+    // pass 2 recomputes it per lane.
+    memo_rpm_[i] = std::numeric_limits<double>::quiet_NaN();
+  }
+  last_dt_ = dt;
+}
+
+void ServerBatch::step_all(double dt) {
+  require(dt >= 0.0, "ServerBatch::step_all: dt must be >= 0");
+  const std::size_t n = size();
+  if (n == 0) return;
+  if (dt != last_dt_) refresh_dt(dt);
+
+  double* __restrict act = fan_actual_.data();
+  const double* __restrict cmd = fan_cmd_.data();
+  const double* __restrict slew = fan_slew_.data();
+
+  // Pass 1 — actuator slew: one select per lane, no control flow.
+  for (std::size_t i = 0; i < n; ++i) {
+    act[i] = plant::slew_toward(act[i], cmd[i], slew[i] * dt);
+  }
+
+  // Pass 2 — refresh memoised transcendentals for lanes whose speed moved
+  // (slewing fans); settled lanes — the steady state — skip the pow/exp
+  // entirely, which is where the batched speedup comes from.
+  {
+    double* __restrict memo = memo_rpm_.data();
+    double* __restrict r_hs = r_hs_.data();
+    double* __restrict hs_decay = hs_decay_.data();
+    const double* __restrict r_base = r_base_.data();
+    const double* __restrict r_coeff = r_coeff_.data();
+    const double* __restrict r_exp = r_exp_.data();
+    const double* __restrict cap = hs_capacitance_.data();
+    for (std::size_t i = 0; i < n; ++i) {
+      if (act[i] != memo[i]) {
+        memo[i] = act[i];
+        r_hs[i] = plant::heat_sink_resistance(r_base[i], r_coeff[i], r_exp[i],
+                                              act[i]);
+        hs_decay[i] = plant::rc_decay(dt, r_hs[i] * cap[i]);
+      }
+    }
+  }
+
+  // Pass 3 — branch-free SoA plant update, same per-lane operation order
+  // as Server::step: fan power at the new speed, then heat-sink node, then
+  // die node (paper Eqns. 2-3).
+  {
+    double* __restrict t_hs = heat_sink_.data();
+    double* __restrict t_j = junction_.data();
+    double* __restrict fan_w = fan_watts_.data();
+    const double* __restrict p_cpu = cpu_watts_.data();
+    const double* __restrict ambient = ambient_.data();
+    const double* __restrict r_hs = r_hs_.data();
+    const double* __restrict hs_decay = hs_decay_.data();
+    const double* __restrict die_decay = die_decay_.data();
+    const double* __restrict r_die = r_die_.data();
+    const double* __restrict pmax = fan_pmax_.data();
+    const double* __restrict smax = fan_smax_.data();
+    for (std::size_t i = 0; i < n; ++i) {
+      fan_w[i] = plant::fan_power(pmax[i], smax[i], act[i]);
+      const double hs_ss = ambient[i] + r_hs[i] * p_cpu[i];  // Eqn. 3
+      t_hs[i] = plant::rc_relax(t_hs[i], hs_ss, hs_decay[i]);
+      const double die_ss = t_hs[i] + r_die[i] * p_cpu[i];
+      t_j[i] = plant::rc_relax(t_j[i], die_ss, die_decay[i]);
+    }
+  }
+}
+
+}  // namespace fsc

@@ -1,0 +1,109 @@
+// Structure-of-arrays batched server-plant kernel: the hot path of the
+// whole simulator (actuator slew + fan power + two-node thermal update for
+// every server, every 0.05 s physics substep) stepped for N servers by one
+// branch-free loop instead of N virtual-ish per-object calls.
+//
+// Data layout: one flat double array per quantity (heat-sink temperature,
+// junction temperature, actual fan speed, ...) indexed by slot, plus one
+// array per closed-form coefficient (Rhs power-law terms, capacitance, die
+// resistance/time-constant, fan power-law and slew limits) gathered once
+// from each Server at add_server().  Per-control-period inputs (CPU power,
+// fan command, inlet temperature) are gathered once per period via
+// set_inputs(); step_all(dt) then advances every lane.
+//
+// Bit-identity with the scalar path (Server::step) is by construction, not
+// by tolerance:
+//
+//   * every expression is the same inline function from
+//     batch/plant_kernel.hpp that the scalar model classes call;
+//   * the per-lane operation ORDER matches Server::step exactly
+//     (actuator, then fan power, then heat-sink node, then die node);
+//   * the transcendentals (std::pow in Rhs, std::exp in the node decays)
+//     are deterministic functions of their inputs, so memoising them
+//     across substeps — the key speedup: once a fan settles, its Rhs and
+//     decay factor are constant until the next command — reproduces the
+//     recomputed values bit for bit.
+//
+// The three passes of step_all keep the transcendental refresh (branchy,
+// usually a no-op) out of the main update loop, so pass 1 (slew select)
+// and pass 3 (multiply-add chains) auto-vectorize cleanly.
+//
+// What is NOT here: the sensor chain, energy metering, and per-slot RNG
+// stay in the Server (they are cheap, stateful, and sometimes random);
+// batch/rack_stepper.hpp mirrors each substep's results back into the
+// Servers so every observer keeps working unchanged.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+namespace fsc {
+
+class Server;
+
+/// SoA plant state + coefficients for N servers, advanced in lockstep.
+class ServerBatch {
+ public:
+  /// Append `server`'s plant: closed-form coefficients plus the current
+  /// actuator/thermal state.  Returns the slot index.  The server should
+  /// already be settled at its initial operating point (the engines
+  /// construct their Sessions first, then gather).
+  std::size_t add_server(const Server& server);
+
+  std::size_t size() const noexcept { return junction_.size(); }
+
+  /// Per-control-period input gather for one slot: the (constant within
+  /// the period) CPU power, the commanded fan speed, and the inlet air
+  /// temperature.  The command is clamped into the slot's fan envelope
+  /// exactly like FanActuator::command.  Throws std::invalid_argument on a
+  /// bad index or negative power.
+  void set_inputs(std::size_t i, double cpu_watts, double fan_cmd_rpm,
+                  double inlet_celsius);
+
+  /// Advance every slot by one physics substep of `dt` seconds.  Throws
+  /// std::invalid_argument when dt < 0.
+  void step_all(double dt);
+
+  /// Per-slot outputs after the last step_all (or the gathered initial
+  /// state before the first).
+  double fan_rpm(std::size_t i) const noexcept { return fan_actual_[i]; }
+  double heat_sink_celsius(std::size_t i) const noexcept { return heat_sink_[i]; }
+  double junction_celsius(std::size_t i) const noexcept { return junction_[i]; }
+  double cpu_watts(std::size_t i) const noexcept { return cpu_watts_[i]; }
+  double fan_watts(std::size_t i) const noexcept { return fan_watts_[i]; }
+
+ private:
+  void refresh_dt(double dt);
+
+  // State (SoA, one lane per slot).
+  std::vector<double> heat_sink_;
+  std::vector<double> junction_;
+  std::vector<double> fan_actual_;
+  std::vector<double> fan_cmd_;
+  std::vector<double> cpu_watts_;   ///< per-period input
+  std::vector<double> fan_watts_;   ///< per-substep output
+  std::vector<double> ambient_;     ///< per-period input
+
+  // Closed-form coefficients (constant after add_server).
+  std::vector<double> r_base_;
+  std::vector<double> r_coeff_;
+  std::vector<double> r_exp_;
+  std::vector<double> hs_capacitance_;
+  std::vector<double> r_die_;
+  std::vector<double> tau_die_;
+  std::vector<double> fan_min_;
+  std::vector<double> fan_max_;
+  std::vector<double> fan_slew_;
+  std::vector<double> fan_pmax_;
+  std::vector<double> fan_smax_;
+
+  // Memoised transcendentals: valid while the lane's fan speed (and dt)
+  // stay put.  memo_rpm_ = NaN marks "recompute".
+  std::vector<double> memo_rpm_;
+  std::vector<double> r_hs_;
+  std::vector<double> hs_decay_;
+  std::vector<double> die_decay_;
+  double last_dt_ = -1.0;  ///< sentinel: never matches a (>= 0) step dt
+};
+
+}  // namespace fsc

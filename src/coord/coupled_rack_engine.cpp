@@ -6,6 +6,8 @@
 #include <optional>
 #include <sstream>
 
+#include "batch/rack_stepper.hpp"
+#include "coord/observe.hpp"
 #include "core/controller.hpp"
 #include "core/policy_factory.hpp"
 #include "sim/instrumentation.hpp"
@@ -76,6 +78,8 @@ struct CoupledRackEngine::Session::Impl {
   std::unique_ptr<RackCoordinator> coordinator;
   long periods_per_round = 0;
   std::vector<std::unique_ptr<SlotRuntime>> slots;
+  /// One-task-per-rack SoA stepping (null when params.batched is off).
+  std::unique_ptr<RackBatchStepper> stepper;
   std::optional<SharedPlenumModel> plenum;
   std::vector<std::future<void>> futures;
   std::vector<SlotObservation> observations;
@@ -105,6 +109,11 @@ struct CoupledRackEngine::Session::Impl {
     for (const RackServerSpec& spec : rack.servers()) {
       slots.push_back(
           std::make_unique<SlotRuntime>(spec, params.rack.policy, sim));
+    }
+
+    if (params.batched) {
+      stepper = std::make_unique<RackBatchStepper>();
+      for (const auto& rt : slots) stepper->add_slot(*rt->session, rt->server);
     }
 
     if (params.plenum_enabled) {
@@ -145,12 +154,22 @@ std::size_t CoupledRackEngine::Session::num_slots() const noexcept {
 void CoupledRackEngine::Session::begin_round() {
   Impl& im = *impl_;
   if (done()) return;
-  // Chunk: every slot advances one coordination period, in parallel —
-  // slots only interact at the barrier in complete_round(), so task order
-  // is free.
+  // Chunk: every slot advances one coordination period — slots only
+  // interact at the barrier in complete_round(), so task order is free.
   im.futures.clear();
-  im.futures.reserve(im.slots.size());
   const long periods_per_round = im.periods_per_round;
+  if (im.stepper) {
+    // Batched granularity: ONE task steps the whole rack, slots advancing
+    // together through the SoA kernel (racks parallelise across the pool,
+    // servers vectorize within the batch).
+    RackBatchStepper* stepper = im.stepper.get();
+    im.futures.push_back(im.pool.submit(
+        [stepper, periods_per_round] { stepper->advance_periods(periods_per_round); }));
+    return;
+  }
+  // Scalar granularity: one task per slot (the pre-batch path, kept for
+  // A/B comparison and as the bit-identity reference).
+  im.futures.reserve(im.slots.size());
   for (const auto& rt_ptr : im.slots) {
     SlotRuntime* rt = rt_ptr.get();
     im.futures.push_back(im.pool.submit([rt, periods_per_round] {
@@ -172,20 +191,8 @@ void CoupledRackEngine::Session::complete_round() {
   im.observations.clear();
   im.observations.reserve(im.slots.size());
   for (const auto& rt : im.slots) {
-    SlotObservation o;
-    o.index = im.observations.size();
-    o.time_s = t;
-    o.measured_temp = rt->server.measured_temp();
-    o.inlet_celsius = rt->server.inlet_temperature();
-    o.fan_cmd_rpm = rt->session->applied_fan_cmd();
-    o.fan_requested_rpm = rt->session->last_requested_fan();
-    o.fan_actual_rpm = rt->server.fan_speed_actual();
-    o.cap = rt->session->applied_cap();
-    o.demand = rt->session->window_mean_demand();
-    o.executed = rt->session->window_mean_executed();
-    o.cpu_watts = rt->server.cpu_power_now(o.executed);
-    im.observations.push_back(o);
-    rt->session->reset_window();
+    im.observations.push_back(collect_slot_observation(
+        im.observations.size(), t, rt->server, *rt->session));
   }
 
   const std::vector<SlotDirective> directives =

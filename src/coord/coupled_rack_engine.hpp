@@ -50,6 +50,12 @@ struct CoupledRackParams {
   CoordinatorConfig coord;
   PlenumParams plenum;
   bool plenum_enabled = true;
+  /// Step the rack's plant physics as ONE SoA batch (batch/ layer): a
+  /// single pool task per rack advances every slot with the vectorized
+  /// kernel, instead of one task per server.  Trajectories are
+  /// bit-identical either way (test_batch); the flag exists so the two
+  /// paths can be A/B'd (`fsc_rack --batched off`).
+  bool batched = true;
 };
 
 /// One slot's outcome plus its coordination exposure.

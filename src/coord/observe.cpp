@@ -1,0 +1,26 @@
+#include "coord/observe.hpp"
+
+#include "sim/server.hpp"
+
+namespace fsc {
+
+SlotObservation collect_slot_observation(std::size_t index, double time_s,
+                                         const Server& server,
+                                         SimulationEngine::Session& session) {
+  SlotObservation o;
+  o.index = index;
+  o.time_s = time_s;
+  o.measured_temp = server.measured_temp();
+  o.inlet_celsius = server.inlet_temperature();
+  o.fan_cmd_rpm = session.applied_fan_cmd();
+  o.fan_requested_rpm = session.last_requested_fan();
+  o.fan_actual_rpm = server.fan_speed_actual();
+  o.cap = session.applied_cap();
+  o.demand = session.window_mean_demand();
+  o.executed = session.window_mean_executed();
+  o.cpu_watts = server.cpu_power_now(o.executed);
+  session.reset_window();
+  return o;
+}
+
+}  // namespace fsc

@@ -4,13 +4,6 @@
 
 namespace fsc {
 
-void EnergyMeter::accumulate(double cpu_watts, double fan_watts, double dt) {
-  require(dt >= 0.0, "EnergyMeter: dt must be >= 0");
-  cpu_joules_ += cpu_watts * dt;
-  fan_joules_ += fan_watts * dt;
-  elapsed_ += dt;
-}
-
 double EnergyMeter::average_power() const noexcept {
   return elapsed_ > 0.0 ? total_energy() / elapsed_ : 0.0;
 }

@@ -7,6 +7,8 @@
 
 #include <cstddef>
 
+#include "util/units.hpp"
+
 namespace fsc {
 
 /// Trapezoid-free rectangular integrator: each call accounts `power * dt`.
@@ -16,8 +18,15 @@ namespace fsc {
 class EnergyMeter {
  public:
   /// Account `dt` seconds at the given CPU and fan power draw (watts).
-  /// Throws std::invalid_argument when dt < 0.
-  void accumulate(double cpu_watts, double fan_watts, double dt);
+  /// Throws std::invalid_argument when dt < 0.  Inline: this runs once per
+  /// server per physics substep — the hottest non-plant call in the
+  /// simulator.
+  void accumulate(double cpu_watts, double fan_watts, double dt) {
+    require(dt >= 0.0, "EnergyMeter: dt must be >= 0");
+    cpu_joules_ += cpu_watts * dt;
+    fan_joules_ += fan_watts * dt;
+    elapsed_ += dt;
+  }
 
   /// Joules consumed by the CPU so far.
   double cpu_energy() const noexcept { return cpu_joules_; }

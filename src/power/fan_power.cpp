@@ -2,6 +2,7 @@
 
 #include <cmath>
 
+#include "batch/plant_kernel.hpp"
 #include "util/units.hpp"
 
 namespace fsc {
@@ -15,8 +16,7 @@ FanPowerModel::FanPowerModel(double max_speed_rpm, double power_at_max_watts)
 FanPowerModel FanPowerModel::table1_defaults() { return FanPowerModel(8500.0, 29.4); }
 
 double FanPowerModel::power(double rpm) const noexcept {
-  const double s = clamp(rpm, 0.0, max_speed_rpm_) / max_speed_rpm_;
-  return power_at_max_watts_ * s * s * s;
+  return plant::fan_power(power_at_max_watts_, max_speed_rpm_, rpm);
 }
 
 double FanPowerModel::speed_for_power(double watts) const noexcept {

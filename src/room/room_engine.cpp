@@ -101,34 +101,11 @@ RoomResult RoomEngine::run() const {
     observations.reserve(num_racks);
     for (std::size_t i = 0; i < num_racks; ++i) {
       const CoupledRackEngine::Session& rack = *racks[i];
-      const std::vector<SlotObservation>& slots = rack.last_observations();
-      RackObservation o;
-      o.index = i;
-      o.time_s = t;
-      o.slots = slots.size();
-      for (const SlotObservation& s : slots) {
-        o.demand += s.demand;
-        o.executed += s.executed;
-        o.cpu_watts += s.cpu_watts;
-        o.mean_inlet_celsius += s.inlet_celsius;
-        o.max_inlet_celsius = std::max(o.max_inlet_celsius, s.inlet_celsius);
-        o.mean_measured_temp += s.measured_temp;
-        o.max_measured_temp = std::max(o.max_measured_temp, s.measured_temp);
-        o.mean_fan_rpm += s.fan_actual_rpm;
-      }
-      if (!slots.empty()) {
-        const double n = static_cast<double>(slots.size());
-        o.demand /= n;
-        o.executed /= n;
-        o.mean_inlet_celsius /= n;
-        o.mean_measured_temp /= n;
-        o.mean_fan_rpm /= n;
-      }
       const std::size_t pooled = rack.pooled_deadline_violations_so_far();
-      o.window_deadline_violations = pooled - violations_seen[i];
+      observations.push_back(aggregate_rack_observation(
+          i, t, rack.last_observations(), pooled - violations_seen[i],
+          rack.demand_scale()));
       violations_seen[i] = pooled;
-      o.demand_scale = rack.demand_scale();
-      observations.push_back(o);
     }
 
     const std::vector<RackDirective> directives =

@@ -20,6 +20,7 @@
 #include <string>
 #include <vector>
 
+#include "coord/coordinator.hpp"
 #include "power/cpu_power.hpp"
 
 namespace fsc {
@@ -44,6 +45,16 @@ struct RackObservation {
   std::size_t window_deadline_violations = 0;
   double demand_scale = 1.0;  ///< scale currently in force on this rack
 };
+
+/// Aggregate one rack's SlotObservations (as collected by the rack barrier
+/// via coord/observe.hpp) into the RackObservation a RoomScheduler sees.
+/// `window_deadline_violations` and `demand_scale` are rack-level facts the
+/// room engine tracks itself.  Defined in room/schedulers.cpp; shared by
+/// RoomEngine and tests so the per-server gather lives in exactly one
+/// place.
+RackObservation aggregate_rack_observation(
+    std::size_t index, double time_s, const std::vector<SlotObservation>& slots,
+    std::size_t window_deadline_violations, double demand_scale);
 
 /// What the scheduler imposes on one rack until the next room barrier.
 struct RackDirective {

@@ -26,6 +26,36 @@ std::vector<RackDirective> directives_from(const std::vector<double>& scales) {
 
 }  // namespace
 
+RackObservation aggregate_rack_observation(
+    std::size_t index, double time_s, const std::vector<SlotObservation>& slots,
+    std::size_t window_deadline_violations, double demand_scale) {
+  RackObservation o;
+  o.index = index;
+  o.time_s = time_s;
+  o.slots = slots.size();
+  for (const SlotObservation& s : slots) {
+    o.demand += s.demand;
+    o.executed += s.executed;
+    o.cpu_watts += s.cpu_watts;
+    o.mean_inlet_celsius += s.inlet_celsius;
+    o.max_inlet_celsius = std::max(o.max_inlet_celsius, s.inlet_celsius);
+    o.mean_measured_temp += s.measured_temp;
+    o.max_measured_temp = std::max(o.max_measured_temp, s.measured_temp);
+    o.mean_fan_rpm += s.fan_actual_rpm;
+  }
+  if (!slots.empty()) {
+    const double n = static_cast<double>(slots.size());
+    o.demand /= n;
+    o.executed /= n;
+    o.mean_inlet_celsius /= n;
+    o.mean_measured_temp /= n;
+    o.mean_fan_rpm /= n;
+  }
+  o.window_deadline_violations = window_deadline_violations;
+  o.demand_scale = demand_scale;
+  return o;
+}
+
 // ---------------------------------------------------------------- static
 
 StaticRoomScheduler::StaticRoomScheduler(const RoomSchedulerConfig&) {}

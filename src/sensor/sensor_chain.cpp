@@ -17,19 +17,12 @@ SensorChain SensorChain::table1_defaults(Rng& rng) {
   return SensorChain(SensorChainParams{}, AdcQuantizer::table1_temperature_adc(), rng);
 }
 
-void SensorChain::observe(double true_value, double dt) {
-  require(dt >= 0.0, "SensorChain: dt must be >= 0");
-  phase_ += dt;
-  // Catch up on any sample instants passed during dt.  dt is normally much
-  // smaller than the sample period; the loop handles large steps too.
-  while (phase_ >= params_.sample_period_s) {
-    phase_ -= params_.sample_period_s;
-    double v = true_value;
-    if (params_.noise_stddev > 0.0) {
-      v = GaussianNoise(params_.noise_stddev).apply(v, *rng_);
-    }
-    delay_.push(v);
+void SensorChain::take_sample(double true_value) {
+  double v = true_value;
+  if (params_.noise_stddev > 0.0) {
+    v = GaussianNoise(params_.noise_stddev).apply(v, *rng_);
   }
+  delay_.push(v);
 }
 
 double SensorChain::read() const noexcept {

@@ -15,6 +15,7 @@
 #include "sensor/noise.hpp"
 #include "sensor/quantizer.hpp"
 #include "util/rng.hpp"
+#include "util/units.hpp"
 
 namespace fsc {
 
@@ -39,8 +40,21 @@ class SensorChain {
 
   /// Advance the pipeline clock by `dt` seconds with the physical value
   /// currently at `true_value`.  Samples are taken every sample_period.
-  /// Throws std::invalid_argument when dt < 0.
-  void observe(double true_value, double dt);
+  /// Throws std::invalid_argument when dt < 0.  Inline: this runs once per
+  /// server per physics substep, and on all but every ~20th call it is
+  /// just the phase accumulation (the sample period is much longer than
+  /// the physics step).
+  void observe(double true_value, double dt) {
+    require(dt >= 0.0, "SensorChain: dt must be >= 0");
+    phase_ += dt;
+    // Catch up on any sample instants passed during dt.  dt is normally
+    // much smaller than the sample period; the loop handles large steps
+    // too.
+    while (phase_ >= params_.sample_period_s) {
+      phase_ -= params_.sample_period_s;
+      take_sample(true_value);
+    }
+  }
 
   /// The reading the firmware currently sees (lagged + quantized).
   double read() const noexcept;
@@ -57,6 +71,10 @@ class SensorChain {
   const SensorChainParams& params() const noexcept { return params_; }
 
  private:
+  /// Noise + push of one sample into the delay line (the cold half of
+  /// observe(), out of line).
+  void take_sample(double true_value);
+
   SensorChainParams params_;
   AdcQuantizer adc_;
   Rng* rng_;

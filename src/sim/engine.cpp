@@ -65,8 +65,13 @@ void SimulationEngine::Session::set_demand_scale(double scale) {
   demand_scale_ = scale;
 }
 
-void SimulationEngine::Session::step_period() {
-  if (done()) return;
+const SimulationParams& SimulationEngine::Session::params() const noexcept {
+  return engine_.params_;
+}
+
+bool SimulationEngine::Session::begin_period() {
+  require(!in_period_, "Session::begin_period: previous period not finished");
+  if (done()) return false;
   const SimulationParams& params = engine_.params_;
   const long k = period_;
   const double t = static_cast<double>(k) * params.cpu_period_s;
@@ -137,22 +142,47 @@ void SimulationEngine::Session::step_period() {
     for (InstrumentationSink* sink : engine_.sinks_) sink->on_record(rec);
   }
 
-  // Physics for the rest of the period.
-  for (long i = 0; i < physics_per_period_; ++i) {
-    server_.step(executed, params.physics_dt_s);
-    PhysicsSample phys;
-    phys.time_s = t + static_cast<double>(i + 1) * params.physics_dt_s;
-    phys.dt_s = params.physics_dt_s;
-    phys.server = &server_;
-    for (InstrumentationSink* sink : engine_.sinks_) sink->on_physics_step(phys);
-  }
+  pending_demand_ = demand;
+  pending_executed_ = executed;
+  substeps_done_ = 0;
+  in_period_ = true;
+  return true;
+}
 
-  prev_demand_ = demand;
-  prev_executed_ = executed;
-  window_demand_sum_ += demand;
-  window_executed_sum_ += executed;
+void SimulationEngine::Session::note_substep() {
+  require(in_period_, "Session::note_substep: no period in progress");
+  const SimulationParams& params = engine_.params_;
+  PhysicsSample phys;
+  phys.time_s = static_cast<double>(period_) * params.cpu_period_s +
+                static_cast<double>(substeps_done_ + 1) * params.physics_dt_s;
+  phys.dt_s = params.physics_dt_s;
+  phys.server = &server_;
+  for (InstrumentationSink* sink : engine_.sinks_) sink->on_physics_step(phys);
+  ++substeps_done_;
+}
+
+void SimulationEngine::Session::finish_period() {
+  require(in_period_, "Session::finish_period: no period in progress");
+  require(substeps_done_ == physics_per_period_,
+          "Session::finish_period: wrong number of physics substeps");
+  prev_demand_ = pending_demand_;
+  prev_executed_ = pending_executed_;
+  window_demand_sum_ += pending_demand_;
+  window_executed_sum_ += pending_executed_;
   ++window_periods_;
   ++period_;
+  in_period_ = false;
+}
+
+void SimulationEngine::Session::step_period() {
+  if (!begin_period()) return;
+  const SimulationParams& params = engine_.params_;
+  // Physics for the rest of the period.
+  for (long i = 0; i < physics_per_period_; ++i) {
+    server_.step(pending_executed_, params.physics_dt_s);
+    note_substep();
+  }
+  finish_period();
 }
 
 double SimulationEngine::Session::window_mean_demand() const noexcept {

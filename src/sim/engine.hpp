@@ -129,8 +129,37 @@ class SimulationEngine {
             const Workload& workload);
 
     /// Advance one CPU control period (policy decision + workload
-    /// resolution + physics substeps).  No-op once done().
+    /// resolution + physics substeps).  No-op once done().  Exactly
+    /// `begin_period()` + physics_per_period() internal Server::step +
+    /// note_substep() pairs + `finish_period()`.
     void step_period();
+
+    /// Batched-stepping mode: a driver that advances the *plant* outside
+    /// the session (batch/rack_stepper.hpp steps a whole rack's physics as
+    /// one SoA kernel) decomposes step_period() into three phases:
+    ///
+    ///   1. begin_period()  — policy decision, workload resolution, period
+    ///      sample + trace record publication.  Returns false (and does
+    ///      nothing) once done().
+    ///   2. for each of physics_per_period() substeps: advance the plant
+    ///      externally, mirror the results into the Server, then call
+    ///      note_substep() to publish the PhysicsSample to the sinks.
+    ///   3. finish_period() — workload bookkeeping, period counter.
+    ///
+    /// The scalar step_period() goes through the same three phases with
+    /// Server::step in the middle, so the two modes publish identical
+    /// event sequences.
+    bool begin_period();
+    void note_substep();
+    void finish_period();
+    /// The utilization executing during the period opened by
+    /// begin_period() (what the external plant stepper feeds the CPU
+    /// power model).
+    double period_executed() const noexcept { return pending_executed_; }
+    /// Physics substeps per CPU control period.
+    long physics_per_period() const noexcept { return physics_per_period_; }
+    /// The engine's timing parameters (dt, periods, record cadence).
+    const SimulationParams& params() const noexcept;
 
     /// Periods completed so far / total periods in the configured duration.
     long periods_done() const noexcept { return period_; }
@@ -199,6 +228,10 @@ class SimulationEngine {
     long total_periods_ = 0;
     long record_every_ = 1;
     long period_ = 0;
+    bool in_period_ = false;     ///< between begin_period and finish_period
+    long substeps_done_ = 0;     ///< substeps published this period
+    double pending_demand_ = 0.0;    ///< this period's resolved demand
+    double pending_executed_ = 0.0;  ///< this period's executed utilization
     double cap_ = 1.0;
     double fan_cmd_ = 0.0;
     double prev_demand_ = 0.0;

@@ -2,6 +2,7 @@
 
 #include <cmath>
 
+#include "batch/plant_kernel.hpp"
 #include "util/units.hpp"
 
 namespace fsc {
@@ -25,8 +26,7 @@ HeatSinkModel HeatSinkModel::table1_defaults() {
 }
 
 double HeatSinkModel::resistance(double rpm) const noexcept {
-  const double v = rpm < 1.0 ? 1.0 : rpm;
-  return r_base_ + r_coeff_ * std::pow(v, -r_exp_);
+  return plant::heat_sink_resistance(r_base_, r_coeff_, r_exp_, rpm);
 }
 
 double HeatSinkModel::resistance_slope(double rpm) const noexcept {

@@ -46,6 +46,13 @@ class HeatSinkModel {
 
   double max_speed() const noexcept { return max_speed_rpm_; }
 
+  /// Closed-form coefficients of Rhs(v), exposed so the batched SoA kernel
+  /// (batch/server_batch.hpp) can evaluate the identical expression per
+  /// lane via plant::heat_sink_resistance.
+  double r_base() const noexcept { return r_base_; }
+  double r_coeff() const noexcept { return r_coeff_; }
+  double r_exp() const noexcept { return r_exp_; }
+
  private:
   double r_base_;
   double r_coeff_;

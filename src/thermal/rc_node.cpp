@@ -2,6 +2,7 @@
 
 #include <cmath>
 
+#include "batch/plant_kernel.hpp"
 #include "util/units.hpp"
 
 namespace fsc {
@@ -9,8 +10,8 @@ namespace fsc {
 void RcNode::step(double steady_state_celsius, double tau_seconds, double dt) {
   require(dt >= 0.0, "RcNode: dt must be >= 0");
   require(tau_seconds > 0.0, "RcNode: tau must be > 0");
-  const double decay = std::exp(-dt / tau_seconds);
-  temperature_ = steady_state_celsius + (temperature_ - steady_state_celsius) * decay;
+  temperature_ = plant::rc_relax(temperature_, steady_state_celsius,
+                                 plant::rc_decay(dt, tau_seconds));
 }
 
 }  // namespace fsc

@@ -48,6 +48,11 @@ class ServerThermalModel {
   /// Advance the plant by `dt` seconds with the CPU drawing `cpu_watts` and
   /// the fan spinning at `fan_rpm`.  Throws std::invalid_argument when
   /// dt < 0, cpu_watts < 0, or fan_rpm < 0.
+  ///
+  /// All the arithmetic lives in batch/plant_kernel.hpp; this is the N = 1
+  /// wrapper around the same expressions the SoA ServerBatch evaluates per
+  /// lane, so scalar and batched trajectories are bit-identical by
+  /// construction.
   void step(double cpu_watts, double fan_rpm, double dt);
 
   /// Jump the plant directly to the steady state for the given operating
@@ -76,6 +81,15 @@ class ServerThermalModel {
   /// Current plant state.
   ThermalState state() const noexcept {
     return ThermalState{heat_sink_node_.temperature(), die_node_.temperature()};
+  }
+
+  /// Overwrite both node temperatures.  Batched-stepping write-back hook:
+  /// the SoA kernel (batch/server_batch.hpp) advances the temperatures in
+  /// its own arrays and mirrors them here after every substep so sensors,
+  /// metrics, and policies keep reading the model as usual.
+  void set_state(double heat_sink_celsius, double junction_celsius) noexcept {
+    heat_sink_node_.set_temperature(heat_sink_celsius);
+    die_node_.set_temperature(junction_celsius);
   }
 
   double junction() const noexcept { return die_node_.temperature(); }

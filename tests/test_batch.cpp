@@ -1,0 +1,263 @@
+// batch/ subsystem tests: the batched SoA plant kernel must be
+// BIT-identical to the scalar path — not close, identical — at every rung
+// of the ladder:
+//
+//   * ServerBatch at N = 1 against Server::step and against
+//     ServerThermalModel::step (the scalar step is the N = 1 wrapper over
+//     the same plant_kernel.hpp expressions);
+//   * a full coupled rack run through the batched CoupledRackEngine
+//     against the scalar (one-task-per-server) path, across 1/2/8 threads;
+//   * a full scheduled room likewise.
+//
+// Every comparison below uses exact double equality (EXPECT_EQ), because
+// the design guarantee is "same FP operations in the same per-slot order",
+// not "small error".
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <stdexcept>
+
+#include "batch/plant_kernel.hpp"
+#include "batch/server_batch.hpp"
+#include "coord/coupled_rack_engine.hpp"
+#include "room/room_engine.hpp"
+#include "sim/server.hpp"
+#include "thermal/server_thermal_model.hpp"
+#include "util/rng.hpp"
+
+namespace fsc {
+namespace {
+
+constexpr double kDt = 0.05;
+constexpr long kSubstepsPerPeriod = 20;
+
+// ------------------------------------------------------------ kernel unit
+
+TEST(PlantKernel, MatchesModelClassExpressions) {
+  const HeatSinkModel hs = HeatSinkModel::table1_defaults();
+  const FanPowerModel fp = FanPowerModel::table1_defaults();
+  for (double rpm : {0.0, 0.5, 1.0, 1500.0, 3333.3, 8500.0, 9000.0}) {
+    EXPECT_EQ(hs.resistance(rpm),
+              plant::heat_sink_resistance(hs.r_base(), hs.r_coeff(), hs.r_exp(), rpm));
+    EXPECT_EQ(fp.power(rpm), plant::fan_power(fp.power_at_max(), fp.max_speed(), rpm));
+  }
+}
+
+TEST(PlantKernel, SlewLandsExactlyOnCommandWithinReach) {
+  // Within reach: returns the command itself, not actual + delta (which
+  // could round differently) — mirrors FanActuator::step's assignment.
+  EXPECT_EQ(plant::slew_toward(3000.0, 3040.0, 50.0), 3040.0);
+  EXPECT_EQ(plant::slew_toward(3000.0, 2990.0, 50.0), 2990.0);
+  // Out of reach: bounded move toward the command.
+  EXPECT_EQ(plant::slew_toward(3000.0, 4000.0, 50.0), 3050.0);
+  EXPECT_EQ(plant::slew_toward(3000.0, 2000.0, 50.0), 2950.0);
+}
+
+// -------------------------------------------------- N = 1 vs Server::step
+
+TEST(ServerBatch, N1BitIdenticalToScalarServerStep) {
+  Rng rng_a(7);
+  Rng rng_b(7);
+  Server scalar = Server::table1_defaults(rng_a);
+  Server batched = Server::table1_defaults(rng_b);
+
+  ServerBatch batch;
+  ASSERT_EQ(batch.add_server(batched), 0u);
+  ASSERT_EQ(batch.size(), 1u);
+
+  for (long period = 0; period < 120; ++period) {
+    // Exercise all regimes: load square wave, fan commands that slew for
+    // several substeps, an inlet retarget mid-run (plenum coupling).
+    const double u = (period / 7) % 2 == 0 ? 0.25 : 0.85;
+    const double cmd = (period % 40) < 20 ? 2500.0 : 7000.0;
+    scalar.command_fan(cmd);
+    batched.command_fan(cmd);
+    if (period == 60) {
+      scalar.set_inlet_temperature(45.5);
+      batched.set_inlet_temperature(45.5);
+    }
+    batch.set_inputs(0, batched.cpu_power_now(u), batched.fan_speed_commanded(),
+                     batched.inlet_temperature());
+    for (long s = 0; s < kSubstepsPerPeriod; ++s) {
+      scalar.step(u, kDt);
+      batch.step_all(kDt);
+      batched.adopt_plant_step(batch.fan_rpm(0), batch.heat_sink_celsius(0),
+                               batch.junction_celsius(0), batch.cpu_watts(0),
+                               batch.fan_watts(0), kDt);
+      ASSERT_EQ(scalar.true_junction(), batched.true_junction())
+          << "period " << period << " substep " << s;
+      ASSERT_EQ(scalar.true_heat_sink(), batched.true_heat_sink());
+      ASSERT_EQ(scalar.fan_speed_actual(), batched.fan_speed_actual());
+      ASSERT_EQ(scalar.measured_temp(), batched.measured_temp());
+    }
+  }
+  EXPECT_EQ(scalar.energy().fan_energy(), batched.energy().fan_energy());
+  EXPECT_EQ(scalar.energy().cpu_energy(), batched.energy().cpu_energy());
+}
+
+TEST(ServerBatch, N1BitIdenticalToThermalModelStep) {
+  // Saturate the slew so the batch actuator sits exactly on the command
+  // from the first substep; the thermal trajectory then compares directly
+  // against ServerThermalModel::step at the commanded speed.
+  ServerParams params;
+  params.fan.slew_rpm_per_s = 1e9;
+  Rng rng(3);
+  Server server(params, 3000.0, rng);
+  ServerThermalModel model = ServerThermalModel::table1_defaults();
+  model.settle(server.cpu_power_now(0.0), 3000.0);
+
+  ServerBatch batch;
+  batch.add_server(server);
+
+  for (long period = 0; period < 40; ++period) {
+    const double rpm = 1500.0 + 500.0 * static_cast<double>(period % 12);
+    const double u = 0.1 * static_cast<double>(period % 10);
+    const double p_cpu = server.cpu_power_now(u);
+    batch.set_inputs(0, p_cpu, rpm, model.params().ambient_celsius);
+    for (long s = 0; s < kSubstepsPerPeriod; ++s) {
+      model.step(p_cpu, rpm, kDt);
+      batch.step_all(kDt);
+      ASSERT_EQ(model.junction(), batch.junction_celsius(0))
+          << "period " << period << " substep " << s;
+      ASSERT_EQ(model.heat_sink_temperature(), batch.heat_sink_celsius(0));
+    }
+  }
+}
+
+TEST(ServerBatch, DtChangeRefreshesTheMemoisedDecays) {
+  Rng rng_a(11);
+  Rng rng_b(11);
+  Server scalar = Server::table1_defaults(rng_a);
+  Server batched = Server::table1_defaults(rng_b);
+  ServerBatch batch;
+  batch.add_server(batched);
+  batch.set_inputs(0, batched.cpu_power_now(0.6), 4000.0, batched.inlet_temperature());
+  scalar.command_fan(4000.0);
+  batched.command_fan(4000.0);
+
+  for (double dt : {0.05, 0.05, 0.1, 0.05, 0.025}) {
+    for (int s = 0; s < 10; ++s) {
+      scalar.step(0.6, dt);
+      batch.step_all(dt);
+      batched.adopt_plant_step(batch.fan_rpm(0), batch.heat_sink_celsius(0),
+                               batch.junction_celsius(0), batch.cpu_watts(0),
+                               batch.fan_watts(0), dt);
+      ASSERT_EQ(scalar.true_junction(), batched.true_junction()) << "dt " << dt;
+      ASSERT_EQ(scalar.true_heat_sink(), batched.true_heat_sink());
+    }
+  }
+}
+
+TEST(ServerBatch, ValidatesInputs) {
+  Rng rng(1);
+  Server server = Server::table1_defaults(rng);
+  ServerBatch batch;
+  batch.add_server(server);
+  EXPECT_THROW(batch.set_inputs(1, 100.0, 3000.0, 42.0), std::invalid_argument);
+  EXPECT_THROW(batch.set_inputs(0, -1.0, 3000.0, 42.0), std::invalid_argument);
+  EXPECT_THROW(batch.step_all(-0.01), std::invalid_argument);
+}
+
+TEST(ServerBatch, CommandIsClampedIntoTheFanEnvelope) {
+  Rng rng(1);
+  Server server = Server::table1_defaults(rng);
+  ServerBatch batch;
+  batch.add_server(server);
+  // Commands outside [min, max] behave exactly like FanActuator::command.
+  batch.set_inputs(0, 100.0, 20000.0, 42.0);
+  for (int s = 0; s < 400; ++s) batch.step_all(kDt);
+  EXPECT_EQ(batch.fan_rpm(0), server.params().fan.max_rpm);
+  batch.set_inputs(0, 100.0, 0.0, 42.0);
+  for (int s = 0; s < 400; ++s) batch.step_all(kDt);
+  EXPECT_EQ(batch.fan_rpm(0), server.params().fan.min_rpm);
+}
+
+// --------------------------------------- full rack: batched vs scalar path
+
+void expect_identical(const CoupledRackResult& a, const CoupledRackResult& b) {
+  ASSERT_EQ(a.slots.size(), b.slots.size());
+  EXPECT_EQ(a.fan_energy_joules, b.fan_energy_joules);
+  EXPECT_EQ(a.cpu_energy_joules, b.cpu_energy_joules);
+  EXPECT_EQ(a.deadline_violation_percent, b.deadline_violation_percent);
+  EXPECT_EQ(a.thermal_violation_percent, b.thermal_violation_percent);
+  EXPECT_EQ(a.max_junction_stats.max(), b.max_junction_stats.max());
+  EXPECT_EQ(a.mean_junction_stats.mean(), b.mean_junction_stats.mean());
+  EXPECT_EQ(a.coordination_rounds, b.coordination_rounds);
+  for (std::size_t i = 0; i < a.slots.size(); ++i) {
+    EXPECT_EQ(a.slots[i].deadline_violations, b.slots[i].deadline_violations) << i;
+    EXPECT_EQ(a.slots[i].result.fan_energy_joules,
+              b.slots[i].result.fan_energy_joules) << i;
+    EXPECT_EQ(a.slots[i].result.cpu_energy_joules,
+              b.slots[i].result.cpu_energy_joules) << i;
+    EXPECT_EQ(a.slots[i].result.max_junction_celsius,
+              b.slots[i].result.max_junction_celsius) << i;
+    EXPECT_EQ(a.slots[i].inlet_stats.mean(), b.slots[i].inlet_stats.mean()) << i;
+    EXPECT_EQ(a.slots[i].inlet_stats.max(), b.slots[i].inlet_stats.max()) << i;
+    EXPECT_EQ(a.slots[i].mean_cap_limit, b.slots[i].mean_cap_limit) << i;
+    EXPECT_EQ(a.slots[i].fan_override_rounds, b.slots[i].fan_override_rounds) << i;
+  }
+}
+
+CoupledRackParams rack_params(const std::string& coordinator) {
+  CoupledRackParams p = default_coupled_scenario(1234, 240.0);
+  p.rack.num_servers = 6;
+  p.coordinator = coordinator;
+  return p;
+}
+
+TEST(BatchedRack, BitIdenticalToScalarPathAcross128Threads) {
+  for (const char* coordinator : {"independent", "shared-fan-zone", "power-budget"}) {
+    CoupledRackParams scalar_params = rack_params(coordinator);
+    scalar_params.batched = false;
+    const CoupledRackResult scalar =
+        CoupledRackEngine(scalar_params, 1).run();
+
+    for (std::size_t threads : {1u, 2u, 8u}) {
+      CoupledRackParams batched_params = rack_params(coordinator);
+      batched_params.batched = true;
+      const CoupledRackResult batched =
+          CoupledRackEngine(batched_params, threads).run();
+      SCOPED_TRACE(std::string(coordinator) + " threads=" +
+                   std::to_string(threads));
+      expect_identical(scalar, batched);
+    }
+  }
+}
+
+// --------------------------------------- full room: batched vs scalar path
+
+void expect_identical(const RoomResult& a, const RoomResult& b) {
+  ASSERT_EQ(a.racks.size(), b.racks.size());
+  EXPECT_EQ(a.fan_energy_joules, b.fan_energy_joules);
+  EXPECT_EQ(a.cpu_energy_joules, b.cpu_energy_joules);
+  EXPECT_EQ(a.deadline_violation_percent, b.deadline_violation_percent);
+  EXPECT_EQ(a.thermal_violation_percent, b.thermal_violation_percent);
+  EXPECT_EQ(a.migration_events, b.migration_events);
+  for (std::size_t i = 0; i < a.racks.size(); ++i) {
+    EXPECT_EQ(a.racks[i].final_demand_scale, b.racks[i].final_demand_scale) << i;
+    EXPECT_EQ(a.racks[i].demand_scale_stats.mean(),
+              b.racks[i].demand_scale_stats.mean()) << i;
+    EXPECT_EQ(a.racks[i].ambient_offset_stats.mean(),
+              b.racks[i].ambient_offset_stats.mean()) << i;
+    expect_identical(a.racks[i].result, b.racks[i].result);
+  }
+}
+
+TEST(BatchedRoom, BitIdenticalToScalarPathAcross128Threads) {
+  RoomParams scalar_params = default_room_scenario(2, 77, 240.0);
+  scalar_params.scheduler = "thermal-headroom";
+  for (CoupledRackParams& rack : scalar_params.racks) rack.batched = false;
+  const RoomResult scalar = RoomEngine(scalar_params, 1).run();
+
+  for (std::size_t threads : {1u, 2u, 8u}) {
+    RoomParams batched_params = default_room_scenario(2, 77, 240.0);
+    batched_params.scheduler = "thermal-headroom";
+    for (CoupledRackParams& rack : batched_params.racks) rack.batched = true;
+    const RoomResult batched = RoomEngine(batched_params, threads).run();
+    SCOPED_TRACE("threads=" + std::to_string(threads));
+    expect_identical(scalar, batched);
+  }
+}
+
+}  // namespace
+}  // namespace fsc

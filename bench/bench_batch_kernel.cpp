@@ -24,6 +24,7 @@
 
 #include <algorithm>
 #include <chrono>
+#include <cstdint>
 #include <cstdio>
 #include <memory>
 #include <vector>
@@ -155,6 +156,53 @@ double measure_batched_ns_per_server_step(std::size_t n) {
          static_cast<double>(kSubsteps * static_cast<long>(n));
 }
 
+/// Memoisation telemetry over the two regimes the memo was built for:
+/// settled fans (pure hits) and the worst-case slewing pattern of
+/// BM_BatchedServerStepSlewing, where the rolling coefficient share turns
+/// a lockstep 64-lane slew into ~one transcendental per substep.
+void print_memo_hit_rates() {
+  const auto rate = [](std::uint64_t part, std::uint64_t whole) {
+    return whole == 0 ? 0.0 : 100.0 * static_cast<double>(part) /
+                                  static_cast<double>(whole);
+  };
+  {
+    Fleet fleet(64);
+    for (int i = 0; i < 2000; ++i) fleet.substep();  // settle
+    fleet.batch.set_memo_telemetry(true);
+    fleet.batch.reset_memo_counters();
+    for (int i = 0; i < 20000; ++i) fleet.substep();
+    const std::uint64_t lanes = fleet.batch.memo_hits() +
+                                fleet.batch.memo_shared_hits() +
+                                fleet.batch.memo_misses();
+    std::printf(
+        "memo (settled fans)  : %5.1f %% hit  %5.1f %% shared  %5.1f %% miss\n",
+        rate(fleet.batch.memo_hits(), lanes),
+        rate(fleet.batch.memo_shared_hits(), lanes),
+        rate(fleet.batch.memo_misses(), lanes));
+  }
+  {
+    Fleet fleet(64);
+    fleet.batch.set_memo_telemetry(true);
+    fleet.batch.reset_memo_counters();
+    long substep = 0;
+    for (int i = 0; i < 20000; ++i) {
+      if (substep % 20 == 0) {
+        fleet.set_inputs((substep / 20) % 2 == 0 ? 2500.0 : 7000.0);
+      }
+      fleet.substep();
+      ++substep;
+    }
+    const std::uint64_t lanes = fleet.batch.memo_hits() +
+                                fleet.batch.memo_shared_hits() +
+                                fleet.batch.memo_misses();
+    std::printf(
+        "memo (slewing fans)  : %5.1f %% hit  %5.1f %% shared  %5.1f %% miss\n",
+        rate(fleet.batch.memo_hits(), lanes),
+        rate(fleet.batch.memo_shared_hits(), lanes),
+        rate(fleet.batch.memo_misses(), lanes));
+  }
+}
+
 bool print_throughput_verdict() {
   // Min-of-3: the minimum is the standard noise-robust estimator for a
   // deterministic workload — one preempted run must not fail the gate.
@@ -166,8 +214,10 @@ bool print_throughput_verdict() {
   }
   std::printf("\n--- batched kernel throughput (n=64, settled fans) ---\n");
   std::printf("scalar  Server::step      : %8.2f ns/server-step\n", scalar_ns);
-  std::printf("batched step_all + adopt  : %8.2f ns/server-step (%.1fx)\n\n",
+  std::printf("batched step_all + adopt  : %8.2f ns/server-step (%.1fx)\n",
               batched_ns, scalar_ns / batched_ns);
+  print_memo_hit_rates();
+  std::printf("\n");
   bool ok = true;
   ok &= fsc_bench::check_beats("batched-soa-n64", "ns_per_server_step",
                                "scalar", scalar_ns, batched_ns);

@@ -1,0 +1,179 @@
+// Thread scaling of the lockstep engines under the chunked executor path
+// (PR 5's tentpole): simulated-server throughput for a 64-server rack and
+// an 8-rack room as a function of thread count, plus an executor-vs-
+// ThreadPool A/B at the same shard granularity.
+//
+// Before chunking, the shard unit was a whole rack, so a single 64-server
+// rack could not use a second thread at all (BENCH_rack_scaling.json shows
+// 8 threads *slower* than 1 at PR 4); with chunked ServerBatch stepping +
+// the persistent LockstepExecutor the same rack splits into 8-lane shards
+// that step independently between coordination barriers.
+//
+// After the timing loops, main() measures 1-thread vs min(8, cores)-thread
+// wall time with a plain chrono harness and enforces the tentpole claim
+// through bench/verdict.hpp: >= 3x speedup at 8 threads for the 64-server
+// rack and >= 2.5x for the 8-rack room — *scaled to the hardware actually
+// present*: a T-core host is asked for T/8 of the 8-core target with a
+// T-thread team (an impossible demand, or an 8-over-T oversubscribed
+// barrier, would turn every small CI runner permanently red), and hosts
+// with a single core SKIP the verdict outright.
+//
+// Writes BENCH_thread_scaling.json (override via FSC_BENCH_JSON) with the
+// same schema as the other BENCH_*.json trajectory files.
+#include <benchmark/benchmark.h>
+
+#include <algorithm>
+#include <chrono>
+#include <cstdio>
+#include <thread>
+
+#include "json_reporter.hpp"
+#include "verdict.hpp"
+
+#include "coord/coupled_rack_engine.hpp"
+#include "room/room_engine.hpp"
+
+namespace {
+
+using namespace fsc;
+
+/// The contended rack scenario at bench horizon; chunk 0 = auto (8 lanes).
+CoupledRackParams bench_rack(std::size_t servers, bool executor) {
+  CoupledRackParams p = default_coupled_scenario(42, 300.0);
+  p.rack.num_servers = servers;
+  p.executor = executor;
+  return p;
+}
+
+RoomParams bench_room(std::size_t racks, bool executor) {
+  RoomParams p = default_room_scenario(racks, 42, 300.0);
+  p.scheduler = "thermal-headroom";
+  p.executor = executor;
+  return p;
+}
+
+void BM_RackLockstep(benchmark::State& state) {
+  const auto servers = static_cast<std::size_t>(state.range(0));
+  const auto threads = static_cast<std::size_t>(state.range(1));
+  const bool executor = state.range(2) != 0;
+  const CoupledRackEngine engine(bench_rack(servers, executor), threads);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(engine.run());
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()) *
+                          static_cast<int64_t>(servers));
+  state.counters["threads"] = static_cast<double>(threads);
+  state.counters["executor"] = executor ? 1.0 : 0.0;
+}
+
+// Executor rows chart the scaling curve; the two pool rows at the same
+// chunk granularity isolate the executor's own contribution from the
+// chunking's.
+BENCHMARK(BM_RackLockstep)
+    ->Args({64, 1, 1})
+    ->Args({64, 2, 1})
+    ->Args({64, 8, 1})
+    ->Args({64, 1, 0})
+    ->Args({64, 8, 0})
+    ->Unit(benchmark::kMillisecond)
+    ->MinTime(0.5)
+    ->MeasureProcessCPUTime()
+    ->UseRealTime();
+
+void BM_RoomLockstepChunked(benchmark::State& state) {
+  const auto racks = static_cast<std::size_t>(state.range(0));
+  const auto threads = static_cast<std::size_t>(state.range(1));
+  const RoomEngine engine(bench_room(racks, true), threads);
+  std::size_t servers = 0;
+  for (auto _ : state) {
+    const RoomResult r = engine.run();
+    servers = r.total_slots();
+    benchmark::DoNotOptimize(r);
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()) *
+                          static_cast<int64_t>(servers));
+  state.counters["threads"] = static_cast<double>(threads);
+}
+
+BENCHMARK(BM_RoomLockstepChunked)
+    ->Args({8, 1})
+    ->Args({8, 2})
+    ->Args({8, 8})
+    ->Unit(benchmark::kMillisecond)
+    ->MinTime(0.5)
+    ->MeasureProcessCPUTime()
+    ->UseRealTime();
+
+/// Min-of-3 plain-chrono wall time of one engine run (the google-benchmark
+/// results are not programmatically accessible here; the minimum is the
+/// standard noise-robust estimator for a deterministic workload).
+template <typename Engine>
+double measure_seconds(const Engine& engine) {
+  double best = 1e300;
+  for (int rep = 0; rep < 3; ++rep) {
+    const auto start = std::chrono::steady_clock::now();
+    benchmark::DoNotOptimize(engine.run());
+    const auto stop = std::chrono::steady_clock::now();
+    best = std::min(best, std::chrono::duration<double>(stop - start).count());
+  }
+  return best;
+}
+
+bool print_scaling_verdict() {
+  const unsigned hw_raw = std::thread::hardware_concurrency();
+  const std::size_t hw = hw_raw == 0 ? 1 : hw_raw;
+  // An 8-thread team can only express min(8, hw)-way parallelism; the 3x /
+  // 2.5x tentpole targets assume all 8 ways exist, so scale them linearly
+  // down to the cores present (never below a "no slowdown" floor of 1.05x
+  // once at least 2 cores exist).
+  const double ways = static_cast<double>(std::min<std::size_t>(8, hw));
+
+  std::printf("\n--- lockstep thread scaling (hardware_concurrency=%u) ---\n",
+              hw_raw);
+  if (hw < 2) {
+    std::printf(
+        "[SKIP] single-core host: an 8-thread speedup target is not "
+        "expressible here; the scaling verdict runs on multi-core CI\n");
+    return true;
+  }
+
+  // Measure with a team of min(8, hw) threads: oversubscribing a spinning
+  // epoch barrier 8-over-2 would sabotage the very run the derated target
+  // is judged on.  The derated target and the measured team shrink
+  // together, so the gate always tests the claim it states.
+  const std::size_t team = static_cast<std::size_t>(ways);
+  const double rack_1t =
+      measure_seconds(CoupledRackEngine(bench_rack(64, true), 1));
+  const double rack_nt =
+      measure_seconds(CoupledRackEngine(bench_rack(64, true), team));
+  const double room_1t = measure_seconds(RoomEngine(bench_room(8, true), 1));
+  const double room_nt =
+      measure_seconds(RoomEngine(bench_room(8, true), team));
+
+  const double rack_speedup = rack_1t / rack_nt;
+  const double room_speedup = room_1t / room_nt;
+  std::printf("rack-64  : %7.1f ms @1t  %7.1f ms @%zut  -> %.2fx\n",
+              rack_1t * 1e3, rack_nt * 1e3, team, rack_speedup);
+  std::printf("room-8x8 : %7.1f ms @1t  %7.1f ms @%zut  -> %.2fx\n",
+              room_1t * 1e3, room_nt * 1e3, team, room_speedup);
+
+  const double rack_target = std::max(1.05, 3.0 * ways / 8.0);
+  const double room_target = std::max(1.05, 2.5 * ways / 8.0);
+  bool ok = true;
+  ok &= fsc_bench::check_beats("chunked-executor-rack64", "speedup_nt_over_1t",
+                               "hw-scaled 3x tentpole", rack_target,
+                               rack_speedup, /*lower_is_better=*/false);
+  ok &= fsc_bench::check_beats("chunked-executor-room8", "speedup_nt_over_1t",
+                               "hw-scaled 2.5x tentpole", room_target,
+                               room_speedup, /*lower_is_better=*/false);
+  return ok;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const int rc = fsc_bench::run_benchmarks_with_json(
+      argc, argv, "BENCH_thread_scaling.json");
+  if (rc != 0) return rc;
+  return print_scaling_verdict() ? 0 : 2;
+}

@@ -18,6 +18,18 @@ inline std::size_t parse_positive(const char* text) {
   return static_cast<std::size_t>(v);
 }
 
+/// Parse a non-negative integer flag value ("--chunk N", where 0 means
+/// "auto") into `out`.  Returns false on anything else — including bare
+/// negatives, which would otherwise wrap through the size_t cast — so the
+/// caller can fall through to usage().
+inline bool parse_nonnegative(const char* text, std::size_t& out) {
+  char* end = nullptr;
+  const long long v = std::strtoll(text, &end, 10);
+  if (end == text || *end != '\0' || v < 0) return false;
+  out = static_cast<std::size_t>(v);
+  return true;
+}
+
 /// Parse an on/off flag value ("--batched on|off") into `out`.  Returns
 /// false on anything else so the caller can fall through to usage().
 inline bool parse_on_off(const char* text, bool& out) {

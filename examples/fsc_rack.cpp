@@ -9,8 +9,8 @@
 // Usage:
 //   fsc_rack [--policy COORD] [--dtm POLICY] [--traces DIR] [--slots N]
 //            [--threads N] [--seed S] [--duration SECS] [--budget WATTS]
-//            [--zone K] [--batched on|off] [--no-plenum] [--out FILE.json]
-//            [--csv FILE.csv] [--list]
+//            [--zone K] [--batched on|off] [--chunk N] [--executor on|off]
+//            [--no-plenum] [--out FILE.json] [--csv FILE.csv] [--list]
 //
 //   --policy    coordinator name (default "independent"); --list shows all
 //   --dtm       per-server DtmPolicy name (default the paper's full stack)
@@ -18,6 +18,10 @@
 //   --zone      slots per shared fan zone
 //   --batched   SoA batched physics (default on) vs the scalar
 //               one-task-per-server path — bit-identical, for A/B timing
+//   --chunk     lanes per batch chunk, the shard unit threads parallelise
+//               over (0 = auto); any value is bit-identical, for sweeps
+//   --executor  persistent lockstep executor (default on) vs per-round
+//               ThreadPool submission — bit-identical, for A/B timing
 #include <algorithm>
 #include <cstdlib>
 #include <fstream>
@@ -33,6 +37,7 @@
 
 namespace {
 
+using fsc_cli::parse_nonnegative;
 using fsc_cli::parse_on_off;
 using fsc_cli::parse_positive;
 
@@ -54,8 +59,10 @@ int usage(const char* argv0) {
             << " [--policy COORD] [--dtm POLICY] [--traces DIR] [--slots N]\n"
                "       [--threads N] [--seed S] [--duration SECS] "
                "[--budget WATTS]\n"
-               "       [--zone K] [--batched on|off] [--no-plenum] "
-               "[--out FILE.json] [--csv FILE.csv] [--list]\n";
+               "       [--zone K] [--batched on|off] [--chunk N] "
+               "[--executor on|off]\n"
+               "       [--no-plenum] [--out FILE.json] [--csv FILE.csv] "
+               "[--list]\n";
   return 1;
 }
 
@@ -77,6 +84,8 @@ int main(int argc, char** argv) {
   std::size_t zone = 0;
   bool plenum = true;
   bool batched = true;
+  bool executor = true;
+  std::size_t chunk = 0;
 
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
@@ -108,6 +117,10 @@ int main(int argc, char** argv) {
       if ((zone = parse_positive(argv[++i])) == 0) return usage(argv[0]);
     } else if (arg == "--batched") {
       if (!parse_on_off(argv[++i], batched)) return usage(argv[0]);
+    } else if (arg == "--chunk") {
+      if (!parse_nonnegative(argv[++i], chunk)) return usage(argv[0]);
+    } else if (arg == "--executor") {
+      if (!parse_on_off(argv[++i], executor)) return usage(argv[0]);
     } else if (arg == "--out") {
       out_path = argv[++i];
     } else if (arg == "--csv") {
@@ -133,6 +146,8 @@ int main(int argc, char** argv) {
     params.coordinator = coordinator;
     params.plenum_enabled = plenum;
     params.batched = batched;
+    params.chunk = chunk;
+    params.executor = executor;
     if (!dtm.empty()) params.rack.policy = dtm;
     if (budget_watts >= 0.0) params.coord.rack_power_budget_watts = budget_watts;
     if (zone > 0) params.coord.fan_zone_size = zone;

@@ -11,7 +11,8 @@
 //   fsc_room [--policy SCHED] [--coordinator COORD] [--dtm POLICY]
 //            [--racks K] [--slots N] [--traces DIR] [--threads N]
 //            [--seed S] [--duration SECS] [--budget WATTS] [--step FRAC]
-//            [--batched on|off] [--no-cross-plenum] [--no-plenum]
+//            [--batched on|off] [--chunk N] [--executor on|off]
+//            [--no-cross-plenum] [--no-plenum]
 //            [--out FILE.json] [--csv FILE.csv] [--list]
 //
 //   --policy       room scheduler name (default "static"); --list shows all
@@ -21,6 +22,10 @@
 //   --step         fraction of the hot rack's load moved per migration
 //   --batched      SoA batched physics (default on) vs the scalar
 //                  one-task-per-server path — bit-identical, for A/B timing
+//   --chunk        lanes per batch chunk, the shard unit threads
+//                  parallelise over (0 = auto); bit-identical, for sweeps
+//   --executor     persistent lockstep executor (default on) vs per-round
+//                  ThreadPool submission — bit-identical, for A/B timing
 #include <algorithm>
 #include <cstdlib>
 #include <fstream>
@@ -36,6 +41,7 @@
 
 namespace {
 
+using fsc_cli::parse_nonnegative;
 using fsc_cli::parse_on_off;
 using fsc_cli::parse_positive;
 
@@ -63,7 +69,8 @@ int usage(const char* argv0) {
                "       [--racks K] [--slots N] [--traces DIR] [--threads N]\n"
                "       [--seed S] [--duration SECS] [--budget WATTS] "
                "[--step FRAC]\n"
-               "       [--batched on|off] [--no-cross-plenum] [--no-plenum]\n"
+               "       [--batched on|off] [--chunk N] [--executor on|off]\n"
+               "       [--no-cross-plenum] [--no-plenum]\n"
                "       [--out FILE.json] [--csv FILE.csv] [--list]\n";
   return 1;
 }
@@ -89,6 +96,8 @@ int main(int argc, char** argv) {
   bool cross_plenum = true;
   bool rack_plenum = true;
   bool batched = true;
+  bool executor = true;
+  std::size_t chunk = 0;
 
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
@@ -126,6 +135,10 @@ int main(int argc, char** argv) {
       step = std::atof(argv[++i]);
     } else if (arg == "--batched") {
       if (!parse_on_off(argv[++i], batched)) return usage(argv[0]);
+    } else if (arg == "--chunk") {
+      if (!parse_nonnegative(argv[++i], chunk)) return usage(argv[0]);
+    } else if (arg == "--executor") {
+      if (!parse_on_off(argv[++i], executor)) return usage(argv[0]);
     } else if (arg == "--out") {
       out_path = argv[++i];
     } else if (arg == "--csv") {
@@ -151,6 +164,7 @@ int main(int argc, char** argv) {
     RoomParams params = default_room_scenario(num_racks, seed, duration_s);
     params.scheduler = scheduler;
     params.cross_plenum_enabled = cross_plenum;
+    params.executor = executor;
     if (budget_watts >= 0.0) {
       params.sched.room_power_budget_watts = budget_watts;
     }
@@ -166,6 +180,7 @@ int main(int argc, char** argv) {
       rack.rack.num_servers = slots;
       rack.plenum_enabled = rack_plenum;
       rack.batched = batched;
+      rack.chunk = chunk;
       if (!coordinator.empty()) rack.coordinator = coordinator;
       if (!dtm.empty()) rack.rack.policy = dtm;
       if (!traces.empty()) {

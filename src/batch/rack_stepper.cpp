@@ -1,5 +1,7 @@
 #include "batch/rack_stepper.hpp"
 
+#include <algorithm>
+
 #include "sim/server.hpp"
 #include "util/units.hpp"
 
@@ -19,8 +21,28 @@ void RackBatchStepper::add_slot(SimulationEngine::Session& session,
   batch_.add_server(server);
 }
 
+void RackBatchStepper::prepare() {
+  if (slots_.empty()) return;
+  batch_.prepare_dt(slots_.front().session->params().physics_dt_s);
+}
+
 void RackBatchStepper::advance_periods(long periods) {
   if (slots_.empty()) return;
+  prepare();
+  advance_range_periods(0, slots_.size(), periods);
+}
+
+void RackBatchStepper::advance_chunk_periods(std::size_t chunk, long periods) {
+  require(chunk < num_chunks(),
+          "RackBatchStepper::advance_chunk_periods: chunk index out of range");
+  const std::size_t lanes = chunk_lanes();
+  const std::size_t lo = chunk * lanes;
+  const std::size_t hi = std::min(slots_.size(), lo + lanes);
+  advance_range_periods(lo, hi, periods);
+}
+
+void RackBatchStepper::advance_range_periods(std::size_t lo, std::size_t hi,
+                                             long periods) {
   const double dt = slots_.front().session->params().physics_dt_s;
   const long substeps = slots_.front().session->physics_per_period();
 
@@ -28,7 +50,7 @@ void RackBatchStepper::advance_periods(long periods) {
     // Phase 1 — per-slot control decisions, then the once-per-period input
     // gather into the SoA kernel.
     bool any_active = false;
-    for (std::size_t i = 0; i < slots_.size(); ++i) {
+    for (std::size_t i = lo; i < hi; ++i) {
       Slot& slot = slots_[i];
       active_[i] = slot.session->begin_period() ? 1 : 0;
       if (!active_[i]) continue;
@@ -38,13 +60,13 @@ void RackBatchStepper::advance_periods(long periods) {
                         slot.server->fan_speed_commanded(),
                         slot.server->inlet_temperature());
     }
-    if (!any_active) return;  // all sessions done
+    if (!any_active) return;  // all sessions in this range are done
 
-    // Phase 2 — batched physics: one SoA step over every slot, then the
+    // Phase 2 — batched physics: one SoA step over the range, then the
     // per-slot write-back (sensor, energy, instrumentation).
     for (long s = 0; s < substeps; ++s) {
-      batch_.step_all(dt);
-      for (std::size_t i = 0; i < slots_.size(); ++i) {
+      batch_.step_range(lo, hi, dt);
+      for (std::size_t i = lo; i < hi; ++i) {
         if (!active_[i]) continue;
         Slot& slot = slots_[i];
         slot.server->adopt_plant_step(batch_.fan_rpm(i),
@@ -56,8 +78,8 @@ void RackBatchStepper::advance_periods(long periods) {
       }
     }
 
-    // Phase 3 — close the period on every slot.
-    for (std::size_t i = 0; i < slots_.size(); ++i) {
+    // Phase 3 — close the period on every slot in the range.
+    for (std::size_t i = lo; i < hi; ++i) {
       if (active_[i]) slots_[i].session->finish_period();
     }
   }

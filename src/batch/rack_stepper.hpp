@@ -8,18 +8,24 @@
 //   2. the per-slot inputs are gathered ONCE into the SoA kernel (CPU
 //      power at the period's executed utilization, the clamped fan
 //      command, the current inlet temperature), then each physics substep
-//      is one ServerBatch::step_all over all slots followed by the
+//      is one ServerBatch::step_range over the slots followed by the
 //      write-back into each Server (sensor + energy + instrumentation);
 //   3. every slot's finish_period().
 //
 // Slots never interact inside a period (rack coupling happens at the
-// coordination barriers, between advance_periods calls), so interleaving
-// the slots substep-by-substep instead of slot-by-slot performs the exact
-// same per-slot FP operation sequence as the scalar path — trajectories
-// are bit-identical, only the loop nest (and the speed) changes.  This is
-// what lets CoupledRackEngine submit ONE pool task per rack instead of one
-// per server: racks parallelise across the pool, servers vectorize within
-// the batch.
+// coordination barriers, between advance calls), so interleaving the slots
+// substep-by-substep instead of slot-by-slot performs the exact same
+// per-slot FP operation sequence as the scalar path — trajectories are
+// bit-identical, only the loop nest (and the speed) changes.
+//
+// Chunking: because slots are independent between barriers, the batch
+// splits into contiguous lane *chunks* that can advance whole coordination
+// rounds concurrently — advance_chunk_periods(c, periods) steps only chunk
+// c's slots and touches no shared mutable state (call prepare() once,
+// single-threaded, first).  This is what lets the lockstep engines shard a
+// rack across a LockstepExecutor: chunks parallelise across threads,
+// lanes vectorize within a chunk.  advance_periods() remains the
+// whole-batch (single-chunk) path.
 #pragma once
 
 #include <cstddef>
@@ -35,6 +41,11 @@ class Server;
 /// Steps one rack's sessions over a shared SoA plant kernel.
 class RackBatchStepper {
  public:
+  /// Lanes per chunk when the caller asks for the automatic size (0): wide
+  /// enough to vectorize, narrow enough that a 64-lane rack splits across
+  /// 8 threads.
+  static constexpr std::size_t kAutoChunkLanes = 8;
+
   /// Register a slot.  The session must be freshly constructed (settled,
   /// zero periods stepped) so the gathered plant state matches; all slots
   /// must share the session timing (the engines validate that).  Both
@@ -43,9 +54,33 @@ class RackBatchStepper {
 
   std::size_t size() const noexcept { return slots_.size(); }
 
+  /// Lanes per chunk; 0 (the default) resolves to kAutoChunkLanes.  Set
+  /// before stepping; changing it mid-run is allowed but pointless.
+  void set_chunk_lanes(std::size_t lanes) noexcept { chunk_lanes_ = lanes; }
+  std::size_t chunk_lanes() const noexcept {
+    return chunk_lanes_ > 0 ? chunk_lanes_ : kAutoChunkLanes;
+  }
+  /// Number of chunks the current slot count splits into (0 when empty).
+  std::size_t num_chunks() const noexcept {
+    const std::size_t lanes = chunk_lanes();
+    return (slots_.size() + lanes - 1) / lanes;
+  }
+
+  /// Freeze the dt-dependent kernel memos for the registered slots'
+  /// physics step.  Must run once — single-threaded — after the last
+  /// add_slot() and before any advance_chunk_periods() wave; idempotent.
+  void prepare();
+
   /// Advance every slot by up to `periods` CPU control periods, stopping
-  /// early when the sessions are done.
+  /// early when the sessions are done.  Single-threaded whole-batch path
+  /// (prepares dt itself).
   void advance_periods(long periods);
+
+  /// Advance only chunk `chunk` (slots [chunk * chunk_lanes(), ...)) by up
+  /// to `periods` periods.  Distinct chunks may run concurrently — they
+  /// share no mutable state once prepare() has run.  Throws
+  /// std::invalid_argument on a bad chunk index.
+  void advance_chunk_periods(std::size_t chunk, long periods);
 
  private:
   struct Slot {
@@ -53,9 +88,12 @@ class RackBatchStepper {
     Server* server = nullptr;
   };
 
+  void advance_range_periods(std::size_t lo, std::size_t hi, long periods);
+
   std::vector<Slot> slots_;
   std::vector<char> active_;  ///< per-period: slot opened a period
   ServerBatch batch_;
+  std::size_t chunk_lanes_ = 0;  ///< 0 = kAutoChunkLanes
 };
 
 }  // namespace fsc

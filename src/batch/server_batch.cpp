@@ -2,6 +2,7 @@
 
 #include <cmath>
 #include <limits>
+#include <stdexcept>
 
 #include "batch/plant_kernel.hpp"
 #include "sim/server.hpp"
@@ -62,24 +63,53 @@ void ServerBatch::refresh_dt(double dt) {
   last_dt_ = dt;
 }
 
+void ServerBatch::prepare_dt(double dt) {
+  require(dt >= 0.0, "ServerBatch::prepare_dt: dt must be >= 0");
+  if (dt != last_dt_) refresh_dt(dt);
+}
+
 void ServerBatch::step_all(double dt) {
   require(dt >= 0.0, "ServerBatch::step_all: dt must be >= 0");
-  const std::size_t n = size();
-  if (n == 0) return;
-  if (dt != last_dt_) refresh_dt(dt);
+  if (size() == 0) return;
+  prepare_dt(dt);
+  step_range(0, size(), dt);
+}
+
+void ServerBatch::step_range(std::size_t lo, std::size_t hi, double dt) {
+  // Validate dt before the sentinel comparison: dt = -1.0 would otherwise
+  // collide with the "never prepared" last_dt_ marker and sail past the
+  // guard below.
+  require(dt >= 0.0, "ServerBatch::step_range: dt must be >= 0");
+  require(lo <= hi && hi <= size(),
+          "ServerBatch::step_range: lane range out of bounds");
+  if (dt != last_dt_) {
+    // Refreshing here would race with a concurrently stepping sibling
+    // chunk, so a missing prepare_dt is a driver bug, not a recoverable
+    // input error.
+    throw std::logic_error(
+        "ServerBatch::step_range: prepare_dt(dt) must run before ranged "
+        "stepping");
+  }
+  if (lo == hi) return;
 
   double* __restrict act = fan_actual_.data();
   const double* __restrict cmd = fan_cmd_.data();
   const double* __restrict slew = fan_slew_.data();
 
   // Pass 1 — actuator slew: one select per lane, no control flow.
-  for (std::size_t i = 0; i < n; ++i) {
+  for (std::size_t i = lo; i < hi; ++i) {
     act[i] = plant::slew_toward(act[i], cmd[i], slew[i] * dt);
   }
 
   // Pass 2 — refresh memoised transcendentals for lanes whose speed moved
   // (slewing fans); settled lanes — the steady state — skip the pow/exp
-  // entirely, which is where the batched speedup comes from.
+  // entirely, which is where the batched speedup comes from.  Lanes that
+  // do move often move in lockstep (a rack of identical SKUs slewing to
+  // the same zone command): the rolling share below reuses the value just
+  // computed for the previous miss whenever this lane's speed *and* every
+  // coefficient feeding the pow/exp match it — bit-identical by
+  // construction, since equal inputs give equal outputs — so a lockstep
+  // slew pays for one transcendental per chunk instead of one per lane.
   {
     double* __restrict memo = memo_rpm_.data();
     double* __restrict r_hs = r_hs_.data();
@@ -88,13 +118,32 @@ void ServerBatch::step_all(double dt) {
     const double* __restrict r_coeff = r_coeff_.data();
     const double* __restrict r_exp = r_exp_.data();
     const double* __restrict cap = hs_capacitance_.data();
-    for (std::size_t i = 0; i < n; ++i) {
-      if (act[i] != memo[i]) {
+    std::uint64_t misses = 0;
+    std::uint64_t shared = 0;
+    std::size_t src = hi;  // lane of the last real recompute; hi = none yet
+    for (std::size_t i = lo; i < hi; ++i) {
+      if (act[i] == memo[i]) continue;  // settled lane: full hit
+      if (src != hi && act[i] == act[src] && r_base[i] == r_base[src] &&
+          r_coeff[i] == r_coeff[src] && r_exp[i] == r_exp[src] &&
+          cap[i] == cap[src]) {
         memo[i] = act[i];
-        r_hs[i] = plant::heat_sink_resistance(r_base[i], r_coeff[i], r_exp[i],
-                                              act[i]);
-        hs_decay[i] = plant::rc_decay(dt, r_hs[i] * cap[i]);
+        r_hs[i] = r_hs[src];
+        hs_decay[i] = hs_decay[src];
+        ++shared;
+        continue;
       }
+      memo[i] = act[i];
+      r_hs[i] = plant::heat_sink_resistance(r_base[i], r_coeff[i], r_exp[i],
+                                            act[i]);
+      hs_decay[i] = plant::rc_decay(dt, r_hs[i] * cap[i]);
+      src = i;
+      ++misses;
+    }
+    if (memo_telemetry_) {
+      const std::uint64_t lanes = static_cast<std::uint64_t>(hi - lo);
+      memo_hits_.fetch_add(lanes - misses - shared, std::memory_order_relaxed);
+      memo_shared_hits_.fetch_add(shared, std::memory_order_relaxed);
+      memo_misses_.fetch_add(misses, std::memory_order_relaxed);
     }
   }
 
@@ -113,7 +162,7 @@ void ServerBatch::step_all(double dt) {
     const double* __restrict r_die = r_die_.data();
     const double* __restrict pmax = fan_pmax_.data();
     const double* __restrict smax = fan_smax_.data();
-    for (std::size_t i = 0; i < n; ++i) {
+    for (std::size_t i = lo; i < hi; ++i) {
       fan_w[i] = plant::fan_power(pmax[i], smax[i], act[i]);
       const double hs_ss = ambient[i] + r_hs[i] * p_cpu[i];  // Eqn. 3
       t_hs[i] = plant::rc_relax(t_hs[i], hs_ss, hs_decay[i]);

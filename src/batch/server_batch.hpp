@@ -34,7 +34,9 @@
 // Servers so every observer keeps working unchanged.
 #pragma once
 
+#include <atomic>
 #include <cstddef>
+#include <cstdint>
 #include <vector>
 
 namespace fsc {
@@ -61,8 +63,49 @@ class ServerBatch {
                   double inlet_celsius);
 
   /// Advance every slot by one physics substep of `dt` seconds.  Throws
-  /// std::invalid_argument when dt < 0.
+  /// std::invalid_argument when dt < 0.  Refreshes the dt-dependent decay
+  /// memos on a dt change, so it must only be called single-threaded (the
+  /// whole-batch path); concurrent chunk stepping goes through
+  /// prepare_dt() + step_range().
   void step_all(double dt);
+
+  /// Refresh the dt-dependent decay memos for `dt` (no-op when `dt` is
+  /// already prepared).  Must be called — single-threaded — before any
+  /// step_range() wave, because the refresh touches every lane.  Throws
+  /// std::invalid_argument when dt < 0.
+  void prepare_dt(double dt);
+
+  /// Advance only lanes [lo, hi) by one substep of `dt` seconds.  Lanes
+  /// are fully independent, so disjoint ranges may step concurrently —
+  /// this is the chunk-parallel entry used by RackBatchStepper.  Requires
+  /// dt >= 0 and lo <= hi <= size() (std::invalid_argument) and
+  /// prepare_dt(dt) to have run (throws std::logic_error otherwise).
+  void step_range(std::size_t lo, std::size_t hi, double dt);
+
+  /// Memoisation telemetry over all step_all/step_range lanes processed
+  /// since the last reset: a *hit* skipped the pow/exp entirely (fan speed
+  /// unchanged), a *shared hit* reused the value just computed for an
+  /// identical-coefficient lane at the same speed (lockstep slews), a
+  /// *miss* paid for the transcendentals.  OFF by default — the engines'
+  /// hot chunk loop must not bounce a shared counter cache line between
+  /// threads — and exact when enabled (relaxed atomics, every lane counted
+  /// once); enable before stepping via set_memo_telemetry(true).
+  void set_memo_telemetry(bool on) noexcept { memo_telemetry_ = on; }
+  bool memo_telemetry() const noexcept { return memo_telemetry_; }
+  std::uint64_t memo_hits() const noexcept {
+    return memo_hits_.load(std::memory_order_relaxed);
+  }
+  std::uint64_t memo_shared_hits() const noexcept {
+    return memo_shared_hits_.load(std::memory_order_relaxed);
+  }
+  std::uint64_t memo_misses() const noexcept {
+    return memo_misses_.load(std::memory_order_relaxed);
+  }
+  void reset_memo_counters() noexcept {
+    memo_hits_.store(0, std::memory_order_relaxed);
+    memo_shared_hits_.store(0, std::memory_order_relaxed);
+    memo_misses_.store(0, std::memory_order_relaxed);
+  }
 
   /// Per-slot outputs after the last step_all (or the gathered initial
   /// state before the first).
@@ -104,6 +147,14 @@ class ServerBatch {
   std::vector<double> hs_decay_;
   std::vector<double> die_decay_;
   double last_dt_ = -1.0;  ///< sentinel: never matches a (>= 0) step dt
+
+  // Memo telemetry (see memo_hits()); atomics so concurrent chunk ranges
+  // can account without a lock, gated off by default to keep the hot loop
+  // free of shared-line RMWs.
+  bool memo_telemetry_ = false;
+  std::atomic<std::uint64_t> memo_hits_{0};
+  std::atomic<std::uint64_t> memo_shared_hits_{0};
+  std::atomic<std::uint64_t> memo_misses_{0};
 };
 
 }  // namespace fsc

@@ -11,6 +11,7 @@
 #include "core/controller.hpp"
 #include "core/policy_factory.hpp"
 #include "sim/instrumentation.hpp"
+#include "util/lockstep_executor.hpp"
 #include "util/thread_pool.hpp"
 #include "util/units.hpp"
 
@@ -73,21 +74,25 @@ CoupledRackEngine::CoupledRackEngine(CoupledRackParams params,
 
 struct CoupledRackEngine::Session::Impl {
   CoupledRackParams params;
-  ThreadPool& pool;
+  ThreadPool* pool = nullptr;  ///< null for executor-driven sessions
   Rack rack;
   std::unique_ptr<RackCoordinator> coordinator;
   long periods_per_round = 0;
   std::vector<std::unique_ptr<SlotRuntime>> slots;
-  /// One-task-per-rack SoA stepping (null when params.batched is off).
+  /// Chunked SoA stepping (null when params.batched is off).
   std::unique_ptr<RackBatchStepper> stepper;
   std::optional<SharedPlenumModel> plenum;
   std::vector<std::future<void>> futures;
   std::vector<SlotObservation> observations;
+  // Reusable per-round scratch (hoisted so the steady-state round loop
+  // allocates nothing).
+  std::vector<PlenumSlotState> plenum_states;
+  std::vector<double> plenum_inlets;
   std::size_t rounds = 0;
   double demand_scale = 1.0;
   double ambient_offset = 0.0;
 
-  Impl(const CoupledRackParams& p, ThreadPool& worker_pool)
+  Impl(const CoupledRackParams& p, ThreadPool* worker_pool)
       : params(p), pool(worker_pool), rack(p.rack) {
     const SimulationParams& sim = params.rack.sim;
     const SolutionConfig& solution = params.rack.solution;
@@ -113,7 +118,11 @@ struct CoupledRackEngine::Session::Impl {
 
     if (params.batched) {
       stepper = std::make_unique<RackBatchStepper>();
+      stepper->set_chunk_lanes(params.chunk);
       for (const auto& rt : slots) stepper->add_slot(*rt->session, rt->server);
+      // Freeze the dt memos now, single-threaded: chunks of this batch may
+      // later step concurrently and must never refresh shared state.
+      stepper->prepare();
     }
 
     if (params.plenum_enabled) {
@@ -130,7 +139,13 @@ CoupledRackEngine::Session::Session(const CoupledRackParams& params,
   // Validate coordination timing up front, exactly like the engine ctor.
   (void)derive_fan_divider(params.rack.sim.cpu_period_s,
                            params.coord.coordination_period_s);
-  impl_ = std::make_unique<Impl>(params, pool);
+  impl_ = std::make_unique<Impl>(params, &pool);
+}
+
+CoupledRackEngine::Session::Session(const CoupledRackParams& params) {
+  (void)derive_fan_divider(params.rack.sim.cpu_period_s,
+                           params.coord.coordination_period_s);
+  impl_ = std::make_unique<Impl>(params, nullptr);
 }
 
 CoupledRackEngine::Session::~Session() = default;
@@ -151,32 +166,42 @@ std::size_t CoupledRackEngine::Session::num_slots() const noexcept {
   return impl_->slots.size();
 }
 
-void CoupledRackEngine::Session::begin_round() {
+std::size_t CoupledRackEngine::Session::num_shards() const noexcept {
+  const Impl& im = *impl_;
+  return im.stepper ? im.stepper->num_chunks() : im.slots.size();
+}
+
+void CoupledRackEngine::Session::run_shard(std::size_t shard) {
   Impl& im = *impl_;
-  if (done()) return;
-  // Chunk: every slot advances one coordination period — slots only
-  // interact at the barrier in complete_round(), so task order is free.
-  im.futures.clear();
   const long periods_per_round = im.periods_per_round;
   if (im.stepper) {
-    // Batched granularity: ONE task steps the whole rack, slots advancing
-    // together through the SoA kernel (racks parallelise across the pool,
-    // servers vectorize within the batch).
-    RackBatchStepper* stepper = im.stepper.get();
-    im.futures.push_back(im.pool.submit(
-        [stepper, periods_per_round] { stepper->advance_periods(periods_per_round); }));
+    // Batched granularity: the shard is one contiguous lane chunk of the
+    // rack's SoA batch — chunks parallelise across threads, lanes
+    // vectorize within the chunk.
+    im.stepper->advance_chunk_periods(shard, periods_per_round);
     return;
   }
-  // Scalar granularity: one task per slot (the pre-batch path, kept for
-  // A/B comparison and as the bit-identity reference).
-  im.futures.reserve(im.slots.size());
-  for (const auto& rt_ptr : im.slots) {
-    SlotRuntime* rt = rt_ptr.get();
-    im.futures.push_back(im.pool.submit([rt, periods_per_round] {
-      for (long i = 0; i < periods_per_round && !rt->session->done(); ++i) {
-        rt->session->step_period();
-      }
-    }));
+  // Scalar granularity: the shard is one slot (the pre-batch path, kept
+  // for A/B comparison and as the bit-identity reference).
+  SlotRuntime& rt = *im.slots[shard];
+  for (long i = 0; i < periods_per_round && !rt.session->done(); ++i) {
+    rt.session->step_period();
+  }
+}
+
+void CoupledRackEngine::Session::begin_round() {
+  Impl& im = *impl_;
+  require(im.pool != nullptr,
+          "CoupledRackEngine::Session: begin_round needs a pool-constructed "
+          "session (executor-driven sessions use the shard surface)");
+  if (done()) return;
+  // Every shard advances one coordination period — slots only interact at
+  // the barrier in complete_round(), so task order is free.
+  im.futures.clear();
+  const std::size_t shards = num_shards();
+  im.futures.reserve(shards);
+  for (std::size_t s = 0; s < shards; ++s) {
+    im.futures.push_back(im.pool->submit([this, s] { run_shard(s); }));
   }
 }
 
@@ -184,6 +209,11 @@ void CoupledRackEngine::Session::complete_round() {
   Impl& im = *impl_;
   for (auto& f : im.futures) f.get();  // barrier; rethrows worker exceptions
   im.futures.clear();
+  coordinate_round();
+}
+
+void CoupledRackEngine::Session::coordinate_round() {
+  Impl& im = *impl_;
   if (done()) return;  // run over: nothing to steer
 
   // Deterministic barrier work, in slot order on this thread.
@@ -213,14 +243,15 @@ void CoupledRackEngine::Session::complete_round() {
   }
 
   if (im.plenum) {
-    std::vector<PlenumSlotState> states;
-    states.reserve(im.slots.size());
+    im.plenum_states.clear();
+    im.plenum_states.reserve(im.slots.size());
     for (const SlotObservation& o : im.observations) {
-      states.push_back(PlenumSlotState{o.cpu_watts, o.fan_actual_rpm});
+      im.plenum_states.push_back(PlenumSlotState{o.cpu_watts, o.fan_actual_rpm});
     }
-    const std::vector<double> inlets = im.plenum->inlet_temperatures(states);
+    im.plenum->inlet_temperatures(im.plenum_states, im.plenum_inlets);
     for (std::size_t i = 0; i < im.slots.size(); ++i) {
-      im.slots[i]->server.set_inlet_temperature(inlets[i] + im.ambient_offset);
+      im.slots[i]->server.set_inlet_temperature(im.plenum_inlets[i] +
+                                                im.ambient_offset);
     }
   } else if (im.ambient_offset != 0.0) {
     // No rack-level plenum, but the room still preheats this rack.
@@ -333,6 +364,19 @@ CoupledRackResult CoupledRackEngine::Session::finish() {
 }
 
 CoupledRackResult CoupledRackEngine::run() const {
+  if (params_.executor) {
+    // Persistent-worker path: pre-assigned chunk shards behind one epoch
+    // barrier per round — no per-round task submission at all.
+    LockstepExecutor executor(threads_);
+    Session session(params_);
+    const std::size_t shards = session.num_shards();
+    while (!session.done()) {
+      executor.run(shards,
+                   [&session](std::size_t shard) { session.run_shard(shard); });
+      session.coordinate_round();
+    }
+    return session.finish();
+  }
   ThreadPool pool(threads_);
   Session session(params_, pool);
   while (!session.done()) session.advance_round();

@@ -50,12 +50,25 @@ struct CoupledRackParams {
   CoordinatorConfig coord;
   PlenumParams plenum;
   bool plenum_enabled = true;
-  /// Step the rack's plant physics as ONE SoA batch (batch/ layer): a
-  /// single pool task per rack advances every slot with the vectorized
-  /// kernel, instead of one task per server.  Trajectories are
-  /// bit-identical either way (test_batch); the flag exists so the two
-  /// paths can be A/B'd (`fsc_rack --batched off`).
+  /// Step the rack's plant physics as ONE SoA batch (batch/ layer),
+  /// advancing every slot with the vectorized kernel instead of one task
+  /// per server.  Trajectories are bit-identical either way (test_batch);
+  /// the flag exists so the two paths can be A/B'd (`fsc_rack --batched
+  /// off`).
   bool batched = true;
+  /// Lanes per batch chunk — the shard unit the lockstep drivers
+  /// parallelise over, giving *intra*-rack thread scaling.  0 = automatic
+  /// (RackBatchStepper::kAutoChunkLanes).  Any chunk size is bit-identical
+  /// to any other (test_batch verifies {1, odd, N}); `fsc_rack --chunk N`
+  /// exists to A/B the granularity.  Ignored when `batched` is off (the
+  /// scalar path shards per slot).
+  std::size_t chunk = 0;
+  /// Drive rounds with the persistent LockstepExecutor (pre-assigned chunk
+  /// shards + epoch barrier, util/lockstep_executor.hpp) instead of
+  /// per-round ThreadPool submission.  Bit-identical either way; the
+  /// ThreadPool path is kept selectable (`fsc_rack --executor off`) for
+  /// A/B comparison.
+  bool executor = true;
 };
 
 /// One slot's outcome plus its coordination exposure.
@@ -123,6 +136,10 @@ class CoupledRackEngine {
     /// settles every slot at its initial operating point.  `pool` is only
     /// borrowed and must outlive the session's stepping.
     Session(const CoupledRackParams& params, ThreadPool& pool);
+    /// Pool-free session for executor-driven stepping: the owner advances
+    /// the session through the shard surface (num_shards / run_shard /
+    /// coordinate_round) and begin_round() is invalid.
+    explicit Session(const CoupledRackParams& params);
     ~Session();
     Session(const Session&) = delete;
     Session& operator=(const Session&) = delete;
@@ -133,8 +150,9 @@ class CoupledRackEngine {
     std::size_t rounds() const noexcept;
     std::size_t num_slots() const noexcept;
 
-    /// Submit one coordination period of per-slot stepping to the pool.
-    /// No-op once done().
+    /// Submit one coordination period of per-slot stepping to the pool —
+    /// one task per shard (see num_shards()).  No-op once done().  Only
+    /// valid on a pool-constructed session.
     void begin_round();
     /// Barrier on the submitted work, then coordinate + retarget inlets
     /// (deterministic, on the calling thread).  Must follow begin_round().
@@ -143,6 +161,21 @@ class CoupledRackEngine {
       begin_round();
       complete_round();
     }
+
+    /// Shard surface for executor-driven stepping (the unit a
+    /// LockstepExecutor parallelises): batched sessions shard per batch
+    /// chunk (CoupledRackParams::chunk lanes each), scalar sessions per
+    /// slot.  Constant for the session's lifetime.
+    std::size_t num_shards() const noexcept;
+    /// Advance shard `shard` by one coordination period.  Distinct shards
+    /// touch disjoint slots, so a driver may run them concurrently; the
+    /// caller must not invoke this once done() and must barrier every
+    /// shard before coordinate_round().
+    void run_shard(std::size_t shard);
+    /// The deterministic barrier tail of a round (observation gather in
+    /// slot order, coordination directives, plenum retargeting) — exactly
+    /// what complete_round() runs after draining its pool futures.
+    void coordinate_round();
 
     /// Room-level load migration: every slot's demanded utilization is
     /// multiplied by `scale` (>= 0) from the next round on.

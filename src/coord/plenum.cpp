@@ -33,13 +33,28 @@ double SharedPlenumModel::exhaust_rise(double cpu_watts, double fan_rpm) const {
 
 std::vector<double> SharedPlenumModel::inlet_temperatures(
     const std::vector<PlenumSlotState>& slots) const {
+  // Local buffers: this overload must stay safe under concurrent callers.
+  std::vector<double> rise;
+  std::vector<double> inlets;
+  compute_inlets(slots, rise, inlets);
+  return inlets;
+}
+
+void SharedPlenumModel::inlet_temperatures(
+    const std::vector<PlenumSlotState>& slots, std::vector<double>& out) const {
+  compute_inlets(slots, rise_scratch_, out);
+}
+
+void SharedPlenumModel::compute_inlets(
+    const std::vector<PlenumSlotState>& slots, std::vector<double>& rise,
+    std::vector<double>& out) const {
   require(slots.size() == base_inlet_celsius_.size(),
           "SharedPlenumModel: slot state count must match rack size");
-  std::vector<double> rise(slots.size());
+  rise.resize(slots.size());
   for (std::size_t j = 0; j < slots.size(); ++j) {
     rise[j] = exhaust_rise(slots[j].cpu_watts, slots[j].fan_rpm);
   }
-  std::vector<double> inlets(slots.size());
+  out.resize(slots.size());
   for (std::size_t i = 0; i < slots.size(); ++i) {
     double preheat = 0.0;
     for (std::size_t j = 0; j < slots.size(); ++j) {
@@ -50,10 +65,9 @@ std::vector<double> SharedPlenumModel::inlet_temperatures(
                                 static_cast<double>(d - 1));
       preheat += w * rise[j];
     }
-    inlets[i] = base_inlet_celsius_[i] +
-                std::min(preheat, params_.max_rise_celsius);
+    out[i] = base_inlet_celsius_[i] +
+             std::min(preheat, params_.max_rise_celsius);
   }
-  return inlets;
 }
 
 }  // namespace fsc

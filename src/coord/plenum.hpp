@@ -73,12 +73,26 @@ class SharedPlenumModel {
 
   /// All slots' inlet temperatures, in slot order.  Throws
   /// std::invalid_argument when `slots` does not match the rack size.
+  /// Allocates its buffers locally, so it stays safe to call concurrently
+  /// on one model.
   std::vector<double> inlet_temperatures(
       const std::vector<PlenumSlotState>& slots) const;
 
+  /// Allocation-free variant for per-round callers: writes into `out`
+  /// (resized to the rack size).  Reuses an internal scratch buffer, so —
+  /// unlike the returning overload — this one is NOT safe to call
+  /// concurrently on the same model (the lockstep barriers are serial).
+  void inlet_temperatures(const std::vector<PlenumSlotState>& slots,
+                          std::vector<double>& out) const;
+
  private:
+  void compute_inlets(const std::vector<PlenumSlotState>& slots,
+                      std::vector<double>& rise,
+                      std::vector<double>& out) const;
+
   PlenumParams params_;
   std::vector<double> base_inlet_celsius_;
+  mutable std::vector<double> rise_scratch_;  ///< out-param overload only
 };
 
 }  // namespace fsc

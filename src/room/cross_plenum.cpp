@@ -26,6 +26,8 @@ CrossRackPlenumModel::CrossRackPlenumModel(const CrossRackPlenumParams& params,
 
 std::vector<double> CrossRackPlenumModel::ambient_offsets(
     const std::vector<RackPlenumState>& racks) const {
+  // Local buffer + the returning plenum overload: stays safe under
+  // concurrent callers (no shared scratch touched).
   std::vector<PlenumSlotState> states;
   states.reserve(racks.size());
   for (const RackPlenumState& r : racks) {
@@ -33,8 +35,20 @@ std::vector<double> CrossRackPlenumModel::ambient_offsets(
             "CrossRackPlenumModel: rack power must be >= 0");
     states.push_back(PlenumSlotState{r.cpu_watts, r.mean_fan_rpm});
   }
-  // Zero base inlets make the shared-plenum result the offset itself.
   return plenum_.inlet_temperatures(states);
+}
+
+void CrossRackPlenumModel::ambient_offsets(
+    const std::vector<RackPlenumState>& racks, std::vector<double>& out) const {
+  states_scratch_.clear();
+  states_scratch_.reserve(racks.size());
+  for (const RackPlenumState& r : racks) {
+    require(r.cpu_watts >= 0.0,
+            "CrossRackPlenumModel: rack power must be >= 0");
+    states_scratch_.push_back(PlenumSlotState{r.cpu_watts, r.mean_fan_rpm});
+  }
+  // Zero base inlets make the shared-plenum result the offset itself.
+  plenum_.inlet_temperatures(states_scratch_, out);
 }
 
 }  // namespace fsc

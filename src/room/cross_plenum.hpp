@@ -57,12 +57,21 @@ class CrossRackPlenumModel {
 
   /// Per-rack preheat offsets (>= 0), in rack order.  Throws
   /// std::invalid_argument when `racks` does not match the room size.
+  /// Allocates locally, so it stays safe to call concurrently on one
+  /// model.
   std::vector<double> ambient_offsets(
       const std::vector<RackPlenumState>& racks) const;
+
+  /// Allocation-free variant for per-round callers: writes into `out`
+  /// (resized to the room size).  Reuses internal scratch, so — unlike the
+  /// returning overload — not safe to call concurrently on one model.
+  void ambient_offsets(const std::vector<RackPlenumState>& racks,
+                       std::vector<double>& out) const;
 
  private:
   CrossRackPlenumParams params_;
   SharedPlenumModel plenum_;  ///< racks as slots, zero base inlets
+  mutable std::vector<PlenumSlotState> states_scratch_;
 };
 
 }  // namespace fsc

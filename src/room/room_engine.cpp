@@ -7,6 +7,7 @@
 #include <sstream>
 
 #include "core/policy_factory.hpp"
+#include "util/lockstep_executor.hpp"
 #include "util/rng.hpp"
 #include "util/thread_pool.hpp"
 #include "util/units.hpp"
@@ -58,14 +59,41 @@ RoomEngine::RoomEngine(RoomParams params, std::size_t threads)
 RoomResult RoomEngine::run() const {
   const std::size_t num_racks = params_.racks.size();
 
-  ThreadPool pool(threads_);
+  // Execution strategy: the persistent executor steps a flat list of
+  // (rack, chunk) shards behind one epoch barrier per round; the ThreadPool
+  // path (kept for A/B) submits the same shards as per-round tasks.
+  std::optional<ThreadPool> pool;
+  std::optional<LockstepExecutor> executor;
+  if (params_.executor) {
+    executor.emplace(threads_);
+  } else {
+    pool.emplace(threads_);
+  }
+
   std::vector<std::unique_ptr<CoupledRackEngine::Session>> racks;
   racks.reserve(num_racks);
   std::size_t total_slots = 0;
   for (const CoupledRackParams& rack_params : params_.racks) {
-    racks.push_back(
-        std::make_unique<CoupledRackEngine::Session>(rack_params, pool));
+    racks.push_back(pool ? std::make_unique<CoupledRackEngine::Session>(
+                               rack_params, *pool)
+                         : std::make_unique<CoupledRackEngine::Session>(
+                               rack_params));
     total_slots += racks.back()->num_slots();
+  }
+
+  // The room-wide shard map: every rack's chunks, flattened in rack order.
+  // Shard counts are constant per session, so this is built exactly once.
+  struct RoomShard {
+    CoupledRackEngine::Session* session = nullptr;
+    std::size_t local = 0;  ///< chunk index within the rack
+  };
+  std::vector<RoomShard> shards;
+  if (executor) {
+    for (const auto& rack : racks) {
+      for (std::size_t c = 0; c < rack->num_shards(); ++c) {
+        shards.push_back(RoomShard{rack.get(), c});
+      }
+    }
   }
 
   RoomSchedulerConfig cfg = params_.sched;
@@ -87,18 +115,36 @@ RoomResult RoomEngine::run() const {
   std::size_t rounds = 0;
   std::size_t migration_events = 0;
 
+  // Per-round scratch, hoisted out of the loop: the steady-state round
+  // allocates nothing (the buffers reach their high-water capacity on the
+  // first round and are reused for the thousands that follow).
+  std::vector<RackObservation> observations;
+  std::vector<RackDirective> directives;
+  std::vector<RackPlenumState> states;
+  std::vector<double> offsets;
+  observations.reserve(num_racks);
+
   while (!racks.front()->done()) {
-    // Launch every rack's coordination period before blocking on any
-    // barrier: the shared pool interleaves all racks' slot work freely.
-    for (const auto& rack : racks) rack->begin_round();
-    // Deterministic barrier work, in rack order on this thread (each
-    // rack's own coordination happens inside complete_round()).
-    for (const auto& rack : racks) rack->complete_round();
+    if (executor) {
+      // One epoch steps every rack's every chunk: intra-rack parallelism
+      // falls out of the flat shard list, and the executor's pre-assigned
+      // spans replace the per-round submit storm.
+      executor->run(shards.size(), [&shards](std::size_t i) {
+        shards[i].session->run_shard(shards[i].local);
+      });
+      // Deterministic barrier work, in rack order on this thread.
+      for (const auto& rack : racks) rack->coordinate_round();
+    } else {
+      // Launch every rack's coordination period before blocking on any
+      // barrier: the shared pool interleaves all racks' slot work freely.
+      for (const auto& rack : racks) rack->begin_round();
+      // Each rack's own coordination happens inside complete_round().
+      for (const auto& rack : racks) rack->complete_round();
+    }
     if (racks.front()->done()) break;  // run over: nothing to schedule
 
     const double t = racks.front()->time_s();
-    std::vector<RackObservation> observations;
-    observations.reserve(num_racks);
+    observations.clear();
     for (std::size_t i = 0; i < num_racks; ++i) {
       const CoupledRackEngine::Session& rack = *racks[i];
       const std::size_t pooled = rack.pooled_deadline_violations_so_far();
@@ -108,8 +154,7 @@ RoomResult RoomEngine::run() const {
       violations_seen[i] = pooled;
     }
 
-    const std::vector<RackDirective> directives =
-        scheduler->schedule(t, observations);
+    scheduler->schedule(t, observations, directives);
     require(directives.size() == num_racks,
             "RoomEngine: scheduler must return one directive per rack");
     // A round counts as a migration event only when load actually moved:
@@ -132,12 +177,12 @@ RoomResult RoomEngine::run() const {
     if (any_scale_up && any_scale_down) ++migration_events;
 
     if (cross) {
-      std::vector<RackPlenumState> states;
+      states.clear();
       states.reserve(num_racks);
       for (const RackObservation& o : observations) {
         states.push_back(RackPlenumState{o.cpu_watts, o.mean_fan_rpm});
       }
-      const std::vector<double> offsets = cross->ambient_offsets(states);
+      cross->ambient_offsets(states, offsets);
       for (std::size_t i = 0; i < num_racks; ++i) {
         racks[i]->set_ambient_offset(offsets[i]);
         offset_stats[i].add(offsets[i]);

@@ -50,6 +50,14 @@ struct RoomParams {
   RoomSchedulerConfig sched;
   CrossRackPlenumParams cross_plenum;
   bool cross_plenum_enabled = true;
+  /// Drive the room with one persistent LockstepExecutor whose shard unit
+  /// is a *batch chunk* (CoupledRackParams::chunk lanes), pooling every
+  /// rack's chunks into a single pre-assigned shard list per round — the
+  /// first path that parallelises *within* a rack as well as across racks.
+  /// Off = the per-round ThreadPool submission path (kept for A/B;
+  /// bit-identical either way).  Per-rack `executor` flags are ignored at
+  /// room scope: the room owns the execution strategy.
+  bool executor = true;
 };
 
 /// One rack's outcome plus its room-scheduling exposure.

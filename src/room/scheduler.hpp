@@ -111,10 +111,14 @@ class RoomScheduler {
   /// Discard dynamic state (cumulative scales, cooldowns).
   virtual void reset() = 0;
 
-  /// One directive per rack, in rack order.  `racks` is likewise in rack
-  /// order and covers the whole room.
-  virtual std::vector<RackDirective> schedule(
-      double time_s, const std::vector<RackObservation>& racks) = 0;
+  /// One directive per rack, in rack order, written into `out` (resized to
+  /// the rack count; previous contents ignored).  `racks` is likewise in
+  /// rack order and covers the whole room.  The out-param lets the room
+  /// engine reuse one directive buffer across thousands of rounds instead
+  /// of allocating a fresh vector per round.
+  virtual void schedule(double time_s,
+                        const std::vector<RackObservation>& racks,
+                        std::vector<RackDirective>& out) = 0;
 };
 
 /// Registers the built-in schedulers ("static", "thermal-headroom",

@@ -16,12 +16,12 @@ namespace {
 /// dividing by it would explode the descaled-demand estimate.
 constexpr double kMinScalableDemand = 1e-6;
 
-std::vector<RackDirective> directives_from(const std::vector<double>& scales) {
-  std::vector<RackDirective> out(scales.size());
+void directives_into(const std::vector<double>& scales,
+                     std::vector<RackDirective>& out) {
+  out.assign(scales.size(), RackDirective{});
   for (std::size_t i = 0; i < scales.size(); ++i) {
     out[i].demand_scale = scales[i];
   }
-  return out;
 }
 
 }  // namespace
@@ -60,9 +60,10 @@ RackObservation aggregate_rack_observation(
 
 StaticRoomScheduler::StaticRoomScheduler(const RoomSchedulerConfig&) {}
 
-std::vector<RackDirective> StaticRoomScheduler::schedule(
-    double, const std::vector<RackObservation>& racks) {
-  return std::vector<RackDirective>(racks.size());
+void StaticRoomScheduler::schedule(double,
+                                   const std::vector<RackObservation>& racks,
+                                   std::vector<RackDirective>& out) {
+  out.assign(racks.size(), RackDirective{});
 }
 
 // ------------------------------------------------------ thermal-headroom
@@ -87,8 +88,9 @@ void ThermalHeadroomScheduler::reset() {
   migrations_ = 0;
 }
 
-std::vector<RackDirective> ThermalHeadroomScheduler::schedule(
-    double, const std::vector<RackObservation>& racks) {
+void ThermalHeadroomScheduler::schedule(
+    double, const std::vector<RackObservation>& racks,
+    std::vector<RackDirective>& out) {
   if (scales_.empty()) scales_.assign(racks.size(), 1.0);
   require(scales_.size() == racks.size(),
           "ThermalHeadroomScheduler: rack count changed mid-run");
@@ -97,7 +99,8 @@ std::vector<RackDirective> ThermalHeadroomScheduler::schedule(
     // Settling: hold the current assignment (which also retires the
     // previous migration's one-round cost surcharge).
     --cooldown_;
-    return directives_from(scales_);
+    directives_into(scales_, out);
+    return;
   }
 
   // Donor: hottest inlet among racks that still have load to give.
@@ -123,12 +126,14 @@ std::vector<RackDirective> ThermalHeadroomScheduler::schedule(
     }
   }
   if (hot == racks.size() || cool == racks.size() || hot == cool) {
-    return directives_from(scales_);
+    directives_into(scales_, out);
+    return;
   }
   const double spread = racks[hot].mean_inlet_celsius -
                         racks[cool].mean_inlet_celsius;
   if (spread < cfg_.hysteresis_celsius) {
-    return directives_from(scales_);  // deadband: not worth moving for
+    directives_into(scales_, out);  // deadband: not worth moving for
+    return;
   }
   const RackObservation& donor = racks[hot];
   const RackObservation& receiver = racks[cool];
@@ -149,11 +154,10 @@ std::vector<RackDirective> ThermalHeadroomScheduler::schedule(
 
   // The move itself is not free: the receiver pays a one-round overhead
   // (state transfer, cold caches) on top of its new share.
-  std::vector<RackDirective> out = directives_from(scales_);
+  directives_into(scales_, out);
   out[cool].demand_scale = std::min(
       cfg_.max_demand_scale,
       scales_[cool] * (1.0 + cfg_.migration_cost_fraction));
-  return out;
 }
 
 // ----------------------------------------------------------- power-aware
@@ -176,10 +180,11 @@ PowerAwareScheduler::PowerAwareScheduler(const RoomSchedulerConfig& cfg)
           "power floor and can never be met");
 }
 
-std::vector<RackDirective> PowerAwareScheduler::schedule(
-    double, const std::vector<RackObservation>& racks) {
-  std::vector<RackDirective> out(racks.size());
-  if (racks.empty()) return out;
+void PowerAwareScheduler::schedule(double,
+                                   const std::vector<RackObservation>& racks,
+                                   std::vector<RackDirective>& out) {
+  out.assign(racks.size(), RackDirective{});
+  if (racks.empty()) return;
   const double rack_budget = budget_watts_ / static_cast<double>(racks.size());
 
   // Descale each rack's observed demand back to its native load, price it
@@ -224,7 +229,6 @@ std::vector<RackDirective> PowerAwareScheduler::schedule(
     out[i].demand_scale = clamp(target_u / raw_u[i], cfg_.min_demand_scale,
                                 cfg_.max_demand_scale);
   }
-  return out;
 }
 
 // ------------------------------------------------------------- registry

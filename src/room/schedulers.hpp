@@ -28,8 +28,8 @@ class StaticRoomScheduler final : public RoomScheduler {
   explicit StaticRoomScheduler(const RoomSchedulerConfig& cfg);
   std::string name() const override { return "static"; }
   void reset() override {}
-  std::vector<RackDirective> schedule(
-      double time_s, const std::vector<RackObservation>& racks) override;
+  void schedule(double time_s, const std::vector<RackObservation>& racks,
+                std::vector<RackDirective>& out) override;
 };
 
 /// Migrates load from the hottest-inlet rack to the coolest rack with
@@ -45,8 +45,8 @@ class ThermalHeadroomScheduler final : public RoomScheduler {
   explicit ThermalHeadroomScheduler(const RoomSchedulerConfig& cfg);
   std::string name() const override { return "thermal-headroom"; }
   void reset() override;
-  std::vector<RackDirective> schedule(
-      double time_s, const std::vector<RackObservation>& racks) override;
+  void schedule(double time_s, const std::vector<RackObservation>& racks,
+                std::vector<RackDirective>& out) override;
 
   /// Migrations performed since the last reset (for tests and reports).
   std::size_t migrations() const noexcept { return migrations_; }
@@ -73,8 +73,8 @@ class PowerAwareScheduler final : public RoomScheduler {
   explicit PowerAwareScheduler(const RoomSchedulerConfig& cfg);
   std::string name() const override { return "power-aware"; }
   void reset() override {}
-  std::vector<RackDirective> schedule(
-      double time_s, const std::vector<RackObservation>& racks) override;
+  void schedule(double time_s, const std::vector<RackObservation>& racks,
+                std::vector<RackDirective>& out) override;
 
   double budget_watts() const noexcept { return budget_watts_; }
 

@@ -1,0 +1,180 @@
+// Persistent-worker lockstep executor: the steady-state engine room of the
+// rack/room lockstep loops.
+//
+// The ThreadPool (util/thread_pool.hpp) is a general task queue: every
+// submit() allocates a shared_ptr<packaged_task> plus a std::function and
+// takes the one global queue mutex, and every barrier is a future::get.
+// That is fine for coarse batch sweeps, but the lockstep engines submit a
+// fresh wave of tasks every coordination round — thousands of rounds per
+// run — and the per-round submit storm plus futex traffic swamps the
+// actual physics once the work is chunked finely enough to scale.
+//
+// The LockstepExecutor replaces the queue with the classic DAQ-style
+// persistent-worker design (cf. the YARR-like run loops in the related
+// repos): workers are spawned once and park on an atomic *epoch* counter;
+// each run(count, fn) pre-assigns every participant a contiguous shard of
+// [0, count), bumps the epoch to release the workers, processes the
+// caller's own shard on the calling thread, and spins/waits on an atomic
+// arrival counter until the wave is done.  In steady state a round is:
+// one epoch increment, one futex wake, N shard loops, N arrival
+// decrements — zero allocations, zero futures, zero mutexes.
+//
+// Determinism: shard assignment is a pure function of (count, size()), so
+// which participant executes which index never depends on scheduling.  The
+// engines only hand the executor index-disjoint work (batch chunks, slot
+// sessions), so results are bit-identical for any thread count — the same
+// guarantee the ThreadPool path gives, at a fraction of the overhead.
+//
+// Exceptions: a shard that throws aborts the remainder of that
+// participant's shard span (other participants run to completion); run()
+// rethrows the first captured exception in participant order.  The
+// executor stays usable afterwards.
+//
+// Not supported: nested run() calls from inside a shard, and concurrent
+// run() calls from different threads (one lockstep driver owns the
+// executor).
+#pragma once
+
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+#include <exception>
+#include <memory>
+#include <stdexcept>
+#include <thread>
+#include <type_traits>
+#include <vector>
+
+namespace fsc {
+
+/// Fixed team of `threads` participants (the calling thread plus
+/// `threads - 1` persistent workers) executing pre-assigned shards of an
+/// index space per epoch.
+class LockstepExecutor {
+ public:
+  /// Spawn `threads - 1` persistent workers (the caller is participant 0).
+  /// Throws std::invalid_argument when `threads` is 0.
+  explicit LockstepExecutor(std::size_t threads)
+      : threads_(threads), errors_(threads) {
+    if (threads_ == 0) {
+      throw std::invalid_argument("LockstepExecutor: thread count must be > 0");
+    }
+    workers_.reserve(threads_ - 1);
+    for (std::size_t p = 1; p < threads_; ++p) {
+      workers_.emplace_back([this, p] { worker_loop(p); });
+    }
+  }
+
+  /// Releases the parked workers with a final epoch bump and joins them.
+  ~LockstepExecutor() {
+    stopping_.store(true, std::memory_order_release);
+    epoch_.fetch_add(1, std::memory_order_release);
+    epoch_.notify_all();
+    for (std::thread& worker : workers_) worker.join();
+  }
+
+  LockstepExecutor(const LockstepExecutor&) = delete;
+  LockstepExecutor& operator=(const LockstepExecutor&) = delete;
+
+  /// Total participants (calling thread included).
+  std::size_t size() const noexcept { return threads_; }
+
+  /// Execute fn(i) for every i in [0, count), partitioned into contiguous
+  /// per-participant shards, and block until the whole wave is done.  `fn`
+  /// must be safe to invoke concurrently for distinct indices.  Rethrows
+  /// the first shard exception (participant order) after the barrier.
+  template <typename F>
+  void run(std::size_t count, F&& fn) {
+    static_assert(std::is_invocable_v<F&, std::size_t>,
+                  "LockstepExecutor::run: fn must accept a shard index");
+    if (count == 0) return;
+    if (threads_ == 1 || count == 1) {
+      // Inline fast path: nothing to fan out (also keeps a 1-thread
+      // executor free of any cross-thread machinery).
+      for (std::size_t i = 0; i < count; ++i) fn(i);
+      return;
+    }
+    using Fn = std::remove_reference_t<F>;
+    invoke_ = [](void* ctx, std::size_t i) { (*static_cast<Fn*>(ctx))(i); };
+    ctx_ = const_cast<void*>(static_cast<const void*>(std::addressof(fn)));
+    count_ = count;
+    pending_.store(threads_ - 1, std::memory_order_relaxed);
+    // The release fence on the epoch bump publishes invoke_/ctx_/count_;
+    // the workers' acquire loads of the epoch pick them up.
+    epoch_.fetch_add(1, std::memory_order_release);
+    epoch_.notify_all();
+
+    run_shard(0);  // the caller is participant 0
+
+    // Arrival barrier: short spin for back-to-back rounds, then a futex
+    // wait.  The workers' acq_rel decrements make all shard writes visible
+    // here.
+    for (int spin = 0; spin < 256; ++spin) {
+      if (pending_.load(std::memory_order_acquire) == 0) break;
+    }
+    for (;;) {
+      const std::size_t left = pending_.load(std::memory_order_acquire);
+      if (left == 0) break;
+      pending_.wait(left, std::memory_order_acquire);
+    }
+    rethrow_first_error();
+  }
+
+ private:
+  /// Contiguous shard of participant p over `count_` indices:
+  /// [count*p/P, count*(p+1)/P) — balanced to within one index.
+  void run_shard(std::size_t p) noexcept {
+    const std::size_t lo = count_ * p / threads_;
+    const std::size_t hi = count_ * (p + 1) / threads_;
+    try {
+      for (std::size_t i = lo; i < hi; ++i) invoke_(ctx_, i);
+    } catch (...) {
+      errors_[p] = std::current_exception();
+    }
+  }
+
+  void rethrow_first_error() {
+    for (std::size_t p = 0; p < threads_; ++p) {
+      if (errors_[p]) {
+        const std::exception_ptr first = errors_[p];
+        for (std::size_t q = 0; q < threads_; ++q) errors_[q] = nullptr;
+        std::rethrow_exception(first);
+      }
+    }
+  }
+
+  void worker_loop(std::size_t p) {
+    std::uint64_t seen = 0;
+    for (;;) {
+      std::uint64_t epoch = epoch_.load(std::memory_order_acquire);
+      while (epoch == seen) {
+        // wait() may return spuriously; re-check the epoch each time.
+        epoch_.wait(seen, std::memory_order_acquire);
+        epoch = epoch_.load(std::memory_order_acquire);
+      }
+      seen = epoch;
+      if (stopping_.load(std::memory_order_acquire)) return;
+      run_shard(p);
+      if (pending_.fetch_sub(1, std::memory_order_acq_rel) == 1) {
+        pending_.notify_one();
+      }
+    }
+  }
+
+  std::size_t threads_;
+  std::vector<std::thread> workers_;
+
+  // Per-epoch job (published by the epoch bump's release ordering).
+  void (*invoke_)(void*, std::size_t) = nullptr;
+  void* ctx_ = nullptr;
+  std::size_t count_ = 0;
+  std::vector<std::exception_ptr> errors_;  ///< one slot per participant
+
+  // The two hot atomics live on their own cache lines so the workers'
+  // arrival decrements never bounce the epoch line mid-round.
+  alignas(64) std::atomic<std::uint64_t> epoch_{0};
+  alignas(64) std::atomic<std::size_t> pending_{0};
+  std::atomic<bool> stopping_{false};
+};
+
+}  // namespace fsc

@@ -158,6 +158,87 @@ TEST(ServerBatch, ValidatesInputs) {
   EXPECT_THROW(batch.step_all(-0.01), std::invalid_argument);
 }
 
+TEST(ServerBatch, StepRangeRequiresPreparedDt) {
+  Rng rng(1);
+  Server server = Server::table1_defaults(rng);
+  ServerBatch batch;
+  batch.add_server(server);  // resets the dt memo
+  EXPECT_THROW(batch.step_range(0, 1, kDt), std::logic_error);
+  batch.prepare_dt(kDt);
+  EXPECT_NO_THROW(batch.step_range(0, 1, kDt));
+  EXPECT_THROW(batch.step_range(0, 2, kDt), std::invalid_argument);
+}
+
+TEST(ServerBatch, RangedStepsComposeToTheWholeBatchStep) {
+  // Stepping [0, 3) and [3, n) separately must equal one step_all: lanes
+  // are independent, so the split is exact, not approximate.
+  Rng rng_a(5);
+  Rng rng_b(5);
+  std::vector<std::unique_ptr<Server>> whole_servers;
+  std::vector<std::unique_ptr<Server>> split_servers;
+  ServerBatch whole;
+  ServerBatch split;
+  for (std::size_t i = 0; i < 7; ++i) {
+    whole_servers.push_back(
+        std::make_unique<Server>(Server::table1_defaults(rng_a)));
+    split_servers.push_back(
+        std::make_unique<Server>(Server::table1_defaults(rng_b)));
+    whole.add_server(*whole_servers.back());
+    split.add_server(*split_servers.back());
+  }
+  for (std::size_t i = 0; i < 7; ++i) {
+    const double cmd = 2500.0 + 700.0 * static_cast<double>(i);
+    whole.set_inputs(i, 80.0, cmd, 40.0);
+    split.set_inputs(i, 80.0, cmd, 40.0);
+  }
+  split.prepare_dt(kDt);
+  for (int s = 0; s < 200; ++s) {
+    whole.step_all(kDt);
+    split.step_range(3, 7, kDt);  // order across disjoint ranges is free
+    split.step_range(0, 3, kDt);
+    for (std::size_t i = 0; i < 7; ++i) {
+      ASSERT_EQ(whole.junction_celsius(i), split.junction_celsius(i)) << i;
+      ASSERT_EQ(whole.heat_sink_celsius(i), split.heat_sink_celsius(i)) << i;
+      ASSERT_EQ(whole.fan_rpm(i), split.fan_rpm(i)) << i;
+      ASSERT_EQ(whole.fan_watts(i), split.fan_watts(i)) << i;
+    }
+  }
+}
+
+TEST(ServerBatch, MemoCountersSeeHitsSharedHitsAndMisses) {
+  // Four identical-SKU lanes slewing in lockstep: the first moving lane in
+  // a pass pays the pow/exp, the other three share it; once settled, every
+  // lane is a plain hit.
+  Rng rng(2);
+  std::vector<std::unique_ptr<Server>> servers;
+  ServerBatch batch;
+  for (std::size_t i = 0; i < 4; ++i) {
+    servers.push_back(std::make_unique<Server>(Server::table1_defaults(rng)));
+    batch.add_server(*servers.back());
+  }
+  for (std::size_t i = 0; i < 4; ++i) batch.set_inputs(i, 80.0, 5000.0, 40.0);
+  batch.prepare_dt(kDt);
+
+  // Telemetry is opt-in: the default must leave the counters untouched.
+  batch.step_range(0, 4, kDt);
+  EXPECT_EQ(batch.memo_hits() + batch.memo_shared_hits() + batch.memo_misses(),
+            0u);
+  batch.set_memo_telemetry(true);
+  batch.reset_memo_counters();
+
+  batch.step_range(0, 4, kDt);  // all four lanes still slewing to 5000 rpm
+  EXPECT_EQ(batch.memo_misses(), 1u);
+  EXPECT_EQ(batch.memo_shared_hits(), 3u);
+  EXPECT_EQ(batch.memo_hits(), 0u);
+
+  for (int s = 0; s < 2000; ++s) batch.step_all(kDt);  // settle on 5000 rpm
+  const std::uint64_t misses_settled = batch.memo_misses();
+  const std::uint64_t hits_before = batch.memo_hits();
+  batch.step_all(kDt);
+  EXPECT_EQ(batch.memo_misses(), misses_settled);  // no new transcendentals
+  EXPECT_EQ(batch.memo_hits(), hits_before + 4);
+}
+
 TEST(ServerBatch, CommandIsClampedIntoTheFanEnvelope) {
   Rng rng(1);
   Server server = Server::table1_defaults(rng);
@@ -224,6 +305,54 @@ TEST(BatchedRack, BitIdenticalToScalarPathAcross128Threads) {
   }
 }
 
+TEST(ChunkedRack, BitIdenticalAcrossChunkSizesThreadsAndDrivers) {
+  // The chunked executor path must reproduce BOTH references exactly: the
+  // scalar one-task-per-server path and the PR-4 whole-rack batched path
+  // (chunk >= N, ThreadPool driver), for every chunk granularity {1, odd,
+  // auto, N} x {1, 2, 8} threads.
+  CoupledRackParams scalar_params = rack_params("shared-fan-zone");
+  scalar_params.batched = false;
+  scalar_params.executor = false;
+  const CoupledRackResult scalar = CoupledRackEngine(scalar_params, 1).run();
+
+  CoupledRackParams pr4_params = rack_params("shared-fan-zone");
+  pr4_params.batched = true;
+  pr4_params.executor = false;
+  pr4_params.chunk = pr4_params.rack.num_servers;  // one whole-rack chunk
+  const CoupledRackResult pr4 = CoupledRackEngine(pr4_params, 2).run();
+  expect_identical(scalar, pr4);
+
+  for (std::size_t chunk : {std::size_t{1}, std::size_t{3}, std::size_t{7},
+                            std::size_t{0} /* auto */}) {
+    for (std::size_t threads : {1u, 2u, 8u}) {
+      CoupledRackParams p = rack_params("shared-fan-zone");
+      p.batched = true;
+      p.executor = true;
+      p.chunk = chunk;
+      const CoupledRackResult chunked = CoupledRackEngine(p, threads).run();
+      SCOPED_TRACE("chunk=" + std::to_string(chunk) +
+                   " threads=" + std::to_string(threads));
+      expect_identical(scalar, chunked);
+      expect_identical(pr4, chunked);
+    }
+  }
+}
+
+TEST(ChunkedRack, ScalarShardsThroughTheExecutorMatchToo) {
+  // executor on + batched off: shard unit is a slot; still bit-identical.
+  CoupledRackParams ref = rack_params("power-budget");
+  ref.batched = false;
+  ref.executor = false;
+  const CoupledRackResult scalar = CoupledRackEngine(ref, 1).run();
+  for (std::size_t threads : {1u, 8u}) {
+    CoupledRackParams p = rack_params("power-budget");
+    p.batched = false;
+    p.executor = true;
+    SCOPED_TRACE("threads=" + std::to_string(threads));
+    expect_identical(scalar, CoupledRackEngine(p, threads).run());
+  }
+}
+
 // --------------------------------------- full room: batched vs scalar path
 
 void expect_identical(const RoomResult& a, const RoomResult& b) {
@@ -256,6 +385,44 @@ TEST(BatchedRoom, BitIdenticalToScalarPathAcross128Threads) {
     const RoomResult batched = RoomEngine(batched_params, threads).run();
     SCOPED_TRACE("threads=" + std::to_string(threads));
     expect_identical(scalar, batched);
+  }
+}
+
+TEST(ChunkedRoom, BitIdenticalAcrossChunkSizesThreadsAndDrivers) {
+  // References: the scalar ThreadPool room and the PR-4 whole-rack-chunk
+  // ThreadPool room; the chunked executor room must match both for chunk
+  // sizes {1, odd, auto} x {1, 2, 8} threads.
+  RoomParams scalar_params = default_room_scenario(2, 77, 240.0);
+  scalar_params.scheduler = "thermal-headroom";
+  scalar_params.executor = false;
+  for (CoupledRackParams& rack : scalar_params.racks) rack.batched = false;
+  const RoomResult scalar = RoomEngine(scalar_params, 1).run();
+
+  RoomParams pr4_params = default_room_scenario(2, 77, 240.0);
+  pr4_params.scheduler = "thermal-headroom";
+  pr4_params.executor = false;
+  for (CoupledRackParams& rack : pr4_params.racks) {
+    rack.batched = true;
+    rack.chunk = rack.rack.num_servers;  // one whole-rack chunk per rack
+  }
+  const RoomResult pr4 = RoomEngine(pr4_params, 2).run();
+  expect_identical(scalar, pr4);
+
+  for (std::size_t chunk : {std::size_t{1}, std::size_t{7}, std::size_t{0}}) {
+    for (std::size_t threads : {1u, 2u, 8u}) {
+      RoomParams p = default_room_scenario(2, 77, 240.0);
+      p.scheduler = "thermal-headroom";
+      p.executor = true;
+      for (CoupledRackParams& rack : p.racks) {
+        rack.batched = true;
+        rack.chunk = chunk;
+      }
+      const RoomResult chunked = RoomEngine(p, threads).run();
+      SCOPED_TRACE("chunk=" + std::to_string(chunk) +
+                   " threads=" + std::to_string(threads));
+      expect_identical(scalar, chunked);
+      expect_identical(pr4, chunked);
+    }
   }
 }
 

@@ -41,6 +41,15 @@ RoomParams small_room(std::size_t racks = 2, std::size_t slots = 3,
   return p;
 }
 
+/// Value-returning adapter over the out-param RoomScheduler::schedule API
+/// so the scheduler unit tests keep their expression-style assertions.
+std::vector<RackDirective> run_schedule(
+    RoomScheduler& sched, double t, const std::vector<RackObservation>& racks) {
+  std::vector<RackDirective> out;
+  sched.schedule(t, racks, out);
+  return out;
+}
+
 RackObservation obs(std::size_t index, double inlet_c, double demand,
                     double scale = 1.0, std::size_t slots = 8) {
   RackObservation o;
@@ -175,7 +184,7 @@ TEST(ThermalHeadroom, DeadbandHoldsTheAssignment) {
   ThermalHeadroomScheduler sched(headroom_cfg());
   // Spread (0.5 C) inside the 1 C deadband: nothing moves.
   const auto d =
-      sched.schedule(0.0, {obs(0, 30.5, 0.8), obs(1, 30.0, 0.2)});
+      run_schedule(sched, 0.0, {obs(0, 30.5, 0.8), obs(1, 30.0, 0.2)});
   ASSERT_EQ(d.size(), 2u);
   EXPECT_DOUBLE_EQ(d[0].demand_scale, 1.0);
   EXPECT_DOUBLE_EQ(d[1].demand_scale, 1.0);
@@ -185,7 +194,7 @@ TEST(ThermalHeadroom, DeadbandHoldsTheAssignment) {
 TEST(ThermalHeadroom, MigratesFromHotToCoolConservingDemand) {
   ThermalHeadroomScheduler sched(headroom_cfg());
   const auto d =
-      sched.schedule(0.0, {obs(0, 36.0, 0.8), obs(1, 30.0, 0.2)});
+      run_schedule(sched, 0.0, {obs(0, 36.0, 0.8), obs(1, 30.0, 0.2)});
   ASSERT_EQ(d.size(), 2u);
   EXPECT_EQ(sched.migrations(), 1u);
   // Donor sheds exactly the step fraction.
@@ -207,7 +216,7 @@ TEST(ThermalHeadroom, IdleRackIsSkippedAsReceiver) {
   // onto it, so the migration must fall through to the next-coolest
   // loaded rack instead of silently degenerating to the static policy.
   ThermalHeadroomScheduler sched(headroom_cfg());
-  const auto d = sched.schedule(
+  const auto d = run_schedule(sched, 
       0.0, {obs(0, 36.0, 0.8), obs(1, 31.0, 0.2), obs(2, 30.0, 0.0)});
   ASSERT_EQ(d.size(), 3u);
   EXPECT_EQ(sched.migrations(), 1u);
@@ -220,28 +229,28 @@ TEST(ThermalHeadroom, CooldownBlocksImmediateReMigration) {
   ThermalHeadroomScheduler sched(headroom_cfg());
   const std::vector<RackObservation> hot_cold = {obs(0, 36.0, 0.8),
                                                  obs(1, 30.0, 0.2)};
-  (void)sched.schedule(0.0, hot_cold);
+  (void)run_schedule(sched, 0.0, hot_cold);
   ASSERT_EQ(sched.migrations(), 1u);
   // Two cooldown rounds: the spread is still huge but nothing moves, and
   // the receiver's cost surcharge is retired (directive == scale).
-  auto d = sched.schedule(30.0, hot_cold);
+  auto d = run_schedule(sched, 30.0, hot_cold);
   EXPECT_EQ(sched.migrations(), 1u);
   EXPECT_NEAR(d[1].demand_scale, 1.8, 1e-12);
-  d = sched.schedule(60.0, hot_cold);
+  d = run_schedule(sched, 60.0, hot_cold);
   EXPECT_EQ(sched.migrations(), 1u);
   // Cooldown expired: the persistent spread triggers the next migration.
-  (void)sched.schedule(90.0, hot_cold);
+  (void)run_schedule(sched, 90.0, hot_cold);
   EXPECT_EQ(sched.migrations(), 2u);
 }
 
 TEST(ThermalHeadroom, ResetDiscardsScalesAndCooldown) {
   ThermalHeadroomScheduler sched(headroom_cfg());
-  (void)sched.schedule(0.0, {obs(0, 36.0, 0.8), obs(1, 30.0, 0.2)});
+  (void)run_schedule(sched, 0.0, {obs(0, 36.0, 0.8), obs(1, 30.0, 0.2)});
   ASSERT_EQ(sched.migrations(), 1u);
   sched.reset();
   EXPECT_EQ(sched.migrations(), 0u);
   const auto d =
-      sched.schedule(0.0, {obs(0, 30.2, 0.8), obs(1, 30.0, 0.2)});
+      run_schedule(sched, 0.0, {obs(0, 30.2, 0.8), obs(1, 30.0, 0.2)});
   EXPECT_DOUBLE_EQ(d[0].demand_scale, 1.0);
   EXPECT_DOUBLE_EQ(d[1].demand_scale, 1.0);
 }
@@ -261,7 +270,7 @@ TEST(PowerAware, UntouchedWhenEveryRackFitsItsBudget) {
   cfg.total_slots = 16;
   cfg.room_power_budget_watts = 4000.0;  // 2000 W per rack, plenty
   PowerAwareScheduler sched(cfg);
-  const auto d = sched.schedule(0.0, {obs(0, 30.0, 0.9), obs(1, 30.0, 0.1)});
+  const auto d = run_schedule(sched, 0.0, {obs(0, 30.0, 0.9), obs(1, 30.0, 0.1)});
   ASSERT_EQ(d.size(), 2u);
   EXPECT_DOUBLE_EQ(d[0].demand_scale, 1.0);
   EXPECT_DOUBLE_EQ(d[1].demand_scale, 1.0);
@@ -274,7 +283,7 @@ TEST(PowerAware, RepacksOverBudgetLoadIntoHeadroom) {
   cfg.room_power_budget_watts = 2000.0;  // 1000 W per rack
   PowerAwareScheduler sched(cfg);
   // Rack 0 wants 8 x 160 W = 1280 W (over); rack 1 idles with headroom.
-  const auto d = sched.schedule(0.0, {obs(0, 30.0, 1.0), obs(1, 30.0, 0.1)});
+  const auto d = run_schedule(sched, 0.0, {obs(0, 30.0, 1.0), obs(1, 30.0, 0.1)});
   ASSERT_EQ(d.size(), 2u);
   EXPECT_LT(d[0].demand_scale, 1.0);  // shed down to its budget
   EXPECT_GT(d[1].demand_scale, 1.0);  // absorbs the shed load

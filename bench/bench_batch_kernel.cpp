@@ -1,22 +1,37 @@
-// Batched SoA plant kernel vs the scalar per-server step.
+// Scalar per-server step vs batched SoA kernel vs the explicitly
+// vectorized SIMD kernel (batch/simd/).
 //
-// BM_ScalarServerStep is the BM_ServerPhysicsStep baseline from
-// bench_micro_perf (one Server::step per call: actuator + power + two-node
-// thermal + sensor + energy).  BM_BatchedServerStep/N advances N servers
-// through ServerBatch::step_all plus the per-server write-back — the exact
-// work the batched engines perform per physics substep — so items/sec is
-// directly comparable per-server throughput.  The Slewing variant toggles
-// the fan command every control period, forcing the memoised
-// transcendentals (Rhs pow + heat-sink exp) to refresh while the fans
-// move: the worst case for the batch, the common case being settled fans
-// where the whole substep is a handful of vectorized multiply-adds.
+// Three series, each in a steady (fans settled — memo hits, the common
+// case) and a slewing (command flips every control period — the memoised
+// pow/exp refresh constantly, the worst case) regime:
 //
-// After the timing loops, main() measures both paths with a plain
-// chrono harness and enforces the tentpole claim through
-// bench/verdict.hpp: batched per-server throughput at N = 64 must beat
-// the scalar baseline, and beat it by at least 4x.  The process exits
-// non-zero when either regresses, so CI's bench run gates the batch
-// kernel's reason to exist.
+//   * BM_ScalarServerStep: one Server::step per call, the per-object
+//     baseline from bench_micro_perf;
+//   * BM_BatchedServerStep*/N: ServerBatch::step_all through the PR-4
+//     scalar-expression reference path plus the per-server write-back —
+//     what the batched engines do per substep;
+//   * BM_SimdServerStep*/N: the same work routed through the widest
+//     vector kernel this host supports (skipped, with the reason printed,
+//     on scalar-only hosts).
+//
+// The fleet is COEFFICIENT-heterogeneous (per-lane Rhs power-law spread,
+// like a rack mixing SKU steppings): this defeats the reference path's
+// rolling coefficient share, so a slewing lane there pays a real libm
+// pow + exp — exactly the cost the polynomial kernel amortises to ~1/W
+// of a vector op.  Memo hit/shared/miss telemetry is printed per path.
+//
+// After the timing loops, main() enforces two claims through
+// bench/verdict.hpp on plain-chrono kernel measurements:
+//
+//   * the PR-4 claim: batched (settled, incl. write-back) beats the
+//     scalar baseline by >= 4x at N = 64;
+//   * this PR's claim: the SIMD kernel beats the batched reference
+//     kernel by >= 2x at N = 64 on the slewing fleet, measured
+//     kernel-only (step_all, no write-back — the write-back is identical
+//     in both paths and would only dilute what is being compared).
+//
+// The SIMD gate is SKIPPED (not failed, reason printed) when the host has
+// no vector unit.  Exit is non-zero when an applicable gate regresses.
 //
 // Writes BENCH_batch.json (override via FSC_BENCH_JSON) with the same
 // schema as the other BENCH_*.json trajectory files.
@@ -27,12 +42,14 @@
 #include <cstdint>
 #include <cstdio>
 #include <memory>
+#include <optional>
 #include <vector>
 
 #include "json_reporter.hpp"
 #include "verdict.hpp"
 
 #include "batch/server_batch.hpp"
+#include "batch/simd/dispatch.hpp"
 #include "sim/server.hpp"
 #include "util/rng.hpp"
 
@@ -40,22 +57,30 @@ namespace {
 
 using namespace fsc;
 
-constexpr double kDt = 0.05;       // the engines' physics substep
+constexpr double kDt = 0.05;  // the engines' physics substep
 constexpr double kUtilization = 0.5;
 
-/// A mildly heterogeneous fleet (per-slot inlet spread, like a rack's
-/// airflow preheat) so no two lanes share identical coefficients.
+/// A coefficient-heterogeneous fleet: per-lane spreads on the Rhs power
+/// law (r_coeff, r_exp) and the inlet preheat, so no two lanes can share
+/// a transcendental and every slewing lane pays full price on the
+/// reference path.
 struct Fleet {
   std::vector<std::unique_ptr<Rng>> rngs;
   std::vector<std::unique_ptr<Server>> servers;
   ServerBatch batch;
 
   explicit Fleet(std::size_t n) {
+    const HeatSinkModel table1 = HeatSinkModel::table1_defaults();
     for (std::size_t i = 0; i < n; ++i) {
       ServerParams params;
       ThermalParams thermal;
       thermal.ambient_celsius = 40.0 + 0.25 * static_cast<double>(i % 16);
-      params.thermal = ServerThermalModel(HeatSinkModel::table1_defaults(), thermal);
+      const HeatSinkModel hs(
+          table1.r_base(),
+          table1.r_coeff() * (1.0 + 0.01 * static_cast<double>(i % 16)),
+          table1.r_exp() + 0.002 * static_cast<double>(i % 8),
+          table1.max_speed(), table1.time_constant(table1.max_speed()));
+      params.thermal = ServerThermalModel(hs, thermal);
       rngs.push_back(std::make_unique<Rng>(derive_seed(42, i)));
       servers.push_back(std::make_unique<Server>(params, 2000.0, *rngs.back()));
       batch.add_server(*servers.back());
@@ -84,6 +109,12 @@ struct Fleet {
   }
 };
 
+/// Flip the fan command every control period so the fans slew (almost)
+/// continuously — the memo-refresh worst case.
+double slew_command(long substep) {
+  return (substep / 20) % 2 == 0 ? 2500.0 : 7000.0;
+}
+
 /// The scalar baseline: equivalent to bench_micro_perf's
 /// BM_ServerPhysicsStep.
 void BM_ScalarServerStep(benchmark::State& state) {
@@ -98,27 +129,29 @@ void BM_ScalarServerStep(benchmark::State& state) {
 }
 BENCHMARK(BM_ScalarServerStep);
 
-void BM_BatchedServerStep(benchmark::State& state) {
-  Fleet fleet(static_cast<std::size_t>(state.range(0)));
-  for (auto _ : state) {
-    fleet.substep();
-    benchmark::DoNotOptimize(fleet.batch.junction_celsius(0));
-  }
-  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()) *
-                          state.range(0));
-}
-BENCHMARK(BM_BatchedServerStep)->Arg(1)->Arg(8)->Arg(64);
-
-/// Worst case: the fan command flips every control period (20 substeps),
-/// so the fans slew most of the time and the memoised pow/exp refresh
-/// almost every substep.
-void BM_BatchedServerStepSlewing(benchmark::State& state) {
-  Fleet fleet(static_cast<std::size_t>(state.range(0)));
+void BM_ScalarServerStepSlewing(benchmark::State& state) {
+  Rng rng(1);
+  Server server = Server::table1_defaults(rng);
   long substep = 0;
   for (auto _ : state) {
-    if (substep % 20 == 0) {
-      fleet.set_inputs((substep / 20) % 2 == 0 ? 2500.0 : 7000.0);
-    }
+    if (substep % 20 == 0) server.command_fan(slew_command(substep));
+    server.step(kUtilization, kDt);
+    benchmark::DoNotOptimize(server.true_junction());
+    ++substep;
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_ScalarServerStepSlewing);
+
+/// `width`: nullopt = the PR-4 scalar-expression reference path, a value =
+/// that vector kernel.
+void run_batched_series(benchmark::State& state,
+                        std::optional<simd::Width> width, bool slewing) {
+  Fleet fleet(static_cast<std::size_t>(state.range(0)));
+  fleet.batch.set_simd(width);
+  long substep = 0;
+  for (auto _ : state) {
+    if (slewing && substep % 20 == 0) fleet.set_inputs(slew_command(substep));
     fleet.substep();
     benchmark::DoNotOptimize(fleet.batch.junction_celsius(0));
     ++substep;
@@ -126,10 +159,38 @@ void BM_BatchedServerStepSlewing(benchmark::State& state) {
   state.SetItemsProcessed(static_cast<int64_t>(state.iterations()) *
                           state.range(0));
 }
+
+void BM_BatchedServerStep(benchmark::State& state) {
+  run_batched_series(state, std::nullopt, false);
+}
+BENCHMARK(BM_BatchedServerStep)->Arg(1)->Arg(8)->Arg(64);
+
+void BM_BatchedServerStepSlewing(benchmark::State& state) {
+  run_batched_series(state, std::nullopt, true);
+}
 BENCHMARK(BM_BatchedServerStepSlewing)->Arg(64);
 
-/// Plain-chrono measurement of both paths for the enforced verdict (the
+void BM_SimdServerStep(benchmark::State& state) {
+  if (!simd::has_vector_isa()) {
+    state.SkipWithError("no vector ISA on this host");
+    return;
+  }
+  run_batched_series(state, simd::best_width(), false);
+}
+BENCHMARK(BM_SimdServerStep)->Arg(1)->Arg(8)->Arg(64);
+
+void BM_SimdServerStepSlewing(benchmark::State& state) {
+  if (!simd::has_vector_isa()) {
+    state.SkipWithError("no vector ISA on this host");
+    return;
+  }
+  run_batched_series(state, simd::best_width(), true);
+}
+BENCHMARK(BM_SimdServerStepSlewing)->Arg(64);
+
+/// Plain-chrono measurement for the enforced verdicts (the
 /// google-benchmark results are not programmatically accessible here).
+
 double measure_scalar_ns_per_step() {
   Rng rng(1);
   Server server = Server::table1_defaults(rng);
@@ -156,50 +217,71 @@ double measure_batched_ns_per_server_step(std::size_t n) {
          static_cast<double>(kSubsteps * static_cast<long>(n));
 }
 
-/// Memoisation telemetry over the two regimes the memo was built for:
-/// settled fans (pure hits) and the worst-case slewing pattern of
-/// BM_BatchedServerStepSlewing, where the rolling coefficient share turns
-/// a lockstep 64-lane slew into ~one transcendental per substep.
-void print_memo_hit_rates() {
+/// Kernel-only (step_all, no write-back) ns per server-substep on the
+/// slewing fleet — the SIMD gate's metric: both paths share the
+/// write-back bit-for-bit, so including it would only dilute the kernel
+/// comparison it exists to make.
+double measure_kernel_slewing_ns(std::optional<simd::Width> width,
+                                 std::size_t n) {
+  Fleet fleet(n);
+  fleet.batch.set_simd(width);
+  long substep = 0;
+  const auto drive = [&](long substeps) {
+    for (long i = 0; i < substeps; ++i) {
+      if (substep % 20 == 0) fleet.set_inputs(slew_command(substep));
+      fleet.batch.step_all(kDt);
+      ++substep;
+    }
+  };
+  drive(2000);  // warmup
+  constexpr long kSubsteps = 40000;
+  const auto start = std::chrono::steady_clock::now();
+  drive(kSubsteps);
+  const auto stop = std::chrono::steady_clock::now();
+  benchmark::DoNotOptimize(fleet.batch.junction_celsius(0));
+  return std::chrono::duration<double, std::nano>(stop - start).count() /
+         static_cast<double>(kSubsteps * static_cast<long>(n));
+}
+
+/// Memo telemetry per path and regime (reference path: hit/shared/miss;
+/// SIMD path: hit/miss, block-wise, no shared tier).
+void print_memo_hit_rates(std::optional<simd::Width> width) {
   const auto rate = [](std::uint64_t part, std::uint64_t whole) {
     return whole == 0 ? 0.0 : 100.0 * static_cast<double>(part) /
                                   static_cast<double>(whole);
   };
+  const char* path =
+      width.has_value() ? simd::width_name(*width) : "reference";
+  const auto report = [&](const char* regime, const ServerBatch& batch) {
+    const std::uint64_t lanes =
+        batch.memo_hits() + batch.memo_shared_hits() + batch.memo_misses();
+    std::printf(
+        "memo [%-9s] (%s): %5.1f %% hit  %5.1f %% shared  %5.1f %% miss\n",
+        path, regime, rate(batch.memo_hits(), lanes),
+        rate(batch.memo_shared_hits(), lanes),
+        rate(batch.memo_misses(), lanes));
+  };
   {
     Fleet fleet(64);
+    fleet.batch.set_simd(width);
     for (int i = 0; i < 2000; ++i) fleet.substep();  // settle
     fleet.batch.set_memo_telemetry(true);
     fleet.batch.reset_memo_counters();
     for (int i = 0; i < 20000; ++i) fleet.substep();
-    const std::uint64_t lanes = fleet.batch.memo_hits() +
-                                fleet.batch.memo_shared_hits() +
-                                fleet.batch.memo_misses();
-    std::printf(
-        "memo (settled fans)  : %5.1f %% hit  %5.1f %% shared  %5.1f %% miss\n",
-        rate(fleet.batch.memo_hits(), lanes),
-        rate(fleet.batch.memo_shared_hits(), lanes),
-        rate(fleet.batch.memo_misses(), lanes));
+    report("settled", fleet.batch);
   }
   {
     Fleet fleet(64);
+    fleet.batch.set_simd(width);
     fleet.batch.set_memo_telemetry(true);
     fleet.batch.reset_memo_counters();
     long substep = 0;
     for (int i = 0; i < 20000; ++i) {
-      if (substep % 20 == 0) {
-        fleet.set_inputs((substep / 20) % 2 == 0 ? 2500.0 : 7000.0);
-      }
+      if (substep % 20 == 0) fleet.set_inputs(slew_command(substep));
       fleet.substep();
       ++substep;
     }
-    const std::uint64_t lanes = fleet.batch.memo_hits() +
-                                fleet.batch.memo_shared_hits() +
-                                fleet.batch.memo_misses();
-    std::printf(
-        "memo (slewing fans)  : %5.1f %% hit  %5.1f %% shared  %5.1f %% miss\n",
-        rate(fleet.batch.memo_hits(), lanes),
-        rate(fleet.batch.memo_shared_hits(), lanes),
-        rate(fleet.batch.memo_misses(), lanes));
+    report("slewing", fleet.batch);
   }
 }
 
@@ -216,14 +298,48 @@ bool print_throughput_verdict() {
   std::printf("scalar  Server::step      : %8.2f ns/server-step\n", scalar_ns);
   std::printf("batched step_all + adopt  : %8.2f ns/server-step (%.1fx)\n",
               batched_ns, scalar_ns / batched_ns);
-  print_memo_hit_rates();
-  std::printf("\n");
+  print_memo_hit_rates(std::nullopt);
   bool ok = true;
   ok &= fsc_bench::check_beats("batched-soa-n64", "ns_per_server_step",
                                "scalar", scalar_ns, batched_ns);
   ok &= fsc_bench::check_beats("batched-soa-n64", "ns_per_server_step",
                                "scalar/4 (the >=4x tentpole)", scalar_ns / 4.0,
                                batched_ns);
+
+  if (!simd::has_vector_isa()) {
+    std::printf(
+        "\n--- simd kernel gate: SKIPPED (no vector ISA on this host; "
+        "dispatch resolves to %s) ---\n",
+        simd::width_name(simd::best_width()));
+    return ok;
+  }
+
+  const simd::Width width = simd::best_width();
+  double ref_kernel_ns = measure_kernel_slewing_ns(std::nullopt, 64);
+  double simd_kernel_ns = measure_kernel_slewing_ns(width, 64);
+  for (int rep = 0; rep < 2; ++rep) {
+    ref_kernel_ns =
+        std::min(ref_kernel_ns, measure_kernel_slewing_ns(std::nullopt, 64));
+    simd_kernel_ns =
+        std::min(simd_kernel_ns, measure_kernel_slewing_ns(width, 64));
+  }
+  std::printf(
+      "\n--- simd kernel throughput (n=64, slewing, heterogeneous, "
+      "kernel-only) ---\n");
+  std::printf("batched reference kernel  : %8.2f ns/server-substep\n",
+              ref_kernel_ns);
+  std::printf("simd %-6s kernel        : %8.2f ns/server-substep (%.1fx)\n",
+              simd::width_name(width), simd_kernel_ns,
+              ref_kernel_ns / simd_kernel_ns);
+  print_memo_hit_rates(width);
+  std::printf("\n");
+  const std::string policy =
+      std::string("simd-") + simd::width_name(width) + "-n64";
+  ok &= fsc_bench::check_beats(policy.c_str(), "ns_per_server_substep",
+                               "batched", ref_kernel_ns, simd_kernel_ns);
+  ok &= fsc_bench::check_beats(policy.c_str(), "ns_per_server_substep",
+                               "batched/2 (the >=2x tentpole)",
+                               ref_kernel_ns / 2.0, simd_kernel_ns);
   return ok;
 }
 

@@ -16,6 +16,9 @@
 #include <utility>
 #include <vector>
 
+#include "batch/simd/dispatch.hpp"
+#include "util/cpu_features.hpp"
+
 namespace fsc_bench {
 
 /// Whether a run produced no usable timing.  google-benchmark renamed the
@@ -87,6 +90,10 @@ inline int run_benchmarks_with_json(int argc, char** argv,
                                     const std::string& default_json_path) {
   benchmark::Initialize(&argc, argv);
   if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
+  // Perf numbers are meaningless without knowing what silicon produced
+  // them and which kernel width dispatch would pick there.
+  std::cout << "cpu features: " << fsc::cpu_features_line() << "\n"
+            << fsc::simd::dispatch_line() << "\n";
   const char* json_path = std::getenv("FSC_BENCH_JSON");
   JsonTrajectoryReporter reporter(json_path != nullptr ? json_path
                                                        : default_json_path);

@@ -6,6 +6,8 @@
 #include <cstdlib>
 #include <cstring>
 
+#include "batch/simd/dispatch.hpp"
+
 namespace fsc_cli {
 
 /// Parse a strictly positive integer flag value; returns 0 on anything
@@ -39,6 +41,25 @@ inline bool parse_on_off(const char* text, bool& out) {
   }
   if (std::strcmp(text, "off") == 0) {
     out = false;
+    return true;
+  }
+  return false;
+}
+
+/// Parse a SIMD mode flag value ("--simd on|off|auto") into `out`.
+/// Returns false on anything else so the caller can fall through to
+/// usage().  Width selection within "on"/"auto" belongs to FSC_SIMD.
+inline bool parse_simd_mode(const char* text, fsc::simd::SimdMode& out) {
+  if (std::strcmp(text, "on") == 0) {
+    out = fsc::simd::SimdMode::kOn;
+    return true;
+  }
+  if (std::strcmp(text, "off") == 0) {
+    out = fsc::simd::SimdMode::kOff;
+    return true;
+  }
+  if (std::strcmp(text, "auto") == 0) {
+    out = fsc::simd::SimdMode::kAuto;
     return true;
   }
   return false;

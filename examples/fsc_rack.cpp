@@ -10,6 +10,7 @@
 //   fsc_rack [--policy COORD] [--dtm POLICY] [--traces DIR] [--slots N]
 //            [--threads N] [--seed S] [--duration SECS] [--budget WATTS]
 //            [--zone K] [--batched on|off] [--chunk N] [--executor on|off]
+//            [--simd on|off|auto]
 //            [--no-plenum] [--out FILE.json] [--csv FILE.csv] [--list]
 //
 //   --policy    coordinator name (default "independent"); --list shows all
@@ -22,6 +23,10 @@
 //               over (0 = auto); any value is bit-identical, for sweeps
 //   --executor  persistent lockstep executor (default on) vs per-round
 //               ThreadPool submission — bit-identical, for A/B timing
+//   --simd      explicitly vectorized plant kernel (default off = the
+//               bit-identical scalar reference); "on" forces the widest
+//               supported width (FSC_SIMD=avx2|sse2|neon|scalar overrides),
+//               "auto" enables it only on hosts with a vector unit
 #include <algorithm>
 #include <cstdlib>
 #include <fstream>
@@ -39,6 +44,7 @@ namespace {
 
 using fsc_cli::parse_nonnegative;
 using fsc_cli::parse_on_off;
+using fsc_cli::parse_simd_mode;
 using fsc_cli::parse_positive;
 
 void print_names() {
@@ -61,6 +67,7 @@ int usage(const char* argv0) {
                "[--budget WATTS]\n"
                "       [--zone K] [--batched on|off] [--chunk N] "
                "[--executor on|off]\n"
+               "       [--simd on|off|auto]\n"
                "       [--no-plenum] [--out FILE.json] [--csv FILE.csv] "
                "[--list]\n";
   return 1;
@@ -85,6 +92,7 @@ int main(int argc, char** argv) {
   bool plenum = true;
   bool batched = true;
   bool executor = true;
+  fsc::simd::SimdMode simd = fsc::simd::SimdMode::kOff;
   std::size_t chunk = 0;
 
   for (int i = 1; i < argc; ++i) {
@@ -121,6 +129,8 @@ int main(int argc, char** argv) {
       if (!parse_nonnegative(argv[++i], chunk)) return usage(argv[0]);
     } else if (arg == "--executor") {
       if (!parse_on_off(argv[++i], executor)) return usage(argv[0]);
+    } else if (arg == "--simd") {
+      if (!parse_simd_mode(argv[++i], simd)) return usage(argv[0]);
     } else if (arg == "--out") {
       out_path = argv[++i];
     } else if (arg == "--csv") {
@@ -148,6 +158,7 @@ int main(int argc, char** argv) {
     params.batched = batched;
     params.chunk = chunk;
     params.executor = executor;
+    params.simd = simd;
     if (!dtm.empty()) params.rack.policy = dtm;
     if (budget_watts >= 0.0) params.coord.rack_power_budget_watts = budget_watts;
     if (zone > 0) params.coord.fan_zone_size = zone;

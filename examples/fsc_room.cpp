@@ -12,6 +12,7 @@
 //            [--racks K] [--slots N] [--traces DIR] [--threads N]
 //            [--seed S] [--duration SECS] [--budget WATTS] [--step FRAC]
 //            [--batched on|off] [--chunk N] [--executor on|off]
+//            [--simd on|off|auto]
 //            [--no-cross-plenum] [--no-plenum]
 //            [--out FILE.json] [--csv FILE.csv] [--list]
 //
@@ -24,6 +25,9 @@
 //                  one-task-per-server path — bit-identical, for A/B timing
 //   --chunk        lanes per batch chunk, the shard unit threads
 //                  parallelise over (0 = auto); bit-identical, for sweeps
+//   --simd         explicitly vectorized plant kernel per rack (default
+//                  off = the bit-identical scalar reference); FSC_SIMD
+//                  overrides the width when enabled
 //   --executor     persistent lockstep executor (default on) vs per-round
 //                  ThreadPool submission — bit-identical, for A/B timing
 #include <algorithm>
@@ -43,6 +47,7 @@ namespace {
 
 using fsc_cli::parse_nonnegative;
 using fsc_cli::parse_on_off;
+using fsc_cli::parse_simd_mode;
 using fsc_cli::parse_positive;
 
 void print_names() {
@@ -70,6 +75,7 @@ int usage(const char* argv0) {
                "       [--seed S] [--duration SECS] [--budget WATTS] "
                "[--step FRAC]\n"
                "       [--batched on|off] [--chunk N] [--executor on|off]\n"
+               "       [--simd on|off|auto]\n"
                "       [--no-cross-plenum] [--no-plenum]\n"
                "       [--out FILE.json] [--csv FILE.csv] [--list]\n";
   return 1;
@@ -97,6 +103,7 @@ int main(int argc, char** argv) {
   bool rack_plenum = true;
   bool batched = true;
   bool executor = true;
+  fsc::simd::SimdMode simd = fsc::simd::SimdMode::kOff;
   std::size_t chunk = 0;
 
   for (int i = 1; i < argc; ++i) {
@@ -139,6 +146,8 @@ int main(int argc, char** argv) {
       if (!parse_nonnegative(argv[++i], chunk)) return usage(argv[0]);
     } else if (arg == "--executor") {
       if (!parse_on_off(argv[++i], executor)) return usage(argv[0]);
+    } else if (arg == "--simd") {
+      if (!parse_simd_mode(argv[++i], simd)) return usage(argv[0]);
     } else if (arg == "--out") {
       out_path = argv[++i];
     } else if (arg == "--csv") {
@@ -181,6 +190,7 @@ int main(int argc, char** argv) {
       rack.plenum_enabled = rack_plenum;
       rack.batched = batched;
       rack.chunk = chunk;
+      rack.simd = simd;
       if (!coordinator.empty()) rack.coordinator = coordinator;
       if (!dtm.empty()) rack.rack.policy = dtm;
       if (!traces.empty()) {

@@ -66,6 +66,15 @@ class RackBatchStepper {
     return (slots_.size() + lanes - 1) / lanes;
   }
 
+  /// Route the batched physics through the explicitly vectorized kernel at
+  /// `width` (nullopt = the scalar-expression reference path, the
+  /// default).  Forwarded to ServerBatch::set_simd — same validation and
+  /// memo-invalidation semantics; set it before prepare().
+  void set_simd(std::optional<simd::Width> width) { batch_.set_simd(width); }
+  std::optional<simd::Width> simd_width() const noexcept {
+    return batch_.simd_width();
+  }
+
   /// Freeze the dt-dependent kernel memos for the registered slots'
   /// physics step.  Must run once — single-threaded — after the last
   /// add_slot() and before any advance_chunk_periods() wave; idempotent.

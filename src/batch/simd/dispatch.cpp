@@ -1,0 +1,188 @@
+#include "batch/simd/dispatch.hpp"
+
+#include <cstdio>
+#include <cstdlib>
+#include <stdexcept>
+
+#include "batch/simd/kernels.hpp"
+#include "util/cpu_features.hpp"
+
+namespace fsc::simd {
+namespace {
+
+// Narrowest to widest-on-its-arch; best_width() keeps the last supported
+// entry, so ordering encodes preference.
+constexpr Width kAllWidths[] = {Width::kScalar, Width::kSse2, Width::kAvx2,
+                                Width::kNeon};
+
+[[noreturn]] void throw_uncompiled(Width width) {
+  throw std::invalid_argument(std::string("fsc: simd width '") +
+                              width_name(width) +
+                              "' is not compiled into this binary");
+}
+
+}  // namespace
+
+const char* width_name(Width width) noexcept {
+  switch (width) {
+    case Width::kScalar:
+      return "scalar";
+    case Width::kSse2:
+      return "sse2";
+    case Width::kAvx2:
+      return "avx2";
+    case Width::kNeon:
+      return "neon";
+  }
+  return "unknown";
+}
+
+bool width_compiled(Width width) noexcept {
+  switch (width) {
+    case Width::kScalar:
+      return true;
+    case Width::kSse2:
+      return kernel_sse2_compiled();
+    case Width::kAvx2:
+      return kernel_avx2_compiled();
+    case Width::kNeon:
+      return kernel_neon_compiled();
+  }
+  return false;
+}
+
+bool width_supported(Width width) noexcept {
+  if (!width_compiled(width)) return false;
+  const CpuFeatures& host = cpu_features();
+  switch (width) {
+    case Width::kScalar:
+      return true;
+    case Width::kSse2:
+      return host.sse2;
+    case Width::kAvx2:
+      return host.avx2 && host.fma;
+    case Width::kNeon:
+      return host.neon;
+  }
+  return false;
+}
+
+std::vector<Width> supported_widths() {
+  std::vector<Width> widths;
+  for (Width w : kAllWidths) {
+    if (width_supported(w)) widths.push_back(w);
+  }
+  return widths;
+}
+
+Width best_width() noexcept {
+  Width best = Width::kScalar;
+  for (Width w : kAllWidths) {
+    if (width_supported(w)) best = w;
+  }
+  return best;
+}
+
+bool has_vector_isa() noexcept { return best_width() != Width::kScalar; }
+
+std::optional<Width> parse_width(const std::string& name) noexcept {
+  if (name == "scalar") return Width::kScalar;
+  if (name == "sse2") return Width::kSse2;
+  if (name == "avx2") return Width::kAvx2;
+  if (name == "neon") return Width::kNeon;
+  return std::nullopt;
+}
+
+Width env_or_best_width() {
+  // Resolved once: the env is a process-level A/B lever, not a per-call
+  // switch, and the fallback note should print exactly once.
+  static const Width chosen = [] {
+    const char* env = std::getenv("FSC_SIMD");
+    if (env != nullptr && *env != '\0') {
+      const std::optional<Width> parsed = parse_width(env);
+      if (parsed.has_value() && width_supported(*parsed)) return *parsed;
+      std::fprintf(stderr,
+                   "fsc: FSC_SIMD=%s is not available on this host/binary; "
+                   "using %s\n",
+                   env, width_name(best_width()));
+    }
+    return best_width();
+  }();
+  return chosen;
+}
+
+std::optional<Width> resolve_mode(SimdMode mode) {
+  switch (mode) {
+    case SimdMode::kOff:
+      return std::nullopt;
+    case SimdMode::kOn:
+      return env_or_best_width();
+    case SimdMode::kAuto:
+      if (!has_vector_isa()) return std::nullopt;
+      return env_or_best_width();
+  }
+  return std::nullopt;
+}
+
+StepFn step_fn(Width width) {
+  if (!width_compiled(width)) throw_uncompiled(width);
+  switch (width) {
+    case Width::kScalar:
+      return &step_range_scalar;
+    case Width::kSse2:
+      return &step_range_sse2;
+    case Width::kAvx2:
+      return &step_range_avx2;
+    case Width::kNeon:
+      return &step_range_neon;
+  }
+  throw_uncompiled(width);
+}
+
+PowFn pow_fn(Width width) {
+  if (!width_compiled(width)) throw_uncompiled(width);
+  switch (width) {
+    case Width::kScalar:
+      return &pow_lanes_scalar;
+    case Width::kSse2:
+      return &pow_lanes_sse2;
+    case Width::kAvx2:
+      return &pow_lanes_avx2;
+    case Width::kNeon:
+      return &pow_lanes_neon;
+  }
+  throw_uncompiled(width);
+}
+
+ExpFn exp_fn(Width width) {
+  if (!width_compiled(width)) throw_uncompiled(width);
+  switch (width) {
+    case Width::kScalar:
+      return &exp_lanes_scalar;
+    case Width::kSse2:
+      return &exp_lanes_sse2;
+    case Width::kAvx2:
+      return &exp_lanes_avx2;
+    case Width::kNeon:
+      return &exp_lanes_neon;
+  }
+  throw_uncompiled(width);
+}
+
+std::string dispatch_line() {
+  std::string line = "simd dispatch: ";
+  line += width_name(best_width());
+  line += " (compiled:";
+  for (Width w : kAllWidths) {
+    if (width_compiled(w)) {
+      line += ' ';
+      line += width_name(w);
+    }
+  }
+  line += "; host: ";
+  line += cpu_features_line();
+  line += ')';
+  return line;
+}
+
+}  // namespace fsc::simd

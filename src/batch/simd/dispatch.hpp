@@ -1,0 +1,137 @@
+// Runtime dispatch for the explicitly vectorized ServerBatch step: ONE
+// binary carries every kernel width its compiler could build — the
+// portable scalar-array fallback always, SSE2/AVX2 on x86-64, NEON on
+// AArch64 — and the widest one the HOST supports is picked at startup
+// (util/cpu_features.hpp).  The per-width kernels live in their own
+// translation units (batch/simd/kernel_*.cpp) compiled with their own ISA
+// flags, so e.g. AVX2 instructions exist only inside functions that are
+// never called on a host without AVX2.
+//
+// Selection surface, outermost first:
+//
+//   * CoupledRackParams::simd (CLI `--simd on|off|auto`): kOff — the exact
+//     PR-4 scalar-expression path, the default and the bit-identity
+//     reference; kOn — the vector path at the resolved width; kAuto — the
+//     vector path only when the host has a real vector unit (a scalar-only
+//     host keeps the reference path, whose memo usually wins there).
+//   * FSC_SIMD=avx2|sse2|neon|scalar: overrides the width when the vector
+//     path is enabled — the A/B lever.  An unavailable or unknown value
+//     falls back to the best supported width (benches must not crash on a
+//     host that lacks the requested unit).
+//
+// This header is intrinsics-free on purpose: ServerBatch and the engines
+// include it; only the kernel TUs include vec.hpp/vmath.hpp.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+namespace fsc::simd {
+
+/// Kernel widths, narrowest to widest-on-its-arch.  kScalar is the
+/// portable array fallback and is always compiled and always supported.
+enum class Width { kScalar, kSse2, kAvx2, kNeon };
+
+/// How a driver asks for the vector path (see header comment).
+enum class SimdMode { kOff, kOn, kAuto };
+
+/// Per-call memo accounting for ServerBatch's telemetry: a hit lane reused
+/// its memoised pow/exp, a miss lane recomputed them (vectorized, so a
+/// miss costs ~1/W of a libm call; the SIMD path has no rolling-share
+/// tier).
+struct StepStats {
+  std::uint64_t hits = 0;
+  std::uint64_t misses = 0;
+};
+
+/// Pointer view over one ServerBatch's SoA arrays — everything one physics
+/// substep touches.  Built per step_range call; the kernels never see the
+/// owning class.
+struct BatchLanes {
+  // State (read/write).
+  double* fan_actual = nullptr;
+  double* heat_sink = nullptr;
+  double* junction = nullptr;
+  double* fan_watts = nullptr;
+  // Memoised transcendentals (read/write).
+  double* memo_rpm = nullptr;
+  double* r_hs = nullptr;
+  double* hs_decay = nullptr;
+  // Per-period inputs (read-only).
+  const double* fan_cmd = nullptr;
+  const double* cpu_watts = nullptr;
+  const double* ambient = nullptr;
+  // Coefficients (read-only).
+  const double* r_base = nullptr;
+  const double* r_coeff = nullptr;
+  const double* r_exp = nullptr;
+  const double* hs_capacitance = nullptr;
+  const double* die_decay = nullptr;  ///< dt-memo, refreshed by prepare_dt
+  const double* r_die = nullptr;
+  const double* fan_slew = nullptr;
+  const double* fan_pmax = nullptr;
+  const double* fan_smax = nullptr;
+};
+
+/// One physics substep over lanes [lo, hi).  `stats` may be null
+/// (telemetry off).  Lanes are independent: results per lane are
+/// bit-identical for ANY (lo, hi) decomposition at a fixed width — the
+/// tail is stepped through the same vector code via a padded block.
+using StepFn = void (*)(const BatchLanes&, std::size_t lo, std::size_t hi,
+                        double dt, StepStats* stats);
+
+/// Element-wise x[i]^y[i] / e^[x[i]] through the width's vector math —
+/// exported so the accuracy suite can measure each width's ULP error
+/// against libm directly (and as a reusable building block).
+using PowFn = void (*)(const double* x, const double* y, double* out,
+                       std::size_t n);
+using ExpFn = void (*)(const double* x, double* out, std::size_t n);
+
+/// Lower-case name used by FSC_SIMD and all reports.
+const char* width_name(Width width) noexcept;
+
+/// Whether this binary carries the width's kernel (compiler could build
+/// it) — independent of the host.
+bool width_compiled(Width width) noexcept;
+
+/// Compiled AND executable on this host.  kScalar is always true.
+bool width_supported(Width width) noexcept;
+
+/// Every supported width, narrowest first (kScalar always included) — the
+/// forced-dispatch tests iterate exactly this.
+std::vector<Width> supported_widths();
+
+/// The widest supported width; kScalar when the host has no vector unit.
+Width best_width() noexcept;
+
+/// True when best_width() is wider than the scalar fallback.
+bool has_vector_isa() noexcept;
+
+/// Parse an FSC_SIMD-style name; nullopt for anything unknown.
+std::optional<Width> parse_width(const std::string& name) noexcept;
+
+/// The width the vector path should use right now: FSC_SIMD when set to a
+/// supported width (with a one-time stderr note when it had to be
+/// ignored), otherwise best_width().
+Width env_or_best_width();
+
+/// Resolve a driver mode to "use the vector path at this width" (nullopt =
+/// stay on the scalar-expression reference path).
+std::optional<Width> resolve_mode(SimdMode mode);
+
+/// The width's kernel entry points.  Requesting a width that is not
+/// compiled into this binary throws std::invalid_argument; requesting one
+/// the host cannot run is the caller's bug (width_supported is the guard).
+StepFn step_fn(Width width);
+PowFn pow_fn(Width width);
+ExpFn exp_fn(Width width);
+
+/// One-line dispatch report for benches/CLIs, e.g.
+/// "simd dispatch: avx2 (compiled: scalar sse2 avx2; host: x86-64: sse2
+/// avx2 fma)".
+std::string dispatch_line();
+
+}  // namespace fsc::simd

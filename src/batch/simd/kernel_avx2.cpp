@@ -1,0 +1,55 @@
+// AVX2+FMA kernel TU (4 lanes).  This file — and ONLY this file — is
+// compiled with -mavx2 -mfma (CMake set_source_files_properties), so the
+// wide instructions exist solely inside these entry points, which dispatch
+// calls only after cpuid+XGETBV confirm the host can run them.  If the
+// compiler cannot target AVX2 at all, the stubs below keep the link whole.
+#include "batch/simd/kernels.hpp"
+
+#if defined(__AVX2__) && defined(__FMA__)
+
+#include "batch/simd/simd_step.hpp"
+
+namespace fsc::simd {
+
+bool kernel_avx2_compiled() noexcept { return true; }
+
+void step_range_avx2(const BatchLanes& lanes, std::size_t lo, std::size_t hi,
+                     double dt, StepStats* stats) {
+  step_range_impl<VecAvx2>(lanes, lo, hi, dt, stats);
+}
+
+void pow_lanes_avx2(const double* x, const double* y, double* out,
+                    std::size_t n) {
+  pow_lanes_impl<VecAvx2>(x, y, out, n);
+}
+
+void exp_lanes_avx2(const double* x, double* out, std::size_t n) {
+  exp_lanes_impl<VecAvx2>(x, out, n);
+}
+
+}  // namespace fsc::simd
+
+#else  // !(__AVX2__ && __FMA__)
+
+#include <stdexcept>
+
+namespace fsc::simd {
+
+bool kernel_avx2_compiled() noexcept { return false; }
+
+void step_range_avx2(const BatchLanes&, std::size_t, std::size_t, double,
+                     StepStats*) {
+  throw std::logic_error("fsc: avx2 kernel not compiled into this binary");
+}
+
+void pow_lanes_avx2(const double*, const double*, double*, std::size_t) {
+  throw std::logic_error("fsc: avx2 kernel not compiled into this binary");
+}
+
+void exp_lanes_avx2(const double*, double*, std::size_t) {
+  throw std::logic_error("fsc: avx2 kernel not compiled into this binary");
+}
+
+}  // namespace fsc::simd
+
+#endif

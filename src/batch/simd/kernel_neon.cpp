@@ -1,0 +1,53 @@
+// NEON kernel TU (2 lanes).  Advanced SIMD with double-precision lanes is
+// architecturally mandatory on AArch64, so this kernel needs no extra
+// compile flags and no runtime probe beyond "we are on AArch64".
+#include "batch/simd/kernels.hpp"
+
+#if defined(__aarch64__)
+
+#include "batch/simd/simd_step.hpp"
+
+namespace fsc::simd {
+
+bool kernel_neon_compiled() noexcept { return true; }
+
+void step_range_neon(const BatchLanes& lanes, std::size_t lo, std::size_t hi,
+                     double dt, StepStats* stats) {
+  step_range_impl<VecNeon>(lanes, lo, hi, dt, stats);
+}
+
+void pow_lanes_neon(const double* x, const double* y, double* out,
+                    std::size_t n) {
+  pow_lanes_impl<VecNeon>(x, y, out, n);
+}
+
+void exp_lanes_neon(const double* x, double* out, std::size_t n) {
+  exp_lanes_impl<VecNeon>(x, out, n);
+}
+
+}  // namespace fsc::simd
+
+#else  // !defined(__aarch64__)
+
+#include <stdexcept>
+
+namespace fsc::simd {
+
+bool kernel_neon_compiled() noexcept { return false; }
+
+void step_range_neon(const BatchLanes&, std::size_t, std::size_t, double,
+                     StepStats*) {
+  throw std::logic_error("fsc: neon kernel not compiled into this binary");
+}
+
+void pow_lanes_neon(const double*, const double*, double*, std::size_t) {
+  throw std::logic_error("fsc: neon kernel not compiled into this binary");
+}
+
+void exp_lanes_neon(const double*, double*, std::size_t) {
+  throw std::logic_error("fsc: neon kernel not compiled into this binary");
+}
+
+}  // namespace fsc::simd
+
+#endif

@@ -1,0 +1,25 @@
+// Scalar-array kernel TU: the same templated block step as the vector
+// widths, instantiated on the 4-lane plain-array VecScalar.  Compiled with
+// the project's baseline flags (no ISA extensions), so it runs anywhere —
+// it is the fallback every dispatch decision can land on, and the width
+// whose results the -ffp-contract=off CI leg pins down.
+#include "batch/simd/kernels.hpp"
+#include "batch/simd/simd_step.hpp"
+
+namespace fsc::simd {
+
+void step_range_scalar(const BatchLanes& lanes, std::size_t lo,
+                       std::size_t hi, double dt, StepStats* stats) {
+  step_range_impl<VecScalar>(lanes, lo, hi, dt, stats);
+}
+
+void pow_lanes_scalar(const double* x, const double* y, double* out,
+                      std::size_t n) {
+  pow_lanes_impl<VecScalar>(x, y, out, n);
+}
+
+void exp_lanes_scalar(const double* x, double* out, std::size_t n) {
+  exp_lanes_impl<VecScalar>(x, out, n);
+}
+
+}  // namespace fsc::simd

@@ -1,0 +1,53 @@
+// SSE2 kernel TU (2 lanes).  SSE2 is part of the x86-64 baseline, so any
+// x86-64 build carries this kernel; other architectures get the throwing
+// stubs below (dispatch never offers an uncompiled width).
+#include "batch/simd/kernels.hpp"
+
+#if defined(__SSE2__)
+
+#include "batch/simd/simd_step.hpp"
+
+namespace fsc::simd {
+
+bool kernel_sse2_compiled() noexcept { return true; }
+
+void step_range_sse2(const BatchLanes& lanes, std::size_t lo, std::size_t hi,
+                     double dt, StepStats* stats) {
+  step_range_impl<VecSse2>(lanes, lo, hi, dt, stats);
+}
+
+void pow_lanes_sse2(const double* x, const double* y, double* out,
+                    std::size_t n) {
+  pow_lanes_impl<VecSse2>(x, y, out, n);
+}
+
+void exp_lanes_sse2(const double* x, double* out, std::size_t n) {
+  exp_lanes_impl<VecSse2>(x, out, n);
+}
+
+}  // namespace fsc::simd
+
+#else  // !defined(__SSE2__)
+
+#include <stdexcept>
+
+namespace fsc::simd {
+
+bool kernel_sse2_compiled() noexcept { return false; }
+
+void step_range_sse2(const BatchLanes&, std::size_t, std::size_t, double,
+                     StepStats*) {
+  throw std::logic_error("fsc: sse2 kernel not compiled into this binary");
+}
+
+void pow_lanes_sse2(const double*, const double*, double*, std::size_t) {
+  throw std::logic_error("fsc: sse2 kernel not compiled into this binary");
+}
+
+void exp_lanes_sse2(const double*, double*, std::size_t) {
+  throw std::logic_error("fsc: sse2 kernel not compiled into this binary");
+}
+
+}  // namespace fsc::simd
+
+#endif

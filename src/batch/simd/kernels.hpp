@@ -1,0 +1,46 @@
+// Private declarations of the per-width kernel entry points — the ONLY
+// external-linkage symbols the kernel TUs export.  Everything behind them
+// (vec.hpp, vmath.hpp, simd_step.hpp) is internal-linkage per TU, so the
+// linker can never substitute e.g. an AVX2-compiled copy of a shared
+// helper into the scalar path.  Only dispatch.cpp and the kernel TUs
+// include this header.
+#pragma once
+
+#include <cstddef>
+
+#include "batch/simd/dispatch.hpp"
+
+namespace fsc::simd {
+
+// Portable scalar-array fallback: always compiled, always supported.
+void step_range_scalar(const BatchLanes& lanes, std::size_t lo,
+                       std::size_t hi, double dt, StepStats* stats);
+void pow_lanes_scalar(const double* x, const double* y, double* out,
+                      std::size_t n);
+void exp_lanes_scalar(const double* x, double* out, std::size_t n);
+
+// Optional widths: `kernel_*_compiled()` reports whether this binary
+// carries a real kernel; when it does not, the entry points are stubs
+// that throw std::logic_error (dispatch refuses them first).
+bool kernel_sse2_compiled() noexcept;
+void step_range_sse2(const BatchLanes& lanes, std::size_t lo, std::size_t hi,
+                     double dt, StepStats* stats);
+void pow_lanes_sse2(const double* x, const double* y, double* out,
+                    std::size_t n);
+void exp_lanes_sse2(const double* x, double* out, std::size_t n);
+
+bool kernel_avx2_compiled() noexcept;
+void step_range_avx2(const BatchLanes& lanes, std::size_t lo, std::size_t hi,
+                     double dt, StepStats* stats);
+void pow_lanes_avx2(const double* x, const double* y, double* out,
+                    std::size_t n);
+void exp_lanes_avx2(const double* x, double* out, std::size_t n);
+
+bool kernel_neon_compiled() noexcept;
+void step_range_neon(const BatchLanes& lanes, std::size_t lo, std::size_t hi,
+                     double dt, StepStats* stats);
+void pow_lanes_neon(const double* x, const double* y, double* out,
+                    std::size_t n);
+void exp_lanes_neon(const double* x, double* out, std::size_t n);
+
+}  // namespace fsc::simd

@@ -1,0 +1,240 @@
+// The explicitly vectorized ServerBatch substep, templated on a vec.hpp
+// lane type: the scalar kernel's three passes (actuator slew, memoised
+// transcendental refresh, thermal/power update) fused into ONE sweep of
+// W-lane blocks — each quantity is loaded and stored once per substep
+// instead of once per pass, and the transcendental refresh is the
+// branch-free polynomial vmath instead of per-lane libm calls.
+//
+// Semantics vs the scalar-expression reference path (ServerBatch's
+// default):
+//
+//   * Same per-lane operation ORDER (slew select, then Rhs/decay, then fan
+//     power, heat-sink node, die node) — only the rounding of individual
+//     expressions differs (fused multiply-adds, polynomial pow/exp), so
+//     trajectories agree to the tolerances documented in vmath.hpp, not
+//     bit-for-bit.  The reference path stays the bit-identity anchor.
+//
+//   * Lane results are bit-identical for ANY range decomposition at a
+//     fixed width: every operation is lane-wise, and the tail (hi - lo not
+//     a multiple of W) is stepped through the SAME vector code via a
+//     padded stack block — never through a different scalar instruction
+//     sequence.  Chunk size and thread count therefore cannot change a
+//     SIMD trajectory (test_simd relies on this).
+//
+//   * Memoisation works block-wise: a block whose lanes ALL still sit on
+//     their memoised fan speed skips the polynomials entirely; one moving
+//     lane recomputes the whole block (a recompute of an unchanged lane
+//     reproduces its memo bit-for-bit — same deterministic function, same
+//     inputs — so this is a pure performance choice).  There is no
+//     rolling coefficient share: a vectorized miss already costs ~1/W of
+//     a libm call, which is the point.
+//
+// Internal linkage (anonymous namespace), kernel TUs only — see vec.hpp.
+#pragma once
+
+#include <bit>
+#include <cstddef>
+
+#include "batch/simd/dispatch.hpp"
+#include "batch/simd/vec.hpp"
+#include "batch/simd/vmath.hpp"
+
+namespace fsc::simd {
+namespace {
+
+/// One W-lane block at lane index `i`.  `active` masks which lanes are
+/// real (tail padding is excluded from telemetry, nothing else).
+template <class V>
+void step_block(const BatchLanes& L, std::size_t i, double dt,
+                StepStats* stats, unsigned active) {
+  constexpr unsigned kFull = (1u << V::width) - 1u;
+  const V vdt = V::broadcast(dt);
+
+  // Actuator slew: the plant::slew_toward select, W lanes at a time.
+  V act = V::load(L.fan_actual + i);
+  const V cmd = V::load(L.fan_cmd + i);
+  const V max_delta = V::load(L.fan_slew + i) * vdt;
+  const V delta = cmd - act;
+  const auto within = V::cmp_le(V::abs(delta), max_delta);
+  act = V::select(within, cmd, act + V::copysign(max_delta, delta));
+  act.store(L.fan_actual + i);
+
+  // Memoised Rhs / heat-sink decay: skip the polynomials only when the
+  // whole block is settled.
+  const unsigned settled = V::movemask(V::cmp_eq(act, V::load(L.memo_rpm + i)));
+  V r_hs{};
+  V hs_decay{};
+  if (settled == kFull) {
+    r_hs = V::load(L.r_hs + i);
+    hs_decay = V::load(L.hs_decay + i);
+  } else {
+    const V zero = V::broadcast(0.0);
+    const V v = V::max(act, V::broadcast(1.0));  // sub-1 rpm clamp (Table I)
+    const V p = vpow<V>(v, zero - V::load(L.r_exp + i));
+    r_hs = V::fma(V::load(L.r_coeff + i), p, V::load(L.r_base + i));
+    const V tau = r_hs * V::load(L.hs_capacitance + i);
+    hs_decay = vexp<V>((zero - vdt) / tau);
+    act.store(L.memo_rpm + i);
+    r_hs.store(L.r_hs + i);
+    hs_decay.store(L.hs_decay + i);
+  }
+  if (stats != nullptr) {
+    stats->hits += static_cast<std::uint64_t>(std::popcount(settled & active));
+    stats->misses +=
+        static_cast<std::uint64_t>(std::popcount(~settled & active));
+  }
+
+  // Thermal/power update, same per-lane order as the scalar pass 3.
+  const V smax = V::load(L.fan_smax + i);
+  const V s = V::min(V::max(act, V::broadcast(0.0)), smax) / smax;
+  const V fan_w = V::load(L.fan_pmax + i) * s * s * s;
+  fan_w.store(L.fan_watts + i);
+
+  const V p_cpu = V::load(L.cpu_watts + i);
+  const V hs_ss = V::fma(r_hs, p_cpu, V::load(L.ambient + i));  // Eqn. 3
+  V t_hs = V::load(L.heat_sink + i);
+  t_hs = V::fma(t_hs - hs_ss, hs_decay, hs_ss);  // rc_relax
+  t_hs.store(L.heat_sink + i);
+
+  const V die_ss = V::fma(V::load(L.r_die + i), p_cpu, t_hs);
+  V t_j = V::load(L.junction + i);
+  t_j = V::fma(t_j - die_ss, V::load(L.die_decay + i), die_ss);
+  t_j.store(L.junction + i);
+}
+
+/// Stack copy of a partial block, padded by repeating the last real lane
+/// (valid data, so the padded math cannot trap or produce NaN), stepped by
+/// the SAME vector code as full blocks, then written back for the real
+/// lanes only.
+template <class V>
+struct TailBlock {
+  static constexpr std::size_t kW = V::width;
+
+  double fan_actual[kW], heat_sink[kW], junction[kW], fan_watts[kW];
+  double memo_rpm[kW], r_hs[kW], hs_decay[kW];
+  double fan_cmd[kW], cpu_watts[kW], ambient[kW];
+  double r_base[kW], r_coeff[kW], r_exp[kW], hs_capacitance[kW];
+  double die_decay[kW], r_die[kW], fan_slew[kW], fan_pmax[kW], fan_smax[kW];
+
+  TailBlock(const BatchLanes& L, std::size_t lo, std::size_t rem) {
+    for (std::size_t j = 0; j < kW; ++j) {
+      const std::size_t src = lo + (j < rem ? j : rem - 1);
+      fan_actual[j] = L.fan_actual[src];
+      heat_sink[j] = L.heat_sink[src];
+      junction[j] = L.junction[src];
+      fan_watts[j] = L.fan_watts[src];
+      memo_rpm[j] = L.memo_rpm[src];
+      r_hs[j] = L.r_hs[src];
+      hs_decay[j] = L.hs_decay[src];
+      fan_cmd[j] = L.fan_cmd[src];
+      cpu_watts[j] = L.cpu_watts[src];
+      ambient[j] = L.ambient[src];
+      r_base[j] = L.r_base[src];
+      r_coeff[j] = L.r_coeff[src];
+      r_exp[j] = L.r_exp[src];
+      hs_capacitance[j] = L.hs_capacitance[src];
+      die_decay[j] = L.die_decay[src];
+      r_die[j] = L.r_die[src];
+      fan_slew[j] = L.fan_slew[src];
+      fan_pmax[j] = L.fan_pmax[src];
+      fan_smax[j] = L.fan_smax[src];
+    }
+  }
+
+  BatchLanes view() {
+    BatchLanes t;
+    t.fan_actual = fan_actual;
+    t.heat_sink = heat_sink;
+    t.junction = junction;
+    t.fan_watts = fan_watts;
+    t.memo_rpm = memo_rpm;
+    t.r_hs = r_hs;
+    t.hs_decay = hs_decay;
+    t.fan_cmd = fan_cmd;
+    t.cpu_watts = cpu_watts;
+    t.ambient = ambient;
+    t.r_base = r_base;
+    t.r_coeff = r_coeff;
+    t.r_exp = r_exp;
+    t.hs_capacitance = hs_capacitance;
+    t.die_decay = die_decay;
+    t.r_die = r_die;
+    t.fan_slew = fan_slew;
+    t.fan_pmax = fan_pmax;
+    t.fan_smax = fan_smax;
+    return t;
+  }
+
+  void write_back(const BatchLanes& L, std::size_t lo,
+                  std::size_t rem) const {
+    for (std::size_t j = 0; j < rem; ++j) {
+      L.fan_actual[lo + j] = fan_actual[j];
+      L.heat_sink[lo + j] = heat_sink[j];
+      L.junction[lo + j] = junction[j];
+      L.fan_watts[lo + j] = fan_watts[j];
+      L.memo_rpm[lo + j] = memo_rpm[j];
+      L.r_hs[lo + j] = r_hs[j];
+      L.hs_decay[lo + j] = hs_decay[j];
+    }
+  }
+};
+
+template <class V>
+void step_range_impl(const BatchLanes& L, std::size_t lo, std::size_t hi,
+                     double dt, StepStats* stats) {
+  constexpr std::size_t kW = V::width;
+  constexpr unsigned kFull = (1u << kW) - 1u;
+  std::size_t i = lo;
+  for (; i + kW <= hi; i += kW) step_block<V>(L, i, dt, stats, kFull);
+  if (i < hi) {
+    const std::size_t rem = hi - i;
+    TailBlock<V> tail(L, i, rem);
+    const BatchLanes t = tail.view();
+    step_block<V>(t, 0, dt, stats,
+                  static_cast<unsigned>((1u << rem) - 1u));
+    tail.write_back(L, i, rem);
+  }
+}
+
+/// Element-wise vector-math evaluation over arrays (accuracy suite entry).
+template <class V>
+void pow_lanes_impl(const double* x, const double* y, double* out,
+                    std::size_t n) {
+  constexpr std::size_t kW = V::width;
+  std::size_t i = 0;
+  for (; i + kW <= n; i += kW) {
+    vpow<V>(V::load(x + i), V::load(y + i)).store(out + i);
+  }
+  if (i < n) {
+    const std::size_t rem = n - i;
+    double bx[kW], by[kW], bo[kW];
+    for (std::size_t j = 0; j < kW; ++j) {
+      const std::size_t src = i + (j < rem ? j : rem - 1);
+      bx[j] = x[src];
+      by[j] = y[src];
+    }
+    vpow<V>(V::load(bx), V::load(by)).store(bo);
+    for (std::size_t j = 0; j < rem; ++j) out[i + j] = bo[j];
+  }
+}
+
+template <class V>
+void exp_lanes_impl(const double* x, double* out, std::size_t n) {
+  constexpr std::size_t kW = V::width;
+  std::size_t i = 0;
+  for (; i + kW <= n; i += kW) {
+    vexp<V>(V::load(x + i)).store(out + i);
+  }
+  if (i < n) {
+    const std::size_t rem = n - i;
+    double bx[kW], bo[kW];
+    for (std::size_t j = 0; j < kW; ++j) {
+      bx[j] = x[i + (j < rem ? j : rem - 1)];
+    }
+    vexp<V>(V::load(bx)).store(bo);
+    for (std::size_t j = 0; j < rem; ++j) out[i + j] = bo[j];
+  }
+}
+
+}  // namespace
+}  // namespace fsc::simd

@@ -1,0 +1,445 @@
+// Fixed-width SIMD lane wrappers for the explicitly vectorized plant
+// kernel: one type per ISA with the same static surface, so
+// simd_step.hpp / vmath.hpp are written once and instantiated per width.
+//
+//   VecScalar  4 x double, plain arrays   compiles everywhere (the
+//                                         guaranteed fallback; the
+//                                         compiler is free to autovectorize
+//                                         its loops)
+//   VecSse2    2 x double, __m128d        x86-64 baseline
+//   VecAvx2    4 x double, __m256d + FMA  only in the TU built with
+//                                         -mavx2 -mfma
+//   VecNeon    2 x double, float64x2_t    AArch64 baseline
+//
+// INTERNAL LINKAGE ON PURPOSE: everything here lives in an anonymous
+// namespace and this header must only be included by the per-width kernel
+// TUs (batch/simd/kernel_*.cpp).  Those TUs are compiled with different
+// ISA flags; if the shared helpers had external (vague) linkage the linker
+// would keep ONE copy — possibly the AVX2-compiled one — and the scalar
+// fallback could then execute AVX instructions on a host without them.
+// Internal linkage gives every TU its own correctly-compiled copy.
+//
+// Surface required from each type (W = width):
+//   load/store/broadcast; + - * / ; min, max, fma(a,b,c) = a*b + c (fused
+//   where the ISA fuses, a plain mul+add otherwise — the documented ULP
+//   bounds in vmath.hpp hold either way, enforced by the CI
+//   -ffp-contract=off leg); abs, copysign(mag, sgn); Mask-returning
+//   cmp_eq / cmp_le; select(mask, a, b); movemask (bit i = lane i);
+//   round_nearest (to-nearest-even); split_exp_mant / ldexp_small — the
+//   two IEEE-754 bit tricks vmath's exp2/log2 build on.
+#pragma once
+
+#include <bit>
+#include <cstddef>
+#include <cstdint>
+
+#if defined(__SSE2__)
+#include <emmintrin.h>
+#endif
+#if defined(__AVX2__) && defined(__FMA__)
+#include <immintrin.h>
+#endif
+#if defined(__aarch64__)
+#include <arm_neon.h>
+#endif
+
+namespace fsc::simd {
+namespace {
+
+// IEEE-754 double layout constants shared by the bit tricks below
+// ([[maybe_unused]]: not every TU instantiates every specialization).
+[[maybe_unused]] constexpr std::uint64_t kSignMask = 0x8000000000000000ull;
+[[maybe_unused]] constexpr std::uint64_t kMantMask = 0x000FFFFFFFFFFFFFull;
+[[maybe_unused]] constexpr std::uint64_t kOneBits = 0x3FF0000000000000ull;
+/// 1.5 * 2^52: adding it to |y| < 2^51 rounds y to the nearest integer
+/// (ties to even) in the mantissa, with the integer recoverable from the
+/// low bits — the classic round+convert trick that needs no cvt
+/// instruction.
+[[maybe_unused]] constexpr double kRoundMagic = 6755399441055744.0;
+[[maybe_unused]] constexpr std::uint64_t kRoundMagicBits =
+    0x4338000000000000ull;
+/// 2^52 + 1023: subtracting it from (0x433 OR biased-exponent) reinterpret
+/// yields the unbiased exponent as a double.
+[[maybe_unused]] constexpr double kExpUnbias = 4503599627371519.0;
+[[maybe_unused]] constexpr std::uint64_t kExpMagicBits =
+    0x4330000000000000ull;
+
+// ----------------------------------------------------------- VecScalar x4
+// The portable fallback: the same algorithm on plain double arrays.  Lane
+// results are identical whatever the grouping, so any W would do; 4
+// matches the AVX2 block shape and gives the autovectorizer a fair shot.
+
+struct VecScalar {
+  static constexpr std::size_t width = 4;
+  double v[4];
+
+  struct Mask {
+    bool m[4];
+  };
+
+  static VecScalar load(const double* p) {
+    return {{p[0], p[1], p[2], p[3]}};
+  }
+  static VecScalar broadcast(double x) { return {{x, x, x, x}}; }
+  void store(double* p) const {
+    for (std::size_t i = 0; i < width; ++i) p[i] = v[i];
+  }
+
+  friend VecScalar operator+(VecScalar a, VecScalar b) {
+    for (std::size_t i = 0; i < width; ++i) a.v[i] += b.v[i];
+    return a;
+  }
+  friend VecScalar operator-(VecScalar a, VecScalar b) {
+    for (std::size_t i = 0; i < width; ++i) a.v[i] -= b.v[i];
+    return a;
+  }
+  friend VecScalar operator*(VecScalar a, VecScalar b) {
+    for (std::size_t i = 0; i < width; ++i) a.v[i] *= b.v[i];
+    return a;
+  }
+  friend VecScalar operator/(VecScalar a, VecScalar b) {
+    for (std::size_t i = 0; i < width; ++i) a.v[i] /= b.v[i];
+    return a;
+  }
+
+  static VecScalar min(VecScalar a, VecScalar b) {
+    for (std::size_t i = 0; i < width; ++i)
+      a.v[i] = b.v[i] < a.v[i] ? b.v[i] : a.v[i];
+    return a;
+  }
+  static VecScalar max(VecScalar a, VecScalar b) {
+    for (std::size_t i = 0; i < width; ++i)
+      a.v[i] = b.v[i] > a.v[i] ? b.v[i] : a.v[i];
+    return a;
+  }
+  /// a*b + c.  Deliberately NOT std::fma: the portable fallback promises
+  /// its ULP bounds without fused rounding (the -ffp-contract=off CI leg
+  /// builds exactly this), and a soft-float fma would be ruinously slow on
+  /// targets without the instruction.
+  static VecScalar fma(VecScalar a, VecScalar b, VecScalar c) {
+    for (std::size_t i = 0; i < width; ++i) a.v[i] = a.v[i] * b.v[i] + c.v[i];
+    return a;
+  }
+  static VecScalar abs(VecScalar a) {
+    for (std::size_t i = 0; i < width; ++i)
+      a.v[i] = std::bit_cast<double>(std::bit_cast<std::uint64_t>(a.v[i]) &
+                                     ~kSignMask);
+    return a;
+  }
+  static VecScalar copysign(VecScalar mag, VecScalar sgn) {
+    for (std::size_t i = 0; i < width; ++i)
+      mag.v[i] = std::bit_cast<double>(
+          (std::bit_cast<std::uint64_t>(mag.v[i]) & ~kSignMask) |
+          (std::bit_cast<std::uint64_t>(sgn.v[i]) & kSignMask));
+    return mag;
+  }
+
+  static Mask cmp_eq(VecScalar a, VecScalar b) {
+    Mask r;
+    for (std::size_t i = 0; i < width; ++i) r.m[i] = a.v[i] == b.v[i];
+    return r;
+  }
+  static Mask cmp_le(VecScalar a, VecScalar b) {
+    Mask r;
+    for (std::size_t i = 0; i < width; ++i) r.m[i] = a.v[i] <= b.v[i];
+    return r;
+  }
+  static VecScalar select(Mask m, VecScalar a, VecScalar b) {
+    for (std::size_t i = 0; i < width; ++i)
+      b.v[i] = m.m[i] ? a.v[i] : b.v[i];
+    return b;
+  }
+  static unsigned movemask(Mask m) {
+    unsigned bits = 0;
+    for (std::size_t i = 0; i < width; ++i)
+      bits |= m.m[i] ? (1u << i) : 0u;
+    return bits;
+  }
+
+  static VecScalar round_nearest(VecScalar y) {
+    for (std::size_t i = 0; i < width; ++i) {
+      const double t = y.v[i] + kRoundMagic;
+      y.v[i] = t - kRoundMagic;
+    }
+    return y;
+  }
+  /// x * 2^k for integral-valued kd in [-1022, 1023] (normal results only).
+  static VecScalar ldexp_small(VecScalar x, VecScalar kd) {
+    for (std::size_t i = 0; i < width; ++i) {
+      const double t = kd.v[i] + kRoundMagic;
+      const std::int64_t k = static_cast<std::int64_t>(
+          std::bit_cast<std::uint64_t>(t) - kRoundMagicBits);
+      x.v[i] *= std::bit_cast<double>(static_cast<std::uint64_t>(k + 1023)
+                                      << 52);
+    }
+    return x;
+  }
+  /// For finite positive normal x: e = unbiased exponent (as a double),
+  /// m = mantissa in [1, 2).
+  static void split_exp_mant(VecScalar x, VecScalar& e, VecScalar& m) {
+    for (std::size_t i = 0; i < width; ++i) {
+      const std::uint64_t bits = std::bit_cast<std::uint64_t>(x.v[i]);
+      e.v[i] = static_cast<double>(static_cast<std::int64_t>(bits >> 52) -
+                                   1023);
+      m.v[i] = std::bit_cast<double>((bits & kMantMask) | kOneBits);
+    }
+  }
+};
+
+// ------------------------------------------------------------- VecSse2 x2
+#if defined(__SSE2__)
+
+struct VecSse2 {
+  static constexpr std::size_t width = 2;
+  __m128d v;
+
+  struct Mask {
+    __m128d m;
+  };
+
+  static VecSse2 load(const double* p) { return {_mm_loadu_pd(p)}; }
+  static VecSse2 broadcast(double x) { return {_mm_set1_pd(x)}; }
+  void store(double* p) const { _mm_storeu_pd(p, v); }
+
+  friend VecSse2 operator+(VecSse2 a, VecSse2 b) {
+    return {_mm_add_pd(a.v, b.v)};
+  }
+  friend VecSse2 operator-(VecSse2 a, VecSse2 b) {
+    return {_mm_sub_pd(a.v, b.v)};
+  }
+  friend VecSse2 operator*(VecSse2 a, VecSse2 b) {
+    return {_mm_mul_pd(a.v, b.v)};
+  }
+  friend VecSse2 operator/(VecSse2 a, VecSse2 b) {
+    return {_mm_div_pd(a.v, b.v)};
+  }
+
+  static VecSse2 min(VecSse2 a, VecSse2 b) { return {_mm_min_pd(a.v, b.v)}; }
+  static VecSse2 max(VecSse2 a, VecSse2 b) { return {_mm_max_pd(a.v, b.v)}; }
+  /// No FMA in SSE2: mul + add, two roundings (covered by the documented
+  /// ULP bounds, same as the portable fallback under -ffp-contract=off).
+  static VecSse2 fma(VecSse2 a, VecSse2 b, VecSse2 c) {
+    return {_mm_add_pd(_mm_mul_pd(a.v, b.v), c.v)};
+  }
+  static VecSse2 abs(VecSse2 a) {
+    return {_mm_and_pd(a.v, _mm_castsi128_pd(_mm_set1_epi64x(
+                                static_cast<std::int64_t>(~kSignMask))))};
+  }
+  static VecSse2 copysign(VecSse2 mag, VecSse2 sgn) {
+    const __m128d sign_mask = _mm_castsi128_pd(
+        _mm_set1_epi64x(static_cast<std::int64_t>(kSignMask)));
+    return {_mm_or_pd(_mm_andnot_pd(sign_mask, mag.v),
+                      _mm_and_pd(sign_mask, sgn.v))};
+  }
+
+  static Mask cmp_eq(VecSse2 a, VecSse2 b) { return {_mm_cmpeq_pd(a.v, b.v)}; }
+  static Mask cmp_le(VecSse2 a, VecSse2 b) { return {_mm_cmple_pd(a.v, b.v)}; }
+  static VecSse2 select(Mask m, VecSse2 a, VecSse2 b) {
+    return {_mm_or_pd(_mm_and_pd(m.m, a.v), _mm_andnot_pd(m.m, b.v))};
+  }
+  static unsigned movemask(Mask m) {
+    return static_cast<unsigned>(_mm_movemask_pd(m.m));
+  }
+
+  static VecSse2 round_nearest(VecSse2 y) {
+    const __m128d magic = _mm_set1_pd(kRoundMagic);
+    return {_mm_sub_pd(_mm_add_pd(y.v, magic), magic)};
+  }
+  static VecSse2 ldexp_small(VecSse2 x, VecSse2 kd) {
+    const __m128i t = _mm_castpd_si128(
+        _mm_add_pd(kd.v, _mm_set1_pd(kRoundMagic)));
+    const __m128i k = _mm_sub_epi64(
+        t, _mm_set1_epi64x(static_cast<std::int64_t>(kRoundMagicBits)));
+    const __m128i scale_bits =
+        _mm_slli_epi64(_mm_add_epi64(k, _mm_set1_epi64x(1023)), 52);
+    return {_mm_mul_pd(x.v, _mm_castsi128_pd(scale_bits))};
+  }
+  static void split_exp_mant(VecSse2 x, VecSse2& e, VecSse2& m) {
+    const __m128i bits = _mm_castpd_si128(x.v);
+    const __m128i expi = _mm_srli_epi64(bits, 52);
+    e.v = _mm_sub_pd(
+        _mm_castsi128_pd(_mm_or_si128(
+            expi,
+            _mm_set1_epi64x(static_cast<std::int64_t>(kExpMagicBits)))),
+        _mm_set1_pd(kExpUnbias));
+    m.v = _mm_castsi128_pd(_mm_or_si128(
+        _mm_and_si128(bits,
+                      _mm_set1_epi64x(static_cast<std::int64_t>(kMantMask))),
+        _mm_set1_epi64x(static_cast<std::int64_t>(kOneBits))));
+  }
+};
+
+#endif  // __SSE2__
+
+// ------------------------------------------------------------- VecAvx2 x4
+#if defined(__AVX2__) && defined(__FMA__)
+
+struct VecAvx2 {
+  static constexpr std::size_t width = 4;
+  __m256d v;
+
+  struct Mask {
+    __m256d m;
+  };
+
+  static VecAvx2 load(const double* p) { return {_mm256_loadu_pd(p)}; }
+  static VecAvx2 broadcast(double x) { return {_mm256_set1_pd(x)}; }
+  void store(double* p) const { _mm256_storeu_pd(p, v); }
+
+  friend VecAvx2 operator+(VecAvx2 a, VecAvx2 b) {
+    return {_mm256_add_pd(a.v, b.v)};
+  }
+  friend VecAvx2 operator-(VecAvx2 a, VecAvx2 b) {
+    return {_mm256_sub_pd(a.v, b.v)};
+  }
+  friend VecAvx2 operator*(VecAvx2 a, VecAvx2 b) {
+    return {_mm256_mul_pd(a.v, b.v)};
+  }
+  friend VecAvx2 operator/(VecAvx2 a, VecAvx2 b) {
+    return {_mm256_div_pd(a.v, b.v)};
+  }
+
+  static VecAvx2 min(VecAvx2 a, VecAvx2 b) {
+    return {_mm256_min_pd(a.v, b.v)};
+  }
+  static VecAvx2 max(VecAvx2 a, VecAvx2 b) {
+    return {_mm256_max_pd(a.v, b.v)};
+  }
+  static VecAvx2 fma(VecAvx2 a, VecAvx2 b, VecAvx2 c) {
+    return {_mm256_fmadd_pd(a.v, b.v, c.v)};
+  }
+  static VecAvx2 abs(VecAvx2 a) {
+    return {_mm256_and_pd(
+        a.v, _mm256_castsi256_pd(_mm256_set1_epi64x(
+                 static_cast<std::int64_t>(~kSignMask))))};
+  }
+  static VecAvx2 copysign(VecAvx2 mag, VecAvx2 sgn) {
+    const __m256d sign_mask = _mm256_castsi256_pd(
+        _mm256_set1_epi64x(static_cast<std::int64_t>(kSignMask)));
+    return {_mm256_or_pd(_mm256_andnot_pd(sign_mask, mag.v),
+                         _mm256_and_pd(sign_mask, sgn.v))};
+  }
+
+  static Mask cmp_eq(VecAvx2 a, VecAvx2 b) {
+    return {_mm256_cmp_pd(a.v, b.v, _CMP_EQ_OQ)};
+  }
+  static Mask cmp_le(VecAvx2 a, VecAvx2 b) {
+    return {_mm256_cmp_pd(a.v, b.v, _CMP_LE_OQ)};
+  }
+  static VecAvx2 select(Mask m, VecAvx2 a, VecAvx2 b) {
+    return {_mm256_blendv_pd(b.v, a.v, m.m)};
+  }
+  static unsigned movemask(Mask m) {
+    return static_cast<unsigned>(_mm256_movemask_pd(m.m));
+  }
+
+  static VecAvx2 round_nearest(VecAvx2 y) {
+    const __m256d magic = _mm256_set1_pd(kRoundMagic);
+    return {_mm256_sub_pd(_mm256_add_pd(y.v, magic), magic)};
+  }
+  static VecAvx2 ldexp_small(VecAvx2 x, VecAvx2 kd) {
+    const __m256i t = _mm256_castpd_si256(
+        _mm256_add_pd(kd.v, _mm256_set1_pd(kRoundMagic)));
+    const __m256i k = _mm256_sub_epi64(
+        t, _mm256_set1_epi64x(static_cast<std::int64_t>(kRoundMagicBits)));
+    const __m256i scale_bits =
+        _mm256_slli_epi64(_mm256_add_epi64(k, _mm256_set1_epi64x(1023)), 52);
+    return {_mm256_mul_pd(x.v, _mm256_castsi256_pd(scale_bits))};
+  }
+  static void split_exp_mant(VecAvx2 x, VecAvx2& e, VecAvx2& m) {
+    const __m256i bits = _mm256_castpd_si256(x.v);
+    const __m256i expi = _mm256_srli_epi64(bits, 52);
+    e.v = _mm256_sub_pd(
+        _mm256_castsi256_pd(_mm256_or_si256(
+            expi,
+            _mm256_set1_epi64x(static_cast<std::int64_t>(kExpMagicBits)))),
+        _mm256_set1_pd(kExpUnbias));
+    m.v = _mm256_castsi256_pd(_mm256_or_si256(
+        _mm256_and_si256(
+            bits, _mm256_set1_epi64x(static_cast<std::int64_t>(kMantMask))),
+        _mm256_set1_epi64x(static_cast<std::int64_t>(kOneBits))));
+  }
+};
+
+#endif  // __AVX2__ && __FMA__
+
+// ------------------------------------------------------------- VecNeon x2
+#if defined(__aarch64__)
+
+struct VecNeon {
+  static constexpr std::size_t width = 2;
+  float64x2_t v;
+
+  struct Mask {
+    uint64x2_t m;
+  };
+
+  static VecNeon load(const double* p) { return {vld1q_f64(p)}; }
+  static VecNeon broadcast(double x) { return {vdupq_n_f64(x)}; }
+  void store(double* p) const { vst1q_f64(p, v); }
+
+  friend VecNeon operator+(VecNeon a, VecNeon b) {
+    return {vaddq_f64(a.v, b.v)};
+  }
+  friend VecNeon operator-(VecNeon a, VecNeon b) {
+    return {vsubq_f64(a.v, b.v)};
+  }
+  friend VecNeon operator*(VecNeon a, VecNeon b) {
+    return {vmulq_f64(a.v, b.v)};
+  }
+  friend VecNeon operator/(VecNeon a, VecNeon b) {
+    return {vdivq_f64(a.v, b.v)};
+  }
+
+  static VecNeon min(VecNeon a, VecNeon b) { return {vminq_f64(a.v, b.v)}; }
+  static VecNeon max(VecNeon a, VecNeon b) { return {vmaxq_f64(a.v, b.v)}; }
+  static VecNeon fma(VecNeon a, VecNeon b, VecNeon c) {
+    return {vfmaq_f64(c.v, a.v, b.v)};  // c + a*b, fused
+  }
+  static VecNeon abs(VecNeon a) { return {vabsq_f64(a.v)}; }
+  static VecNeon copysign(VecNeon mag, VecNeon sgn) {
+    const uint64x2_t sign_mask = vdupq_n_u64(kSignMask);
+    return {vreinterpretq_f64_u64(vorrq_u64(
+        vbicq_u64(vreinterpretq_u64_f64(mag.v), sign_mask),
+        vandq_u64(vreinterpretq_u64_f64(sgn.v), sign_mask)))};
+  }
+
+  static Mask cmp_eq(VecNeon a, VecNeon b) { return {vceqq_f64(a.v, b.v)}; }
+  static Mask cmp_le(VecNeon a, VecNeon b) { return {vcleq_f64(a.v, b.v)}; }
+  static VecNeon select(Mask m, VecNeon a, VecNeon b) {
+    return {vbslq_f64(m.m, a.v, b.v)};
+  }
+  static unsigned movemask(Mask m) {
+    return static_cast<unsigned>(vgetq_lane_u64(m.m, 0) & 1u) |
+           (static_cast<unsigned>(vgetq_lane_u64(m.m, 1) & 1u) << 1);
+  }
+
+  static VecNeon round_nearest(VecNeon y) {
+    const float64x2_t magic = vdupq_n_f64(kRoundMagic);
+    return {vsubq_f64(vaddq_f64(y.v, magic), magic)};
+  }
+  static VecNeon ldexp_small(VecNeon x, VecNeon kd) {
+    const int64x2_t t = vreinterpretq_s64_f64(
+        vaddq_f64(kd.v, vdupq_n_f64(kRoundMagic)));
+    const int64x2_t k = vsubq_s64(
+        t, vdupq_n_s64(static_cast<std::int64_t>(kRoundMagicBits)));
+    const int64x2_t scale_bits =
+        vshlq_n_s64(vaddq_s64(k, vdupq_n_s64(1023)), 52);
+    return {vmulq_f64(x.v, vreinterpretq_f64_s64(scale_bits))};
+  }
+  static void split_exp_mant(VecNeon x, VecNeon& e, VecNeon& m) {
+    const uint64x2_t bits = vreinterpretq_u64_f64(x.v);
+    const uint64x2_t expi = vshrq_n_u64(bits, 52);
+    e.v = vsubq_f64(
+        vreinterpretq_f64_u64(vorrq_u64(expi, vdupq_n_u64(kExpMagicBits))),
+        vdupq_n_f64(kExpUnbias));
+    m.v = vreinterpretq_f64_u64(vorrq_u64(vandq_u64(bits,
+                                                    vdupq_n_u64(kMantMask)),
+                                          vdupq_n_u64(kOneBits)));
+  }
+};
+
+#endif  // __aarch64__
+
+}  // namespace
+}  // namespace fsc::simd

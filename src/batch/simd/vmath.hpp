@@ -1,0 +1,155 @@
+// Vectorized polynomial transcendentals for the SIMD plant kernel: the
+// branch-free replacements for the two libm calls in the 3-pass step —
+// pow(v, -r_exp) in the heat-sink resistance and exp(-dt/tau) in the RC
+// decays — evaluated as
+//
+//   pow(x, y) = exp2(y * log2(x)),   exp(x) = exp2(x * log2(e))
+//
+// over full vectors, one instruction stream, no data-dependent branches.
+//
+// Algorithms (classic cephes/VCL shapes, coefficients are exact rationals
+// so nothing here is tuning-sensitive):
+//
+//   log2: split x into 2^e * m via exponent bits, fold m into
+//         [sqrt(2)/2, sqrt(2)] (so x near 1 lands at e = 0, no
+//         cancellation), then the atanh series in r = (m-1)/(m+1):
+//         log2(m) = 2*log2(e) * r * (1 + r^2/3 + r^4/5 + ... + r^20/21).
+//         Truncation < 1e-17 relative (|r| <= 0.1716).
+//
+//   exp2: k = round(y), f = y - k in [-0.5, 0.5] (exact), u = f*ln2, then
+//         e^u by the Taylor series through u^14/14! (truncation < 5e-18
+//         relative at |u| <= 0.347), scaled by 2^k via exponent-bit
+//         insertion.  Exact at y = 0.  Input clamped to +/-1020 so the
+//         scale stays normal.
+//
+//   exp:  NOT exp2(x*log2e) — the rounding of that product is amplified by
+//         exp2 into ~|x|*log2(e) ULPs of error, which is 26 ULP at
+//         x = -40.  Instead the classic Cody-Waite reduction
+//         k = round(x*log2e), f = x - k*C1 - k*C2 with ln2 = C1 + C2 and
+//         C1 carrying only 9 mantissa bits: k*C1 is exact for any
+//         in-range k even without fused multiply-add, so the reduction
+//         costs < 1 ULP at every magnitude.  Same Taylor ladder, same 2^k
+//         scale.
+//
+// Documented error bounds vs libm, over the kernel's domains, with or
+// without fused multiply-add (tests/test_simd.cpp measures and enforces
+// them per compiled width; the CI -ffp-contract=off leg re-proves the
+// fallback without FMA):
+//
+//   vexp   on [-1, 0]      (RC decays):             <= 2 ULP
+//   vexp   on [-40, 0]     (general):               <= 4 ULP
+//   vpow   on v in [1, 2^15], y in [-4, -0.05]
+//          (heat-sink resistance power law):        <= 64 ULP
+//
+// The pow bound is dominated by the argument product y*log2(v): a few-ULP
+// error there is amplified by exp2 into ~|y*log2(v)| * ln2 ULPs of the
+// result (~1e-14 relative worst-case in-domain — far below the 0.25 C
+// sensor quantization that consumes these resistances).  Tightening it
+// would need a double-double log2, which the kernel does not require.
+//
+// Same internal-linkage rule as vec.hpp: only the per-width kernel TUs may
+// include this header.
+#pragma once
+
+#include "batch/simd/vec.hpp"
+
+namespace fsc::simd {
+namespace {
+
+/// log2(x) for finite x > 0 (normal; the kernel clamps rpm >= 1 before
+/// calling, so subnormal inputs cannot occur).
+template <class V>
+V vlog2(V x) {
+  constexpr double kSqrt2 = 1.4142135623730951;
+  constexpr double kTwoLog2e = 2.8853900817779268;  // 2/ln(2)
+
+  V e{}, m{};
+  V::split_exp_mant(x, e, m);
+  // Fold m in [1, 2) down to [sqrt(2)/2, sqrt(2)]: halve and carry the
+  // octave into e when m > sqrt(2).
+  const auto big = V::cmp_le(V::broadcast(kSqrt2), m);
+  m = V::select(big, m * V::broadcast(0.5), m);
+  e = V::select(big, e + V::broadcast(1.0), e);
+
+  const V one = V::broadcast(1.0);
+  const V r = (m - one) / (m + one);
+  const V s = r * r;
+  // P(s) = sum_{k=0..10} s^k / (2k+1), Horner.
+  V p = V::broadcast(1.0 / 21.0);
+  p = V::fma(p, s, V::broadcast(1.0 / 19.0));
+  p = V::fma(p, s, V::broadcast(1.0 / 17.0));
+  p = V::fma(p, s, V::broadcast(1.0 / 15.0));
+  p = V::fma(p, s, V::broadcast(1.0 / 13.0));
+  p = V::fma(p, s, V::broadcast(1.0 / 11.0));
+  p = V::fma(p, s, V::broadcast(1.0 / 9.0));
+  p = V::fma(p, s, V::broadcast(1.0 / 7.0));
+  p = V::fma(p, s, V::broadcast(1.0 / 5.0));
+  p = V::fma(p, s, V::broadcast(1.0 / 3.0));
+  p = V::fma(p, s, one);
+  // log2(x) = e + 2*log2(e) * r * P(s).
+  return V::fma(r * V::broadcast(kTwoLog2e), p, e);
+}
+
+/// e^u = sum_{n=0..14} u^n / n! for |u| <= 0.35, Horner (constant term
+/// folded last so u = 0 yields exactly 1.0).  Truncation < 5e-18 relative.
+template <class V>
+V exp_taylor(V u) {
+  V q = V::broadcast(1.0 / 87178291200.0);             // 1/14!
+  q = V::fma(q, u, V::broadcast(1.0 / 6227020800.0));  // 1/13!
+  q = V::fma(q, u, V::broadcast(1.0 / 479001600.0));
+  q = V::fma(q, u, V::broadcast(1.0 / 39916800.0));
+  q = V::fma(q, u, V::broadcast(1.0 / 3628800.0));
+  q = V::fma(q, u, V::broadcast(1.0 / 362880.0));
+  q = V::fma(q, u, V::broadcast(1.0 / 40320.0));
+  q = V::fma(q, u, V::broadcast(1.0 / 5040.0));
+  q = V::fma(q, u, V::broadcast(1.0 / 720.0));
+  q = V::fma(q, u, V::broadcast(1.0 / 120.0));
+  q = V::fma(q, u, V::broadcast(1.0 / 24.0));
+  q = V::fma(q, u, V::broadcast(1.0 / 6.0));
+  q = V::fma(q, u, V::broadcast(0.5));
+  q = V::fma(q, u, V::broadcast(1.0));
+  q = V::fma(q, u, V::broadcast(1.0));
+  return q;
+}
+
+/// 2^y with y clamped into [-1020, 1020] (results stay normal; the kernel
+/// domain never comes near the clamp).
+template <class V>
+V vexp2(V y) {
+  constexpr double kLn2 = 0.6931471805599453;
+
+  y = V::min(V::max(y, V::broadcast(-1020.0)), V::broadcast(1020.0));
+  const V k = V::round_nearest(y);
+  const V f = y - k;  // exact: |f| <= 0.5 and k within one binade of y
+  const V q = exp_taylor<V>(f * V::broadcast(kLn2));
+  return V::ldexp_small(q, k);
+}
+
+/// x^y for finite x >= 1 (the kernel's clamped fan speed; any positive
+/// normal x works) and moderate y.
+template <class V>
+V vpow(V x, V y) {
+  return vexp2<V>(y * vlog2<V>(x));
+}
+
+/// e^x for moderate x (the RC decay exponent is in [-1, 0]; anything in
+/// [-700, 700] keeps the documented accuracy).  See the header comment for
+/// why this is NOT vexp2(x*log2e).
+template <class V>
+V vexp(V x) {
+  constexpr double kLog2e = 1.4426950408889634;
+  constexpr double kC1 = 0.693359375;  // ln2 split: 9 mantissa bits...
+  constexpr double kC2 = -2.121944400546905827679e-4;  // ...plus the rest
+
+  x = V::min(V::max(x, V::broadcast(-700.0)), V::broadcast(700.0));
+  const V k = V::round_nearest(x * V::broadcast(kLog2e));
+  // f = x - k*ln2 through the split: k*kC1 is exact (|k| <= 1011 has
+  // <= 10 significant bits, kC1 has 9), so only the tiny k*kC2 term
+  // rounds and the reduction holds to < 1 ULP without any fma.
+  V f = x - k * V::broadcast(kC1);
+  f = f - k * V::broadcast(kC2);
+  return V::ldexp_small(exp_taylor<V>(f), k);
+}
+
+}  // namespace
+}  // namespace fsc::simd

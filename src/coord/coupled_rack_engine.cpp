@@ -120,6 +120,7 @@ struct CoupledRackEngine::Session::Impl {
       stepper = std::make_unique<RackBatchStepper>();
       stepper->set_chunk_lanes(params.chunk);
       for (const auto& rt : slots) stepper->add_slot(*rt->session, rt->server);
+      stepper->set_simd(simd::resolve_mode(params.simd));
       // Freeze the dt memos now, single-threaded: chunks of this batch may
       // later step concurrently and must never refresh shared state.
       stepper->prepare();

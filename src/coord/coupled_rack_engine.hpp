@@ -28,6 +28,7 @@
 #include <string>
 #include <vector>
 
+#include "batch/simd/dispatch.hpp"
 #include "coord/coordinator.hpp"
 #include "coord/plenum.hpp"
 #include "metrics/energy_report.hpp"
@@ -69,6 +70,15 @@ struct CoupledRackParams {
   /// ThreadPool path is kept selectable (`fsc_rack --executor off`) for
   /// A/B comparison.
   bool executor = true;
+  /// Explicitly vectorized plant kernel (batch/simd/): kOff — the default —
+  /// keeps the scalar-expression reference path (bit-identical to the
+  /// per-server model); kOn routes the batched physics through the widest
+  /// kernel the host supports (FSC_SIMD overrides the width); kAuto enables
+  /// it only when the host has a real vector unit.  Trajectories agree with
+  /// the reference to the ULP bounds in batch/simd/vmath.hpp (test_simd)
+  /// and are bit-stable across chunk/thread choices at a fixed width.
+  /// Ignored when `batched` is off.  `fsc_rack --simd on|off|auto` A/Bs it.
+  simd::SimdMode simd = simd::SimdMode::kOff;
 };
 
 /// One slot's outcome plus its coordination exposure.

@@ -1,0 +1,63 @@
+// ULP (units-in-the-last-place) distance between doubles, for the places
+// where bit-identity is impossible by design and "close" needs a unit that
+// does not depend on magnitude: the SIMD plant kernel's polynomial pow/exp
+// against libm (batch/simd/vmath.hpp documents its bounds in these units,
+// tests/test_simd.cpp enforces them) and future fixed-point kernels.
+//
+// The distance is the number of representable doubles strictly between two
+// values, computed by mapping the IEEE-754 bit pattern to a monotone
+// integer line: non-negative doubles map to bits + 2^63, negative ones to
+// 2^63 - bits, so adjacent floats are adjacent integers across the whole
+// line, including at +/-0 (which share one point).  NaNs compare infinitely
+// far from everything, including other NaNs.
+#pragma once
+
+#include <bit>
+#include <cstdint>
+#include <cmath>
+#include <limits>
+
+namespace fsc {
+
+/// Every NaN (and only a NaN) is this far from everything.
+inline constexpr std::uint64_t kUlpInfinite =
+    std::numeric_limits<std::uint64_t>::max();
+
+namespace detail {
+/// Monotone integer key: a < b (as doubles, with -0 == +0) iff
+/// key(a) < key(b).
+inline std::uint64_t ulp_key(double x) noexcept {
+  const std::uint64_t bits = std::bit_cast<std::uint64_t>(x);
+  constexpr std::uint64_t kSign = 1ull << 63;
+  return (bits & kSign) != 0 ? kSign - (bits & ~kSign) : kSign + bits;
+}
+}  // namespace detail
+
+/// Number of representable doubles strictly between `a` and `b` plus one
+/// when they differ (0 iff a == b, counting -0 == +0; 1 for nextafter
+/// neighbours).  Infinities are ordinary points on the line; any NaN gives
+/// kUlpInfinite.
+inline std::uint64_t ulp_distance(double a, double b) noexcept {
+  if (std::isnan(a) || std::isnan(b)) return kUlpInfinite;
+  const std::uint64_t ka = detail::ulp_key(a);
+  const std::uint64_t kb = detail::ulp_key(b);
+  return ka > kb ? ka - kb : kb - ka;
+}
+
+/// Bounded compare: within `max_ulp` representable steps.  NaNs never pass.
+inline bool within_ulp(double a, double b, std::uint64_t max_ulp) noexcept {
+  return ulp_distance(a, b) <= max_ulp;
+}
+
+/// Bounded compare with an absolute floor: passes when |a - b| <= abs_tol
+/// OR the values are within `max_ulp` steps.  This is the right shape for
+/// physics observations, where a temperature near a power-of-two boundary
+/// must not fail on a representational technicality and tiny absolute
+/// differences near zero (energies of idle periods) are noise.
+inline bool within_ulp_or_abs(double a, double b, std::uint64_t max_ulp,
+                              double abs_tol) noexcept {
+  if (std::isnan(a) || std::isnan(b)) return false;
+  return std::fabs(a - b) <= abs_tol || within_ulp(a, b, max_ulp);
+}
+
+}  // namespace fsc

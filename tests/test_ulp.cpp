@@ -1,0 +1,77 @@
+// util/ulp.hpp: the ULP-distance helpers that gate the SIMD kernel's
+// equivalence suites.  These must be exactly right — a broken distance
+// would silently loosen every ULP-bounded comparison in test_simd.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <limits>
+
+#include "util/ulp.hpp"
+
+namespace fsc {
+namespace {
+
+constexpr double kInf = std::numeric_limits<double>::infinity();
+constexpr double kNan = std::numeric_limits<double>::quiet_NaN();
+
+TEST(UlpDistance, ZeroForEqualValues) {
+  EXPECT_EQ(ulp_distance(1.0, 1.0), 0u);
+  EXPECT_EQ(ulp_distance(-3.5e100, -3.5e100), 0u);
+  EXPECT_EQ(ulp_distance(kInf, kInf), 0u);
+}
+
+TEST(UlpDistance, SignedZerosCoincide) {
+  EXPECT_EQ(ulp_distance(0.0, -0.0), 0u);
+  // The first positive and first negative subnormal are each one step from
+  // the shared zero point, two steps from each other.
+  const double tiny = std::numeric_limits<double>::denorm_min();
+  EXPECT_EQ(ulp_distance(0.0, tiny), 1u);
+  EXPECT_EQ(ulp_distance(-tiny, 0.0), 1u);
+  EXPECT_EQ(ulp_distance(-tiny, tiny), 2u);
+}
+
+TEST(UlpDistance, NextafterNeighboursAreOneApart) {
+  for (double x : {1.0, -1.0, 0.3, 8500.0, 1e-300, -2.5e17}) {
+    EXPECT_EQ(ulp_distance(x, std::nextafter(x, kInf)), 1u) << x;
+    EXPECT_EQ(ulp_distance(x, std::nextafter(x, -kInf)), 1u) << x;
+  }
+}
+
+TEST(UlpDistance, SymmetricAndMonotone) {
+  EXPECT_EQ(ulp_distance(1.0, 2.0), ulp_distance(2.0, 1.0));
+  // 1.0 -> 2.0 spans exactly 2^52 representable steps (one binade).
+  EXPECT_EQ(ulp_distance(1.0, 2.0), 1ull << 52);
+  // Wider interval, strictly larger distance.
+  EXPECT_GT(ulp_distance(1.0, 4.0), ulp_distance(1.0, 2.0));
+  // Crossing zero accumulates both sides.
+  EXPECT_EQ(ulp_distance(-1.0, 1.0), 2 * ulp_distance(0.0, 1.0));
+}
+
+TEST(UlpDistance, NanIsInfinitelyFarFromEverything) {
+  EXPECT_EQ(ulp_distance(kNan, 1.0), kUlpInfinite);
+  EXPECT_EQ(ulp_distance(0.0, kNan), kUlpInfinite);
+  EXPECT_EQ(ulp_distance(kNan, kNan), kUlpInfinite);
+}
+
+TEST(WithinUlp, BoundsInclusive) {
+  const double up4 = std::nextafter(
+      std::nextafter(std::nextafter(std::nextafter(1.0, kInf), kInf), kInf),
+      kInf);
+  EXPECT_TRUE(within_ulp(1.0, up4, 4));
+  EXPECT_FALSE(within_ulp(1.0, up4, 3));
+  EXPECT_FALSE(within_ulp(kNan, kNan, kUlpInfinite - 1));
+}
+
+TEST(WithinUlpOrAbs, AbsoluteFloorRescuesNearZeroNoise) {
+  // 1e-20 vs 0: astronomically many ULPs apart, but within any sane
+  // absolute tolerance — the or-abs form passes, the pure form does not.
+  EXPECT_FALSE(within_ulp(1e-20, 0.0, 1u << 20));
+  EXPECT_TRUE(within_ulp_or_abs(1e-20, 0.0, 4, 1e-12));
+  // Large values: the ULP bound does the work, the abs floor is irrelevant.
+  EXPECT_TRUE(within_ulp_or_abs(8500.0, std::nextafter(8500.0, kInf), 1, 0.0));
+  EXPECT_FALSE(within_ulp_or_abs(8500.0, 8501.0, 4, 1e-12));
+  EXPECT_FALSE(within_ulp_or_abs(kNan, 0.0, kUlpInfinite, kInf));
+}
+
+}  // namespace
+}  // namespace fsc

@@ -244,7 +244,10 @@ double measure_kernel_slewing_ns(std::optional<simd::Width> width,
 }
 
 /// Memo telemetry per path and regime (reference path: hit/shared/miss;
-/// SIMD path: hit/miss, block-wise, no shared tier).
+/// SIMD path: hit/miss, block-wise, no shared tier).  Read back through a
+/// MetricsRegistry snapshot — the same one-source-of-truth path the
+/// engines publish ("batch.memo_hit" / "batch.memo_shared_hit" /
+/// "batch.memo_miss"), rather than a bench-private tally.
 void print_memo_hit_rates(std::optional<simd::Width> width) {
   const auto rate = [](std::uint64_t part, std::uint64_t whole) {
     return whole == 0 ? 0.0 : 100.0 * static_cast<double>(part) /
@@ -252,36 +255,39 @@ void print_memo_hit_rates(std::optional<simd::Width> width) {
   };
   const char* path =
       width.has_value() ? simd::width_name(*width) : "reference";
-  const auto report = [&](const char* regime, const ServerBatch& batch) {
-    const std::uint64_t lanes =
-        batch.memo_hits() + batch.memo_shared_hits() + batch.memo_misses();
+  const auto report = [&](const char* regime,
+                          const fsc::obs::MetricsRegistry& registry) {
+    const auto snap = registry.snapshot();
+    const std::uint64_t hit = snap.counter("batch.memo_hit");
+    const std::uint64_t shared = snap.counter("batch.memo_shared_hit");
+    const std::uint64_t miss = snap.counter("batch.memo_miss");
+    const std::uint64_t lanes = hit + shared + miss;
     std::printf(
         "memo [%-9s] (%s): %5.1f %% hit  %5.1f %% shared  %5.1f %% miss\n",
-        path, regime, rate(batch.memo_hits(), lanes),
-        rate(batch.memo_shared_hits(), lanes),
-        rate(batch.memo_misses(), lanes));
+        path, regime, rate(hit, lanes), rate(shared, lanes),
+        rate(miss, lanes));
   };
   {
+    fsc::obs::MetricsRegistry registry;
     Fleet fleet(64);
     fleet.batch.set_simd(width);
     for (int i = 0; i < 2000; ++i) fleet.substep();  // settle
-    fleet.batch.set_memo_telemetry(true);
-    fleet.batch.reset_memo_counters();
+    fleet.batch.attach_memo_counters(registry);
     for (int i = 0; i < 20000; ++i) fleet.substep();
-    report("settled", fleet.batch);
+    report("settled", registry);
   }
   {
+    fsc::obs::MetricsRegistry registry;
     Fleet fleet(64);
     fleet.batch.set_simd(width);
-    fleet.batch.set_memo_telemetry(true);
-    fleet.batch.reset_memo_counters();
+    fleet.batch.attach_memo_counters(registry);
     long substep = 0;
     for (int i = 0; i < 20000; ++i) {
       if (substep % 20 == 0) fleet.set_inputs(slew_command(substep));
       fleet.substep();
       ++substep;
     }
-    report("slewing", fleet.batch);
+    report("slewing", registry);
   }
 }
 

@@ -1,0 +1,185 @@
+// The telemetry tax, measured and gated — the obs/ subsystem's contract
+// is "attaching telemetry never perturbs results, and NOT attaching it
+// costs (nearly) nothing".  The first half is pinned by tests/test_obs
+// (bit-identity EXPECT_EQ); this bench pins the second half:
+//
+//   * detached vs compiled-out — a binary built with -DFSC_OBS=OFF has no
+//     hook sites at all; this binary (FSC_OBS=ON, sinks detached) must
+//     step the room-64 scenario within 2 %.  That is a two-build
+//     comparison, so it runs through a baseline file: the OFF build
+//     writes its room-64 ns to the path in $FSC_OBS_BASELINE, the ON
+//     build reads the same path and gates against it (SKIP, not FAIL,
+//     when the file or the env var is absent — local runs stay green).
+//   * attached vs detached — full metrics + tracing on rack-64 must stay
+//     within 10 % of the detached run.  In-binary, always enforced.
+//
+// Writes BENCH_obs_overhead.json (override via FSC_BENCH_JSON) with the
+// same schema as the other BENCH_*.json trajectory files.
+#include <benchmark/benchmark.h>
+
+#include <algorithm>
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <string>
+#include <thread>
+
+#include "json_reporter.hpp"
+#include "verdict.hpp"
+
+#include "coord/coupled_rack_engine.hpp"
+#include "obs/obs.hpp"
+#include "room/room_engine.hpp"
+
+namespace {
+
+using namespace fsc;
+
+constexpr std::uint64_t kSeed = 42;
+constexpr double kDurationS = 240.0;
+constexpr std::size_t kRoomRacks = 4;
+constexpr std::size_t kRoomSlotsPerRack = 16;  // 4 x 16 = room-64
+constexpr std::size_t kRackSlots = 64;         // rack-64
+
+std::size_t bench_threads() {
+  return std::min<std::size_t>(
+      8, std::max(1u, std::thread::hardware_concurrency()));
+}
+
+RoomParams room_scenario() {
+  RoomParams p = default_room_scenario(kRoomRacks, kSeed, kDurationS);
+  for (CoupledRackParams& rack : p.racks) {
+    rack.rack.num_servers = kRoomSlotsPerRack;
+  }
+  return p;
+}
+
+CoupledRackParams rack_scenario() {
+  CoupledRackParams p = default_coupled_scenario(kSeed, kDurationS);
+  p.rack.num_servers = kRackSlots;
+  return p;
+}
+
+/// Wall ns for one room-64 run, telemetry fully detached.
+double room_detached_ns() {
+  const RoomEngine engine(room_scenario(), bench_threads());
+  const auto t0 = std::chrono::steady_clock::now();
+  const RoomResult r = engine.run();
+  benchmark::DoNotOptimize(r.total_energy_joules);
+  return std::chrono::duration<double, std::nano>(
+             std::chrono::steady_clock::now() - t0)
+      .count();
+}
+
+/// Wall ns for one rack-64 run; `attached` = full metrics + tracing.
+double rack_ns(bool attached) {
+  obs::MetricsRegistry registry(bench_threads());
+  obs::TraceRecorder trace;
+  CoupledRackParams params = rack_scenario();
+  if (attached) {
+    params.obs.metrics = &registry;
+    params.obs.trace = &trace;
+  }
+  const CoupledRackEngine engine(params, bench_threads());
+  const auto t0 = std::chrono::steady_clock::now();
+  const CoupledRackResult r = engine.run();
+  benchmark::DoNotOptimize(r.total_energy_joules);
+  return std::chrono::duration<double, std::nano>(
+             std::chrono::steady_clock::now() - t0)
+      .count();
+}
+
+template <typename F>
+double min_of(int reps, F&& measure) {
+  double best = measure();
+  for (int i = 1; i < reps; ++i) best = std::min(best, measure());
+  return best;
+}
+
+// Trajectory rows (min-of handled by google-benchmark's own repetition).
+void BM_Room64Detached(benchmark::State& state) {
+  for (auto _ : state) benchmark::DoNotOptimize(room_detached_ns());
+}
+BENCHMARK(BM_Room64Detached)->Unit(benchmark::kMillisecond)->UseRealTime();
+
+void BM_Rack64Detached(benchmark::State& state) {
+  for (auto _ : state) benchmark::DoNotOptimize(rack_ns(false));
+}
+BENCHMARK(BM_Rack64Detached)->Unit(benchmark::kMillisecond)->UseRealTime();
+
+void BM_Rack64Attached(benchmark::State& state) {
+  for (auto _ : state) benchmark::DoNotOptimize(rack_ns(true));
+}
+BENCHMARK(BM_Rack64Attached)->Unit(benchmark::kMillisecond)->UseRealTime();
+
+/// The cross-build detached-vs-compiled-out gate (see file comment).
+/// Returns false only on an enforced regression.
+bool baseline_gate(double room_ns) {
+  const char* path = std::getenv("FSC_OBS_BASELINE");
+  if (path == nullptr) {
+    std::printf(
+        "[SKIP] obs-detached vs FSC_OBS=OFF: FSC_OBS_BASELINE not set\n");
+    return true;
+  }
+#if !FSC_OBS_ENABLED
+  // This IS the no-telemetry build: publish the baseline for the ON build.
+  std::ofstream out(path);
+  if (!out) {
+    std::printf("[SKIP] cannot write baseline file %s\n", path);
+    return true;
+  }
+  out << room_ns << "\n";
+  std::printf("obs baseline (FSC_OBS=OFF room-64): %.0f ns -> %s\n", room_ns,
+              path);
+  return true;
+#else
+  std::ifstream in(path);
+  double off_ns = 0.0;
+  if (!(in >> off_ns) || off_ns <= 0.0) {
+    std::printf(
+        "[SKIP] obs-detached vs FSC_OBS=OFF: no baseline at %s (run the "
+        "FSC_OBS=OFF build of this bench first)\n",
+        path);
+    return true;
+  }
+  return fsc_bench::check_beats("obs-detached", "room64_wall_ns",
+                                "1.02x FSC_OBS=OFF build", 1.02 * off_ns,
+                                room_ns);
+#endif
+}
+
+/// Measure both gates with min-of-N (the standard noise-robust estimator
+/// for a deterministic workload) and print the verdicts.  The cross-build
+/// room comparison carries a 2 % budget, so it gets extra reps: its noise
+/// floor is per-binary code layout + scheduler jitter, not hook work.
+bool print_overhead_verdict() {
+  const double room_ns = min_of(5, room_detached_ns);
+  std::printf("\n--- telemetry overhead (threads=%zu) ---\n", bench_threads());
+  std::printf("room-64 detached          : %10.2f ms\n", room_ns / 1e6);
+  bool ok = baseline_gate(room_ns);
+#if FSC_OBS_ENABLED
+  const double detached_ns = min_of(3, [] { return rack_ns(false); });
+  const double attached_ns = min_of(3, [] { return rack_ns(true); });
+  std::printf("rack-64 detached          : %10.2f ms\n", detached_ns / 1e6);
+  std::printf("rack-64 metrics + tracing : %10.2f ms (%.2fx)\n",
+              attached_ns / 1e6, attached_ns / detached_ns);
+  ok &= fsc_bench::check_beats("obs-attached", "rack64_wall_ns",
+                               "1.10x detached", 1.10 * detached_ns,
+                               attached_ns);
+#else
+  std::printf(
+      "[SKIP] obs-attached vs detached: built with FSC_OBS=OFF (no hook "
+      "sites to attach to)\n");
+#endif
+  return ok;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const int rc = fsc_bench::run_benchmarks_with_json(argc, argv,
+                                                     "BENCH_obs_overhead.json");
+  if (rc != 0) return rc;
+  return print_overhead_verdict() ? 0 : 2;
+}

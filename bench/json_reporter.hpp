@@ -1,13 +1,16 @@
 // Shared google-benchmark reporter for the bench_* executables: the stock
-// console report, plus a machine-readable per-benchmark summary —
-// [{"name", "iterations", "ns_per_op"}, ...] — written to a JSON file on
-// Finalize, so the perf trajectory can be accumulated across commits.
-// The output path defaults per-bench and is overridable via the
+// console report, plus a machine-readable summary —
+// {"manifest": {...}, "results": [{"name", "iterations", "ns_per_op"},...]}
+// — written to a JSON file on Finalize, so the perf trajectory can be
+// accumulated across commits AND every trajectory row is self-describing
+// (which host, how many cores, which SIMD width, which commit produced
+// it).  The output path defaults per-bench and is overridable via the
 // FSC_BENCH_JSON environment variable.
 #pragma once
 
 #include <benchmark/benchmark.h>
 
+#include <chrono>
 #include <cstdint>
 #include <cstdlib>
 #include <fstream>
@@ -17,6 +20,7 @@
 #include <vector>
 
 #include "batch/simd/dispatch.hpp"
+#include "obs/manifest.hpp"
 #include "util/cpu_features.hpp"
 
 namespace fsc_bench {
@@ -56,20 +60,24 @@ class JsonTrajectoryReporter final : public benchmark::ConsoleReporter {
     }
   }
 
-  void Finalize() override {
-    benchmark::ConsoleReporter::Finalize();
+  /// Write {"manifest": ..., "results": [...]} to the configured path.
+  /// Called by run_benchmarks_with_json AFTER the run (not from
+  /// Finalize()), so the manifest can carry the measured wall time.
+  /// `manifest_json` is a complete JSON object, typically
+  /// obs::RunManifest::to_json(4).
+  void write_json_file(const std::string& manifest_json) const {
     std::ofstream out(path_);
     if (!out) {
       std::cerr << "bench: cannot write " << path_ << "\n";
       return;
     }
-    out << "[\n";
+    out << "{\n  \"manifest\": " << manifest_json << ",\n  \"results\": [\n";
     for (std::size_t i = 0; i < rows_.size(); ++i) {
-      out << "  {\"name\": \"" << rows_[i].name << "\", \"iterations\": "
+      out << "    {\"name\": \"" << rows_[i].name << "\", \"iterations\": "
           << rows_[i].iterations << ", \"ns_per_op\": " << rows_[i].ns_per_op
           << "}" << (i + 1 < rows_.size() ? "," : "") << "\n";
     }
-    out << "]\n";
+    out << "  ]\n}\n";
   }
 
  private:
@@ -88,6 +96,10 @@ class JsonTrajectoryReporter final : public benchmark::ConsoleReporter {
 /// unless FSC_BENCH_JSON is set.  Returns the process exit code.
 inline int run_benchmarks_with_json(int argc, char** argv,
                                     const std::string& default_json_path) {
+  // benchmark::Initialize consumes (and reorders) argv — capture the
+  // command line for the manifest before it runs.
+  fsc::obs::RunManifest manifest = fsc::obs::RunManifest::collect();
+  manifest.command = fsc::obs::command_line(argc, argv);
   benchmark::Initialize(&argc, argv);
   if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
   // Perf numbers are meaningless without knowing what silicon produced
@@ -97,7 +109,12 @@ inline int run_benchmarks_with_json(int argc, char** argv,
   const char* json_path = std::getenv("FSC_BENCH_JSON");
   JsonTrajectoryReporter reporter(json_path != nullptr ? json_path
                                                        : default_json_path);
+  const auto wall_t0 = std::chrono::steady_clock::now();
   benchmark::RunSpecifiedBenchmarks(&reporter);
+  manifest.wall_time_s = std::chrono::duration<double>(
+                             std::chrono::steady_clock::now() - wall_t0)
+                             .count();
+  reporter.write_json_file(manifest.to_json(4));
   benchmark::Shutdown();
   return 0;
 }

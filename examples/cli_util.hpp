@@ -5,8 +5,15 @@
 #include <cstddef>
 #include <cstdlib>
 #include <cstring>
+#include <iostream>
+#include <memory>
+#include <string>
 
 #include "batch/simd/dispatch.hpp"
+#include "obs/manifest.hpp"
+#include "obs/obs.hpp"
+#include "obs/progress.hpp"
+#include "obs/snapshot.hpp"
 
 namespace fsc_cli {
 
@@ -64,5 +71,86 @@ inline bool parse_simd_mode(const char* text, fsc::simd::SimdMode& out) {
   }
   return false;
 }
+
+/// Observability flag state + sink ownership shared by fsc_rack/fsc_room:
+/// the flag loop fills the public fields (--trace-out, --metrics-out,
+/// --metrics-every, --progress), open() builds the sinks once the run
+/// shape is known, telemetry() is dropped into params.obs, and finish()
+/// (after the run) writes the trace file and reports where things went.
+class ObsCli {
+ public:
+  std::string trace_path;    ///< --trace-out FILE (Perfetto JSON)
+  std::string metrics_path;  ///< --metrics-out FILE (.json array, else CSV)
+  std::size_t metrics_every = 10;  ///< --metrics-every N (rounds per sample)
+  bool progress = false;           ///< --progress heartbeat on stderr
+
+  bool active() const noexcept {
+    return !trace_path.empty() || !metrics_path.empty() || progress;
+  }
+
+  /// Build the requested sinks.  `duration_s` feeds the progress ETA,
+  /// `threads` sizes the registry's per-shard counter slots.  Returns
+  /// false (with a note on stderr) when an output file cannot be opened.
+  bool open(double duration_s, std::size_t threads) {
+    if (!active()) return true;
+#if !FSC_OBS_ENABLED
+    std::cerr << "note: this binary was built with -DFSC_OBS=OFF; the "
+                 "telemetry hook sites are compiled out, so --trace-out/"
+                 "--metrics-out/--progress outputs will be empty\n";
+#endif
+    metrics_ = std::make_unique<fsc::obs::MetricsRegistry>(threads);
+    if (!trace_path.empty()) {
+      trace_ = std::make_unique<fsc::obs::TraceRecorder>();
+    }
+    if (!metrics_path.empty()) {
+      exporter_ = std::make_unique<fsc::obs::SnapshotExporter>(metrics_path,
+                                                               metrics_every);
+      if (!exporter_->ok()) {
+        std::cerr << "cannot write " << metrics_path << "\n";
+        return false;
+      }
+    }
+    if (progress) {
+      progress_ = std::make_unique<fsc::obs::ProgressMeter>(duration_s);
+    }
+    return true;
+  }
+
+  fsc::obs::Telemetry telemetry() noexcept {
+    fsc::obs::Telemetry t;
+    t.metrics = metrics_.get();
+    t.trace = trace_.get();
+    t.snapshot = exporter_.get();
+    t.progress = progress_.get();
+    return t;
+  }
+
+  /// Post-run: write the trace (embedding the run manifest), close the
+  /// time-series, and print the final counter snapshot.  `manifest_json`
+  /// is the same object the report embeds (RunManifest::to_json).
+  void finish(const std::string& manifest_json) {
+    if (exporter_) {
+      exporter_->close();
+      std::cout << "metrics time-series written to " << metrics_path << "\n";
+    }
+    if (trace_ && trace_->write_json_file(trace_path, manifest_json)) {
+      std::cout << "trace written to " << trace_path << " ("
+                << trace_->recorded_events() << " events";
+      if (trace_->dropped_events() > 0) {
+        std::cout << ", " << trace_->dropped_events() << " dropped";
+      }
+      std::cout << ")\n";
+    }
+    if (metrics_ && (trace_ || exporter_)) {
+      std::cout << "telemetry counters:\n" << metrics_->to_json() << "\n";
+    }
+  }
+
+ private:
+  std::unique_ptr<fsc::obs::MetricsRegistry> metrics_;
+  std::unique_ptr<fsc::obs::TraceRecorder> trace_;
+  std::unique_ptr<fsc::obs::SnapshotExporter> exporter_;
+  std::unique_ptr<fsc::obs::ProgressMeter> progress_;
+};
 
 }  // namespace fsc_cli

@@ -11,6 +11,8 @@
 //            [--threads N] [--seed S] [--duration SECS] [--budget WATTS]
 //            [--zone K] [--batched on|off] [--chunk N] [--executor on|off]
 //            [--simd on|off|auto]
+//            [--trace-out FILE.json] [--metrics-out FILE] [--metrics-every N]
+//            [--progress]
 //            [--no-plenum] [--out FILE.json] [--csv FILE.csv] [--list]
 //
 //   --policy    coordinator name (default "independent"); --list shows all
@@ -27,7 +29,15 @@
 //               bit-identical scalar reference); "on" forces the widest
 //               supported width (FSC_SIMD=avx2|sse2|neon|scalar overrides),
 //               "auto" enables it only on hosts with a vector unit
+//   --trace-out Chrome/Perfetto trace-event JSON of the run (coordination
+//               rounds, executor shards, plenum updates) — load the file
+//               in https://ui.perfetto.dev; telemetry never perturbs the
+//               simulation (bit-identical with or without)
+//   --metrics-out  periodic rack time-series (".json" = JSON array, else
+//               CSV), sampled every --metrics-every rounds
+//   --progress  heartbeat on stderr (rounds/s, ETA, live violations)
 #include <algorithm>
+#include <chrono>
 #include <cstdlib>
 #include <fstream>
 #include <iostream>
@@ -68,6 +78,9 @@ int usage(const char* argv0) {
                "       [--zone K] [--batched on|off] [--chunk N] "
                "[--executor on|off]\n"
                "       [--simd on|off|auto]\n"
+               "       [--trace-out FILE.json] [--metrics-out FILE] "
+               "[--metrics-every N]\n"
+               "       [--progress]\n"
                "       [--no-plenum] [--out FILE.json] [--csv FILE.csv] "
                "[--list]\n";
   return 1;
@@ -94,6 +107,7 @@ int main(int argc, char** argv) {
   bool executor = true;
   fsc::simd::SimdMode simd = fsc::simd::SimdMode::kOff;
   std::size_t chunk = 0;
+  fsc_cli::ObsCli obs;
 
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
@@ -103,6 +117,8 @@ int main(int argc, char** argv) {
       return 0;
     } else if (arg == "--no-plenum") {
       plenum = false;
+    } else if (arg == "--progress") {
+      obs.progress = true;
     } else if (!has_value) {
       return usage(argv[0]);
     } else if (arg == "--policy") {
@@ -131,6 +147,14 @@ int main(int argc, char** argv) {
       if (!parse_on_off(argv[++i], executor)) return usage(argv[0]);
     } else if (arg == "--simd") {
       if (!parse_simd_mode(argv[++i], simd)) return usage(argv[0]);
+    } else if (arg == "--trace-out") {
+      obs.trace_path = argv[++i];
+    } else if (arg == "--metrics-out") {
+      obs.metrics_path = argv[++i];
+    } else if (arg == "--metrics-every") {
+      if ((obs.metrics_every = parse_positive(argv[++i])) == 0) {
+        return usage(argv[0]);
+      }
     } else if (arg == "--out") {
       out_path = argv[++i];
     } else if (arg == "--csv") {
@@ -168,8 +192,23 @@ int main(int argc, char** argv) {
                 << trace_dir << "\n";
     }
 
+    if (!obs.open(duration_s, threads)) return 1;
+    params.obs = obs.telemetry();
+
     const CoupledRackEngine engine(params, threads);
+    const auto wall_t0 = std::chrono::steady_clock::now();
     const CoupledRackResult result = engine.run();
+    const double wall_s = std::chrono::duration<double>(
+                              std::chrono::steady_clock::now() - wall_t0)
+                              .count();
+
+    obs::RunManifest manifest = obs::RunManifest::collect();
+    manifest.threads = threads;
+    manifest.chunk = chunk;
+    manifest.seed = seed;
+    manifest.command = obs::command_line(argc, argv);
+    manifest.wall_time_s = wall_s;
+    const std::string manifest_json = manifest.to_json(4);
 
     std::cout << "=== fsc_rack: " << slots << " slots, coordinator '"
               << coordinator << "' ("
@@ -182,8 +221,9 @@ int main(int argc, char** argv) {
       std::cerr << "cannot write " << out_path << "\n";
       return 1;
     }
-    out << result.to_json();
+    out << result.to_json(manifest_json);
     std::cout << "\nreport written to " << out_path << "\n";
+    obs.finish(manifest_json);
     if (!csv_path.empty()) {
       std::ofstream csv(csv_path);
       if (!csv) {

@@ -14,6 +14,8 @@
 //            [--batched on|off] [--chunk N] [--executor on|off]
 //            [--simd on|off|auto]
 //            [--no-cross-plenum] [--no-plenum]
+//            [--trace-out FILE.json] [--metrics-out FILE] [--metrics-every N]
+//            [--progress]
 //            [--out FILE.json] [--csv FILE.csv] [--list]
 //
 //   --policy       room scheduler name (default "static"); --list shows all
@@ -30,7 +32,15 @@
 //                  overrides the width when enabled
 //   --executor     persistent lockstep executor (default on) vs per-round
 //                  ThreadPool submission — bit-identical, for A/B timing
+//   --trace-out    Chrome/Perfetto trace-event JSON of the run (rounds,
+//                  shards, scheduler calls, migration instants) — load in
+//                  https://ui.perfetto.dev; telemetry never perturbs the
+//                  simulation (bit-identical with or without)
+//   --metrics-out  periodic per-rack/room time-series (".json" = JSON
+//                  array, else CSV), sampled every --metrics-every rounds
+//   --progress     heartbeat on stderr (rounds/s, ETA, live violations)
 #include <algorithm>
+#include <chrono>
 #include <cstdlib>
 #include <fstream>
 #include <iostream>
@@ -77,7 +87,10 @@ int usage(const char* argv0) {
                "       [--batched on|off] [--chunk N] [--executor on|off]\n"
                "       [--simd on|off|auto]\n"
                "       [--no-cross-plenum] [--no-plenum]\n"
-               "       [--out FILE.json] [--csv FILE.csv] [--list]\n";
+               "       [--trace-out FILE.json] [--metrics-out FILE] "
+               "[--metrics-every N]\n"
+               "       [--progress] [--out FILE.json] [--csv FILE.csv] "
+               "[--list]\n";
   return 1;
 }
 
@@ -105,6 +118,7 @@ int main(int argc, char** argv) {
   bool executor = true;
   fsc::simd::SimdMode simd = fsc::simd::SimdMode::kOff;
   std::size_t chunk = 0;
+  fsc_cli::ObsCli obs;
 
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
@@ -116,6 +130,8 @@ int main(int argc, char** argv) {
       cross_plenum = false;
     } else if (arg == "--no-plenum") {
       rack_plenum = false;
+    } else if (arg == "--progress") {
+      obs.progress = true;
     } else if (!has_value) {
       return usage(argv[0]);
     } else if (arg == "--policy") {
@@ -148,6 +164,14 @@ int main(int argc, char** argv) {
       if (!parse_on_off(argv[++i], executor)) return usage(argv[0]);
     } else if (arg == "--simd") {
       if (!parse_simd_mode(argv[++i], simd)) return usage(argv[0]);
+    } else if (arg == "--trace-out") {
+      obs.trace_path = argv[++i];
+    } else if (arg == "--metrics-out") {
+      obs.metrics_path = argv[++i];
+    } else if (arg == "--metrics-every") {
+      if ((obs.metrics_every = parse_positive(argv[++i])) == 0) {
+        return usage(argv[0]);
+      }
     } else if (arg == "--out") {
       out_path = argv[++i];
     } else if (arg == "--csv") {
@@ -203,8 +227,23 @@ int main(int argc, char** argv) {
       }
     }
 
+    if (!obs.open(duration_s, threads)) return 1;
+    params.obs = obs.telemetry();
+
     const RoomEngine engine(params, threads);
+    const auto wall_t0 = std::chrono::steady_clock::now();
     const RoomResult result = engine.run();
+    const double wall_s = std::chrono::duration<double>(
+                              std::chrono::steady_clock::now() - wall_t0)
+                              .count();
+
+    obs::RunManifest manifest = obs::RunManifest::collect();
+    manifest.threads = threads;
+    manifest.chunk = chunk;
+    manifest.seed = seed;
+    manifest.command = obs::command_line(argc, argv);
+    manifest.wall_time_s = wall_s;
+    const std::string manifest_json = manifest.to_json(4);
 
     std::cout << "=== fsc_room: " << num_racks << " racks x " << slots
               << " slots, scheduler '" << scheduler << "' ("
@@ -217,8 +256,9 @@ int main(int argc, char** argv) {
       std::cerr << "cannot write " << out_path << "\n";
       return 1;
     }
-    out << result.to_json();
+    out << result.to_json(manifest_json);
     std::cout << "\nreport written to " << out_path << "\n";
+    obs.finish(manifest_json);
     if (!csv_path.empty()) {
       std::ofstream csv(csv_path);
       if (!csv) {

@@ -66,6 +66,12 @@ class RackBatchStepper {
     return (slots_.size() + lanes - 1) / lanes;
   }
 
+  /// The underlying SoA kernel — exposed so engines can attach telemetry
+  /// (ServerBatch::attach_memo_counters) without the stepper mirroring
+  /// every batch-level knob.
+  ServerBatch& batch() noexcept { return batch_; }
+  const ServerBatch& batch() const noexcept { return batch_; }
+
   /// Route the batched physics through the explicitly vectorized kernel at
   /// `width` (nullopt = the scalar-expression reference path, the
   /// default).  Forwarded to ServerBatch::set_simd — same validation and

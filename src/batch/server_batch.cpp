@@ -132,9 +132,11 @@ void ServerBatch::step_range(std::size_t lo, std::size_t hi, double dt) {
     simd_step_(lanes, lo, hi, dt, memo_telemetry_ ? &stats : nullptr);
     if (memo_telemetry_) {
       // The vector path has no shared-hit tier: a vectorized miss already
-      // costs ~1/W of a libm call.
-      memo_hits_.fetch_add(stats.hits, std::memory_order_relaxed);
-      memo_misses_.fetch_add(stats.misses, std::memory_order_relaxed);
+      // costs ~1/W of a libm call.  Slot attribution by lane range keeps
+      // the per-slot counter breakdown independent of which thread ran
+      // this chunk.
+      memo_hits_c_->add(stats.hits, memo_slot_salt_ + lo);
+      memo_misses_c_->add(stats.misses, memo_slot_salt_ + lo);
     }
     return;
   }
@@ -188,9 +190,9 @@ void ServerBatch::step_range(std::size_t lo, std::size_t hi, double dt) {
     }
     if (memo_telemetry_) {
       const std::uint64_t lanes = static_cast<std::uint64_t>(hi - lo);
-      memo_hits_.fetch_add(lanes - misses - shared, std::memory_order_relaxed);
-      memo_shared_hits_.fetch_add(shared, std::memory_order_relaxed);
-      memo_misses_.fetch_add(misses, std::memory_order_relaxed);
+      memo_hits_c_->add(lanes - misses - shared, memo_slot_salt_ + lo);
+      memo_shared_hits_c_->add(shared, memo_slot_salt_ + lo);
+      memo_misses_c_->add(misses, memo_slot_salt_ + lo);
     }
   }
 

@@ -34,13 +34,13 @@
 // Servers so every observer keeps working unchanged.
 #pragma once
 
-#include <atomic>
 #include <cstddef>
 #include <cstdint>
 #include <optional>
 #include <vector>
 
 #include "batch/simd/dispatch.hpp"
+#include "obs/metrics.hpp"
 
 namespace fsc {
 
@@ -112,19 +112,30 @@ class ServerBatch {
   /// once); enable before stepping via set_memo_telemetry(true).
   void set_memo_telemetry(bool on) noexcept { memo_telemetry_ = on; }
   bool memo_telemetry() const noexcept { return memo_telemetry_; }
-  std::uint64_t memo_hits() const noexcept {
-    return memo_hits_.load(std::memory_order_relaxed);
+  /// Route the memo tallies into `registry`'s shared "batch.memo_hit" /
+  /// "batch.memo_shared_hit" / "batch.memo_miss" counters — one source of
+  /// truth across every batch attached to the same registry — and enable
+  /// counting.  Attribution is by LANE RANGE (slot = slot_salt + lo), never
+  /// by thread, so the per-slot breakdown is schedule-independent;
+  /// `slot_salt` offsets this batch so different racks land on different
+  /// counter slots.  Call before stepping (single-threaded).
+  void attach_memo_counters(obs::MetricsRegistry& registry,
+                            std::size_t slot_salt = 0) {
+    memo_hits_c_ = &registry.counter("batch.memo_hit");
+    memo_shared_hits_c_ = &registry.counter("batch.memo_shared_hit");
+    memo_misses_c_ = &registry.counter("batch.memo_miss");
+    memo_slot_salt_ = slot_salt;
+    memo_telemetry_ = true;
   }
+  std::uint64_t memo_hits() const noexcept { return memo_hits_c_->value(); }
   std::uint64_t memo_shared_hits() const noexcept {
-    return memo_shared_hits_.load(std::memory_order_relaxed);
+    return memo_shared_hits_c_->value();
   }
-  std::uint64_t memo_misses() const noexcept {
-    return memo_misses_.load(std::memory_order_relaxed);
-  }
+  std::uint64_t memo_misses() const noexcept { return memo_misses_c_->value(); }
   void reset_memo_counters() noexcept {
-    memo_hits_.store(0, std::memory_order_relaxed);
-    memo_shared_hits_.store(0, std::memory_order_relaxed);
-    memo_misses_.store(0, std::memory_order_relaxed);
+    memo_hits_c_->reset();
+    memo_shared_hits_c_->reset();
+    memo_misses_c_->reset();
   }
 
   /// Per-slot outputs after the last step_all (or the gathered initial
@@ -173,13 +184,19 @@ class ServerBatch {
   std::optional<simd::Width> simd_width_;
   simd::StepFn simd_step_ = nullptr;
 
-  // Memo telemetry (see memo_hits()); atomics so concurrent chunk ranges
-  // can account without a lock, gated off by default to keep the hot loop
-  // free of shared-line RMWs.
+  // Memo telemetry (see memo_hits()): obs::Counter cells so concurrent
+  // chunk ranges account without a lock, gated off by default to keep the
+  // hot loop free of shared-line RMWs.  The tallies land either in the
+  // batch's own single-slot counters (the default; exact, private) or in a
+  // registry's shared per-shard-slot counters (attach_memo_counters).
   bool memo_telemetry_ = false;
-  std::atomic<std::uint64_t> memo_hits_{0};
-  std::atomic<std::uint64_t> memo_shared_hits_{0};
-  std::atomic<std::uint64_t> memo_misses_{0};
+  std::size_t memo_slot_salt_ = 0;
+  obs::Counter own_memo_hits_;
+  obs::Counter own_memo_shared_hits_;
+  obs::Counter own_memo_misses_;
+  obs::Counter* memo_hits_c_ = &own_memo_hits_;
+  obs::Counter* memo_shared_hits_c_ = &own_memo_shared_hits_;
+  obs::Counter* memo_misses_c_ = &own_memo_misses_;
 };
 
 }  // namespace fsc

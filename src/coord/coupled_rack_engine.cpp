@@ -1,5 +1,6 @@
 #include "coord/coupled_rack_engine.hpp"
 
+#include <algorithm>
 #include <future>
 #include <iomanip>
 #include <memory>
@@ -10,6 +11,8 @@
 #include "coord/observe.hpp"
 #include "core/controller.hpp"
 #include "core/policy_factory.hpp"
+#include "obs/progress.hpp"
+#include "obs/snapshot.hpp"
 #include "sim/instrumentation.hpp"
 #include "util/lockstep_executor.hpp"
 #include "util/thread_pool.hpp"
@@ -92,6 +95,16 @@ struct CoupledRackEngine::Session::Impl {
   double demand_scale = 1.0;
   double ambient_offset = 0.0;
 
+#if FSC_OBS_ENABLED
+  // Telemetry, resolved once at construction so every hot hook is a single
+  // pointer test (null = detached).  Counter/histogram handles are cached
+  // here because registry lookups take a mutex.
+  obs::TraceRecorder* trace = nullptr;
+  obs::Counter* rounds_counter = nullptr;
+  obs::Counter* fan_override_counter = nullptr;
+  std::uint32_t rack_label = 0;
+#endif
+
   Impl(const CoupledRackParams& p, ThreadPool* worker_pool)
       : params(p), pool(worker_pool), rack(p.rack) {
     const SimulationParams& sim = params.rack.sim;
@@ -132,6 +145,23 @@ struct CoupledRackEngine::Session::Impl {
       for (const auto& rt : slots) base_inlets.push_back(rt->base_inlet_celsius);
       plenum.emplace(params.plenum, std::move(base_inlets));
     }
+
+#if FSC_OBS_ENABLED
+    trace = params.obs.trace;
+    rack_label = params.obs.rack;
+    if (params.obs.metrics != nullptr) {
+      rounds_counter = &params.obs.metrics->counter("rack.rounds");
+      fan_override_counter =
+          &params.obs.metrics->counter("rack.fan_override_rounds");
+      if (stepper) {
+        // Salt the slot attribution by rack so a room's racks spread over
+        // the shared counters' slots deterministically.
+        stepper->batch().attach_memo_counters(
+            *params.obs.metrics,
+            static_cast<std::size_t>(rack_label) * rack.size());
+      }
+    }
+#endif
   }
 };
 
@@ -174,6 +204,11 @@ std::size_t CoupledRackEngine::Session::num_shards() const noexcept {
 
 void CoupledRackEngine::Session::run_shard(std::size_t shard) {
   Impl& im = *impl_;
+#if FSC_OBS_ENABLED
+  const obs::ScopedSpan span(im.trace, "rack.shard", "exec", im.rack_label,
+                             static_cast<std::uint32_t>(shard),
+                             static_cast<std::int64_t>(im.rounds));
+#endif
   const long periods_per_round = im.periods_per_round;
   if (im.stepper) {
     // Batched granularity: the shard is one contiguous lane chunk of the
@@ -217,6 +252,12 @@ void CoupledRackEngine::Session::coordinate_round() {
   Impl& im = *impl_;
   if (done()) return;  // run over: nothing to steer
 
+#if FSC_OBS_ENABLED
+  const obs::ScopedSpan coord_span(im.trace, "rack.coord", "round",
+                                   im.rack_label, 0,
+                                   static_cast<std::int64_t>(im.rounds));
+#endif
+
   // Deterministic barrier work, in slot order on this thread.
   const double t = im.slots.front()->session->time_s();
   im.observations.clear();
@@ -230,35 +271,53 @@ void CoupledRackEngine::Session::coordinate_round() {
       im.coordinator->coordinate(t, im.observations);
   require(directives.size() == im.slots.size(),
           "CoupledRackEngine: coordinator must return one directive per slot");
+  std::size_t overrides_this_round = 0;
   for (std::size_t i = 0; i < im.slots.size(); ++i) {
     SlotRuntime& rt = *im.slots[i];
     const SlotDirective& d = directives[i];
     if (d.has_fan_override()) {
       rt.session->set_fan_override(d.fan_override_rpm);
       ++rt.fan_override_rounds;
+      ++overrides_this_round;
     } else {
       rt.session->clear_fan_override();
     }
     rt.session->set_cap_limit(d.cap_limit);
     rt.cap_limit_sum += d.cap_limit;
   }
+#if FSC_OBS_ENABLED
+  if (im.rounds_counter != nullptr) im.rounds_counter->increment();
+  if (im.fan_override_counter != nullptr && overrides_this_round > 0) {
+    im.fan_override_counter->add(overrides_this_round);
+  }
+#else
+  (void)overrides_this_round;
+#endif
 
-  if (im.plenum) {
-    im.plenum_states.clear();
-    im.plenum_states.reserve(im.slots.size());
-    for (const SlotObservation& o : im.observations) {
-      im.plenum_states.push_back(PlenumSlotState{o.cpu_watts, o.fan_actual_rpm});
-    }
-    im.plenum->inlet_temperatures(im.plenum_states, im.plenum_inlets);
-    for (std::size_t i = 0; i < im.slots.size(); ++i) {
-      im.slots[i]->server.set_inlet_temperature(im.plenum_inlets[i] +
-                                                im.ambient_offset);
-    }
-  } else if (im.ambient_offset != 0.0) {
-    // No rack-level plenum, but the room still preheats this rack.
-    for (const auto& rt : im.slots) {
-      rt->server.set_inlet_temperature(rt->base_inlet_celsius +
-                                       im.ambient_offset);
+  {
+#if FSC_OBS_ENABLED
+    const obs::ScopedSpan plenum_span(im.trace, "rack.plenum", "physics",
+                                      im.rack_label, 0,
+                                      static_cast<std::int64_t>(im.rounds));
+#endif
+    if (im.plenum) {
+      im.plenum_states.clear();
+      im.plenum_states.reserve(im.slots.size());
+      for (const SlotObservation& o : im.observations) {
+        im.plenum_states.push_back(
+            PlenumSlotState{o.cpu_watts, o.fan_actual_rpm});
+      }
+      im.plenum->inlet_temperatures(im.plenum_states, im.plenum_inlets);
+      for (std::size_t i = 0; i < im.slots.size(); ++i) {
+        im.slots[i]->server.set_inlet_temperature(im.plenum_inlets[i] +
+                                                  im.ambient_offset);
+      }
+    } else if (im.ambient_offset != 0.0) {
+      // No rack-level plenum, but the room still preheats this rack.
+      for (const auto& rt : im.slots) {
+        rt->server.set_inlet_temperature(rt->base_inlet_celsius +
+                                         im.ambient_offset);
+      }
     }
   }
   for (const auto& rt : im.slots) {
@@ -296,6 +355,18 @@ std::size_t CoupledRackEngine::Session::pooled_deadline_violations_so_far()
   for (const auto& rt : impl_->slots) {
     total += rt->deadline.deadline().violations();
   }
+  return total;
+}
+
+double CoupledRackEngine::Session::fan_energy_joules_so_far() const noexcept {
+  double total = 0.0;
+  for (const auto& rt : impl_->slots) total += rt->server.energy().fan_energy();
+  return total;
+}
+
+double CoupledRackEngine::Session::cpu_energy_joules_so_far() const noexcept {
+  double total = 0.0;
+  for (const auto& rt : impl_->slots) total += rt->server.energy().cpu_energy();
   return total;
 }
 
@@ -365,23 +436,112 @@ CoupledRackResult CoupledRackEngine::Session::finish() {
 }
 
 CoupledRackResult CoupledRackEngine::run() const {
+  // Both execution strategies share one telemetry-aware round loop; the
+  // strategy only decides how a round's shards get to the workers.
+  std::optional<LockstepExecutor> executor;
+  std::optional<ThreadPool> pool;
+  std::optional<Session> session;
   if (params_.executor) {
     // Persistent-worker path: pre-assigned chunk shards behind one epoch
     // barrier per round — no per-round task submission at all.
-    LockstepExecutor executor(threads_);
-    Session session(params_);
-    const std::size_t shards = session.num_shards();
-    while (!session.done()) {
-      executor.run(shards,
-                   [&session](std::size_t shard) { session.run_shard(shard); });
-      session.coordinate_round();
-    }
-    return session.finish();
+    executor.emplace(threads_);
+    session.emplace(params_);
+  } else {
+    pool.emplace(threads_);
+    session.emplace(params_, *pool);
   }
-  ThreadPool pool(threads_);
-  Session session(params_, pool);
-  while (!session.done()) session.advance_round();
-  return session.finish();
+  const std::size_t shards = session->num_shards();
+
+#if FSC_OBS_ENABLED
+  const obs::Telemetry& tel = params_.obs;
+  obs::Histogram* round_hist =
+      tel.metrics != nullptr ? &tel.metrics->histogram("rack.round_ns")
+                             : nullptr;
+  std::uint64_t window_violations_seen = 0;
+#endif
+
+  while (!session->done()) {
+#if FSC_OBS_ENABLED
+    const std::int64_t round_t0 =
+        (tel.trace != nullptr || round_hist != nullptr) ? obs::monotonic_ns()
+                                                        : 0;
+    const std::size_t round_idx = session->rounds();
+#endif
+    if (executor) {
+      executor->run(shards, [&session](std::size_t shard) {
+        session->run_shard(shard);
+      });
+      session->coordinate_round();
+    } else {
+      session->advance_round();
+    }
+#if FSC_OBS_ENABLED
+    std::uint64_t round_ns = 0;
+    if (round_t0 != 0) {
+      const std::int64_t t1 = obs::monotonic_ns();
+      round_ns = static_cast<std::uint64_t>(t1 - round_t0);
+      if (tel.trace != nullptr) {
+        tel.trace->complete("rack.round", "round", round_t0, t1, tel.rack, 0,
+                            static_cast<std::int64_t>(round_idx));
+      }
+      if (round_hist != nullptr) round_hist->observe(round_ns);
+    }
+    const std::size_t rounds_done = session->rounds();
+    if (tel.snapshot != nullptr && tel.snapshot->due(rounds_done) &&
+        !session->last_observations().empty()) {
+      obs::SnapshotExporter::Row row;
+      row.round = rounds_done;
+      row.time_s = session->time_s();
+      row.rack = static_cast<int>(tel.rack);
+      row.demand_scale = session->demand_scale();
+      for (const SlotObservation& o : session->last_observations()) {
+        row.cpu_watts += o.cpu_watts;
+        row.mean_inlet_c += o.inlet_celsius;
+        row.max_inlet_c = std::max(row.max_inlet_c, o.inlet_celsius);
+        row.mean_fan_rpm += o.fan_actual_rpm;
+      }
+      const double n =
+          static_cast<double>(session->last_observations().size());
+      row.mean_inlet_c /= n;
+      row.mean_fan_rpm /= n;
+      const std::uint64_t pooled = static_cast<std::uint64_t>(
+          session->pooled_deadline_violations_so_far());
+      row.window_violations = pooled - window_violations_seen;
+      window_violations_seen = pooled;
+      row.total_violations = pooled;
+      row.fan_energy_j = session->fan_energy_joules_so_far();
+      row.cpu_energy_j = session->cpu_energy_joules_so_far();
+      if (tel.metrics != nullptr) {
+        const auto snap = tel.metrics->snapshot();
+        const std::uint64_t hits = snap.counter("batch.memo_hit") +
+                                   snap.counter("batch.memo_shared_hit");
+        const std::uint64_t total = hits + snap.counter("batch.memo_miss");
+        if (total > 0) {
+          row.memo_hit_pct =
+              100.0 * static_cast<double>(hits) / static_cast<double>(total);
+        }
+      }
+      row.round_wall_ns = round_ns;
+      tel.snapshot->write(row);
+    }
+    if (tel.progress != nullptr) {
+      tel.progress->tick(
+          rounds_done, session->time_s(),
+          static_cast<std::uint64_t>(
+              session->pooled_deadline_violations_so_far()));
+    }
+#endif
+  }
+#if FSC_OBS_ENABLED
+  if (tel.progress != nullptr) {
+    tel.progress->finish(
+        session->rounds(), params_.rack.sim.duration_s,
+        static_cast<std::uint64_t>(
+            session->pooled_deadline_violations_so_far()));
+  }
+  if (tel.snapshot != nullptr) tel.snapshot->close();
+#endif
+  return session->finish();
 }
 
 std::string CoupledRackResult::to_table() const {
@@ -417,10 +577,13 @@ std::string CoupledRackResult::to_table() const {
   return os.str();
 }
 
-std::string CoupledRackResult::to_json() const {
+std::string CoupledRackResult::to_json(const std::string& manifest_json) const {
   std::ostringstream os;
   os << std::setprecision(10);
   os << "{\n";
+  if (!manifest_json.empty()) {
+    os << "  \"manifest\": " << manifest_json << ",\n";
+  }
   os << "  \"coordinator\": \"" << coordinator << "\",\n";
   os << "  \"policy\": \"" << policy << "\",\n";
   os << "  \"slots\": " << slots.size() << ",\n";

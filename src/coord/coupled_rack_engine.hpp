@@ -32,6 +32,7 @@
 #include "coord/coordinator.hpp"
 #include "coord/plenum.hpp"
 #include "metrics/energy_report.hpp"
+#include "obs/obs.hpp"
 #include "rack/batch_runner.hpp"
 #include "rack/rack.hpp"
 #include "util/statistics.hpp"
@@ -79,6 +80,12 @@ struct CoupledRackParams {
   /// and are bit-stable across chunk/thread choices at a fixed width.
   /// Ignored when `batched` is off.  `fsc_rack --simd on|off|auto` A/Bs it.
   simd::SimdMode simd = simd::SimdMode::kOff;
+  /// Telemetry sinks (obs/obs.hpp), default fully detached.  Read-only
+  /// with respect to the simulation: attaching any combination of sinks
+  /// leaves the trajectory bit-identical (test_obs pins this).  Sessions
+  /// emit "rack.*" spans and counters; snapshot/progress are driven by the
+  /// outermost run loop only.
+  obs::Telemetry obs;
 };
 
 /// One slot's outcome plus its coordination exposure.
@@ -116,8 +123,11 @@ struct CoupledRackResult {
   /// Fixed-width per-slot + aggregate report.
   std::string to_table() const;
   /// Machine-readable report (totals + per-slot rows), schema documented
-  /// in the fsc_rack example.
-  std::string to_json() const;
+  /// in the fsc_rack example.  The overload embeds a "manifest" object
+  /// (obs::RunManifest::to_json) as the first key when non-empty, so every
+  /// report is self-describing.
+  std::string to_json() const { return to_json(std::string()); }
+  std::string to_json(const std::string& manifest_json) const;
   /// Per-slot CSV (one row per slot, aggregate columns).
   std::string to_csv() const;
 };
@@ -202,6 +212,11 @@ class CoupledRackEngine {
     /// Pooled deadline violations accumulated so far (for windowed room
     /// accounting).
     std::size_t pooled_deadline_violations_so_far() const noexcept;
+    /// Cumulative rack energy split so far (summed over slots from the
+    /// live meters) — time-series exporter food; reading it never touches
+    /// sim state.
+    double fan_energy_joules_so_far() const noexcept;
+    double cpu_energy_joules_so_far() const noexcept;
 
     /// Aggregate the finished run.  Call once, after done().
     CoupledRackResult finish();

@@ -1,0 +1,89 @@
+#include "obs/manifest.hpp"
+
+#include <cstdio>
+#include <sstream>
+#include <thread>
+
+#include "batch/simd/dispatch.hpp"
+#include "util/cpu_features.hpp"
+
+// CMake stamps the configure-time `git describe` onto this TU only; a
+// build system-free compile still works, it just reports "unknown".
+#ifndef FSC_GIT_DESCRIBE
+#define FSC_GIT_DESCRIBE "unknown"
+#endif
+
+#ifndef FSC_OBS_ENABLED
+#define FSC_OBS_ENABLED 1
+#endif
+
+namespace fsc::obs {
+
+namespace {
+
+/// Minimal JSON string escape (quotes, backslashes, control chars) — the
+/// manifest's strings are feature lines and command lines, not user text.
+std::string json_escape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size() + 8);
+  for (const char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  return out;
+}
+
+}  // namespace
+
+RunManifest RunManifest::collect() {
+  RunManifest m;
+  m.git_describe = FSC_GIT_DESCRIBE;
+  m.cpu_features = cpu_features_line();
+  m.simd_dispatch = simd::dispatch_line();
+  m.host_cores = std::thread::hardware_concurrency();
+  m.obs_enabled = FSC_OBS_ENABLED != 0;
+  return m;
+}
+
+std::string RunManifest::to_json(int indent) const {
+  if (indent < 2) indent = 2;
+  const std::string pad(static_cast<std::size_t>(indent), ' ');
+  const std::string close(static_cast<std::size_t>(indent - 2), ' ');
+  std::ostringstream os;
+  os << "{\n";
+  os << pad << "\"git_describe\": \"" << json_escape(git_describe) << "\",\n";
+  os << pad << "\"cpu_features\": \"" << json_escape(cpu_features) << "\",\n";
+  os << pad << "\"simd_dispatch\": \"" << json_escape(simd_dispatch) << "\",\n";
+  os << pad << "\"host_cores\": " << host_cores << ",\n";
+  os << pad << "\"obs_enabled\": " << (obs_enabled ? "true" : "false") << ",\n";
+  os << pad << "\"threads\": " << threads << ",\n";
+  os << pad << "\"chunk\": " << chunk << ",\n";
+  os << pad << "\"seed\": " << seed << ",\n";
+  os << pad << "\"command\": \"" << json_escape(command) << "\",\n";
+  os << pad << "\"wall_time_s\": " << wall_time_s << "\n";
+  os << close << "}";
+  return os.str();
+}
+
+std::string command_line(int argc, char** argv) {
+  std::string out;
+  for (int i = 0; i < argc; ++i) {
+    if (i > 0) out += ' ';
+    out += argv[i];
+  }
+  return out;
+}
+
+}  // namespace fsc::obs

@@ -1,0 +1,90 @@
+#include "obs/metrics.hpp"
+
+#include <iomanip>
+#include <sstream>
+
+namespace fsc::obs {
+
+template <typename T, typename... Args>
+T& MetricsRegistry::get_or_create(std::vector<Named<T>>& list,
+                                  std::string_view name, Args&&... args) {
+  std::lock_guard<std::mutex> lock(mu_);
+  for (Named<T>& entry : list) {
+    if (entry.name == name) return *entry.metric;
+  }
+  list.push_back(Named<T>{std::string(name),
+                          std::make_unique<T>(std::forward<Args>(args)...)});
+  return *list.back().metric;
+}
+
+Counter& MetricsRegistry::counter(std::string_view name) {
+  return get_or_create(counters_, name, shard_slots_);
+}
+
+Gauge& MetricsRegistry::gauge(std::string_view name) {
+  return get_or_create(gauges_, name);
+}
+
+Histogram& MetricsRegistry::histogram(std::string_view name) {
+  return get_or_create(histograms_, name);
+}
+
+std::uint64_t MetricsRegistry::Snapshot::counter(
+    std::string_view name) const noexcept {
+  for (const auto& [n, v] : counters) {
+    if (n == name) return v;
+  }
+  return 0;
+}
+
+MetricsRegistry::Snapshot MetricsRegistry::snapshot() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  Snapshot out;
+  out.counters.reserve(counters_.size());
+  for (const Named<Counter>& c : counters_) {
+    out.counters.emplace_back(c.name, c.metric->value());
+  }
+  out.gauges.reserve(gauges_.size());
+  for (const Named<Gauge>& g : gauges_) {
+    out.gauges.emplace_back(g.name, g.metric->value());
+  }
+  out.histograms.reserve(histograms_.size());
+  for (const Named<Histogram>& h : histograms_) {
+    Snapshot::HistRow row;
+    row.name = h.name;
+    row.count = h.metric->count();
+    row.sum = h.metric->sum();
+    row.mean = h.metric->mean();
+    row.p50 = h.metric->percentile(0.50);
+    row.p99 = h.metric->percentile(0.99);
+    out.histograms.push_back(std::move(row));
+  }
+  return out;
+}
+
+std::string MetricsRegistry::to_json() const {
+  const Snapshot snap = snapshot();
+  std::ostringstream os;
+  os << std::setprecision(10);
+  os << "{\n  \"counters\": {";
+  for (std::size_t i = 0; i < snap.counters.size(); ++i) {
+    os << (i > 0 ? "," : "") << "\n    \"" << snap.counters[i].first
+       << "\": " << snap.counters[i].second;
+  }
+  os << (snap.counters.empty() ? "" : "\n  ") << "},\n  \"gauges\": {";
+  for (std::size_t i = 0; i < snap.gauges.size(); ++i) {
+    os << (i > 0 ? "," : "") << "\n    \"" << snap.gauges[i].first
+       << "\": " << snap.gauges[i].second;
+  }
+  os << (snap.gauges.empty() ? "" : "\n  ") << "},\n  \"histograms\": {";
+  for (std::size_t i = 0; i < snap.histograms.size(); ++i) {
+    const Snapshot::HistRow& h = snap.histograms[i];
+    os << (i > 0 ? "," : "") << "\n    \"" << h.name << "\": {\"count\": "
+       << h.count << ", \"sum_ns\": " << h.sum << ", \"mean_ns\": " << h.mean
+       << ", \"p50_ns\": " << h.p50 << ", \"p99_ns\": " << h.p99 << "}";
+  }
+  os << (snap.histograms.empty() ? "" : "\n  ") << "}\n}\n";
+  return os.str();
+}
+
+}  // namespace fsc::obs

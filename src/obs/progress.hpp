@@ -1,0 +1,78 @@
+// Heartbeat for long runs: a wall-clock-throttled stderr line with sim
+// progress, stepping rate, ETA, and the live violation count — so a room
+// day run under `--progress` is visibly alive instead of silent for
+// minutes.  Header-only; purely observational (never touches sim state).
+#pragma once
+
+#include <chrono>
+#include <cstddef>
+#include <cstdint>
+#include <cstdio>
+#include <iostream>
+
+namespace fsc::obs {
+
+/// Prints at most one progress line per `min_interval_s` of wall time.
+class ProgressMeter {
+ public:
+  /// `duration_s` is the run's simulated horizon (for % and ETA);
+  /// `os` defaults to stderr so reports piped from stdout stay clean.
+  explicit ProgressMeter(double duration_s, double min_interval_s = 2.0,
+                         std::ostream* os = &std::cerr)
+      : duration_s_(duration_s > 0.0 ? duration_s : 0.0),
+        min_interval_(min_interval_s),
+        os_(os),
+        start_(clock::now()),
+        last_print_(start_) {}
+
+  /// Call once per round; prints when the throttle allows.
+  void tick(std::size_t rounds, double time_s, std::uint64_t violations) {
+    const auto now = clock::now();
+    if (seconds_between(last_print_, now) < min_interval_) return;
+    last_print_ = now;
+    print(rounds, time_s, violations, seconds_between(start_, now), false);
+  }
+
+  /// Final line, printed unconditionally (call after the run loop).
+  void finish(std::size_t rounds, double time_s, std::uint64_t violations) {
+    print(rounds, time_s, violations, seconds_between(start_, clock::now()),
+          true);
+  }
+
+ private:
+  using clock = std::chrono::steady_clock;
+
+  static double seconds_between(clock::time_point a, clock::time_point b) {
+    return std::chrono::duration<double>(b - a).count();
+  }
+
+  void print(std::size_t rounds, double time_s, std::uint64_t violations,
+             double elapsed_s, bool final) {
+    if (os_ == nullptr) return;
+    const double pct =
+        duration_s_ > 0.0 ? 100.0 * time_s / duration_s_ : 100.0;
+    const double rounds_per_s =
+        elapsed_s > 0.0 ? static_cast<double>(rounds) / elapsed_s : 0.0;
+    const double sim_rate = elapsed_s > 0.0 ? time_s / elapsed_s : 0.0;
+    const double eta_s =
+        (sim_rate > 0.0 && duration_s_ > time_s)
+            ? (duration_s_ - time_s) / sim_rate
+            : 0.0;
+    char line[192];
+    std::snprintf(line, sizeof(line),
+                  "%s t=%.0f/%.0f s (%.1f%%) | %zu rounds (%.1f/s) | "
+                  "eta %.0f s | violations %llu",
+                  final ? "done:    " : "progress:", time_s, duration_s_, pct,
+                  rounds, rounds_per_s, eta_s,
+                  static_cast<unsigned long long>(violations));
+    (*os_) << line << std::endl;  // flush: heartbeats must land promptly
+  }
+
+  double duration_s_;
+  double min_interval_;
+  std::ostream* os_;
+  clock::time_point start_;
+  clock::time_point last_print_;
+};
+
+}  // namespace fsc::obs

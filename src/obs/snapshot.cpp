@@ -1,0 +1,76 @@
+#include "obs/snapshot.hpp"
+
+#include <iomanip>
+#include <iostream>
+
+namespace fsc::obs {
+
+namespace {
+
+bool ends_with(const std::string& s, const std::string& suffix) {
+  return s.size() >= suffix.size() &&
+         s.compare(s.size() - suffix.size(), suffix.size(), suffix) == 0;
+}
+
+}  // namespace
+
+SnapshotExporter::SnapshotExporter(const std::string& path,
+                                   std::size_t every_rounds)
+    : out_(path), every_(every_rounds > 0 ? every_rounds : 1),
+      json_(ends_with(path, ".json")) {
+  if (!out_) {
+    std::cerr << "obs: cannot write metrics time-series to " << path << "\n";
+    return;
+  }
+  if (json_) {
+    out_ << "[";
+  } else {
+    out_ << header_csv() << "\n";
+  }
+}
+
+SnapshotExporter::~SnapshotExporter() { close(); }
+
+std::string SnapshotExporter::header_csv() {
+  return "round,time_s,rack,demand_scale,cpu_watts,mean_inlet_c,max_inlet_c,"
+         "mean_fan_rpm,window_violations,total_violations,fan_energy_j,"
+         "cpu_energy_j,memo_hit_pct,round_wall_ns";
+}
+
+void SnapshotExporter::write(const Row& row) {
+  if (!ok() || closed_) return;
+  if (json_) {
+    out_ << (any_rows_ ? ",\n" : "\n") << std::setprecision(10)
+         << "{\"round\": " << row.round << ", \"time_s\": " << row.time_s
+         << ", \"rack\": " << row.rack
+         << ", \"demand_scale\": " << row.demand_scale
+         << ", \"cpu_watts\": " << row.cpu_watts
+         << ", \"mean_inlet_c\": " << row.mean_inlet_c
+         << ", \"max_inlet_c\": " << row.max_inlet_c
+         << ", \"mean_fan_rpm\": " << row.mean_fan_rpm
+         << ", \"window_violations\": " << row.window_violations
+         << ", \"total_violations\": " << row.total_violations
+         << ", \"fan_energy_j\": " << row.fan_energy_j
+         << ", \"cpu_energy_j\": " << row.cpu_energy_j
+         << ", \"memo_hit_pct\": " << row.memo_hit_pct
+         << ", \"round_wall_ns\": " << row.round_wall_ns << "}";
+  } else {
+    out_ << std::setprecision(10) << row.round << "," << row.time_s << ","
+         << row.rack << "," << row.demand_scale << "," << row.cpu_watts << ","
+         << row.mean_inlet_c << "," << row.max_inlet_c << ","
+         << row.mean_fan_rpm << "," << row.window_violations << ","
+         << row.total_violations << "," << row.fan_energy_j << ","
+         << row.cpu_energy_j << "," << row.memo_hit_pct << ","
+         << row.round_wall_ns << "\n";
+  }
+  any_rows_ = true;
+}
+
+void SnapshotExporter::close() {
+  if (closed_ || !out_.is_open()) return;
+  if (json_ && out_.good()) out_ << "\n]\n";
+  out_.close();
+  closed_ = true;
+}
+
+}  // namespace fsc::obs

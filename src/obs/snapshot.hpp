@@ -1,0 +1,68 @@
+// Periodic time-series exporter: every N coordination rounds the outermost
+// run loop hands one Row per rack (plus a room aggregate) and the exporter
+// streams it to CSV or JSON, chosen by the output path's extension
+// (".json" = a JSON array of row objects, anything else = CSV with a
+// header row).  Streaming — rows are written as they happen, not buffered
+// until exit — so a run killed mid-day still leaves a usable series.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <fstream>
+#include <string>
+
+namespace fsc::obs {
+
+/// Writes per-rack/room time-series rows on a round cadence.
+class SnapshotExporter {
+ public:
+  /// Open `path` for writing ("*.json" selects JSON, else CSV) and emit a
+  /// row batch every `every_rounds` rounds (clamped up to 1).  ok() tells
+  /// whether the file opened; a failed exporter swallows writes.
+  SnapshotExporter(const std::string& path, std::size_t every_rounds);
+  ~SnapshotExporter();
+  SnapshotExporter(const SnapshotExporter&) = delete;
+  SnapshotExporter& operator=(const SnapshotExporter&) = delete;
+
+  bool ok() const noexcept { return out_.is_open() && out_.good(); }
+  std::size_t every() const noexcept { return every_; }
+  /// Whether round number `round` (1-based, i.e. the value AFTER the
+  /// engine's increment) is on the export cadence.
+  bool due(std::size_t round) const noexcept {
+    return round > 0 && round % every_ == 0;
+  }
+
+  /// One time-series sample.  `rack` < 0 marks the room-aggregate row.
+  struct Row {
+    std::size_t round = 0;
+    double time_s = 0.0;
+    int rack = -1;
+    double demand_scale = 1.0;
+    double cpu_watts = 0.0;
+    double mean_inlet_c = 0.0;
+    double max_inlet_c = 0.0;
+    double mean_fan_rpm = 0.0;
+    std::uint64_t window_violations = 0;  ///< since the previous export row
+    std::uint64_t total_violations = 0;   ///< since run start
+    double fan_energy_j = 0.0;            ///< cumulative
+    double cpu_energy_j = 0.0;            ///< cumulative
+    double memo_hit_pct = -1.0;           ///< < 0 = no memo telemetry
+    std::uint64_t round_wall_ns = 0;      ///< latest round's wall time
+  };
+
+  void write(const Row& row);
+  /// Finish the stream (closes the JSON array); idempotent, also run by
+  /// the destructor.
+  void close();
+
+  static std::string header_csv();
+
+ private:
+  std::ofstream out_;
+  std::size_t every_;
+  bool json_ = false;
+  bool any_rows_ = false;
+  bool closed_ = false;
+};
+
+}  // namespace fsc::obs

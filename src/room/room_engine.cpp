@@ -7,6 +7,8 @@
 #include <sstream>
 
 #include "core/policy_factory.hpp"
+#include "obs/progress.hpp"
+#include "obs/snapshot.hpp"
 #include "util/lockstep_executor.hpp"
 #include "util/rng.hpp"
 #include "util/thread_pool.hpp"
@@ -56,6 +58,163 @@ RoomEngine::RoomEngine(RoomParams params, std::size_t threads)
   }
 }
 
+#if FSC_OBS_ENABLED
+namespace {
+
+/// Telemetry handles + export bookkeeping for one room run, resolved once
+/// so every hook in the round loop is a single branch when detached.  The
+/// heavyweight hooks are noinline METHODS rather than inline blocks:
+/// keeping their code out of run()'s loop body keeps the loop's codegen
+/// (size, alignment, register pressure) at parity with an FSC_OBS=OFF
+/// build — bench_obs_overhead's detached gate budgets code layout as much
+/// as executed work, and an inlined export tail was measurable.
+struct RoomRunTelemetry {
+  obs::TraceRecorder* trace = nullptr;
+  obs::MetricsRegistry* metrics = nullptr;
+  obs::SnapshotExporter* exporter = nullptr;
+  obs::ProgressMeter* progress = nullptr;
+  obs::Counter* rounds_counter = nullptr;
+  obs::Counter* migrations_counter = nullptr;
+  obs::Counter* violations_counter = nullptr;
+  obs::Histogram* round_hist = nullptr;
+  obs::Gauge* time_gauge = nullptr;
+  std::uint64_t exported_violations_seen = 0;
+  std::vector<std::uint64_t> exported_rack_viol;
+  std::uint64_t last_round_ns = 0;
+  bool attached = false;
+
+  __attribute__((noinline))
+  RoomRunTelemetry(const obs::Telemetry& tel, std::size_t num_racks)
+      : trace(tel.trace),
+        metrics(tel.metrics),
+        exporter(tel.snapshot),
+        progress(tel.progress),
+        exported_rack_viol(num_racks, 0),
+        attached(tel.attached()) {
+    if (metrics != nullptr) {
+      rounds_counter = &metrics->counter("room.rounds");
+      migrations_counter = &metrics->counter("room.migrations");
+      violations_counter = &metrics->counter("room.deadline_violations");
+      round_hist = &metrics->histogram("room.round_ns");
+      time_gauge = &metrics->gauge("room.time_s");
+    }
+  }
+
+  __attribute__((noinline)) void on_migration(std::size_t round) {
+    if (trace != nullptr) {
+      trace->instant("room.migration", "sched", 0, 0,
+                     static_cast<std::int64_t>(round));
+    }
+    if (migrations_counter != nullptr) migrations_counter->increment();
+  }
+
+  /// Everything that happens after a scheduled round: the round span and
+  /// wall-time histogram, the monotone counters, the time-series export
+  /// batch, and the progress heartbeat.
+  __attribute__((noinline)) void round_tail(
+      std::int64_t round_t0, std::size_t rounds, double t,
+      const std::vector<RackObservation>& observations,
+      const std::vector<std::size_t>& violations_seen,
+      const std::vector<std::unique_ptr<CoupledRackEngine::Session>>& racks) {
+    const std::size_t num_racks = racks.size();
+    if (round_t0 != 0) {
+      const std::int64_t round_t1 = obs::monotonic_ns();
+      last_round_ns = static_cast<std::uint64_t>(round_t1 - round_t0);
+      if (trace != nullptr) {
+        trace->complete("room.round", "round", round_t0, round_t1, 0, 0,
+                        static_cast<std::int64_t>(rounds - 1));
+      }
+      if (round_hist != nullptr) round_hist->observe(last_round_ns);
+    }
+    if (rounds_counter != nullptr) rounds_counter->increment();
+    if (time_gauge != nullptr) time_gauge->set(t);
+    if (violations_counter != nullptr) {
+      std::uint64_t window = 0;
+      for (const RackObservation& o : observations) {
+        window += o.window_deadline_violations;
+      }
+      violations_counter->add(window);
+    }
+    if (exporter != nullptr && exporter->due(rounds)) {
+      // Hit rate over ALL batches feeding this registry, cumulative.
+      double memo_pct = -1.0;
+      if (metrics != nullptr) {
+        const auto snap = metrics->snapshot();
+        const std::uint64_t hits = snap.counter("batch.memo_hit") +
+                                   snap.counter("batch.memo_shared_hit");
+        const std::uint64_t lanes = hits + snap.counter("batch.memo_miss");
+        if (lanes > 0) {
+          memo_pct =
+              100.0 * static_cast<double>(hits) / static_cast<double>(lanes);
+        }
+      }
+      obs::SnapshotExporter::Row room_row;
+      room_row.round = rounds;
+      room_row.time_s = t;
+      room_row.rack = -1;
+      room_row.demand_scale = 0.0;
+      room_row.memo_hit_pct = memo_pct;
+      room_row.round_wall_ns = last_round_ns;
+      for (std::size_t i = 0; i < num_racks; ++i) {
+        const RackObservation& o = observations[i];
+        obs::SnapshotExporter::Row row;
+        row.round = rounds;
+        row.time_s = t;
+        row.rack = static_cast<int>(i);
+        row.demand_scale = o.demand_scale;
+        row.cpu_watts = o.cpu_watts;
+        row.mean_inlet_c = o.mean_inlet_celsius;
+        row.max_inlet_c = o.max_inlet_celsius;
+        row.mean_fan_rpm = o.mean_fan_rpm;
+        row.total_violations = violations_seen[i];
+        row.window_violations = violations_seen[i] - exported_rack_viol[i];
+        exported_rack_viol[i] = violations_seen[i];
+        row.fan_energy_j = racks[i]->fan_energy_joules_so_far();
+        row.cpu_energy_j = racks[i]->cpu_energy_joules_so_far();
+        row.memo_hit_pct = memo_pct;
+        row.round_wall_ns = last_round_ns;
+        exporter->write(row);
+
+        room_row.demand_scale +=
+            o.demand_scale / static_cast<double>(num_racks);
+        room_row.cpu_watts += o.cpu_watts;
+        room_row.mean_inlet_c +=
+            o.mean_inlet_celsius / static_cast<double>(num_racks);
+        room_row.max_inlet_c =
+            std::max(room_row.max_inlet_c, o.max_inlet_celsius);
+        room_row.mean_fan_rpm +=
+            o.mean_fan_rpm / static_cast<double>(num_racks);
+        room_row.total_violations += violations_seen[i];
+        room_row.fan_energy_j += row.fan_energy_j;
+        room_row.cpu_energy_j += row.cpu_energy_j;
+      }
+      room_row.window_violations =
+          room_row.total_violations - exported_violations_seen;
+      exported_violations_seen = room_row.total_violations;
+      exporter->write(room_row);
+    }
+    if (progress != nullptr) {
+      std::uint64_t live_violations = 0;
+      for (const std::size_t v : violations_seen) live_violations += v;
+      progress->tick(rounds, t, live_violations);
+    }
+  }
+
+  __attribute__((noinline)) void run_finished(
+      std::size_t rounds, double duration_s,
+      const std::vector<std::size_t>& violations_seen) {
+    if (progress != nullptr) {
+      std::uint64_t final_violations = 0;
+      for (const std::size_t v : violations_seen) final_violations += v;
+      progress->finish(rounds, duration_s, final_violations);
+    }
+    if (exporter != nullptr) exporter->close();
+  }
+};
+
+}  // namespace
+#endif
+
 RoomResult RoomEngine::run() const {
   const std::size_t num_racks = params_.racks.size();
 
@@ -73,7 +232,14 @@ RoomResult RoomEngine::run() const {
   std::vector<std::unique_ptr<CoupledRackEngine::Session>> racks;
   racks.reserve(num_racks);
   std::size_t total_slots = 0;
-  for (const CoupledRackParams& rack_params : params_.racks) {
+  for (std::size_t i = 0; i < num_racks; ++i) {
+    // Fan the room's telemetry down to each rack session, stamped with its
+    // rack index; snapshot/progress stay at room scope (this loop below).
+    CoupledRackParams rack_params = params_.racks[i];
+    rack_params.obs = params_.obs;
+    rack_params.obs.rack = static_cast<std::uint32_t>(i);
+    rack_params.obs.snapshot = nullptr;
+    rack_params.obs.progress = nullptr;
     racks.push_back(pool ? std::make_unique<CoupledRackEngine::Session>(
                                rack_params, *pool)
                          : std::make_unique<CoupledRackEngine::Session>(
@@ -102,7 +268,12 @@ RoomResult RoomEngine::run() const {
   cfg.cpu_power = params_.racks.front().rack.solution.cpu_power;  // nominal
   const auto scheduler =
       PolicyFactory::instance().make_room_scheduler(params_.scheduler, cfg);
+  scheduler->set_telemetry(params_.obs);
   scheduler->reset();
+
+#if FSC_OBS_ENABLED
+  RoomRunTelemetry tel(params_.obs, num_racks);
+#endif
 
   std::optional<CrossRackPlenumModel> cross;
   if (params_.cross_plenum_enabled) {
@@ -125,6 +296,9 @@ RoomResult RoomEngine::run() const {
   observations.reserve(num_racks);
 
   while (!racks.front()->done()) {
+#if FSC_OBS_ENABLED
+    const std::int64_t round_t0 = tel.attached ? obs::monotonic_ns() : 0;
+#endif
     if (executor) {
       // One epoch steps every rack's every chunk: intra-rack parallelism
       // falls out of the flat shard list, and the executor's pre-assigned
@@ -154,7 +328,13 @@ RoomResult RoomEngine::run() const {
       violations_seen[i] = pooled;
     }
 
-    scheduler->schedule(t, observations, directives);
+    {
+#if FSC_OBS_ENABLED
+      const obs::ScopedSpan sched_span(tel.trace, "room.schedule", "sched", 0,
+                                       0, static_cast<std::int64_t>(rounds));
+#endif
+      scheduler->schedule(t, observations, directives);
+    }
     require(directives.size() == num_racks,
             "RoomEngine: scheduler must return one directive per rack");
     // A round counts as a migration event only when load actually moved:
@@ -174,24 +354,49 @@ RoomResult RoomEngine::run() const {
       }
       scale_stats[i].add(racks[i]->demand_scale());
     }
-    if (any_scale_up && any_scale_down) ++migration_events;
+    if (any_scale_up && any_scale_down) {
+      ++migration_events;
+#if FSC_OBS_ENABLED
+      if (tel.attached) tel.on_migration(rounds);
+#endif
+    }
 
-    if (cross) {
-      states.clear();
-      states.reserve(num_racks);
-      for (const RackObservation& o : observations) {
-        states.push_back(RackPlenumState{o.cpu_watts, o.mean_fan_rpm});
+    {
+#if FSC_OBS_ENABLED
+      const obs::ScopedSpan plenum_span(tel.trace, "room.plenum", "physics", 0,
+                                        0, static_cast<std::int64_t>(rounds));
+#endif
+      if (cross) {
+        states.clear();
+        states.reserve(num_racks);
+        for (const RackObservation& o : observations) {
+          states.push_back(RackPlenumState{o.cpu_watts, o.mean_fan_rpm});
+        }
+        cross->ambient_offsets(states, offsets);
+        for (std::size_t i = 0; i < num_racks; ++i) {
+          racks[i]->set_ambient_offset(offsets[i]);
+          offset_stats[i].add(offsets[i]);
+        }
+      } else {
+        for (std::size_t i = 0; i < num_racks; ++i) offset_stats[i].add(0.0);
       }
-      cross->ambient_offsets(states, offsets);
-      for (std::size_t i = 0; i < num_racks; ++i) {
-        racks[i]->set_ambient_offset(offsets[i]);
-        offset_stats[i].add(offsets[i]);
-      }
-    } else {
-      for (std::size_t i = 0; i < num_racks; ++i) offset_stats[i].add(0.0);
     }
     ++rounds;
+
+#if FSC_OBS_ENABLED
+    if (tel.attached) {
+      tel.round_tail(round_t0, rounds, t, observations, violations_seen,
+                     racks);
+    }
+#endif
   }
+
+#if FSC_OBS_ENABLED
+  if (tel.attached) {
+    tel.run_finished(rounds, params_.racks.front().rack.sim.duration_s,
+                     violations_seen);
+  }
+#endif
 
   RoomResult out;
   out.scheduler = params_.scheduler;
@@ -268,10 +473,13 @@ std::string RoomResult::to_table() const {
   return os.str();
 }
 
-std::string RoomResult::to_json() const {
+std::string RoomResult::to_json(const std::string& manifest_json) const {
   std::ostringstream os;
   os << std::setprecision(10);
   os << "{\n";
+  if (!manifest_json.empty()) {
+    os << "  \"manifest\": " << manifest_json << ",\n";
+  }
   os << "  \"scheduler\": \"" << scheduler << "\",\n";
   os << "  \"racks\": " << racks.size() << ",\n";
   os << "  \"slots\": " << total_slots() << ",\n";

@@ -58,6 +58,12 @@ struct RoomParams {
   /// bit-identical either way).  Per-rack `executor` flags are ignored at
   /// room scope: the room owns the execution strategy.
   bool executor = true;
+  /// Telemetry sinks (obs/obs.hpp), default fully detached and read-only
+  /// with respect to the simulation (bit-identity preserved; test_obs).
+  /// The engine fans metrics/trace down to every rack session (stamping
+  /// each with its rack index) and drives snapshot/progress itself;
+  /// per-rack `obs` fields in `racks` are overridden at room scope.
+  obs::Telemetry obs;
 };
 
 /// One rack's outcome plus its room-scheduling exposure.
@@ -93,8 +99,11 @@ struct RoomResult {
   /// Fixed-width per-rack + aggregate report.
   std::string to_table() const;
   /// Machine-readable report (totals + per-rack rows), schema documented
-  /// in the fsc_room example.
-  std::string to_json() const;
+  /// in the fsc_room example.  The overload embeds a "manifest" object
+  /// (obs::RunManifest::to_json) as the first key when non-empty, so every
+  /// report is self-describing.
+  std::string to_json() const { return to_json(std::string()); }
+  std::string to_json(const std::string& manifest_json) const;
   /// Per-rack CSV (one row per rack, aggregate columns).
   std::string to_csv() const;
 };

@@ -21,6 +21,7 @@
 #include <vector>
 
 #include "coord/coordinator.hpp"
+#include "obs/obs.hpp"
 #include "power/cpu_power.hpp"
 
 namespace fsc {
@@ -119,6 +120,18 @@ class RoomScheduler {
   virtual void schedule(double time_s,
                         const std::vector<RackObservation>& racks,
                         std::vector<RackDirective>& out) = 0;
+
+  /// Attach run telemetry (non-owning sinks; default detached).  The room
+  /// engine calls this before reset(); schedulers may emit instant events
+  /// and counters (e.g. "power-aware" marks rounds where shed load found
+  /// no absorber).  Telemetry is observational only — a scheduler's
+  /// directives must not depend on it (bit-identity across attach states).
+  void set_telemetry(const obs::Telemetry& telemetry) noexcept {
+    obs_ = telemetry;
+  }
+
+ protected:
+  obs::Telemetry obs_;
 };
 
 /// Registers the built-in schedulers ("static", "thermal-headroom",

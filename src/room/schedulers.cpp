@@ -214,6 +214,24 @@ void PowerAwareScheduler::schedule(double,
   const std::vector<double> received =
       PowerBudgetCoordinator::water_fill(headroom, shed_pool);
 
+#if FSC_OBS_ENABLED
+  // Budget rejection: shed watts that fit in NO absorber's headroom — the
+  // room is genuinely over budget and that slice of load is not run.
+  // Observational only; the directives below are identical either way.
+  if (obs_.trace != nullptr || obs_.metrics != nullptr) {
+    double absorbed = 0.0;
+    for (const double r : received) absorbed += r;
+    if (shed_pool > absorbed + 1e-9) {
+      if (obs_.trace != nullptr) {
+        obs_.trace->instant("room.budget_reject", "sched");
+      }
+      if (obs_.metrics != nullptr) {
+        obs_.metrics->counter("room.budget_rejections").increment();
+      }
+    }
+  }
+#endif
+
   for (std::size_t i = 0; i < racks.size(); ++i) {
     const RackObservation& r = racks[i];
     const bool sheds = native_watts[i] > rack_budget;

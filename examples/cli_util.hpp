@@ -1,5 +1,9 @@
 // Small flag-parsing helpers shared by the CLI front ends (fsc_rack,
-// fsc_room) so fixes to the parsing land in one place.
+// fsc_room) so fixes to the parsing land in one place.  Both CLIs parse
+// their flags into ONE fsc::ScenarioSpec (consume_scenario_flag covers the
+// shared vocabulary, the per-CLI loops only the scale-specific spellings)
+// and build engines exclusively through spec.build_rack()/build_room() —
+// hand-assembly of engine params does not belong in examples/.
 #pragma once
 
 #include <cstddef>
@@ -10,10 +14,12 @@
 #include <string>
 
 #include "batch/simd/dispatch.hpp"
+#include "core/policy_factory.hpp"
 #include "obs/manifest.hpp"
 #include "obs/obs.hpp"
 #include "obs/progress.hpp"
 #include "obs/snapshot.hpp"
+#include "sim/scenario.hpp"
 
 namespace fsc_cli {
 
@@ -70,6 +76,132 @@ inline bool parse_simd_mode(const char* text, fsc::simd::SimdMode& out) {
     return true;
   }
   return false;
+}
+
+/// Outcome of offering one argv slot to the shared scenario-flag parser.
+enum class ScenarioFlag {
+  kNotMine,   ///< not a shared scenario flag; the caller's loop handles it
+  kConsumed,  ///< handled (the parser advanced `i` past any value)
+  kError,     ///< recognized but the value was malformed: go to usage()
+};
+
+/// Try to consume argv[i] as one of the scenario flags BOTH CLIs share:
+///
+///   --scenario FILE   load a ScenarioSpec JSON file (sim/scenario.hpp);
+///                     flags AFTER it override the file's values
+///   --dtm POLICY --traces DIR --slots N --threads N --seed S
+///   --duration SECS --zone K --batched on|off --chunk N
+///   --executor on|off --simd on|off|auto --no-plenum
+///
+/// On kError a note naming the flag is printed to stderr.  Scenario-file
+/// load failures (missing file, bad JSON, unknown key) also print the
+/// underlying reason.
+inline ScenarioFlag consume_scenario_flag(fsc::ScenarioSpec& spec, int argc,
+                                          char** argv, int& i) {
+  const std::string arg = argv[i];
+  if (arg == "--no-plenum") {
+    spec.plenum = false;
+    return ScenarioFlag::kConsumed;
+  }
+  const bool has_value = i + 1 < argc;
+  const auto bad = [&arg](const char* why) {
+    std::cerr << arg << ": " << why << "\n";
+    return ScenarioFlag::kError;
+  };
+  if (arg == "--scenario") {
+    if (!has_value) return bad("expected a file path");
+    try {
+      spec = fsc::ScenarioSpec::from_json_file(argv[++i]);
+    } catch (const std::exception& e) {
+      std::cerr << e.what() << "\n";
+      return ScenarioFlag::kError;
+    }
+    return ScenarioFlag::kConsumed;
+  }
+  if (arg == "--dtm") {
+    if (!has_value) return bad("expected a policy name");
+    spec.dtm = argv[++i];
+    return ScenarioFlag::kConsumed;
+  }
+  if (arg == "--traces") {
+    if (!has_value) return bad("expected a directory");
+    spec.trace_dir = argv[++i];
+    return ScenarioFlag::kConsumed;
+  }
+  if (arg == "--slots") {
+    if (!has_value || (spec.slots = parse_positive(argv[++i])) == 0) {
+      return bad("expected a positive integer");
+    }
+    return ScenarioFlag::kConsumed;
+  }
+  if (arg == "--threads") {
+    if (!has_value || (spec.threads = parse_positive(argv[++i])) == 0) {
+      return bad("expected a positive integer");
+    }
+    return ScenarioFlag::kConsumed;
+  }
+  if (arg == "--seed") {
+    if (!has_value) return bad("expected an integer seed");
+    spec.seed =
+        static_cast<std::uint64_t>(std::strtoull(argv[++i], nullptr, 10));
+    return ScenarioFlag::kConsumed;
+  }
+  if (arg == "--duration") {
+    if (!has_value || (spec.duration_s = std::atof(argv[++i])) <= 0.0) {
+      return bad("expected a positive duration in seconds");
+    }
+    return ScenarioFlag::kConsumed;
+  }
+  if (arg == "--zone") {
+    if (!has_value || (spec.fan_zone = parse_positive(argv[++i])) == 0) {
+      return bad("expected a positive integer");
+    }
+    return ScenarioFlag::kConsumed;
+  }
+  if (arg == "--batched") {
+    if (!has_value || !parse_on_off(argv[++i], spec.batched)) {
+      return bad("expected on|off");
+    }
+    return ScenarioFlag::kConsumed;
+  }
+  if (arg == "--chunk") {
+    if (!has_value || !parse_nonnegative(argv[++i], spec.chunk)) {
+      return bad("expected a non-negative integer");
+    }
+    return ScenarioFlag::kConsumed;
+  }
+  if (arg == "--executor") {
+    if (!has_value || !parse_on_off(argv[++i], spec.executor)) {
+      return bad("expected on|off");
+    }
+    return ScenarioFlag::kConsumed;
+  }
+  if (arg == "--simd") {
+    if (!has_value || !parse_simd_mode(argv[++i], spec.simd)) {
+      return bad("expected on|off|auto");
+    }
+    return ScenarioFlag::kConsumed;
+  }
+  return ScenarioFlag::kNotMine;
+}
+
+/// The `--list-policies` view: every registry tier with descriptions, in
+/// registration order (one Registry<T> behind all three, so the format is
+/// uniform by construction).
+inline void print_policy_listing(std::ostream& os) {
+  const auto& factory = fsc::PolicyFactory::instance();
+  os << "dtm policies:\n";
+  for (const auto& e : factory.list_policies()) {
+    os << "  " << e.name << "  -  " << e.description << "\n";
+  }
+  os << "rack coordinators:\n";
+  for (const auto& e : factory.list_coordinators()) {
+    os << "  " << e.name << "  -  " << e.description << "\n";
+  }
+  os << "room schedulers:\n";
+  for (const auto& e : factory.list_room_schedulers()) {
+    os << "  " << e.name << "  -  " << e.description << "\n";
+  }
 }
 
 /// Observability flag state + sink ownership shared by fsc_rack/fsc_room:

@@ -6,15 +6,26 @@
 // sorted by filename) or fall back to the default contended synthetic
 // scenario.
 //
+// Every flag parses into ONE fsc::ScenarioSpec and the engine is built
+// exclusively through spec.build_rack() — so any flag invocation has an
+// exact JSON transcription: `--scenario run.json` replays it, and the
+// shared flags after --scenario override the file's values.
+//
 // Usage:
-//   fsc_rack [--policy COORD] [--dtm POLICY] [--traces DIR] [--slots N]
+//   fsc_rack [--scenario FILE.json] [--policy COORD] [--dtm POLICY]
+//            [--traces DIR] [--slots N]
 //            [--threads N] [--seed S] [--duration SECS] [--budget WATTS]
 //            [--zone K] [--batched on|off] [--chunk N] [--executor on|off]
 //            [--simd on|off|auto]
 //            [--trace-out FILE.json] [--metrics-out FILE] [--metrics-every N]
 //            [--progress]
-//            [--no-plenum] [--out FILE.json] [--csv FILE.csv] [--list]
+//            [--no-plenum] [--out FILE.json] [--csv FILE.csv]
+//            [--list] [--list-policies]
 //
+//   --scenario  load a ScenarioSpec JSON file (see src/sim/scenario.hpp);
+//               its "faults" array schedules hardware faults (sensor
+//               stuck/dropped/noisy, fan degraded/seized, slot blackout)
+//               injected deterministically at coordination barriers
 //   --policy    coordinator name (default "independent"); --list shows all
 //   --dtm       per-server DtmPolicy name (default the paper's full stack)
 //   --budget    rack CPU power budget in watts (0 = 85 % of aggregate max)
@@ -30,49 +41,33 @@
 //               supported width (FSC_SIMD=avx2|sse2|neon|scalar overrides),
 //               "auto" enables it only on hosts with a vector unit
 //   --trace-out Chrome/Perfetto trace-event JSON of the run (coordination
-//               rounds, executor shards, plenum updates) — load the file
-//               in https://ui.perfetto.dev; telemetry never perturbs the
-//               simulation (bit-identical with or without)
+//               rounds, executor shards, plenum updates, fault instants) —
+//               load the file in https://ui.perfetto.dev; telemetry never
+//               perturbs the simulation (bit-identical with or without)
 //   --metrics-out  periodic rack time-series (".json" = JSON array, else
 //               CSV), sampled every --metrics-every rounds
 //   --progress  heartbeat on stderr (rounds/s, ETA, live violations)
-#include <algorithm>
 #include <chrono>
 #include <cstdlib>
 #include <fstream>
 #include <iostream>
 #include <string>
-#include <thread>
 
 #include "cli_util.hpp"
 
 #include "coord/coupled_rack_engine.hpp"
 #include "core/policy_factory.hpp"
-#include "workload/trace_io.hpp"
+#include "sim/scenario.hpp"
 
 namespace {
 
-using fsc_cli::parse_nonnegative;
-using fsc_cli::parse_on_off;
-using fsc_cli::parse_simd_mode;
 using fsc_cli::parse_positive;
-
-void print_names() {
-  const auto& factory = fsc::PolicyFactory::instance();
-  std::cout << "coordinators:\n";
-  for (const auto& name : factory.coordinator_names()) {
-    std::cout << "  " << name << "  -  " << factory.describe_coordinator(name)
-              << "\n";
-  }
-  std::cout << "dtm policies:\n";
-  for (const auto& name : factory.names()) {
-    std::cout << "  " << name << "  -  " << factory.describe(name) << "\n";
-  }
-}
+using fsc_cli::ScenarioFlag;
 
 int usage(const char* argv0) {
   std::cerr << "usage: " << argv0
-            << " [--policy COORD] [--dtm POLICY] [--traces DIR] [--slots N]\n"
+            << " [--scenario FILE.json] [--policy COORD] [--dtm POLICY]\n"
+               "       [--traces DIR] [--slots N]\n"
                "       [--threads N] [--seed S] [--duration SECS] "
                "[--budget WATTS]\n"
                "       [--zone K] [--batched on|off] [--chunk N] "
@@ -82,7 +77,7 @@ int usage(const char* argv0) {
                "[--metrics-every N]\n"
                "       [--progress]\n"
                "       [--no-plenum] [--out FILE.json] [--csv FILE.csv] "
-               "[--list]\n";
+               "[--list] [--list-policies]\n";
   return 1;
 }
 
@@ -91,62 +86,30 @@ int usage(const char* argv0) {
 int main(int argc, char** argv) {
   using namespace fsc;
 
-  std::string coordinator = "independent";
-  std::string dtm;
-  std::string trace_dir;
+  ScenarioSpec spec;
   std::string out_path = "fsc_rack_report.json";
   std::string csv_path;
-  std::size_t slots = 8;
-  std::size_t threads = std::max(1u, std::thread::hardware_concurrency());
-  std::uint64_t seed = 42;
-  double duration_s = 900.0;
-  double budget_watts = -1.0;
-  std::size_t zone = 0;
-  bool plenum = true;
-  bool batched = true;
-  bool executor = true;
-  fsc::simd::SimdMode simd = fsc::simd::SimdMode::kOff;
-  std::size_t chunk = 0;
   fsc_cli::ObsCli obs;
 
   for (int i = 1; i < argc; ++i) {
+    switch (fsc_cli::consume_scenario_flag(spec, argc, argv, i)) {
+      case ScenarioFlag::kConsumed: continue;
+      case ScenarioFlag::kError: return usage(argv[0]);
+      case ScenarioFlag::kNotMine: break;
+    }
     const std::string arg = argv[i];
     const bool has_value = i + 1 < argc;
-    if (arg == "--list") {
-      print_names();
+    if (arg == "--list" || arg == "--list-policies") {
+      fsc_cli::print_policy_listing(std::cout);
       return 0;
-    } else if (arg == "--no-plenum") {
-      plenum = false;
     } else if (arg == "--progress") {
       obs.progress = true;
     } else if (!has_value) {
       return usage(argv[0]);
     } else if (arg == "--policy") {
-      coordinator = argv[++i];
-    } else if (arg == "--dtm") {
-      dtm = argv[++i];
-    } else if (arg == "--traces") {
-      trace_dir = argv[++i];
-    } else if (arg == "--slots") {
-      if ((slots = parse_positive(argv[++i])) == 0) return usage(argv[0]);
-    } else if (arg == "--threads") {
-      if ((threads = parse_positive(argv[++i])) == 0) return usage(argv[0]);
-    } else if (arg == "--seed") {
-      seed = static_cast<std::uint64_t>(std::strtoull(argv[++i], nullptr, 10));
-    } else if (arg == "--duration") {
-      duration_s = std::atof(argv[++i]);
+      spec.coordinator = argv[++i];
     } else if (arg == "--budget") {
-      budget_watts = std::atof(argv[++i]);
-    } else if (arg == "--zone") {
-      if ((zone = parse_positive(argv[++i])) == 0) return usage(argv[0]);
-    } else if (arg == "--batched") {
-      if (!parse_on_off(argv[++i], batched)) return usage(argv[0]);
-    } else if (arg == "--chunk") {
-      if (!parse_nonnegative(argv[++i], chunk)) return usage(argv[0]);
-    } else if (arg == "--executor") {
-      if (!parse_on_off(argv[++i], executor)) return usage(argv[0]);
-    } else if (arg == "--simd") {
-      if (!parse_simd_mode(argv[++i], simd)) return usage(argv[0]);
+      spec.rack_budget_watts = std::atof(argv[++i]);
     } else if (arg == "--trace-out") {
       obs.trace_path = argv[++i];
     } else if (arg == "--metrics-out") {
@@ -164,38 +127,23 @@ int main(int argc, char** argv) {
       return usage(argv[0]);
     }
   }
-  if (slots == 0 || threads == 0 || duration_s <= 0.0) return usage(argv[0]);
-
-  const auto& factory = PolicyFactory::instance();
-  if (!factory.contains_coordinator(coordinator)) {
-    std::cerr << "unknown coordinator '" << coordinator << "'; known:";
-    for (const auto& name : factory.coordinator_names()) std::cerr << " " << name;
-    std::cerr << "\n";
-    return 1;
-  }
 
   try {
-    CoupledRackParams params = default_coupled_scenario(seed, duration_s);
-    params.rack.num_servers = slots;
-    params.coordinator = coordinator;
-    params.plenum_enabled = plenum;
-    params.batched = batched;
-    params.chunk = chunk;
-    params.executor = executor;
-    params.simd = simd;
-    if (!dtm.empty()) params.rack.policy = dtm;
-    if (budget_watts >= 0.0) params.coord.rack_power_budget_watts = budget_watts;
-    if (zone > 0) params.coord.fan_zone_size = zone;
-    if (!trace_dir.empty()) {
-      params.rack.traces = load_trace_dir(trace_dir);
-      std::cout << "loaded " << params.rack.traces.size() << " trace(s) from "
-                << trace_dir << "\n";
-    }
+    const CoupledRackParams params = [&] {
+      CoupledRackParams p = spec.build_rack();
+      if (!spec.trace_dir.empty()) {
+        std::cout << "loaded " << p.rack.traces.size() << " trace(s) from "
+                  << spec.trace_dir << "\n";
+      }
+      return p;
+    }();
+    const std::size_t threads = spec.resolve_threads();
 
-    if (!obs.open(duration_s, threads)) return 1;
-    params.obs = obs.telemetry();
+    if (!obs.open(spec.duration_s, threads)) return 1;
+    CoupledRackParams run_params = params;
+    run_params.obs = obs.telemetry();
 
-    const CoupledRackEngine engine(params, threads);
+    const CoupledRackEngine engine(run_params, threads);
     const auto wall_t0 = std::chrono::steady_clock::now();
     const CoupledRackResult result = engine.run();
     const double wall_s = std::chrono::duration<double>(
@@ -204,16 +152,17 @@ int main(int argc, char** argv) {
 
     obs::RunManifest manifest = obs::RunManifest::collect();
     manifest.threads = threads;
-    manifest.chunk = chunk;
-    manifest.seed = seed;
+    manifest.chunk = spec.chunk;
+    manifest.seed = spec.seed;
     manifest.command = obs::command_line(argc, argv);
     manifest.wall_time_s = wall_s;
     const std::string manifest_json = manifest.to_json(4);
 
-    std::cout << "=== fsc_rack: " << slots << " slots, coordinator '"
-              << coordinator << "' ("
-              << factory.describe_coordinator(coordinator) << "), " << threads
-              << " thread(s) ===\n\n";
+    const auto& factory = PolicyFactory::instance();
+    std::cout << "=== fsc_rack: " << spec.slots << " slots, coordinator '"
+              << run_params.coordinator << "' ("
+              << factory.describe_coordinator(run_params.coordinator) << "), "
+              << threads << " thread(s) ===\n\n";
     std::cout << result.to_table();
 
     std::ofstream out(out_path);

@@ -7,8 +7,15 @@
 // across the whole room, sorted by filename) or fall back to the default
 // contended room scenario (heavy front half, light back half).
 //
+// Every flag parses into ONE fsc::ScenarioSpec and the engine is built
+// exclusively through spec.build_room() — so any flag invocation has an
+// exact JSON transcription: `--scenario run.json` replays it (the same
+// file fsc_rack accepts when racks == 1), and the shared flags after
+// --scenario override the file's values.
+//
 // Usage:
-//   fsc_room [--policy SCHED] [--coordinator COORD] [--dtm POLICY]
+//   fsc_room [--scenario FILE.json] [--policy SCHED] [--coordinator COORD]
+//            [--dtm POLICY]
 //            [--racks K] [--slots N] [--traces DIR] [--threads N]
 //            [--seed S] [--duration SECS] [--budget WATTS] [--step FRAC]
 //            [--batched on|off] [--chunk N] [--executor on|off]
@@ -16,8 +23,11 @@
 //            [--no-cross-plenum] [--no-plenum]
 //            [--trace-out FILE.json] [--metrics-out FILE] [--metrics-every N]
 //            [--progress]
-//            [--out FILE.json] [--csv FILE.csv] [--list]
+//            [--out FILE.json] [--csv FILE.csv] [--list] [--list-policies]
 //
+//   --scenario     load a ScenarioSpec JSON file (see src/sim/scenario.hpp);
+//                  its "faults" array schedules hardware faults, re-homed
+//                  per rack and injected at coordination barriers
 //   --policy       room scheduler name (default "static"); --list shows all
 //   --coordinator  per-rack RackCoordinator name (default "independent")
 //   --dtm          per-server DtmPolicy name (default the paper's full stack)
@@ -33,54 +43,33 @@
 //   --executor     persistent lockstep executor (default on) vs per-round
 //                  ThreadPool submission — bit-identical, for A/B timing
 //   --trace-out    Chrome/Perfetto trace-event JSON of the run (rounds,
-//                  shards, scheduler calls, migration instants) — load in
-//                  https://ui.perfetto.dev; telemetry never perturbs the
-//                  simulation (bit-identical with or without)
+//                  shards, scheduler calls, migration + fault instants) —
+//                  load in https://ui.perfetto.dev; telemetry never
+//                  perturbs the simulation (bit-identical with or without)
 //   --metrics-out  periodic per-rack/room time-series (".json" = JSON
 //                  array, else CSV), sampled every --metrics-every rounds
 //   --progress     heartbeat on stderr (rounds/s, ETA, live violations)
-#include <algorithm>
 #include <chrono>
 #include <cstdlib>
 #include <fstream>
 #include <iostream>
 #include <string>
-#include <thread>
 
 #include "cli_util.hpp"
 
 #include "core/policy_factory.hpp"
 #include "room/room_engine.hpp"
-#include "workload/trace_io.hpp"
+#include "sim/scenario.hpp"
 
 namespace {
 
-using fsc_cli::parse_nonnegative;
-using fsc_cli::parse_on_off;
-using fsc_cli::parse_simd_mode;
 using fsc_cli::parse_positive;
-
-void print_names() {
-  const auto& factory = fsc::PolicyFactory::instance();
-  std::cout << "room schedulers:\n";
-  for (const auto& name : factory.room_scheduler_names()) {
-    std::cout << "  " << name << "  -  "
-              << factory.describe_room_scheduler(name) << "\n";
-  }
-  std::cout << "rack coordinators:\n";
-  for (const auto& name : factory.coordinator_names()) {
-    std::cout << "  " << name << "  -  " << factory.describe_coordinator(name)
-              << "\n";
-  }
-  std::cout << "dtm policies:\n";
-  for (const auto& name : factory.names()) {
-    std::cout << "  " << name << "  -  " << factory.describe(name) << "\n";
-  }
-}
+using fsc_cli::ScenarioFlag;
 
 int usage(const char* argv0) {
   std::cerr << "usage: " << argv0
-            << " [--policy SCHED] [--coordinator COORD] [--dtm POLICY]\n"
+            << " [--scenario FILE.json] [--policy SCHED] "
+               "[--coordinator COORD] [--dtm POLICY]\n"
                "       [--racks K] [--slots N] [--traces DIR] [--threads N]\n"
                "       [--seed S] [--duration SECS] [--budget WATTS] "
                "[--step FRAC]\n"
@@ -90,7 +79,7 @@ int usage(const char* argv0) {
                "       [--trace-out FILE.json] [--metrics-out FILE] "
                "[--metrics-every N]\n"
                "       [--progress] [--out FILE.json] [--csv FILE.csv] "
-               "[--list]\n";
+               "[--list] [--list-policies]\n";
   return 1;
 }
 
@@ -99,71 +88,39 @@ int usage(const char* argv0) {
 int main(int argc, char** argv) {
   using namespace fsc;
 
-  std::string scheduler = "static";
-  std::string coordinator;
-  std::string dtm;
-  std::string trace_dir;
+  ScenarioSpec spec;
+  spec.racks = 4;  // room-scale default; --racks and --scenario override
   std::string out_path = "fsc_room_report.json";
   std::string csv_path;
-  std::size_t num_racks = 4;
-  std::size_t slots = 8;
-  std::size_t threads = std::max(1u, std::thread::hardware_concurrency());
-  std::uint64_t seed = 42;
-  double duration_s = 900.0;
-  double budget_watts = -1.0;
-  double step = -1.0;
-  bool cross_plenum = true;
-  bool rack_plenum = true;
-  bool batched = true;
-  bool executor = true;
-  fsc::simd::SimdMode simd = fsc::simd::SimdMode::kOff;
-  std::size_t chunk = 0;
   fsc_cli::ObsCli obs;
 
   for (int i = 1; i < argc; ++i) {
+    switch (fsc_cli::consume_scenario_flag(spec, argc, argv, i)) {
+      case ScenarioFlag::kConsumed: continue;
+      case ScenarioFlag::kError: return usage(argv[0]);
+      case ScenarioFlag::kNotMine: break;
+    }
     const std::string arg = argv[i];
     const bool has_value = i + 1 < argc;
-    if (arg == "--list") {
-      print_names();
+    if (arg == "--list" || arg == "--list-policies") {
+      fsc_cli::print_policy_listing(std::cout);
       return 0;
     } else if (arg == "--no-cross-plenum") {
-      cross_plenum = false;
-    } else if (arg == "--no-plenum") {
-      rack_plenum = false;
+      spec.cross_plenum = false;
     } else if (arg == "--progress") {
       obs.progress = true;
     } else if (!has_value) {
       return usage(argv[0]);
     } else if (arg == "--policy") {
-      scheduler = argv[++i];
+      spec.scheduler = argv[++i];
     } else if (arg == "--coordinator") {
-      coordinator = argv[++i];
-    } else if (arg == "--dtm") {
-      dtm = argv[++i];
-    } else if (arg == "--traces") {
-      trace_dir = argv[++i];
+      spec.coordinator = argv[++i];
     } else if (arg == "--racks") {
-      if ((num_racks = parse_positive(argv[++i])) == 0) return usage(argv[0]);
-    } else if (arg == "--slots") {
-      if ((slots = parse_positive(argv[++i])) == 0) return usage(argv[0]);
-    } else if (arg == "--threads") {
-      if ((threads = parse_positive(argv[++i])) == 0) return usage(argv[0]);
-    } else if (arg == "--seed") {
-      seed = static_cast<std::uint64_t>(std::strtoull(argv[++i], nullptr, 10));
-    } else if (arg == "--duration") {
-      duration_s = std::atof(argv[++i]);
+      if ((spec.racks = parse_positive(argv[++i])) == 0) return usage(argv[0]);
     } else if (arg == "--budget") {
-      budget_watts = std::atof(argv[++i]);
+      spec.room_budget_watts = std::atof(argv[++i]);
     } else if (arg == "--step") {
-      step = std::atof(argv[++i]);
-    } else if (arg == "--batched") {
-      if (!parse_on_off(argv[++i], batched)) return usage(argv[0]);
-    } else if (arg == "--chunk") {
-      if (!parse_nonnegative(argv[++i], chunk)) return usage(argv[0]);
-    } else if (arg == "--executor") {
-      if (!parse_on_off(argv[++i], executor)) return usage(argv[0]);
-    } else if (arg == "--simd") {
-      if (!parse_simd_mode(argv[++i], simd)) return usage(argv[0]);
+      spec.migration_step = std::atof(argv[++i]);
     } else if (arg == "--trace-out") {
       obs.trace_path = argv[++i];
     } else if (arg == "--metrics-out") {
@@ -181,53 +138,15 @@ int main(int argc, char** argv) {
       return usage(argv[0]);
     }
   }
-  if (duration_s <= 0.0) return usage(argv[0]);
-
-  const auto& factory = PolicyFactory::instance();
-  if (!factory.contains_room_scheduler(scheduler)) {
-    std::cerr << "unknown room scheduler '" << scheduler << "'; known:";
-    for (const auto& name : factory.room_scheduler_names()) {
-      std::cerr << " " << name;
-    }
-    std::cerr << "\n";
-    return 1;
-  }
 
   try {
-    RoomParams params = default_room_scenario(num_racks, seed, duration_s);
-    params.scheduler = scheduler;
-    params.cross_plenum_enabled = cross_plenum;
-    params.executor = executor;
-    if (budget_watts >= 0.0) {
-      params.sched.room_power_budget_watts = budget_watts;
+    RoomParams params = spec.build_room();
+    if (!spec.trace_dir.empty() && !params.racks.empty()) {
+      std::cout << "loaded traces from " << spec.trace_dir << "\n";
     }
-    if (step > 0.0) params.sched.migration_step = step;
-    std::vector<std::shared_ptr<const SampledWorkload>> traces;
-    if (!trace_dir.empty()) {
-      traces = load_trace_dir(trace_dir);
-      std::cout << "loaded " << traces.size() << " trace(s) from " << trace_dir
-                << "\n";
-    }
-    for (std::size_t r = 0; r < params.racks.size(); ++r) {
-      CoupledRackParams& rack = params.racks[r];
-      rack.rack.num_servers = slots;
-      rack.plenum_enabled = rack_plenum;
-      rack.batched = batched;
-      rack.chunk = chunk;
-      rack.simd = simd;
-      if (!coordinator.empty()) rack.coordinator = coordinator;
-      if (!dtm.empty()) rack.rack.policy = dtm;
-      if (!traces.empty()) {
-        // Round-robin across the whole room, not per rack, so a trace set
-        // smaller than the room still lands on every rack differently.
-        rack.rack.traces.clear();
-        for (std::size_t s = 0; s < slots; ++s) {
-          rack.rack.traces.push_back(traces[(r * slots + s) % traces.size()]);
-        }
-      }
-    }
+    const std::size_t threads = spec.resolve_threads();
 
-    if (!obs.open(duration_s, threads)) return 1;
+    if (!obs.open(spec.duration_s, threads)) return 1;
     params.obs = obs.telemetry();
 
     const RoomEngine engine(params, threads);
@@ -239,16 +158,17 @@ int main(int argc, char** argv) {
 
     obs::RunManifest manifest = obs::RunManifest::collect();
     manifest.threads = threads;
-    manifest.chunk = chunk;
-    manifest.seed = seed;
+    manifest.chunk = spec.chunk;
+    manifest.seed = spec.seed;
     manifest.command = obs::command_line(argc, argv);
     manifest.wall_time_s = wall_s;
     const std::string manifest_json = manifest.to_json(4);
 
-    std::cout << "=== fsc_room: " << num_racks << " racks x " << slots
-              << " slots, scheduler '" << scheduler << "' ("
-              << factory.describe_room_scheduler(scheduler) << "), " << threads
-              << " thread(s) ===\n\n";
+    const auto& factory = PolicyFactory::instance();
+    std::cout << "=== fsc_room: " << spec.racks << " racks x " << spec.slots
+              << " slots, scheduler '" << params.scheduler << "' ("
+              << factory.describe_room_scheduler(params.scheduler) << "), "
+              << threads << " thread(s) ===\n\n";
     std::cout << result.to_table();
 
     std::ofstream out(out_path);

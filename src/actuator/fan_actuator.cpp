@@ -1,5 +1,6 @@
 #include "actuator/fan_actuator.hpp"
 
+#include <algorithm>
 #include <cmath>
 
 #include "batch/plant_kernel.hpp"
@@ -21,8 +22,32 @@ void FanActuator::command(double rpm) noexcept {
 
 void FanActuator::step(double dt) {
   require(dt >= 0.0, "FanActuator: dt must be >= 0");
-  actual_rpm_ =
-      plant::slew_toward(actual_rpm_, commanded_rpm_, params_.slew_rpm_per_s * dt);
+  switch (fault_mode_) {
+    case FanFaultMode::kNone:
+      actual_rpm_ = plant::slew_toward(actual_rpm_, commanded_rpm_,
+                                       params_.slew_rpm_per_s * dt);
+      return;
+    case FanFaultMode::kDegradedMax: {
+      // The drive still slews toward the command, but the rotor tops out
+      // at the degraded ceiling.
+      const double target = std::min(commanded_rpm_, fault_value_);
+      actual_rpm_ =
+          plant::slew_toward(actual_rpm_, target, params_.slew_rpm_per_s * dt);
+      return;
+    }
+    case FanFaultMode::kSeized:
+      // Jammed: commands are ignored; the blades only windmill.
+      actual_rpm_ =
+          fault_value_ > 0.0 ? fault_value_ : kDefaultSeizedRpm;
+      return;
+  }
+}
+
+void FanActuator::set_fault(FanFaultMode mode, double value) {
+  require(mode != FanFaultMode::kDegradedMax || value > 0.0,
+          "FanActuator: degraded-max ceiling must be > 0");
+  fault_mode_ = mode;
+  fault_value_ = value;
 }
 
 bool FanActuator::settled() const noexcept {

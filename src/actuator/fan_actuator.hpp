@@ -8,6 +8,14 @@
 
 namespace fsc {
 
+/// Failure mode imposed on a FanActuator (fault/fault_plan.hpp schedules
+/// these; the FaultInjector arms them at coordination barriers).
+enum class FanFaultMode {
+  kNone,         ///< healthy
+  kDegradedMax,  ///< worn bearing / clogged filter: cannot exceed a ceiling
+  kSeized,       ///< rotor jammed: blades only windmill in the airflow
+};
+
 /// Physical fan speed limits and dynamics.
 struct FanParams {
   /// Server fans cannot run below ~18 % duty while the machine is on; at
@@ -58,10 +66,29 @@ class FanActuator {
 
   const FanParams& params() const noexcept { return params_; }
 
+  /// Blade speed a seized rotor settles at when the fault event does not
+  /// specify one: passive windmilling in the chassis airflow, well below
+  /// the controllable floor — at Table I geometry the heat-sink resistance
+  /// roughly triples versus min_rpm, an overheat the DTM must answer, not
+  /// a numerically absurd dead-air stall.
+  static constexpr double kDefaultSeizedRpm = 400.0;
+
+  /// Impose a failure mode from the next step() on.  For kDegradedMax,
+  /// `value` is the new speed ceiling in rpm (> 0); for kSeized it is the
+  /// windmilling speed (<= 0 picks kDefaultSeizedRpm).  Throws
+  /// std::invalid_argument on a non-positive kDegradedMax ceiling.
+  void set_fault(FanFaultMode mode, double value);
+  /// Return to healthy operation; the actual speed slews back toward the
+  /// command from wherever the fault left it.
+  void clear_fault() noexcept { fault_mode_ = FanFaultMode::kNone; }
+  FanFaultMode fault() const noexcept { return fault_mode_; }
+
  private:
   FanParams params_;
   double commanded_rpm_;
   double actual_rpm_;
+  FanFaultMode fault_mode_ = FanFaultMode::kNone;
+  double fault_value_ = 0.0;
 };
 
 }  // namespace fsc

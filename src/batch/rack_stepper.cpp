@@ -1,6 +1,7 @@
 #include "batch/rack_stepper.hpp"
 
 #include <algorithm>
+#include <utility>
 
 #include "sim/server.hpp"
 #include "util/units.hpp"
@@ -18,7 +19,15 @@ void RackBatchStepper::add_slot(SimulationEngine::Session& session,
   }
   slots_.push_back(Slot{&session, &server});
   active_.push_back(0);
+  scalar_.push_back(0);
   batch_.add_server(server);
+}
+
+void RackBatchStepper::force_scalar(std::size_t slot) {
+  require(slot < slots_.size(),
+          "RackBatchStepper::force_scalar: slot index out of range");
+  scalar_[slot] = 1;
+  any_scalar_ = true;
 }
 
 void RackBatchStepper::prepare() {
@@ -43,6 +52,14 @@ void RackBatchStepper::advance_chunk_periods(std::size_t chunk, long periods) {
 
 void RackBatchStepper::advance_range_periods(std::size_t lo, std::size_t hi,
                                              long periods) {
+  if (any_scalar_) {
+    // Some lane somewhere is fault-forced onto the scalar path; take the
+    // masked variant.  Until the first force_scalar() call this branch is
+    // never reached and the body below is exactly the pre-fault stepping
+    // code (the empty-FaultPlan bit-identity contract, test_fault).
+    advance_range_periods_masked(lo, hi, periods);
+    return;
+  }
   const double dt = slots_.front().session->params().physics_dt_s;
   const long substeps = slots_.front().session->physics_per_period();
 
@@ -81,6 +98,78 @@ void RackBatchStepper::advance_range_periods(std::size_t lo, std::size_t hi,
     // Phase 3 — close the period on every slot in the range.
     for (std::size_t i = lo; i < hi; ++i) {
       if (active_[i]) slots_[i].session->finish_period();
+    }
+  }
+}
+
+void RackBatchStepper::advance_range_periods_masked(std::size_t lo,
+                                                    std::size_t hi,
+                                                    long periods) {
+  const double dt = slots_.front().session->params().physics_dt_s;
+  const long substeps = slots_.front().session->physics_per_period();
+
+  // Maximal runs of non-forced lanes inside [lo, hi): the SoA kernel steps
+  // each run contiguously, never touching a forced lane's (stale) batch
+  // state.  The mask only changes at coordination barriers, so one
+  // segmentation serves every period of this call.
+  std::vector<std::pair<std::size_t, std::size_t>> segments;
+  for (std::size_t i = lo; i < hi;) {
+    if (scalar_[i]) {
+      ++i;
+      continue;
+    }
+    std::size_t j = i;
+    while (j < hi && !scalar_[j]) ++j;
+    segments.emplace_back(i, j);
+    i = j;
+  }
+
+  for (long p = 0; p < periods; ++p) {
+    // Forced lanes first: one whole period through the scalar reference
+    // path (slots never interact inside a period, so relative order
+    // against the batched lanes is free).
+    bool any_forced_active = false;
+    for (std::size_t i = lo; i < hi; ++i) {
+      if (!scalar_[i]) continue;
+      active_[i] = 0;
+      if (slots_[i].session->done()) continue;
+      slots_[i].session->step_period();
+      any_forced_active = true;
+    }
+
+    // Batched lanes: the same three phases as the unmasked path, over the
+    // non-forced sub-ranges.
+    bool any_batched_active = false;
+    for (std::size_t i = lo; i < hi; ++i) {
+      if (scalar_[i]) continue;
+      Slot& slot = slots_[i];
+      active_[i] = slot.session->begin_period() ? 1 : 0;
+      if (!active_[i]) continue;
+      any_batched_active = true;
+      batch_.set_inputs(i,
+                        slot.server->cpu_power_now(slot.session->period_executed()),
+                        slot.server->fan_speed_commanded(),
+                        slot.server->inlet_temperature());
+    }
+    if (!any_batched_active && !any_forced_active) return;  // range is done
+
+    if (any_batched_active) {
+      for (long s = 0; s < substeps; ++s) {
+        for (const auto& [a, b] : segments) batch_.step_range(a, b, dt);
+        for (std::size_t i = lo; i < hi; ++i) {
+          if (!active_[i]) continue;
+          Slot& slot = slots_[i];
+          slot.server->adopt_plant_step(batch_.fan_rpm(i),
+                                        batch_.heat_sink_celsius(i),
+                                        batch_.junction_celsius(i),
+                                        batch_.cpu_watts(i),
+                                        batch_.fan_watts(i), dt);
+          slot.session->note_substep();
+        }
+      }
+      for (std::size_t i = lo; i < hi; ++i) {
+        if (active_[i]) slots_[i].session->finish_period();
+      }
     }
   }
 }

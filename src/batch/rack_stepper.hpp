@@ -97,6 +97,20 @@ class RackBatchStepper {
   /// std::invalid_argument on a bad chunk index.
   void advance_chunk_periods(std::size_t chunk, long periods);
 
+  /// Permanently route `slot` through the scalar reference path
+  /// (Session::step_period) instead of the SoA kernel: the fault layer
+  /// calls this when a slot's plant stops matching the batch's healthy-
+  /// hardware expressions (fan fault, faulted sensor).  Monotonic — a
+  /// faulted lane never resynchronises with the batch, because the batch
+  /// arrays hold state the scalar path has since diverged from.  Must only
+  /// be called between advance waves (at a coordination barrier); throws
+  /// std::invalid_argument on a bad index.  While no slot is forced the
+  /// stepping code path is exactly the mask-free one.
+  void force_scalar(std::size_t slot);
+  bool is_scalar(std::size_t slot) const {
+    return slot < scalar_.size() && scalar_[slot] != 0;
+  }
+
  private:
   struct Slot {
     SimulationEngine::Session* session = nullptr;
@@ -104,9 +118,16 @@ class RackBatchStepper {
   };
 
   void advance_range_periods(std::size_t lo, std::size_t hi, long periods);
+  /// The fault-era variant: scalar-forced lanes step through their own
+  /// Session, the rest through the SoA kernel over the maximal non-forced
+  /// sub-ranges.  Only reached once force_scalar() has been called.
+  void advance_range_periods_masked(std::size_t lo, std::size_t hi,
+                                    long periods);
 
   std::vector<Slot> slots_;
   std::vector<char> active_;  ///< per-period: slot opened a period
+  std::vector<char> scalar_;  ///< lanes forced onto the scalar path
+  bool any_scalar_ = false;
   ServerBatch batch_;
   std::size_t chunk_lanes_ = 0;  ///< 0 = kAutoChunkLanes
 };

@@ -37,6 +37,17 @@ struct SlotObservation {
   double demand = 0.0;    ///< mean demanded utilization over the last window
   double executed = 0.0;  ///< mean executed utilization over the last window
   double cpu_watts = 0.0;         ///< CPU power at the mean executed level
+  /// BMC staleness monitor: false when the slot's temperature sensor has
+  /// stopped delivering fresh samples (a dropped-reading fault the
+  /// firmware CAN detect; stuck-at and noisy faults pass undetected and
+  /// leave this true).  Set by the FaultInjector at the barrier.
+  bool sensor_ok = true;
+  /// Management-plane link: false during a slot telemetry blackout, in
+  /// which case every measured field above is the frozen last-good
+  /// observation (only time_s advances).  Set by the FaultInjector.
+  bool telemetry_ok = true;
+
+  bool dark() const noexcept { return !sensor_ok || !telemetry_ok; }
 };
 
 /// What the coordinator imposes on one slot until the next barrier.
@@ -69,6 +80,17 @@ struct CoordinatorConfig {
   double fan_min_rpm = 1500.0;
   double fan_max_rpm = 8500.0;
   CpuPowerModel cpu_power = CpuPowerModel::table1_defaults();
+  /// Failsafe floor ("failsafe" coordinator): when a zone member's sensor
+  /// or telemetry goes dark, the whole zone's blowers ramp to at least
+  /// this fraction of fan_max_rpm — the phosphor-pid-control
+  /// failSafePercent idiom: with no trustworthy reading, buy thermal
+  /// margin with airflow.
+  double failsafe_floor_fraction = 0.75;
+  /// Cap imposed on a slot whose blower is detected seized (actual speed
+  /// below the controllable floor): with its local cooling gone, the slot
+  /// cannot safely run hot work, so its CPU cap is clamped here while the
+  /// rest of the zone ramps to max around it.
+  double failsafe_seized_cap = 0.35;
 
   /// The budget actually in force: explicit when positive, else the 85 %
   /// derated aggregate.
@@ -99,8 +121,8 @@ class RackCoordinator {
 };
 
 /// Registers the built-in coordinators ("independent", "shared-fan-zone",
-/// "power-budget"); called once by PolicyFactory's constructor.  Defined in
-/// coord/policies.cpp.
+/// "power-budget", "failsafe"); called once by PolicyFactory's
+/// constructor.  Defined in coord/policies.cpp.
 void register_builtin_coordinators(PolicyFactory& factory);
 
 }  // namespace fsc

@@ -11,6 +11,7 @@
 #include "coord/observe.hpp"
 #include "core/controller.hpp"
 #include "core/policy_factory.hpp"
+#include "fault/fault_injector.hpp"
 #include "obs/progress.hpp"
 #include "obs/snapshot.hpp"
 #include "sim/instrumentation.hpp"
@@ -84,6 +85,9 @@ struct CoupledRackEngine::Session::Impl {
   std::vector<std::unique_ptr<SlotRuntime>> slots;
   /// Chunked SoA stepping (null when params.batched is off).
   std::unique_ptr<RackBatchStepper> stepper;
+  /// Fault driver (null when params.faults is empty — the common case, in
+  /// which no fault code runs anywhere near the hot path).
+  std::unique_ptr<FaultInjector> injector;
   std::optional<SharedPlenumModel> plenum;
   std::vector<std::future<void>> futures;
   std::vector<SlotObservation> observations;
@@ -137,6 +141,17 @@ struct CoupledRackEngine::Session::Impl {
       // Freeze the dt memos now, single-threaded: chunks of this batch may
       // later step concurrently and must never refresh shared state.
       stepper->prepare();
+    }
+
+    if (!params.faults.empty()) {
+      std::vector<Server*> servers;
+      servers.reserve(slots.size());
+      for (const auto& rt : slots) servers.push_back(&rt->server);
+      injector = std::make_unique<FaultInjector>(
+          params.faults, std::move(servers), stepper.get(), params.obs);
+      // Arm anything scheduled at t = 0 before the first period steps, so a
+      // from-the-start fault shapes the whole run.
+      injector->advance(0.0);
     }
 
     if (params.plenum_enabled) {
@@ -260,12 +275,17 @@ void CoupledRackEngine::Session::coordinate_round() {
 
   // Deterministic barrier work, in slot order on this thread.
   const double t = im.slots.front()->session->time_s();
+  // Fault transitions happen only here — the single-threaded instant of a
+  // round — which quantizes them to barriers and keeps faulted runs
+  // deterministic across thread counts and chunk sizes.
+  if (im.injector) im.injector->advance(t);
   im.observations.clear();
   im.observations.reserve(im.slots.size());
   for (const auto& rt : im.slots) {
     im.observations.push_back(collect_slot_observation(
         im.observations.size(), t, rt->server, *rt->session));
   }
+  if (im.injector) im.injector->stamp(im.observations, t);
 
   const std::vector<SlotDirective> directives =
       im.coordinator->coordinate(t, im.observations);

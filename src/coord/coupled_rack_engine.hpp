@@ -31,6 +31,7 @@
 #include "batch/simd/dispatch.hpp"
 #include "coord/coordinator.hpp"
 #include "coord/plenum.hpp"
+#include "fault/fault_plan.hpp"
 #include "metrics/energy_report.hpp"
 #include "obs/obs.hpp"
 #include "rack/batch_runner.hpp"
@@ -86,6 +87,13 @@ struct CoupledRackParams {
   /// emit "rack.*" spans and counters; snapshot/progress are driven by the
   /// outermost run loop only.
   obs::Telemetry obs;
+  /// Scheduled fault events for this rack (fault/fault_plan.hpp),
+  /// rack-local (every event's rack index must be 0 — a room-wide plan is
+  /// re-homed per rack with FaultPlan::for_rack by the scenario layer).
+  /// Empty — the default — constructs no injector at all, and the step
+  /// sequence is bit-identical to a pre-fault build (test_fault pins it
+  /// with EXPECT_EQ across thread/chunk sweeps).
+  FaultPlan faults;
 };
 
 /// One slot's outcome plus its coordination exposure.

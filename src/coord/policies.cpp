@@ -115,6 +115,66 @@ std::vector<SlotDirective> PowerBudgetCoordinator::coordinate(
   return directives;
 }
 
+FailsafeCoordinator::FailsafeCoordinator(const CoordinatorConfig& cfg)
+    : zone_size_(cfg.fan_zone_size),
+      fan_min_rpm_(cfg.fan_min_rpm),
+      fan_max_rpm_(cfg.fan_max_rpm),
+      floor_fraction_(cfg.failsafe_floor_fraction),
+      seized_cap_(cfg.failsafe_seized_cap),
+      thermal_limit_(cfg.thermal_limit_celsius) {
+  require(zone_size_ > 0, "FailsafeCoordinator: zone size must be > 0");
+  require(fan_min_rpm_ >= 0.0 && fan_max_rpm_ > fan_min_rpm_,
+          "FailsafeCoordinator: need 0 <= min rpm < max rpm");
+  require(floor_fraction_ > 0.0 && floor_fraction_ <= 1.0,
+          "FailsafeCoordinator: floor fraction must be in (0, 1]");
+  require(seized_cap_ > 0.0 && seized_cap_ <= 1.0,
+          "FailsafeCoordinator: seized cap must be in (0, 1]");
+}
+
+std::vector<SlotDirective> FailsafeCoordinator::coordinate(
+    double, const std::vector<SlotObservation>& slots) {
+  std::vector<SlotDirective> directives(slots.size());
+  for (std::size_t zone_start = 0; zone_start < slots.size();
+       zone_start += zone_size_) {
+    const std::size_t zone_end =
+        std::min(zone_start + zone_size_, slots.size());
+    double zone_rpm = fan_min_rpm_;
+    bool any_dark = false;
+    bool any_seized = false;
+    for (std::size_t i = zone_start; i < zone_end; ++i) {
+      const SlotObservation& o = slots[i];
+      zone_rpm = std::max(zone_rpm, o.fan_requested_rpm);
+      any_dark = any_dark || o.dark();
+      // A healthy actuator never shows a speed below the controllable
+      // floor: commands are clamped to [min, max] and the blades slew
+      // toward them, so actual < min (with slack for slew) means the
+      // blower is physically stuck — the one fan fault firmware can see.
+      const bool seized = o.fan_actual_rpm < fan_min_rpm_ - 1.0;
+      any_seized = any_seized || seized;
+      if (seized) {
+        // Throttle only while the victim is actually hot: linear ramp
+        // from no cap at (limit - band) down to the configured seized
+        // cap at the limit, so the barrier-rate loop duty-cycles the
+        // throttle instead of forfeiting every deadline in the window.
+        const double hot =
+            (o.measured_temp - (thermal_limit_ - kSeizedRampCelsius)) /
+            kSeizedRampCelsius;
+        if (hot > 0.0) {
+          directives[i].cap_limit =
+              1.0 - std::min(1.0, hot) * (1.0 - seized_cap_);
+        }
+      }
+    }
+    if (any_dark) zone_rpm = std::max(zone_rpm, floor_fraction_ * fan_max_rpm_);
+    if (any_seized) zone_rpm = fan_max_rpm_;
+    zone_rpm = clamp(zone_rpm, fan_min_rpm_, fan_max_rpm_);
+    for (std::size_t i = zone_start; i < zone_end; ++i) {
+      directives[i].fan_override_rpm = zone_rpm;
+    }
+  }
+  return directives;
+}
+
 void register_builtin_coordinators(PolicyFactory& factory) {
   factory.register_coordinator(
       "independent", "no cross-server coordination (baseline)",
@@ -132,6 +192,12 @@ void register_builtin_coordinators(PolicyFactory& factory) {
       "rack power budget re-divided by max-min water-filling on demand",
       [](const CoordinatorConfig& cfg) -> std::unique_ptr<RackCoordinator> {
         return std::make_unique<PowerBudgetCoordinator>(cfg);
+      });
+  factory.register_coordinator(
+      "failsafe",
+      "fan zones with dark-sensor floor ramp and seized-blower response",
+      [](const CoordinatorConfig& cfg) -> std::unique_ptr<RackCoordinator> {
+        return std::make_unique<FailsafeCoordinator>(cfg);
       });
 }
 

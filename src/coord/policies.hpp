@@ -12,6 +12,11 @@
 //                     (lightly loaded) slots donate the headroom they are
 //                     not using to hot (heavily loaded) ones, and only the
 //                     still-oversubscribed slots get capped
+//   failsafe          shared-fan-zone arbitration hardened against the
+//                     fault layer (fault/): a zone with a dark member
+//                     (sensor_ok or telemetry_ok false) ramps to a safe
+//                     floor, and a zone with a seized blower ramps to max
+//                     while the seized slot's CPU cap is clamped
 #pragma once
 
 #include <cstddef>
@@ -82,6 +87,49 @@ class PowerBudgetCoordinator final : public RackCoordinator {
   double budget_watts_;
   double min_cap_;
   CpuPowerModel cpu_power_;
+};
+
+/// Fault-aware zone arbitration.  Healthy zones behave exactly like
+/// FanZoneCoordinator (max member request).  On top of that, per zone and
+/// per coordination period:
+///
+///   * dark member (SlotObservation::dark(): dropped sensor or telemetry
+///     blackout) -> the zone speed is floored at failsafe_floor_fraction x
+///     fan_max — with no trustworthy reading, buy thermal margin with
+///     airflow (the BMC fan-control failsafe idiom);
+///   * seized blower (actual speed below the controllable floor, which a
+///     healthy actuator can never show since commands are clamped to
+///     fan_min) -> the zone ramps to fan_max so neighbors carry the shared
+///     plenum, and the seized slot's CPU cap is clamped to
+///     failsafe_seized_cap because its local cooling is gone.
+///
+/// Stateless and deterministic in its inputs, like every coordinator.
+class FailsafeCoordinator final : public RackCoordinator {
+ public:
+  /// Throws std::invalid_argument on a zero zone size, a bad fan envelope,
+  /// a floor fraction outside (0, 1], or a seized cap outside (0, 1].
+  explicit FailsafeCoordinator(const CoordinatorConfig& cfg);
+  std::string name() const override { return "failsafe"; }
+  void reset() override {}
+  std::vector<SlotDirective> coordinate(
+      double time_s, const std::vector<SlotObservation>& slots) override;
+
+  double floor_rpm() const noexcept { return floor_fraction_ * fan_max_rpm_; }
+
+ private:
+  /// Width of the linear throttle ramp below the thermal limit: a seized
+  /// slot is uncapped while cooler than (limit - band) and reaches the
+  /// full seized cap at the limit.  Permanently capping a seized slot
+  /// would trade every deadline in the fault window for thermal safety;
+  /// the ramp duty-cycles the throttle at barrier rate instead.
+  static constexpr double kSeizedRampCelsius = 15.0;
+
+  std::size_t zone_size_;
+  double fan_min_rpm_;
+  double fan_max_rpm_;
+  double floor_fraction_;
+  double seized_cap_;
+  double thermal_limit_;
 };
 
 }  // namespace fsc

@@ -1,9 +1,5 @@
 #include "core/policy_factory.hpp"
 
-#include <algorithm>
-#include <sstream>
-#include <stdexcept>
-
 // Deliberate layering exception: core/ reaches up to coord/ and room/ for
 // exactly one symbol each, register_builtin_coordinators() and
 // register_builtin_room_schedulers(), so the built-in cross-server and
@@ -57,6 +53,16 @@ PolicyFactory& PolicyFactory::instance() {
   return factory;
 }
 
+std::unique_ptr<RackCoordinator> PolicyFactory::make_coordinator(
+    const std::string& name, const CoordinatorConfig& cfg) const {
+  return coordinators_.make(name, cfg);
+}
+
+std::unique_ptr<RoomScheduler> PolicyFactory::make_room_scheduler(
+    const std::string& name, const RoomSchedulerConfig& cfg) const {
+  return room_schedulers_.make(name, cfg);
+}
+
 PolicyFactory::PolicyFactory() {
   for (SolutionKind kind : all_solutions()) {
     register_policy(solution_key(kind), to_string(kind),
@@ -84,198 +90,6 @@ PolicyFactory::PolicyFactory() {
                   });
   register_builtin_coordinators(*this);
   register_builtin_room_schedulers(*this);
-}
-
-void PolicyFactory::register_room_scheduler(std::string name,
-                                            std::string description,
-                                            RoomSchedulerBuilder builder) {
-  require(!name.empty(),
-          "PolicyFactory: room scheduler name must not be empty");
-  require(static_cast<bool>(builder),
-          "PolicyFactory: room scheduler builder must not be null");
-  std::lock_guard<std::mutex> lock(mutex_);
-  if (find_room_scheduler_locked(name) != nullptr) {
-    throw std::invalid_argument("PolicyFactory: room scheduler '" + name +
-                                "' already registered");
-  }
-  room_scheduler_entries_.emplace_back(
-      std::move(name),
-      RoomSchedulerEntry{std::move(description), std::move(builder)});
-}
-
-bool PolicyFactory::contains_room_scheduler(const std::string& name) const {
-  std::lock_guard<std::mutex> lock(mutex_);
-  return find_room_scheduler_locked(name) != nullptr;
-}
-
-std::unique_ptr<RoomScheduler> PolicyFactory::make_room_scheduler(
-    const std::string& name, const RoomSchedulerConfig& cfg) const {
-  RoomSchedulerBuilder builder;
-  {
-    std::lock_guard<std::mutex> lock(mutex_);
-    const RoomSchedulerEntry* entry = find_room_scheduler_locked(name);
-    if (entry == nullptr) {
-      std::ostringstream msg;
-      msg << "PolicyFactory: unknown room scheduler '" << name << "'; known:";
-      for (const auto& [key, value] : room_scheduler_entries_) msg << " " << key;
-      throw std::out_of_range(msg.str());
-    }
-    builder = entry->builder;
-  }
-  return builder(cfg);
-}
-
-std::vector<std::string> PolicyFactory::room_scheduler_names() const {
-  std::lock_guard<std::mutex> lock(mutex_);
-  std::vector<std::string> out;
-  out.reserve(room_scheduler_entries_.size());
-  for (const auto& [key, value] : room_scheduler_entries_) out.push_back(key);
-  std::sort(out.begin(), out.end());
-  return out;
-}
-
-std::string PolicyFactory::describe_room_scheduler(
-    const std::string& name) const {
-  std::lock_guard<std::mutex> lock(mutex_);
-  const RoomSchedulerEntry* entry = find_room_scheduler_locked(name);
-  if (entry == nullptr) {
-    throw std::out_of_range("PolicyFactory: unknown room scheduler '" + name +
-                            "'");
-  }
-  return entry->description;
-}
-
-const PolicyFactory::RoomSchedulerEntry*
-PolicyFactory::find_room_scheduler_locked(const std::string& name) const {
-  for (const auto& [key, value] : room_scheduler_entries_) {
-    if (key == name) return &value;
-  }
-  return nullptr;
-}
-
-void PolicyFactory::register_coordinator(std::string name,
-                                         std::string description,
-                                         CoordinatorBuilder builder) {
-  require(!name.empty(), "PolicyFactory: coordinator name must not be empty");
-  require(static_cast<bool>(builder),
-          "PolicyFactory: coordinator builder must not be null");
-  std::lock_guard<std::mutex> lock(mutex_);
-  if (find_coordinator_locked(name) != nullptr) {
-    throw std::invalid_argument("PolicyFactory: coordinator '" + name +
-                                "' already registered");
-  }
-  coordinator_entries_.emplace_back(
-      std::move(name),
-      CoordinatorEntry{std::move(description), std::move(builder)});
-}
-
-bool PolicyFactory::contains_coordinator(const std::string& name) const {
-  std::lock_guard<std::mutex> lock(mutex_);
-  return find_coordinator_locked(name) != nullptr;
-}
-
-std::unique_ptr<RackCoordinator> PolicyFactory::make_coordinator(
-    const std::string& name, const CoordinatorConfig& cfg) const {
-  CoordinatorBuilder builder;
-  {
-    std::lock_guard<std::mutex> lock(mutex_);
-    const CoordinatorEntry* entry = find_coordinator_locked(name);
-    if (entry == nullptr) {
-      std::ostringstream msg;
-      msg << "PolicyFactory: unknown coordinator '" << name << "'; known:";
-      for (const auto& [key, value] : coordinator_entries_) msg << " " << key;
-      throw std::out_of_range(msg.str());
-    }
-    builder = entry->builder;
-  }
-  return builder(cfg);
-}
-
-std::vector<std::string> PolicyFactory::coordinator_names() const {
-  std::lock_guard<std::mutex> lock(mutex_);
-  std::vector<std::string> out;
-  out.reserve(coordinator_entries_.size());
-  for (const auto& [key, value] : coordinator_entries_) out.push_back(key);
-  std::sort(out.begin(), out.end());
-  return out;
-}
-
-std::string PolicyFactory::describe_coordinator(const std::string& name) const {
-  std::lock_guard<std::mutex> lock(mutex_);
-  const CoordinatorEntry* entry = find_coordinator_locked(name);
-  if (entry == nullptr) {
-    throw std::out_of_range("PolicyFactory: unknown coordinator '" + name + "'");
-  }
-  return entry->description;
-}
-
-const PolicyFactory::CoordinatorEntry* PolicyFactory::find_coordinator_locked(
-    const std::string& name) const {
-  for (const auto& [key, value] : coordinator_entries_) {
-    if (key == name) return &value;
-  }
-  return nullptr;
-}
-
-void PolicyFactory::register_policy(std::string name, std::string description,
-                                    Builder builder) {
-  require(!name.empty(), "PolicyFactory: name must not be empty");
-  require(static_cast<bool>(builder), "PolicyFactory: builder must not be null");
-  std::lock_guard<std::mutex> lock(mutex_);
-  if (find_locked(name) != nullptr) {
-    throw std::invalid_argument("PolicyFactory: '" + name + "' already registered");
-  }
-  entries_.emplace_back(std::move(name),
-                        Entry{std::move(description), std::move(builder)});
-}
-
-bool PolicyFactory::contains(const std::string& name) const {
-  std::lock_guard<std::mutex> lock(mutex_);
-  return find_locked(name) != nullptr;
-}
-
-std::unique_ptr<DtmPolicy> PolicyFactory::make(const std::string& name,
-                                               const SolutionConfig& cfg) const {
-  Builder builder;
-  {
-    std::lock_guard<std::mutex> lock(mutex_);
-    const Entry* entry = find_locked(name);
-    if (entry == nullptr) {
-      std::ostringstream msg;
-      msg << "PolicyFactory: unknown policy '" << name << "'; known:";
-      for (const auto& [key, value] : entries_) msg << " " << key;
-      throw std::out_of_range(msg.str());
-    }
-    builder = entry->builder;
-  }
-  // Invoked outside the lock so concurrent construction does not serialise.
-  return builder(cfg);
-}
-
-std::vector<std::string> PolicyFactory::names() const {
-  std::lock_guard<std::mutex> lock(mutex_);
-  std::vector<std::string> out;
-  out.reserve(entries_.size());
-  for (const auto& [key, value] : entries_) out.push_back(key);
-  std::sort(out.begin(), out.end());
-  return out;
-}
-
-std::string PolicyFactory::describe(const std::string& name) const {
-  std::lock_guard<std::mutex> lock(mutex_);
-  const Entry* entry = find_locked(name);
-  if (entry == nullptr) {
-    throw std::out_of_range("PolicyFactory: unknown policy '" + name + "'");
-  }
-  return entry->description;
-}
-
-const PolicyFactory::Entry* PolicyFactory::find_locked(
-    const std::string& name) const {
-  for (const auto& [key, value] : entries_) {
-    if (key == name) return &value;
-  }
-  return nullptr;
 }
 
 }  // namespace fsc

@@ -7,20 +7,25 @@
 // "static-fan" for the conservative-firmware comparison).  New policies —
 // research variants, ablations — register themselves by name and instantly
 // become available to every driver that selects policies by string (CLI
-// arguments, rack configs, sweep harnesses).
+// arguments, scenario files, sweep harnesses).
 //
 // The factory also carries the registries of *rack coordinators* (the
 // cross-server policies of coord/) and *room schedulers* (the cross-rack
-// policies of room/) under the same string-selection scheme:
-// "independent", "shared-fan-zone", and "power-budget" coordinators and
-// the "static", "thermal-headroom", and "power-aware" schedulers are
-// pre-registered, and the three namespaces are independent (a DtmPolicy,
-// a coordinator, and a scheduler may share a name).
+// policies of room/) under the same string-selection scheme.  All three
+// live on one Registry<Product, Config> template, so every tier has the
+// identical contract — add/contains/make/names/describe/list — and a new
+// tier is one member, not a third copy of the registry code.  The
+// namespaces are independent (a DtmPolicy, a coordinator, and a scheduler
+// may share a name — "failsafe" does exactly that across the coord and
+// room tiers).
 #pragma once
 
+#include <algorithm>
 #include <functional>
 #include <memory>
 #include <mutex>
+#include <sstream>
+#include <stdexcept>
 #include <string>
 #include <utility>
 #include <vector>
@@ -35,118 +40,219 @@ struct CoordinatorConfig;    // coord/coordinator.hpp
 class RoomScheduler;         // room/scheduler.hpp
 struct RoomSchedulerConfig;  // room/scheduler.hpp
 
-/// Process-wide policy registry.  Thread-safe: make()/names()/contains()
-/// may be called concurrently with each other (the rack batch runner
-/// constructs policies from worker threads); register_policy() is also
-/// serialised, though registration is expected to happen at startup.
-class PolicyFactory {
+/// One registry row, as surfaced by PolicyFactory's list_*() methods (the
+/// `--list-policies` CLI output): registration order, name + description.
+struct PolicyListing {
+  std::string name;
+  std::string description;
+
+  bool operator==(const PolicyListing&) const = default;
+};
+
+/// One string-keyed tier of the factory: builders producing
+/// std::unique_ptr<Product> from a shared Config.  Thread-safe under its
+/// own mutex — lookups may run concurrently with each other (the rack
+/// batch runner constructs policies from worker threads) and builders are
+/// invoked OUTSIDE the lock so concurrent construction does not serialise.
+/// `kind` only flavors the error messages ("policy", "coordinator", ...).
+template <typename Product, typename Config>
+class Registry {
  public:
-  /// Builds a configured policy from the shared SolutionConfig.
-  using Builder =
-      std::function<std::unique_ptr<DtmPolicy>(const SolutionConfig&)>;
+  using Builder = std::function<std::unique_ptr<Product>(const Config&)>;
 
-  /// Builds a configured rack coordinator from the shared CoordinatorConfig.
-  using CoordinatorBuilder =
-      std::function<std::unique_ptr<RackCoordinator>(const CoordinatorConfig&)>;
+  explicit Registry(std::string kind) : kind_(std::move(kind)) {}
 
-  /// Builds a configured room scheduler from the shared RoomSchedulerConfig.
-  using RoomSchedulerBuilder =
-      std::function<std::unique_ptr<RoomScheduler>(const RoomSchedulerConfig&)>;
+  /// Register a builder under `name`.  Throws std::invalid_argument on an
+  /// empty name, a null builder, or a duplicate.
+  void add(std::string name, std::string description, Builder builder) {
+    if (name.empty()) {
+      throw std::invalid_argument("PolicyFactory: " + kind_ +
+                                  " name must not be empty");
+    }
+    if (!builder) {
+      throw std::invalid_argument("PolicyFactory: " + kind_ + " '" + name +
+                                  "' builder must not be null");
+    }
+    std::lock_guard<std::mutex> lock(mutex_);
+    if (find_locked(name) != nullptr) {
+      throw std::invalid_argument("PolicyFactory: " + kind_ + " '" + name +
+                                  "' already registered");
+    }
+    entries_.emplace_back(std::move(name),
+                          Entry{std::move(description), std::move(builder)});
+  }
 
-  /// The singleton, with the built-in policies pre-registered.
-  static PolicyFactory& instance();
+  bool contains(const std::string& name) const {
+    std::lock_guard<std::mutex> lock(mutex_);
+    return find_locked(name) != nullptr;
+  }
 
-  /// Register a policy under `name`.  Throws std::invalid_argument when the
-  /// name is empty, the builder is null, or the name is already taken.
-  void register_policy(std::string name, std::string description, Builder builder);
-
-  /// True when `name` is registered.
-  bool contains(const std::string& name) const;
-
-  /// Construct the policy registered under `name`.
-  /// Throws std::out_of_range (listing the known names) when absent.
-  std::unique_ptr<DtmPolicy> make(const std::string& name,
-                                  const SolutionConfig& cfg) const;
+  /// Construct the entry registered under `name`.  Throws std::out_of_range
+  /// (listing the known names) when absent.
+  std::unique_ptr<Product> make(const std::string& name,
+                                const Config& cfg) const {
+    Builder builder;
+    {
+      std::lock_guard<std::mutex> lock(mutex_);
+      const Entry* entry = find_locked(name);
+      if (entry == nullptr) {
+        std::ostringstream msg;
+        msg << "PolicyFactory: unknown " << kind_ << " '" << name
+            << "'; known:";
+        for (const auto& [key, value] : entries_) msg << " " << key;
+        throw std::out_of_range(msg.str());
+      }
+      builder = entry->builder;
+    }
+    return builder(cfg);
+  }
 
   /// All registered names, sorted.
-  std::vector<std::string> names() const;
+  std::vector<std::string> names() const {
+    std::lock_guard<std::mutex> lock(mutex_);
+    std::vector<std::string> out;
+    out.reserve(entries_.size());
+    for (const auto& [key, value] : entries_) out.push_back(key);
+    std::sort(out.begin(), out.end());
+    return out;
+  }
 
   /// Human-readable description of `name`; throws std::out_of_range when
   /// absent.
-  std::string describe(const std::string& name) const;
+  std::string describe(const std::string& name) const {
+    std::lock_guard<std::mutex> lock(mutex_);
+    const Entry* entry = find_locked(name);
+    if (entry == nullptr) {
+      throw std::out_of_range("PolicyFactory: unknown " + kind_ + " '" +
+                              name + "'");
+    }
+    return entry->description;
+  }
 
-  // ----- rack coordinator registry (same contract, separate namespace) ----
-
-  /// Register a coordinator under `name`.  Throws std::invalid_argument on
-  /// an empty name, a null builder, or a duplicate.
-  void register_coordinator(std::string name, std::string description,
-                            CoordinatorBuilder builder);
-
-  /// True when a coordinator named `name` is registered.
-  bool contains_coordinator(const std::string& name) const;
-
-  /// Construct the coordinator registered under `name`.
-  /// Throws std::out_of_range (listing the known names) when absent.
-  std::unique_ptr<RackCoordinator> make_coordinator(
-      const std::string& name, const CoordinatorConfig& cfg) const;
-
-  /// All registered coordinator names, sorted.
-  std::vector<std::string> coordinator_names() const;
-
-  /// Human-readable description of coordinator `name`; throws
-  /// std::out_of_range when absent.
-  std::string describe_coordinator(const std::string& name) const;
-
-  // ----- room scheduler registry (same contract, separate namespace) ------
-
-  /// Register a room scheduler under `name`.  Throws std::invalid_argument
-  /// on an empty name, a null builder, or a duplicate.
-  void register_room_scheduler(std::string name, std::string description,
-                               RoomSchedulerBuilder builder);
-
-  /// True when a room scheduler named `name` is registered.
-  bool contains_room_scheduler(const std::string& name) const;
-
-  /// Construct the room scheduler registered under `name`.
-  /// Throws std::out_of_range (listing the known names) when absent.
-  std::unique_ptr<RoomScheduler> make_room_scheduler(
-      const std::string& name, const RoomSchedulerConfig& cfg) const;
-
-  /// All registered room scheduler names, sorted.
-  std::vector<std::string> room_scheduler_names() const;
-
-  /// Human-readable description of room scheduler `name`; throws
-  /// std::out_of_range when absent.
-  std::string describe_room_scheduler(const std::string& name) const;
+  /// Every entry with its description, in registration order (built-ins
+  /// first) — the `--list-policies` view.
+  std::vector<PolicyListing> list() const {
+    std::lock_guard<std::mutex> lock(mutex_);
+    std::vector<PolicyListing> out;
+    out.reserve(entries_.size());
+    for (const auto& [key, value] : entries_) {
+      out.push_back(PolicyListing{key, value.description});
+    }
+    return out;
+  }
 
  private:
-  PolicyFactory();
-
   struct Entry {
     std::string description;
     Builder builder;
   };
 
-  struct CoordinatorEntry {
-    std::string description;
-    CoordinatorBuilder builder;
-  };
+  const Entry* find_locked(const std::string& name) const {
+    for (const auto& [key, value] : entries_) {
+      if (key == name) return &value;
+    }
+    return nullptr;
+  }
 
-  struct RoomSchedulerEntry {
-    std::string description;
-    RoomSchedulerBuilder builder;
-  };
-
+  std::string kind_;
   mutable std::mutex mutex_;
   std::vector<std::pair<std::string, Entry>> entries_;  ///< insertion order
-  std::vector<std::pair<std::string, CoordinatorEntry>> coordinator_entries_;
-  std::vector<std::pair<std::string, RoomSchedulerEntry>>
-      room_scheduler_entries_;
+};
 
-  const Entry* find_locked(const std::string& name) const;
-  const CoordinatorEntry* find_coordinator_locked(const std::string& name) const;
-  const RoomSchedulerEntry* find_room_scheduler_locked(
-      const std::string& name) const;
+/// Process-wide policy registry: three Registry tiers (slot DtmPolicies,
+/// rack coordinators, room schedulers) behind the singleton.  The named
+/// forwarding methods are kept so call sites read as domain code
+/// (make_coordinator(...)) rather than tier plumbing.
+class PolicyFactory {
+ public:
+  /// Builds a configured policy from the shared SolutionConfig.
+  using Builder = Registry<DtmPolicy, SolutionConfig>::Builder;
+
+  /// Builds a configured rack coordinator from the shared CoordinatorConfig.
+  using CoordinatorBuilder =
+      Registry<RackCoordinator, CoordinatorConfig>::Builder;
+
+  /// Builds a configured room scheduler from the shared RoomSchedulerConfig.
+  using RoomSchedulerBuilder =
+      Registry<RoomScheduler, RoomSchedulerConfig>::Builder;
+
+  /// The singleton, with the built-in policies pre-registered.
+  static PolicyFactory& instance();
+
+  // ----- slot policy tier -------------------------------------------------
+
+  void register_policy(std::string name, std::string description,
+                       Builder builder) {
+    policies_.add(std::move(name), std::move(description), std::move(builder));
+  }
+  bool contains(const std::string& name) const {
+    return policies_.contains(name);
+  }
+  std::unique_ptr<DtmPolicy> make(const std::string& name,
+                                  const SolutionConfig& cfg) const {
+    return policies_.make(name, cfg);
+  }
+  std::vector<std::string> names() const { return policies_.names(); }
+  std::string describe(const std::string& name) const {
+    return policies_.describe(name);
+  }
+  std::vector<PolicyListing> list_policies() const { return policies_.list(); }
+
+  // ----- rack coordinator tier (same contract, separate namespace) --------
+
+  void register_coordinator(std::string name, std::string description,
+                            CoordinatorBuilder builder) {
+    coordinators_.add(std::move(name), std::move(description),
+                      std::move(builder));
+  }
+  bool contains_coordinator(const std::string& name) const {
+    return coordinators_.contains(name);
+  }
+  /// Defined in policy_factory.cpp: the returned unique_ptr needs the
+  /// complete RackCoordinator type, which this header only forward-declares.
+  std::unique_ptr<RackCoordinator> make_coordinator(
+      const std::string& name, const CoordinatorConfig& cfg) const;
+  std::vector<std::string> coordinator_names() const {
+    return coordinators_.names();
+  }
+  std::string describe_coordinator(const std::string& name) const {
+    return coordinators_.describe(name);
+  }
+  std::vector<PolicyListing> list_coordinators() const {
+    return coordinators_.list();
+  }
+
+  // ----- room scheduler tier (same contract, separate namespace) ----------
+
+  void register_room_scheduler(std::string name, std::string description,
+                               RoomSchedulerBuilder builder) {
+    room_schedulers_.add(std::move(name), std::move(description),
+                         std::move(builder));
+  }
+  bool contains_room_scheduler(const std::string& name) const {
+    return room_schedulers_.contains(name);
+  }
+  /// Defined in policy_factory.cpp: the returned unique_ptr needs the
+  /// complete RoomScheduler type, which this header only forward-declares.
+  std::unique_ptr<RoomScheduler> make_room_scheduler(
+      const std::string& name, const RoomSchedulerConfig& cfg) const;
+  std::vector<std::string> room_scheduler_names() const {
+    return room_schedulers_.names();
+  }
+  std::string describe_room_scheduler(const std::string& name) const {
+    return room_schedulers_.describe(name);
+  }
+  std::vector<PolicyListing> list_room_schedulers() const {
+    return room_schedulers_.list();
+  }
+
+ private:
+  PolicyFactory();
+
+  Registry<DtmPolicy, SolutionConfig> policies_{"policy"};
+  Registry<RackCoordinator, CoordinatorConfig> coordinators_{"coordinator"};
+  Registry<RoomScheduler, RoomSchedulerConfig> room_schedulers_{
+      "room scheduler"};
 };
 
 /// Canonical registry key for a Table III solution (e.g. kRuleFixed ->

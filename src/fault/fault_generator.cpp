@@ -1,0 +1,81 @@
+#include "fault/fault_generator.hpp"
+
+#include "actuator/fan_actuator.hpp"
+#include "util/rng.hpp"
+#include "util/units.hpp"
+
+namespace fsc {
+
+FaultScenarioGenerator::FaultScenarioGenerator(
+    const FaultScenarioParams& params)
+    : params_(params) {
+  require(params_.num_racks > 0 && params_.num_slots > 0,
+          "FaultScenarioGenerator: need at least one rack and slot");
+  require(params_.duration_s > 0.0,
+          "FaultScenarioGenerator: duration must be > 0");
+  require(params_.permanent_fraction >= 0.0 &&
+              params_.permanent_fraction <= 1.0,
+          "FaultScenarioGenerator: permanent fraction must be in [0, 1]");
+  require(params_.earliest_fraction >= 0.0 &&
+              params_.latest_fraction <= 1.0 &&
+              params_.earliest_fraction <= params_.latest_fraction,
+          "FaultScenarioGenerator: need 0 <= earliest <= latest <= 1");
+}
+
+FaultPlan FaultScenarioGenerator::generate(std::uint64_t seed) const {
+  Rng rng(seed);
+  // Weighted kind mix: heavier on the detectable faults a failsafe policy
+  // can answer (dropped sensor, seized fan, blackout), lighter on the
+  // silent confounders.  Weights sum to 10.
+  static constexpr FaultKind kMix[10] = {
+      FaultKind::kSensorDropped, FaultKind::kSensorDropped,
+      FaultKind::kFanSeized,     FaultKind::kFanSeized,
+      FaultKind::kSlotBlackout,  FaultKind::kSlotBlackout,
+      FaultKind::kSensorStuck,   FaultKind::kSensorNoisy,
+      FaultKind::kFanDegraded,   FaultKind::kSlotBlackout,
+  };
+
+  FaultPlan plan;
+  plan.events.reserve(params_.num_events);
+  for (std::size_t i = 0; i < params_.num_events; ++i) {
+    FaultEvent e;
+    e.kind = kMix[static_cast<std::size_t>(rng.uniform_int(0, 9))];
+    e.rack = static_cast<std::size_t>(
+        rng.uniform_int(0, static_cast<std::int64_t>(params_.num_racks) - 1));
+    e.slot = static_cast<std::size_t>(
+        rng.uniform_int(0, static_cast<std::int64_t>(params_.num_slots) - 1));
+    e.start_s = rng.uniform(params_.earliest_fraction * params_.duration_s,
+                            params_.latest_fraction * params_.duration_s);
+    if (rng.bernoulli(params_.permanent_fraction)) {
+      e.duration_s = -1.0;
+    } else {
+      // Long enough to span several 30 s coordination periods, short
+      // enough that recovery happens inside the run.
+      e.duration_s = rng.uniform(0.1, 0.3) * params_.duration_s;
+    }
+    switch (e.kind) {
+      case FaultKind::kSensorStuck:
+        // A believable-but-wrong reading, low enough to lull a controller.
+        e.value = rng.uniform(35.0, 55.0);
+        break;
+      case FaultKind::kSensorNoisy:
+        e.value = rng.uniform(2.0, 6.0);  // degC stddev, well beyond spec
+        break;
+      case FaultKind::kFanDegraded:
+        e.value = rng.uniform(2500.0, 4500.0);  // lost top-end headroom
+        break;
+      case FaultKind::kFanSeized:
+        e.value = FanActuator::kDefaultSeizedRpm;
+        break;
+      case FaultKind::kSensorDropped:
+      case FaultKind::kSlotBlackout:
+        e.value = 0.0;
+        break;
+    }
+    plan.events.push_back(e);
+  }
+  plan.validate(params_.num_racks, params_.num_slots);
+  return plan;
+}
+
+}  // namespace fsc

@@ -1,0 +1,53 @@
+// Seeded random FaultPlan generation — the fault layer's scenario corpus.
+//
+// bench_fault_resilience and soak-style tests need *many* plausible
+// failure stories, not one hand-written plan.  The generator draws typed
+// events (kind mix, victim, onset, duration, payload) from one Rng seeded
+// per scenario, so a corpus is reproducible from a base seed alone:
+// generate(derive_seed(base, i)) is the i-th scenario forever, on every
+// machine (tests/test_fault.cpp pins the seed round-trip).
+#pragma once
+
+#include <cstdint>
+
+#include "fault/fault_plan.hpp"
+
+namespace fsc {
+
+/// Shape of the fleet and of the failure story to draw.
+struct FaultScenarioParams {
+  std::size_t num_racks = 1;
+  std::size_t num_slots = 8;   ///< per rack
+  double duration_s = 900.0;   ///< run horizon events are placed within
+  std::size_t num_events = 3;
+  /// Probability an event never clears (duration_s <= 0).
+  double permanent_fraction = 0.5;
+  /// Earliest onset as a fraction of the horizon: faults too close to t=0
+  /// hit before any control history exists, too close to the end are
+  /// invisible; the default places them in [0.1, 0.7] x duration.
+  double earliest_fraction = 0.1;
+  double latest_fraction = 0.7;
+};
+
+/// Draws FaultPlans.  Stateless between calls except for nothing at all:
+/// each generate(seed) builds its own Rng, so plans are independent of
+/// call order.
+class FaultScenarioGenerator {
+ public:
+  /// Throws std::invalid_argument on an empty fleet, a non-positive
+  /// horizon, a fraction outside [0, 1], or an inverted onset window.
+  explicit FaultScenarioGenerator(const FaultScenarioParams& params);
+
+  const FaultScenarioParams& params() const noexcept { return params_; }
+
+  /// A plan of params().num_events events, fully determined by `seed`.
+  /// The kind mix leans on the detectable faults (dropped sensor, seized
+  /// fan, blackout) that failsafe policies can actually answer, with the
+  /// silent ones (stuck, noisy, degraded) mixed in as confounders.
+  FaultPlan generate(std::uint64_t seed) const;
+
+ private:
+  FaultScenarioParams params_;
+};
+
+}  // namespace fsc

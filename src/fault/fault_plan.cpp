@@ -1,0 +1,111 @@
+#include "fault/fault_plan.hpp"
+
+#include <stdexcept>
+
+#include "util/json.hpp"
+#include "util/units.hpp"
+
+namespace fsc {
+
+const char* to_string(FaultKind kind) noexcept {
+  switch (kind) {
+    case FaultKind::kSensorStuck: return "sensor-stuck";
+    case FaultKind::kSensorDropped: return "sensor-dropped";
+    case FaultKind::kSensorNoisy: return "sensor-noisy";
+    case FaultKind::kFanDegraded: return "fan-degraded";
+    case FaultKind::kFanSeized: return "fan-seized";
+    case FaultKind::kSlotBlackout: return "slot-blackout";
+  }
+  return "unknown";
+}
+
+FaultKind fault_kind_from_string(const std::string& name) {
+  for (const FaultKind kind :
+       {FaultKind::kSensorStuck, FaultKind::kSensorDropped,
+        FaultKind::kSensorNoisy, FaultKind::kFanDegraded, FaultKind::kFanSeized,
+        FaultKind::kSlotBlackout}) {
+    if (name == to_string(kind)) return kind;
+  }
+  throw std::invalid_argument("FaultPlan: unknown fault kind '" + name + "'");
+}
+
+void FaultPlan::validate(std::size_t num_racks, std::size_t num_slots) const {
+  for (std::size_t i = 0; i < events.size(); ++i) {
+    const FaultEvent& e = events[i];
+    const std::string where =
+        "FaultPlan: event " + std::to_string(i) + " (" + to_string(e.kind) + ")";
+    require(e.rack < num_racks, where + ": rack index out of range");
+    require(e.slot < num_slots, where + ": slot index out of range");
+    require(e.start_s >= 0.0, where + ": start time must be >= 0");
+    switch (e.kind) {
+      case FaultKind::kSensorNoisy:
+        require(e.value > 0.0, where + ": noise stddev must be > 0");
+        break;
+      case FaultKind::kFanDegraded:
+        require(e.value > 0.0, where + ": degraded max rpm must be > 0");
+        break;
+      case FaultKind::kSensorStuck:
+      case FaultKind::kSensorDropped:
+      case FaultKind::kFanSeized:
+      case FaultKind::kSlotBlackout:
+        require(e.value >= 0.0, where + ": value must be >= 0");
+        break;
+    }
+  }
+}
+
+FaultPlan FaultPlan::for_rack(std::size_t rack) const {
+  FaultPlan out;
+  for (const FaultEvent& e : events) {
+    if (e.rack != rack) continue;
+    FaultEvent local = e;
+    local.rack = 0;
+    out.events.push_back(local);
+  }
+  return out;
+}
+
+std::string FaultPlan::to_json(int indent) const {
+  json::Value arr = json::Value::array();
+  for (const FaultEvent& e : events) {
+    json::Value o = json::Value::object();
+    o.set("kind", json::Value::string(to_string(e.kind)));
+    o.set("rack", json::Value::number(static_cast<double>(e.rack)));
+    o.set("slot", json::Value::number(static_cast<double>(e.slot)));
+    o.set("start_s", json::Value::number(e.start_s));
+    o.set("duration_s", json::Value::number(e.duration_s));
+    o.set("value", json::Value::number(e.value));
+    arr.push_back(std::move(o));
+  }
+  return arr.dump(indent);
+}
+
+FaultPlan FaultPlan::from_json_text(const std::string& text) {
+  const json::Value doc = json::Value::parse(text);
+  if (!doc.is_array()) {
+    throw std::invalid_argument("FaultPlan: expected a JSON array of events");
+  }
+  FaultPlan out;
+  for (const json::Value& o : doc.elements()) {
+    if (!o.is_object()) {
+      throw std::invalid_argument("FaultPlan: each event must be an object");
+    }
+    FaultEvent e;
+    e.kind = fault_kind_from_string(o.at("kind").as_string());
+    if (const json::Value* v = o.find("rack")) {
+      e.rack = static_cast<std::size_t>(v->as_number());
+    }
+    if (const json::Value* v = o.find("slot")) {
+      e.slot = static_cast<std::size_t>(v->as_number());
+    }
+    if (const json::Value* v = o.find("start_s")) e.start_s = v->as_number();
+    if (const json::Value* v = o.find("duration_s")) {
+      e.duration_s = v->as_number();
+    }
+    if (const json::Value* v = o.find("value")) e.value = v->as_number();
+    out.events.push_back(e);
+  }
+  return out;
+}
+
+}  // namespace fsc

@@ -45,6 +45,12 @@ struct RackObservation {
   /// barrier (pooled over its slots).
   std::size_t window_deadline_violations = 0;
   double demand_scale = 1.0;  ///< scale currently in force on this rack
+  /// Slots whose management-plane telemetry is blacked out
+  /// (SlotObservation::telemetry_ok false): their contribution to every
+  /// aggregate above is a frozen last-good value, not a live reading.  A
+  /// fault-aware scheduler ("failsafe") treats a rack with dark slots as a
+  /// migration source since its true thermal state is unknown.
+  std::size_t dark_slots = 0;
 };
 
 /// Aggregate one rack's SlotObservations (as collected by the rack barrier
@@ -90,6 +96,11 @@ struct RoomSchedulerConfig {
   /// Room-wide CPU power budget in watts ("power-aware").  <= 0 derives a
   /// default of 85 % of the room's aggregate max CPU power.
   double room_power_budget_watts = 0.0;
+  /// Moving-average window (room rounds) of the per-rack demand forecast
+  /// the "failsafe" scheduler keeps (workload/predictor.hpp): when a rack's
+  /// telemetry goes dark its observed demand freezes, so migration math
+  /// falls back on the forecast instead of the stale reading.
+  std::size_t predictor_window = 8;
   CpuPowerModel cpu_power = CpuPowerModel::table1_defaults();
 
   /// The budget actually in force: explicit when positive, else the 85 %
@@ -135,8 +146,8 @@ class RoomScheduler {
 };
 
 /// Registers the built-in schedulers ("static", "thermal-headroom",
-/// "power-aware"); called once by PolicyFactory's constructor.  Defined in
-/// room/schedulers.cpp.
+/// "power-aware", "failsafe"); called once by PolicyFactory's constructor.
+/// Defined in room/schedulers.cpp.
 void register_builtin_room_schedulers(PolicyFactory& factory);
 
 }  // namespace fsc

@@ -42,6 +42,7 @@ RackObservation aggregate_rack_observation(
     o.mean_measured_temp += s.measured_temp;
     o.max_measured_temp = std::max(o.max_measured_temp, s.measured_temp);
     o.mean_fan_rpm += s.fan_actual_rpm;
+    if (!s.telemetry_ok) ++o.dark_slots;
   }
   if (!slots.empty()) {
     const double n = static_cast<double>(slots.size());
@@ -249,6 +250,152 @@ void PowerAwareScheduler::schedule(double,
   }
 }
 
+// -------------------------------------------------------------- failsafe
+
+FailsafeRoomScheduler::FailsafeRoomScheduler(const RoomSchedulerConfig& cfg)
+    : cfg_(cfg) {
+  require(cfg_.migration_step > 0.0 && cfg_.migration_step < 1.0,
+          "FailsafeRoomScheduler: migration step must be in (0, 1)");
+  require(cfg_.min_demand_scale > 0.0 &&
+              cfg_.min_demand_scale < cfg_.max_demand_scale,
+          "FailsafeRoomScheduler: need 0 < min scale < max scale");
+  require(cfg_.hysteresis_celsius >= 0.0,
+          "FailsafeRoomScheduler: hysteresis must be >= 0");
+  require(cfg_.migration_cost_fraction >= 0.0,
+          "FailsafeRoomScheduler: migration cost must be >= 0");
+  require(cfg_.predictor_window > 0,
+          "FailsafeRoomScheduler: predictor window must be > 0");
+}
+
+void FailsafeRoomScheduler::reset() {
+  scales_.clear();
+  predictors_.clear();
+  forecasts_.clear();
+  cooldown_ = 0;
+  migrations_ = 0;
+  evacuations_ = 0;
+}
+
+void FailsafeRoomScheduler::schedule(double,
+                                     const std::vector<RackObservation>& racks,
+                                     std::vector<RackDirective>& out) {
+  if (scales_.empty()) {
+    scales_.assign(racks.size(), 1.0);
+    predictors_.reserve(racks.size());
+    for (std::size_t i = 0; i < racks.size(); ++i) {
+      predictors_.emplace_back(cfg_.predictor_window);
+    }
+    forecasts_.assign(racks.size(), 0.0);
+  }
+  require(scales_.size() == racks.size(),
+          "FailsafeRoomScheduler: rack count changed mid-run");
+
+  // Track each rack's native (descaled) per-slot demand while it is bright;
+  // a dark rack's observation is a frozen last-good value, so feeding it
+  // would bias the filter toward the moment the link died.
+  for (std::size_t i = 0; i < racks.size(); ++i) {
+    const RackObservation& r = racks[i];
+    const double raw_u =
+        r.demand_scale > 0.0 ? r.demand / r.demand_scale : r.demand;
+    if (r.dark_slots == 0) predictors_[i].observe(raw_u);
+    forecasts_[i] = predictors_[i].predict();
+  }
+
+  if (cooldown_ > 0) {
+    --cooldown_;
+    directives_into(scales_, out);
+    return;
+  }
+
+  // Priority 1 — evacuation: a rack with blacked-out slots is an unknown
+  // quantity (its "observations" are stale), so move load off it toward
+  // the coolest bright rack with absorption headroom.  The moved units are
+  // priced from the forecast, not the frozen observation.
+  std::size_t dark = racks.size();
+  std::size_t cool = racks.size();
+  for (std::size_t i = 0; i < racks.size(); ++i) {
+    const RackObservation& r = racks[i];
+    if (r.dark_slots > 0 && scales_[i] > cfg_.min_demand_scale &&
+        forecasts_[i] > kMinScalableDemand &&
+        (dark == racks.size() || r.dark_slots > racks[dark].dark_slots)) {
+      dark = i;
+    }
+    if (r.dark_slots == 0 && scales_[i] < cfg_.max_demand_scale &&
+        r.demand > kMinScalableDemand &&
+        (cool == racks.size() ||
+         r.mean_inlet_celsius < racks[cool].mean_inlet_celsius)) {
+      cool = i;
+    }
+  }
+  if (dark != racks.size() && cool != racks.size() && dark != cool) {
+    const RackObservation& donor = racks[dark];
+    const RackObservation& receiver = racks[cool];
+    const double moved_units = cfg_.migration_step * forecasts_[dark] *
+                               scales_[dark] *
+                               static_cast<double>(donor.slots);
+    const double receiver_raw_units = receiver.demand / scales_[cool] *
+                                      static_cast<double>(receiver.slots);
+    scales_[dark] = std::max(cfg_.min_demand_scale,
+                             scales_[dark] * (1.0 - cfg_.migration_step));
+    scales_[cool] = std::min(cfg_.max_demand_scale,
+                             scales_[cool] + moved_units / receiver_raw_units);
+    cooldown_ = cfg_.cooldown_rounds;
+    ++migrations_;
+    ++evacuations_;
+    directives_into(scales_, out);
+    out[cool].demand_scale = std::min(
+        cfg_.max_demand_scale,
+        scales_[cool] * (1.0 + cfg_.migration_cost_fraction));
+    return;
+  }
+
+  // Priority 2 — the thermal-headroom behavior over the bright racks (a
+  // dark rack can neither donate on thermal grounds — its inlet reading is
+  // stale — nor absorb).
+  std::size_t hot = racks.size();
+  cool = racks.size();
+  for (std::size_t i = 0; i < racks.size(); ++i) {
+    const RackObservation& r = racks[i];
+    if (r.dark_slots > 0) continue;
+    if (scales_[i] > cfg_.min_demand_scale && r.demand > kMinScalableDemand &&
+        (hot == racks.size() ||
+         r.mean_inlet_celsius > racks[hot].mean_inlet_celsius)) {
+      hot = i;
+    }
+    if (scales_[i] < cfg_.max_demand_scale && r.demand > kMinScalableDemand &&
+        (cool == racks.size() ||
+         r.mean_inlet_celsius < racks[cool].mean_inlet_celsius)) {
+      cool = i;
+    }
+  }
+  if (hot == racks.size() || cool == racks.size() || hot == cool) {
+    directives_into(scales_, out);
+    return;
+  }
+  const double spread =
+      racks[hot].mean_inlet_celsius - racks[cool].mean_inlet_celsius;
+  if (spread < cfg_.hysteresis_celsius) {
+    directives_into(scales_, out);
+    return;
+  }
+  const RackObservation& donor = racks[hot];
+  const RackObservation& receiver = racks[cool];
+  const double moved_units =
+      cfg_.migration_step * donor.demand * static_cast<double>(donor.slots);
+  const double receiver_raw_units = receiver.demand / scales_[cool] *
+                                    static_cast<double>(receiver.slots);
+  scales_[hot] = std::max(cfg_.min_demand_scale,
+                          scales_[hot] * (1.0 - cfg_.migration_step));
+  scales_[cool] = std::min(cfg_.max_demand_scale,
+                           scales_[cool] + moved_units / receiver_raw_units);
+  cooldown_ = cfg_.cooldown_rounds;
+  ++migrations_;
+  directives_into(scales_, out);
+  out[cool].demand_scale = std::min(
+      cfg_.max_demand_scale,
+      scales_[cool] * (1.0 + cfg_.migration_cost_fraction));
+}
+
 // ------------------------------------------------------------- registry
 
 void register_builtin_room_schedulers(PolicyFactory& factory) {
@@ -270,6 +417,13 @@ void register_builtin_room_schedulers(PolicyFactory& factory) {
       "water-filling",
       [](const RoomSchedulerConfig& cfg) -> std::unique_ptr<RoomScheduler> {
         return std::make_unique<PowerAwareScheduler>(cfg);
+      });
+  factory.register_room_scheduler(
+      "failsafe",
+      "thermal-headroom plus evacuation of blacked-out racks, priced by a "
+      "moving-average demand forecast",
+      [](const RoomSchedulerConfig& cfg) -> std::unique_ptr<RoomScheduler> {
+        return std::make_unique<FailsafeRoomScheduler>(cfg);
       });
 }
 

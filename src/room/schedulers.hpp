@@ -12,6 +12,11 @@
 //                     load is re-divided across under-budget racks by the
 //                     same max-min water-filling the rack power-budget
 //                     coordinator uses (coord/policies.hpp)
+//   failsafe          thermal-headroom hardened against the fault layer:
+//                     racks with blacked-out slots are evacuated (forced
+//                     migration sources) using a per-rack moving-average
+//                     demand forecast (workload/predictor.hpp) in place of
+//                     their frozen observations
 #pragma once
 
 #include <cstddef>
@@ -19,6 +24,7 @@
 #include <vector>
 
 #include "room/scheduler.hpp"
+#include "workload/predictor.hpp"
 
 namespace fsc {
 
@@ -81,6 +87,47 @@ class PowerAwareScheduler final : public RoomScheduler {
  private:
   RoomSchedulerConfig cfg_;
   double budget_watts_;
+};
+
+/// Fault-aware migration.  Behaves like ThermalHeadroomScheduler while the
+/// room is healthy.  Each round it also feeds a per-rack moving-average
+/// demand forecast (RoomSchedulerConfig::predictor_window rounds,
+/// workload/predictor.hpp) from the observed *descaled* demand — but only
+/// while the rack is bright; a dark rack's observations are frozen
+/// last-good values and would poison the filter.  When a rack reports
+/// dark_slots > 0 it becomes a forced migration source: its load is scaled
+/// down by migration_step toward the coolest bright rack, with the moved
+/// units priced from the forecast instead of the stale observation.  This
+/// is the first cross-layer consumer of the workload predictor above the
+/// single-server ladder.
+class FailsafeRoomScheduler final : public RoomScheduler {
+ public:
+  /// Throws std::invalid_argument on the same bad knobs as
+  /// ThermalHeadroomScheduler, or a zero predictor window.
+  explicit FailsafeRoomScheduler(const RoomSchedulerConfig& cfg);
+  std::string name() const override { return "failsafe"; }
+  void reset() override;
+  void schedule(double time_s, const std::vector<RackObservation>& racks,
+                std::vector<RackDirective>& out) override;
+
+  std::size_t migrations() const noexcept { return migrations_; }
+  /// Evacuation migrations (dark donor) within migrations() (for tests).
+  std::size_t evacuations() const noexcept { return evacuations_; }
+  const std::vector<double>& scales() const noexcept { return scales_; }
+  /// The forecast used for rack `rack` in the most recent schedule() call
+  /// (0 before the first call) — pins the predictor integration in tests.
+  double last_forecast(std::size_t rack) const {
+    return rack < forecasts_.size() ? forecasts_[rack] : 0.0;
+  }
+
+ private:
+  RoomSchedulerConfig cfg_;
+  std::vector<double> scales_;
+  std::vector<MovingAveragePredictor> predictors_;
+  std::vector<double> forecasts_;
+  std::size_t cooldown_ = 0;
+  std::size_t migrations_ = 0;
+  std::size_t evacuations_ = 0;
 };
 
 }  // namespace fsc

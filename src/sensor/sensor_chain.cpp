@@ -17,8 +17,31 @@ SensorChain SensorChain::table1_defaults(Rng& rng) {
   return SensorChain(SensorChainParams{}, AdcQuantizer::table1_temperature_adc(), rng);
 }
 
+void SensorChain::set_fault(SensorFaultMode mode, double value) {
+  require(mode != SensorFaultMode::kNoisy || value > 0.0,
+          "SensorChain: noisy-fault stddev must be > 0");
+  fault_mode_ = mode;
+  fault_value_ = value;
+}
+
 void SensorChain::take_sample(double true_value) {
   double v = true_value;
+  switch (fault_mode_) {
+    case SensorFaultMode::kNone:
+      break;
+    case SensorFaultMode::kStuck:
+      // The transducer froze: every sample reports the stuck-at value
+      // (which still rides the normal lag + quantization downstream).
+      v = fault_value_;
+      break;
+    case SensorFaultMode::kDropped:
+      // No sample is delivered at all; the delay line stops advancing and
+      // read() keeps reporting the last value that made it through.
+      return;
+    case SensorFaultMode::kNoisy:
+      v = GaussianNoise(fault_value_).apply(v, *rng_);
+      break;
+  }
   if (params_.noise_stddev > 0.0) {
     v = GaussianNoise(params_.noise_stddev).apply(v, *rng_);
   }

@@ -19,6 +19,17 @@
 
 namespace fsc {
 
+/// Failure mode imposed on a SensorChain (fault/fault_plan.hpp schedules
+/// these; the FaultInjector arms them at coordination barriers).  All
+/// modes act at the sampling instant — the cold half of observe() — so the
+/// unfaulted hot path is untouched.
+enum class SensorFaultMode {
+  kNone,     ///< healthy
+  kStuck,    ///< every new sample is the stuck-at value
+  kDropped,  ///< samples stop being delivered: the reading goes stale
+  kNoisy,    ///< extra Gaussian noise (beyond spec) ahead of the ADC
+};
+
 /// Configuration of the measurement pipeline.
 struct SensorChainParams {
   double sample_period_s = 1.0;   ///< Table I fan sample interval
@@ -70,6 +81,16 @@ class SensorChain {
 
   const SensorChainParams& params() const noexcept { return params_; }
 
+  /// Impose a failure mode from the next sampling instant on.  `value` is
+  /// mode-specific: the stuck-at reading for kStuck, the extra noise
+  /// stddev for kNoisy (must be > 0), unused for kDropped.  Throws
+  /// std::invalid_argument on a non-positive kNoisy stddev.
+  void set_fault(SensorFaultMode mode, double value);
+  /// Return to healthy operation; stale samples drain out over the
+  /// pipeline lag as fresh ones propagate (no instant heal).
+  void clear_fault() noexcept { fault_mode_ = SensorFaultMode::kNone; }
+  SensorFaultMode fault() const noexcept { return fault_mode_; }
+
  private:
   /// Noise + push of one sample into the delay line (the cold half of
   /// observe(), out of line).
@@ -80,6 +101,8 @@ class SensorChain {
   Rng* rng_;
   DelayLine delay_;
   double phase_ = 0.0;  ///< time since last sample
+  SensorFaultMode fault_mode_ = SensorFaultMode::kNone;
+  double fault_value_ = 0.0;
 };
 
 }  // namespace fsc

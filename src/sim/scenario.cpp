@@ -1,0 +1,227 @@
+#include "sim/scenario.hpp"
+
+#include <fstream>
+#include <sstream>
+#include <thread>
+
+#include "core/policy_factory.hpp"
+#include "util/json.hpp"
+#include "util/units.hpp"
+#include "workload/trace_io.hpp"
+
+namespace fsc {
+
+const char* to_string(simd::SimdMode mode) noexcept {
+  switch (mode) {
+    case simd::SimdMode::kOff: return "off";
+    case simd::SimdMode::kOn: return "on";
+    case simd::SimdMode::kAuto: return "auto";
+  }
+  return "unknown";
+}
+
+simd::SimdMode simd_mode_from_string(const std::string& name) {
+  if (name == "off") return simd::SimdMode::kOff;
+  if (name == "on") return simd::SimdMode::kOn;
+  if (name == "auto") return simd::SimdMode::kAuto;
+  throw std::invalid_argument("ScenarioSpec: unknown simd mode '" + name +
+                              "' (off|on|auto)");
+}
+
+void ScenarioSpec::validate() const {
+  require(racks > 0, "ScenarioSpec: need at least one rack");
+  require(slots > 0, "ScenarioSpec: need at least one slot per rack");
+  require(duration_s > 0.0, "ScenarioSpec: duration must be > 0");
+  require(migration_step <= 0.0 || migration_step < 1.0,
+          "ScenarioSpec: migration step must be in (0, 1) when set");
+
+  const PolicyFactory& factory = PolicyFactory::instance();
+  if (!dtm.empty() && !factory.contains(dtm)) {
+    throw std::invalid_argument("ScenarioSpec: unknown dtm policy '" + dtm +
+                                "'");
+  }
+  if (!coordinator.empty() && !factory.contains_coordinator(coordinator)) {
+    throw std::invalid_argument("ScenarioSpec: unknown coordinator '" +
+                                coordinator + "'");
+  }
+  if (!scheduler.empty() && !factory.contains_room_scheduler(scheduler)) {
+    throw std::invalid_argument("ScenarioSpec: unknown room scheduler '" +
+                                scheduler + "'");
+  }
+  faults.validate(racks, slots);
+}
+
+std::size_t ScenarioSpec::resolve_threads() const {
+  if (threads > 0) return threads;
+  const unsigned hw = std::thread::hardware_concurrency();
+  return hw > 0 ? hw : 1;
+}
+
+CoupledRackParams ScenarioSpec::build_rack() const {
+  validate();
+  require(racks == 1,
+          "ScenarioSpec: build_rack needs racks == 1 (use build_room)");
+
+  CoupledRackParams p = default_coupled_scenario(seed, duration_s);
+  p.rack.num_servers = slots;
+  p.plenum_enabled = plenum;
+  p.batched = batched;
+  p.chunk = chunk;
+  p.executor = executor;
+  p.simd = simd;
+  if (!coordinator.empty()) p.coordinator = coordinator;
+  if (!dtm.empty()) p.rack.policy = dtm;
+  if (rack_budget_watts >= 0.0) {
+    p.coord.rack_power_budget_watts = rack_budget_watts;
+  }
+  if (fan_zone > 0) p.coord.fan_zone_size = fan_zone;
+  if (!trace_dir.empty()) p.rack.traces = load_trace_dir(trace_dir);
+  p.faults = faults;  // racks == 1, so the plan is already rack-local
+  return p;
+}
+
+RoomParams ScenarioSpec::build_room() const {
+  validate();
+
+  RoomParams p = default_room_scenario(racks, seed, duration_s);
+  if (!scheduler.empty()) p.scheduler = scheduler;
+  p.cross_plenum_enabled = cross_plenum;
+  p.executor = executor;
+  if (room_budget_watts >= 0.0) {
+    p.sched.room_power_budget_watts = room_budget_watts;
+  }
+  if (migration_step > 0.0) p.sched.migration_step = migration_step;
+
+  std::vector<std::shared_ptr<const SampledWorkload>> traces;
+  if (!trace_dir.empty()) traces = load_trace_dir(trace_dir);
+
+  for (std::size_t r = 0; r < p.racks.size(); ++r) {
+    CoupledRackParams& rack = p.racks[r];
+    rack.rack.num_servers = slots;
+    rack.plenum_enabled = plenum;
+    rack.batched = batched;
+    rack.chunk = chunk;
+    rack.simd = simd;
+    if (!coordinator.empty()) rack.coordinator = coordinator;
+    if (!dtm.empty()) rack.rack.policy = dtm;
+    if (rack_budget_watts >= 0.0) {
+      rack.coord.rack_power_budget_watts = rack_budget_watts;
+    }
+    if (fan_zone > 0) rack.coord.fan_zone_size = fan_zone;
+    if (!traces.empty()) {
+      // Round-robin across the whole room, not per rack, so a trace set
+      // smaller than the room still lands on every rack differently.
+      rack.rack.traces.clear();
+      for (std::size_t s = 0; s < slots; ++s) {
+        rack.rack.traces.push_back(traces[(r * slots + s) % traces.size()]);
+      }
+    }
+    rack.faults = faults.for_rack(r);
+  }
+  return p;
+}
+
+std::string ScenarioSpec::to_json(int indent) const {
+  json::Value o = json::Value::object();
+  o.set("racks", json::Value::number(static_cast<double>(racks)));
+  o.set("slots", json::Value::number(static_cast<double>(slots)));
+  o.set("seed", json::Value::number(static_cast<double>(seed)));
+  o.set("duration_s", json::Value::number(duration_s));
+  o.set("dtm", json::Value::string(dtm));
+  o.set("coordinator", json::Value::string(coordinator));
+  o.set("scheduler", json::Value::string(scheduler));
+  o.set("rack_budget_watts", json::Value::number(rack_budget_watts));
+  o.set("room_budget_watts", json::Value::number(room_budget_watts));
+  o.set("migration_step", json::Value::number(migration_step));
+  o.set("fan_zone", json::Value::number(static_cast<double>(fan_zone)));
+  o.set("plenum", json::Value::boolean(plenum));
+  o.set("cross_plenum", json::Value::boolean(cross_plenum));
+  o.set("threads", json::Value::number(static_cast<double>(threads)));
+  o.set("chunk", json::Value::number(static_cast<double>(chunk)));
+  o.set("batched", json::Value::boolean(batched));
+  o.set("executor", json::Value::boolean(executor));
+  o.set("simd", json::Value::string(to_string(simd)));
+  o.set("trace_dir", json::Value::string(trace_dir));
+  o.set("faults", json::Value::parse(faults.to_json()));
+  return o.dump(indent);
+}
+
+namespace {
+
+std::size_t as_index(const json::Value& v, const char* key) {
+  const double d = v.as_number();
+  if (d < 0.0 || d != static_cast<double>(static_cast<std::size_t>(d))) {
+    throw std::invalid_argument(std::string("ScenarioSpec: '") + key +
+                                "' must be a non-negative integer");
+  }
+  return static_cast<std::size_t>(d);
+}
+
+}  // namespace
+
+ScenarioSpec ScenarioSpec::from_json_text(const std::string& text) {
+  const json::Value root = json::Value::parse(text);
+  if (!root.is_object()) {
+    throw std::invalid_argument("ScenarioSpec: scenario must be an object");
+  }
+  ScenarioSpec spec;
+  for (const auto& [key, value] : root.members()) {
+    if (key == "racks") {
+      spec.racks = as_index(value, "racks");
+    } else if (key == "slots") {
+      spec.slots = as_index(value, "slots");
+    } else if (key == "seed") {
+      spec.seed = static_cast<std::uint64_t>(as_index(value, "seed"));
+    } else if (key == "duration_s") {
+      spec.duration_s = value.as_number();
+    } else if (key == "dtm") {
+      spec.dtm = value.as_string();
+    } else if (key == "coordinator") {
+      spec.coordinator = value.as_string();
+    } else if (key == "scheduler") {
+      spec.scheduler = value.as_string();
+    } else if (key == "rack_budget_watts") {
+      spec.rack_budget_watts = value.as_number();
+    } else if (key == "room_budget_watts") {
+      spec.room_budget_watts = value.as_number();
+    } else if (key == "migration_step") {
+      spec.migration_step = value.as_number();
+    } else if (key == "fan_zone") {
+      spec.fan_zone = as_index(value, "fan_zone");
+    } else if (key == "plenum") {
+      spec.plenum = value.as_bool();
+    } else if (key == "cross_plenum") {
+      spec.cross_plenum = value.as_bool();
+    } else if (key == "threads") {
+      spec.threads = as_index(value, "threads");
+    } else if (key == "chunk") {
+      spec.chunk = as_index(value, "chunk");
+    } else if (key == "batched") {
+      spec.batched = value.as_bool();
+    } else if (key == "executor") {
+      spec.executor = value.as_bool();
+    } else if (key == "simd") {
+      spec.simd = simd_mode_from_string(value.as_string());
+    } else if (key == "trace_dir") {
+      spec.trace_dir = value.as_string();
+    } else if (key == "faults") {
+      spec.faults = FaultPlan::from_json_text(value.dump());
+    } else {
+      // A typo'd knob must not silently run the default.
+      throw std::invalid_argument("ScenarioSpec: unknown key '" + key + "'");
+    }
+  }
+  return spec;
+}
+
+ScenarioSpec ScenarioSpec::from_json_file(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) {
+    throw std::invalid_argument("ScenarioSpec: cannot read '" + path + "'");
+  }
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  return from_json_text(buffer.str());
+}
+
+}  // namespace fsc

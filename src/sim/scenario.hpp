@@ -1,0 +1,111 @@
+// ScenarioSpec: the one declarative description of a run, at every scale.
+//
+// Before this existed each driver hand-assembled CoupledRackParams or
+// RoomParams from a dozen flag variables — the same fifteen lines of
+// override plumbing in fsc_rack, fsc_room, and every bench, drifting
+// independently.  A ScenarioSpec is the flag set as *data*: fleet shape,
+// policy names, seed, execution knobs, trace source, and the fault plan,
+// validated once (validate()) and lowered onto the engine parameter
+// structs by build_rack()/build_room().  The JSON form (to_json /
+// from_json_file) makes a run reproducible from one file:
+//
+//   fsc_rack --scenario run.json
+//   fsc_room --scenario run.json
+//
+// Both CLIs parse their flags INTO a ScenarioSpec (examples/cli_util.hpp)
+// and build engines exclusively through it, so a flag invocation and its
+// JSON transcription are the same run by construction.
+//
+// Layering: sim/ is normally below coord/ and room/; scenario.{hpp,cpp} is
+// the sanctioned exception that reaches up, because "describe a whole run"
+// is inherently a top-of-ladder concern (mirroring the PolicyFactory's
+// register_builtin_* exception in the other direction).
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+
+#include "batch/simd/dispatch.hpp"
+#include "coord/coupled_rack_engine.hpp"
+#include "fault/fault_plan.hpp"
+#include "room/room_engine.hpp"
+
+namespace fsc {
+
+/// A run, declaratively.  Every field has a sensible default; overrides
+/// with "scenario default" sentinels (-1 budgets, 0 zone, empty strings)
+/// leave the canonical contended scenario's value in force, exactly like
+/// the CLI flags they replaced.
+struct ScenarioSpec {
+  // --- fleet shape -------------------------------------------------------
+  std::size_t racks = 1;  ///< 1 = rack-scale (build_rack), > 1 = room-scale
+  std::size_t slots = 8;  ///< servers per rack
+  std::uint64_t seed = 42;
+  double duration_s = 900.0;
+
+  // --- policy selection (PolicyFactory keys) -----------------------------
+  std::string dtm;          ///< per-server DtmPolicy; empty = scenario default
+  std::string coordinator;  ///< rack coordinator; empty = scenario default
+  std::string scheduler = "static";  ///< room scheduler (room-scale only)
+
+  // --- control knobs -----------------------------------------------------
+  double rack_budget_watts = -1.0;  ///< < 0 = scenario default
+  double room_budget_watts = -1.0;  ///< < 0 = scenario default (room only)
+  double migration_step = -1.0;     ///< <= 0 = scenario default (room only)
+  std::size_t fan_zone = 0;         ///< slots per fan zone; 0 = default
+  bool plenum = true;               ///< rack-level shared plenum
+  bool cross_plenum = true;         ///< hot-aisle recirculation (room only)
+
+  // --- execution ---------------------------------------------------------
+  std::size_t threads = 0;  ///< 0 = hardware concurrency
+  std::size_t chunk = 0;    ///< lanes per batch chunk; 0 = auto
+  bool batched = true;
+  bool executor = true;
+  simd::SimdMode simd = simd::SimdMode::kOff;
+
+  // --- inputs ------------------------------------------------------------
+  std::string trace_dir;  ///< replay traces (round-robin); empty = synthetic
+  FaultPlan faults;       ///< scheduled hardware faults; empty = none
+
+  bool operator==(const ScenarioSpec&) const = default;
+
+  /// Cross-field validation: positive fleet shape and duration, policy
+  /// names known to the PolicyFactory (empty = default accepted), fault
+  /// plan addressing real victims, migration step in (0, 1) when set.
+  /// Throws std::invalid_argument naming the offending field.  build_*()
+  /// validate implicitly.
+  void validate() const;
+
+  /// `threads` with the 0 sentinel resolved to the host's concurrency.
+  std::size_t resolve_threads() const;
+
+  /// Lower onto the rack-scale engine parameters (canonical contended
+  /// scenario + these overrides).  Requires racks == 1.  Loads traces from
+  /// trace_dir when set.  Telemetry is NOT part of a scenario — attach
+  /// sinks to the returned params' obs field afterwards.
+  CoupledRackParams build_rack() const;
+
+  /// Lower onto the room-scale engine parameters (canonical contended room
+  /// + these overrides, traces round-robined across the whole room, the
+  /// fault plan re-homed per rack with FaultPlan::for_rack).
+  RoomParams build_room() const;
+
+  /// The spec as a JSON object — a valid --scenario file.  Defaulted
+  /// fields are emitted too, so the file documents the whole run.
+  std::string to_json(int indent = 2) const;
+  /// Parse the object form to_json emits.  Missing keys keep their
+  /// defaults; unknown keys throw (a typo'd knob must not silently run the
+  /// default).  Throws std::invalid_argument on malformed input.
+  static ScenarioSpec from_json_text(const std::string& text);
+  /// from_json_text over the contents of `path`; throws
+  /// std::invalid_argument when the file cannot be read.
+  static ScenarioSpec from_json_file(const std::string& path);
+};
+
+/// Registry-facing names for SimdMode ("off" / "on" / "auto").
+const char* to_string(simd::SimdMode mode) noexcept;
+/// Inverse of to_string; throws std::invalid_argument on an unknown name.
+simd::SimdMode simd_mode_from_string(const std::string& name);
+
+}  // namespace fsc

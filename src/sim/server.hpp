@@ -103,6 +103,21 @@ class Server {
   const EnergyMeter& energy() const noexcept { return energy_; }
   void reset_energy() noexcept { energy_.reset(); }
 
+  /// Fault forwarding (fault/fault_injector.hpp arms these at coordination
+  /// barriers).  Faulted components change only their own behavior — the
+  /// injector is responsible for routing faulted slots off the batched
+  /// plant path, whose SoA arrays know nothing of faults.
+  void set_sensor_fault(SensorFaultMode mode, double value) {
+    sensor_.set_fault(mode, value);
+  }
+  void clear_sensor_fault() noexcept { sensor_.clear_fault(); }
+  SensorFaultMode sensor_fault() const noexcept { return sensor_.fault(); }
+  void set_fan_fault(FanFaultMode mode, double value) {
+    actuator_.set_fault(mode, value);
+  }
+  void clear_fan_fault() noexcept { actuator_.clear_fault(); }
+  FanFaultMode fan_fault() const noexcept { return actuator_.fault(); }
+
   const ServerParams& params() const noexcept { return params_; }
 
  private:

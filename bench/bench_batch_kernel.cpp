@@ -14,11 +14,14 @@
 //     vector kernel this host supports (skipped, with the reason printed,
 //     on scalar-only hosts).
 //
-// The fleet is COEFFICIENT-heterogeneous (per-lane Rhs power-law spread,
-// like a rack mixing SKU steppings): this defeats the reference path's
+// The timed fleet is COEFFICIENT-heterogeneous (per-lane Rhs power-law
+// spread, like a rack mixing SKU steppings): this defeats both paths'
 // rolling coefficient share, so a slewing lane there pays a real libm
 // pow + exp — exactly the cost the polynomial kernel amortises to ~1/W
-// of a vector op.  Memo hit/shared/miss telemetry is printed per path.
+// of a vector op.  Memo hit/shared/miss telemetry is printed per path,
+// plus a UNIFORM-fleet slewing row (identical SKUs moving in lockstep)
+// where the share tier — including the SIMD path's block-wise
+// BlockShare — carries the load and the shared rate is non-zero.
 //
 // After the timing loops, main() enforces two claims through
 // bench/verdict.hpp on plain-chrono kernel measurements:
@@ -69,18 +72,22 @@ struct Fleet {
   std::vector<std::unique_ptr<Server>> servers;
   ServerBatch batch;
 
-  explicit Fleet(std::size_t n) {
+  /// `uniform` = identical Table-1 SKUs on every lane (the rolling share's
+  /// best case) instead of the default heterogeneous spread.
+  explicit Fleet(std::size_t n, bool uniform = false) {
     const HeatSinkModel table1 = HeatSinkModel::table1_defaults();
     for (std::size_t i = 0; i < n; ++i) {
       ServerParams params;
-      ThermalParams thermal;
-      thermal.ambient_celsius = 40.0 + 0.25 * static_cast<double>(i % 16);
-      const HeatSinkModel hs(
-          table1.r_base(),
-          table1.r_coeff() * (1.0 + 0.01 * static_cast<double>(i % 16)),
-          table1.r_exp() + 0.002 * static_cast<double>(i % 8),
-          table1.max_speed(), table1.time_constant(table1.max_speed()));
-      params.thermal = ServerThermalModel(hs, thermal);
+      if (!uniform) {
+        ThermalParams thermal;
+        thermal.ambient_celsius = 40.0 + 0.25 * static_cast<double>(i % 16);
+        const HeatSinkModel hs(
+            table1.r_base(),
+            table1.r_coeff() * (1.0 + 0.01 * static_cast<double>(i % 16)),
+            table1.r_exp() + 0.002 * static_cast<double>(i % 8),
+            table1.max_speed(), table1.time_constant(table1.max_speed()));
+        params.thermal = ServerThermalModel(hs, thermal);
+      }
       rngs.push_back(std::make_unique<Rng>(derive_seed(42, i)));
       servers.push_back(std::make_unique<Server>(params, 2000.0, *rngs.back()));
       batch.add_server(*servers.back());
@@ -243,11 +250,13 @@ double measure_kernel_slewing_ns(std::optional<simd::Width> width,
          static_cast<double>(kSubsteps * static_cast<long>(n));
 }
 
-/// Memo telemetry per path and regime (reference path: hit/shared/miss;
-/// SIMD path: hit/miss, block-wise, no shared tier).  Read back through a
-/// MetricsRegistry snapshot — the same one-source-of-truth path the
-/// engines publish ("batch.memo_hit" / "batch.memo_shared_hit" /
-/// "batch.memo_miss"), rather than a bench-private tally.
+/// Memo telemetry per path and regime (both paths: hit/shared/miss — the
+/// reference path shares lane-by-lane, the SIMD path block-by-block via
+/// BlockShare).  Read back through a MetricsRegistry snapshot — the same
+/// one-source-of-truth path the engines publish ("batch.memo_hit" /
+/// "batch.memo_shared_hit" / "batch.memo_miss"), rather than a
+/// bench-private tally.  The heterogeneous rows show ~0 % shared by
+/// design; the uniform row is where the share tier carries the slew.
 void print_memo_hit_rates(std::optional<simd::Width> width) {
   const auto rate = [](std::uint64_t part, std::uint64_t whole) {
     return whole == 0 ? 0.0 : 100.0 * static_cast<double>(part) /
@@ -289,6 +298,19 @@ void print_memo_hit_rates(std::optional<simd::Width> width) {
     }
     report("slewing", registry);
   }
+  {
+    fsc::obs::MetricsRegistry registry;
+    Fleet fleet(64, /*uniform=*/true);
+    fleet.batch.set_simd(width);
+    fleet.batch.attach_memo_counters(registry);
+    long substep = 0;
+    for (int i = 0; i < 20000; ++i) {
+      if (substep % 20 == 0) fleet.set_inputs(slew_command(substep));
+      fleet.substep();
+      ++substep;
+    }
+    report("slewing-uniform", registry);
+  }
 }
 
 bool print_throughput_verdict() {
@@ -323,7 +345,7 @@ bool print_throughput_verdict() {
   const simd::Width width = simd::best_width();
   double ref_kernel_ns = measure_kernel_slewing_ns(std::nullopt, 64);
   double simd_kernel_ns = measure_kernel_slewing_ns(width, 64);
-  for (int rep = 0; rep < 2; ++rep) {
+  for (int rep = 0; rep < 4; ++rep) {
     ref_kernel_ns =
         std::min(ref_kernel_ns, measure_kernel_slewing_ns(std::nullopt, 64));
     simd_kernel_ns =

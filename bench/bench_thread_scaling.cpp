@@ -19,7 +19,10 @@
 // with a single core SKIP the verdict outright.
 //
 // Writes BENCH_thread_scaling.json (override via FSC_BENCH_JSON) with the
-// same schema as the other BENCH_*.json trajectory files.
+// same schema as the other BENCH_*.json trajectory files.  On a
+// single-core host every multi-thread trajectory row is skipped too (not
+// just the verdict): a time-sliced "scaling curve" would read as a
+// regression in the committed JSON.
 #include <benchmark/benchmark.h>
 
 #include <algorithm>
@@ -52,10 +55,24 @@ RoomParams bench_room(std::size_t racks, bool executor) {
   return p;
 }
 
+/// Multi-thread trajectory rows are meaningless on a single-core host (a
+/// T-thread team time-slices one core and the "curve" is pure barrier
+/// overhead): skip them so the committed BENCH JSON never carries a
+/// trajectory that looks like a regression.  The JSON reporter drops
+/// skipped runs.
+bool skip_multithread_row(benchmark::State& state, std::size_t threads) {
+  if (threads > 1 && std::thread::hardware_concurrency() < 2) {
+    state.SkipWithError("single-core host: no multi-thread trajectory");
+    return true;
+  }
+  return false;
+}
+
 void BM_RackLockstep(benchmark::State& state) {
   const auto servers = static_cast<std::size_t>(state.range(0));
   const auto threads = static_cast<std::size_t>(state.range(1));
   const bool executor = state.range(2) != 0;
+  if (skip_multithread_row(state, threads)) return;
   const CoupledRackEngine engine(bench_rack(servers, executor), threads);
   for (auto _ : state) {
     benchmark::DoNotOptimize(engine.run());
@@ -83,6 +100,7 @@ BENCHMARK(BM_RackLockstep)
 void BM_RoomLockstepChunked(benchmark::State& state) {
   const auto racks = static_cast<std::size_t>(state.range(0));
   const auto threads = static_cast<std::size_t>(state.range(1));
+  if (skip_multithread_row(state, threads)) return;
   const RoomEngine engine(bench_room(racks, true), threads);
   std::size_t servers = 0;
   for (auto _ : state) {
@@ -157,15 +175,26 @@ bool print_scaling_verdict() {
   std::printf("room-8x8 : %7.1f ms @1t  %7.1f ms @%zut  -> %.2fx\n",
               room_1t * 1e3, room_nt * 1e3, team, room_speedup);
 
+  // The derated numeric target rides in the baseline label so a verdict
+  // line is self-contained: the reader sees both the 8-way claim and what
+  // this host was actually asked for.
   const double rack_target = std::max(1.05, 3.0 * ways / 8.0);
   const double room_target = std::max(1.05, 2.5 * ways / 8.0);
+  char rack_label[64];
+  char room_label[64];
+  std::snprintf(rack_label, sizeof(rack_label),
+                "3x-at-8-ways tentpole derated to %.0f ways = %.2fx", ways,
+                rack_target);
+  std::snprintf(room_label, sizeof(room_label),
+                "2.5x-at-8-ways tentpole derated to %.0f ways = %.2fx", ways,
+                room_target);
   bool ok = true;
   ok &= fsc_bench::check_beats("chunked-executor-rack64", "speedup_nt_over_1t",
-                               "hw-scaled 3x tentpole", rack_target,
-                               rack_speedup, /*lower_is_better=*/false);
+                               rack_label, rack_target, rack_speedup,
+                               /*lower_is_better=*/false);
   ok &= fsc_bench::check_beats("chunked-executor-room8", "speedup_nt_over_1t",
-                               "hw-scaled 2.5x tentpole", room_target,
-                               room_speedup, /*lower_is_better=*/false);
+                               room_label, room_target, room_speedup,
+                               /*lower_is_better=*/false);
   return ok;
 }
 

@@ -92,6 +92,8 @@ enum class ScenarioFlag {
 ///   --dtm POLICY --traces DIR --slots N --threads N --seed S
 ///   --duration SECS --zone K --batched on|off --chunk N
 ///   --executor on|off --simd on|off|auto --no-plenum
+///   --rooms N --plant-watts W --supply-amplitude C --facility-period S
+///   --two-level on|off   (facility-scale; ignored by build_rack/build_room)
 ///
 /// On kError a note naming the flag is printed to stderr.  Scenario-file
 /// load failures (missing file, bad JSON, unknown key) also print the
@@ -179,6 +181,34 @@ inline ScenarioFlag consume_scenario_flag(fsc::ScenarioSpec& spec, int argc,
   if (arg == "--simd") {
     if (!has_value || !parse_simd_mode(argv[++i], spec.simd)) {
       return bad("expected on|off|auto");
+    }
+    return ScenarioFlag::kConsumed;
+  }
+  if (arg == "--rooms") {
+    if (!has_value || (spec.rooms = parse_positive(argv[++i])) == 0) {
+      return bad("expected a positive integer");
+    }
+    return ScenarioFlag::kConsumed;
+  }
+  if (arg == "--plant-watts") {
+    if (!has_value) return bad("expected a capacity in watts (< 0 = infinite)");
+    spec.plant_capacity_watts = std::atof(argv[++i]);
+    return ScenarioFlag::kConsumed;
+  }
+  if (arg == "--supply-amplitude") {
+    if (!has_value || (spec.supply_amplitude_c = std::atof(argv[++i])) < 0.0) {
+      return bad("expected a non-negative offset in celsius");
+    }
+    return ScenarioFlag::kConsumed;
+  }
+  if (arg == "--facility-period") {
+    if (!has_value) return bad("expected a period in seconds (<= 0 = every round)");
+    spec.facility_period_s = std::atof(argv[++i]);
+    return ScenarioFlag::kConsumed;
+  }
+  if (arg == "--two-level") {
+    if (!has_value || !parse_on_off(argv[++i], spec.two_level)) {
+      return bad("expected on|off");
     }
     return ScenarioFlag::kConsumed;
   }

@@ -131,11 +131,13 @@ void ServerBatch::step_range(std::size_t lo, std::size_t hi, double dt) {
     simd::StepStats stats;
     simd_step_(lanes, lo, hi, dt, memo_telemetry_ ? &stats : nullptr);
     if (memo_telemetry_) {
-      // The vector path has no shared-hit tier: a vectorized miss already
-      // costs ~1/W of a libm call.  Slot attribution by lane range keeps
-      // the per-slot counter breakdown independent of which thread ran
-      // this chunk.
+      // Shared hits are the vector path's block-wide rolling share
+      // (simd_step.hpp BlockShare) — same tier as the scalar path's, at
+      // block granularity.  Slot attribution by lane range keeps the
+      // per-slot counter breakdown independent of which thread ran this
+      // chunk.
       memo_hits_c_->add(stats.hits, memo_slot_salt_ + lo);
+      memo_shared_hits_c_->add(stats.shared, memo_slot_salt_ + lo);
       memo_misses_c_->add(stats.misses, memo_slot_salt_ + lo);
     }
     return;

@@ -39,11 +39,13 @@ enum class Width { kScalar, kSse2, kAvx2, kNeon };
 enum class SimdMode { kOff, kOn, kAuto };
 
 /// Per-call memo accounting for ServerBatch's telemetry: a hit lane reused
-/// its memoised pow/exp, a miss lane recomputed them (vectorized, so a
-/// miss costs ~1/W of a libm call; the SIMD path has no rolling-share
-/// tier).
+/// its memoised pow/exp, a shared lane reused the block just recomputed
+/// for an earlier miss (lockstep slews of identical SKUs — same rolling
+/// share as the scalar path, at block granularity), a miss lane recomputed
+/// them (vectorized, so a miss costs ~1/W of a libm call).
 struct StepStats {
   std::uint64_t hits = 0;
+  std::uint64_t shared = 0;
   std::uint64_t misses = 0;
 };
 

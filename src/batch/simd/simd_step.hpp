@@ -25,9 +25,17 @@
 //     their memoised fan speed skips the polynomials entirely; one moving
 //     lane recomputes the whole block (a recompute of an unchanged lane
 //     reproduces its memo bit-for-bit — same deterministic function, same
-//     inputs — so this is a pure performance choice).  There is no
-//     rolling coefficient share: a vectorized miss already costs ~1/W of
-//     a libm call, which is the point.
+//     inputs — so this is a pure performance choice).  On top of that
+//     sits the scalar path's rolling share at block granularity
+//     (BlockShare): when every moving lane of a block matches the last
+//     recomputed block lane-wise — speed AND every coefficient feeding
+//     the pow/exp — the block blends memo (settled lanes) with the share
+//     block's memo lanes (moving lanes) instead of recomputing.
+//     Bit-identical by construction: equal inputs through the same
+//     lane-wise polynomials give equal outputs, so a mixed settled/moving
+//     fleet of identical SKUs slewing in lockstep pays one vector
+//     recompute per chunk — while a heterogeneous fleet fails the probe
+//     on its first speed compare and pays (nearly) nothing.
 //
 // Internal linkage (anonymous namespace), kernel TUs only — see vec.hpp.
 #pragma once
@@ -42,11 +50,36 @@
 namespace fsc::simd {
 namespace {
 
-/// One W-lane block at lane index `i`.  `active` masks which lanes are
-/// real (tail padding is excluded from telemetry, nothing else).
+/// The rolling share, block-wide: WHERE the last real vector recompute in
+/// this step_range call landed — the scalar path's `src` lane, widened to
+/// a block.  It is an index, not a copy: the recompute's inputs still sit
+/// in the lane arrays (the coefficients are static and memo_rpm was just
+/// refreshed to its post-slew speed) and its outputs in the r_hs /
+/// hs_decay memo lanes.  Probing it therefore costs one speed compare on
+/// the heterogeneous fast-fail path and the recompute path stores
+/// nothing, so a fleet that never matches pays (nearly) nothing for the
+/// share tier.
 template <class V>
+struct BlockShare {
+  const BatchLanes* lanes = nullptr;  ///< view that `src` indexes into
+  std::size_t src = 0;
+  bool valid = false;
+  /// Consecutive failed probes.  Two misses in a row mean the fleet is
+  /// heterogeneous at block granularity and step_range falls back to the
+  /// share-free block kernel for the rest of the call — the probe's cost
+  /// on a fleet that can never match is two blocks, not every block.
+  int failed_probes = 0;
+
+  bool dead() const { return failed_probes >= 2; }
+};
+
+/// One W-lane block at lane index `i`.  `active` masks which lanes are
+/// real (tail padding is excluded from telemetry, nothing else).  With
+/// kShare false the share machinery compiles out entirely and `share`
+/// may be null — the body is exactly the share-free kernel.
+template <class V, bool kShare = true>
 void step_block(const BatchLanes& L, std::size_t i, double dt,
-                StepStats* stats, unsigned active) {
+                StepStats* stats, unsigned active, BlockShare<V>* share) {
   constexpr unsigned kFull = (1u << V::width) - 1u;
   const V vdt = V::broadcast(dt);
 
@@ -59,29 +92,75 @@ void step_block(const BatchLanes& L, std::size_t i, double dt,
   act = V::select(within, cmd, act + V::copysign(max_delta, delta));
   act.store(L.fan_actual + i);
 
-  // Memoised Rhs / heat-sink decay: skip the polynomials only when the
-  // whole block is settled.
-  const unsigned settled = V::movemask(V::cmp_eq(act, V::load(L.memo_rpm + i)));
+  // Memoised Rhs / heat-sink decay: skip the polynomials when the whole
+  // block is settled, or blend memo with the rolling share when every
+  // moving lane matches the last recompute lane-wise.
+  const auto settled_mask = V::cmp_eq(act, V::load(L.memo_rpm + i));
+  const unsigned settled = V::movemask(settled_mask);
+  unsigned shared_lanes = 0;
   V r_hs{};
   V hs_decay{};
   if (settled == kFull) {
     r_hs = V::load(L.r_hs + i);
     hs_decay = V::load(L.hs_decay + i);
   } else {
-    const V zero = V::broadcast(0.0);
-    const V v = V::max(act, V::broadcast(1.0));  // sub-1 rpm clamp (Table I)
-    const V p = vpow<V>(v, zero - V::load(L.r_exp + i));
-    r_hs = V::fma(V::load(L.r_coeff + i), p, V::load(L.r_base + i));
-    const V tau = r_hs * V::load(L.hs_capacitance + i);
-    hs_decay = vexp<V>((zero - vdt) / tau);
+    const V r_base = V::load(L.r_base + i);
+    const V r_coeff = V::load(L.r_coeff + i);
+    const V r_exp = V::load(L.r_exp + i);
+    const V cap = V::load(L.hs_capacitance + i);
+    unsigned same = 0;
+    if constexpr (kShare) {
+      if (share->valid) {
+        const BatchLanes& S = *share->lanes;
+        const std::size_t s = share->src;
+        // The moving lanes must match the share's post-slew speeds (its
+        // memo_rpm, refreshed by its recompute) AND every coefficient
+        // feeding the pow/exp.
+        const unsigned same_act =
+            V::movemask(V::cmp_eq(act, V::load(S.memo_rpm + s)));
+        if ((settled | same_act) == kFull) {
+          same = same_act &
+                 V::movemask(V::cmp_eq(r_base, V::load(S.r_base + s))) &
+                 V::movemask(V::cmp_eq(r_coeff, V::load(S.r_coeff + s))) &
+                 V::movemask(V::cmp_eq(r_exp, V::load(S.r_exp + s))) &
+                 V::movemask(V::cmp_eq(cap, V::load(S.hs_capacitance + s)));
+        }
+        share->failed_probes =
+            (settled | same) == kFull ? 0 : share->failed_probes + 1;
+      }
+    }
+    if (kShare && (settled | same) == kFull) {
+      // Every lane is either settled (its memo is the answer) or equal to
+      // the share's lane (whose recompute already produced the answer in
+      // the share block's memo lanes): blend, bit-identical to the
+      // recompute by construction.
+      r_hs = V::select(settled_mask, V::load(L.r_hs + i),
+                       V::load(share->lanes->r_hs + share->src));
+      hs_decay = V::select(settled_mask, V::load(L.hs_decay + i),
+                           V::load(share->lanes->hs_decay + share->src));
+      shared_lanes = ~settled & active;
+    } else {
+      const V zero = V::broadcast(0.0);
+      const V v = V::max(act, V::broadcast(1.0));  // sub-1 rpm clamp (Table I)
+      const V p = vpow<V>(v, zero - r_exp);
+      r_hs = V::fma(r_coeff, p, r_base);
+      const V tau = r_hs * cap;
+      hs_decay = vexp<V>((zero - vdt) / tau);
+      if constexpr (kShare) {
+        share->lanes = &L;
+        share->src = i;
+        share->valid = true;
+      }
+    }
     act.store(L.memo_rpm + i);
     r_hs.store(L.r_hs + i);
     hs_decay.store(L.hs_decay + i);
   }
   if (stats != nullptr) {
     stats->hits += static_cast<std::uint64_t>(std::popcount(settled & active));
-    stats->misses +=
-        static_cast<std::uint64_t>(std::popcount(~settled & active));
+    stats->shared += static_cast<std::uint64_t>(std::popcount(shared_lanes));
+    stats->misses += static_cast<std::uint64_t>(
+        std::popcount(~settled & active) - std::popcount(shared_lanes));
   }
 
   // Thermal/power update, same per-lane order as the scalar pass 3.
@@ -184,14 +263,27 @@ void step_range_impl(const BatchLanes& L, std::size_t lo, std::size_t hi,
                      double dt, StepStats* stats) {
   constexpr std::size_t kW = V::width;
   constexpr unsigned kFull = (1u << kW) - 1u;
+  BlockShare<V> share;  // rolls across this call's blocks, tail included
   std::size_t i = lo;
-  for (; i + kW <= hi; i += kW) step_block<V>(L, i, dt, stats, kFull);
+  for (; i + kW <= hi && !share.dead(); i += kW) {
+    step_block<V>(L, i, dt, stats, kFull, &share);
+  }
+  // Two consecutive failed probes: heterogeneous fleet.  The rest of the
+  // call runs the share-free kernel — the original tight loop, no
+  // per-block share checks at all.
+  for (; i + kW <= hi; i += kW) {
+    step_block<V, false>(L, i, dt, stats, kFull, nullptr);
+  }
   if (i < hi) {
     const std::size_t rem = hi - i;
     TailBlock<V> tail(L, i, rem);
     const BatchLanes t = tail.view();
-    step_block<V>(t, 0, dt, stats,
-                  static_cast<unsigned>((1u << rem) - 1u));
+    const unsigned active = static_cast<unsigned>((1u << rem) - 1u);
+    if (share.dead()) {
+      step_block<V, false>(t, 0, dt, stats, active, nullptr);
+    } else {
+      step_block<V>(t, 0, dt, stats, active, &share);
+    }
     tail.write_back(L, i, rem);
   }
 }

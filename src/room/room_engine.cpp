@@ -30,12 +30,14 @@ std::size_t RoomResult::pooled_deadline_violations() const noexcept {
   return total;
 }
 
-RoomEngine::RoomEngine(RoomParams params, std::size_t threads)
-    : params_(std::move(params)), threads_(threads) {
-  require(threads_ > 0, "RoomEngine: need at least one thread");
-  require(!params_.racks.empty(), "RoomEngine: need at least one rack");
-  const CoupledRackParams& first = params_.racks.front();
-  for (const CoupledRackParams& rack : params_.racks) {
+namespace {
+
+/// Shared by the RoomEngine constructor and Session construction (a
+/// facility builds sessions directly, without a RoomEngine in front).
+void validate_room_params(const RoomParams& params) {
+  require(!params.racks.empty(), "RoomEngine: need at least one rack");
+  const CoupledRackParams& first = params.racks.front();
+  for (const CoupledRackParams& rack : params.racks) {
     // Per-rack validation of the coordination divider, exactly like a
     // standalone CoupledRackEngine would do.
     (void)derive_fan_divider(rack.rack.sim.cpu_period_s,
@@ -56,6 +58,14 @@ RoomEngine::RoomEngine(RoomParams params, std::size_t threads)
             "RoomEngine: all racks must share the nominal CPU power model "
             "(the room scheduler prices load with one datasheet model)");
   }
+}
+
+}  // namespace
+
+RoomEngine::RoomEngine(RoomParams params, std::size_t threads)
+    : params_(std::move(params)), threads_(threads) {
+  require(threads_ > 0, "RoomEngine: need at least one thread");
+  validate_room_params(params_);
 }
 
 #if FSC_OBS_ENABLED
@@ -81,6 +91,7 @@ struct RoomRunTelemetry {
   std::uint64_t exported_violations_seen = 0;
   std::vector<std::uint64_t> exported_rack_viol;
   std::uint64_t last_round_ns = 0;
+  std::uint32_t rack_label = 0;  ///< room's span label base (facility rooms)
   bool attached = false;
 
   __attribute__((noinline))
@@ -90,6 +101,7 @@ struct RoomRunTelemetry {
         exporter(tel.snapshot),
         progress(tel.progress),
         exported_rack_viol(num_racks, 0),
+        rack_label(tel.rack),
         attached(tel.attached()) {
     if (metrics != nullptr) {
       rounds_counter = &metrics->counter("room.rounds");
@@ -102,7 +114,7 @@ struct RoomRunTelemetry {
 
   __attribute__((noinline)) void on_migration(std::size_t round) {
     if (trace != nullptr) {
-      trace->instant("room.migration", "sched", 0, 0,
+      trace->instant("room.migration", "sched", rack_label, 0,
                      static_cast<std::int64_t>(round));
     }
     if (migrations_counter != nullptr) migrations_counter->increment();
@@ -121,8 +133,8 @@ struct RoomRunTelemetry {
       const std::int64_t round_t1 = obs::monotonic_ns();
       last_round_ns = static_cast<std::uint64_t>(round_t1 - round_t0);
       if (trace != nullptr) {
-        trace->complete("room.round", "round", round_t0, round_t1, 0, 0,
-                        static_cast<std::int64_t>(rounds - 1));
+        trace->complete("room.round", "round", round_t0, round_t1, rack_label,
+                        0, static_cast<std::int64_t>(rounds - 1));
       }
       if (round_hist != nullptr) round_hist->observe(last_round_ns);
     }
@@ -215,37 +227,14 @@ struct RoomRunTelemetry {
 }  // namespace
 #endif
 
-RoomResult RoomEngine::run() const {
-  const std::size_t num_racks = params_.racks.size();
-
-  // Execution strategy: the persistent executor steps a flat list of
-  // (rack, chunk) shards behind one epoch barrier per round; the ThreadPool
-  // path (kept for A/B) submits the same shards as per-round tasks.
-  std::optional<ThreadPool> pool;
-  std::optional<LockstepExecutor> executor;
-  if (params_.executor) {
-    executor.emplace(threads_);
-  } else {
-    pool.emplace(threads_);
-  }
+// The session's whole state lives behind the pimpl so the header stays
+// free of executor/pool/telemetry internals.
+struct RoomEngine::Session::Impl {
+  RoomParams params;
+  bool pooled = false;
 
   std::vector<std::unique_ptr<CoupledRackEngine::Session>> racks;
-  racks.reserve(num_racks);
   std::size_t total_slots = 0;
-  for (std::size_t i = 0; i < num_racks; ++i) {
-    // Fan the room's telemetry down to each rack session, stamped with its
-    // rack index; snapshot/progress stay at room scope (this loop below).
-    CoupledRackParams rack_params = params_.racks[i];
-    rack_params.obs = params_.obs;
-    rack_params.obs.rack = static_cast<std::uint32_t>(i);
-    rack_params.obs.snapshot = nullptr;
-    rack_params.obs.progress = nullptr;
-    racks.push_back(pool ? std::make_unique<CoupledRackEngine::Session>(
-                               rack_params, *pool)
-                         : std::make_unique<CoupledRackEngine::Session>(
-                               rack_params));
-    total_slots += racks.back()->num_slots();
-  }
 
   // The room-wide shard map: every rack's chunks, flattened in rack order.
   // Shard counts are constant per session, so this is built exactly once.
@@ -254,37 +243,31 @@ RoomResult RoomEngine::run() const {
     std::size_t local = 0;  ///< chunk index within the rack
   };
   std::vector<RoomShard> shards;
-  if (executor) {
-    for (const auto& rack : racks) {
-      for (std::size_t c = 0; c < rack->num_shards(); ++c) {
-        shards.push_back(RoomShard{rack.get(), c});
-      }
-    }
-  }
 
-  RoomSchedulerConfig cfg = params_.sched;
-  cfg.num_racks = num_racks;
-  cfg.total_slots = total_slots;
-  cfg.cpu_power = params_.racks.front().rack.solution.cpu_power;  // nominal
-  const auto scheduler =
-      PolicyFactory::instance().make_room_scheduler(params_.scheduler, cfg);
-  scheduler->set_telemetry(params_.obs);
-  scheduler->reset();
-
-#if FSC_OBS_ENABLED
-  RoomRunTelemetry tel(params_.obs, num_racks);
-#endif
-
+  std::unique_ptr<RoomScheduler> scheduler;
   std::optional<CrossRackPlenumModel> cross;
-  if (params_.cross_plenum_enabled) {
-    cross.emplace(params_.cross_plenum, num_racks);
-  }
 
-  std::vector<RunningStats> scale_stats(num_racks);
-  std::vector<RunningStats> offset_stats(num_racks);
-  std::vector<std::size_t> violations_seen(num_racks, 0);
+  std::vector<RunningStats> scale_stats;
+  std::vector<RunningStats> offset_stats;
+  std::vector<std::size_t> violations_seen;
+  /// The room scheduler's own frame: the scale it last commanded per
+  /// rack.  The rack's effective scale is facility_scale * sched_scale —
+  /// the scheduler never sees the facility throttle, so its hysteresis
+  /// cannot fight the plant.
+  std::vector<double> sched_scale;
+  /// Last cross-plenum offsets (without the facility supply term), so a
+  /// supply change between rounds re-applies on top of current physics.
+  std::vector<double> last_plenum;
   std::size_t rounds = 0;
   std::size_t migration_events = 0;
+
+  double facility_scale = 1.0;
+  double supply_offset = 0.0;
+  /// Latches once any non-zero supply offset is seen: the untouched path
+  /// performs literally no ambient arithmetic, keeping standalone runs
+  /// bit-identical to the pre-facility engine.
+  bool supply_touched = false;
+  double last_cpu_watts = 0.0;
 
   // Per-round scratch, hoisted out of the loop: the steady-state round
   // allocates nothing (the buffers reach their high-water capacity on the
@@ -293,45 +276,115 @@ RoomResult RoomEngine::run() const {
   std::vector<RackDirective> directives;
   std::vector<RackPlenumState> states;
   std::vector<double> offsets;
-  observations.reserve(num_racks);
 
-  while (!racks.front()->done()) {
 #if FSC_OBS_ENABLED
-    const std::int64_t round_t0 = tel.attached ? obs::monotonic_ns() : 0;
+  RoomRunTelemetry tel;
+  std::int64_t round_t0 = 0;
 #endif
-    if (executor) {
-      // One epoch steps every rack's every chunk: intra-rack parallelism
-      // falls out of the flat shard list, and the executor's pre-assigned
-      // spans replace the per-round submit storm.
-      executor->run(shards.size(), [&shards](std::size_t i) {
-        shards[i].session->run_shard(shards[i].local);
-      });
-      // Deterministic barrier work, in rack order on this thread.
-      for (const auto& rack : racks) rack->coordinate_round();
-    } else {
-      // Launch every rack's coordination period before blocking on any
-      // barrier: the shared pool interleaves all racks' slot work freely.
-      for (const auto& rack : racks) rack->begin_round();
-      // Each rack's own coordination happens inside complete_round().
-      for (const auto& rack : racks) rack->complete_round();
+
+  Impl(const RoomParams& p, ThreadPool* pool)
+      : params(p),
+        pooled(pool != nullptr)
+#if FSC_OBS_ENABLED
+        ,
+        tel(p.obs, p.racks.size())
+#endif
+  {
+    validate_room_params(params);
+    const std::size_t num_racks = params.racks.size();
+    racks.reserve(num_racks);
+    for (std::size_t i = 0; i < num_racks; ++i) {
+      // Fan the room's telemetry down to each rack session, stamped with
+      // its rack index (offset by the room's own label base so facility
+      // rooms get globally unique rack labels); snapshot/progress stay at
+      // room scope.
+      CoupledRackParams rack_params = params.racks[i];
+      rack_params.obs = params.obs;
+      rack_params.obs.rack = params.obs.rack + static_cast<std::uint32_t>(i);
+      rack_params.obs.snapshot = nullptr;
+      rack_params.obs.progress = nullptr;
+      racks.push_back(pool != nullptr
+                          ? std::make_unique<CoupledRackEngine::Session>(
+                                rack_params, *pool)
+                          : std::make_unique<CoupledRackEngine::Session>(
+                                rack_params));
+      total_slots += racks.back()->num_slots();
     }
-    if (racks.front()->done()) break;  // run over: nothing to schedule
+    if (!pooled) {
+      for (const auto& rack : racks) {
+        for (std::size_t c = 0; c < rack->num_shards(); ++c) {
+          shards.push_back(RoomShard{rack.get(), c});
+        }
+      }
+    }
+
+    RoomSchedulerConfig cfg = params.sched;
+    cfg.num_racks = num_racks;
+    cfg.total_slots = total_slots;
+    cfg.cpu_power = params.racks.front().rack.solution.cpu_power;  // nominal
+    scheduler =
+        PolicyFactory::instance().make_room_scheduler(params.scheduler, cfg);
+    scheduler->set_telemetry(params.obs);
+    scheduler->reset();
+
+    if (params.cross_plenum_enabled) {
+      cross.emplace(params.cross_plenum, num_racks);
+    }
+
+    scale_stats.resize(num_racks);
+    offset_stats.resize(num_racks);
+    violations_seen.assign(num_racks, 0);
+    sched_scale.resize(num_racks);
+    for (std::size_t i = 0; i < num_racks; ++i) {
+      sched_scale[i] = racks[i]->demand_scale();
+    }
+    last_plenum.assign(num_racks, 0.0);
+    observations.reserve(num_racks);
+  }
+
+  /// The rack's effective scale under the facility throttle.  The == 1.0
+  /// fast path is not an optimisation: 1.0 * s == s bitwise, but skipping
+  /// the multiply makes "no facility" provably the identity.
+  double effective_scale(std::size_t i) const noexcept {
+    return facility_scale == 1.0 ? sched_scale[i]
+                                 : facility_scale * sched_scale[i];
+  }
+
+  void apply_effective_scale(std::size_t i) {
+    const double effective = effective_scale(i);
+    if (effective != racks[i]->demand_scale()) {
+      racks[i]->set_demand_scale(effective);
+    }
+  }
+
+  void finish_round() {
+    const std::size_t num_racks = racks.size();
+    if (!pooled) {
+      // Deterministic barrier work, in rack order on this thread.  (The
+      // pool path already coordinated inside complete_round().)
+      for (const auto& rack : racks) rack->coordinate_round();
+    }
+    if (racks.front()->done()) return;  // run over: nothing to schedule
 
     const double t = racks.front()->time_s();
     observations.clear();
+    double watts = 0.0;
     for (std::size_t i = 0; i < num_racks; ++i) {
       const CoupledRackEngine::Session& rack = *racks[i];
-      const std::size_t pooled = rack.pooled_deadline_violations_so_far();
+      const std::size_t pooled_v = rack.pooled_deadline_violations_so_far();
       observations.push_back(aggregate_rack_observation(
-          i, t, rack.last_observations(), pooled - violations_seen[i],
-          rack.demand_scale()));
-      violations_seen[i] = pooled;
+          i, t, rack.last_observations(), pooled_v - violations_seen[i],
+          sched_scale[i]));
+      violations_seen[i] = pooled_v;
+      watts += observations.back().cpu_watts;
     }
+    last_cpu_watts = watts;
 
     {
 #if FSC_OBS_ENABLED
-      const obs::ScopedSpan sched_span(tel.trace, "room.schedule", "sched", 0,
-                                       0, static_cast<std::int64_t>(rounds));
+      const obs::ScopedSpan sched_span(tel.trace, "room.schedule", "sched",
+                                       tel.rack_label, 0,
+                                       static_cast<std::int64_t>(rounds));
 #endif
       scheduler->schedule(t, observations, directives);
     }
@@ -346,12 +399,12 @@ RoomResult RoomEngine::run() const {
     for (std::size_t i = 0; i < num_racks; ++i) {
       require(directives[i].demand_scale >= 0.0,
               "RoomEngine: scheduler demand scale must be >= 0");
-      if (directives[i].demand_scale != racks[i]->demand_scale()) {
-        (directives[i].demand_scale > racks[i]->demand_scale()
-             ? any_scale_up
-             : any_scale_down) = true;
-        racks[i]->set_demand_scale(directives[i].demand_scale);
+      if (directives[i].demand_scale != sched_scale[i]) {
+        (directives[i].demand_scale > sched_scale[i] ? any_scale_up
+                                                     : any_scale_down) = true;
+        sched_scale[i] = directives[i].demand_scale;
       }
+      apply_effective_scale(i);
       scale_stats[i].add(racks[i]->demand_scale());
     }
     if (any_scale_up && any_scale_down) {
@@ -363,8 +416,9 @@ RoomResult RoomEngine::run() const {
 
     {
 #if FSC_OBS_ENABLED
-      const obs::ScopedSpan plenum_span(tel.trace, "room.plenum", "physics", 0,
-                                        0, static_cast<std::int64_t>(rounds));
+      const obs::ScopedSpan plenum_span(tel.trace, "room.plenum", "physics",
+                                        tel.rack_label, 0,
+                                        static_cast<std::int64_t>(rounds));
 #endif
       if (cross) {
         states.clear();
@@ -374,8 +428,16 @@ RoomResult RoomEngine::run() const {
         }
         cross->ambient_offsets(states, offsets);
         for (std::size_t i = 0; i < num_racks; ++i) {
-          racks[i]->set_ambient_offset(offsets[i]);
-          offset_stats[i].add(offsets[i]);
+          last_plenum[i] = offsets[i];
+          const double off =
+              supply_touched ? offsets[i] + supply_offset : offsets[i];
+          racks[i]->set_ambient_offset(off);
+          offset_stats[i].add(off);
+        }
+      } else if (supply_touched) {
+        for (std::size_t i = 0; i < num_racks; ++i) {
+          racks[i]->set_ambient_offset(supply_offset);
+          offset_stats[i].add(supply_offset);
         }
       } else {
         for (std::size_t i = 0; i < num_racks; ++i) offset_stats[i].add(0.0);
@@ -391,52 +453,168 @@ RoomResult RoomEngine::run() const {
 #endif
   }
 
+  RoomResult finish() {
 #if FSC_OBS_ENABLED
-  if (tel.attached) {
-    tel.run_finished(rounds, params_.racks.front().rack.sim.duration_s,
-                     violations_seen);
-  }
-#endif
-
-  RoomResult out;
-  out.scheduler = params_.scheduler;
-  out.room_rounds = rounds;
-  out.migration_events = migration_events;
-  out.racks.reserve(num_racks);
-  std::size_t pooled_periods = 0;
-  std::size_t pooled_violations = 0;
-  double thermal_violation_slot_sum = 0.0;
-  std::size_t slot_count = 0;
-  for (std::size_t i = 0; i < num_racks; ++i) {
-    RoomRackSummary s;
-    s.index = i;
-    s.final_demand_scale = racks[i]->demand_scale();
-    s.result = racks[i]->finish();
-    s.demand_scale_stats = scale_stats[i];
-    s.ambient_offset_stats = offset_stats[i];
-
-    out.duration_s = s.result.duration_s;
-    out.fan_energy_joules += s.result.fan_energy_joules;
-    out.cpu_energy_joules += s.result.cpu_energy_joules;
-    for (const CoupledSlotSummary& slot : s.result.slots) {
-      pooled_periods += slot.deadline_periods;
-      pooled_violations += slot.deadline_violations;
-      thermal_violation_slot_sum += slot.result.thermal_violation_percent;
-      ++slot_count;
+    if (tel.attached) {
+      tel.run_finished(rounds, params.racks.front().rack.sim.duration_s,
+                       violations_seen);
     }
-    out.max_junction_stats.add(s.result.max_junction_stats.max());
-    out.racks.push_back(std::move(s));
+#endif
+    const std::size_t num_racks = racks.size();
+    RoomResult out;
+    out.scheduler = params.scheduler;
+    out.room_rounds = rounds;
+    out.migration_events = migration_events;
+    out.racks.reserve(num_racks);
+    std::size_t pooled_periods = 0;
+    std::size_t pooled_violations = 0;
+    double thermal_violation_slot_sum = 0.0;
+    std::size_t slot_count = 0;
+    for (std::size_t i = 0; i < num_racks; ++i) {
+      RoomRackSummary s;
+      s.index = i;
+      s.final_demand_scale = racks[i]->demand_scale();
+      s.result = racks[i]->finish();
+      s.demand_scale_stats = scale_stats[i];
+      s.ambient_offset_stats = offset_stats[i];
+
+      out.duration_s = s.result.duration_s;
+      out.fan_energy_joules += s.result.fan_energy_joules;
+      out.cpu_energy_joules += s.result.cpu_energy_joules;
+      for (const CoupledSlotSummary& slot : s.result.slots) {
+        pooled_periods += slot.deadline_periods;
+        pooled_violations += slot.deadline_violations;
+        thermal_violation_slot_sum += slot.result.thermal_violation_percent;
+        ++slot_count;
+      }
+      out.max_junction_stats.add(s.result.max_junction_stats.max());
+      out.racks.push_back(std::move(s));
+    }
+    out.total_energy_joules = out.fan_energy_joules + out.cpu_energy_joules;
+    out.deadline_violation_percent =
+        pooled_periods > 0 ? 100.0 * static_cast<double>(pooled_violations) /
+                                 static_cast<double>(pooled_periods)
+                           : 0.0;
+    out.thermal_violation_percent =
+        slot_count > 0
+            ? thermal_violation_slot_sum / static_cast<double>(slot_count)
+            : 0.0;
+    return out;
   }
-  out.total_energy_joules = out.fan_energy_joules + out.cpu_energy_joules;
-  out.deadline_violation_percent =
-      pooled_periods > 0 ? 100.0 * static_cast<double>(pooled_violations) /
-                               static_cast<double>(pooled_periods)
-                         : 0.0;
-  out.thermal_violation_percent =
-      slot_count > 0
-          ? thermal_violation_slot_sum / static_cast<double>(slot_count)
-          : 0.0;
-  return out;
+};
+
+RoomEngine::Session::Session(const RoomParams& params)
+    : impl_(std::make_unique<Impl>(params, nullptr)) {}
+
+RoomEngine::Session::Session(const RoomParams& params, ThreadPool& pool)
+    : impl_(std::make_unique<Impl>(params, &pool)) {}
+
+RoomEngine::Session::~Session() = default;
+
+bool RoomEngine::Session::done() const noexcept {
+  return impl_->racks.front()->done();
+}
+
+double RoomEngine::Session::time_s() const noexcept {
+  return impl_->racks.front()->time_s();
+}
+
+std::size_t RoomEngine::Session::rounds() const noexcept {
+  return impl_->rounds;
+}
+
+std::size_t RoomEngine::Session::num_racks() const noexcept {
+  return impl_->racks.size();
+}
+
+std::size_t RoomEngine::Session::num_slots() const noexcept {
+  return impl_->total_slots;
+}
+
+std::size_t RoomEngine::Session::num_shards() const noexcept {
+  return impl_->shards.size();
+}
+
+void RoomEngine::Session::mark_round_start() {
+#if FSC_OBS_ENABLED
+  impl_->round_t0 = impl_->tel.attached ? obs::monotonic_ns() : 0;
+#endif
+}
+
+void RoomEngine::Session::run_shard(std::size_t shard) {
+  const Impl::RoomShard& s = impl_->shards[shard];
+  s.session->run_shard(s.local);
+}
+
+void RoomEngine::Session::advance_round() {
+  require(impl_->pooled,
+          "RoomEngine::Session: advance_round needs a pool-constructed "
+          "session (drive run_shard otherwise)");
+  // Launch every rack's coordination period before blocking on any
+  // barrier: the shared pool interleaves all racks' slot work freely.
+  for (const auto& rack : impl_->racks) rack->begin_round();
+  // Each rack's own coordination happens inside complete_round().
+  for (const auto& rack : impl_->racks) rack->complete_round();
+}
+
+void RoomEngine::Session::finish_round() { impl_->finish_round(); }
+
+void RoomEngine::Session::set_facility_scale(double scale) {
+  require(scale >= 0.0, "RoomEngine::Session: facility scale must be >= 0");
+  impl_->facility_scale = scale;
+  for (std::size_t i = 0; i < impl_->racks.size(); ++i) {
+    impl_->apply_effective_scale(i);
+  }
+}
+
+double RoomEngine::Session::facility_scale() const noexcept {
+  return impl_->facility_scale;
+}
+
+void RoomEngine::Session::set_supply_offset(double celsius) {
+  if (celsius != 0.0) impl_->supply_touched = true;
+  impl_->supply_offset = celsius;
+  if (!impl_->supply_touched) return;  // exact identity path preserved
+  for (std::size_t i = 0; i < impl_->racks.size(); ++i) {
+    impl_->racks[i]->set_ambient_offset(impl_->last_plenum[i] + celsius);
+  }
+}
+
+double RoomEngine::Session::supply_offset() const noexcept {
+  return impl_->supply_offset;
+}
+
+double RoomEngine::Session::cpu_watts_now() const noexcept {
+  return impl_->last_cpu_watts;
+}
+
+RoomResult RoomEngine::Session::finish() { return impl_->finish(); }
+
+RoomResult RoomEngine::run() const {
+  if (params_.executor) {
+    // One epoch per round steps every rack's every chunk: intra-rack
+    // parallelism falls out of the flat shard list, and the executor's
+    // pre-assigned spans replace the per-round submit storm.
+    Session session(params_);
+    LockstepExecutor executor(threads_);
+    while (!session.done()) {
+      session.mark_round_start();
+      executor.run(session.num_shards(),
+                   [&session](std::size_t i) { session.run_shard(i); });
+      session.finish_round();
+    }
+    return session.finish();
+  }
+  // The ThreadPool path (kept for A/B): per-round task submission,
+  // bit-identical results.
+  ThreadPool pool(threads_);
+  Session session(params_, pool);
+  while (!session.done()) {
+    session.mark_round_start();
+    session.advance_round();
+    session.finish_round();
+  }
+  return session.finish();
 }
 
 std::string RoomResult::to_table() const {

@@ -24,6 +24,7 @@
 
 #include <cstddef>
 #include <cstdint>
+#include <memory>
 #include <string>
 #include <vector>
 
@@ -33,6 +34,8 @@
 #include "util/statistics.hpp"
 
 namespace fsc {
+
+class ThreadPool;
 
 /// Everything a room run needs: the racks (each a full coupled-rack spec),
 /// the scheduler selection, and the room-level coupling physics.
@@ -123,6 +126,85 @@ class RoomEngine {
   /// Simulate the whole room in lockstep and aggregate.  Deterministic for
   /// a fixed RoomParams regardless of `threads`.
   RoomResult run() const;
+
+  /// Resumable room session: the round loop of run(), opened up so an
+  /// outer driver (RoomEngine::run itself, or the facility tier) owns the
+  /// execution strategy and can interleave room rounds with higher-level
+  /// coordination.  One round is:
+  ///
+  ///   mark_round_start();                 // telemetry t0 only
+  ///   for each shard: run_shard(i)        // any executor, any order
+  ///     -- or, pool-constructed -- advance_round();
+  ///   finish_round();                     // rack coordination + room
+  ///                                       // schedule + plenum, in order
+  ///
+  /// repeated while !done(), then finish() aggregates.  All simulation
+  /// state advances on the driving thread except the shard bodies, so the
+  /// determinism guarantees of run() carry over verbatim.
+  ///
+  /// Facility hooks: a facility-level demand throttle (set_facility_scale)
+  /// composes multiplicatively with the room scheduler's own directives —
+  /// the scheduler keeps reasoning in its own scale frame and never sees
+  /// the throttle — and a supply-air offset (set_supply_offset) is added
+  /// to every rack's ambient offset.  Both default to the exact identity
+  /// (scale 1, offset never applied), so a session that never sees a
+  /// facility call is bit-identical to a standalone run.
+  class Session {
+   public:
+    /// Executor-agnostic construction: the caller drives run_shard().
+    /// Validates the params exactly like the RoomEngine constructor.
+    explicit Session(const RoomParams& params);
+    /// ThreadPool construction (the A/B path): advance_round() fans each
+    /// rack's coordination period into the shared pool.
+    Session(const RoomParams& params, ThreadPool& pool);
+    ~Session();
+    Session(const Session&) = delete;
+    Session& operator=(const Session&) = delete;
+
+    bool done() const noexcept;
+    double time_s() const noexcept;
+    std::size_t rounds() const noexcept;
+    std::size_t num_racks() const noexcept;
+    std::size_t num_slots() const noexcept;
+    /// Flattened chunk count across all racks (the run_shard index space).
+    std::size_t num_shards() const noexcept;
+
+    /// Telemetry-only: stamps the round's wall-clock t0 (no-op detached).
+    void mark_round_start();
+    /// Step one pre-assigned chunk (executor-agnostic path).  Safe to call
+    /// concurrently for distinct shard indices within one round.
+    void run_shard(std::size_t shard);
+    /// Pool path: fan every rack's coordination period into the pool and
+    /// barrier (includes rack coordination, like CoupledRackEngine's
+    /// complete_round).  Only valid on pool-constructed sessions.
+    void advance_round();
+    /// Deterministic barrier work in rack order on the calling thread:
+    /// rack coordination (executor path), then room observation,
+    /// scheduling, migration detection, and plenum retargeting.  Returns
+    /// early (scheduling skipped) when the run just completed.
+    void finish_round();
+
+    /// Facility demand throttle in [0, inf): effective rack scale is
+    /// facility_scale * scheduler directive.  Takes effect immediately.
+    void set_facility_scale(double scale);
+    double facility_scale() const noexcept;
+    /// Facility supply-air temperature offset (degC) added to every
+    /// rack's ambient offset.  Takes effect immediately.
+    void set_supply_offset(double celsius);
+    double supply_offset() const noexcept;
+    /// Aggregate CPU power (watts) from the latest room observations —
+    /// the facility tier's per-room heat-load signal.  0 before the
+    /// first completed round.
+    double cpu_watts_now() const noexcept;
+
+    /// Aggregate into the final RoomResult (invalidates the session's
+    /// rack sessions; call once, after the loop).
+    RoomResult finish();
+
+   private:
+    struct Impl;
+    std::unique_ptr<Impl> impl_;
+  };
 
  private:
   RoomParams params_;

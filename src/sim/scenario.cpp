@@ -6,6 +6,7 @@
 
 #include "core/policy_factory.hpp"
 #include "util/json.hpp"
+#include "util/rng.hpp"
 #include "util/units.hpp"
 #include "workload/trace_io.hpp"
 
@@ -34,6 +35,9 @@ void ScenarioSpec::validate() const {
   require(duration_s > 0.0, "ScenarioSpec: duration must be > 0");
   require(migration_step <= 0.0 || migration_step < 1.0,
           "ScenarioSpec: migration step must be in (0, 1) when set");
+  require(supply_amplitude_c >= 0.0,
+          "ScenarioSpec: supply amplitude must be >= 0");
+  require(supply_period_s > 0.0, "ScenarioSpec: supply period must be > 0");
 
   const PolicyFactory& factory = PolicyFactory::instance();
   if (!dtm.empty() && !factory.contains(dtm)) {
@@ -121,6 +125,28 @@ RoomParams ScenarioSpec::build_room() const {
   return p;
 }
 
+FacilityParams ScenarioSpec::build_facility() const {
+  validate();
+  require(rooms >= 1, "ScenarioSpec: build_facility needs rooms >= 1");
+
+  FacilityParams f;
+  f.rooms.reserve(rooms);
+  for (std::size_t r = 0; r < rooms; ++r) {
+    // Each room is this spec at room scale with a derived seed — the same
+    // recipe test_facility's standalone-equivalence check rebuilds.
+    ScenarioSpec room_spec = *this;
+    room_spec.rooms = 0;
+    room_spec.seed = derive_seed(seed, 1000 + r);
+    f.rooms.push_back(room_spec.build_room());
+  }
+  f.plant.capacity_watts = plant_capacity_watts;
+  f.plant.supply_amplitude_c = supply_amplitude_c;
+  f.plant.supply_period_s = supply_period_s;
+  f.facility_period_s = facility_period_s;
+  f.two_level = two_level;
+  return f;
+}
+
 std::string ScenarioSpec::to_json(int indent) const {
   json::Value o = json::Value::object();
   o.set("racks", json::Value::number(static_cast<double>(racks)));
@@ -143,6 +169,12 @@ std::string ScenarioSpec::to_json(int indent) const {
   o.set("simd", json::Value::string(to_string(simd)));
   o.set("trace_dir", json::Value::string(trace_dir));
   o.set("faults", json::Value::parse(faults.to_json()));
+  o.set("rooms", json::Value::number(static_cast<double>(rooms)));
+  o.set("plant_capacity_watts", json::Value::number(plant_capacity_watts));
+  o.set("supply_amplitude_c", json::Value::number(supply_amplitude_c));
+  o.set("supply_period_s", json::Value::number(supply_period_s));
+  o.set("facility_period_s", json::Value::number(facility_period_s));
+  o.set("two_level", json::Value::boolean(two_level));
   return o.dump(indent);
 }
 
@@ -206,6 +238,18 @@ ScenarioSpec ScenarioSpec::from_json_text(const std::string& text) {
       spec.trace_dir = value.as_string();
     } else if (key == "faults") {
       spec.faults = FaultPlan::from_json_text(value.dump());
+    } else if (key == "rooms") {
+      spec.rooms = as_index(value, "rooms");
+    } else if (key == "plant_capacity_watts") {
+      spec.plant_capacity_watts = value.as_number();
+    } else if (key == "supply_amplitude_c") {
+      spec.supply_amplitude_c = value.as_number();
+    } else if (key == "supply_period_s") {
+      spec.supply_period_s = value.as_number();
+    } else if (key == "facility_period_s") {
+      spec.facility_period_s = value.as_number();
+    } else if (key == "two_level") {
+      spec.two_level = value.as_bool();
     } else {
       // A typo'd knob must not silently run the default.
       throw std::invalid_argument("ScenarioSpec: unknown key '" + key + "'");

@@ -28,6 +28,7 @@
 
 #include "batch/simd/dispatch.hpp"
 #include "coord/coupled_rack_engine.hpp"
+#include "facility/facility_engine.hpp"
 #include "fault/fault_plan.hpp"
 #include "room/room_engine.hpp"
 
@@ -68,6 +69,14 @@ struct ScenarioSpec {
   std::string trace_dir;  ///< replay traces (round-robin); empty = synthetic
   FaultPlan faults;       ///< scheduled hardware faults; empty = none
 
+  // --- facility (facility-scale only; ignored by build_rack/build_room) --
+  std::size_t rooms = 0;  ///< > 0 enables build_facility (rooms of `racks`)
+  double plant_capacity_watts = -1.0;  ///< < 0 = unconstrained cooling plant
+  double supply_amplitude_c = 0.0;     ///< diurnal supply-air peak offset
+  double supply_period_s = 86400.0;    ///< supply profile cycle (a day)
+  double facility_period_s = -1.0;     ///< <= 0 = every coordination round
+  bool two_level = true;               ///< hierarchical vs flat executor
+
   bool operator==(const ScenarioSpec&) const = default;
 
   /// Cross-field validation: positive fleet shape and duration, policy
@@ -90,6 +99,12 @@ struct ScenarioSpec {
   /// + these overrides, traces round-robined across the whole room, the
   /// fault plan re-homed per rack with FaultPlan::for_rack).
   RoomParams build_room() const;
+
+  /// Lower onto the facility-scale engine parameters: `rooms` copies of
+  /// build_room(), each re-seeded with derive_seed(seed, 1000 + room) —
+  /// the exact recipe a per-room standalone equivalence check rebuilds —
+  /// under the plant/profile/executor knobs above.  Requires rooms >= 1.
+  FacilityParams build_facility() const;
 
   /// The spec as a JSON object — a valid --scenario file.  Defaulted
   /// fields are emitted too, so the file documents the whole run.

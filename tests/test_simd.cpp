@@ -292,6 +292,18 @@ TEST(SimdBatch, TracksReferencePathWithinUlpBounds) {
   }
 }
 
+/// Lanes per vector block, mirrored from the kernel TUs (dispatch
+/// intentionally does not export it).
+std::size_t block_lanes(Width w) {
+  switch (w) {
+    case Width::kScalar: return 4;  // portable array kernel is 4 wide
+    case Width::kSse2: return 2;
+    case Width::kAvx2: return 4;
+    case Width::kNeon: return 2;
+  }
+  return 1;
+}
+
 TEST(SimdBatch, MemoTelemetryIsExact) {
   for (Width w : simd::supported_widths()) {
     BatchFixture fx(5);
@@ -302,15 +314,29 @@ TEST(SimdBatch, MemoTelemetryIsExact) {
     for (std::size_t i = 0; i < 5; ++i) {
       fx.batch.set_inputs(i, 50.0, 2000.0, 25.0);  // command == initial rpm
     }
-    // First substep: every lane misses (prepare_dt invalidated the memos).
+    // First substep: every lane moves (prepare_dt invalidated the memos).
+    // table1_defaults gives every lane identical coefficients, so the
+    // rolling share pays for exactly ONE vector recompute (the first
+    // block) and shares the rest.
+    const std::uint64_t first_block = std::min<std::uint64_t>(
+        static_cast<std::uint64_t>(block_lanes(w)), 5u);
     fx.batch.step_range(0, 5, dt);
-    EXPECT_EQ(fx.batch.memo_misses(), 5u) << simd::width_name(w);
+    EXPECT_EQ(fx.batch.memo_misses(), first_block) << simd::width_name(w);
+    EXPECT_EQ(fx.batch.memo_shared_hits(), 5u - first_block)
+        << simd::width_name(w);
     EXPECT_EQ(fx.batch.memo_hits(), 0u) << simd::width_name(w);
-    // Settled from here on: all hits, and hits + misses == lanes stepped.
+    // Settled from here on: all hits, and hits + shared + misses == lanes
+    // stepped.
     fx.batch.step_range(0, 5, dt);
     fx.batch.step_range(0, 5, dt);
-    EXPECT_EQ(fx.batch.memo_misses(), 5u) << simd::width_name(w);
+    EXPECT_EQ(fx.batch.memo_misses(), first_block) << simd::width_name(w);
+    EXPECT_EQ(fx.batch.memo_shared_hits(), 5u - first_block)
+        << simd::width_name(w);
     EXPECT_EQ(fx.batch.memo_hits(), 10u) << simd::width_name(w);
+    EXPECT_EQ(fx.batch.memo_hits() + fx.batch.memo_shared_hits() +
+                  fx.batch.memo_misses(),
+              15u)
+        << simd::width_name(w);
   }
 }
 

@@ -1,0 +1,331 @@
+// Trace pipeline at production scale (this PR's tentpole): the mmap-able
+// columnar pack vs the CSV path, and the batched zero-virtual-call demand
+// gather vs per-lane virtual dispatch.
+//
+// Three claims are enforced through bench/verdict.hpp after the timing
+// loops:
+//
+//   * pack-load: opening a 1024-trace pack (header + metadata only, no
+//     sample touched) is >= 10x faster than parsing the same corpus from
+//     a CSV directory.  This is the startup axis: O(trace count) vs
+//     O(total samples) of text parsing.
+//   * gather: one WorkloadTable::fill_demand sweep over 4096 lanes beats
+//     the equivalent per-lane virtual Workload::demand loop.  Same
+//     zoh_index math on both sides (they are bit-identical,
+//     test_trace_store) — the delta is pure dispatch: vtable indirection
+//     vs a branch-free indexed gather over a contiguous lane table.
+//   * capacity: a room-day over 1024 DISTINCT fitter-generated traces
+//     (2 racks x 512 slots, facility-coarse timing, every slot replaying
+//     its own pack column) completes within a fixed RSS budget — the
+//     whole corpus rides one shared mapping instead of per-lane copies.
+//
+// Writes BENCH_trace.json (override via FSC_BENCH_JSON) with the same
+// schema as the other BENCH_*.json trajectory files.
+#include <benchmark/benchmark.h>
+
+#include <algorithm>
+#include <chrono>
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#if defined(__unix__) || defined(__APPLE__)
+#include <sys/resource.h>
+#endif
+
+#include "json_reporter.hpp"
+#include "verdict.hpp"
+
+#include "room/room_engine.hpp"
+#include "util/rng.hpp"
+#include "workload/trace_fit.hpp"
+#include "workload/trace_io.hpp"
+#include "workload/trace_store.hpp"
+#include "workload/workload_table.hpp"
+
+namespace {
+
+using namespace fsc;
+
+constexpr std::size_t kCorpusTraces = 1024;
+constexpr double kDayS = 86400.0;
+constexpr double kCadenceS = 60.0;  ///< demand is read per control period
+constexpr std::size_t kSamplesPerTrace =
+    static_cast<std::size_t>(kDayS / kCadenceS);  // 1440
+
+/// High-water resident set in MiB (0 when the platform has no rusage).
+double maxrss_mib() {
+#if defined(__unix__) || defined(__APPLE__)
+  struct rusage ru{};
+  if (getrusage(RUSAGE_SELF, &ru) != 0) return 0.0;
+#if defined(__APPLE__)
+  return static_cast<double>(ru.ru_maxrss) / (1024.0 * 1024.0);  // bytes
+#else
+  return static_cast<double>(ru.ru_maxrss) / 1024.0;  // KiB
+#endif
+#else
+  return 0.0;
+#endif
+}
+
+/// The corpus on disk, built once: 1024 distinct day-long traces, fitted
+/// from one diurnal-ish archetype and synthesized per seed, written BOTH
+/// as a pack and as a CSV directory holding the identical dequantized
+/// values (so the two load paths parse the same data).
+struct Corpus {
+  std::string pack_path;
+  std::string csv_dir;
+};
+
+const Corpus& corpus() {
+  static const Corpus c = [] {
+    namespace fs = std::filesystem;
+    Corpus built;
+    const fs::path root =
+        fs::temp_directory_path() / "fsc_bench_trace_pipeline";
+    fs::create_directories(root / "csv");
+    built.pack_path = (root / "corpus.fst").string();
+    built.csv_dir = (root / "csv").string();
+
+    // One archetype, many seeds: a mild diurnal swing with noise.
+    std::vector<double> archetype(kSamplesPerTrace);
+    for (std::size_t i = 0; i < archetype.size(); ++i) {
+      const double t = static_cast<double>(i) * kCadenceS;
+      archetype[i] =
+          0.45 + 0.3 * std::sin(6.283185307179586 * t / kDayS - 1.3);
+    }
+    const TraceFit fit = fit_trace(archetype, kCadenceS);
+
+    TracePackWriter writer;
+    for (std::size_t i = 0; i < kCorpusTraces; ++i) {
+      char name[16];
+      std::snprintf(name, sizeof name, "t%04zu", i);  // not operator+: PR105651
+      writer.add_trace(name,
+                       synthesize_samples(fit, kSamplesPerTrace,
+                                          derive_seed(2026, i)),
+                       kCadenceS);
+    }
+    writer.write(built.pack_path);
+
+    // CSVs carry the dequantized pack values (17 digits) so the corpora
+    // match bit for bit.
+    const auto store = TraceStore::open(built.pack_path);
+    for (std::size_t i = 0; i < store->size(); ++i) {
+      // 4-digit zero-pad keeps the lexicographic load order == pack order.
+      char name[32];
+      std::snprintf(name, sizeof name, "t%04zu.csv", i);
+      std::ofstream out(built.csv_dir + "/" + name);
+      out << stored_trace_to_csv(*store, i);
+    }
+    return built;
+  }();
+  return c;
+}
+
+/// 4096 lanes cycling over the corpus columns, plus the reference per-lane
+/// pointers, built once for the dispatch A/B.
+struct LaneSet {
+  std::vector<std::shared_ptr<const Workload>> lanes;
+  WorkloadTable table;
+};
+
+LaneSet& lane_set() {
+  static LaneSet s = [] {
+    LaneSet built;
+    const auto store = TraceStore::open(corpus().pack_path);
+    for (std::size_t i = 0; i < 4096; ++i) {
+      built.lanes.push_back(
+          std::make_shared<StoredTraceWorkload>(store, i % store->size()));
+    }
+    for (const auto& lane : built.lanes) built.table.add_lane(*lane);
+    return built;
+  }();
+  return s;
+}
+
+// ------------------------------------------------------------ timing loops
+
+void BM_PackOpen(benchmark::State& state) {
+  corpus();
+  for (auto _ : state) {
+    auto workloads = workloads_from_store(TraceStore::open(corpus().pack_path));
+    benchmark::DoNotOptimize(workloads);
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()) *
+                          static_cast<int64_t>(kCorpusTraces));
+}
+BENCHMARK(BM_PackOpen)->Unit(benchmark::kMicrosecond);
+
+void BM_CsvLoadDir(benchmark::State& state) {
+  corpus();
+  for (auto _ : state) {
+    auto workloads = load_trace_dir(corpus().csv_dir);
+    benchmark::DoNotOptimize(workloads);
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()) *
+                          static_cast<int64_t>(kCorpusTraces));
+}
+BENCHMARK(BM_CsvLoadDir)->Unit(benchmark::kMillisecond);
+
+void BM_GatherFill(benchmark::State& state) {
+  LaneSet& s = lane_set();
+  std::vector<double> out(s.lanes.size());
+  for (auto _ : state) {
+    for (std::size_t k = 0; k < kSamplesPerTrace; ++k) {
+      s.table.fill_demand(static_cast<double>(k) * kCadenceS, 0,
+                          s.lanes.size(), out.data());
+    }
+    benchmark::DoNotOptimize(out.data());
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()) *
+                          static_cast<int64_t>(s.lanes.size()) *
+                          static_cast<int64_t>(kSamplesPerTrace));
+}
+BENCHMARK(BM_GatherFill)->Unit(benchmark::kMillisecond);
+
+void BM_VirtualFill(benchmark::State& state) {
+  LaneSet& s = lane_set();
+  std::vector<double> out(s.lanes.size());
+  for (auto _ : state) {
+    for (std::size_t k = 0; k < kSamplesPerTrace; ++k) {
+      const double t = static_cast<double>(k) * kCadenceS;
+      for (std::size_t i = 0; i < s.lanes.size(); ++i) {
+        out[i] = s.lanes[i]->demand(t);
+      }
+    }
+    benchmark::DoNotOptimize(out.data());
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()) *
+                          static_cast<int64_t>(s.lanes.size()) *
+                          static_cast<int64_t>(kSamplesPerTrace));
+}
+BENCHMARK(BM_VirtualFill)->Unit(benchmark::kMillisecond);
+
+// ----------------------------------------------------------------- verdict
+
+template <typename Fn>
+double min_seconds(Fn&& fn, int reps = 5) {
+  double best = 1e300;
+  for (int r = 0; r < reps; ++r) {
+    const auto t0 = std::chrono::steady_clock::now();
+    fn();
+    const auto t1 = std::chrono::steady_clock::now();
+    best = std::min(best, std::chrono::duration<double>(t1 - t0).count());
+  }
+  return best;
+}
+
+/// The room-day over the distinct-trace corpus at facility-coarse timing.
+RoomParams corpus_room(const std::shared_ptr<const TraceStore>& store) {
+  constexpr std::size_t kRacks = 2, kSlots = 512;
+  RoomParams room = default_room_scenario(kRacks, 4242, kDayS);
+  for (std::size_t r = 0; r < room.racks.size(); ++r) {
+    CoupledRackParams& rack = room.racks[r];
+    rack.rack.num_servers = kSlots;
+    rack.rack.sim.physics_dt_s = 5.0;
+    rack.rack.sim.cpu_period_s = 60.0;
+    rack.coord.coordination_period_s = 600.0;
+    std::vector<std::shared_ptr<const Workload>> traces;
+    traces.reserve(kSlots);
+    for (std::size_t s = 0; s < kSlots; ++s) {
+      traces.push_back(
+          std::make_shared<StoredTraceWorkload>(store, r * kSlots + s));
+    }
+    rack.rack.traces = std::move(traces);
+  }
+  return room;
+}
+
+bool print_pipeline_verdict() {
+  bool ok = true;
+  const std::size_t threads = std::min<std::size_t>(
+      8, std::max(1u, std::thread::hardware_concurrency()));
+
+  // ---- pack-load vs CSV-parse ------------------------------------------
+  const double csv_s = min_seconds([] {
+    auto workloads = load_trace_dir(corpus().csv_dir);
+    benchmark::DoNotOptimize(workloads);
+  }, 3);
+  const double pack_s = min_seconds([] {
+    auto workloads = workloads_from_store(TraceStore::open(corpus().pack_path));
+    benchmark::DoNotOptimize(workloads);
+  });
+  std::printf(
+      "\n--- load %zu traces x %zu samples: csv %.4f s, pack %.6f s "
+      "(%.0fx) ---\n",
+      kCorpusTraces, kSamplesPerTrace, csv_s, pack_s, csv_s / pack_s);
+  ok &= fsc_bench::check_beats("pack-load", "seconds", "csv-parse / 10",
+                               csv_s / 10.0, pack_s);
+
+  // ---- gather vs per-lane virtual dispatch -----------------------------
+  LaneSet& lanes = lane_set();
+  std::vector<double> out(lanes.lanes.size());
+  const double virtual_s = min_seconds([&] {
+    for (std::size_t k = 0; k < kSamplesPerTrace; ++k) {
+      const double t = static_cast<double>(k) * kCadenceS;
+      for (std::size_t i = 0; i < lanes.lanes.size(); ++i) {
+        out[i] = lanes.lanes[i]->demand(t);
+      }
+    }
+    benchmark::DoNotOptimize(out.data());
+  });
+  const double gather_s = min_seconds([&] {
+    for (std::size_t k = 0; k < kSamplesPerTrace; ++k) {
+      lanes.table.fill_demand(static_cast<double>(k) * kCadenceS, 0,
+                              lanes.lanes.size(), out.data());
+    }
+    benchmark::DoNotOptimize(out.data());
+  });
+  std::printf(
+      "--- demand sweep, %zu lanes x %zu periods: virtual %.4f s, gather "
+      "%.4f s (%.2fx) ---\n",
+      lanes.lanes.size(), kSamplesPerTrace, virtual_s, gather_s,
+      virtual_s / gather_s);
+  ok &= fsc_bench::check_beats("workload-table-gather", "seconds",
+                               "per-lane virtual", virtual_s, gather_s);
+
+  // ---- room-day over 1024 distinct traces, fixed RSS budget ------------
+  constexpr double kBudgetMib = 2048.0;
+  const auto store = TraceStore::open(corpus().pack_path);
+  std::printf(
+      "--- room-day: 1024 slots, each replaying its own pack column "
+      "(%zu distinct traces, %s), %zu threads ---\n",
+      store->size(), store->mapped() ? "mmap" : "heap", threads);
+  const RoomEngine engine(corpus_room(store), threads);
+  const auto t0 = std::chrono::steady_clock::now();
+  const RoomResult day = engine.run();
+  const double wall_s =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
+          .count();
+  const double rss = maxrss_mib();
+  std::printf("wall time          : %8.1f s\n", wall_s);
+  std::printf("peak rss           : %8.1f MiB\n", rss);
+  std::printf("total energy       : %8.1f kJ\n",
+              day.total_energy_joules / 1000.0);
+  std::printf("deadline violations: %.3f %%\n",
+              day.deadline_violation_percent);
+  if (day.total_slots() != 1024) {
+    std::printf("[REGRESSION] corpus room-day: expected 1024 slots, got %zu\n",
+                day.total_slots());
+    ok = false;
+  }
+  if (rss > 0.0) {
+    ok &= fsc_bench::check_beats("corpus-room-day", "maxrss_mib",
+                                 "memory budget", kBudgetMib, rss);
+  } else {
+    std::printf("[SKIP] no rusage on this platform: memory budget unchecked\n");
+  }
+  return ok;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const int rc =
+      fsc_bench::run_benchmarks_with_json(argc, argv, "BENCH_trace.json");
+  if (rc != 0) return rc;
+  return print_pipeline_verdict() ? 0 : 2;
+}

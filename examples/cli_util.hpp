@@ -89,9 +89,9 @@ enum class ScenarioFlag {
 ///
 ///   --scenario FILE   load a ScenarioSpec JSON file (sim/scenario.hpp);
 ///                     flags AFTER it override the file's values
-///   --dtm POLICY --traces DIR --slots N --threads N --seed S
-///   --duration SECS --zone K --batched on|off --chunk N
-///   --executor on|off --simd on|off|auto --no-plenum
+///   --dtm POLICY --traces DIR --trace-pack FILE --slots N --threads N
+///   --seed S --duration SECS --zone K --batched on|off --chunk N
+///   --executor on|off --gather on|off --simd on|off|auto --no-plenum
 ///   --rooms N --plant-watts W --supply-amplitude C --facility-period S
 ///   --two-level on|off   (facility-scale; ignored by build_rack/build_room)
 ///
@@ -128,6 +128,11 @@ inline ScenarioFlag consume_scenario_flag(fsc::ScenarioSpec& spec, int argc,
   if (arg == "--traces") {
     if (!has_value) return bad("expected a directory");
     spec.trace_dir = argv[++i];
+    return ScenarioFlag::kConsumed;
+  }
+  if (arg == "--trace-pack") {
+    if (!has_value) return bad("expected a .fst pack file");
+    spec.trace_pack = argv[++i];
     return ScenarioFlag::kConsumed;
   }
   if (arg == "--slots") {
@@ -174,6 +179,12 @@ inline ScenarioFlag consume_scenario_flag(fsc::ScenarioSpec& spec, int argc,
   }
   if (arg == "--executor") {
     if (!has_value || !parse_on_off(argv[++i], spec.executor)) {
+      return bad("expected on|off");
+    }
+    return ScenarioFlag::kConsumed;
+  }
+  if (arg == "--gather") {
+    if (!has_value || !parse_on_off(argv[++i], spec.gather)) {
       return bad("expected on|off");
     }
     return ScenarioFlag::kConsumed;

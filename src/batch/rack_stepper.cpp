@@ -5,6 +5,7 @@
 
 #include "sim/server.hpp"
 #include "util/units.hpp"
+#include "workload/workload_table.hpp"
 
 namespace fsc {
 
@@ -30,9 +31,17 @@ void RackBatchStepper::force_scalar(std::size_t slot) {
   any_scalar_ = true;
 }
 
+void RackBatchStepper::set_workload_table(const WorkloadTable* table) {
+  require(table == nullptr || table->lanes() == slots_.size(),
+          "RackBatchStepper::set_workload_table: table must hold one lane "
+          "per registered slot");
+  table_ = table;
+}
+
 void RackBatchStepper::prepare() {
   if (slots_.empty()) return;
   batch_.prepare_dt(slots_.front().session->params().physics_dt_s);
+  if (table_ != nullptr) demand_buf_.resize(slots_.size());
 }
 
 void RackBatchStepper::advance_periods(long periods) {
@@ -65,11 +74,23 @@ void RackBatchStepper::advance_range_periods(std::size_t lo, std::size_t hi,
 
   for (long p = 0; p < periods; ++p) {
     // Phase 1 — per-slot control decisions, then the once-per-period input
-    // gather into the SoA kernel.
+    // gather into the SoA kernel.  With a workload table attached, the
+    // range's demand is resolved FIRST in one branch-light gather loop
+    // (lane clocks agree — all sessions share the timing and advance
+    // together) and injected into begin_period, replacing one virtual
+    // demand call per slot per period.
+    const bool gather = table_ != nullptr;
+    if (gather) {
+      table_->fill_demand(slots_[lo].session->time_s(), lo, hi,
+                          demand_buf_.data());
+    }
     bool any_active = false;
     for (std::size_t i = lo; i < hi; ++i) {
       Slot& slot = slots_[i];
-      active_[i] = slot.session->begin_period() ? 1 : 0;
+      active_[i] = (gather ? slot.session->begin_period(demand_buf_[i])
+                           : slot.session->begin_period())
+                       ? 1
+                       : 0;
       if (!active_[i]) continue;
       any_active = true;
       batch_.set_inputs(i,

@@ -37,6 +37,7 @@
 namespace fsc {
 
 class Server;
+class WorkloadTable;
 
 /// Steps one rack's sessions over a shared SoA plant kernel.
 class RackBatchStepper {
@@ -80,6 +81,18 @@ class RackBatchStepper {
   std::optional<simd::Width> simd_width() const noexcept {
     return batch_.simd_width();
   }
+
+  /// Batched demand: resolve each period's per-lane demand through
+  /// `table` (one indexed-gather loop per range, workload/
+  /// workload_table.hpp) instead of one virtual Workload::demand call per
+  /// slot.  The table must hold exactly one lane per registered slot, in
+  /// slot order, built from the same workload objects the sessions hold —
+  /// then the gathered values are bit-identical to the per-lane calls by
+  /// construction.  Borrowed; null (the default) keeps the classic path.
+  /// Set before prepare().  Fault-forced scalar lanes always use the
+  /// classic path regardless.
+  void set_workload_table(const WorkloadTable* table);
+  const WorkloadTable* workload_table() const noexcept { return table_; }
 
   /// Freeze the dt-dependent kernel memos for the registered slots'
   /// physics step.  Must run once — single-threaded — after the last
@@ -130,6 +143,11 @@ class RackBatchStepper {
   bool any_scalar_ = false;
   ServerBatch batch_;
   std::size_t chunk_lanes_ = 0;  ///< 0 = kAutoChunkLanes
+  const WorkloadTable* table_ = nullptr;  ///< batched demand (null = classic)
+  /// Per-slot demand scratch for the gather — sized once in prepare();
+  /// concurrent chunks write disjoint [lo, hi) sub-ranges, so one buffer
+  /// serves all threads without races.
+  std::vector<double> demand_buf_;
 };
 
 }  // namespace fsc

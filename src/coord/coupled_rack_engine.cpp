@@ -16,6 +16,7 @@
 #include "obs/snapshot.hpp"
 #include "sim/instrumentation.hpp"
 #include "util/lockstep_executor.hpp"
+#include "workload/workload_table.hpp"
 #include "util/thread_pool.hpp"
 #include "util/units.hpp"
 
@@ -85,6 +86,10 @@ struct CoupledRackEngine::Session::Impl {
   std::vector<std::unique_ptr<SlotRuntime>> slots;
   /// Chunked SoA stepping (null when params.batched is off).
   std::unique_ptr<RackBatchStepper> stepper;
+  /// Batched demand gather (null when params.gather is off, the rack is
+  /// unbatched, or some lane's workload is not pre-sampled).  Owned here
+  /// at a stable address; the stepper borrows it.
+  std::unique_ptr<WorkloadTable> workload_table;
   /// Fault driver (null when params.faults is empty — the common case, in
   /// which no fault code runs anywhere near the hot path).
   std::unique_ptr<FaultInjector> injector;
@@ -138,6 +143,23 @@ struct CoupledRackEngine::Session::Impl {
       stepper->set_chunk_lanes(params.chunk);
       for (const auto& rt : slots) stepper->add_slot(*rt->session, rt->server);
       stepper->set_simd(simd::resolve_mode(params.simd));
+      if (params.gather) {
+        // Batched demand path: table every lane once, up front.  A single
+        // non-tableable workload drops the whole table — the classic
+        // per-lane path is always correct, the table only faster.
+        auto table = std::make_unique<WorkloadTable>();
+        bool all_tabled = true;
+        for (const auto& rt : slots) {
+          if (!table->add_lane(*rt->workload)) {
+            all_tabled = false;
+            break;
+          }
+        }
+        if (all_tabled) {
+          workload_table = std::move(table);
+          stepper->set_workload_table(workload_table.get());
+        }
+      }
       // Freeze the dt memos now, single-threaded: chunks of this batch may
       // later step concurrently and must never refresh shared state.
       stepper->prepare();

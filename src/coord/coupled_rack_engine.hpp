@@ -66,6 +66,17 @@ struct CoupledRackParams {
   /// exists to A/B the granularity.  Ignored when `batched` is off (the
   /// scalar path shards per slot).
   std::size_t chunk = 0;
+  /// Batched demand resolution: resolve every lane's per-period demand
+  /// through one WorkloadTable indexed-gather loop instead of a virtual
+  /// Workload::demand call per slot (workload/workload_table.hpp).  Only
+  /// takes effect when `batched` is on AND every slot's workload is
+  /// pre-sampled (SampledWorkload / StoredTraceWorkload — all practical
+  /// sources; an exotic lane silently keeps the classic path for the
+  /// whole rack).  The gathered values are computed with the per-lane
+  /// path's exact expressions, so on/off runs are bit-identical
+  /// (test_trace_store EXPECT_EQs across threads x chunks); the flag
+  /// exists to A/B the dispatch cost (`fsc_rack --gather off`).
+  bool gather = true;
   /// Drive rounds with the persistent LockstepExecutor (pre-assigned chunk
   /// shards + epoch barrier, util/lockstep_executor.hpp) instead of
   /// per-round ThreadPool submission.  Bit-identical either way; the

@@ -59,8 +59,10 @@ struct RackParams {
   /// non-empty, slot i replays traces[i % traces.size()] verbatim (no
   /// workload jitter — a real trace already carries its own phase and
   /// level structure); plant jitter still applies.  Shared pointers so a
-  /// large trace is loaded once however many slots replay it.
-  std::vector<std::shared_ptr<const SampledWorkload>> traces;
+  /// large trace is loaded once however many slots replay it.  Any
+  /// Workload works (CSV-loaded SampledWorkloads, zero-copy
+  /// StoredTraceWorkloads from a mmap-ed pack, test lambdas).
+  std::vector<std::shared_ptr<const Workload>> traces;
 
   RackParams() { sim.record_trace = false; }
 };
@@ -75,7 +77,7 @@ struct RackServerSpec {
   SpikyParams workload;         ///< jittered workload (synthetic fallback)
   /// Recorded trace this slot replays; null means "generate the synthetic
   /// workload from `workload` + seed".
-  std::shared_ptr<const SampledWorkload> trace;
+  std::shared_ptr<const Workload> trace;
 };
 
 /// The one place a slot's demand source is materialised: the spec's trace

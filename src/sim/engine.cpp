@@ -72,6 +72,14 @@ const SimulationParams& SimulationEngine::Session::params() const noexcept {
 bool SimulationEngine::Session::begin_period() {
   require(!in_period_, "Session::begin_period: previous period not finished");
   if (done()) return false;
+  // The one per-period virtual demand call of the classic path; the gather
+  // overload below receives this value precomputed for a whole lane range.
+  return begin_period(workload_.demand(time_s()));
+}
+
+bool SimulationEngine::Session::begin_period(double raw_demand) {
+  require(!in_period_, "Session::begin_period: previous period not finished");
+  if (done()) return false;
   const SimulationParams& params = engine_.params_;
   const long k = period_;
   const double t = static_cast<double>(k) * params.cpu_period_s;
@@ -102,7 +110,6 @@ bool SimulationEngine::Session::begin_period() {
 
   // This period's workload executes under the new cap.  The scale-by-1
   // branch is skipped entirely so an unmigrated run stays bit-identical.
-  const double raw_demand = workload_.demand(t);
   const double demand = demand_scale_ == 1.0
                             ? raw_demand
                             : clamp_utilization(raw_demand * demand_scale_);

@@ -150,6 +150,16 @@ class SimulationEngine {
     /// Server::step in the middle, so the two modes publish identical
     /// event sequences.
     bool begin_period();
+    /// begin_period() with the period's raw demand supplied by the caller
+    /// instead of the session's own `workload_.demand(t)` virtual call —
+    /// the batched gather path (workload/workload_table.hpp via
+    /// RackBatchStepper) resolves a whole lane range's demand in one loop
+    /// and injects each value here.  The caller MUST pass exactly what
+    /// workload_.demand(time_s()) would return (the WorkloadTable
+    /// guarantees it by construction); everything downstream — scaling,
+    /// capping, publication — is shared with the classic overload, so the
+    /// two are bit-identical by definition.
+    bool begin_period(double raw_demand);
     void note_substep();
     void finish_period();
     /// The utilization executing during the period opened by

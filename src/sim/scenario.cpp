@@ -9,6 +9,7 @@
 #include "util/rng.hpp"
 #include "util/units.hpp"
 #include "workload/trace_io.hpp"
+#include "workload/trace_store.hpp"
 
 namespace fsc {
 
@@ -38,6 +39,8 @@ void ScenarioSpec::validate() const {
   require(supply_amplitude_c >= 0.0,
           "ScenarioSpec: supply amplitude must be >= 0");
   require(supply_period_s > 0.0, "ScenarioSpec: supply period must be > 0");
+  require(trace_dir.empty() || trace_pack.empty(),
+          "ScenarioSpec: trace_dir and trace_pack are mutually exclusive");
 
   const PolicyFactory& factory = PolicyFactory::instance();
   if (!dtm.empty() && !factory.contains(dtm)) {
@@ -54,6 +57,24 @@ void ScenarioSpec::validate() const {
   }
   faults.validate(racks, slots);
 }
+
+namespace {
+
+/// The scenario's replay traces from either source (empty when neither is
+/// set): trace_dir parses CSVs into per-trace SampledWorkloads; trace_pack
+/// maps one .fst file and hands out zero-copy StoredTraceWorkload views.
+std::vector<std::shared_ptr<const Workload>> scenario_traces(
+    const std::string& trace_dir, const std::string& trace_pack) {
+  std::vector<std::shared_ptr<const Workload>> traces;
+  if (!trace_pack.empty()) {
+    traces = workloads_from_store(TraceStore::open(trace_pack));
+  } else if (!trace_dir.empty()) {
+    for (auto& t : load_trace_dir(trace_dir)) traces.push_back(std::move(t));
+  }
+  return traces;
+}
+
+}  // namespace
 
 std::size_t ScenarioSpec::resolve_threads() const {
   if (threads > 0) return threads;
@@ -72,6 +93,7 @@ CoupledRackParams ScenarioSpec::build_rack() const {
   p.batched = batched;
   p.chunk = chunk;
   p.executor = executor;
+  p.gather = gather;
   p.simd = simd;
   if (!coordinator.empty()) p.coordinator = coordinator;
   if (!dtm.empty()) p.rack.policy = dtm;
@@ -79,7 +101,8 @@ CoupledRackParams ScenarioSpec::build_rack() const {
     p.coord.rack_power_budget_watts = rack_budget_watts;
   }
   if (fan_zone > 0) p.coord.fan_zone_size = fan_zone;
-  if (!trace_dir.empty()) p.rack.traces = load_trace_dir(trace_dir);
+  const auto traces = scenario_traces(trace_dir, trace_pack);
+  if (!traces.empty()) p.rack.traces = traces;
   p.faults = faults;  // racks == 1, so the plan is already rack-local
   return p;
 }
@@ -96,8 +119,8 @@ RoomParams ScenarioSpec::build_room() const {
   }
   if (migration_step > 0.0) p.sched.migration_step = migration_step;
 
-  std::vector<std::shared_ptr<const SampledWorkload>> traces;
-  if (!trace_dir.empty()) traces = load_trace_dir(trace_dir);
+  const std::vector<std::shared_ptr<const Workload>> traces =
+      scenario_traces(trace_dir, trace_pack);
 
   for (std::size_t r = 0; r < p.racks.size(); ++r) {
     CoupledRackParams& rack = p.racks[r];
@@ -105,6 +128,7 @@ RoomParams ScenarioSpec::build_room() const {
     rack.plenum_enabled = plenum;
     rack.batched = batched;
     rack.chunk = chunk;
+    rack.gather = gather;
     rack.simd = simd;
     if (!coordinator.empty()) rack.coordinator = coordinator;
     if (!dtm.empty()) rack.rack.policy = dtm;
@@ -166,8 +190,10 @@ std::string ScenarioSpec::to_json(int indent) const {
   o.set("chunk", json::Value::number(static_cast<double>(chunk)));
   o.set("batched", json::Value::boolean(batched));
   o.set("executor", json::Value::boolean(executor));
+  o.set("gather", json::Value::boolean(gather));
   o.set("simd", json::Value::string(to_string(simd)));
   o.set("trace_dir", json::Value::string(trace_dir));
+  o.set("trace_pack", json::Value::string(trace_pack));
   o.set("faults", json::Value::parse(faults.to_json()));
   o.set("rooms", json::Value::number(static_cast<double>(rooms)));
   o.set("plant_capacity_watts", json::Value::number(plant_capacity_watts));
@@ -232,10 +258,14 @@ ScenarioSpec ScenarioSpec::from_json_text(const std::string& text) {
       spec.batched = value.as_bool();
     } else if (key == "executor") {
       spec.executor = value.as_bool();
+    } else if (key == "gather") {
+      spec.gather = value.as_bool();
     } else if (key == "simd") {
       spec.simd = simd_mode_from_string(value.as_string());
     } else if (key == "trace_dir") {
       spec.trace_dir = value.as_string();
+    } else if (key == "trace_pack") {
+      spec.trace_pack = value.as_string();
     } else if (key == "faults") {
       spec.faults = FaultPlan::from_json_text(value.dump());
     } else if (key == "rooms") {

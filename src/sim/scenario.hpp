@@ -63,11 +63,14 @@ struct ScenarioSpec {
   std::size_t chunk = 0;    ///< lanes per batch chunk; 0 = auto
   bool batched = true;
   bool executor = true;
+  bool gather = true;  ///< batched WorkloadTable demand path (bit-identical)
   simd::SimdMode simd = simd::SimdMode::kOff;
 
   // --- inputs ------------------------------------------------------------
-  std::string trace_dir;  ///< replay traces (round-robin); empty = synthetic
-  FaultPlan faults;       ///< scheduled hardware faults; empty = none
+  std::string trace_dir;   ///< replay CSV traces (round-robin); empty = none
+  std::string trace_pack;  ///< replay a .fst trace pack (mmap, zero-copy);
+                           ///< mutually exclusive with trace_dir
+  FaultPlan faults;        ///< scheduled hardware faults; empty = none
 
   // --- facility (facility-scale only; ignored by build_rack/build_room) --
   std::size_t rooms = 0;  ///< > 0 enables build_facility (rooms of `racks`)

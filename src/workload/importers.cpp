@@ -1,0 +1,186 @@
+#include "workload/importers.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdlib>
+#include <fstream>
+#include <map>
+#include <sstream>
+#include <stdexcept>
+
+#include "util/units.hpp"
+
+namespace fsc {
+
+namespace {
+
+/// Split one CSV line on commas (no quoting — neither schema quotes),
+/// stripping a trailing CR so CRLF files parse.
+std::vector<std::string> split_fields(std::string line) {
+  if (!line.empty() && line.back() == '\r') line.pop_back();
+  std::vector<std::string> fields;
+  std::size_t start = 0;
+  while (true) {
+    const std::size_t comma = line.find(',', start);
+    if (comma == std::string::npos) {
+      fields.push_back(line.substr(start));
+      return fields;
+    }
+    fields.push_back(line.substr(start, comma - start));
+    start = comma + 1;
+  }
+}
+
+bool parse_double(const std::string& text, double& out) {
+  if (text.empty()) return false;
+  char* end = nullptr;
+  out = std::strtod(text.c_str(), &end);
+  return end == text.c_str() + text.size();
+}
+
+[[noreturn]] void bad_row(const char* importer, std::size_t line_no,
+                          const std::string& why) {
+  throw std::runtime_error(std::string(importer) + ": line " +
+                           std::to_string(line_no) + ": " + why);
+}
+
+/// Turn per-entity (bucket -> value) maps into dense uniformly-sampled
+/// traces, holding the last value across gaps (ZOH) and starting every
+/// trace at bucket 0 of the file's global time origin so entity phases
+/// stay aligned the way they were recorded.
+std::vector<ImportedTrace> densify(
+    const char* prefix,
+    const std::map<std::string, std::map<std::size_t, double>>& by_entity,
+    double bucket_s) {
+  std::vector<ImportedTrace> out;
+  out.reserve(by_entity.size());
+  for (const auto& [entity, buckets] : by_entity) {
+    if (buckets.empty()) continue;
+    ImportedTrace trace;
+    trace.name = std::string(prefix) + "-" + entity;
+    trace.sample_period_s = bucket_s;
+    const std::size_t last = buckets.rbegin()->first;
+    trace.samples.resize(last + 1);
+    double held = 0.0;
+    auto it = buckets.begin();
+    for (std::size_t b = 0; b <= last; ++b) {
+      if (it != buckets.end() && it->first == b) {
+        held = clamp_utilization(it->second);
+        ++it;
+      }
+      trace.samples[b] = held;
+    }
+    out.push_back(std::move(trace));
+  }
+  // std::map already iterates sorted by entity id -> stable pack order.
+  return out;
+}
+
+}  // namespace
+
+std::vector<ImportedTrace> import_google_task_usage(const std::string& text,
+                                                    double bucket_s) {
+  require(bucket_s > 0.0, "import_google_task_usage: bucket must be > 0");
+  // machine -> bucket -> summed mean_cpu_rate weighted by overlap.
+  std::map<std::string, std::map<std::size_t, double>> machines;
+  std::istringstream in(text);
+  std::string line;
+  std::size_t line_no = 0;
+  std::size_t used = 0;
+  while (std::getline(in, line)) {
+    ++line_no;
+    if (line.empty() || line == "\r") continue;
+    const std::vector<std::string> f = split_fields(line);
+    if (f.size() < 6) {
+      bad_row("import_google_task_usage", line_no, "expected >= 6 columns");
+    }
+    double start_us = 0.0, end_us = 0.0, rate = 0.0;
+    if (!parse_double(f[0], start_us)) {
+      if (line_no == 1) continue;  // header row
+      bad_row("import_google_task_usage", line_no, "bad start_time");
+    }
+    if (!parse_double(f[1], end_us) || end_us <= start_us) {
+      bad_row("import_google_task_usage", line_no, "bad end_time");
+    }
+    if (!parse_double(f[5], rate) || rate < 0.0) {
+      bad_row("import_google_task_usage", line_no, "bad mean_cpu_rate");
+    }
+    const std::string& machine = f[4];
+    if (machine.empty()) {
+      bad_row("import_google_task_usage", line_no, "empty machine_id");
+    }
+    // Spread the task's mean rate over every bucket its interval overlaps,
+    // weighted by the overlapped fraction of the bucket.
+    const double start_s = start_us * 1e-6;
+    const double end_s = end_us * 1e-6;
+    auto& buckets = machines[machine];
+    const auto first = static_cast<std::size_t>(start_s / bucket_s);
+    const auto last_b = static_cast<std::size_t>(
+        std::ceil(end_s / bucket_s));
+    for (std::size_t b = first; b < last_b; ++b) {
+      const double lo = std::max(start_s, static_cast<double>(b) * bucket_s);
+      const double hi =
+          std::min(end_s, static_cast<double>(b + 1) * bucket_s);
+      if (hi <= lo) continue;
+      buckets[b] += rate * (hi - lo) / bucket_s;
+    }
+    ++used;
+  }
+  if (used == 0) {
+    throw std::runtime_error("import_google_task_usage: no usable rows");
+  }
+  return densify("google", machines, bucket_s);
+}
+
+std::vector<ImportedTrace> import_azure_vm_cpu(const std::string& text,
+                                               double bucket_s) {
+  require(bucket_s > 0.0, "import_azure_vm_cpu: bucket must be > 0");
+  // vm -> bucket -> avg cpu fraction (last reading wins within a bucket).
+  std::map<std::string, std::map<std::size_t, double>> vms;
+  std::istringstream in(text);
+  std::string line;
+  std::size_t line_no = 0;
+  std::size_t used = 0;
+  while (std::getline(in, line)) {
+    ++line_no;
+    if (line.empty() || line == "\r") continue;
+    const std::vector<std::string> f = split_fields(line);
+    if (f.size() < 5) {
+      bad_row("import_azure_vm_cpu", line_no, "expected >= 5 columns");
+    }
+    double ts = 0.0, avg = 0.0;
+    if (!parse_double(f[0], ts)) {
+      if (line_no == 1) continue;  // header row
+      bad_row("import_azure_vm_cpu", line_no, "bad timestamp");
+    }
+    if (ts < 0.0) bad_row("import_azure_vm_cpu", line_no, "negative timestamp");
+    if (!parse_double(f[4], avg) || avg < 0.0) {
+      bad_row("import_azure_vm_cpu", line_no, "bad avg_cpu");
+    }
+    const std::string& vm = f[1];
+    if (vm.empty()) bad_row("import_azure_vm_cpu", line_no, "empty vm_id");
+    vms[vm][static_cast<std::size_t>(ts / bucket_s)] = avg / 100.0;
+    ++used;
+  }
+  if (used == 0) {
+    throw std::runtime_error("import_azure_vm_cpu: no usable rows");
+  }
+  return densify("azure", vms, bucket_s);
+}
+
+std::vector<ImportedTrace> import_trace_file(const std::string& schema,
+                                             const std::string& path,
+                                             double bucket_s) {
+  std::ifstream in(path);
+  if (!in) {
+    throw std::runtime_error("import_trace_file: cannot open " + path);
+  }
+  std::ostringstream buf;
+  buf << in.rdbuf();
+  if (schema == "google") return import_google_task_usage(buf.str(), bucket_s);
+  if (schema == "azure") return import_azure_vm_cpu(buf.str(), bucket_s);
+  throw std::runtime_error("import_trace_file: unknown schema '" + schema +
+                           "' (google|azure)");
+}
+
+}  // namespace fsc

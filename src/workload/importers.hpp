@@ -1,0 +1,64 @@
+// Importers for public datacenter trace schemas -> per-server utilization
+// traces.
+//
+// The simulator's native demand unit is CPU utilization in [0, 1] at a
+// fixed cadence; public traces arrive as event logs (Google) or percent
+// readings keyed by VM id (Azure).  Each importer normalizes one schema to
+// a set of named, uniformly-sampled traces ready for TracePackWriter —
+// `fsc_pack_traces --google/--azure` is the CLI face of these.
+//
+// Both parsers are deliberately forgiving about real-world files: CRLF,
+// blank lines, and a leading header row are accepted; any malformed data
+// row throws with the line number.
+//
+//   * Google cluster-usage (task_usage table, the 2011 clusterdata v2
+//     column order): comma-separated rows
+//       start_time_us, end_time_us, job_id, task_index, machine_id,
+//       mean_cpu_rate [, ...trailing columns ignored]
+//     Task intervals are aggregated per MACHINE into fixed buckets of
+//     `bucket_s` (the dataset's native 300 s cadence): each bucket gets
+//     the sum over tasks of mean_cpu_rate weighted by the fraction of the
+//     bucket the task overlaps.  One trace per machine, named
+//     "google-<machine_id>", clamped to [0, 1] (machine capacity is
+//     normalized to 1.0 in the public dataset).
+//
+//   * Azure VM traces (vm_cpu_readings schema): comma-separated rows
+//       timestamp_s, vm_id, min_cpu_percent, max_cpu_percent,
+//       avg_cpu_percent
+//     One trace per VM, named "azure-<vm_id>", avg percent / 100 at the
+//     dataset's fixed `bucket_s` (natively 300 s); missing buckets hold
+//     the previous reading (ZOH, matching the simulator's semantics).
+#pragma once
+
+#include <string>
+#include <vector>
+
+namespace fsc {
+
+/// One normalized trace ready for packing.
+struct ImportedTrace {
+  std::string name;
+  std::vector<double> samples;  ///< utilization in [0, 1]
+  double sample_period_s = 0.0;
+};
+
+/// Parse Google cluster-usage task_usage text.  Returns one trace per
+/// machine id, sorted by machine id for stable pack order.  Throws
+/// std::runtime_error (with the line number) on malformed rows, and when
+/// no usable row exists.
+std::vector<ImportedTrace> import_google_task_usage(const std::string& text,
+                                                    double bucket_s = 300.0);
+
+/// Parse Azure vm_cpu_readings text.  Returns one trace per VM id, sorted
+/// by VM id.  Throws std::runtime_error on malformed rows or when no
+/// usable row exists.
+std::vector<ImportedTrace> import_azure_vm_cpu(const std::string& text,
+                                               double bucket_s = 300.0);
+
+/// Read a file and dispatch to one of the importers ("google" / "azure").
+/// Throws std::runtime_error on an unknown schema name or unreadable file.
+std::vector<ImportedTrace> import_trace_file(const std::string& schema,
+                                             const std::string& path,
+                                             double bucket_s = 300.0);
+
+}  // namespace fsc

@@ -26,7 +26,9 @@ double SquareWaveWorkload::demand(double t) const {
 }
 
 SampledWorkload::SampledWorkload(std::vector<double> samples, double sample_period_s)
-    : samples_(std::move(samples)), period_s_(sample_period_s) {
+    : samples_(std::move(samples)),
+      period_s_(sample_period_s),
+      inv_period_(1.0 / sample_period_s) {
   require(!samples_.empty(), "SampledWorkload: samples must be non-empty");
   require(sample_period_s > 0.0, "SampledWorkload: sample period must be > 0");
   for (double s : samples_) {
@@ -36,8 +38,7 @@ SampledWorkload::SampledWorkload(std::vector<double> samples, double sample_peri
 
 double SampledWorkload::demand(double t) const {
   if (t < 0.0) t = 0.0;
-  const auto idx = static_cast<std::size_t>(t / period_s_);
-  return idx >= samples_.size() ? samples_.back() : samples_[idx];
+  return samples_[zoh_index(t, inv_period_, period_s_, samples_.size())];
 }
 
 double SampledWorkload::duration() const noexcept {

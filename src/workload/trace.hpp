@@ -6,11 +6,38 @@
 // utilization is min(demand, CPU cap) and is the simulator's business.
 #pragma once
 
+#include <cstddef>
 #include <functional>
 #include <memory>
 #include <vector>
 
 namespace fsc {
+
+/// Zero-order-hold sample index for time `t` (>= 0) into an `n`-sample
+/// trace with the given sample period: sample k covers
+/// [k * period, (k + 1) * period), the last sample is held forever.
+///
+/// The division the definition implies is hoisted out of the per-call hot
+/// path: callers precompute `inv_period = 1.0 / period` once and this
+/// helper multiplies.  A reciprocal multiply can land one ULP on the wrong
+/// side of an exact boundary (e.g. 3.0 * (1.0 / 3.0) can round below 1.0),
+/// so the truncation is corrected with two multiply-compares against the
+/// true period — sample k still starts exactly at fl(k * period).
+///
+/// This is the ONE index computation shared by SampledWorkload,
+/// StoredTraceWorkload, and WorkloadTable::fill_demand, so the per-lane
+/// virtual demand path and the batched gather path are bit-identical by
+/// construction.
+inline std::size_t zoh_index(double t, double inv_period, double period_s,
+                             std::size_t n) noexcept {
+  std::size_t idx = static_cast<std::size_t>(t * inv_period);
+  if (static_cast<double>(idx + 1) * period_s <= t) {
+    ++idx;  // reciprocal rounded low of an exact boundary
+  } else if (idx > 0 && static_cast<double>(idx) * period_s > t) {
+    --idx;  // reciprocal rounded high into the next sample
+  }
+  return idx < n ? idx : n - 1;
+}
 
 /// Interface: demanded utilization over time.  Implementations must return
 /// values in [0, 1] and be deterministic for a fixed construction (all
@@ -65,11 +92,16 @@ class SampledWorkload final : public Workload {
 
   std::size_t size() const noexcept { return samples_.size(); }
   double sample_period() const noexcept { return period_s_; }
+  /// Precomputed 1 / sample_period for the zoh_index hot path (and for
+  /// WorkloadTable, which must gather with the exact same reciprocal).
+  double inv_sample_period() const noexcept { return inv_period_; }
+  const double* data() const noexcept { return samples_.data(); }
   double duration() const noexcept;
 
  private:
   std::vector<double> samples_;
   double period_s_;
+  double inv_period_;
 };
 
 /// Wrap any callable as a workload (used by tests and examples).

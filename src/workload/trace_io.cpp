@@ -46,8 +46,13 @@ std::unique_ptr<SampledWorkload> workload_from_csv(const std::string& csv_text,
   if (times.size() >= 2) {
     period = times[1] - times[0];
     if (period <= 0.0) throw std::runtime_error("workload_from_csv: non-increasing time");
+    // Tolerance is RELATIVE to the period: long traces carry absolute
+    // timestamp float error proportional to t (a day at 300 s spacing
+    // reaches t ~ 1e5, where even 1-ulp noise exceeds a 1e-6 absolute
+    // bar), while genuine spacing jumps are a period-sized effect.
+    const double tol = 1e-6 * period;
     for (std::size_t i = 1; i < times.size(); ++i) {
-      if (std::fabs((times[i] - times[i - 1]) - period) > 1e-6) {
+      if (std::fabs((times[i] - times[i - 1]) - period) > tol) {
         throw std::runtime_error("workload_from_csv: non-uniform sample spacing");
       }
     }

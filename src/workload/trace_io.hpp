@@ -23,7 +23,9 @@ std::string workload_to_csv(const Workload& w, double duration_s,
 /// trace has no spacing to infer from, so it gets `single_row_period_s`
 /// (which the caller should set to the trace's actual cadence).
 /// Throws std::runtime_error on missing columns or non-uniform spacing
-/// (tolerance 1e-6 s), std::invalid_argument when single_row_period_s <= 0.
+/// (tolerance 1e-6 relative to the inferred period, so long traces whose
+/// large timestamps carry float error still load), std::invalid_argument
+/// when single_row_period_s <= 0.
 std::unique_ptr<SampledWorkload> workload_from_csv(
     const std::string& csv_text, double single_row_period_s = 1.0);
 

@@ -1,0 +1,326 @@
+#include "workload/trace_store.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <cstring>
+#include <fstream>
+#include <sstream>
+#include <stdexcept>
+
+#include "util/units.hpp"
+
+#if defined(__unix__) || defined(__APPLE__)
+#define FSC_PACK_HAS_MMAP 1
+#include <fcntl.h>
+#include <sys/mman.h>
+#include <sys/stat.h>
+#include <unistd.h>
+#else
+#define FSC_PACK_HAS_MMAP 0
+#endif
+
+namespace fsc {
+
+namespace pack {
+
+std::uint16_t quantize(double u) noexcept {
+  const double c = u < 0.0 ? 0.0 : (u > 1.0 ? 1.0 : u);
+  return static_cast<std::uint16_t>(std::lround(c * kQuantScale));
+}
+
+std::uint64_t content_hash(const std::uint16_t* samples, std::size_t count,
+                           double sample_period_s) noexcept {
+  // FNV-1a over the column bytes, then the period's bit pattern: the same
+  // shape at two cadences is a different trace.
+  std::uint64_t h = 1469598103934665603ull;
+  const auto mix = [&h](const unsigned char* p, std::size_t n) {
+    for (std::size_t i = 0; i < n; ++i) {
+      h ^= p[i];
+      h *= 1099511628211ull;
+    }
+  };
+  mix(reinterpret_cast<const unsigned char*>(samples),
+      count * sizeof(std::uint16_t));
+  std::uint64_t period_bits = 0;
+  static_assert(sizeof(period_bits) == sizeof(sample_period_s));
+  std::memcpy(&period_bits, &sample_period_s, sizeof(period_bits));
+  mix(reinterpret_cast<const unsigned char*>(&period_bits),
+      sizeof(period_bits));
+  return h;
+}
+
+}  // namespace pack
+
+// ---------------------------------------------------------------------------
+// TracePackWriter
+
+std::size_t TracePackWriter::add_trace(const std::string& name,
+                                       const std::vector<double>& samples,
+                                       double sample_period_s) {
+  require(!samples.empty(), "TracePackWriter: samples must be non-empty");
+  require(sample_period_s > 0.0, "TracePackWriter: sample period must be > 0");
+  require(!name.empty(), "TracePackWriter: trace name must be non-empty");
+
+  std::vector<std::uint16_t> column;
+  column.reserve(samples.size());
+  for (double u : samples) column.push_back(pack::quantize(u));
+  const std::uint64_t hash =
+      pack::content_hash(column.data(), column.size(), sample_period_s);
+
+  pack::TraceMeta meta;
+  meta.count = column.size();
+  meta.sample_period_s = sample_period_s;
+  meta.content_hash = hash;
+  std::strncpy(meta.name, name.c_str(), pack::kNameCapacity - 1);
+
+  // Content dedup: on a hash match, verify the actual column (hash
+  // collisions must never silently alias two different traces).
+  for (std::size_t prior : first_with_hash_) {
+    const pack::TraceMeta& m = metas_[prior];
+    if (m.content_hash != hash || m.count != column.size() ||
+        m.sample_period_s != sample_period_s) {
+      continue;
+    }
+    if (std::memcmp(payload_.data() + m.offset_words, column.data(),
+                    column.size() * sizeof(std::uint16_t)) == 0) {
+      meta.offset_words = m.offset_words;
+      metas_.push_back(meta);
+      return metas_.size() - 1;
+    }
+  }
+
+  meta.offset_words = payload_.size();
+  payload_.insert(payload_.end(), column.begin(), column.end());
+  first_with_hash_.push_back(metas_.size());
+  ++unique_columns_;
+  metas_.push_back(meta);
+  return metas_.size() - 1;
+}
+
+std::size_t TracePackWriter::add_workload(const std::string& name,
+                                          const SampledWorkload& w) {
+  return add_trace(name, std::vector<double>(w.data(), w.data() + w.size()),
+                   w.sample_period());
+}
+
+void TracePackWriter::write(const std::string& path) const {
+  if (metas_.empty()) {
+    throw std::runtime_error("TracePackWriter: refusing to write an empty pack");
+  }
+  pack::PackHeader header;
+  std::memcpy(header.magic, pack::kMagic, sizeof(header.magic));
+  header.trace_count = static_cast<std::uint32_t>(metas_.size());
+  header.payload_words = payload_.size();
+
+  std::ofstream out(path, std::ios::binary | std::ios::trunc);
+  if (!out) {
+    throw std::runtime_error("TracePackWriter: cannot open " + path);
+  }
+  out.write(reinterpret_cast<const char*>(&header), sizeof(header));
+  out.write(reinterpret_cast<const char*>(metas_.data()),
+            static_cast<std::streamsize>(metas_.size() * sizeof(metas_[0])));
+  out.write(reinterpret_cast<const char*>(payload_.data()),
+            static_cast<std::streamsize>(payload_.size() *
+                                         sizeof(std::uint16_t)));
+  if (!out) {
+    throw std::runtime_error("TracePackWriter: short write to " + path);
+  }
+}
+
+// ---------------------------------------------------------------------------
+// TraceStore
+
+TraceStore::~TraceStore() {
+#if FSC_PACK_HAS_MMAP
+  if (mapped_ && base_ != nullptr) {
+    ::munmap(const_cast<unsigned char*>(base_), bytes_);
+    return;
+  }
+#endif
+  delete[] base_;
+}
+
+std::shared_ptr<const TraceStore> TraceStore::open(const std::string& path) {
+  // shared_ptr with access to the private ctor.
+  struct Opener : TraceStore {};
+  auto store = std::make_shared<Opener>();
+
+#if FSC_PACK_HAS_MMAP
+  const int fd = ::open(path.c_str(), O_RDONLY);
+  if (fd < 0) {
+    throw std::runtime_error("TraceStore: cannot open " + path);
+  }
+  struct stat st{};
+  if (::fstat(fd, &st) != 0 || st.st_size < 0) {
+    ::close(fd);
+    throw std::runtime_error("TraceStore: cannot stat " + path);
+  }
+  const auto bytes = static_cast<std::size_t>(st.st_size);
+  void* map = bytes > 0
+                  ? ::mmap(nullptr, bytes, PROT_READ, MAP_PRIVATE, fd, 0)
+                  : MAP_FAILED;
+  ::close(fd);  // the mapping keeps its own reference
+  if (map == MAP_FAILED) {
+    if (bytes > 0) {
+      throw std::runtime_error("TraceStore: mmap failed for " + path);
+    }
+    throw std::runtime_error("TraceStore: " + path + ": empty file");
+  }
+  store->base_ = static_cast<const unsigned char*>(map);
+  store->bytes_ = bytes;
+  store->mapped_ = true;
+#else
+  std::ifstream in(path, std::ios::binary | std::ios::ate);
+  if (!in) {
+    throw std::runtime_error("TraceStore: cannot open " + path);
+  }
+  const std::streamsize size = in.tellg();
+  in.seekg(0);
+  auto* buffer = new unsigned char[static_cast<std::size_t>(size)];
+  if (!in.read(reinterpret_cast<char*>(buffer), size)) {
+    delete[] buffer;
+    throw std::runtime_error("TraceStore: cannot read " + path);
+  }
+  store->base_ = buffer;
+  store->bytes_ = static_cast<std::size_t>(size);
+  store->mapped_ = false;
+#endif
+
+  store->validate_and_index(path, store->bytes_);
+  return store;
+}
+
+void TraceStore::validate_and_index(const std::string& path,
+                                    std::size_t file_bytes) {
+  path_ = path;
+  const auto fail = [&path](const std::string& why) {
+    throw std::runtime_error("TraceStore: " + path + ": " + why);
+  };
+  if (file_bytes < sizeof(pack::PackHeader)) {
+    fail("truncated file (shorter than the pack header)");
+  }
+  pack::PackHeader header;
+  std::memcpy(&header, base_, sizeof(header));
+  if (std::memcmp(header.magic, pack::kMagic, sizeof(header.magic)) != 0) {
+    fail("bad magic (not a trace pack)");
+  }
+  if (header.version != pack::kVersion) {
+    fail("unsupported pack version " + std::to_string(header.version));
+  }
+  if (header.trace_count == 0) fail("pack holds no traces");
+
+  const std::size_t meta_bytes =
+      static_cast<std::size_t>(header.trace_count) * sizeof(pack::TraceMeta);
+  // Exact size: header + meta table + payload, nothing less (truncation)
+  // and nothing more (an unaligned or garbage tail means the writer and
+  // reader disagree about the layout — never guess).
+  const std::size_t expected = sizeof(pack::PackHeader) + meta_bytes +
+                               static_cast<std::size_t>(header.payload_words) *
+                                   sizeof(std::uint16_t);
+  if (file_bytes < expected) fail("truncated file (samples missing)");
+  if (file_bytes > expected) fail("trailing bytes after the payload");
+
+  metas_.resize(header.trace_count);
+  std::memcpy(metas_.data(), base_ + sizeof(pack::PackHeader), meta_bytes);
+  payload_ = reinterpret_cast<const std::uint16_t*>(
+      base_ + sizeof(pack::PackHeader) + meta_bytes);
+
+  for (std::size_t i = 0; i < metas_.size(); ++i) {
+    const pack::TraceMeta& m = metas_[i];
+    const std::string label = "trace " + std::to_string(i);
+    if (m.count == 0) fail(label + ": empty column");
+    if (!(m.sample_period_s > 0.0)) fail(label + ": non-positive period");
+    if (m.offset_words > header.payload_words ||
+        m.count > header.payload_words - m.offset_words) {
+      fail(label + ": column out of bounds");
+    }
+    if (m.name[pack::kNameCapacity - 1] != '\0') {
+      fail(label + ": unterminated name");
+    }
+  }
+}
+
+std::string TraceStore::name(std::size_t i) const {
+  return std::string(metas_.at(i).name);
+}
+
+double TraceStore::sample_period(std::size_t i) const {
+  return metas_.at(i).sample_period_s;
+}
+
+std::size_t TraceStore::sample_count(std::size_t i) const {
+  return static_cast<std::size_t>(metas_.at(i).count);
+}
+
+std::uint64_t TraceStore::content_hash(std::size_t i) const {
+  return metas_.at(i).content_hash;
+}
+
+const std::uint16_t* TraceStore::samples(std::size_t i) const {
+  return payload_ + metas_.at(i).offset_words;
+}
+
+double TraceStore::duration(std::size_t i) const {
+  const pack::TraceMeta& m = metas_.at(i);
+  return static_cast<double>(m.count) * m.sample_period_s;
+}
+
+std::size_t TraceStore::find(const std::string& name) const noexcept {
+  for (std::size_t i = 0; i < metas_.size(); ++i) {
+    if (name == metas_[i].name) return i;
+  }
+  return metas_.size();
+}
+
+// ---------------------------------------------------------------------------
+// StoredTraceWorkload
+
+StoredTraceWorkload::StoredTraceWorkload(
+    std::shared_ptr<const TraceStore> store, std::size_t trace)
+    : store_(std::move(store)), trace_(trace) {
+  require(store_ != nullptr, "StoredTraceWorkload: store must be non-null");
+  if (trace_ >= store_->size()) {
+    throw std::out_of_range("StoredTraceWorkload: trace index out of range");
+  }
+  samples_ = store_->samples(trace_);
+  count_ = store_->sample_count(trace_);
+  period_s_ = store_->sample_period(trace_);
+  inv_period_ = 1.0 / period_s_;
+}
+
+double StoredTraceWorkload::demand(double t) const {
+  if (t < 0.0) t = 0.0;
+  return static_cast<double>(samples_[zoh_index(t, inv_period_, period_s_,
+                                                count_)]) *
+         pack::kDequant;
+}
+
+std::vector<std::shared_ptr<const Workload>> workloads_from_store(
+    const std::shared_ptr<const TraceStore>& store) {
+  require(store != nullptr, "workloads_from_store: store must be non-null");
+  std::vector<std::shared_ptr<const Workload>> out;
+  out.reserve(store->size());
+  for (std::size_t i = 0; i < store->size(); ++i) {
+    out.push_back(std::make_shared<StoredTraceWorkload>(store, i));
+  }
+  return out;
+}
+
+std::string stored_trace_to_csv(const TraceStore& store, std::size_t i) {
+  const std::uint16_t* q = store.samples(i);
+  const std::size_t n = store.sample_count(i);
+  const double period = store.sample_period(i);
+  std::ostringstream out;
+  // max_digits10: the dequantized doubles (and the timestamps) must
+  // round-trip exactly so a CSV-dir replay of the unpacked traces is
+  // bit-identical to a pack replay.
+  out.precision(17);
+  out << "time,utilization\n";
+  for (std::size_t k = 0; k < n; ++k) {
+    out << static_cast<double>(k) * period << ','
+        << static_cast<double>(q[k]) * pack::kDequant << '\n';
+  }
+  return out.str();
+}
+
+}  // namespace fsc

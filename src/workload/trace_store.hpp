@@ -1,0 +1,207 @@
+// The production-scale trace store: one binary columnar file ("pack",
+// extension .fst) holding thousands of utilization traces, mmap-ed and
+// shared zero-copy by every lane that references a trace.
+//
+// The CSV path (trace_io.hpp) parses each trace into its own
+// vector<double> — fine for the three bundled 900-row files, hopeless for
+// a room-day over thousands of distinct real traces: startup is
+// O(total samples) of text parsing and RSS is 8 bytes per sample per
+// *copy*.  The pack flips both axes:
+//
+//   * open() maps the file and reads only the fixed-size header + metadata
+//     table — O(trace count), no sample is touched until a lane gathers it
+//     (and then straight from the page cache);
+//   * samples are quantized to u16 (utilization lives in [0, 1]; 1/65535
+//     resolution is far below any sensor or workload-model noise), so the
+//     at-rest and in-memory footprint is 2 bytes/sample, shared across
+//     every lane and every process mapping the same pack;
+//   * identical traces are deduplicated at pack time by content hash, so a
+//     fleet replaying 64 shapes across 100k lanes stores 64 columns.
+//
+// File layout (all little-endian, naturally aligned):
+//
+//   PackHeader  (48 bytes: magic "FSCPACK1", version, trace count,
+//                payload length in u16 words)
+//   TraceMeta[trace_count]  (88 bytes each: column offset/length in words,
+//                sample period, FNV-1a content hash, NUL-padded name)
+//   u16 payload[payload_words]  (the concatenated sample columns)
+//
+// The reader validates magic, version, exact file size (a truncated or
+// trailing-garbage file is rejected, never partially trusted), and every
+// column's bounds before handing out pointers.
+//
+// Dequantization is DEFINED as q * (1.0 / 65535.0) — a multiply, not a
+// divide — everywhere (StoredTraceWorkload, WorkloadTable, unpack), so the
+// per-lane virtual path and the batched gather path agree bit-for-bit.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "workload/trace.hpp"
+
+namespace fsc {
+
+namespace pack {
+
+/// Fixed file magic: "FSCPACK1".
+inline constexpr char kMagic[8] = {'F', 'S', 'C', 'P', 'A', 'C', 'K', '1'};
+inline constexpr std::uint32_t kVersion = 1;
+/// Quantization: q = lround(clamp01(u) * 65535), u = q * kDequant.
+/// 65535 * kDequant == 1.0 exactly, so full scale round-trips.
+inline constexpr double kQuantScale = 65535.0;
+inline constexpr double kDequant = 1.0 / 65535.0;
+inline constexpr std::size_t kNameCapacity = 56;  ///< incl. NUL terminator
+
+struct PackHeader {
+  char magic[8];
+  std::uint32_t version = kVersion;
+  std::uint32_t trace_count = 0;
+  std::uint64_t payload_words = 0;  ///< total u16 samples across all columns
+  std::uint64_t reserved[3] = {0, 0, 0};
+};
+static_assert(sizeof(PackHeader) == 48, "pack header layout is the format");
+
+struct TraceMeta {
+  std::uint64_t offset_words = 0;  ///< column start within the payload
+  std::uint64_t count = 0;         ///< samples in this trace
+  double sample_period_s = 0.0;
+  std::uint64_t content_hash = 0;  ///< FNV-1a over the quantized column
+  char name[kNameCapacity] = {};   ///< NUL-terminated, truncated if longer
+};
+static_assert(sizeof(TraceMeta) == 88, "trace meta layout is the format");
+
+/// Quantize one utilization sample (clamped to [0, 1]).
+std::uint16_t quantize(double u) noexcept;
+
+/// FNV-1a over a quantized column (the dedup + integrity identity of a
+/// trace's *samples*; the period lives in the metadata and is hashed in so
+/// the same shape at two cadences stays distinct).
+std::uint64_t content_hash(const std::uint16_t* samples, std::size_t count,
+                           double sample_period_s) noexcept;
+
+}  // namespace pack
+
+/// Builds a pack in memory, then writes it in one pass.  Adding a trace
+/// whose quantized samples + period match an already-added trace reuses
+/// that column (the metadata entry is still distinct, so names and lookups
+/// are preserved).
+class TracePackWriter {
+ public:
+  /// Quantize and append a trace.  Returns the trace's index in the pack.
+  /// Throws std::invalid_argument on empty samples, period <= 0, or an
+  /// empty name.
+  std::size_t add_trace(const std::string& name,
+                        const std::vector<double>& samples,
+                        double sample_period_s);
+
+  /// add_trace over an already-sampled workload.
+  std::size_t add_workload(const std::string& name, const SampledWorkload& w);
+
+  std::size_t size() const noexcept { return metas_.size(); }
+  /// Columns actually stored (<= size() when dedup collapsed any).
+  std::size_t unique_columns() const noexcept { return unique_columns_; }
+
+  /// Serialise the pack.  Throws std::runtime_error when the pack is empty
+  /// or the file cannot be written.
+  void write(const std::string& path) const;
+
+ private:
+  struct Pending {
+    pack::TraceMeta meta;
+  };
+  std::vector<pack::TraceMeta> metas_;
+  std::vector<std::uint16_t> payload_;
+  /// hash -> index of first trace with that column (dedup candidates).
+  std::vector<std::size_t> first_with_hash_;
+  std::size_t unique_columns_ = 0;
+};
+
+/// A read-only mapped pack.  Thread-safe after open(): all accessors read
+/// immutable mapped (or heap-loaded) memory.  Lifetime is managed by
+/// shared_ptr so StoredTraceWorkloads can outlive the opening scope.
+class TraceStore {
+ public:
+  /// Map `path` (POSIX mmap; falls back to a heap read where mapping is
+  /// unavailable) and validate the full layout.  Throws std::runtime_error
+  /// naming the defect on any structural problem: short file, bad magic,
+  /// unsupported version, size mismatch (truncation or unaligned tail),
+  /// column out of bounds, non-positive period, empty column.
+  static std::shared_ptr<const TraceStore> open(const std::string& path);
+
+  ~TraceStore();
+  TraceStore(const TraceStore&) = delete;
+  TraceStore& operator=(const TraceStore&) = delete;
+
+  std::size_t size() const noexcept { return metas_.size(); }
+  const std::string& path() const noexcept { return path_; }
+  bool mapped() const noexcept { return mapped_; }
+
+  std::string name(std::size_t i) const;
+  double sample_period(std::size_t i) const;
+  std::size_t sample_count(std::size_t i) const;
+  std::uint64_t content_hash(std::size_t i) const;
+  /// The quantized column — a pointer into the shared mapping.
+  const std::uint16_t* samples(std::size_t i) const;
+  /// Trace duration in seconds (count * period).
+  double duration(std::size_t i) const;
+
+  /// Index of the first trace named `name`, or size() when absent.
+  std::size_t find(const std::string& name) const noexcept;
+
+ protected:
+  TraceStore() = default;  ///< only open() (via a local derived type) builds
+
+ private:
+  void validate_and_index(const std::string& path, std::size_t file_bytes);
+
+  std::string path_;
+  const unsigned char* base_ = nullptr;  ///< mapping (or heap buffer) start
+  std::size_t bytes_ = 0;
+  bool mapped_ = false;                   ///< true: munmap; false: delete[]
+  std::vector<pack::TraceMeta> metas_;    ///< copied out of the mapping
+  const std::uint16_t* payload_ = nullptr;
+};
+
+/// A lane's view of one stored trace: zero-order hold over the shared
+/// quantized column, dequantized on read.  Holds the store alive; copying
+/// the workload never copies samples.
+class StoredTraceWorkload final : public Workload {
+ public:
+  /// Throws std::out_of_range on a bad trace index.
+  StoredTraceWorkload(std::shared_ptr<const TraceStore> store,
+                      std::size_t trace);
+
+  double demand(double t) const override;
+
+  const TraceStore& store() const noexcept { return *store_; }
+  std::size_t trace_index() const noexcept { return trace_; }
+  const std::uint16_t* quantized() const noexcept { return samples_; }
+  std::size_t size() const noexcept { return count_; }
+  double sample_period() const noexcept { return period_s_; }
+  double inv_sample_period() const noexcept { return inv_period_; }
+
+ private:
+  std::shared_ptr<const TraceStore> store_;
+  std::size_t trace_ = 0;
+  const std::uint16_t* samples_ = nullptr;
+  std::size_t count_ = 0;
+  double period_s_ = 0.0;
+  double inv_period_ = 0.0;
+};
+
+/// One StoredTraceWorkload per trace in the store (pack analogue of
+/// load_trace_dir: feed to RackParams::traces for round-robin replay).
+std::vector<std::shared_ptr<const Workload>> workloads_from_store(
+    const std::shared_ptr<const TraceStore>& store);
+
+/// Write trace `i` back out as a `time,utilization` CSV at full double
+/// precision (17 significant digits), so a run replaying the unpacked CSV
+/// is bit-identical to a run replaying the pack — the pack<->CSV
+/// round-trip check CI uses.
+std::string stored_trace_to_csv(const TraceStore& store, std::size_t i);
+
+}  // namespace fsc

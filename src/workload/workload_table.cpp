@@ -1,0 +1,39 @@
+#include "workload/workload_table.hpp"
+
+#include "workload/trace_store.hpp"
+
+namespace fsc {
+
+bool WorkloadTable::add_lane(const Workload& w) {
+  Lane lane;
+  if (const auto* sampled = dynamic_cast<const SampledWorkload*>(&w)) {
+    lane.dense = sampled->data();
+    lane.count = sampled->size();
+    lane.period_s = sampled->sample_period();
+    lane.inv_period = sampled->inv_sample_period();
+  } else if (const auto* stored = dynamic_cast<const StoredTraceWorkload*>(&w)) {
+    lane.quantized = stored->quantized();
+    lane.count = stored->size();
+    lane.period_s = stored->sample_period();
+    lane.inv_period = stored->inv_sample_period();
+  } else {
+    return false;
+  }
+  lanes_.push_back(lane);
+  return true;
+}
+
+void WorkloadTable::fill_demand(double t, std::size_t lane_lo,
+                                std::size_t lane_hi, double* out) const {
+  if (t < 0.0) t = 0.0;  // same guard the per-lane demand() applies
+  for (std::size_t i = lane_lo; i < lane_hi; ++i) {
+    const Lane& lane = lanes_[i];
+    const std::size_t idx =
+        zoh_index(t, lane.inv_period, lane.period_s, lane.count);
+    out[i] = lane.dense != nullptr
+                 ? lane.dense[idx]
+                 : static_cast<double>(lane.quantized[idx]) * pack::kDequant;
+  }
+}
+
+}  // namespace fsc

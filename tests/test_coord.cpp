@@ -432,7 +432,7 @@ TEST(TraceDrivenRack, SaveLoadRoundTripGivesIdenticalSlotSummaries) {
   RackParams p_orig = p;
   p_orig.traces = {original};
   RackParams p_loaded = p;
-  p_loaded.traces = loaded;
+  p_loaded.traces.assign(loaded.begin(), loaded.end());
 
   const RackResult a = BatchRunner(2).run(Rack(p_orig));
   const RackResult b = BatchRunner(2).run(Rack(p_loaded));

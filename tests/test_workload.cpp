@@ -5,7 +5,10 @@
 #include <cmath>
 #include <filesystem>
 #include <fstream>
+#include <random>
+#include <sstream>
 #include <stdexcept>
+#include <vector>
 
 #include "util/statistics.hpp"
 #include "workload/predictor.hpp"
@@ -303,6 +306,99 @@ TEST(TraceIo, ClampsUtilizationOnLoad) {
   const auto w = workload_from_csv("time,utilization\n0,1.5\n1,-0.5\n");
   EXPECT_DOUBLE_EQ(w->demand(0.0), 1.0);
   EXPECT_DOUBLE_EQ(w->demand(1.0), 0.0);
+}
+
+TEST(TraceIo, ToleranceIsRelativeToPeriod) {
+  // Regression: the spacing check used an ABSOLUTE 1e-6 s tolerance, so a
+  // long trace at a large period whose timestamps carry ordinary double
+  // rounding (printed at limited precision, or accumulated as k * period)
+  // failed to load even though the spacing error was ~1e-10 of the period.
+  std::ostringstream csv;
+  csv << "time,utilization\n";
+  csv.precision(17);
+  const double period = 300.0;
+  for (int k = 0; k < 2000; ++k) {
+    // ~6 us of absolute jitter at t ~ 6e5 s: far above the old absolute
+    // 1e-6 threshold, far below 1e-6 * 300 s.
+    const double jitter = (k % 2 == 0 ? 1.0 : -1.0) * 3e-6;
+    csv << (static_cast<double>(k) * period + (k > 0 ? jitter : 0.0)) << ","
+        << 0.5 << "\n";
+  }
+  const auto w = workload_from_csv(csv.str());
+  EXPECT_EQ(w->size(), 2000u);
+  // Period is inferred from the first two rows: 300 - 3e-6 exactly.
+  EXPECT_DOUBLE_EQ(w->sample_period(), 300.0 - 3e-6);
+
+  // Genuinely non-uniform spacing (off by 1 % of the period) still throws.
+  EXPECT_THROW(
+      workload_from_csv("time,utilization\n0,0.1\n300,0.2\n603,0.3\n"),
+      std::runtime_error);
+}
+
+// ------------------------------------------------------------ zoh_index hoist
+
+TEST(ZohIndex, MatchesDirectDivisionOnEngineGrids) {
+  // SampledWorkload::demand hoists the per-call divide into a reciprocal
+  // multiply (zoh_index).  The hoist must be invisible: for every period
+  // the engines actually use and every control-period-aligned query time,
+  // the index must equal the one direct truncating division yields.
+  const double periods[] = {0.25, 0.5, 1.0, 2.0, 4.0, 60.0, 300.0};
+  const double query_steps[] = {0.25, 1.0, 60.0, 300.0, 600.0};
+  for (double p : periods) {
+    const double inv = 1.0 / p;
+    for (double step : query_steps) {
+      for (int k = 0; k < 4000; ++k) {
+        const double t = static_cast<double>(k) * step;
+        const std::size_t direct = static_cast<std::size_t>(t / p);
+        const std::size_t hoisted = zoh_index(t, inv, p, 1u << 30);
+        ASSERT_EQ(hoisted, direct) << "p=" << p << " t=" << t;
+      }
+    }
+  }
+}
+
+TEST(ZohIndex, ExactBoundariesLandOnNewSample) {
+  // Sample k covers [k*p, (k+1)*p) — an exact boundary belongs to the NEW
+  // sample even when the reciprocal multiply rounds a hair low (p = 1/3 is
+  // the classic case: 3 * fl(1/3) < 1 in binary).
+  const double p = 1.0 / 3.0;
+  const double inv = 1.0 / p;
+  for (std::size_t k = 1; k < 1000; ++k) {
+    const double t = static_cast<double>(k) * p;  // fl(k * p): sample k start
+    EXPECT_EQ(zoh_index(t, inv, p, 1u << 30), k) << "k=" << k;
+  }
+}
+
+TEST(ZohIndex, RandomNonBoundaryTimesAgree) {
+  std::mt19937_64 rng(20260808u);
+  std::uniform_real_distribution<double> uni(0.0, 1e6);
+  const double periods[] = {0.25, 0.5, 1.0, 2.0, 4.0, 60.0, 300.0};
+  for (double p : periods) {
+    const double inv = 1.0 / p;
+    for (int i = 0; i < 20000; ++i) {
+      const double t = uni(rng);
+      ASSERT_EQ(zoh_index(t, inv, p, 1u << 30),
+                static_cast<std::size_t>(t / p))
+          << "p=" << p << " t=" << t;
+    }
+  }
+}
+
+TEST(SampledWorkload, HoistedDemandMatchesDivisionReference) {
+  // End-to-end guard over the public API: demand(t) with the hoisted index
+  // equals indexing samples by direct division, across a dense time sweep.
+  std::mt19937_64 rng(42u);
+  std::uniform_real_distribution<double> uni(0.0, 1.0);
+  std::vector<double> samples(4096);
+  for (double& s : samples) s = uni(rng);
+  const double p = 0.75;
+  const SampledWorkload w(samples, p);
+  for (int i = 0; i < 50000; ++i) {
+    const double t = uni(rng) * 4096.0 * p * 1.2;  // 20 % past the end
+    std::size_t idx = static_cast<std::size_t>(t / p);
+    if (idx >= samples.size()) idx = samples.size() - 1;
+    ASSERT_EQ(w.demand(t), samples[idx]) << "t=" << t;
+  }
 }
 
 }  // namespace
